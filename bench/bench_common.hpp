@@ -1,0 +1,54 @@
+// Shared helpers for the experiment binaries.
+//
+// Every binary regenerates one table/figure from EXPERIMENTS.md and prints it
+// in the same aligned format (util::Table).  Instances are deterministic
+// (fixed seeds) so the outputs are reproducible run to run.
+#pragma once
+
+#include <iostream>
+#include <memory>
+
+#include "graph/generators.hpp"
+#include "schemes/registry.hpp"
+#include "util/table.hpp"
+
+namespace pls::bench {
+
+inline std::shared_ptr<const graph::Graph> share(graph::Graph g) {
+  return std::make_shared<const graph::Graph>(std::move(g));
+}
+
+/// Connected random graph with ~1.5n edges (the default experiment topology).
+inline std::shared_ptr<const graph::Graph> standard_graph(std::size_t n,
+                                                          std::uint64_t seed) {
+  util::Rng rng(seed);
+  const std::size_t extra = std::min(n / 2, n * (n - 1) / 2 - (n - 1));
+  return share(graph::random_connected(n, extra, rng));
+}
+
+/// Same topology with distinct random weights (MST instances).
+inline std::shared_ptr<const graph::Graph> weighted_graph(std::size_t n,
+                                                          std::uint64_t seed) {
+  util::Rng rng(seed);
+  const std::size_t extra = std::min(n / 2, n * (n - 1) / 2 - (n - 1));
+  return share(
+      graph::reweight_random(graph::random_connected(n, extra, rng), rng));
+}
+
+/// A graph satisfying the preconditions of the given catalog entry.
+inline std::shared_ptr<const graph::Graph> graph_for(
+    const schemes::SchemeEntry& entry, std::size_t n, std::uint64_t seed) {
+  if (entry.needs_weighted) return weighted_graph(n, seed);
+  if (entry.needs_bipartite) {
+    const std::size_t rows = 2;
+    return share(graph::grid(rows, (n + rows - 1) / rows));
+  }
+  return standard_graph(n, seed);
+}
+
+inline void print_header(const std::string& experiment,
+                         const std::string& claim) {
+  std::cout << "\n=== " << experiment << " ===\n" << claim << "\n\n";
+}
+
+}  // namespace pls::bench

@@ -1,0 +1,66 @@
+// Experiment T4 — marker (prover) cost.
+//
+// The marker is a centralized oracle in the paper; its cost still matters
+// because silent self-stabilizing algorithms recompute certificates on
+// recovery.  Expected shape: near-linear in n for the tree schemes,
+// O(m log n) for MST (one Borůvka run plus per-phase BFS), O(n^2) encoding
+// for the universal scheme.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "pls/universal.hpp"
+#include "schemes/leader.hpp"
+
+namespace {
+
+using namespace pls;
+
+const schemes::SchemeEntry& entry_at(std::size_t index) {
+  static const auto catalog = schemes::standard_catalog();
+  return catalog.at(index);
+}
+
+void BM_Mark(benchmark::State& state) {
+  const schemes::SchemeEntry& entry = entry_at(
+      static_cast<std::size_t>(state.range(0)));
+  const std::size_t n = static_cast<std::size_t>(state.range(1));
+  auto g = bench::graph_for(entry, n, 31);
+  util::Rng rng(37);
+  const local::Configuration cfg = entry.language->sample_legal(g, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(entry.scheme->mark(cfg));
+  }
+  state.SetLabel(entry.label);
+  state.counters["nodes"] = static_cast<double>(n);
+}
+
+void BM_MarkUniversal(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  static const schemes::LeaderLanguage language;
+  static const core::UniversalScheme universal(language);
+  auto g = bench::standard_graph(n, 31);
+  util::Rng rng(37);
+  const local::Configuration cfg = language.sample_legal(g, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(universal.mark(cfg));
+  }
+  state.SetLabel("universal(leader)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto catalog = schemes::standard_catalog();
+  for (std::size_t i = 0; i < catalog.size(); ++i)
+    benchmark::RegisterBenchmark("mark", &BM_Mark)
+        ->ArgsProduct({{static_cast<long>(i)}, {64, 256, 1024}})
+        ->ArgNames({"scheme", "n"});
+  benchmark::RegisterBenchmark("mark_universal", &BM_MarkUniversal)
+      ->Arg(32)
+      ->Arg(64)
+      ->Arg(128);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Experiment F2 — MST certificate structure (figure: Borůvka phases vs n).
+//
+// The O(log^2 n) bound decomposes as (#phases) x (bits per phase) with
+// #phases <= ceil(log2 n) + 1 and O(log n) bits per phase.  Expected shape:
+// the phase count tracks log2(n) and per-phase bits stay near-constant in
+// log n.
+#include "bench_common.hpp"
+
+#include <cmath>
+
+#include "schemes/mst.hpp"
+
+int main() {
+  using namespace pls;
+  bench::print_header(
+      "F2: MST Borůvka phase structure",
+      "phase records vs ceil(log2 n)+1, and certificate bits per phase");
+
+  const schemes::MstLanguage language;
+  const schemes::MstScheme scheme(language);
+
+  util::Table table({"n", "phases", "ceil(log2 n)+1", "total bits",
+                     "bits/phase", "bound"});
+  for (const std::size_t n : {4u, 8u, 16u, 32u, 64u, 128u, 256u, 512u, 1024u}) {
+    std::size_t max_phases = 0, max_bits = 0;
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      auto g = bench::weighted_graph(n, seed);
+      util::Rng rng(seed);
+      const local::Configuration cfg = language.sample_legal(g, rng);
+      max_phases = std::max(max_phases, scheme.phase_records(cfg));
+      max_bits = std::max(max_bits, scheme.mark(cfg).max_bits());
+    }
+    const std::size_t log_bound =
+        static_cast<std::size_t>(std::ceil(std::log2(n))) + 1;
+    table.row(n, max_phases, log_bound, max_bits,
+              static_cast<double>(max_bits) / static_cast<double>(max_phases),
+              scheme.proof_size_bound(n, 0));
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Experiment T1 — proof-size summary (the paper's headline results table).
+//
+// For every scheme in the catalog, measure the maximum certificate size the
+// marker emits on random instances, next to the scheme's declared theoretical
+// bound.  Expected shape: agree ~ s; leader/acyclic/stp/stl ~ O(log n);
+// mstl ~ O(log^2 n); bipartite 1 bit; coloring 0 bits; all measured values
+// below the bound.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace pls;
+  bench::print_header(
+      "T1: proof sizes",
+      "max certificate bits (measured over 3 seeds) vs the theory bound");
+
+  util::Table table({"scheme", "n", "state bits", "measured bits", "bound",
+                     "within bound"});
+  const auto catalog = schemes::standard_catalog();
+  for (const schemes::SchemeEntry& entry : catalog) {
+    for (const std::size_t n : {16u, 64u, 256u, 1024u}) {
+      std::size_t measured = 0;
+      std::size_t state_bits = 0;
+      for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+        auto g = bench::graph_for(entry, n, seed);
+        util::Rng rng(seed * 7);
+        const local::Configuration cfg = entry.language->sample_legal(g, rng);
+        measured = std::max(measured, entry.scheme->mark(cfg).max_bits());
+        state_bits = std::max(state_bits, cfg.max_state_bits());
+      }
+      const std::size_t bound =
+          entry.scheme->proof_size_bound(n, state_bits);
+      table.row(entry.label, n, state_bits, measured, bound,
+                measured <= bound ? "yes" : "NO");
+    }
+  }
+  table.print(std::cout);
+  return 0;
+}

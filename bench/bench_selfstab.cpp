@@ -1,0 +1,57 @@
+// Experiment F4 — self-stabilization with proof-labeling detection.
+//
+// The application the paper motivates: the spanning-tree protocol embeds its
+// certificates in its states; after k transient faults, the 1-round local
+// verifier detects, and the protocol recovers to the legitimate silent
+// configuration.  Expected shape: detection is immediate (round 0), the
+// number of detecting nodes grows with k, and recovery stays O(n) rounds.
+#include "bench_common.hpp"
+
+#include "selfstab/harness.hpp"
+
+int main() {
+  using namespace pls;
+  bench::print_header(
+      "F4: self-stabilizing spanning tree with PLS detection",
+      "after k faults: immediate detectors, stabilization rounds, silence "
+      "(averaged over 10 seeds)");
+
+  struct Topology {
+    const char* label;
+    graph::Graph graph;
+  };
+  std::vector<Topology> topologies;
+  topologies.push_back({"grid 8x8", graph::grid(8, 8)});
+  topologies.push_back({"path 64", graph::path(64)});
+  {
+    util::Rng rng(51);
+    topologies.push_back({"random 64", graph::random_connected(64, 32, rng)});
+  }
+
+  util::Table table({"topology", "k faults", "avg detectors", "avg rounds",
+                     "recovered", "silent"});
+  for (const Topology& topo : topologies) {
+    for (const std::size_t k : {1u, 2u, 4u, 8u, 16u, 32u}) {
+      double detectors = 0, rounds = 0;
+      std::size_t recovered = 0, silent = 0;
+      const std::size_t trials = 10;
+      for (std::uint64_t seed = 1; seed <= trials; ++seed) {
+        util::Rng rng(seed * 97);
+        const selfstab::FaultExperiment r =
+            selfstab::run_fault_experiment(topo.graph, k, rng);
+        detectors += static_cast<double>(r.detectors_immediate);
+        rounds += static_cast<double>(r.stabilization_rounds);
+        recovered += r.legitimate_after ? 1 : 0;
+        silent += r.silent_after ? 1 : 0;
+      }
+      table.row(topo.label, k, detectors / trials, rounds / trials,
+                std::to_string(recovered) + "/" + std::to_string(trials),
+                std::to_string(silent) + "/" + std::to_string(trials));
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nDetection latency is one round by construction (the local "
+               "verifier); 'avg detectors' growing with k is the trend the "
+               "error-sensitivity extension quantifies.\n";
+  return 0;
+}

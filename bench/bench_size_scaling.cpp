@@ -1,0 +1,57 @@
+// Experiment F1 — certificate-size scaling (figure: bits vs n).
+//
+// Series for the three growth regimes the paper separates:
+//   leader / stl      ~ Theta(log n)
+//   mstl              ~ O(log^2 n)
+//   universal(leader) ~ O(n^2 + n s)
+// Expected shape: the log / log^2 / quadratic separation is visible in the
+// columns; ratios to the theory predictor stay roughly constant.
+#include "bench_common.hpp"
+
+#include <cmath>
+
+#include "pls/universal.hpp"
+#include "schemes/leader.hpp"
+#include "schemes/mst.hpp"
+#include "schemes/spanning_tree.hpp"
+
+int main() {
+  using namespace pls;
+  bench::print_header("F1: certificate size scaling",
+                      "max certificate bits vs n; log2(n) given for reference");
+
+  const schemes::LeaderLanguage leader_language;
+  const schemes::LeaderScheme leader(leader_language);
+  const schemes::StlLanguage stl_language;
+  const schemes::StlScheme stl(stl_language);
+  const schemes::MstLanguage mst_language;
+  const schemes::MstScheme mst(mst_language);
+  const core::UniversalScheme universal(leader_language);
+
+  util::Table table({"n", "log2(n)", "leader bits", "stl bits", "mstl bits",
+                     "universal bits"});
+  for (const std::size_t n : {16u, 32u, 64u, 128u, 256u, 512u, 1024u, 2048u}) {
+    util::Rng rng(17);
+    auto g = bench::standard_graph(n, 3);
+    auto wg = bench::weighted_graph(n, 3);
+
+    const std::size_t leader_bits =
+        leader.mark(leader_language.sample_legal(g, rng)).max_bits();
+    const std::size_t stl_bits =
+        stl.mark(stl_language.sample_legal(g, rng)).max_bits();
+    const std::size_t mst_bits =
+        mst.mark(mst_language.sample_legal(wg, rng)).max_bits();
+    // Universal certificates are Theta(n^2): cap the sweep to keep the run
+    // short; larger n are extrapolated by the quadratic fit in T5.
+    std::size_t uni_bits = 0;
+    if (n <= 256)
+      uni_bits =
+          universal.mark(leader_language.sample_legal(g, rng)).max_bits();
+
+    table.row(n, std::log2(static_cast<double>(n)), leader_bits, stl_bits,
+              mst_bits, uni_bits == 0 ? std::string("-")
+                                      : std::to_string(uni_bits));
+  }
+  table.print(std::cout);
+  return 0;
+}

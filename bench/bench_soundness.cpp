@@ -1,0 +1,67 @@
+// Experiment T2 — completeness and soundness matrix.
+//
+// For every catalog scheme: (a) legal instances with honest certificates are
+// accepted by every node; (b) corrupted (illegal) instances are rejected by
+// at least one node under every adversary strategy, with the minimum
+// rejection count achieved by the strongest adversary reported.
+#include "bench_common.hpp"
+
+#include "pls/adversary.hpp"
+#include "pls/engine.hpp"
+
+int main() {
+  using namespace pls;
+  bench::print_header(
+      "T2: completeness / soundness",
+      "legal: fraction of nodes accepting (must be 1.0); illegal: adversary's "
+      "minimum rejection count (must be >= 1) and its best strategy");
+
+  util::Table table({"scheme", "n", "legal accept rate", "illegal trials",
+                     "min rejections", "best adversary"});
+  const auto catalog = schemes::standard_catalog();
+  core::AttackOptions options;
+  options.hill_climb_steps = 150;
+  options.random_trials = 4;
+  options.splice_sources = 3;
+
+  for (const schemes::SchemeEntry& entry : catalog) {
+    for (const std::size_t n : {24u, 64u}) {
+      auto g = bench::graph_for(entry, n, 11);
+      util::Rng rng(13);
+      const local::Configuration legal = entry.language->sample_legal(g, rng);
+
+      // Completeness.
+      const core::Labeling lab = entry.scheme->mark(legal);
+      const core::Verdict verdict = core::run_verifier(*entry.scheme, legal, lab);
+      const double accept_rate =
+          1.0 - static_cast<double>(verdict.rejections()) /
+                    static_cast<double>(legal.n());
+
+      // Soundness across corrupted instances.
+      std::size_t trials = 0;
+      std::size_t min_rejections = legal.n();
+      std::string worst_strategy = "-";
+      for (int t = 0; t < 6; ++t) {
+        const auto corrupted = local::corrupt_random_states(legal, 2, rng);
+        if (entry.language->contains(corrupted.config)) continue;
+        ++trials;
+        util::Rng attack_rng(100 + t);
+        const core::AttackReport report =
+            core::attack(*entry.scheme, corrupted.config, attack_rng, options);
+        if (report.min_rejections < min_rejections) {
+          min_rejections = report.min_rejections;
+          worst_strategy = report.best_strategy;
+        }
+      }
+      table.row(entry.label, n, accept_rate, trials,
+                trials == 0 ? std::string("-") : std::to_string(min_rejections),
+                trials == 0 ? "(state corruption cannot leave this language)"
+                            : worst_strategy);
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nEvery 'min rejections' >= 1 row is a soundness witness; the "
+               "paper requires at least one rejecting node on every illegal "
+               "configuration.\n";
+  return 0;
+}

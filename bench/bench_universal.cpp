@@ -1,0 +1,57 @@
+// Experiment T5 — the universal scheme's O(n^2 + n s) certificate size.
+//
+// Measured certificate bits against the closed-form predictor
+// n^2 + n(s + 160) + 128; the measured/predicted ratio should stay bounded
+// and roughly constant as n grows (the n^2 adjacency matrix dominates).
+#include "bench_common.hpp"
+
+#include "pls/engine.hpp"
+#include "pls/universal.hpp"
+#include "schemes/agree.hpp"
+#include "schemes/leader.hpp"
+#include "schemes/spanning_tree.hpp"
+
+int main() {
+  using namespace pls;
+  bench::print_header(
+      "T5: universal scheme certificate size",
+      "measured bits vs the O(n^2 + n s) predictor, several inner languages");
+
+  const schemes::LeaderLanguage leader;
+  const schemes::AgreeLanguage agree(32);
+  const schemes::StlLanguage stl;
+  struct Row {
+    const core::Language* language;
+    const char* label;
+  };
+  const Row rows[] = {{&leader, "leader"}, {&agree, "agree(32)"},
+                      {&stl, "stl"}};
+
+  util::Table table({"inner language", "n", "state bits", "measured bits",
+                     "n^2 term", "measured/n^2"});
+  for (const Row& r : rows) {
+    const core::UniversalScheme universal(*r.language);
+    for (const std::size_t n : {16u, 32u, 64u, 128u, 256u}) {
+      auto g = bench::standard_graph(n, 41);
+      util::Rng rng(43);
+      const local::Configuration cfg = r.language->sample_legal(g, rng);
+      const std::size_t bits = universal.mark(cfg).max_bits();
+      table.row(r.label, n, cfg.max_state_bits(), bits, n * n,
+                static_cast<double>(bits) / static_cast<double>(n * n));
+    }
+  }
+  table.print(std::cout);
+
+  // Sanity: the universal verifier still accepts at a moderate size (its
+  // verification is O(n^2) per node, so this is the expensive direction).
+  {
+    auto g = bench::standard_graph(48, 41);
+    util::Rng rng(47);
+    const core::UniversalScheme universal(leader);
+    const local::Configuration cfg = leader.sample_legal(g, rng);
+    const bool ok = core::completeness_holds(universal, cfg);
+    std::cout << "\nuniversal(leader) completeness at n=48: "
+              << (ok ? "all accept" : "REJECTED") << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Experiment T3 — verification cost.
+//
+// The verifier runs for a single round; its per-node work is O(deg) parses
+// and comparisons (x O(log n) phases for MST).  google-benchmark timers give
+// ns per full-network verification; the table reports the message volume of
+// the verification round (certificate bits crossing edges).
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "pls/engine.hpp"
+
+namespace {
+
+using namespace pls;
+
+const schemes::SchemeEntry& entry_at(std::size_t index) {
+  static const auto catalog = schemes::standard_catalog();
+  return catalog.at(index);
+}
+
+void BM_VerifyNetwork(benchmark::State& state) {
+  const schemes::SchemeEntry& entry = entry_at(
+      static_cast<std::size_t>(state.range(0)));
+  const std::size_t n = static_cast<std::size_t>(state.range(1));
+  auto g = bench::graph_for(entry, n, 21);
+  util::Rng rng(23);
+  const local::Configuration cfg = entry.language->sample_legal(g, rng);
+  const core::Labeling lab = entry.scheme->mark(cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::run_verifier(*entry.scheme, cfg, lab));
+  }
+  state.SetLabel(entry.label);
+  state.counters["nodes"] = static_cast<double>(n);
+  state.counters["ns_per_node"] = benchmark::Counter(
+      static_cast<double>(n), benchmark::Counter::kIsIterationInvariantRate |
+                                  benchmark::Counter::kInvert);
+}
+
+void register_benchmarks() {
+  const auto catalog = schemes::standard_catalog();
+  for (std::size_t i = 0; i < catalog.size(); ++i)
+    benchmark::RegisterBenchmark("verify", &BM_VerifyNetwork)
+        ->ArgsProduct({{static_cast<long>(i)}, {64, 256, 1024}})
+        ->ArgNames({"scheme", "n"});
+}
+
+void print_message_volume_table() {
+  bench::print_header(
+      "T3: verification round message volume",
+      "bits exchanged during the single verification round (certificates, "
+      "plus states/ids in the extended mode)");
+  util::Table table({"scheme", "n", "round bits", "bits/edge"});
+  for (const schemes::SchemeEntry& entry : schemes::standard_catalog()) {
+    for (const std::size_t n : {64u, 1024u}) {
+      auto g = bench::graph_for(entry, n, 21);
+      util::Rng rng(23);
+      const local::Configuration cfg = entry.language->sample_legal(g, rng);
+      const core::Labeling lab = entry.scheme->mark(cfg);
+      const std::size_t bits =
+          core::verification_round_bits(*entry.scheme, cfg, lab);
+      table.row(entry.label, n, bits,
+                static_cast<double>(bits) / static_cast<double>(g->m()));
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nTimings (google-benchmark):\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_message_volume_table();
+  register_benchmarks();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Centralized graph algorithms.
+//
+// These are the "ground truth" deciders used by languages (`contains`),
+// markers (BFS trees, components), and tests.  They are deliberately simple
+// and obviously-correct implementations: the interesting distributed logic
+// lives in the verifiers, and these routines are what the verifiers are
+// checked against.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace pls::graph {
+
+struct BfsResult {
+  /// Hop distance from the root; kUnreachable when not reachable.
+  std::vector<std::uint32_t> dist;
+  /// BFS parent; kInvalidNode for the root and unreachable nodes.
+  std::vector<NodeIndex> parent;
+  static constexpr std::uint32_t kUnreachable =
+      std::numeric_limits<std::uint32_t>::max();
+};
+
+BfsResult bfs(const Graph& g, NodeIndex root);
+
+/// BFS restricted to a subset of edges (mask of size m).
+BfsResult bfs_on_subgraph(const Graph& g, NodeIndex root,
+                          const std::vector<bool>& edge_mask);
+
+struct Components {
+  std::vector<std::uint32_t> comp;  ///< component id per node, in [0, count)
+  std::size_t count = 0;
+};
+
+Components connected_components(const Graph& g);
+
+/// Components of the spanning subgraph induced by `edge_mask` (all nodes).
+Components components_of_subgraph(const Graph& g,
+                                  const std::vector<bool>& edge_mask);
+
+/// Proper 2-coloring if one exists (graph must be connected for a canonical
+/// answer; works per-component otherwise).
+std::optional<std::vector<std::uint8_t>> bipartition(const Graph& g);
+
+/// Exact diameter via all-pairs BFS. Intended for n up to a few thousand.
+std::size_t diameter(const Graph& g);
+
+/// True iff `edge_mask` selects exactly the edges of a spanning tree of g.
+bool is_spanning_tree(const Graph& g, const std::vector<bool>& edge_mask);
+
+/// True iff `edge_mask` selects an acyclic edge set.
+bool is_forest(const Graph& g, const std::vector<bool>& edge_mask);
+
+/// Functional-pointer-graph analysis, used by the `acyclic` and spanning-tree
+/// (parent-pointer) languages.  pointers[v] is v's successor or nullopt.
+/// Returns all directed cycles (each as a list of node indices); the
+/// structure is acyclic iff the result is empty.  Each node has out-degree
+/// at most 1, so cycles are vertex-disjoint.
+std::vector<std::vector<NodeIndex>> pointer_cycles(
+    const std::vector<std::optional<NodeIndex>>& pointers);
+
+/// True iff the pointer structure forms a single tree spanning all nodes and
+/// oriented towards a unique root (exactly one nullopt, no cycles, underlying
+/// edges connect the graph).  `g` supplies the edge set the pointers must
+/// respect (pointers[v], when set, must be a neighbor of v in g).
+bool is_spanning_in_tree(const Graph& g,
+                         const std::vector<std::optional<NodeIndex>>& pointers);
+
+}  // namespace pls::graph

@@ -1,0 +1,57 @@
+// Disjoint-set union (union by size + path compression).
+//
+// Used by Kruskal, Borůvka and the certificate repair algorithms.  Kept
+// header-only: it is tiny and hot.
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace pls::graph {
+
+class Dsu {
+ public:
+  explicit Dsu(std::size_t n) : parent_(n), size_(n, 1), count_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0u);
+  }
+
+  std::uint32_t find(std::uint32_t x) {
+    PLS_REQUIRE(x < parent_.size());
+    std::uint32_t root = x;
+    while (parent_[root] != root) root = parent_[root];
+    while (parent_[x] != root) {
+      const std::uint32_t next = parent_[x];
+      parent_[x] = root;
+      x = next;
+    }
+    return root;
+  }
+
+  /// Merge the sets containing a and b; returns false if already merged.
+  bool unite(std::uint32_t a, std::uint32_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+    --count_;
+    return true;
+  }
+
+  bool same(std::uint32_t a, std::uint32_t b) { return find(a) == find(b); }
+
+  std::size_t component_count() const noexcept { return count_; }
+  std::size_t component_size(std::uint32_t x) { return size_[find(x)]; }
+  std::size_t universe_size() const noexcept { return parent_.size(); }
+
+ private:
+  std::vector<std::uint32_t> parent_;
+  std::vector<std::uint32_t> size_;
+  std::size_t count_;
+};
+
+}  // namespace pls::graph

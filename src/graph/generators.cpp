@@ -1,0 +1,233 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "util/assert.hpp"
+
+namespace pls::graph {
+
+namespace {
+
+Graph::Builder sequential_nodes(std::size_t n) {
+  Graph::Builder b;
+  for (std::size_t i = 0; i < n; ++i) b.add_node(static_cast<RawId>(i + 1));
+  return b;
+}
+
+}  // namespace
+
+Graph path(std::size_t n) {
+  PLS_REQUIRE(n >= 1);
+  auto b = sequential_nodes(n);
+  for (std::size_t i = 0; i + 1 < n; ++i)
+    b.add_edge(static_cast<NodeIndex>(i), static_cast<NodeIndex>(i + 1));
+  return std::move(b).build();
+}
+
+Graph cycle(std::size_t n) {
+  PLS_REQUIRE(n >= 3);
+  auto b = sequential_nodes(n);
+  for (std::size_t i = 0; i < n; ++i)
+    b.add_edge(static_cast<NodeIndex>(i), static_cast<NodeIndex>((i + 1) % n));
+  return std::move(b).build();
+}
+
+Graph star(std::size_t n) {
+  PLS_REQUIRE(n >= 2);
+  auto b = sequential_nodes(n);
+  for (std::size_t i = 1; i < n; ++i)
+    b.add_edge(0, static_cast<NodeIndex>(i));
+  return std::move(b).build();
+}
+
+Graph complete(std::size_t n) {
+  PLS_REQUIRE(n >= 2);
+  auto b = sequential_nodes(n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j)
+      b.add_edge(static_cast<NodeIndex>(i), static_cast<NodeIndex>(j));
+  return std::move(b).build();
+}
+
+Graph grid(std::size_t rows, std::size_t cols) {
+  PLS_REQUIRE(rows >= 1 && cols >= 1 && rows * cols >= 2);
+  auto b = sequential_nodes(rows * cols);
+  auto at = [cols](std::size_t r, std::size_t c) {
+    return static_cast<NodeIndex>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) b.add_edge(at(r, c), at(r, c + 1));
+      if (r + 1 < rows) b.add_edge(at(r, c), at(r + 1, c));
+    }
+  return std::move(b).build();
+}
+
+Graph balanced_binary_tree(std::size_t n) {
+  PLS_REQUIRE(n >= 1);
+  auto b = sequential_nodes(n);
+  for (std::size_t i = 1; i < n; ++i)
+    b.add_edge(static_cast<NodeIndex>((i - 1) / 2), static_cast<NodeIndex>(i));
+  return std::move(b).build();
+}
+
+Graph caterpillar(std::size_t spine, std::size_t legs) {
+  PLS_REQUIRE(spine >= 1);
+  const std::size_t n = spine * (1 + legs);
+  auto b = sequential_nodes(n);
+  for (std::size_t i = 0; i + 1 < spine; ++i)
+    b.add_edge(static_cast<NodeIndex>(i), static_cast<NodeIndex>(i + 1));
+  std::size_t next = spine;
+  for (std::size_t i = 0; i < spine; ++i)
+    for (std::size_t l = 0; l < legs; ++l)
+      b.add_edge(static_cast<NodeIndex>(i), static_cast<NodeIndex>(next++));
+  return std::move(b).build();
+}
+
+Graph random_tree(std::size_t n, Rng& rng) {
+  PLS_REQUIRE(n >= 1);
+  auto b = sequential_nodes(n);
+  for (std::size_t i = 1; i < n; ++i) {
+    const auto parent = static_cast<NodeIndex>(rng.below(i));
+    b.add_edge(parent, static_cast<NodeIndex>(i));
+  }
+  return std::move(b).build();
+}
+
+Graph random_connected(std::size_t n, std::size_t extra_edges, Rng& rng) {
+  PLS_REQUIRE(n >= 1);
+  const std::size_t max_extra = n * (n - 1) / 2 - (n - 1);
+  PLS_REQUIRE(extra_edges <= max_extra);
+  auto b = sequential_nodes(n);
+  std::set<std::pair<NodeIndex, NodeIndex>> used;
+  // Random recursive tree backbone.
+  for (std::size_t i = 1; i < n; ++i) {
+    const auto parent = static_cast<NodeIndex>(rng.below(i));
+    b.add_edge(parent, static_cast<NodeIndex>(i));
+    used.emplace(std::min<NodeIndex>(parent, static_cast<NodeIndex>(i)),
+                 std::max<NodeIndex>(parent, static_cast<NodeIndex>(i)));
+  }
+  std::size_t added = 0;
+  while (added < extra_edges) {
+    const auto u = static_cast<NodeIndex>(rng.below(n));
+    const auto v = static_cast<NodeIndex>(rng.below(n));
+    if (u == v) continue;
+    const auto key = std::make_pair(std::min(u, v), std::max(u, v));
+    if (!used.emplace(key).second) continue;
+    b.add_edge(u, v);
+    ++added;
+  }
+  return std::move(b).build();
+}
+
+Graph random_regular(std::size_t n, std::size_t d, Rng& rng) {
+  PLS_REQUIRE(n >= 2 && d >= 1 && d < n && (n * d) % 2 == 0);
+  // Pairing model with rejection; retry until the multigraph is simple and
+  // connected.  For the modest n/d used in experiments this converges fast.
+  for (int attempt = 0; attempt < 2000; ++attempt) {
+    std::vector<NodeIndex> stubs;
+    stubs.reserve(n * d);
+    for (std::size_t v = 0; v < n; ++v)
+      for (std::size_t k = 0; k < d; ++k)
+        stubs.push_back(static_cast<NodeIndex>(v));
+    rng.shuffle(stubs);
+    std::set<std::pair<NodeIndex, NodeIndex>> used;
+    bool simple = true;
+    for (std::size_t i = 0; i < stubs.size(); i += 2) {
+      const NodeIndex u = stubs[i], v = stubs[i + 1];
+      if (u == v) {
+        simple = false;
+        break;
+      }
+      if (!used.emplace(std::min(u, v), std::max(u, v)).second) {
+        simple = false;
+        break;
+      }
+    }
+    if (!simple) continue;
+    auto b = sequential_nodes(n);
+    for (const auto& [u, v] : used) b.add_edge(u, v);
+    Graph g = std::move(b).build();
+    if (g.is_connected()) return g;
+  }
+  throw std::runtime_error("random_regular: no simple connected pairing found");
+}
+
+Graph relabel_random(const Graph& g, Rng& rng, RawId id_space) {
+  if (id_space == 0) id_space = static_cast<RawId>(4 * g.n());
+  PLS_REQUIRE(id_space >= g.n());
+  std::unordered_set<RawId> chosen;
+  std::vector<RawId> fresh;
+  fresh.reserve(g.n());
+  while (fresh.size() < g.n()) {
+    const RawId candidate = 1 + rng.below(id_space);
+    if (chosen.insert(candidate).second) fresh.push_back(candidate);
+  }
+  Graph::Builder b;
+  for (std::size_t v = 0; v < g.n(); ++v) b.add_node(fresh[v]);
+  for (const Edge& e : g.edges()) b.add_edge(e.u, e.v, e.w);
+  return std::move(b).build();
+}
+
+Graph reweight_random(const Graph& g, Rng& rng) {
+  std::vector<Weight> ws(g.m());
+  for (std::size_t i = 0; i < ws.size(); ++i)
+    ws[i] = static_cast<Weight>(i + 1);
+  rng.shuffle(ws);
+  return reweight(g, ws);
+}
+
+Graph reweight(const Graph& g, const std::vector<Weight>& weights) {
+  PLS_REQUIRE(weights.size() == g.m());
+  Graph::Builder b;
+  for (std::size_t v = 0; v < g.n(); ++v) b.add_node(g.id(static_cast<NodeIndex>(v)));
+  for (EdgeIndex e = 0; e < g.m(); ++e) {
+    const Edge& ed = g.edge(e);
+    b.add_edge(ed.u, ed.v, weights[e]);
+  }
+  return std::move(b).build();
+}
+
+CrossedPair cross_graphs(const Graph& a, NodeIndex a1, NodeIndex a2,
+                         const Graph& b, NodeIndex b1, NodeIndex b2,
+                         RawId id_shift) {
+  PLS_REQUIRE(a.find_edge(a1, a2).has_value());
+  PLS_REQUIRE(b.find_edge(b1, b2).has_value());
+  Graph::Builder out;
+  for (std::size_t v = 0; v < a.n(); ++v)
+    out.add_node(a.id(static_cast<NodeIndex>(v)));
+  for (std::size_t v = 0; v < b.n(); ++v)
+    out.add_node(b.id(static_cast<NodeIndex>(v)) + id_shift);
+  const auto shift = static_cast<NodeIndex>(a.n());
+  for (const Edge& e : a.edges())
+    if (!((e.u == std::min(a1, a2) && e.v == std::max(a1, a2))))
+      out.add_edge(e.u, e.v, e.w);
+  for (const Edge& e : b.edges())
+    if (!((e.u == std::min(b1, b2) && e.v == std::max(b1, b2))))
+      out.add_edge(e.u + shift, e.v + shift, e.w);
+  out.add_edge(a1, b1 + shift);
+  out.add_edge(a2, b2 + shift);
+  return CrossedPair{std::move(out).build(), a1, a2,
+                     static_cast<NodeIndex>(b1 + shift),
+                     static_cast<NodeIndex>(b2 + shift)};
+}
+
+Graph union_with_bridge(const Graph& a, NodeIndex a1, const Graph& b,
+                        NodeIndex b1, RawId id_shift) {
+  PLS_REQUIRE(a1 < a.n() && b1 < b.n());
+  Graph::Builder out;
+  for (std::size_t v = 0; v < a.n(); ++v)
+    out.add_node(a.id(static_cast<NodeIndex>(v)));
+  for (std::size_t v = 0; v < b.n(); ++v)
+    out.add_node(b.id(static_cast<NodeIndex>(v)) + id_shift);
+  const auto shift = static_cast<NodeIndex>(a.n());
+  for (const Edge& e : a.edges()) out.add_edge(e.u, e.v, e.w);
+  for (const Edge& e : b.edges()) out.add_edge(e.u + shift, e.v + shift, e.w);
+  out.add_edge(a1, static_cast<NodeIndex>(b1 + shift));
+  return std::move(out).build();
+}
+
+}  // namespace pls::graph

@@ -1,0 +1,69 @@
+// Graph generators: the instance families the experiments run on.
+//
+// All generators produce connected simple graphs with sequential ids 1..n;
+// `relabel_random` / `reweight_random` derive variants with random distinct
+// ids / weights.  The crossing gadgets at the bottom implement the cut-and-
+// splice constructions used by the lower-bound machinery (two copies of a
+// graph glued along a 2-edge cut, and two different graphs glued the same
+// way).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace pls::graph {
+
+using util::Rng;
+
+Graph path(std::size_t n);
+Graph cycle(std::size_t n);
+Graph star(std::size_t n);            ///< node 0 is the center, n >= 2 total
+Graph complete(std::size_t n);
+Graph grid(std::size_t rows, std::size_t cols);
+Graph balanced_binary_tree(std::size_t n);
+/// Spine of length `spine` where spine node i carries `legs` pendant leaves.
+Graph caterpillar(std::size_t spine, std::size_t legs);
+
+/// Uniformly random labelled tree (Prüfer-like attachment: node i attaches to
+/// a uniform previous node — random recursive tree; connected by design).
+Graph random_tree(std::size_t n, Rng& rng);
+
+/// Connected Erdős–Rényi-style graph: a random spanning tree plus
+/// `extra_edges` additional distinct random edges.
+Graph random_connected(std::size_t n, std::size_t extra_edges, Rng& rng);
+
+/// Random d-regular graph via the pairing model (retries until simple).
+/// Requires n*d even, d < n.
+Graph random_regular(std::size_t n, std::size_t d, Rng& rng);
+
+/// Same structure, fresh ids: a random injection into [1, id_space].
+/// id_space defaults (0) to 4n so ids still fit in O(log n) bits.
+Graph relabel_random(const Graph& g, Rng& rng, RawId id_space = 0);
+
+/// Same structure, random distinct weights: a permutation of {1..m}.
+Graph reweight_random(const Graph& g, Rng& rng);
+
+/// Same structure and ids, weights given explicitly (size m).
+Graph reweight(const Graph& g, const std::vector<Weight>& weights);
+
+/// The crossing gadget of the lower-bound arguments: take two node-disjoint
+/// graphs A and B, remove edge (a1,a2) from A and (b1,b2) from B, and add the
+/// cross edges (a1,b1) and (a2,b2).  Endpoint indices refer to A resp. B;
+/// in the result, A occupies indices [0, |A|) and B occupies [|A|, |A|+|B|).
+/// Ids of B are shifted by `id_shift` to stay distinct.
+struct CrossedPair {
+  Graph graph;
+  NodeIndex a1, a2, b1, b2;  ///< indices of the four cut nodes in `graph`
+};
+CrossedPair cross_graphs(const Graph& a, NodeIndex a1, NodeIndex a2,
+                         const Graph& b, NodeIndex b1, NodeIndex b2,
+                         RawId id_shift);
+
+/// Disjoint union of A and B plus a single bridge edge (a1, b1).
+Graph union_with_bridge(const Graph& a, NodeIndex a1, const Graph& b,
+                        NodeIndex b1, RawId id_shift);
+
+}  // namespace pls::graph

@@ -1,0 +1,148 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/assert.hpp"
+
+namespace pls::graph {
+
+NodeIndex Graph::Builder::add_node(RawId id) {
+  auto [it, inserted] = by_id_.emplace(id, static_cast<NodeIndex>(ids_.size()));
+  if (!inserted)
+    throw std::invalid_argument("Graph::Builder: duplicate node id " +
+                                std::to_string(id));
+  ids_.push_back(id);
+  return it->second;
+}
+
+EdgeIndex Graph::Builder::add_edge(NodeIndex u, NodeIndex v, Weight w) {
+  if (u >= ids_.size() || v >= ids_.size())
+    throw std::invalid_argument("Graph::Builder: edge endpoint out of range");
+  if (u == v)
+    throw std::invalid_argument("Graph::Builder: self-loop on node " +
+                                std::to_string(ids_[u]));
+  edges_.push_back(Edge{std::min(u, v), std::max(u, v), w});
+  return static_cast<EdgeIndex>(edges_.size() - 1);
+}
+
+Graph Graph::Builder::build() && {
+  // Reject parallel edges.
+  {
+    std::set<std::pair<NodeIndex, NodeIndex>> seen;
+    for (const Edge& e : edges_)
+      if (!seen.emplace(e.u, e.v).second)
+        throw std::invalid_argument("Graph::Builder: parallel edge");
+  }
+
+  Graph g;
+  g.ids_ = std::move(ids_);
+  g.edges_ = std::move(edges_);
+  g.by_id_ = std::move(by_id_);
+
+  const std::size_t n = g.ids_.size();
+
+  // CSR adjacency, sorted by neighbor index within each node.
+  std::vector<std::uint32_t> deg(n, 0);
+  for (const Edge& e : g.edges_) {
+    ++deg[e.u];
+    ++deg[e.v];
+  }
+  g.adj_offsets_.assign(n + 1, 0);
+  for (std::size_t v = 0; v < n; ++v)
+    g.adj_offsets_[v + 1] = g.adj_offsets_[v] + deg[v];
+  g.adj_flat_.resize(g.adj_offsets_[n]);
+  std::vector<std::uint32_t> cursor(g.adj_offsets_.begin(),
+                                    g.adj_offsets_.end() - 1);
+  for (EdgeIndex e = 0; e < g.edges_.size(); ++e) {
+    const Edge& ed = g.edges_[e];
+    g.adj_flat_[cursor[ed.u]++] = AdjEntry{ed.v, e};
+    g.adj_flat_[cursor[ed.v]++] = AdjEntry{ed.u, e};
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    auto begin = g.adj_flat_.begin() + g.adj_offsets_[v];
+    auto end = g.adj_flat_.begin() + g.adj_offsets_[v + 1];
+    std::sort(begin, end,
+              [](const AdjEntry& a, const AdjEntry& b) { return a.to < b.to; });
+  }
+
+  // Connectivity (BFS from node 0).
+  if (n == 0) {
+    g.connected_ = false;
+  } else {
+    std::vector<bool> seen(n, false);
+    std::queue<NodeIndex> frontier;
+    frontier.push(0);
+    seen[0] = true;
+    std::size_t visited = 1;
+    while (!frontier.empty()) {
+      const NodeIndex v = frontier.front();
+      frontier.pop();
+      for (const AdjEntry& a : g.adjacency(v)) {
+        if (!seen[a.to]) {
+          seen[a.to] = true;
+          ++visited;
+          frontier.push(a.to);
+        }
+      }
+    }
+    g.connected_ = (visited == n);
+  }
+
+  // Distinct weights?
+  {
+    std::vector<Weight> ws;
+    ws.reserve(g.edges_.size());
+    for (const Edge& e : g.edges_) ws.push_back(e.w);
+    std::sort(ws.begin(), ws.end());
+    g.distinct_weights_ =
+        std::adjacent_find(ws.begin(), ws.end()) == ws.end();
+  }
+
+  if (n > 0) {
+    g.max_id_ = *std::max_element(g.ids_.begin(), g.ids_.end());
+    g.min_id_ = *std::min_element(g.ids_.begin(), g.ids_.end());
+  }
+  return g;
+}
+
+std::span<const AdjEntry> Graph::adjacency(NodeIndex v) const {
+  PLS_REQUIRE(v < n());
+  return {adj_flat_.data() + adj_offsets_[v],
+          adj_flat_.data() + adj_offsets_[v + 1]};
+}
+
+NodeIndex Graph::other_endpoint(EdgeIndex e, NodeIndex v) const {
+  const Edge& ed = edges_.at(e);
+  PLS_REQUIRE(ed.u == v || ed.v == v);
+  return ed.u == v ? ed.v : ed.u;
+}
+
+std::optional<EdgeIndex> Graph::find_edge(NodeIndex u, NodeIndex v) const {
+  PLS_REQUIRE(u < n() && v < n());
+  auto adj = adjacency(u);
+  auto it = std::lower_bound(
+      adj.begin(), adj.end(), v,
+      [](const AdjEntry& a, NodeIndex target) { return a.to < target; });
+  if (it != adj.end() && it->to == v) return it->edge;
+  return std::nullopt;
+}
+
+std::optional<NodeIndex> Graph::find_by_id(RawId id) const {
+  auto it = by_id_.find(id);
+  if (it == by_id_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Graph::describe() const {
+  std::ostringstream os;
+  os << "graph(n=" << n() << ", m=" << m()
+     << (connected_ ? ", connected" : ", disconnected")
+     << (distinct_weights_ ? ", distinct-weights" : "") << ")";
+  return os.str();
+}
+
+}  // namespace pls::graph

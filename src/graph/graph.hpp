@@ -1,0 +1,123 @@
+// Immutable simple graphs with node identities and optional edge weights.
+//
+// The paper's networks are connected simple undirected graphs whose nodes
+// carry globally unique identifiers; MST additionally assumes pairwise
+// distinct edge weights.  Graph is a value type built once through
+// Graph::Builder (which validates simplicity and id uniqueness) and never
+// mutated afterwards — configurations, labelings and experiments all share
+// graphs by const reference.
+//
+// Representation: CSR adjacency over dense node indices [0, n).  The dense
+// index is a simulation artifact; algorithms that model what a *node* can see
+// must only use raw ids, degrees and edge weights (the verifier contexts in
+// src/local enforce this).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace pls::graph {
+
+using NodeIndex = std::uint32_t;  ///< dense simulation index in [0, n)
+using EdgeIndex = std::uint32_t;  ///< dense edge index in [0, m)
+using RawId = std::uint64_t;      ///< the identifier a node actually knows
+using Weight = std::int64_t;      ///< edge weight (distinct for MST inputs)
+
+inline constexpr NodeIndex kInvalidNode =
+    std::numeric_limits<NodeIndex>::max();
+inline constexpr EdgeIndex kInvalidEdge =
+    std::numeric_limits<EdgeIndex>::max();
+
+struct Edge {
+  NodeIndex u = kInvalidNode;
+  NodeIndex v = kInvalidNode;
+  Weight w = 1;
+};
+
+/// One adjacency slot: the neighbor and the id of the connecting edge.
+struct AdjEntry {
+  NodeIndex to = kInvalidNode;
+  EdgeIndex edge = kInvalidEdge;
+};
+
+class Graph {
+ public:
+  class Builder {
+   public:
+    Builder() = default;
+
+    /// Registers a node with the given raw identifier; returns its index.
+    /// Throws std::invalid_argument on duplicate ids.
+    NodeIndex add_node(RawId id);
+
+    /// Adds an undirected edge; self-loops and parallel edges are rejected.
+    EdgeIndex add_edge(NodeIndex u, NodeIndex v, Weight w = 1);
+
+    /// Finalizes the graph. The builder must not be reused afterwards.
+    Graph build() &&;
+
+    std::size_t num_nodes() const noexcept { return ids_.size(); }
+
+   private:
+    std::vector<RawId> ids_;
+    std::vector<Edge> edges_;
+    std::unordered_map<RawId, NodeIndex> by_id_;
+  };
+
+  std::size_t n() const noexcept { return ids_.size(); }
+  std::size_t m() const noexcept { return edges_.size(); }
+
+  RawId id(NodeIndex v) const { return ids_.at(v); }
+  std::span<const RawId> ids() const noexcept { return ids_; }
+
+  std::size_t degree(NodeIndex v) const {
+    return adjacency(v).size();
+  }
+
+  /// Neighbors of v, sorted by neighbor index.
+  std::span<const AdjEntry> adjacency(NodeIndex v) const;
+
+  std::span<const Edge> edges() const noexcept { return edges_; }
+  const Edge& edge(EdgeIndex e) const { return edges_.at(e); }
+  Weight weight(EdgeIndex e) const { return edges_.at(e).w; }
+
+  NodeIndex other_endpoint(EdgeIndex e, NodeIndex v) const;
+
+  /// Edge between u and v, if present (binary search, O(log deg)).
+  std::optional<EdgeIndex> find_edge(NodeIndex u, NodeIndex v) const;
+
+  /// Node with the given raw id, if present.
+  std::optional<NodeIndex> find_by_id(RawId id) const;
+
+  bool is_connected() const noexcept { return connected_; }
+
+  /// True when all edge weights are pairwise distinct (MST precondition).
+  bool has_distinct_weights() const noexcept { return distinct_weights_; }
+
+  RawId max_id() const noexcept { return max_id_; }
+  RawId min_id() const noexcept { return min_id_; }
+
+  /// Human-readable one-line summary, e.g. "graph(n=16, m=24, connected)".
+  std::string describe() const;
+
+ private:
+  friend class Builder;
+  Graph() = default;
+
+  std::vector<RawId> ids_;
+  std::vector<Edge> edges_;
+  std::vector<AdjEntry> adj_flat_;
+  std::vector<std::uint32_t> adj_offsets_;  // size n+1
+  std::unordered_map<RawId, NodeIndex> by_id_;
+  bool connected_ = false;
+  bool distinct_weights_ = false;
+  RawId max_id_ = 0;
+  RawId min_id_ = 0;
+};
+
+}  // namespace pls::graph

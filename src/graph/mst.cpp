@@ -1,0 +1,137 @@
+#include "graph/mst.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "graph/dsu.hpp"
+#include "util/assert.hpp"
+
+namespace pls::graph {
+
+namespace {
+
+void require_mst_input(const Graph& g) {
+  PLS_REQUIRE(g.n() >= 1);
+  PLS_REQUIRE(g.is_connected());
+  PLS_REQUIRE(g.has_distinct_weights());
+}
+
+}  // namespace
+
+std::vector<EdgeIndex> kruskal(const Graph& g) {
+  require_mst_input(g);
+  std::vector<EdgeIndex> order(g.m());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&g](EdgeIndex a, EdgeIndex b) {
+    return g.weight(a) < g.weight(b);
+  });
+  Dsu dsu(g.n());
+  std::vector<EdgeIndex> tree;
+  tree.reserve(g.n() - 1);
+  for (const EdgeIndex e : order) {
+    if (dsu.unite(g.edge(e).u, g.edge(e).v)) tree.push_back(e);
+    if (tree.size() == g.n() - 1) break;
+  }
+  PLS_ASSERT(tree.size() == g.n() - 1);
+  return tree;
+}
+
+std::vector<EdgeIndex> prim(const Graph& g) {
+  require_mst_input(g);
+  using Item = std::pair<Weight, EdgeIndex>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  std::vector<bool> in_tree(g.n(), false);
+  std::vector<EdgeIndex> tree;
+  tree.reserve(g.n() - 1);
+
+  auto add_node = [&](NodeIndex v) {
+    in_tree[v] = true;
+    for (const AdjEntry& a : g.adjacency(v))
+      if (!in_tree[a.to]) heap.emplace(g.weight(a.edge), a.edge);
+  };
+  add_node(0);
+  while (!heap.empty() && tree.size() < g.n() - 1) {
+    const auto [w, e] = heap.top();
+    heap.pop();
+    const Edge& ed = g.edge(e);
+    if (in_tree[ed.u] && in_tree[ed.v]) continue;
+    tree.push_back(e);
+    add_node(in_tree[ed.u] ? ed.v : ed.u);
+  }
+  PLS_ASSERT(tree.size() == g.n() - 1);
+  return tree;
+}
+
+Weight total_weight(const Graph& g, const std::vector<EdgeIndex>& edges) {
+  Weight sum = 0;
+  for (const EdgeIndex e : edges) sum += g.weight(e);
+  return sum;
+}
+
+BoruvkaRun boruvka_with_history(const Graph& g) {
+  require_mst_input(g);
+  BoruvkaRun run;
+  run.mst_mask.assign(g.m(), false);
+
+  Dsu dsu(g.n());
+
+  // Fragment representative = minimum-raw-id node; recomputed each phase.
+  auto snapshot_fragments = [&]() {
+    std::vector<NodeIndex> rep_min(g.n(), kInvalidNode);
+    for (NodeIndex v = 0; v < g.n(); ++v) {
+      const NodeIndex root = dsu.find(v);
+      if (rep_min[root] == kInvalidNode || g.id(v) < g.id(rep_min[root]))
+        rep_min[root] = v;
+    }
+    std::vector<NodeIndex> fragment_of(g.n());
+    for (NodeIndex v = 0; v < g.n(); ++v)
+      fragment_of[v] = rep_min[dsu.find(v)];
+    return fragment_of;
+  };
+
+  while (true) {
+    BoruvkaPhase phase;
+    phase.fragment_of = snapshot_fragments();
+    if (dsu.component_count() == 1) {
+      run.phases.push_back(std::move(phase));
+      break;
+    }
+    // Minimum outgoing edge per fragment.
+    std::unordered_map<NodeIndex, EdgeIndex> best;
+    for (EdgeIndex e = 0; e < g.m(); ++e) {
+      const Edge& ed = g.edge(e);
+      const NodeIndex fu = phase.fragment_of[ed.u];
+      const NodeIndex fv = phase.fragment_of[ed.v];
+      if (fu == fv) continue;
+      for (const NodeIndex f : {fu, fv}) {
+        auto it = best.find(f);
+        if (it == best.end() || g.weight(e) < g.weight(it->second))
+          best[f] = e;
+      }
+    }
+    PLS_ASSERT(!best.empty());
+    for (const auto& [fragment, e] : best) {
+      if (!run.mst_mask[e]) {
+        run.mst_mask[e] = true;
+        run.mst_edges.push_back(e);
+      }
+      dsu.unite(g.edge(e).u, g.edge(e).v);
+    }
+    phase.chosen = std::move(best);
+    run.phases.push_back(std::move(phase));
+  }
+
+  PLS_ASSERT(run.mst_edges.size() == g.n() - 1);
+  // Borůvka halves (at least) the fragment count per phase.
+  std::size_t bound = 1;
+  std::size_t frags = g.n();
+  while (frags > 1) {
+    frags = (frags + 1) / 2;
+    ++bound;
+  }
+  PLS_ASSERT(run.phases.size() <= bound);
+  return run;
+}
+
+}  // namespace pls::graph

@@ -1,0 +1,49 @@
+// Minimum spanning tree algorithms.
+//
+// Kruskal and Prim are reference implementations used as ground truth and
+// baselines.  Borůvka is the algorithm the O(log² n)-bit MST proof labeling
+// scheme encodes: `boruvka_with_history` records, for every phase, the
+// fragment partition and the minimum outgoing edge chosen by each fragment —
+// exactly the data the marker serializes into per-node certificates.
+//
+// All MST routines require a connected graph with pairwise distinct edge
+// weights (so the MST is unique); this matches the paper's setting.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace pls::graph {
+
+/// Edge set of the unique MST, by increasing weight.
+std::vector<EdgeIndex> kruskal(const Graph& g);
+
+/// Edge set of the unique MST (Prim from node 0), unsorted.
+std::vector<EdgeIndex> prim(const Graph& g);
+
+Weight total_weight(const Graph& g, const std::vector<EdgeIndex>& edges);
+
+struct BoruvkaPhase {
+  /// Fragment representative per node at the start of this phase; the
+  /// representative is the fragment's minimum-raw-id node.
+  std::vector<NodeIndex> fragment_of;
+  /// Minimum-weight outgoing edge per fragment, keyed by representative.
+  /// Empty in the final phase (a single fragment remains).
+  std::unordered_map<NodeIndex, EdgeIndex> chosen;
+};
+
+struct BoruvkaRun {
+  /// phases.front() is the all-singletons phase; phases.back() is the
+  /// single-fragment phase with no chosen edges.
+  std::vector<BoruvkaPhase> phases;
+  std::vector<EdgeIndex> mst_edges;
+  std::vector<bool> mst_mask;  ///< size m; mst_mask[e] iff e is an MST edge
+
+  std::size_t merge_phases() const noexcept { return phases.size() - 1; }
+};
+
+BoruvkaRun boruvka_with_history(const Graph& g);
+
+}  // namespace pls::graph

@@ -1,0 +1,54 @@
+#include "local/config.hpp"
+
+#include <algorithm>
+
+namespace pls::local {
+
+Configuration Configuration::with_state(graph::NodeIndex v, State s) const {
+  PLS_REQUIRE(v < n());
+  std::vector<State> copy = states_;
+  copy[v] = std::move(s);
+  return Configuration(graph_, std::move(copy));
+}
+
+std::size_t Configuration::hamming_distance(const Configuration& other) const {
+  PLS_REQUIRE(n() == other.n());
+  std::size_t d = 0;
+  for (std::size_t v = 0; v < states_.size(); ++v)
+    if (states_[v] != other.states_[v]) ++d;
+  return d;
+}
+
+std::size_t Configuration::max_state_bits() const noexcept {
+  std::size_t best = 0;
+  for (const State& s : states_) best = std::max(best, s.bit_size());
+  return best;
+}
+
+State random_state(std::size_t nbits, util::Rng& rng) {
+  util::BitWriter w;
+  std::size_t left = nbits;
+  while (left >= 64) {
+    w.write_uint(rng.bits(), 64);
+    left -= 64;
+  }
+  if (left > 0) w.write_uint(rng.bits(), static_cast<unsigned>(left));
+  return State::from_writer(std::move(w));
+}
+
+CorruptionResult corrupt_random_states(const Configuration& cfg, std::size_t k,
+                                       util::Rng& rng) {
+  PLS_REQUIRE(k <= cfg.n());
+  auto perm = rng.permutation(cfg.n());
+  std::vector<graph::NodeIndex> chosen;
+  chosen.reserve(k);
+  std::vector<State> states = cfg.states();
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto v = static_cast<graph::NodeIndex>(perm[i]);
+    chosen.push_back(v);
+    states[v] = random_state(states[v].bit_size(), rng);
+  }
+  return CorruptionResult{cfg.with_states(std::move(states)), std::move(chosen)};
+}
+
+}  // namespace pls::local

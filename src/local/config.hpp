@@ -1,0 +1,76 @@
+// Configurations: a network together with one state per node.
+//
+// A *configuration* (G, states) is the object distributed languages talk
+// about: the graph is the network, the state of a node is its portion of the
+// global output being certified (a parent pointer, a leader bit, an
+// adjacency list...).  Configurations share their graph via shared_ptr —
+// experiments fan a single graph out into many (legal, corrupted, spliced)
+// configurations.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/bitstring.hpp"
+#include "util/rng.hpp"
+
+namespace pls::local {
+
+using State = util::BitString;
+using Certificate = util::BitString;
+
+class Configuration {
+ public:
+  Configuration(std::shared_ptr<const graph::Graph> g,
+                std::vector<State> states)
+      : graph_(std::move(g)), states_(std::move(states)) {
+    PLS_REQUIRE(graph_ != nullptr);
+    PLS_REQUIRE(states_.size() == graph_->n());
+  }
+
+  const graph::Graph& graph() const noexcept { return *graph_; }
+  std::shared_ptr<const graph::Graph> graph_ptr() const noexcept {
+    return graph_;
+  }
+
+  std::size_t n() const noexcept { return states_.size(); }
+
+  const State& state(graph::NodeIndex v) const { return states_.at(v); }
+  const std::vector<State>& states() const noexcept { return states_; }
+
+  /// Functional update: same graph, one state replaced.
+  Configuration with_state(graph::NodeIndex v, State s) const;
+
+  /// Functional update: same graph, all states replaced.
+  Configuration with_states(std::vector<State> states) const {
+    return Configuration(graph_, std::move(states));
+  }
+
+  /// Number of nodes whose states differ (Hamming distance between two
+  /// configurations over the same graph).
+  std::size_t hamming_distance(const Configuration& other) const;
+
+  /// Maximum state size in bits over all nodes.
+  std::size_t max_state_bits() const noexcept;
+
+ private:
+  std::shared_ptr<const graph::Graph> graph_;
+  std::vector<State> states_;
+};
+
+/// Overwrites the states of `k` distinct random nodes with uniformly random
+/// bit strings of the same length (a crude, language-oblivious corruption;
+/// language-aware corruptions live with the sensitivity module).  Returns
+/// the corrupted configuration and the chosen node indices.
+struct CorruptionResult {
+  Configuration config;
+  std::vector<graph::NodeIndex> corrupted;
+};
+CorruptionResult corrupt_random_states(const Configuration& cfg, std::size_t k,
+                                       util::Rng& rng);
+
+/// Random bit string of exactly `nbits` bits.
+State random_state(std::size_t nbits, util::Rng& rng);
+
+}  // namespace pls::local

@@ -1,0 +1,45 @@
+#include "local/network.hpp"
+
+#include "util/assert.hpp"
+
+namespace pls::local {
+
+SyncNetwork::SyncNetwork(std::shared_ptr<const graph::Graph> g,
+                         std::vector<State> init)
+    : graph_(std::move(g)), states_(std::move(init)) {
+  PLS_REQUIRE(graph_ != nullptr);
+  PLS_REQUIRE(states_.size() == graph_->n());
+}
+
+RoundStats SyncNetwork::step(const StepFn& step) {
+  RoundStats stats;
+  const graph::Graph& g = *graph_;
+  std::vector<State> next(states_.size());
+  std::vector<NeighborState> scratch;
+  for (graph::NodeIndex v = 0; v < g.n(); ++v) {
+    scratch.clear();
+    for (const graph::AdjEntry& a : g.adjacency(v)) {
+      scratch.push_back(NeighborState{g.id(a.to), g.weight(a.edge),
+                                      &states_[a.to]});
+      stats.message_bits += states_[a.to].bit_size();
+    }
+    next[v] = step(g.id(v), states_[v], scratch);
+    if (next[v] != states_[v]) ++stats.changed_nodes;
+  }
+  states_ = std::move(next);
+  return stats;
+}
+
+std::size_t SyncNetwork::run_until_quiescent(const StepFn& step,
+                                             std::size_t max_rounds) {
+  for (std::size_t round = 0; round < max_rounds; ++round) {
+    const RoundStats stats = this->step(step);
+    if (stats.changed_nodes == 0) return round + 1;
+  }
+  // One more probe round to detect non-quiescence is implicit: caller sees
+  // max_rounds + 1 as "did not converge".
+  RoundStats probe = this->step(step);
+  return probe.changed_nodes == 0 ? max_rounds : max_rounds + 1;
+}
+
+}  // namespace pls::local

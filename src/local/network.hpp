@@ -1,0 +1,64 @@
+// Synchronous LOCAL-model execution.
+//
+// SyncNetwork runs synchronous rounds over a configuration's graph: in each
+// round every node reads the states of all its neighbors (the standard
+// state-reading model used by self-stabilizing protocols) and computes a new
+// state; all updates are applied simultaneously.  The runner accounts for
+// message volume (bits crossing each edge per round) so experiments can
+// report communication cost.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "local/config.hpp"
+
+namespace pls::local {
+
+struct NeighborState {
+  graph::RawId id = 0;
+  graph::Weight edge_weight = 1;
+  const State* state = nullptr;
+};
+
+/// One node's transition: (node's id, old state, neighbor states) -> state.
+using StepFn = std::function<State(graph::RawId, const State&,
+                                   std::span<const NeighborState>)>;
+
+struct RoundStats {
+  std::size_t changed_nodes = 0;
+  std::size_t message_bits = 0;  ///< total state bits exchanged this round
+};
+
+class SyncNetwork {
+ public:
+  SyncNetwork(std::shared_ptr<const graph::Graph> g, std::vector<State> init);
+
+  explicit SyncNetwork(const Configuration& cfg)
+      : SyncNetwork(cfg.graph_ptr(), cfg.states()) {}
+
+  /// Executes one synchronous round of `step` at every node.
+  RoundStats step(const StepFn& step);
+
+  /// Runs until no state changes or `max_rounds` is hit; returns the number
+  /// of rounds executed (== max_rounds + 1 if it did not quiesce, so callers
+  /// can distinguish convergence from exhaustion).
+  std::size_t run_until_quiescent(const StepFn& step, std::size_t max_rounds);
+
+  const graph::Graph& graph() const noexcept { return *graph_; }
+  const std::vector<State>& states() const noexcept { return states_; }
+  State& mutable_state(graph::NodeIndex v) { return states_.at(v); }
+
+  Configuration configuration() const {
+    return Configuration(graph_, states_);
+  }
+
+ private:
+  std::shared_ptr<const graph::Graph> graph_;
+  std::vector<State> states_;
+};
+
+}  // namespace pls::local

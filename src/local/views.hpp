@@ -1,0 +1,69 @@
+// Verifier views: exactly what a node may read during the verification round.
+//
+// The decoder of a proof labeling scheme runs for a single round.  In the
+// strict 2005 model a node sees its own identity, state and certificate plus
+// the *certificates* of its neighbors; later formalizations also let the
+// round carry neighbor ids and states.  Both are modeled here and every
+// scheme declares which visibility it needs — the difference is measurable
+// (experiment T6) via the strict adapter.
+//
+// Edge weights are structural knowledge of the node's ports and are visible
+// in both modes (MST needs them; this matches the literature).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "local/config.hpp"
+
+namespace pls::local {
+
+enum class Visibility {
+  kCertificatesOnly,  ///< strict KKP: neighbor certificates only
+  kExtended,          ///< neighbor ids and states also visible
+};
+
+struct NeighborView {
+  const Certificate* cert = nullptr;  ///< always visible
+  const State* state = nullptr;       ///< kExtended only, else nullptr
+  graph::RawId id = 0;                ///< kExtended only, else 0
+  bool id_visible = false;
+  graph::Weight edge_weight = 1;      ///< structural, always visible
+};
+
+class VerifierContext {
+ public:
+  VerifierContext(graph::RawId id, const State& state, const Certificate& cert,
+                  std::span<const NeighborView> neighbors, Visibility mode,
+                  std::size_t network_size)
+      : id_(id),
+        state_(&state),
+        cert_(&cert),
+        neighbors_(neighbors),
+        mode_(mode),
+        network_size_(network_size) {}
+
+  graph::RawId id() const noexcept { return id_; }
+  const State& state() const noexcept { return *state_; }
+  const Certificate& certificate() const noexcept { return *cert_; }
+  std::span<const NeighborView> neighbors() const noexcept {
+    return neighbors_;
+  }
+  std::size_t degree() const noexcept { return neighbors_.size(); }
+  Visibility mode() const noexcept { return mode_; }
+
+  /// n is common knowledge in the paper's setting (certificate field widths
+  /// may depend on it).  Schemes may use it for width computations only.
+  std::size_t network_size() const noexcept { return network_size_; }
+
+ private:
+  graph::RawId id_;
+  const State* state_;
+  const Certificate* cert_;
+  std::span<const NeighborView> neighbors_;
+  Visibility mode_;
+  std::size_t network_size_;
+};
+
+}  // namespace pls::local

@@ -1,0 +1,52 @@
+// Adversarial provers.
+//
+// Soundness quantifies over *every* certificate assignment, which no test can
+// enumerate in general.  This suite attacks a scheme on an illegal
+// configuration from several directions and reports the smallest rejection
+// count any attack achieved:
+//
+//   * trivial certificates (empty / all-zeros at the scheme's size bound),
+//   * honest-splice: certificates copied from the marker's output on *legal*
+//     configurations over the same graph (the paper's crossing attack),
+//   * random certificates, and
+//   * hill-climbing: local search over per-node certificate replacements that
+//     actively minimizes the number of rejecting nodes.
+//
+// For tiny instances, `exhaustive_min_rejections` enumerates every
+// certificate assignment up to a bit budget — real soundness, brute-forced.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "pls/engine.hpp"
+#include "util/rng.hpp"
+
+namespace pls::core {
+
+struct AttackOptions {
+  std::size_t random_trials = 8;
+  std::size_t splice_sources = 4;    ///< legal instances to copy labels from
+  std::size_t hill_climb_steps = 400;
+  std::size_t max_cert_bits = 128;   ///< random certificate length cap
+};
+
+struct AttackReport {
+  std::size_t min_rejections = 0;   ///< best (for the adversary) outcome
+  std::string best_strategy;        ///< which attack achieved it
+  Labeling best_labeling;           ///< the witnessing certificates
+};
+
+/// Attacks `cfg` (need not be illegal; on legal configs this measures how
+/// robust acceptance is).  Returns the minimum rejection count achieved.
+AttackReport attack(const Scheme& scheme, const local::Configuration& cfg,
+                    util::Rng& rng, const AttackOptions& options = {});
+
+/// Exact minimum rejection count over *all* labelings where every certificate
+/// has at most `max_bits` bits.  Cost is (2^(max_bits+1)-1)^n verdicts; keep
+/// n and max_bits tiny.
+std::size_t exhaustive_min_rejections(const Scheme& scheme,
+                                      const local::Configuration& cfg,
+                                      std::size_t max_bits);
+
+}  // namespace pls::core

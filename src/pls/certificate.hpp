@@ -1,0 +1,47 @@
+// Labelings: one certificate per node, with proof-size accounting.
+//
+// The proof size of a scheme — the paper's complexity measure — is the
+// maximum certificate length (in bits) the marker assigns over all nodes of
+// an n-node network.  Labeling tracks exactly that.
+#pragma once
+
+#include <vector>
+
+#include "local/config.hpp"
+
+namespace pls::core {
+
+using local::Certificate;
+
+struct Labeling {
+  std::vector<Certificate> certs;
+
+  std::size_t size() const noexcept { return certs.size(); }
+
+  const Certificate& at(graph::NodeIndex v) const { return certs.at(v); }
+
+  /// Proof size: maximum certificate bits over all nodes.
+  std::size_t max_bits() const noexcept {
+    std::size_t best = 0;
+    for (const Certificate& c : certs)
+      if (c.bit_size() > best) best = c.bit_size();
+    return best;
+  }
+
+  std::size_t total_bits() const noexcept {
+    std::size_t sum = 0;
+    for (const Certificate& c : certs) sum += c.bit_size();
+    return sum;
+  }
+
+  /// Every certificate truncated to its first `nbits` bits (used by the
+  /// lower-bound probes to model a scheme restricted to a bit budget).
+  Labeling prefix_mask(std::size_t nbits) const {
+    Labeling out;
+    out.certs.reserve(certs.size());
+    for (const Certificate& c : certs) out.certs.push_back(c.prefix(nbits));
+    return out;
+  }
+};
+
+}  // namespace pls::core

@@ -1,0 +1,124 @@
+#include "pls/compose.hpp"
+
+#include <stdexcept>
+
+#include "util/assert.hpp"
+
+namespace pls::core {
+
+namespace {
+
+struct SplitCert {
+  Certificate first;
+  Certificate second;
+};
+
+std::optional<SplitCert> split(const Certificate& cert) {
+  util::BitReader r = cert.reader();
+  const auto len1 = r.read_varint();
+  if (!len1 || *len1 > r.remaining()) return std::nullopt;
+  util::BitWriter w1;
+  for (std::uint64_t i = 0; i < *len1; ++i) {
+    const auto bit = r.read_bit();
+    if (!bit) return std::nullopt;
+    w1.write_bit(*bit);
+  }
+  util::BitWriter w2;
+  while (r.remaining() > 0) {
+    const auto bit = r.read_bit();
+    if (!bit) return std::nullopt;
+    w2.write_bit(*bit);
+  }
+  return SplitCert{Certificate::from_writer(std::move(w1)),
+                   Certificate::from_writer(std::move(w2))};
+}
+
+}  // namespace
+
+ConjunctionLanguage::ConjunctionLanguage(const Language& a, const Language& b,
+                                         const Language& witness)
+    : a_(a),
+      b_(b),
+      witness_(witness),
+      name_(std::string(a.name()) + "&" + std::string(b.name())) {}
+
+bool ConjunctionLanguage::contains(const local::Configuration& cfg) const {
+  return a_.contains(cfg) && b_.contains(cfg);
+}
+
+local::Configuration ConjunctionLanguage::sample_legal(
+    std::shared_ptr<const graph::Graph> g, util::Rng& rng) const {
+  local::Configuration cfg = witness_.sample_legal(std::move(g), rng);
+  if (!contains(cfg))
+    throw std::logic_error(
+        "ConjunctionLanguage: witness sampler produced a configuration "
+        "outside the conjunction");
+  return cfg;
+}
+
+ConjunctionScheme::ConjunctionScheme(const ConjunctionLanguage& language,
+                                     const Scheme& s1, const Scheme& s2)
+    : language_(language),
+      s1_(s1),
+      s2_(s2),
+      visibility_(s1.visibility() == local::Visibility::kExtended ||
+                          s2.visibility() == local::Visibility::kExtended
+                      ? local::Visibility::kExtended
+                      : local::Visibility::kCertificatesOnly),
+      name_(std::string(s1.name()) + "&" + std::string(s2.name())) {
+  PLS_REQUIRE(&s1.language() == &language.first());
+  PLS_REQUIRE(&s2.language() == &language.second());
+}
+
+Labeling ConjunctionScheme::mark(const local::Configuration& cfg) const {
+  const Labeling lab1 = s1_.mark(cfg);
+  const Labeling lab2 = s2_.mark(cfg);
+  Labeling out;
+  out.certs.reserve(cfg.n());
+  for (graph::NodeIndex v = 0; v < cfg.n(); ++v) {
+    util::BitWriter w;
+    w.write_varint(lab1.certs[v].bit_size());
+    w.write_bits(lab1.certs[v].bytes(), lab1.certs[v].bit_size());
+    w.write_bits(lab2.certs[v].bytes(), lab2.certs[v].bit_size());
+    out.certs.push_back(Certificate::from_writer(std::move(w)));
+  }
+  return out;
+}
+
+bool ConjunctionScheme::verify(const local::VerifierContext& ctx) const {
+  const auto own = split(ctx.certificate());
+  if (!own) return false;
+
+  std::vector<SplitCert> halves;
+  halves.reserve(ctx.degree());
+  for (const local::NeighborView& nb : ctx.neighbors()) {
+    auto h = split(*nb.cert);
+    if (!h) return false;
+    halves.push_back(std::move(*h));
+  }
+
+  auto run_half = [&](const Scheme& scheme, const Certificate& own_half,
+                      auto pick) {
+    std::vector<local::NeighborView> views(ctx.degree());
+    for (std::size_t i = 0; i < ctx.degree(); ++i) {
+      views[i] = ctx.neighbors()[i];
+      views[i].cert = pick(halves[i]);
+    }
+    const local::VerifierContext sub(ctx.id(), ctx.state(), own_half, views,
+                                     ctx.mode(), ctx.network_size());
+    return scheme.verify(sub);
+  };
+
+  return run_half(s1_, own->first,
+                  [](const SplitCert& h) { return &h.first; }) &&
+         run_half(s2_, own->second,
+                  [](const SplitCert& h) { return &h.second; });
+}
+
+std::size_t ConjunctionScheme::proof_size_bound(std::size_t n,
+                                                std::size_t state_bits) const {
+  return s1_.proof_size_bound(n, state_bits) +
+         s2_.proof_size_bound(n, state_bits) + 64;
+}
+
+}  // namespace pls::core

@@ -1,0 +1,72 @@
+// Scheme composition: certifying conjunctions.
+//
+// Proof labeling schemes compose: if L1 and L2 have schemes of proof size
+// p1(n) and p2(n) over the same state encoding, then L1 ∧ L2 has a scheme of
+// size p1 + p2 + O(1) — concatenate the certificates (with a length prefix so
+// the verifier can split them) and run both verifiers.  Completeness is
+// immediate; soundness holds because a configuration outside the conjunction
+// is outside one of the conjuncts, whose verifier then rejects somewhere for
+// *any* certificate half.  The paper uses this implicitly whenever a scheme
+// layers several certified structures (e.g. MST = log n layered fragment
+// certifications + a spanning-tree layer).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "pls/scheme.hpp"
+
+namespace pls::core {
+
+/// The intersection of two languages over the same state encoding.
+class ConjunctionLanguage final : public Language {
+ public:
+  /// Both operands must outlive the conjunction.  `sample_legal` draws from
+  /// `witness` (the operand whose witnesses are expected to satisfy both;
+  /// callers pick languages whose witnesses coincide, e.g. stl ∧ acyclic-ish
+  /// pairs) and *checks* membership in both, throwing if the sample fails.
+  ConjunctionLanguage(const Language& a, const Language& b,
+                      const Language& witness);
+
+  std::string_view name() const noexcept override { return name_; }
+  bool contains(const local::Configuration& cfg) const override;
+  local::Configuration sample_legal(std::shared_ptr<const graph::Graph> g,
+                                    util::Rng& rng) const override;
+
+  const Language& first() const noexcept { return a_; }
+  const Language& second() const noexcept { return b_; }
+
+ private:
+  const Language& a_;
+  const Language& b_;
+  const Language& witness_;
+  std::string name_;
+};
+
+/// Certificate = [varint |c1|][c1][c2]; verify = both verifiers accept on
+/// their half.  Visibility is the weaker (extended if either needs it).
+class ConjunctionScheme final : public Scheme {
+ public:
+  ConjunctionScheme(const ConjunctionLanguage& language, const Scheme& s1,
+                    const Scheme& s2);
+
+  std::string_view name() const noexcept override { return name_; }
+  const Language& language() const noexcept override { return language_; }
+  local::Visibility visibility() const noexcept override {
+    return visibility_;
+  }
+
+  Labeling mark(const local::Configuration& cfg) const override;
+  bool verify(const local::VerifierContext& ctx) const override;
+  std::size_t proof_size_bound(std::size_t n,
+                               std::size_t state_bits) const override;
+
+ private:
+  const ConjunctionLanguage& language_;
+  const Scheme& s1_;
+  const Scheme& s2_;
+  local::Visibility visibility_;
+  std::string name_;
+};
+
+}  // namespace pls::core

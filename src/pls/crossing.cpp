@@ -1,0 +1,121 @@
+#include "pls/crossing.hpp"
+
+#include <unordered_set>
+
+#include "util/assert.hpp"
+
+namespace pls::core {
+
+CrossingFamily make_family(const Scheme& scheme,
+                           std::vector<local::Configuration> configs,
+                           std::vector<bool> left) {
+  PLS_REQUIRE(!configs.empty());
+  CrossingFamily family;
+  family.left = std::move(left);
+  PLS_REQUIRE(family.left.size() == configs.front().n());
+  const graph::Graph* g = &configs.front().graph();
+  for (auto& cfg : configs) {
+    PLS_REQUIRE(&cfg.graph() == g);
+    PLS_REQUIRE(scheme.language().contains(cfg));
+    Labeling lab = scheme.mark(cfg);
+    family.instances.push_back(LabeledInstance{std::move(cfg), std::move(lab)});
+  }
+  return family;
+}
+
+std::vector<graph::NodeIndex> boundary_nodes(const graph::Graph& g,
+                                             const std::vector<bool>& left) {
+  PLS_REQUIRE(left.size() == g.n());
+  std::vector<graph::NodeIndex> out;
+  for (graph::NodeIndex v = 0; v < g.n(); ++v) {
+    bool on_boundary = false;
+    for (const graph::AdjEntry& a : g.adjacency(v))
+      if (left[a.to] != left[v]) {
+        on_boundary = true;
+        break;
+      }
+    if (on_boundary) out.push_back(v);
+  }
+  return out;
+}
+
+PairProbe probe_pair(const Scheme& scheme, const CrossingFamily& family,
+                     std::size_t ia, std::size_t ib, std::size_t mask_bits) {
+  PLS_REQUIRE(ia < family.instances.size() && ib < family.instances.size());
+  const LabeledInstance& A = family.instances[ia];
+  const LabeledInstance& B = family.instances[ib];
+  const graph::Graph& g = A.cfg.graph();
+  const std::vector<bool>& left = family.left;
+
+  // Hybrid configuration and hybrid certificates.
+  std::vector<local::State> states;
+  states.reserve(g.n());
+  Labeling hybrid;
+  hybrid.certs.reserve(g.n());
+  for (graph::NodeIndex v = 0; v < g.n(); ++v) {
+    const LabeledInstance& origin = left[v] ? A : B;
+    states.push_back(origin.cfg.state(v));
+    hybrid.certs.push_back(origin.lab.certs[v]);
+  }
+  const local::Configuration spliced(A.cfg.graph_ptr(), std::move(states));
+
+  PairProbe probe;
+  probe.spliced_illegal = !scheme.language().contains(spliced);
+  probe.rejections_full =
+      run_verifier(scheme, spliced, hybrid).rejections();
+
+  // Views identical at the mask: every node incident to a cut edge must have
+  // certificates (and, in extended visibility, states) that agree between A
+  // and B — then each node's masked view in the hybrid coincides with its
+  // masked view in its origin instance, where the verifier accepts.
+  probe.views_identical = true;
+  const bool extended = scheme.visibility() == local::Visibility::kExtended;
+  for (const graph::NodeIndex v : boundary_nodes(g, left)) {
+    const Certificate& ca = A.lab.certs[v];
+    const Certificate& cb = B.lab.certs[v];
+    if (ca.prefix(mask_bits) != cb.prefix(mask_bits)) {
+      probe.views_identical = false;
+      break;
+    }
+    if (extended && A.cfg.state(v) != B.cfg.state(v)) {
+      probe.views_identical = false;
+      break;
+    }
+  }
+  return probe;
+}
+
+SweepRow sweep_mask(const Scheme& scheme, const CrossingFamily& family,
+                    std::size_t mask_bits, std::size_t max_pairs) {
+  SweepRow row;
+  row.mask_bits = mask_bits;
+  const std::size_t k = family.instances.size();
+  for (std::size_t i = 0; i < k && row.pairs_tested < max_pairs; ++i) {
+    for (std::size_t j = i + 1; j < k && row.pairs_tested < max_pairs; ++j) {
+      const PairProbe probe = probe_pair(scheme, family, i, j, mask_bits);
+      ++row.pairs_tested;
+      if (probe.spliced_illegal) ++row.illegal_pairs;
+      if (probe.fooled()) ++row.fooled_pairs;
+    }
+  }
+  return row;
+}
+
+std::size_t distinct_boundary_signatures(const CrossingFamily& family,
+                                         std::size_t mask_bits) {
+  PLS_REQUIRE(!family.instances.empty());
+  const graph::Graph& g = family.instances.front().cfg.graph();
+  const auto boundary = boundary_nodes(g, family.left);
+  std::unordered_set<std::size_t> seen;
+  for (const LabeledInstance& inst : family.instances) {
+    std::size_t h = 1469598103934665603ull;
+    for (const graph::NodeIndex v : boundary) {
+      const Certificate masked = inst.lab.certs[v].prefix(mask_bits);
+      h = h * 1099511628211ull + masked.hash();
+    }
+    seen.insert(h);
+  }
+  return seen.size();
+}
+
+}  // namespace pls::core

@@ -1,0 +1,87 @@
+// The crossing engine: the paper's lower-bound machinery, made executable.
+//
+// The cut-and-splice argument: take two legal labeled instances over the same
+// graph and a bipartition (left, right) of the nodes; build the hybrid
+// configuration that copies states (and certificates) from instance A on the
+// left and from instance B on the right.  If
+//   (1) the hybrid configuration is illegal, and
+//   (2) at a bit budget b, the certificates of every node incident to the cut
+//       agree between A and B on their first b bits (and, in extended
+//       visibility, the cut nodes' states agree),
+// then every node's b-bit view in the hybrid equals its view in a legal
+// instance, where it must accept — so *any* verifier limited to b-bit
+// certificates accepts an illegal instance: it is fooled.  Pigeonhole over a
+// large instance family forces (2) whenever 2^(b · |boundary|) is smaller
+// than the number of pairwise-spliceable instances, which yields the Ω(log n)
+// lower bounds for spanning tree and leader, and Ω(s) for agreement.
+//
+// probe_pair checks (1) and (2) exactly; sweep_mask counts fooled pairs as a
+// function of b; distinct_boundary_signatures reports how many distinct
+// boundary certificate tuples the scheme actually uses — the log of which is
+// the certificate bits the scheme provably needs at the boundary.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "pls/engine.hpp"
+
+namespace pls::core {
+
+struct LabeledInstance {
+  local::Configuration cfg;
+  Labeling lab;
+};
+
+/// A family of legal labeled instances over one common graph, plus the
+/// bipartition used for splicing.
+struct CrossingFamily {
+  std::vector<LabeledInstance> instances;
+  std::vector<bool> left;  ///< size n
+};
+
+/// Marks every configuration with the scheme's prover.  All configurations
+/// must be legal and share the same graph.
+CrossingFamily make_family(const Scheme& scheme,
+                           std::vector<local::Configuration> configs,
+                           std::vector<bool> left);
+
+/// Nodes incident to at least one cut edge (edges with endpoints on both
+/// sides of `left`).
+std::vector<graph::NodeIndex> boundary_nodes(const graph::Graph& g,
+                                             const std::vector<bool>& left);
+
+struct PairProbe {
+  bool spliced_illegal = false;
+  /// All nodes' b-bit views in the hybrid equal their views in their origin
+  /// instance (the precondition for the fooling argument).
+  bool views_identical = false;
+  /// What the *actual* (full-width) verifier does on the hybrid certificates;
+  /// for a sound scheme this is >= 1 whenever the splice is illegal.
+  std::size_t rejections_full = 0;
+
+  bool fooled() const noexcept { return spliced_illegal && views_identical; }
+};
+
+/// Splices left(A=ia) with right(B=ib) under a b-bit certificate mask.
+PairProbe probe_pair(const Scheme& scheme, const CrossingFamily& family,
+                     std::size_t ia, std::size_t ib, std::size_t mask_bits);
+
+struct SweepRow {
+  std::size_t mask_bits = 0;
+  std::size_t pairs_tested = 0;
+  std::size_t illegal_pairs = 0;  ///< splice produced an illegal configuration
+  std::size_t fooled_pairs = 0;   ///< illegal and views identical at this mask
+};
+
+/// Probes all unordered instance pairs (capped at `max_pairs`).
+SweepRow sweep_mask(const Scheme& scheme, const CrossingFamily& family,
+                    std::size_t mask_bits, std::size_t max_pairs = 10000);
+
+/// Number of distinct boundary certificate tuples across the family at the
+/// given mask.  ceil(log2(.)) of this is the boundary information the scheme
+/// genuinely transmits.
+std::size_t distinct_boundary_signatures(const CrossingFamily& family,
+                                         std::size_t mask_bits);
+
+}  // namespace pls::core

@@ -1,0 +1,59 @@
+#include "pls/engine.hpp"
+
+#include "util/assert.hpp"
+
+namespace pls::core {
+
+Verdict run_verifier(const Scheme& scheme, const local::Configuration& cfg,
+                     const Labeling& labeling) {
+  PLS_REQUIRE(labeling.size() == cfg.n());
+  const graph::Graph& g = cfg.graph();
+  const local::Visibility mode = scheme.visibility();
+
+  Verdict verdict;
+  verdict.accept.resize(cfg.n());
+  std::vector<local::NeighborView> scratch;
+  for (graph::NodeIndex v = 0; v < g.n(); ++v) {
+    scratch.clear();
+    for (const graph::AdjEntry& a : g.adjacency(v)) {
+      local::NeighborView nv;
+      nv.cert = &labeling.certs[a.to];
+      nv.edge_weight = g.weight(a.edge);
+      if (mode == local::Visibility::kExtended) {
+        nv.state = &cfg.state(a.to);
+        nv.id = g.id(a.to);
+        nv.id_visible = true;
+      }
+      scratch.push_back(nv);
+    }
+    const local::VerifierContext ctx(g.id(v), cfg.state(v), labeling.certs[v],
+                                     scratch, mode, g.n());
+    verdict.accept[v] = scheme.verify(ctx);
+  }
+  return verdict;
+}
+
+bool completeness_holds(const Scheme& scheme,
+                        const local::Configuration& cfg) {
+  PLS_REQUIRE(scheme.language().contains(cfg));
+  const Labeling labeling = scheme.mark(cfg);
+  return run_verifier(scheme, cfg, labeling).all_accept();
+}
+
+std::size_t verification_round_bits(const Scheme& scheme,
+                                    const local::Configuration& cfg,
+                                    const Labeling& labeling) {
+  PLS_REQUIRE(labeling.size() == cfg.n());
+  const graph::Graph& g = cfg.graph();
+  std::size_t bits = 0;
+  for (const graph::Edge& e : g.edges()) {
+    for (const graph::NodeIndex v : {e.u, e.v}) {
+      bits += labeling.certs[v].bit_size();
+      if (scheme.visibility() == local::Visibility::kExtended)
+        bits += cfg.state(v).bit_size() + 64;  // state + id
+    }
+  }
+  return bits;
+}
+
+}  // namespace pls::core

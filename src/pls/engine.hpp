@@ -1,0 +1,54 @@
+// Verification engine: runs a scheme's decoder over a configuration.
+//
+// The engine materializes, for every node, exactly the view the visibility
+// mode allows (local/views.hpp) and evaluates the verifier once per node —
+// i.e., it simulates the single verification round of the LOCAL model.
+#pragma once
+
+#include <vector>
+
+#include "local/config.hpp"
+#include "pls/scheme.hpp"
+
+namespace pls::core {
+
+struct Verdict {
+  std::vector<bool> accept;  ///< per node
+
+  std::size_t rejections() const noexcept {
+    std::size_t k = 0;
+    for (const bool a : accept)
+      if (!a) ++k;
+    return k;
+  }
+  bool all_accept() const noexcept { return rejections() == 0; }
+
+  std::vector<graph::NodeIndex> rejecting_nodes() const {
+    std::vector<graph::NodeIndex> out;
+    for (graph::NodeIndex v = 0; v < accept.size(); ++v)
+      if (!accept[v]) out.push_back(v);
+    return out;
+  }
+
+  /// Per-node rejection mask (the complement of `accept`).
+  std::vector<bool> rejected() const {
+    std::vector<bool> out(accept.size());
+    for (std::size_t v = 0; v < accept.size(); ++v) out[v] = !accept[v];
+    return out;
+  }
+};
+
+/// Runs the verifier at every node with the given certificates.
+Verdict run_verifier(const Scheme& scheme, const local::Configuration& cfg,
+                     const Labeling& labeling);
+
+/// Completeness check: marks cfg (must be legal) and verifies all-accept.
+bool completeness_holds(const Scheme& scheme, const local::Configuration& cfg);
+
+/// Message-bits accounting for the verification round: every edge carries
+/// each endpoint's certificate (plus state/id in Extended mode).
+std::size_t verification_round_bits(const Scheme& scheme,
+                                    const local::Configuration& cfg,
+                                    const Labeling& labeling);
+
+}  // namespace pls::core

@@ -1,0 +1,38 @@
+// Distributed languages: the predicates proof labeling schemes certify.
+//
+// A distributed language is a Turing-decidable set of configurations
+// (definition in Section 2 of the paper).  `contains` is the centralized
+// ground-truth decider; `sample_legal` witnesses constructibility (every
+// graph admits a legal state assignment), which the paper assumes throughout.
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "graph/graph.hpp"
+#include "local/config.hpp"
+#include "util/rng.hpp"
+
+namespace pls::core {
+
+class Language {
+ public:
+  virtual ~Language() = default;
+
+  Language() = default;
+  Language(const Language&) = delete;
+  Language& operator=(const Language&) = delete;
+
+  virtual std::string_view name() const noexcept = 0;
+
+  /// Centralized decider (ground truth for every experiment).
+  virtual bool contains(const local::Configuration& cfg) const = 0;
+
+  /// Produces a legal configuration on the given graph.  Randomness lets
+  /// experiments draw distinct witnesses (different roots, leaders, ...).
+  /// Preconditions (e.g. weighted graph for MST) are stated per language.
+  virtual local::Configuration sample_legal(
+      std::shared_ptr<const graph::Graph> g, util::Rng& rng) const = 0;
+};
+
+}  // namespace pls::core

@@ -1,0 +1,55 @@
+// Proof labeling schemes: the prover/verifier pair (M, D).
+//
+// A scheme is correct for its language L when
+//   * completeness: for every (G, states) in L, the marker's certificates
+//     make the verifier accept at every node, and
+//   * soundness: for every (G, states) not in L and *every* certificate
+//     assignment, the verifier rejects at >= 1 node.
+// The engine (engine.hpp) checks the first property directly and attacks the
+// second with the adversary suite (adversary.hpp).
+//
+// Contract notes:
+//   * `mark` has the precondition language().contains(cfg) — the prover is an
+//     oracle that only ever sees legal configurations.
+//   * `verify` must be total: certificates come from an adversary, so any
+//     parse failure or malformed field is a *reject*, never a throw/UB.
+#pragma once
+
+#include <string_view>
+
+#include "local/views.hpp"
+#include "pls/certificate.hpp"
+#include "pls/language.hpp"
+
+namespace pls::core {
+
+class Scheme {
+ public:
+  virtual ~Scheme() = default;
+
+  Scheme() = default;
+  Scheme(const Scheme&) = delete;
+  Scheme& operator=(const Scheme&) = delete;
+
+  virtual std::string_view name() const noexcept = 0;
+
+  virtual const Language& language() const noexcept = 0;
+
+  /// What the verification round carries (see local/views.hpp).
+  virtual local::Visibility visibility() const noexcept {
+    return local::Visibility::kExtended;
+  }
+
+  /// The marker (prover). Precondition: language().contains(cfg).
+  virtual Labeling mark(const local::Configuration& cfg) const = 0;
+
+  /// The decoder (verifier), run independently at every node.
+  virtual bool verify(const local::VerifierContext& ctx) const = 0;
+
+  /// Proof-size upper bound for n-node networks with `state_bits`-bit states
+  /// (the theory column of the experiment tables).
+  virtual std::size_t proof_size_bound(std::size_t n,
+                                       std::size_t state_bits) const = 0;
+};
+
+}  // namespace pls::core

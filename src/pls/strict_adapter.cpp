@@ -1,0 +1,98 @@
+#include "pls/strict_adapter.hpp"
+
+#include "util/assert.hpp"
+
+namespace pls::core {
+
+namespace {
+
+struct Claim {
+  graph::RawId id = 0;
+  local::State state;
+  Certificate inner;
+};
+
+std::optional<Claim> parse(const Certificate& cert) {
+  util::BitReader r = cert.reader();
+  Claim c;
+  const auto id = r.read_varint();
+  if (!id) return std::nullopt;
+  c.id = *id;
+  const auto state_bits = r.read_varint();
+  if (!state_bits || *state_bits > r.remaining()) return std::nullopt;
+  util::BitWriter sw;
+  for (std::uint64_t i = 0; i < *state_bits; ++i) {
+    const auto bit = r.read_bit();
+    if (!bit) return std::nullopt;
+    sw.write_bit(*bit);
+  }
+  c.state = local::State::from_writer(std::move(sw));
+  util::BitWriter cw;
+  while (r.remaining() > 0) {
+    const auto bit = r.read_bit();
+    if (!bit) return std::nullopt;
+    cw.write_bit(*bit);
+  }
+  c.inner = Certificate::from_writer(std::move(cw));
+  return c;
+}
+
+}  // namespace
+
+StrictAdapter::StrictAdapter(const Scheme& inner)
+    : inner_(inner),
+      name_(std::string("strict(") + std::string(inner.name()) + ")") {
+  PLS_REQUIRE(inner.visibility() == local::Visibility::kExtended);
+}
+
+Labeling StrictAdapter::mark(const local::Configuration& cfg) const {
+  const Labeling inner = inner_.mark(cfg);
+  const graph::Graph& g = cfg.graph();
+  Labeling out;
+  out.certs.reserve(cfg.n());
+  for (graph::NodeIndex v = 0; v < cfg.n(); ++v) {
+    util::BitWriter w;
+    w.write_varint(g.id(v));
+    w.write_varint(cfg.state(v).bit_size());
+    w.write_bits(cfg.state(v).bytes(), cfg.state(v).bit_size());
+    w.write_bits(inner.certs[v].bytes(), inner.certs[v].bit_size());
+    out.certs.push_back(Certificate::from_writer(std::move(w)));
+  }
+  return out;
+}
+
+bool StrictAdapter::verify(const local::VerifierContext& ctx) const {
+  const auto own = parse(ctx.certificate());
+  if (!own) return false;
+  // A node vouches for its own claim; neighbors' claims are vouched for by
+  // the neighbors themselves.
+  if (own->id != ctx.id() || own->state != ctx.state()) return false;
+
+  std::vector<Claim> claims;
+  claims.reserve(ctx.degree());
+  for (const local::NeighborView& nb : ctx.neighbors()) {
+    auto claim = parse(*nb.cert);
+    if (!claim) return false;
+    claims.push_back(std::move(claim.value()));
+  }
+
+  std::vector<local::NeighborView> synthetic(ctx.degree());
+  for (std::size_t i = 0; i < claims.size(); ++i) {
+    synthetic[i].cert = &claims[i].inner;
+    synthetic[i].state = &claims[i].state;
+    synthetic[i].id = claims[i].id;
+    synthetic[i].id_visible = true;
+    synthetic[i].edge_weight = ctx.neighbors()[i].edge_weight;
+  }
+  const local::VerifierContext inner_ctx(
+      ctx.id(), ctx.state(), own->inner, synthetic,
+      local::Visibility::kExtended, ctx.network_size());
+  return inner_.verify(inner_ctx);
+}
+
+std::size_t StrictAdapter::proof_size_bound(std::size_t n,
+                                            std::size_t state_bits) const {
+  return inner_.proof_size_bound(n, state_bits) + state_bits + 96;
+}
+
+}  // namespace pls::core

@@ -1,0 +1,43 @@
+// Strict-visibility adapter (experiment T6).
+//
+// The 2005 model's verification round carries certificates only.  Any scheme
+// written against the extended view (neighbor ids and states visible) can be
+// mechanically converted: the adapter prepends each node's (id, state) to its
+// certificate, and the adapted verifier (a) checks that a node's own claim is
+// truthful and (b) reconstructs the extended views of all neighbors from
+// their claims.  If every node accepts, every claim is truthful — a lying
+// node rejects itself — so the inner scheme's soundness carries over.  The
+// measurable cost is +(64 + s + O(1)) certificate bits per node.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "pls/scheme.hpp"
+
+namespace pls::core {
+
+class StrictAdapter final : public Scheme {
+ public:
+  /// The inner scheme must outlive the adapter.
+  explicit StrictAdapter(const Scheme& inner);
+
+  std::string_view name() const noexcept override { return name_; }
+  const Language& language() const noexcept override {
+    return inner_.language();
+  }
+  local::Visibility visibility() const noexcept override {
+    return local::Visibility::kCertificatesOnly;
+  }
+
+  Labeling mark(const local::Configuration& cfg) const override;
+  bool verify(const local::VerifierContext& ctx) const override;
+  std::size_t proof_size_bound(std::size_t n,
+                               std::size_t state_bits) const override;
+
+ private:
+  const Scheme& inner_;
+  std::string name_;
+};
+
+}  // namespace pls::core

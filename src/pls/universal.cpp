@@ -1,0 +1,211 @@
+#include "pls/universal.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/assert.hpp"
+
+namespace pls::core {
+
+namespace {
+
+// Safety cap on the encoded network size an adversarial certificate may
+// claim; keeps allocations bounded (real certificates are far smaller).
+constexpr std::size_t kMaxEncodedNodes = 1u << 14;
+
+struct Encoded {
+  std::size_t n = 0;
+  std::vector<graph::RawId> ids;
+  std::vector<local::State> states;
+  std::vector<bool> matrix;            // n*n, row-major
+  std::vector<graph::Weight> weights;  // per present edge (i<j), row-major
+  std::size_t idx = 0;                 // this node's claimed position
+};
+
+std::optional<Encoded> parse(const Certificate& cert) {
+  util::BitReader r = cert.reader();
+  Encoded e;
+  const auto n = r.read_varint();
+  if (!n || *n == 0 || *n > kMaxEncodedNodes) return std::nullopt;
+  e.n = static_cast<std::size_t>(*n);
+
+  e.ids.reserve(e.n);
+  e.states.reserve(e.n);
+  for (std::size_t i = 0; i < e.n; ++i) {
+    const auto id = r.read_varint();
+    if (!id) return std::nullopt;
+    const auto state_bits = r.read_varint();
+    if (!state_bits || *state_bits > r.remaining()) return std::nullopt;
+    util::BitWriter w;
+    for (std::uint64_t b = 0; b < *state_bits; ++b) {
+      const auto bit = r.read_bit();
+      if (!bit) return std::nullopt;
+      w.write_bit(*bit);
+    }
+    e.ids.push_back(*id);
+    e.states.push_back(local::State::from_writer(std::move(w)));
+  }
+
+  e.matrix.resize(e.n * e.n);
+  for (std::size_t i = 0; i < e.n * e.n; ++i) {
+    const auto bit = r.read_bit();
+    if (!bit) return std::nullopt;
+    e.matrix[i] = *bit;
+  }
+
+  // Structural sanity: symmetric, no self-loops.
+  for (std::size_t i = 0; i < e.n; ++i) {
+    if (e.matrix[i * e.n + i]) return std::nullopt;
+    for (std::size_t j = i + 1; j < e.n; ++j)
+      if (e.matrix[i * e.n + j] != e.matrix[j * e.n + i]) return std::nullopt;
+  }
+
+  for (std::size_t i = 0; i < e.n; ++i)
+    for (std::size_t j = i + 1; j < e.n; ++j)
+      if (e.matrix[i * e.n + j]) {
+        const auto w = r.read_varint();
+        if (!w) return std::nullopt;
+        e.weights.push_back(static_cast<graph::Weight>(*w));
+      }
+
+  const unsigned idx_width = util::bit_width_for(e.n - 1);
+  const auto idx = r.read_uint(idx_width);
+  if (!idx || *idx >= e.n) return std::nullopt;
+  e.idx = static_cast<std::size_t>(*idx);
+  if (!r.exhausted()) return std::nullopt;  // no trailing garbage
+
+  // Distinct ids (a truthful description has them; cheap to enforce here).
+  std::unordered_set<graph::RawId> seen(e.ids.begin(), e.ids.end());
+  if (seen.size() != e.n) return std::nullopt;
+  return e;
+}
+
+/// The description minus the position claim; equal across all nodes of a
+/// truthful marking.
+bool same_description(const Encoded& a, const Encoded& b) {
+  return a.n == b.n && a.ids == b.ids && a.states == b.states &&
+         a.matrix == b.matrix && a.weights == b.weights;
+}
+
+local::Configuration decode_configuration(const Encoded& e) {
+  graph::Graph::Builder b;
+  for (std::size_t i = 0; i < e.n; ++i) b.add_node(e.ids[i]);
+  std::size_t w = 0;
+  for (std::size_t i = 0; i < e.n; ++i)
+    for (std::size_t j = i + 1; j < e.n; ++j)
+      if (e.matrix[i * e.n + j])
+        b.add_edge(static_cast<graph::NodeIndex>(i),
+                   static_cast<graph::NodeIndex>(j), e.weights[w++]);
+  auto g = std::make_shared<const graph::Graph>(std::move(b).build());
+  return local::Configuration(std::move(g), e.states);
+}
+
+}  // namespace
+
+UniversalScheme::UniversalScheme(const Language& inner)
+    : inner_(inner), name_(std::string("universal(") +
+                           std::string(inner.name()) + ")") {}
+
+Labeling UniversalScheme::mark(const local::Configuration& cfg) const {
+  const graph::Graph& g = cfg.graph();
+  const std::size_t n = g.n();
+  PLS_REQUIRE(n >= 1 && n <= kMaxEncodedNodes);
+
+  // Common description, shared by all nodes.
+  util::BitWriter common;
+  common.write_varint(n);
+  for (graph::NodeIndex v = 0; v < n; ++v) {
+    common.write_varint(g.id(v));
+    common.write_varint(cfg.state(v).bit_size());
+    common.write_bits(cfg.state(v).bytes(), cfg.state(v).bit_size());
+  }
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      const bool present =
+          g.find_edge(static_cast<graph::NodeIndex>(i),
+                      static_cast<graph::NodeIndex>(j))
+              .has_value();
+      common.write_bit(present);
+    }
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const auto e = g.find_edge(static_cast<graph::NodeIndex>(i),
+                                 static_cast<graph::NodeIndex>(j));
+      if (e) common.write_varint(static_cast<std::uint64_t>(g.weight(*e)));
+    }
+  const std::vector<std::uint8_t> blob = common.bytes();
+  const std::size_t blob_bits = common.bit_size();
+
+  const unsigned idx_width = util::bit_width_for(n - 1);
+  Labeling lab;
+  lab.certs.reserve(n);
+  for (graph::NodeIndex v = 0; v < n; ++v) {
+    util::BitWriter w;
+    w.write_bits(blob, blob_bits);
+    w.write_uint(v, idx_width);
+    lab.certs.push_back(Certificate::from_writer(std::move(w)));
+  }
+  return lab;
+}
+
+bool UniversalScheme::verify(const local::VerifierContext& ctx) const {
+  const auto own = parse(ctx.certificate());
+  if (!own) return false;
+
+  // My own row of the description must be truthful.
+  if (own->ids[own->idx] != ctx.id()) return false;
+  if (own->states[own->idx] != ctx.state()) return false;
+
+  // My described neighborhood must match my actual ports: same degree, and
+  // (for weighted graphs) the same multiset of incident edge weights.
+  std::vector<std::size_t> described_neighbors;
+  std::vector<graph::Weight> described_weights;
+  {
+    std::size_t w = 0;
+    for (std::size_t i = 0; i < own->n; ++i)
+      for (std::size_t j = i + 1; j < own->n; ++j)
+        if (own->matrix[i * own->n + j]) {
+          if (i == own->idx) {
+            described_neighbors.push_back(j);
+            described_weights.push_back(own->weights[w]);
+          } else if (j == own->idx) {
+            described_neighbors.push_back(i);
+            described_weights.push_back(own->weights[w]);
+          }
+          ++w;
+        }
+  }
+  if (described_neighbors.size() != ctx.degree()) return false;
+  {
+    std::vector<graph::Weight> actual;
+    actual.reserve(ctx.degree());
+    for (const local::NeighborView& nb : ctx.neighbors())
+      actual.push_back(nb.edge_weight);
+    std::sort(actual.begin(), actual.end());
+    std::vector<graph::Weight> described = described_weights;
+    std::sort(described.begin(), described.end());
+    if (actual != described) return false;
+  }
+
+  // Every neighbor must carry the same description and claim a position that
+  // is one of my described neighbors, all positions distinct.
+  std::unordered_set<std::size_t> claimed;
+  for (const local::NeighborView& nb : ctx.neighbors()) {
+    const auto other = parse(*nb.cert);
+    if (!other) return false;
+    if (!same_description(*own, *other)) return false;
+    if (!own->matrix[own->idx * own->n + other->idx]) return false;
+    if (!claimed.insert(other->idx).second) return false;
+  }
+
+  // Finally: the described configuration must satisfy the language.
+  return inner_.contains(decode_configuration(*own));
+}
+
+std::size_t UniversalScheme::proof_size_bound(std::size_t n,
+                                              std::size_t state_bits) const {
+  // varints cost <= 8/7 * width + 8 bits; generous closed form:
+  return n * n + n * (state_bits + 160) + 128;
+}
+
+}  // namespace pls::core

@@ -1,0 +1,49 @@
+// The universal proof labeling scheme.
+//
+// Theorem (paper, Section "every decidable family is certifiable"): every
+// Turing-decidable distributed language admits a proof labeling scheme with
+// certificates of O(n² + n·s) bits — the certificate is a full description
+// of the configuration (id table, state table, adjacency matrix with
+// weights) plus the node's own position in that description.  The verifier
+// checks that the description is consistent with what it sees locally, that
+// all neighbors carry the *same* description, and that the described
+// configuration satisfies the language (running the centralized decider).
+//
+// Works in the strict visibility mode (neighbor certificates only): a node's
+// position claim is verified by the node itself, so a consistent, globally
+// accepted description is necessarily truthful.
+//
+// For weighted languages the weight table makes the encoding sound only when
+// edge weights are pairwise distinct (a node can only check the *multiset* of
+// its incident weights; distinctness pins the assignment down).  This matches
+// the MST setting.
+#pragma once
+
+#include <string>
+
+#include "pls/scheme.hpp"
+
+namespace pls::core {
+
+class UniversalScheme final : public Scheme {
+ public:
+  /// The inner language must outlive the scheme.
+  explicit UniversalScheme(const Language& inner);
+
+  std::string_view name() const noexcept override { return name_; }
+  const Language& language() const noexcept override { return inner_; }
+  local::Visibility visibility() const noexcept override {
+    return local::Visibility::kCertificatesOnly;
+  }
+
+  Labeling mark(const local::Configuration& cfg) const override;
+  bool verify(const local::VerifierContext& ctx) const override;
+  std::size_t proof_size_bound(std::size_t n,
+                               std::size_t state_bits) const override;
+
+ private:
+  const Language& inner_;
+  std::string name_;
+};
+
+}  // namespace pls::core

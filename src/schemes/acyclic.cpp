@@ -1,0 +1,106 @@
+#include "schemes/acyclic.hpp"
+
+#include "graph/algorithms.hpp"
+#include "schemes/common.hpp"
+#include "util/assert.hpp"
+
+namespace pls::schemes {
+
+std::optional<std::vector<std::optional<graph::NodeIndex>>>
+AcyclicLanguage::decode_pointers(const local::Configuration& cfg) {
+  return decode_pointer_states(cfg);
+}
+
+bool AcyclicLanguage::contains(const local::Configuration& cfg) const {
+  const auto pointers = decode_pointers(cfg);
+  if (!pointers) return false;
+  return graph::pointer_cycles(*pointers).empty();
+}
+
+local::Configuration AcyclicLanguage::sample_legal(
+    std::shared_ptr<const graph::Graph> g, util::Rng& rng) const {
+  const auto root = static_cast<graph::NodeIndex>(rng.below(g->n()));
+  const graph::BfsResult tree = graph::bfs(*g, root);
+  std::vector<local::State> states;
+  states.reserve(g->n());
+  for (graph::NodeIndex v = 0; v < g->n(); ++v) {
+    if (tree.parent[v] == graph::kInvalidNode || rng.chance(0.25)) {
+      states.push_back(encode_pointer(std::nullopt));
+    } else {
+      states.push_back(encode_pointer(g->id(tree.parent[v])));
+    }
+  }
+  return local::Configuration(std::move(g), std::move(states));
+}
+
+core::Labeling AcyclicScheme::mark(const local::Configuration& cfg) const {
+  const auto pointers = AcyclicLanguage::decode_pointers(cfg);
+  PLS_REQUIRE(pointers.has_value());
+  const std::size_t n = cfg.n();
+
+  // Distance to the root of each in-tree, by following pointers (memoized).
+  std::vector<std::uint64_t> dist(n, 0);
+  std::vector<std::uint8_t> done(n, 0);
+  for (graph::NodeIndex start = 0; start < n; ++start) {
+    // Walk to a resolved node or a root, then unwind.
+    std::vector<graph::NodeIndex> stack;
+    graph::NodeIndex v = start;
+    while (!done[v] && (*pointers)[v].has_value()) {
+      stack.push_back(v);
+      v = *(*pointers)[v];
+    }
+    std::uint64_t base = done[v] ? dist[v] : 0;
+    done[v] = 1;
+    dist[v] = base;
+    while (!stack.empty()) {
+      const graph::NodeIndex u = stack.back();
+      stack.pop_back();
+      dist[u] = ++base;
+      done[u] = 1;
+    }
+  }
+
+  core::Labeling lab;
+  lab.certs.reserve(n);
+  for (graph::NodeIndex v = 0; v < n; ++v) {
+    util::BitWriter w;
+    w.write_varint(dist[v]);
+    lab.certs.push_back(local::Certificate::from_writer(std::move(w)));
+  }
+  return lab;
+}
+
+bool AcyclicScheme::verify(const local::VerifierContext& ctx) const {
+  const auto pointer = decode_pointer(ctx.state());
+  if (!pointer) return false;
+
+  auto parse_dist = [](const local::Certificate& c)
+      -> std::optional<std::uint64_t> {
+    util::BitReader r = c.reader();
+    const auto d = r.read_varint();
+    if (!d || !r.exhausted()) return std::nullopt;
+    return d;
+  };
+
+  const auto own_dist = parse_dist(ctx.certificate());
+  if (!own_dist) return false;
+
+  if (!pointer->has_value()) return *own_dist == 0;
+
+  // The pointer target must be a neighbor whose distance is mine minus one.
+  for (const local::NeighborView& nb : ctx.neighbors()) {
+    if (!nb.id_visible) return false;
+    if (nb.id != **pointer) continue;
+    const auto nb_dist = parse_dist(*nb.cert);
+    if (!nb_dist) return false;
+    return *own_dist == *nb_dist + 1;
+  }
+  return false;  // points at a non-neighbor
+}
+
+std::size_t AcyclicScheme::proof_size_bound(std::size_t n,
+                                            std::size_t /*state_bits*/) const {
+  return varint_bits(n);
+}
+
+}  // namespace pls::schemes

@@ -1,0 +1,49 @@
+// ACYCLIC — the pointer graph described by the states has no cycle.
+//
+// Every state is "⊥ or the id of a neighbor"; the union of the pointers must
+// be acyclic (a relaxation of spanning tree: an in-forest).  The classic
+// O(log n) scheme certifies each node's hop distance to the root of its
+// in-tree; a cycle forces a distance violation at its maximum-distance node's
+// predecessor.
+#pragma once
+
+#include "pls/scheme.hpp"
+
+namespace pls::schemes {
+
+class AcyclicLanguage final : public core::Language {
+ public:
+  std::string_view name() const noexcept override { return "acyclic"; }
+  bool contains(const local::Configuration& cfg) const override;
+
+  /// Samples a random in-forest: a BFS tree from a random root, with every
+  /// non-root pointer independently cut to ⊥ with probability 1/4.
+  local::Configuration sample_legal(std::shared_ptr<const graph::Graph> g,
+                                    util::Rng& rng) const override;
+
+  /// Decodes all pointer states into node indices; nullopt if any state is
+  /// malformed or points at a non-neighbor.
+  static std::optional<std::vector<std::optional<graph::NodeIndex>>>
+  decode_pointers(const local::Configuration& cfg);
+};
+
+class AcyclicScheme final : public core::Scheme {
+ public:
+  explicit AcyclicScheme(const AcyclicLanguage& language)
+      : language_(language) {}
+
+  std::string_view name() const noexcept override { return "acyclic/dist"; }
+  const core::Language& language() const noexcept override {
+    return language_;
+  }
+
+  core::Labeling mark(const local::Configuration& cfg) const override;
+  bool verify(const local::VerifierContext& ctx) const override;
+  std::size_t proof_size_bound(std::size_t n,
+                               std::size_t state_bits) const override;
+
+ private:
+  const AcyclicLanguage& language_;
+};
+
+}  // namespace pls::schemes

@@ -1,0 +1,54 @@
+#include "schemes/agree.hpp"
+
+#include "util/assert.hpp"
+
+namespace pls::schemes {
+
+AgreeLanguage::AgreeLanguage(unsigned value_bits) : value_bits_(value_bits) {
+  PLS_REQUIRE(value_bits >= 1 && value_bits <= 64);
+}
+
+local::State AgreeLanguage::encode_value(std::uint64_t value) const {
+  return local::State::of_uint(value, value_bits_);
+}
+
+bool AgreeLanguage::contains(const local::Configuration& cfg) const {
+  if (cfg.n() == 0) return false;
+  const local::State& first = cfg.state(0);
+  if (first.bit_size() != value_bits_) return false;
+  for (graph::NodeIndex v = 1; v < cfg.n(); ++v)
+    if (cfg.state(v) != first) return false;
+  return true;
+}
+
+local::Configuration AgreeLanguage::sample_legal(
+    std::shared_ptr<const graph::Graph> g, util::Rng& rng) const {
+  const std::uint64_t value =
+      value_bits_ == 64 ? rng.bits() : rng.below(std::uint64_t{1} << value_bits_);
+  std::vector<local::State> states(g->n(), encode_value(value));
+  return local::Configuration(std::move(g), std::move(states));
+}
+
+core::Labeling AgreeScheme::mark(const local::Configuration& cfg) const {
+  // Certificate = the (common) value; simply copy every node's state.
+  core::Labeling lab;
+  lab.certs.reserve(cfg.n());
+  for (graph::NodeIndex v = 0; v < cfg.n(); ++v)
+    lab.certs.push_back(cfg.state(v));
+  return lab;
+}
+
+bool AgreeScheme::verify(const local::VerifierContext& ctx) const {
+  if (ctx.state().bit_size() != language_.value_bits()) return false;
+  if (ctx.certificate() != ctx.state()) return false;
+  for (const local::NeighborView& nb : ctx.neighbors())
+    if (*nb.cert != ctx.certificate()) return false;
+  return true;
+}
+
+std::size_t AgreeScheme::proof_size_bound(std::size_t /*n*/,
+                                          std::size_t state_bits) const {
+  return state_bits;
+}
+
+}  // namespace pls::schemes

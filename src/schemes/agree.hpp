@@ -1,0 +1,58 @@
+// AGREE — all nodes hold the same s-bit value.
+//
+// The paper's canonical example of a language whose proof size is governed by
+// the *state* size rather than the network size: in the strict model (the
+// verification round carries certificates only), certifying agreement
+// requires copying the value into the certificate — proof size Θ(s).  The
+// upper bound is the scheme below; the matching lower bound is exercised by
+// the crossing probe (experiment F3): two runs with different values whose
+// certificates collide on the first b < s bits can be spliced across any edge
+// of a path into an undetectable disagreement.
+#pragma once
+
+#include "pls/scheme.hpp"
+
+namespace pls::schemes {
+
+class AgreeLanguage final : public core::Language {
+ public:
+  explicit AgreeLanguage(unsigned value_bits);
+
+  std::string_view name() const noexcept override { return "agree"; }
+  bool contains(const local::Configuration& cfg) const override;
+  local::Configuration sample_legal(std::shared_ptr<const graph::Graph> g,
+                                    util::Rng& rng) const override;
+
+  unsigned value_bits() const noexcept { return value_bits_; }
+
+  /// State encoding helper: the fixed-width value itself.
+  local::State encode_value(std::uint64_t value) const;
+
+ private:
+  unsigned value_bits_;
+};
+
+/// Certificate = the node's own value; verify = "my certificate equals my
+/// state and all neighbor certificates equal mine".  Strict visibility.
+class AgreeScheme final : public core::Scheme {
+ public:
+  explicit AgreeScheme(const AgreeLanguage& language) : language_(language) {}
+
+  std::string_view name() const noexcept override { return "agree/copy"; }
+  const core::Language& language() const noexcept override {
+    return language_;
+  }
+  local::Visibility visibility() const noexcept override {
+    return local::Visibility::kCertificatesOnly;
+  }
+
+  core::Labeling mark(const local::Configuration& cfg) const override;
+  bool verify(const local::VerifierContext& ctx) const override;
+  std::size_t proof_size_bound(std::size_t n,
+                               std::size_t state_bits) const override;
+
+ private:
+  const AgreeLanguage& language_;
+};
+
+}  // namespace pls::schemes

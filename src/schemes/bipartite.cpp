@@ -1,0 +1,51 @@
+#include "schemes/bipartite.hpp"
+
+#include "graph/algorithms.hpp"
+#include "util/assert.hpp"
+
+namespace pls::schemes {
+
+bool BipartiteLanguage::contains(const local::Configuration& cfg) const {
+  // A network property: states must be empty, the graph must be 2-colorable.
+  for (graph::NodeIndex v = 0; v < cfg.n(); ++v)
+    if (!cfg.state(v).empty()) return false;
+  return graph::bipartition(cfg.graph()).has_value();
+}
+
+local::Configuration BipartiteLanguage::sample_legal(
+    std::shared_ptr<const graph::Graph> g, util::Rng& /*rng*/) const {
+  PLS_REQUIRE(graph::bipartition(*g).has_value());
+  std::vector<local::State> states(g->n());
+  return local::Configuration(std::move(g), std::move(states));
+}
+
+core::Labeling BipartiteScheme::mark(const local::Configuration& cfg) const {
+  const auto coloring = graph::bipartition(cfg.graph());
+  PLS_REQUIRE(coloring.has_value());
+  core::Labeling lab;
+  lab.certs.reserve(cfg.n());
+  for (graph::NodeIndex v = 0; v < cfg.n(); ++v)
+    lab.certs.push_back(local::Certificate::of_uint((*coloring)[v], 1));
+  return lab;
+}
+
+bool BipartiteScheme::verify(const local::VerifierContext& ctx) const {
+  if (!ctx.state().empty()) return false;
+  util::BitReader r = ctx.certificate().reader();
+  const auto own = r.read_bit();
+  if (!own || !r.exhausted()) return false;
+  for (const local::NeighborView& nb : ctx.neighbors()) {
+    util::BitReader nr = nb.cert->reader();
+    const auto theirs = nr.read_bit();
+    if (!theirs || !nr.exhausted()) return false;
+    if (*theirs == *own) return false;
+  }
+  return true;
+}
+
+std::size_t BipartiteScheme::proof_size_bound(std::size_t /*n*/,
+                                              std::size_t /*state_bits*/) const {
+  return 1;
+}
+
+}  // namespace pls::schemes

@@ -1,0 +1,47 @@
+// BIPARTITE — the network itself is 2-colorable.
+//
+// A network property (states are ignored; they are empty strings in legal
+// witnesses).  Certificate = one bit (the node's side); verify = "all my
+// neighbors carry the opposite bit".  On a non-bipartite network every
+// 2-coloring leaves a monochromatic edge, whose endpoints both reject —
+// a 1-bit proof, showing proof size need not grow with n at all.
+#pragma once
+
+#include "pls/scheme.hpp"
+
+namespace pls::schemes {
+
+class BipartiteLanguage final : public core::Language {
+ public:
+  std::string_view name() const noexcept override { return "bipartite"; }
+  bool contains(const local::Configuration& cfg) const override;
+
+  /// Precondition: the graph is bipartite (the language is constructible
+  /// only on its yes-instances).
+  local::Configuration sample_legal(std::shared_ptr<const graph::Graph> g,
+                                    util::Rng& rng) const override;
+};
+
+class BipartiteScheme final : public core::Scheme {
+ public:
+  explicit BipartiteScheme(const BipartiteLanguage& language)
+      : language_(language) {}
+
+  std::string_view name() const noexcept override { return "bipartite/1bit"; }
+  const core::Language& language() const noexcept override {
+    return language_;
+  }
+  local::Visibility visibility() const noexcept override {
+    return local::Visibility::kCertificatesOnly;
+  }
+
+  core::Labeling mark(const local::Configuration& cfg) const override;
+  bool verify(const local::VerifierContext& ctx) const override;
+  std::size_t proof_size_bound(std::size_t n,
+                               std::size_t state_bits) const override;
+
+ private:
+  const BipartiteLanguage& language_;
+};
+
+}  // namespace pls::schemes

@@ -1,0 +1,89 @@
+#include "schemes/coloring.hpp"
+
+#include "util/assert.hpp"
+
+namespace pls::schemes {
+
+namespace {
+
+std::optional<std::uint64_t> decode_color(const local::State& s,
+                                          std::uint64_t num_colors) {
+  util::BitReader r = s.reader();
+  const auto c = r.read_varint();
+  if (!c || !r.exhausted() || *c >= num_colors) return std::nullopt;
+  return c;
+}
+
+}  // namespace
+
+ColoringLanguage::ColoringLanguage(std::uint64_t num_colors)
+    : num_colors_(num_colors) {
+  PLS_REQUIRE(num_colors >= 2);
+}
+
+local::State ColoringLanguage::encode_color(std::uint64_t color) const {
+  PLS_REQUIRE(color < num_colors_);
+  util::BitWriter w;
+  w.write_varint(color);
+  return local::State::from_writer(std::move(w));
+}
+
+bool ColoringLanguage::contains(const local::Configuration& cfg) const {
+  const graph::Graph& g = cfg.graph();
+  std::vector<std::uint64_t> colors(g.n());
+  for (graph::NodeIndex v = 0; v < g.n(); ++v) {
+    const auto c = decode_color(cfg.state(v), num_colors_);
+    if (!c) return false;
+    colors[v] = *c;
+  }
+  for (const graph::Edge& e : g.edges())
+    if (colors[e.u] == colors[e.v]) return false;
+  return true;
+}
+
+local::Configuration ColoringLanguage::sample_legal(
+    std::shared_ptr<const graph::Graph> g, util::Rng& rng) const {
+  // Greedy coloring along a random node order.
+  const auto order = rng.permutation(g->n());
+  std::vector<std::uint64_t> colors(g->n(), num_colors_);
+  for (const std::uint64_t vi : order) {
+    const auto v = static_cast<graph::NodeIndex>(vi);
+    std::vector<bool> used(g->degree(v) + 1, false);
+    for (const graph::AdjEntry& a : g->adjacency(v))
+      if (colors[a.to] < used.size()) used[colors[a.to]] = true;
+    std::uint64_t c = 0;
+    while (c < used.size() && used[c]) ++c;
+    PLS_REQUIRE(c < num_colors_);  // needs num_colors >= Δ+1
+    colors[v] = c;
+  }
+  std::vector<local::State> states;
+  states.reserve(g->n());
+  for (graph::NodeIndex v = 0; v < g->n(); ++v)
+    states.push_back(encode_color(colors[v]));
+  return local::Configuration(std::move(g), std::move(states));
+}
+
+core::Labeling ColoringScheme::mark(const local::Configuration& cfg) const {
+  core::Labeling lab;
+  lab.certs.assign(cfg.n(), local::Certificate{});  // zero bits
+  return lab;
+}
+
+bool ColoringScheme::verify(const local::VerifierContext& ctx) const {
+  const auto own = decode_color(ctx.state(), language_.num_colors());
+  if (!own) return false;
+  for (const local::NeighborView& nb : ctx.neighbors()) {
+    if (nb.state == nullptr) return false;
+    const auto theirs = decode_color(*nb.state, language_.num_colors());
+    if (!theirs) return false;
+    if (*theirs == *own) return false;
+  }
+  return true;
+}
+
+std::size_t ColoringScheme::proof_size_bound(std::size_t /*n*/,
+                                             std::size_t /*state_bits*/) const {
+  return 0;
+}
+
+}  // namespace pls::schemes

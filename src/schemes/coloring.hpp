@@ -1,0 +1,53 @@
+// PROPER k-COLORING — adjacent states differ.
+//
+// The paper situates proof labeling schemes as a strict generalization of
+// locally checkable labelings [Naor–Stockmeyer]: a locally checkable
+// predicate needs *no* certificate at all when the verification round carries
+// neighbor states.  Proper coloring is the canonical example — the scheme
+// below has proof size 0.
+#pragma once
+
+#include "pls/scheme.hpp"
+
+namespace pls::schemes {
+
+class ColoringLanguage final : public core::Language {
+ public:
+  explicit ColoringLanguage(std::uint64_t num_colors);
+
+  std::string_view name() const noexcept override { return "coloring"; }
+  bool contains(const local::Configuration& cfg) const override;
+
+  /// Greedy coloring; precondition: num_colors >= max degree + 1.
+  local::Configuration sample_legal(std::shared_ptr<const graph::Graph> g,
+                                    util::Rng& rng) const override;
+
+  std::uint64_t num_colors() const noexcept { return num_colors_; }
+
+  local::State encode_color(std::uint64_t color) const;
+
+ private:
+  std::uint64_t num_colors_;
+};
+
+/// Zero-bit certificates: local checkability needs no proof.
+class ColoringScheme final : public core::Scheme {
+ public:
+  explicit ColoringScheme(const ColoringLanguage& language)
+      : language_(language) {}
+
+  std::string_view name() const noexcept override { return "coloring/0bit"; }
+  const core::Language& language() const noexcept override {
+    return language_;
+  }
+
+  core::Labeling mark(const local::Configuration& cfg) const override;
+  bool verify(const local::VerifierContext& ctx) const override;
+  std::size_t proof_size_bound(std::size_t n,
+                               std::size_t state_bits) const override;
+
+ private:
+  const ColoringLanguage& language_;
+};
+
+}  // namespace pls::schemes

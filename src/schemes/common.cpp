@@ -1,0 +1,123 @@
+#include "schemes/common.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace pls::schemes {
+
+State encode_pointer(std::optional<graph::RawId> target) {
+  util::BitWriter w;
+  w.write_bit(target.has_value());
+  if (target) w.write_varint(*target);
+  return State::from_writer(std::move(w));
+}
+
+std::optional<std::optional<graph::RawId>> decode_pointer(const State& s) {
+  util::BitReader r = s.reader();
+  const auto present = r.read_bit();
+  if (!present) return std::nullopt;
+  if (!*present) {
+    if (!r.exhausted()) return std::nullopt;
+    return std::optional<graph::RawId>{std::nullopt};
+  }
+  const auto id = r.read_varint();
+  if (!id || !r.exhausted()) return std::nullopt;
+  return std::optional<graph::RawId>{*id};
+}
+
+std::optional<std::vector<std::optional<graph::NodeIndex>>>
+decode_pointer_states(const Configuration& cfg) {
+  const graph::Graph& g = cfg.graph();
+  std::vector<std::optional<graph::NodeIndex>> pointers(g.n());
+  for (graph::NodeIndex v = 0; v < g.n(); ++v) {
+    const auto p = decode_pointer(cfg.state(v));
+    if (!p) return std::nullopt;
+    if (!p->has_value()) continue;
+    const auto target = g.find_by_id(**p);
+    if (!target) return std::nullopt;
+    if (!g.find_edge(v, *target)) return std::nullopt;  // must be a neighbor
+    pointers[v] = *target;
+  }
+  return pointers;
+}
+
+State encode_adjacency_list(std::vector<graph::RawId> ids) {
+  std::sort(ids.begin(), ids.end());
+  PLS_REQUIRE(std::adjacent_find(ids.begin(), ids.end()) == ids.end());
+  util::BitWriter w;
+  w.write_varint(ids.size());
+  for (const graph::RawId id : ids) w.write_varint(id);
+  return State::from_writer(std::move(w));
+}
+
+std::optional<std::vector<graph::RawId>> decode_adjacency_list(const State& s) {
+  util::BitReader r = s.reader();
+  const auto count = r.read_varint();
+  if (!count || *count > (1u << 20)) return std::nullopt;
+  std::vector<graph::RawId> ids;
+  ids.reserve(static_cast<std::size_t>(*count));
+  graph::RawId prev = 0;
+  for (std::uint64_t i = 0; i < *count; ++i) {
+    const auto id = r.read_varint();
+    if (!id) return std::nullopt;
+    if (i > 0 && *id <= prev) return std::nullopt;  // canonical: increasing
+    prev = *id;
+    ids.push_back(*id);
+  }
+  if (!r.exhausted()) return std::nullopt;
+  return ids;
+}
+
+std::optional<std::vector<bool>> subgraph_mask_from_states(
+    const Configuration& cfg) {
+  const graph::Graph& g = cfg.graph();
+  std::vector<bool> mask(g.m(), false);
+  // listed[v] = decoded list of v (validated below).
+  std::vector<std::vector<graph::RawId>> listed(g.n());
+  for (graph::NodeIndex v = 0; v < g.n(); ++v) {
+    auto list = decode_adjacency_list(cfg.state(v));
+    if (!list) return std::nullopt;
+    listed[v] = std::move(*list);
+  }
+  for (graph::NodeIndex v = 0; v < g.n(); ++v) {
+    for (const graph::RawId id : listed[v]) {
+      const auto u = g.find_by_id(id);
+      if (!u) return std::nullopt;
+      const auto e = g.find_edge(v, *u);
+      if (!e) return std::nullopt;  // listed node is not a neighbor
+      // Symmetry: u must list v as well.
+      if (!std::binary_search(listed[*u].begin(), listed[*u].end(), g.id(v)))
+        return std::nullopt;
+      mask[*e] = true;
+    }
+  }
+  return mask;
+}
+
+std::vector<State> states_from_subgraph_mask(
+    const graph::Graph& g, const std::vector<bool>& edge_mask) {
+  PLS_REQUIRE(edge_mask.size() == g.m());
+  std::vector<State> states;
+  states.reserve(g.n());
+  for (graph::NodeIndex v = 0; v < g.n(); ++v) {
+    std::vector<graph::RawId> ids;
+    for (const graph::AdjEntry& a : g.adjacency(v))
+      if (edge_mask[a.edge]) ids.push_back(g.id(a.to));
+    states.push_back(encode_adjacency_list(std::move(ids)));
+  }
+  return states;
+}
+
+std::size_t varint_bits(std::uint64_t value) {
+  const unsigned width = util::bit_width_for(value);
+  return 8u * ((width + 6u) / 7u);
+}
+
+std::size_t id_varint_bound(std::size_t n) {
+  const std::uint64_t max_id =
+      16u * static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(n) + 1;
+  return varint_bits(max_id);
+}
+
+}  // namespace pls::schemes

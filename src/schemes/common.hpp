@@ -1,0 +1,61 @@
+// Shared state encodings for the concrete languages.
+//
+// Node states are bit strings; the languages in this module interpret them as
+// one of three shapes:
+//   * pointer states     — "⊥ or the id of a neighbor" (acyclic, stp),
+//   * adjacency lists    — "a strictly increasing list of neighbor ids"
+//                          (stl, mstl, regular),
+//   * fixed-width values — (agree, coloring, leader's single bit).
+// Decoders are total and canonical: any deviation (trailing bits, unsorted
+// list, overlong varint) decodes to nullopt, which every language treats as
+// "not in the language" and every verifier treats as "reject".
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "local/config.hpp"
+#include "util/bitio.hpp"
+
+namespace pls::schemes {
+
+using local::Certificate;
+using local::Configuration;
+using local::State;
+
+/// Pointer state: [1 bit present][varint id if present].
+State encode_pointer(std::optional<graph::RawId> target);
+
+/// Decodes a pointer state; outer nullopt means malformed.
+std::optional<std::optional<graph::RawId>> decode_pointer(const State& s);
+
+/// Decodes all pointer states of a configuration into node indices; nullopt
+/// if any state is malformed or points at a non-neighbor.
+std::optional<std::vector<std::optional<graph::NodeIndex>>>
+decode_pointer_states(const Configuration& cfg);
+
+/// Adjacency-list state: [varint count][varint ids, strictly increasing].
+State encode_adjacency_list(std::vector<graph::RawId> ids);
+
+/// Decodes an adjacency-list state; nullopt if malformed or not strictly
+/// increasing.
+std::optional<std::vector<graph::RawId>> decode_adjacency_list(const State& s);
+
+/// Interprets every state as an adjacency list and returns the edge mask of
+/// the described subgraph H_ℓ, or nullopt when any state is malformed, lists
+/// a non-neighbor, or the listing is not symmetric (u lists v iff v lists u).
+std::optional<std::vector<bool>> subgraph_mask_from_states(
+    const Configuration& cfg);
+
+/// Builds per-node adjacency-list states describing `edge_mask`.
+std::vector<State> states_from_subgraph_mask(const graph::Graph& g,
+                                             const std::vector<bool>& edge_mask);
+
+/// Upper bound, in bits, of a varint encoding of `value`.
+std::size_t varint_bits(std::uint64_t value);
+
+/// Generous upper bound on the varint size of ids in an n-node network under
+/// the standard "ids are polynomial in n" assumption (we allow ids < n^2·16).
+std::size_t id_varint_bound(std::size_t n);
+
+}  // namespace pls::schemes

@@ -1,0 +1,185 @@
+#include "schemes/distributed_marker.hpp"
+
+#include "schemes/common.hpp"
+#include "util/assert.hpp"
+
+namespace pls::schemes {
+
+namespace {
+
+// Protocol state during construction:
+//   [1 bit   set?]
+//   if set: [varint root][varint parent][varint dist]
+//   [1 bit   has_pointer?]            (stp only; leader stores the flag bit)
+//   if has_pointer: [varint pointer]
+struct BuildState {
+  bool set = false;
+  graph::RawId root = 0;
+  graph::RawId parent = 0;
+  std::uint64_t dist = 0;
+  bool has_pointer = false;
+  graph::RawId pointer = 0;
+};
+
+local::State encode_build(const BuildState& s) {
+  util::BitWriter w;
+  w.write_bit(s.set);
+  if (s.set) {
+    w.write_varint(s.root);
+    w.write_varint(s.parent);
+    w.write_varint(s.dist);
+  }
+  w.write_bit(s.has_pointer);
+  if (s.has_pointer) w.write_varint(s.pointer);
+  return local::State::from_writer(std::move(w));
+}
+
+std::optional<BuildState> decode_build(const local::State& s) {
+  util::BitReader r = s.reader();
+  BuildState out;
+  const auto set = r.read_bit();
+  if (!set) return std::nullopt;
+  out.set = *set;
+  if (out.set) {
+    const auto root = r.read_varint();
+    const auto parent = r.read_varint();
+    const auto dist = r.read_varint();
+    if (!root || !parent || !dist) return std::nullopt;
+    out.root = *root;
+    out.parent = *parent;
+    out.dist = *dist;
+  }
+  const auto has_ptr = r.read_bit();
+  if (!has_ptr) return std::nullopt;
+  out.has_pointer = *has_ptr;
+  if (out.has_pointer) {
+    const auto ptr = r.read_varint();
+    if (!ptr) return std::nullopt;
+    out.pointer = *ptr;
+  }
+  if (!r.exhausted()) return std::nullopt;
+  return out;
+}
+
+/// Runs `step` to quiescence, accumulating rounds and message bits, then
+/// extracts (root, parent, dist) certificates from the final states.
+DistributedMarking run_and_extract(local::SyncNetwork& net,
+                                   const local::StepFn& step,
+                                   std::size_t max_rounds) {
+  DistributedMarking out;
+  for (std::size_t round = 0; round < max_rounds; ++round) {
+    const local::RoundStats stats = net.step(step);
+    ++out.rounds;
+    out.message_bits += stats.message_bits;
+    if (stats.changed_nodes == 0) break;
+  }
+  const graph::Graph& g = net.graph();
+  out.labeling.certs.reserve(g.n());
+  for (graph::NodeIndex v = 0; v < g.n(); ++v) {
+    const auto s = decode_build(net.states()[v]);
+    PLS_ASSERT(s.has_value() && s->set);
+    util::BitWriter w;
+    w.write_varint(s->root);
+    w.write_varint(s->parent);
+    w.write_varint(s->dist);
+    out.labeling.certs.push_back(local::Certificate::from_writer(std::move(w)));
+  }
+  return out;
+}
+
+}  // namespace
+
+DistributedMarking distributed_leader_marking(
+    const local::Configuration& cfg) {
+  const graph::Graph& g = cfg.graph();
+
+  // Initial protocol states: the leader is the seed.
+  std::vector<local::State> init;
+  init.reserve(g.n());
+  for (graph::NodeIndex v = 0; v < g.n(); ++v) {
+    util::BitReader r = cfg.state(v).reader();
+    const auto flag = r.read_bit();
+    PLS_REQUIRE(flag.has_value() && r.exhausted());
+    BuildState s;
+    if (*flag) {
+      s.set = true;
+      s.root = g.id(v);
+      s.parent = g.id(v);
+      s.dist = 0;
+    }
+    init.push_back(encode_build(s));
+  }
+
+  // BFS flooding: an unset node adopts (root, parent = that neighbor,
+  // dist + 1) from the minimum-distance set neighbor it sees.
+  const local::StepFn step = [](graph::RawId /*me*/, const local::State& own,
+                                std::span<const local::NeighborState> nbs) {
+    const auto mine = decode_build(own);
+    PLS_ASSERT(mine.has_value());
+    if (mine->set) return own;
+    BuildState best = *mine;
+    for (const local::NeighborState& nb : nbs) {
+      const auto theirs = decode_build(*nb.state);
+      if (!theirs || !theirs->set) continue;
+      if (!best.set || theirs->dist + 1 < best.dist) {
+        best.set = true;
+        best.root = theirs->root;
+        best.parent = nb.id;
+        best.dist = theirs->dist + 1;
+      }
+    }
+    return encode_build(best);
+  };
+
+  local::SyncNetwork net(cfg.graph_ptr(), std::move(init));
+  return run_and_extract(net, step, g.n() + 2);
+}
+
+DistributedMarking distributed_stp_marking(const local::Configuration& cfg) {
+  const graph::Graph& g = cfg.graph();
+  const auto pointers = decode_pointer_states(cfg);
+  PLS_REQUIRE(pointers.has_value());
+
+  std::vector<local::State> init;
+  init.reserve(g.n());
+  for (graph::NodeIndex v = 0; v < g.n(); ++v) {
+    BuildState s;
+    if ((*pointers)[v].has_value()) {
+      s.has_pointer = true;
+      s.pointer = g.id(*(*pointers)[v]);
+    } else {
+      // The root knows it is the root immediately.
+      s.set = true;
+      s.root = g.id(v);
+      s.parent = g.id(v);
+      s.dist = 0;
+    }
+    init.push_back(encode_build(s));
+  }
+
+  // Depths propagate down the pointer tree: a node becomes set once its
+  // parent (the pointer target) is set.
+  const local::StepFn step = [](graph::RawId /*me*/, const local::State& own,
+                                std::span<const local::NeighborState> nbs) {
+    const auto mine = decode_build(own);
+    PLS_ASSERT(mine.has_value());
+    if (mine->set || !mine->has_pointer) return own;
+    for (const local::NeighborState& nb : nbs) {
+      if (nb.id != mine->pointer) continue;
+      const auto theirs = decode_build(*nb.state);
+      if (!theirs || !theirs->set) break;
+      BuildState next = *mine;
+      next.set = true;
+      next.root = theirs->root;
+      next.parent = nb.id;
+      next.dist = theirs->dist + 1;
+      return encode_build(next);
+    }
+    return own;
+  };
+
+  local::SyncNetwork net(cfg.graph_ptr(), std::move(init));
+  return run_and_extract(net, step, g.n() + 2);
+}
+
+}  // namespace pls::schemes

@@ -1,0 +1,37 @@
+// Distributed marker construction.
+//
+// The prover of a proof labeling scheme is an abstraction: "in practice, the
+// certificates are provided by a distributed algorithm solving the task"
+// (paper, introduction).  This module realizes that for the tree-based
+// schemes: the network itself computes the (root id, parent id, distance)
+// certificates by synchronous flooding, in O(diameter) rounds — no
+// centralized oracle involved.  The result is byte-compatible with the
+// centralized markers' layout and accepted by the same verifiers.
+//
+// Round and message accounting is returned so experiments can report the
+// amortized cost of certification when it rides on the constructing
+// algorithm.
+#pragma once
+
+#include "local/network.hpp"
+#include "pls/certificate.hpp"
+
+namespace pls::schemes {
+
+struct DistributedMarking {
+  core::Labeling labeling;
+  std::size_t rounds = 0;
+  std::size_t message_bits = 0;
+};
+
+/// Distributed marker for the leader scheme: BFS flooding from the (unique)
+/// leader.  Precondition: the configuration is in `leader`.
+DistributedMarking distributed_leader_marking(const local::Configuration& cfg);
+
+/// Distributed marker for the stp scheme: the root learns it is the root
+/// from its ⊥ pointer, and depths propagate down the pointer tree (children
+/// adopt parent depth + 1).  Rounds = tree depth + O(1).
+/// Precondition: the configuration is in `stp`.
+DistributedMarking distributed_stp_marking(const local::Configuration& cfg);
+
+}  // namespace pls::schemes

@@ -1,0 +1,231 @@
+#include "schemes/lcl.hpp"
+
+#include "schemes/common.hpp"
+#include "util/assert.hpp"
+
+namespace pls::schemes {
+
+namespace {
+
+std::optional<bool> decode_bit(const local::State& s) {
+  util::BitReader r = s.reader();
+  const auto bit = r.read_bit();
+  if (!bit || !r.exhausted()) return std::nullopt;
+  return bit;
+}
+
+core::Labeling empty_labeling(std::size_t n) {
+  core::Labeling lab;
+  lab.certs.assign(n, local::Certificate{});
+  return lab;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// dominating set
+// ---------------------------------------------------------------------------
+
+local::State DominatingSetLanguage::encode_member(bool in_set) {
+  return local::State::of_uint(in_set ? 1 : 0, 1);
+}
+
+bool DominatingSetLanguage::contains(const local::Configuration& cfg) const {
+  const graph::Graph& g = cfg.graph();
+  std::vector<bool> member(g.n(), false);
+  for (graph::NodeIndex v = 0; v < g.n(); ++v) {
+    const auto bit = decode_bit(cfg.state(v));
+    if (!bit) return false;
+    member[v] = *bit;
+  }
+  for (graph::NodeIndex v = 0; v < g.n(); ++v) {
+    if (member[v]) continue;
+    bool dominated = false;
+    for (const graph::AdjEntry& a : g.adjacency(v))
+      if (member[a.to]) {
+        dominated = true;
+        break;
+      }
+    if (!dominated) return false;
+  }
+  return true;
+}
+
+local::Configuration DominatingSetLanguage::sample_legal(
+    std::shared_ptr<const graph::Graph> g, util::Rng& rng) const {
+  const graph::Graph& graph = *g;
+  std::vector<bool> member(graph.n(), false);
+  std::vector<bool> dominated(graph.n(), false);
+  for (const std::uint64_t vi : rng.permutation(graph.n())) {
+    const auto v = static_cast<graph::NodeIndex>(vi);
+    if (dominated[v]) continue;
+    member[v] = true;
+    dominated[v] = true;
+    for (const graph::AdjEntry& a : graph.adjacency(v)) dominated[a.to] = true;
+  }
+  std::vector<local::State> states;
+  states.reserve(graph.n());
+  for (graph::NodeIndex v = 0; v < graph.n(); ++v)
+    states.push_back(encode_member(member[v]));
+  return local::Configuration(std::move(g), std::move(states));
+}
+
+core::Labeling DominatingSetScheme::mark(
+    const local::Configuration& cfg) const {
+  return empty_labeling(cfg.n());
+}
+
+bool DominatingSetScheme::verify(const local::VerifierContext& ctx) const {
+  const auto own = decode_bit(ctx.state());
+  if (!own) return false;
+  if (*own) return true;
+  for (const local::NeighborView& nb : ctx.neighbors()) {
+    if (nb.state == nullptr) return false;
+    const auto theirs = decode_bit(*nb.state);
+    if (!theirs) return false;
+    if (*theirs) return true;
+  }
+  return false;  // neither in the set nor dominated
+}
+
+// ---------------------------------------------------------------------------
+// maximal matching
+// ---------------------------------------------------------------------------
+
+bool MaximalMatchingLanguage::contains(const local::Configuration& cfg) const {
+  const auto pointers = decode_pointer_states(cfg);
+  if (!pointers) return false;
+  const graph::Graph& g = cfg.graph();
+  for (graph::NodeIndex v = 0; v < g.n(); ++v) {
+    if ((*pointers)[v].has_value()) {
+      const graph::NodeIndex u = *(*pointers)[v];
+      if (!(*pointers)[u].has_value() || *(*pointers)[u] != v)
+        return false;  // partners must be mutual
+    } else {
+      // Maximality: an unmatched node must have no unmatched neighbor.
+      for (const graph::AdjEntry& a : g.adjacency(v))
+        if (!(*pointers)[a.to].has_value()) return false;
+    }
+  }
+  return true;
+}
+
+local::Configuration MaximalMatchingLanguage::sample_legal(
+    std::shared_ptr<const graph::Graph> g, util::Rng& rng) const {
+  const graph::Graph& graph = *g;
+  std::vector<graph::NodeIndex> partner(graph.n(), graph::kInvalidNode);
+  for (const std::uint64_t ei : rng.permutation(graph.m())) {
+    const graph::Edge& e = graph.edge(static_cast<graph::EdgeIndex>(ei));
+    if (partner[e.u] != graph::kInvalidNode ||
+        partner[e.v] != graph::kInvalidNode)
+      continue;
+    partner[e.u] = e.v;
+    partner[e.v] = e.u;
+  }
+  std::vector<local::State> states;
+  states.reserve(graph.n());
+  for (graph::NodeIndex v = 0; v < graph.n(); ++v) {
+    if (partner[v] == graph::kInvalidNode) {
+      states.push_back(encode_pointer(std::nullopt));
+    } else {
+      states.push_back(encode_pointer(graph.id(partner[v])));
+    }
+  }
+  return local::Configuration(std::move(g), std::move(states));
+}
+
+core::Labeling MaximalMatchingScheme::mark(
+    const local::Configuration& cfg) const {
+  return empty_labeling(cfg.n());
+}
+
+bool MaximalMatchingScheme::verify(const local::VerifierContext& ctx) const {
+  const auto own = decode_pointer(ctx.state());
+  if (!own) return false;
+  if (own->has_value()) {
+    // My partner must be a neighbor pointing back at me.
+    for (const local::NeighborView& nb : ctx.neighbors()) {
+      if (!nb.id_visible || nb.state == nullptr) return false;
+      if (nb.id != **own) continue;
+      const auto theirs = decode_pointer(*nb.state);
+      return theirs && theirs->has_value() && **theirs == ctx.id();
+    }
+    return false;  // partner is not a neighbor
+  }
+  // Unmatched: every neighbor must be matched (with someone).
+  for (const local::NeighborView& nb : ctx.neighbors()) {
+    if (nb.state == nullptr) return false;
+    const auto theirs = decode_pointer(*nb.state);
+    if (!theirs || !theirs->has_value()) return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// maximal independent set
+// ---------------------------------------------------------------------------
+
+local::State MisLanguage::encode_member(bool in_set) {
+  return local::State::of_uint(in_set ? 1 : 0, 1);
+}
+
+bool MisLanguage::contains(const local::Configuration& cfg) const {
+  const graph::Graph& g = cfg.graph();
+  std::vector<bool> member(g.n(), false);
+  for (graph::NodeIndex v = 0; v < g.n(); ++v) {
+    const auto bit = decode_bit(cfg.state(v));
+    if (!bit) return false;
+    member[v] = *bit;
+  }
+  for (const graph::Edge& e : g.edges())
+    if (member[e.u] && member[e.v]) return false;  // independence
+  for (graph::NodeIndex v = 0; v < g.n(); ++v) {
+    if (member[v]) continue;
+    bool blocked = false;
+    for (const graph::AdjEntry& a : g.adjacency(v))
+      if (member[a.to]) {
+        blocked = true;
+        break;
+      }
+    if (!blocked) return false;  // maximality
+  }
+  return true;
+}
+
+local::Configuration MisLanguage::sample_legal(
+    std::shared_ptr<const graph::Graph> g, util::Rng& rng) const {
+  const graph::Graph& graph = *g;
+  std::vector<bool> member(graph.n(), false);
+  std::vector<bool> blocked(graph.n(), false);
+  for (const std::uint64_t vi : rng.permutation(graph.n())) {
+    const auto v = static_cast<graph::NodeIndex>(vi);
+    if (blocked[v]) continue;
+    member[v] = true;
+    blocked[v] = true;
+    for (const graph::AdjEntry& a : graph.adjacency(v)) blocked[a.to] = true;
+  }
+  std::vector<local::State> states;
+  states.reserve(graph.n());
+  for (graph::NodeIndex v = 0; v < graph.n(); ++v)
+    states.push_back(encode_member(member[v]));
+  return local::Configuration(std::move(g), std::move(states));
+}
+
+core::Labeling MisScheme::mark(const local::Configuration& cfg) const {
+  return empty_labeling(cfg.n());
+}
+
+bool MisScheme::verify(const local::VerifierContext& ctx) const {
+  const auto own = decode_bit(ctx.state());
+  if (!own) return false;
+  bool has_member_neighbor = false;
+  for (const local::NeighborView& nb : ctx.neighbors()) {
+    if (nb.state == nullptr) return false;
+    const auto theirs = decode_bit(*nb.state);
+    if (!theirs) return false;
+    if (*theirs) has_member_neighbor = true;
+  }
+  return *own ? !has_member_neighbor : has_member_neighbor;
+}
+
+}  // namespace pls::schemes

@@ -1,0 +1,103 @@
+// Locally checkable labelings under the PLS lens (R7).
+//
+// The paper positions proof labeling schemes as the certificate-equipped
+// generalization of Naor–Stockmeyer locally checkable labelings: an LCL
+// predicate is verifiable with *empty* certificates once the verification
+// round exposes neighbor states.  Three classic LCLs are provided, each with
+// its 0-bit scheme:
+//
+//   * dominating set  — every node is in the set or adjacent to it,
+//   * maximal matching — mutual partner pointers, no augmenting edge,
+//   * maximal independent set — no adjacent members, no addable node.
+//
+// They broaden the soundness test surface and anchor the proof-size summary
+// table's 0-bit rows.
+#pragma once
+
+#include "pls/scheme.hpp"
+
+namespace pls::schemes {
+
+class DominatingSetLanguage final : public core::Language {
+ public:
+  std::string_view name() const noexcept override { return "domset"; }
+  bool contains(const local::Configuration& cfg) const override;
+  /// Greedy dominating set along a random node order.
+  local::Configuration sample_legal(std::shared_ptr<const graph::Graph> g,
+                                    util::Rng& rng) const override;
+  static local::State encode_member(bool in_set);
+};
+
+class DominatingSetScheme final : public core::Scheme {
+ public:
+  explicit DominatingSetScheme(const DominatingSetLanguage& language)
+      : language_(language) {}
+  std::string_view name() const noexcept override { return "domset/0bit"; }
+  const core::Language& language() const noexcept override {
+    return language_;
+  }
+  core::Labeling mark(const local::Configuration& cfg) const override;
+  bool verify(const local::VerifierContext& ctx) const override;
+  std::size_t proof_size_bound(std::size_t, std::size_t) const override {
+    return 0;
+  }
+
+ private:
+  const DominatingSetLanguage& language_;
+};
+
+class MaximalMatchingLanguage final : public core::Language {
+ public:
+  std::string_view name() const noexcept override { return "matching"; }
+  bool contains(const local::Configuration& cfg) const override;
+  /// Greedy maximal matching along a random edge order.
+  local::Configuration sample_legal(std::shared_ptr<const graph::Graph> g,
+                                    util::Rng& rng) const override;
+};
+
+class MaximalMatchingScheme final : public core::Scheme {
+ public:
+  explicit MaximalMatchingScheme(const MaximalMatchingLanguage& language)
+      : language_(language) {}
+  std::string_view name() const noexcept override { return "matching/0bit"; }
+  const core::Language& language() const noexcept override {
+    return language_;
+  }
+  core::Labeling mark(const local::Configuration& cfg) const override;
+  bool verify(const local::VerifierContext& ctx) const override;
+  std::size_t proof_size_bound(std::size_t, std::size_t) const override {
+    return 0;
+  }
+
+ private:
+  const MaximalMatchingLanguage& language_;
+};
+
+class MisLanguage final : public core::Language {
+ public:
+  std::string_view name() const noexcept override { return "mis"; }
+  bool contains(const local::Configuration& cfg) const override;
+  /// Greedy MIS along a random node order.
+  local::Configuration sample_legal(std::shared_ptr<const graph::Graph> g,
+                                    util::Rng& rng) const override;
+  static local::State encode_member(bool in_set);
+};
+
+class MisScheme final : public core::Scheme {
+ public:
+  explicit MisScheme(const MisLanguage& language) : language_(language) {}
+  std::string_view name() const noexcept override { return "mis/0bit"; }
+  const core::Language& language() const noexcept override {
+    return language_;
+  }
+  core::Labeling mark(const local::Configuration& cfg) const override;
+  bool verify(const local::VerifierContext& ctx) const override;
+  std::size_t proof_size_bound(std::size_t, std::size_t) const override {
+    return 0;
+  }
+
+ private:
+  const MisLanguage& language_;
+};
+
+}  // namespace pls::schemes

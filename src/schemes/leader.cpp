@@ -1,0 +1,139 @@
+#include "schemes/leader.hpp"
+
+#include "graph/algorithms.hpp"
+#include "schemes/common.hpp"
+#include "util/assert.hpp"
+
+namespace pls::schemes {
+
+namespace {
+
+struct LeaderCert {
+  graph::RawId root = 0;
+  graph::RawId parent = 0;
+  std::uint64_t dist = 0;
+};
+
+std::optional<LeaderCert> parse(const local::Certificate& c) {
+  util::BitReader r = c.reader();
+  LeaderCert out;
+  const auto root = r.read_varint();
+  const auto parent = r.read_varint();
+  const auto dist = r.read_varint();
+  if (!root || !parent || !dist || !r.exhausted()) return std::nullopt;
+  out.root = *root;
+  out.parent = *parent;
+  out.dist = *dist;
+  return out;
+}
+
+std::optional<bool> decode_flag(const local::State& s) {
+  util::BitReader r = s.reader();
+  const auto bit = r.read_bit();
+  if (!bit || !r.exhausted()) return std::nullopt;
+  return *bit;
+}
+
+}  // namespace
+
+local::State LeaderLanguage::encode_flag(bool is_leader) {
+  return local::State::of_uint(is_leader ? 1 : 0, 1);
+}
+
+bool LeaderLanguage::contains(const local::Configuration& cfg) const {
+  std::size_t leaders = 0;
+  for (graph::NodeIndex v = 0; v < cfg.n(); ++v) {
+    const auto flag = decode_flag(cfg.state(v));
+    if (!flag) return false;
+    if (*flag) ++leaders;
+  }
+  return leaders == 1;
+}
+
+local::Configuration LeaderLanguage::make_with_leader(
+    std::shared_ptr<const graph::Graph> g, graph::NodeIndex leader) const {
+  PLS_REQUIRE(leader < g->n());
+  std::vector<local::State> states;
+  states.reserve(g->n());
+  for (graph::NodeIndex v = 0; v < g->n(); ++v)
+    states.push_back(encode_flag(v == leader));
+  return local::Configuration(std::move(g), std::move(states));
+}
+
+local::Configuration LeaderLanguage::sample_legal(
+    std::shared_ptr<const graph::Graph> g, util::Rng& rng) const {
+  const auto leader = static_cast<graph::NodeIndex>(rng.below(g->n()));
+  return make_with_leader(std::move(g), leader);
+}
+
+core::Labeling LeaderScheme::mark(const local::Configuration& cfg) const {
+  const graph::Graph& g = cfg.graph();
+  graph::NodeIndex leader = graph::kInvalidNode;
+  for (graph::NodeIndex v = 0; v < g.n(); ++v) {
+    const auto flag = decode_flag(cfg.state(v));
+    PLS_REQUIRE(flag.has_value());
+    if (*flag) {
+      PLS_REQUIRE(leader == graph::kInvalidNode);
+      leader = v;
+    }
+  }
+  PLS_REQUIRE(leader != graph::kInvalidNode);
+
+  const graph::BfsResult tree = graph::bfs(g, leader);
+  core::Labeling lab;
+  lab.certs.reserve(g.n());
+  for (graph::NodeIndex v = 0; v < g.n(); ++v) {
+    util::BitWriter w;
+    w.write_varint(g.id(leader));
+    const graph::NodeIndex parent =
+        tree.parent[v] == graph::kInvalidNode ? v : tree.parent[v];
+    w.write_varint(g.id(parent));
+    w.write_varint(tree.dist[v]);
+    lab.certs.push_back(local::Certificate::from_writer(std::move(w)));
+  }
+  return lab;
+}
+
+bool LeaderScheme::verify(const local::VerifierContext& ctx) const {
+  const auto flag = decode_flag(ctx.state());
+  if (!flag) return false;
+  const auto own = parse(ctx.certificate());
+  if (!own) return false;
+
+  std::vector<LeaderCert> nb_certs;
+  nb_certs.reserve(ctx.degree());
+  for (const local::NeighborView& nb : ctx.neighbors()) {
+    const auto c = parse(*nb.cert);
+    if (!c) return false;
+    if (c->root != own->root) return false;  // root-id agreement
+    nb_certs.push_back(*c);
+  }
+
+  if (own->dist == 0) {
+    // The root must be the leader and carry the shared root id.
+    if (!*flag) return false;
+    if (own->root != ctx.id()) return false;
+    if (own->parent != ctx.id()) return false;
+  } else {
+    // Non-roots must not be leaders and must have a parent one hop closer.
+    if (*flag) return false;
+    bool parent_ok = false;
+    for (std::size_t i = 0; i < nb_certs.size(); ++i) {
+      if (!ctx.neighbors()[i].id_visible) return false;
+      if (ctx.neighbors()[i].id == own->parent &&
+          nb_certs[i].dist + 1 == own->dist) {
+        parent_ok = true;
+        break;
+      }
+    }
+    if (!parent_ok) return false;
+  }
+  return true;
+}
+
+std::size_t LeaderScheme::proof_size_bound(std::size_t n,
+                                           std::size_t /*state_bits*/) const {
+  return 2 * id_varint_bound(n) + varint_bits(n);
+}
+
+}  // namespace pls::schemes

@@ -1,0 +1,50 @@
+// LEADER — exactly one node is marked.
+//
+// States are single bits; the language holds when exactly one node carries 1.
+// The classic Θ(log n) scheme certifies a spanning tree pointing at the
+// leader: certificate = (root id, parent id, distance to root).  Acceptance
+// everywhere forces a unique root (root-id agreement on a connected graph +
+// the root's id equals the shared root id) which must be marked, and distance
+// descent forces every other node to reach it, so no second leader can hide.
+// The Ω(log n) lower bound is exercised by crossing leader-on-ring instances
+// (experiment F3).
+#pragma once
+
+#include "pls/scheme.hpp"
+
+namespace pls::schemes {
+
+class LeaderLanguage final : public core::Language {
+ public:
+  std::string_view name() const noexcept override { return "leader"; }
+  bool contains(const local::Configuration& cfg) const override;
+  local::Configuration sample_legal(std::shared_ptr<const graph::Graph> g,
+                                    util::Rng& rng) const override;
+
+  /// Legal configuration with the leader at a chosen node.
+  local::Configuration make_with_leader(std::shared_ptr<const graph::Graph> g,
+                                        graph::NodeIndex leader) const;
+
+  static local::State encode_flag(bool is_leader);
+};
+
+class LeaderScheme final : public core::Scheme {
+ public:
+  explicit LeaderScheme(const LeaderLanguage& language)
+      : language_(language) {}
+
+  std::string_view name() const noexcept override { return "leader/tree"; }
+  const core::Language& language() const noexcept override {
+    return language_;
+  }
+
+  core::Labeling mark(const local::Configuration& cfg) const override;
+  bool verify(const local::VerifierContext& ctx) const override;
+  std::size_t proof_size_bound(std::size_t n,
+                               std::size_t state_bits) const override;
+
+ private:
+  const LeaderLanguage& language_;
+};
+
+}  // namespace pls::schemes

@@ -1,0 +1,383 @@
+#include "schemes/mst.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "graph/algorithms.hpp"
+#include "graph/mst.hpp"
+#include "schemes/common.hpp"
+#include "util/assert.hpp"
+
+namespace pls::schemes {
+
+namespace {
+
+constexpr std::size_t kMaxPhaseRecords = 64;
+
+struct PhaseRecord {
+  graph::RawId frag = 0;
+  graph::RawId t1_parent = 0;
+  std::uint64_t t1_dist = 0;
+  bool has_chosen = false;
+  graph::RawId a = 0;  ///< chosen edge endpoint inside the fragment
+  graph::RawId b = 0;  ///< chosen edge endpoint outside the fragment
+  std::uint64_t w = 0;
+  graph::RawId t2_parent = 0;
+  std::uint64_t t2_dist = 0;
+};
+
+struct MstCert {
+  std::vector<PhaseRecord> rec;
+};
+
+std::optional<MstCert> parse(const local::Certificate& c) {
+  util::BitReader r = c.reader();
+  const auto count = r.read_varint();
+  if (!count || *count == 0 || *count > kMaxPhaseRecords) return std::nullopt;
+  MstCert cert;
+  cert.rec.reserve(static_cast<std::size_t>(*count));
+  for (std::uint64_t i = 0; i < *count; ++i) {
+    PhaseRecord rec;
+    const auto frag = r.read_varint();
+    const auto t1p = r.read_varint();
+    const auto t1d = r.read_varint();
+    const auto has = r.read_bit();
+    if (!frag || !t1p || !t1d || !has) return std::nullopt;
+    rec.frag = *frag;
+    rec.t1_parent = *t1p;
+    rec.t1_dist = *t1d;
+    rec.has_chosen = *has;
+    if (rec.has_chosen) {
+      const auto a = r.read_varint();
+      const auto b = r.read_varint();
+      const auto w = r.read_varint();
+      const auto t2p = r.read_varint();
+      const auto t2d = r.read_varint();
+      if (!a || !b || !w || !t2p || !t2d) return std::nullopt;
+      rec.a = *a;
+      rec.b = *b;
+      rec.w = *w;
+      rec.t2_parent = *t2p;
+      rec.t2_dist = *t2d;
+    }
+    cert.rec.push_back(rec);
+  }
+  if (!r.exhausted()) return std::nullopt;
+  return cert;
+}
+
+local::Certificate serialize(const MstCert& cert) {
+  util::BitWriter w;
+  w.write_varint(cert.rec.size());
+  for (const PhaseRecord& rec : cert.rec) {
+    w.write_varint(rec.frag);
+    w.write_varint(rec.t1_parent);
+    w.write_varint(rec.t1_dist);
+    w.write_bit(rec.has_chosen);
+    if (rec.has_chosen) {
+      w.write_varint(rec.a);
+      w.write_varint(rec.b);
+      w.write_varint(rec.w);
+      w.write_varint(rec.t2_parent);
+      w.write_varint(rec.t2_dist);
+    }
+  }
+  return local::Certificate::from_writer(std::move(w));
+}
+
+/// BFS trees inside each fragment, over tree edges only, from given roots.
+/// Fills parent (id of parent node; root = self) and dist per node.
+void fragment_bfs(const graph::Graph& g, const std::vector<bool>& tree_mask,
+                  const std::vector<graph::NodeIndex>& fragment_of,
+                  const std::vector<graph::NodeIndex>& roots,
+                  std::vector<graph::NodeIndex>& parent,
+                  std::vector<std::uint64_t>& dist) {
+  parent.assign(g.n(), graph::kInvalidNode);
+  dist.assign(g.n(), 0);
+  std::vector<bool> seen(g.n(), false);
+  std::queue<graph::NodeIndex> frontier;
+  for (const graph::NodeIndex r : roots) {
+    seen[r] = true;
+    parent[r] = r;
+    frontier.push(r);
+  }
+  while (!frontier.empty()) {
+    const graph::NodeIndex v = frontier.front();
+    frontier.pop();
+    for (const graph::AdjEntry& a : g.adjacency(v)) {
+      if (!tree_mask[a.edge]) continue;
+      if (fragment_of[a.to] != fragment_of[v]) continue;
+      if (seen[a.to]) continue;
+      seen[a.to] = true;
+      parent[a.to] = v;
+      dist[a.to] = dist[v] + 1;
+      frontier.push(a.to);
+    }
+  }
+  for (graph::NodeIndex v = 0; v < g.n(); ++v) PLS_ASSERT(seen[v]);
+}
+
+}  // namespace
+
+bool MstLanguage::contains(const local::Configuration& cfg) const {
+  const graph::Graph& g = cfg.graph();
+  if (!g.is_connected() || !g.has_distinct_weights()) return false;
+  const auto mask = subgraph_mask_from_states(cfg);
+  if (!mask) return false;
+  if (!graph::is_spanning_tree(g, *mask)) return false;
+  std::vector<bool> mst_mask(g.m(), false);
+  for (const graph::EdgeIndex e : graph::kruskal(g)) mst_mask[e] = true;
+  return *mask == mst_mask;
+}
+
+local::Configuration MstLanguage::sample_legal(
+    std::shared_ptr<const graph::Graph> g, util::Rng& /*rng*/) const {
+  PLS_REQUIRE(g->is_connected() && g->has_distinct_weights());
+  std::vector<bool> mask(g->m(), false);
+  for (const graph::EdgeIndex e : graph::kruskal(*g)) mask[e] = true;
+  return make_from_mask(std::move(g), mask);
+}
+
+local::Configuration MstLanguage::make_from_mask(
+    std::shared_ptr<const graph::Graph> g,
+    const std::vector<bool>& mask) const {
+  auto states = states_from_subgraph_mask(*g, mask);
+  return local::Configuration(std::move(g), std::move(states));
+}
+
+core::Labeling MstScheme::mark(const local::Configuration& cfg) const {
+  const graph::Graph& g = cfg.graph();
+  const graph::BoruvkaRun run = graph::boruvka_with_history(g);
+  const std::size_t R = run.phases.size();
+  PLS_REQUIRE(R <= kMaxPhaseRecords);
+
+  std::vector<MstCert> certs(g.n());
+  for (graph::NodeIndex v = 0; v < g.n(); ++v) certs[v].rec.resize(R);
+
+  std::vector<graph::NodeIndex> t_parent;
+  std::vector<std::uint64_t> t_dist;
+  for (std::size_t i = 0; i < R; ++i) {
+    const graph::BoruvkaPhase& phase = run.phases[i];
+
+    // Fragment names and T1 (rooted at the fragment representative).
+    {
+      std::vector<graph::NodeIndex> roots;
+      for (graph::NodeIndex v = 0; v < g.n(); ++v)
+        if (phase.fragment_of[v] == v) roots.push_back(v);
+      fragment_bfs(g, run.mst_mask, phase.fragment_of, roots, t_parent,
+                   t_dist);
+      for (graph::NodeIndex v = 0; v < g.n(); ++v) {
+        certs[v].rec[i].frag = g.id(phase.fragment_of[v]);
+        certs[v].rec[i].t1_parent = g.id(t_parent[v]);
+        certs[v].rec[i].t1_dist = t_dist[v];
+      }
+    }
+
+    // Chosen edges and T2 (rooted at the inside endpoint of the chosen edge).
+    if (!phase.chosen.empty()) {
+      std::vector<graph::NodeIndex> t2_roots;
+      // Per fragment: the inside endpoint of its chosen edge.
+      std::vector<graph::NodeIndex> inside_of(g.n(), graph::kInvalidNode);
+      for (const auto& [rep, e] : phase.chosen) {
+        const graph::Edge& ed = g.edge(e);
+        const graph::NodeIndex inside =
+            phase.fragment_of[ed.u] == rep ? ed.u : ed.v;
+        PLS_ASSERT(phase.fragment_of[inside] == rep);
+        inside_of[rep] = inside;
+        t2_roots.push_back(inside);
+      }
+      fragment_bfs(g, run.mst_mask, phase.fragment_of, t2_roots, t_parent,
+                   t_dist);
+      for (graph::NodeIndex v = 0; v < g.n(); ++v) {
+        const graph::NodeIndex rep = phase.fragment_of[v];
+        const auto it = phase.chosen.find(rep);
+        PLS_ASSERT(it != phase.chosen.end());
+        const graph::Edge& ed = g.edge(it->second);
+        const graph::NodeIndex inside = inside_of[rep];
+        const graph::NodeIndex outside = ed.u == inside ? ed.v : ed.u;
+        PhaseRecord& rec = certs[v].rec[i];
+        rec.has_chosen = true;
+        rec.a = g.id(inside);
+        rec.b = g.id(outside);
+        rec.w = static_cast<std::uint64_t>(g.weight(it->second));
+        rec.t2_parent = g.id(t_parent[v]);
+        rec.t2_dist = t_dist[v];
+      }
+    }
+  }
+
+  core::Labeling lab;
+  lab.certs.reserve(g.n());
+  for (graph::NodeIndex v = 0; v < g.n(); ++v)
+    lab.certs.push_back(serialize(certs[v]));
+  return lab;
+}
+
+bool MstScheme::verify(const local::VerifierContext& ctx) const {
+  const auto own_list = decode_adjacency_list(ctx.state());
+  if (!own_list) return false;
+  const auto own = parse(ctx.certificate());
+  if (!own) return false;
+  const std::size_t R = own->rec.size();
+
+  struct NeighborData {
+    graph::RawId id = 0;
+    std::uint64_t weight = 0;
+    MstCert cert;
+    bool in_own_list = false;
+  };
+  std::vector<NeighborData> nbs;
+  nbs.reserve(ctx.degree());
+  std::size_t listed_found = 0;
+  for (const local::NeighborView& nb : ctx.neighbors()) {
+    if (!nb.id_visible || nb.state == nullptr) return false;
+    NeighborData d;
+    d.id = nb.id;
+    d.weight = static_cast<std::uint64_t>(nb.edge_weight);
+    auto c = parse(*nb.cert);
+    if (!c) return false;
+    if (c->rec.size() != R) return false;  // phase count agreement
+    d.cert = std::move(*c);
+    d.in_own_list =
+        std::binary_search(own_list->begin(), own_list->end(), nb.id);
+    if (d.in_own_list) ++listed_found;
+    // Symmetry of the claimed edge set.
+    const auto their_list = decode_adjacency_list(*nb.state);
+    if (!their_list) return false;
+    const bool they_list_me =
+        std::binary_search(their_list->begin(), their_list->end(), ctx.id());
+    if (d.in_own_list != they_list_me) return false;
+    nbs.push_back(std::move(d));
+  }
+  if (listed_found != own_list->size()) return false;  // non-neighbor listed
+
+  // Phase 0: singleton fragments.
+  {
+    const PhaseRecord& r0 = own->rec[0];
+    if (r0.frag != ctx.id() || r0.t1_parent != ctx.id() || r0.t1_dist != 0)
+      return false;
+    if (r0.has_chosen && (r0.t2_dist != 0 || r0.a != ctx.id())) return false;
+  }
+
+  for (std::size_t i = 0; i < R; ++i) {
+    const PhaseRecord& r = own->rec[i];
+
+    // T1: fragment spanning tree rooted at the node named by the fragment.
+    if (r.t1_dist == 0) {
+      if (r.frag != ctx.id() || r.t1_parent != ctx.id()) return false;
+    } else {
+      bool ok = false;
+      for (const NeighborData& nb : nbs) {
+        if (nb.id != r.t1_parent) continue;
+        const PhaseRecord& nr = nb.cert.rec[i];
+        if (nr.frag == r.frag && nr.t1_dist + 1 == r.t1_dist &&
+            nb.in_own_list) {
+          ok = true;
+        }
+        break;
+      }
+      if (!ok) return false;
+    }
+
+    bool has_outgoing = false;
+    for (const NeighborData& nb : nbs) {
+      const PhaseRecord& nr = nb.cert.rec[i];
+      if (nr.frag == r.frag) {
+        // Same fragment: agree on the chosen edge, merge together.
+        if (nr.has_chosen != r.has_chosen) return false;
+        if (r.has_chosen &&
+            (nr.a != r.a || nr.b != r.b || nr.w != r.w))
+          return false;
+        if (i + 1 < R && nb.cert.rec[i + 1].frag != own->rec[i + 1].frag)
+          return false;
+      } else {
+        has_outgoing = true;
+        // Outgoing minimality: no edge leaving my fragment may undercut the
+        // chosen weight; equality only at the chosen edge itself.
+        if (!r.has_chosen) return false;
+        if (nb.weight < r.w) return false;
+        if (nb.weight == r.w && !(r.a == ctx.id() && r.b == nb.id))
+          return false;
+      }
+    }
+
+    // Final phase: one fragment, no chosen edge, no outgoing neighbors.
+    if (i + 1 == R) {
+      if (r.has_chosen) return false;
+      if (has_outgoing) return false;
+    }
+
+    if (r.has_chosen) {
+      // T2: fragment spanning tree rooted at the inside endpoint.
+      if (r.t2_dist == 0) {
+        if (r.a != ctx.id()) return false;
+        // The chosen edge must actually be incident to me, with the claimed
+        // weight, leading outside my fragment, and the merge must happen.
+        bool ok = false;
+        for (const NeighborData& nb : nbs) {
+          if (nb.id != r.b) continue;
+          const PhaseRecord& nr = nb.cert.rec[i];
+          if (nr.frag != r.frag && nb.weight == r.w && i + 1 < R &&
+              nb.cert.rec[i + 1].frag == own->rec[i + 1].frag) {
+            ok = true;
+          }
+          break;
+        }
+        if (!ok) return false;
+      } else {
+        bool ok = false;
+        for (const NeighborData& nb : nbs) {
+          if (nb.id != r.t2_parent) continue;
+          const PhaseRecord& nr = nb.cert.rec[i];
+          if (nr.frag == r.frag && nr.has_chosen &&
+              nr.t2_dist + 1 == r.t2_dist && nb.in_own_list) {
+            ok = true;
+          }
+          break;
+        }
+        if (!ok) return false;
+      }
+    }
+  }
+
+  // Coverage: every claimed tree edge is some fragment's chosen edge at the
+  // phase where its endpoints' fragments merge — the cut property then puts
+  // it in the MST.
+  for (const NeighborData& nb : nbs) {
+    if (!nb.in_own_list) continue;
+    bool covered = false;
+    for (std::size_t i = 0; i + 1 < R && !covered; ++i) {
+      const PhaseRecord& rv = own->rec[i];
+      const PhaseRecord& ru = nb.cert.rec[i];
+      if (rv.frag == ru.frag) continue;
+      if (own->rec[i + 1].frag != nb.cert.rec[i + 1].frag) continue;
+      const bool mine = rv.has_chosen && rv.a == ctx.id() && rv.b == nb.id &&
+                        rv.w == nb.weight;
+      const bool theirs = ru.has_chosen && ru.a == nb.id &&
+                          ru.b == ctx.id() && ru.w == nb.weight;
+      if (mine || theirs) covered = true;
+    }
+    if (!covered) return false;
+  }
+  return true;
+}
+
+std::size_t MstScheme::proof_size_bound(std::size_t n,
+                                        std::size_t /*state_bits*/) const {
+  std::size_t phases = 1;
+  std::size_t frags = n;
+  while (frags > 1) {
+    frags = (frags + 1) / 2;
+    ++phases;
+  }
+  const std::size_t idb = id_varint_bound(n);
+  const std::size_t per_phase = 3 * idb + 2 * varint_bits(n) + 1 +
+                                varint_bits(16 * n * n + 1);
+  return phases * per_phase + varint_bits(kMaxPhaseRecords);
+}
+
+std::size_t MstScheme::phase_records(const local::Configuration& cfg) const {
+  return graph::boruvka_with_history(cfg.graph()).phases.size();
+}
+
+}  // namespace pls::schemes

@@ -1,0 +1,78 @@
+// MST — the states describe the unique minimum spanning tree.
+//
+// Language `mstl`: states are adjacency lists (as in stl) over a connected
+// graph with pairwise distinct edge weights; the described edge set must be
+// the (unique) MST.
+//
+// The scheme is the paper's O(log² n)-bit certification of a Borůvka run.
+// The certificate of a node is one record per Borůvka phase (≤ ⌈log₂ n⌉ + 1
+// records, O(log n) bits each):
+//
+//   frag      — the name of the node's fragment at this phase: the id of the
+//               fragment's minimum-id node,
+//   T1        — (parent id, distance): a spanning tree of the fragment rooted
+//               at the node whose id *is* the fragment name; its parent edges
+//               must be claimed tree edges,
+//   chosen    — the fragment's minimum outgoing edge (inside endpoint id,
+//               outside endpoint id, weight), absent only in the final phase,
+//   T2        — (parent id, distance): a second spanning tree of the same
+//               fragment rooted at the chosen edge's inside endpoint, so that
+//               the endpoint's incidence to the claimed edge is certified.
+//
+// The verifier's local checks force, at every phase: fragments are connected
+// and consistently named (T1 roots carry the fragment name as their own id,
+// so a name cannot exist twice); adjacent same-fragment nodes agree on the
+// chosen edge; every edge leaving a fragment weighs at least the fragment's
+// chosen weight (with equality only at the chosen edge itself — weights are
+// distinct); fragments merge along chosen edges and never split.  Each
+// claimed tree edge must be some fragment's chosen edge at the phase where
+// its endpoints' fragments merge — by the cut property that puts it in the
+// MST — and the final phase's T1 spans the whole graph inside the claimed
+// edges, so claimed ⊆ MST and claimed ⊇ a spanning tree: claimed = MST.
+#pragma once
+
+#include "pls/scheme.hpp"
+
+namespace pls::schemes {
+
+class MstLanguage final : public core::Language {
+ public:
+  std::string_view name() const noexcept override { return "mstl"; }
+
+  /// False on graphs without distinct weights or connectivity (the MST
+  /// setting of the paper assumes both).
+  bool contains(const local::Configuration& cfg) const override;
+
+  /// The unique MST, encoded as adjacency lists.  Deterministic; rng unused.
+  local::Configuration sample_legal(std::shared_ptr<const graph::Graph> g,
+                                    util::Rng& rng) const override;
+
+  /// Adjacency-list configuration for an explicit edge mask (not necessarily
+  /// the MST — used to build illegal instances).
+  local::Configuration make_from_mask(std::shared_ptr<const graph::Graph> g,
+                                      const std::vector<bool>& mask) const;
+};
+
+class MstScheme final : public core::Scheme {
+ public:
+  explicit MstScheme(const MstLanguage& language) : language_(language) {}
+
+  std::string_view name() const noexcept override { return "mstl/boruvka"; }
+  const core::Language& language() const noexcept override {
+    return language_;
+  }
+
+  core::Labeling mark(const local::Configuration& cfg) const override;
+  bool verify(const local::VerifierContext& ctx) const override;
+  std::size_t proof_size_bound(std::size_t n,
+                               std::size_t state_bits) const override;
+
+  /// Number of phase records the marker emits for this configuration
+  /// (exposed for the phase-structure experiment F2).
+  std::size_t phase_records(const local::Configuration& cfg) const;
+
+ private:
+  const MstLanguage& language_;
+};
+
+}  // namespace pls::schemes

@@ -1,0 +1,60 @@
+#include "schemes/registry.hpp"
+
+#include "schemes/acyclic.hpp"
+#include "schemes/agree.hpp"
+#include "schemes/bipartite.hpp"
+#include "schemes/coloring.hpp"
+#include "schemes/lcl.hpp"
+#include "schemes/leader.hpp"
+#include "schemes/mst.hpp"
+#include "schemes/regular.hpp"
+#include "schemes/spanning_tree.hpp"
+
+namespace pls::schemes {
+
+namespace {
+
+template <typename LanguageT, typename SchemeT, typename... LangArgs>
+SchemeEntry make_entry(std::string label, LangArgs&&... args) {
+  auto language = std::make_shared<const LanguageT>(
+      std::forward<LangArgs>(args)...);
+  auto scheme = std::make_shared<const SchemeT>(*language);
+  SchemeEntry entry;
+  entry.label = std::move(label);
+  entry.language = language;
+  entry.scheme = scheme;
+  return entry;
+}
+
+}  // namespace
+
+std::vector<SchemeEntry> standard_catalog(const CatalogOptions& options) {
+  std::vector<SchemeEntry> catalog;
+  catalog.push_back(
+      make_entry<AgreeLanguage, AgreeScheme>("agree", options.agree_value_bits));
+  catalog.push_back(make_entry<LeaderLanguage, LeaderScheme>("leader"));
+  catalog.push_back(make_entry<AcyclicLanguage, AcyclicScheme>("acyclic"));
+  catalog.push_back(make_entry<StpLanguage, StpScheme>("stp"));
+  catalog.push_back(make_entry<StlLanguage, StlScheme>("stl"));
+  {
+    SchemeEntry mst = make_entry<MstLanguage, MstScheme>("mstl");
+    mst.needs_weighted = true;
+    catalog.push_back(std::move(mst));
+  }
+  {
+    SchemeEntry bip = make_entry<BipartiteLanguage, BipartiteScheme>("bipartite");
+    bip.needs_bipartite = true;
+    catalog.push_back(std::move(bip));
+  }
+  catalog.push_back(make_entry<ColoringLanguage, ColoringScheme>(
+      "coloring", options.coloring_colors));
+  catalog.push_back(make_entry<RegularLanguage, RegularScheme>("regular"));
+  catalog.push_back(
+      make_entry<DominatingSetLanguage, DominatingSetScheme>("domset"));
+  catalog.push_back(
+      make_entry<MaximalMatchingLanguage, MaximalMatchingScheme>("matching"));
+  catalog.push_back(make_entry<MisLanguage, MisScheme>("mis"));
+  return catalog;
+}
+
+}  // namespace pls::schemes

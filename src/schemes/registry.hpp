@@ -1,0 +1,34 @@
+// Scheme catalog: every (language, scheme) pair in one iterable bundle.
+//
+// Benches and tests sweep "all schemes"; the catalog owns the language and
+// scheme objects together (schemes hold references into their languages) and
+// records the instance-family preconditions each pair needs.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pls/scheme.hpp"
+
+namespace pls::schemes {
+
+struct SchemeEntry {
+  std::string label;
+  std::shared_ptr<const core::Language> language;  // destroyed after scheme
+  std::shared_ptr<const core::Scheme> scheme;
+  bool needs_weighted = false;   ///< distinct-weight connected graphs only
+  bool needs_bipartite = false;  ///< bipartite graphs only
+};
+
+struct CatalogOptions {
+  unsigned agree_value_bits = 32;
+  std::uint64_t coloring_colors = 64;  ///< must exceed the max degree used
+};
+
+/// The paper's scheme suite: agree, leader, acyclic, stp, stl, mstl,
+/// bipartite, coloring, regular, plus the 0-bit LCL trio (dominating set,
+/// maximal matching, maximal independent set).
+std::vector<SchemeEntry> standard_catalog(const CatalogOptions& options = {});
+
+}  // namespace pls::schemes

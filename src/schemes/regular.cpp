@@ -1,0 +1,100 @@
+#include "schemes/regular.hpp"
+
+#include <algorithm>
+
+#include "schemes/common.hpp"
+#include "util/assert.hpp"
+
+namespace pls::schemes {
+
+bool RegularLanguage::contains(const local::Configuration& cfg) const {
+  const auto mask = subgraph_mask_from_states(cfg);
+  if (!mask) return false;
+  const graph::Graph& g = cfg.graph();
+  std::vector<std::size_t> deg(g.n(), 0);
+  for (graph::EdgeIndex e = 0; e < g.m(); ++e)
+    if ((*mask)[e]) {
+      ++deg[g.edge(e).u];
+      ++deg[g.edge(e).v];
+    }
+  for (graph::NodeIndex v = 1; v < g.n(); ++v)
+    if (deg[v] != deg[0]) return false;
+  return true;
+}
+
+local::Configuration RegularLanguage::sample_legal(
+    std::shared_ptr<const graph::Graph> g, util::Rng& rng) const {
+  // Try a perfect matching greedily (1-regular); fall back to 0-regular.
+  std::vector<bool> mask(g->m(), false);
+  std::vector<bool> matched(g->n(), false);
+  auto order = rng.permutation(g->m());
+  for (const std::uint64_t ei : order) {
+    const auto e = static_cast<graph::EdgeIndex>(ei);
+    const graph::Edge& ed = g->edge(e);
+    if (matched[ed.u] || matched[ed.v]) continue;
+    matched[ed.u] = matched[ed.v] = true;
+    mask[e] = true;
+  }
+  const bool perfect =
+      std::all_of(matched.begin(), matched.end(), [](bool b) { return b; });
+  if (!perfect) mask.assign(g->m(), false);  // 0-regular fallback
+  auto states = states_from_subgraph_mask(*g, mask);
+  return local::Configuration(std::move(g), std::move(states));
+}
+
+local::Configuration RegularLanguage::make_full_subgraph(
+    std::shared_ptr<const graph::Graph> g) const {
+  std::vector<bool> mask(g->m(), true);
+  auto states = states_from_subgraph_mask(*g, mask);
+  return local::Configuration(std::move(g), std::move(states));
+}
+
+core::Labeling RegularScheme::mark(const local::Configuration& cfg) const {
+  const auto list0 = decode_adjacency_list(cfg.state(0));
+  PLS_REQUIRE(list0.has_value());
+  const std::uint64_t degree = list0->size();
+  util::BitWriter w;
+  w.write_varint(degree);
+  const local::Certificate cert = local::Certificate::from_writer(std::move(w));
+  core::Labeling lab;
+  lab.certs.assign(cfg.n(), cert);
+  return lab;
+}
+
+bool RegularScheme::verify(const local::VerifierContext& ctx) const {
+  const auto own_list = decode_adjacency_list(ctx.state());
+  if (!own_list) return false;
+
+  util::BitReader r = ctx.certificate().reader();
+  const auto claimed = r.read_varint();
+  if (!claimed || !r.exhausted()) return false;
+  if (*claimed != own_list->size()) return false;
+
+  std::size_t listed_neighbors = 0;
+  for (const local::NeighborView& nb : ctx.neighbors()) {
+    if (!nb.id_visible || nb.state == nullptr) return false;
+    // Degree agreement.
+    util::BitReader nr = nb.cert->reader();
+    const auto theirs = nr.read_varint();
+    if (!theirs || !nr.exhausted()) return false;
+    if (*theirs != *claimed) return false;
+    // Symmetry of the description.
+    const auto their_list = decode_adjacency_list(*nb.state);
+    if (!their_list) return false;
+    const bool i_list_them =
+        std::binary_search(own_list->begin(), own_list->end(), nb.id);
+    const bool they_list_me =
+        std::binary_search(their_list->begin(), their_list->end(), ctx.id());
+    if (i_list_them != they_list_me) return false;
+    if (i_list_them) ++listed_neighbors;
+  }
+  // Every listed node must be an actual neighbor.
+  return listed_neighbors == own_list->size();
+}
+
+std::size_t RegularScheme::proof_size_bound(std::size_t n,
+                                            std::size_t /*state_bits*/) const {
+  return varint_bits(n);
+}
+
+}  // namespace pls::schemes

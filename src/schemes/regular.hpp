@@ -1,0 +1,53 @@
+// REGULAR — the subgraph described by the states is regular.
+//
+// States are adjacency lists; the language holds when the described subgraph
+// H_ℓ has all degrees equal.  A compact scheme exists (certificate = the
+// common degree; verify = my list length equals it and all neighbors claim
+// the same degree).  The language matters mostly as a *negative* example for
+// the error-sensitivity extension: gluing two regular graphs of different
+// degrees yields an instance that is far from the language yet rejected at
+// only O(1) nodes — no scheme for `regular` can be error-sensitive
+// (src/sensitivity reproduces the construction).
+#pragma once
+
+#include "pls/scheme.hpp"
+
+namespace pls::schemes {
+
+class RegularLanguage final : public core::Language {
+ public:
+  std::string_view name() const noexcept override { return "regular"; }
+  bool contains(const local::Configuration& cfg) const override;
+
+  /// H_ℓ = a maximal matching greedily built on the graph (1-regular is the
+  /// easy witness; empty subgraph would be 0-regular but degenerate — we use
+  /// the matching when possible and fall back to the empty subgraph).
+  local::Configuration sample_legal(std::shared_ptr<const graph::Graph> g,
+                                    util::Rng& rng) const override;
+
+  /// Adjacency-list configuration describing the full graph (legal iff the
+  /// graph itself is regular).
+  local::Configuration make_full_subgraph(
+      std::shared_ptr<const graph::Graph> g) const;
+};
+
+class RegularScheme final : public core::Scheme {
+ public:
+  explicit RegularScheme(const RegularLanguage& language)
+      : language_(language) {}
+
+  std::string_view name() const noexcept override { return "regular/degree"; }
+  const core::Language& language() const noexcept override {
+    return language_;
+  }
+
+  core::Labeling mark(const local::Configuration& cfg) const override;
+  bool verify(const local::VerifierContext& ctx) const override;
+  std::size_t proof_size_bound(std::size_t n,
+                               std::size_t state_bits) const override;
+
+ private:
+  const RegularLanguage& language_;
+};
+
+}  // namespace pls::schemes

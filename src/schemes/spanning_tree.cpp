@@ -1,0 +1,268 @@
+#include "schemes/spanning_tree.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "graph/algorithms.hpp"
+#include "schemes/common.hpp"
+#include "util/assert.hpp"
+
+namespace pls::schemes {
+
+namespace {
+
+struct TreeCert {
+  graph::RawId root = 0;
+  graph::RawId parent = 0;
+  std::uint64_t dist = 0;
+};
+
+std::optional<TreeCert> parse(const local::Certificate& c) {
+  util::BitReader r = c.reader();
+  const auto root = r.read_varint();
+  const auto parent = r.read_varint();
+  const auto dist = r.read_varint();
+  if (!root || !parent || !dist || !r.exhausted()) return std::nullopt;
+  return TreeCert{*root, *parent, *dist};
+}
+
+local::Certificate make_cert(graph::RawId root, graph::RawId parent,
+                             std::uint64_t dist) {
+  util::BitWriter w;
+  w.write_varint(root);
+  w.write_varint(parent);
+  w.write_varint(dist);
+  return local::Certificate::from_writer(std::move(w));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// stp: parent pointers
+// ---------------------------------------------------------------------------
+
+bool StpLanguage::contains(const local::Configuration& cfg) const {
+  const auto pointers = decode_pointer_states(cfg);
+  if (!pointers) return false;
+  return graph::is_spanning_in_tree(cfg.graph(), *pointers);
+}
+
+local::Configuration StpLanguage::make_tree(
+    std::shared_ptr<const graph::Graph> g, graph::NodeIndex root) const {
+  PLS_REQUIRE(root < g->n());
+  PLS_REQUIRE(g->is_connected());
+  const graph::BfsResult tree = graph::bfs(*g, root);
+  std::vector<local::State> states;
+  states.reserve(g->n());
+  for (graph::NodeIndex v = 0; v < g->n(); ++v) {
+    if (tree.parent[v] == graph::kInvalidNode) {
+      states.push_back(encode_pointer(std::nullopt));
+    } else {
+      states.push_back(encode_pointer(g->id(tree.parent[v])));
+    }
+  }
+  return local::Configuration(std::move(g), std::move(states));
+}
+
+local::Configuration StpLanguage::sample_legal(
+    std::shared_ptr<const graph::Graph> g, util::Rng& rng) const {
+  const auto root = static_cast<graph::NodeIndex>(rng.below(g->n()));
+  return make_tree(std::move(g), root);
+}
+
+core::Labeling StpScheme::mark(const local::Configuration& cfg) const {
+  const auto pointers = decode_pointer_states(cfg);
+  PLS_REQUIRE(pointers.has_value());
+  const graph::Graph& g = cfg.graph();
+
+  graph::NodeIndex root = graph::kInvalidNode;
+  for (graph::NodeIndex v = 0; v < g.n(); ++v)
+    if (!(*pointers)[v].has_value()) {
+      PLS_REQUIRE(root == graph::kInvalidNode);
+      root = v;
+    }
+  PLS_REQUIRE(root != graph::kInvalidNode);
+
+  // Depth of every node along its pointer chain (memoized walk).
+  std::vector<std::uint64_t> depth(g.n(), 0);
+  std::vector<std::uint8_t> done(g.n(), 0);
+  done[root] = 1;
+  for (graph::NodeIndex start = 0; start < g.n(); ++start) {
+    std::vector<graph::NodeIndex> stack;
+    graph::NodeIndex v = start;
+    while (!done[v]) {
+      stack.push_back(v);
+      PLS_REQUIRE((*pointers)[v].has_value());
+      v = *(*pointers)[v];
+    }
+    std::uint64_t base = depth[v];
+    while (!stack.empty()) {
+      const graph::NodeIndex u = stack.back();
+      stack.pop_back();
+      depth[u] = ++base;
+      done[u] = 1;
+    }
+  }
+
+  core::Labeling lab;
+  lab.certs.reserve(g.n());
+  for (graph::NodeIndex v = 0; v < g.n(); ++v) {
+    const graph::NodeIndex parent =
+        (*pointers)[v].has_value() ? *(*pointers)[v] : v;
+    lab.certs.push_back(make_cert(g.id(root), g.id(parent), depth[v]));
+  }
+  return lab;
+}
+
+bool StpScheme::verify(const local::VerifierContext& ctx) const {
+  const auto pointer = decode_pointer(ctx.state());
+  if (!pointer) return false;
+  const auto own = parse(ctx.certificate());
+  if (!own) return false;
+
+  // Root-id agreement with every neighbor.
+  std::vector<TreeCert> nb_certs;
+  nb_certs.reserve(ctx.degree());
+  for (const local::NeighborView& nb : ctx.neighbors()) {
+    const auto c = parse(*nb.cert);
+    if (!c) return false;
+    if (c->root != own->root) return false;
+    nb_certs.push_back(*c);
+  }
+
+  if (!pointer->has_value()) {
+    // The root: distance 0 and the shared root id is mine.
+    return own->dist == 0 && own->root == ctx.id();
+  }
+  if (own->dist == 0) return false;  // only the root may claim distance 0.
+  // The certificate's parent field must match the state's pointer, and that
+  // neighbor must be one hop closer to the root.
+  if (own->parent != **pointer) return false;
+  for (std::size_t i = 0; i < nb_certs.size(); ++i) {
+    if (!ctx.neighbors()[i].id_visible) return false;
+    if (ctx.neighbors()[i].id == **pointer)
+      return nb_certs[i].dist + 1 == own->dist;
+  }
+  return false;  // pointer target is not a neighbor
+}
+
+std::size_t StpScheme::proof_size_bound(std::size_t n,
+                                        std::size_t /*state_bits*/) const {
+  return 2 * id_varint_bound(n) + varint_bits(n);
+}
+
+// ---------------------------------------------------------------------------
+// stl: adjacency lists
+// ---------------------------------------------------------------------------
+
+bool StlLanguage::contains(const local::Configuration& cfg) const {
+  const auto mask = subgraph_mask_from_states(cfg);
+  if (!mask) return false;
+  return graph::is_spanning_tree(cfg.graph(), *mask);
+}
+
+local::Configuration StlLanguage::make_from_mask(
+    std::shared_ptr<const graph::Graph> g,
+    const std::vector<bool>& mask) const {
+  auto states = states_from_subgraph_mask(*g, mask);
+  return local::Configuration(std::move(g), std::move(states));
+}
+
+local::Configuration StlLanguage::sample_legal(
+    std::shared_ptr<const graph::Graph> g, util::Rng& rng) const {
+  PLS_REQUIRE(g->is_connected());
+  const auto root = static_cast<graph::NodeIndex>(rng.below(g->n()));
+  const graph::BfsResult tree = graph::bfs(*g, root);
+  std::vector<bool> mask(g->m(), false);
+  for (graph::NodeIndex v = 0; v < g->n(); ++v) {
+    if (tree.parent[v] == graph::kInvalidNode) continue;
+    const auto e = g->find_edge(v, tree.parent[v]);
+    PLS_ASSERT(e.has_value());
+    mask[*e] = true;
+  }
+  return make_from_mask(std::move(g), mask);
+}
+
+core::Labeling StlScheme::mark(const local::Configuration& cfg) const {
+  const auto mask = subgraph_mask_from_states(cfg);
+  PLS_REQUIRE(mask.has_value());
+  const graph::Graph& g = cfg.graph();
+
+  // Deterministic root: the minimum-id node.
+  const auto root_opt = g.find_by_id(g.min_id());
+  PLS_ASSERT(root_opt.has_value());
+  const graph::NodeIndex root = *root_opt;
+  const graph::BfsResult tree = graph::bfs_on_subgraph(g, root, *mask);
+
+  core::Labeling lab;
+  lab.certs.reserve(g.n());
+  for (graph::NodeIndex v = 0; v < g.n(); ++v) {
+    PLS_REQUIRE(tree.dist[v] != graph::BfsResult::kUnreachable);
+    const graph::NodeIndex parent =
+        tree.parent[v] == graph::kInvalidNode ? v : tree.parent[v];
+    lab.certs.push_back(make_cert(g.id(root), g.id(parent), tree.dist[v]));
+  }
+  return lab;
+}
+
+bool StlScheme::verify(const local::VerifierContext& ctx) const {
+  const auto own_list = decode_adjacency_list(ctx.state());
+  if (!own_list) return false;
+  const auto own = parse(ctx.certificate());
+  if (!own) return false;
+
+  // Gather neighbor data, check root agreement, and check symmetry of the
+  // adjacency lists (u lists v iff v lists u).
+  std::unordered_map<graph::RawId, const TreeCert*> cert_of;
+  std::vector<TreeCert> nb_certs(ctx.degree());
+  for (std::size_t i = 0; i < ctx.degree(); ++i) {
+    const local::NeighborView& nb = ctx.neighbors()[i];
+    if (!nb.id_visible || nb.state == nullptr) return false;
+    const auto c = parse(*nb.cert);
+    if (!c) return false;
+    if (c->root != own->root) return false;
+    nb_certs[i] = *c;
+    cert_of[nb.id] = &nb_certs[i];
+    const auto their_list = decode_adjacency_list(*nb.state);
+    if (!their_list) return false;
+    const bool i_list_them =
+        std::binary_search(own_list->begin(), own_list->end(), nb.id);
+    const bool they_list_me =
+        std::binary_search(their_list->begin(), their_list->end(), ctx.id());
+    if (i_list_them != they_list_me) return false;
+  }
+
+  // Every listed node must be an actual neighbor.
+  for (const graph::RawId id : *own_list)
+    if (cert_of.find(id) == cert_of.end()) return false;
+
+  if (own->dist == 0) {
+    if (own->root != ctx.id()) return false;
+    if (own->parent != ctx.id()) return false;
+  } else {
+    // My parent must be a listed tree edge, one hop closer to the root.
+    if (!std::binary_search(own_list->begin(), own_list->end(), own->parent))
+      return false;
+    const auto it = cert_of.find(own->parent);
+    if (it == cert_of.end()) return false;
+    if (it->second->dist + 1 != own->dist) return false;
+  }
+
+  // Every listed edge must be a parent edge of exactly one side: this forces
+  // the claimed edge set to coincide with the certified in-tree.
+  for (const graph::RawId id : *own_list) {
+    const TreeCert& other = *cert_of.at(id);
+    const bool i_am_child = own->parent == id && own->dist == other.dist + 1;
+    const bool they_are_child =
+        other.parent == ctx.id() && other.dist == own->dist + 1;
+    if (!i_am_child && !they_are_child) return false;
+  }
+  return true;
+}
+
+std::size_t StlScheme::proof_size_bound(std::size_t n,
+                                        std::size_t /*state_bits*/) const {
+  return 2 * id_varint_bound(n) + varint_bits(n);
+}
+
+}  // namespace pls::schemes

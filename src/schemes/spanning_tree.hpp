@@ -1,0 +1,88 @@
+// Spanning tree, in both encodings the paper's results distinguish.
+//
+//   * stp — each state is "⊥ or the id of the parent neighbor"; the pointers
+//     must form a single in-tree spanning the network.
+//   * stl — each state is the adjacency list of the node's incident tree
+//     edges; the listed edge set must be a spanning tree.
+//
+// Both admit the classic Θ(log n) scheme: certificate = (root id, parent id,
+// distance to root).  Root-id agreement on a connected graph pins down a
+// unique root; distance descent over parent edges makes the claimed edge set
+// acyclic, connected and spanning.  The encodings differ for the
+// error-sensitivity extension (stl is error-sensitive, stp provably is not —
+// see src/sensitivity), which is why both are first-class here.
+#pragma once
+
+#include "pls/scheme.hpp"
+
+namespace pls::schemes {
+
+/// Spanning tree by parent pointers.
+class StpLanguage final : public core::Language {
+ public:
+  std::string_view name() const noexcept override { return "stp"; }
+  bool contains(const local::Configuration& cfg) const override;
+
+  /// Random BFS in-tree from a random root.
+  local::Configuration sample_legal(std::shared_ptr<const graph::Graph> g,
+                                    util::Rng& rng) const override;
+
+  /// BFS in-tree from a chosen root.
+  local::Configuration make_tree(std::shared_ptr<const graph::Graph> g,
+                                 graph::NodeIndex root) const;
+};
+
+/// Spanning tree by adjacency lists.
+class StlLanguage final : public core::Language {
+ public:
+  std::string_view name() const noexcept override { return "stl"; }
+  bool contains(const local::Configuration& cfg) const override;
+
+  /// Random BFS tree from a random root, encoded as adjacency lists.
+  local::Configuration sample_legal(std::shared_ptr<const graph::Graph> g,
+                                    util::Rng& rng) const override;
+
+  /// Adjacency-list configuration for an explicit tree edge mask.
+  local::Configuration make_from_mask(std::shared_ptr<const graph::Graph> g,
+                                      const std::vector<bool>& mask) const;
+};
+
+/// (root id, parent id, distance) scheme for the pointer encoding.
+class StpScheme final : public core::Scheme {
+ public:
+  explicit StpScheme(const StpLanguage& language) : language_(language) {}
+
+  std::string_view name() const noexcept override { return "stp/root-dist"; }
+  const core::Language& language() const noexcept override {
+    return language_;
+  }
+
+  core::Labeling mark(const local::Configuration& cfg) const override;
+  bool verify(const local::VerifierContext& ctx) const override;
+  std::size_t proof_size_bound(std::size_t n,
+                               std::size_t state_bits) const override;
+
+ private:
+  const StpLanguage& language_;
+};
+
+/// (root id, parent id, distance) scheme for the adjacency-list encoding.
+class StlScheme final : public core::Scheme {
+ public:
+  explicit StlScheme(const StlLanguage& language) : language_(language) {}
+
+  std::string_view name() const noexcept override { return "stl/root-dist"; }
+  const core::Language& language() const noexcept override {
+    return language_;
+  }
+
+  core::Labeling mark(const local::Configuration& cfg) const override;
+  bool verify(const local::VerifierContext& ctx) const override;
+  std::size_t proof_size_bound(std::size_t n,
+                               std::size_t state_bits) const override;
+
+ private:
+  const StlLanguage& language_;
+};
+
+}  // namespace pls::schemes

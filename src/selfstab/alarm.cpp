@@ -1,0 +1,91 @@
+#include "selfstab/alarm.hpp"
+
+#include <memory>
+
+#include "util/assert.hpp"
+#include "util/bitio.hpp"
+
+namespace pls::selfstab {
+
+namespace {
+
+// Aggregation state: [1 bit alarm][varint source id if alarm].
+struct Knowledge {
+  bool alarm = false;
+  graph::RawId source = 0;
+};
+
+local::State encode(const Knowledge& k) {
+  util::BitWriter w;
+  w.write_bit(k.alarm);
+  if (k.alarm) w.write_varint(k.source);
+  return local::State::from_writer(std::move(w));
+}
+
+std::optional<Knowledge> decode(const local::State& s) {
+  util::BitReader r = s.reader();
+  Knowledge k;
+  const auto alarm = r.read_bit();
+  if (!alarm) return std::nullopt;
+  k.alarm = *alarm;
+  if (k.alarm) {
+    const auto src = r.read_varint();
+    if (!src) return std::nullopt;
+    k.source = *src;
+  }
+  if (!r.exhausted()) return std::nullopt;
+  return k;
+}
+
+}  // namespace
+
+AlarmResult converge_alarm(const graph::Graph& g,
+                           const std::vector<bool>& rejected) {
+  PLS_REQUIRE(rejected.size() == g.n());
+
+  std::vector<local::State> init;
+  init.reserve(g.n());
+  for (graph::NodeIndex v = 0; v < g.n(); ++v) {
+    Knowledge k;
+    if (rejected[v]) {
+      k.alarm = true;
+      k.source = g.id(v);
+    }
+    init.push_back(encode(k));
+  }
+
+  const local::StepFn step = [](graph::RawId /*me*/, const local::State& own,
+                                std::span<const local::NeighborState> nbs) {
+    auto mine = decode(own);
+    PLS_ASSERT(mine.has_value());
+    Knowledge best = *mine;
+    for (const local::NeighborState& nb : nbs) {
+      const auto theirs = decode(*nb.state);
+      if (!theirs || !theirs->alarm) continue;
+      if (!best.alarm || theirs->source < best.source) {
+        best.alarm = true;
+        best.source = theirs->source;
+      }
+    }
+    return encode(best);
+  };
+
+  auto shared = std::make_shared<const graph::Graph>(g);
+  local::SyncNetwork net(shared, std::move(init));
+  AlarmResult result;
+  for (std::size_t round = 0; round < g.n() + 1; ++round) {
+    const local::RoundStats stats = net.step(step);
+    ++result.rounds;
+    result.message_bits += stats.message_bits;
+    if (stats.changed_nodes == 0) break;
+  }
+
+  // Every node now holds the same knowledge (connected graph).
+  const auto final_knowledge = decode(net.states()[0]);
+  PLS_ASSERT(final_knowledge.has_value());
+  result.alarm = final_knowledge->alarm;
+  result.source_id = final_knowledge->source;
+  return result;
+}
+
+}  // namespace pls::selfstab

@@ -1,0 +1,31 @@
+// Alarm convergecast: from local rejection to a global, located alarm.
+//
+// A proof labeling scheme guarantees that *some* node rejects an illegal
+// configuration; operationally, the system then needs the alarm to reach an
+// operator or a recovery coordinator.  This module runs the standard
+// O(diameter)-round aggregation: every node repeatedly merges what it knows
+// (the minimum id of any rejecting node, and the count of distinct alarms is
+// approximated by the OR) with its neighbors' knowledge, so after
+// eccentricity-many rounds every node — in particular any designated sink —
+// knows whether an alarm exists and where the smallest-id alarm came from.
+#pragma once
+
+#include "local/network.hpp"
+#include "pls/engine.hpp"
+
+namespace pls::selfstab {
+
+struct AlarmResult {
+  bool alarm = false;               ///< any node rejected
+  graph::RawId source_id = 0;       ///< minimum id among rejecting nodes
+  std::size_t rounds = 0;           ///< rounds until every node knew
+  std::size_t message_bits = 0;
+};
+
+/// Floods the verdict of a verification round through the network until
+/// every node knows (OR of alarms, min of sources).  `rejected` is the
+/// per-node rejection mask from the verifier.
+AlarmResult converge_alarm(const graph::Graph& g,
+                           const std::vector<bool>& rejected);
+
+}  // namespace pls::selfstab

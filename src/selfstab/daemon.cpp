@@ -1,0 +1,71 @@
+#include "selfstab/daemon.hpp"
+
+#include "util/assert.hpp"
+
+namespace pls::selfstab {
+
+namespace {
+
+/// What `step` would produce at v given the current global states.
+local::State evaluate_rule(const graph::Graph& g,
+                           const std::vector<local::State>& states,
+                           const local::StepFn& step, graph::NodeIndex v,
+                           std::vector<local::NeighborState>& scratch) {
+  scratch.clear();
+  for (const graph::AdjEntry& a : g.adjacency(v))
+    scratch.push_back(
+        local::NeighborState{g.id(a.to), g.weight(a.edge), &states[a.to]});
+  return step(g.id(v), states[v], scratch);
+}
+
+}  // namespace
+
+DaemonRun run_under_daemon(const graph::Graph& g,
+                           std::vector<local::State>& states,
+                           const local::StepFn& step, DaemonKind daemon,
+                           util::Rng& rng, std::size_t max_steps) {
+  PLS_REQUIRE(states.size() == g.n());
+  DaemonRun run;
+  std::vector<local::NeighborState> scratch;
+
+  for (std::size_t s = 0; s < max_steps; ++s) {
+    // Enabled nodes and their pending states (computed from the pre-step
+    // configuration — daemon semantics fire rules against what the chosen
+    // nodes currently see).
+    std::vector<graph::NodeIndex> enabled;
+    std::vector<local::State> pending(g.n());
+    for (graph::NodeIndex v = 0; v < g.n(); ++v) {
+      local::State next = evaluate_rule(g, states, step, v, scratch);
+      if (next != states[v]) {
+        enabled.push_back(v);
+        pending[v] = std::move(next);
+      }
+    }
+    if (enabled.empty()) {
+      run.converged = true;
+      return run;
+    }
+    ++run.steps;
+
+    std::vector<graph::NodeIndex> chosen;
+    switch (daemon) {
+      case DaemonKind::kSynchronous:
+        chosen = enabled;
+        break;
+      case DaemonKind::kCentral:
+        chosen.push_back(enabled[rng.below(enabled.size())]);
+        break;
+      case DaemonKind::kDistributed:
+        for (const graph::NodeIndex v : enabled)
+          if (rng.chance(0.5)) chosen.push_back(v);
+        if (chosen.empty())
+          chosen.push_back(enabled[rng.below(enabled.size())]);
+        break;
+    }
+    for (const graph::NodeIndex v : chosen) states[v] = pending[v];
+    run.activations += chosen.size();
+  }
+  return run;  // converged stays false
+}
+
+}  // namespace pls::selfstab

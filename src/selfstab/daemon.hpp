@@ -1,0 +1,37 @@
+// Daemon-based (asynchronous) execution for self-stabilizing protocols.
+//
+// The self-stabilization literature models the scheduler as an adversarial
+// *daemon* that decides which enabled nodes execute their rule at each step:
+//
+//   * kSynchronous — every enabled node fires (the SyncNetwork semantics),
+//   * kCentral     — exactly one enabled node fires per step,
+//   * kDistributed — a nonempty subset of the enabled nodes fires.
+//
+// A node is *enabled* when its rule would change its state.  A protocol is
+// self-stabilizing when it reaches (and stays in) a legitimate configuration
+// under every daemon; the tests drive the spanning-tree protocol through all
+// three.  The daemon's choices here are randomized (seeded), which is the
+// standard way to exercise adversarial schedules reproducibly.
+#pragma once
+
+#include "local/network.hpp"
+#include "util/rng.hpp"
+
+namespace pls::selfstab {
+
+enum class DaemonKind { kSynchronous, kCentral, kDistributed };
+
+struct DaemonRun {
+  std::size_t steps = 0;        ///< daemon steps executed
+  std::size_t activations = 0;  ///< total node activations across all steps
+  bool converged = false;       ///< no node enabled at the end
+};
+
+/// Runs `step` under the given daemon until no node is enabled or
+/// `max_steps` is exhausted.  `states` is updated in place.
+DaemonRun run_under_daemon(const graph::Graph& g,
+                           std::vector<local::State>& states,
+                           const local::StepFn& step, DaemonKind daemon,
+                           util::Rng& rng, std::size_t max_steps);
+
+}  // namespace pls::selfstab

@@ -1,0 +1,54 @@
+#include "selfstab/harness.hpp"
+
+#include <memory>
+
+#include "local/config.hpp"
+#include "util/assert.hpp"
+
+namespace pls::selfstab {
+
+FaultExperiment run_fault_experiment(const graph::Graph& g, std::size_t k,
+                                     util::Rng& rng,
+                                     const FaultOptions& options) {
+  PLS_REQUIRE(k <= g.n());
+  const SpanningTreeProtocol protocol(g.n());
+
+  std::vector<local::State> states = protocol.legitimate(g);
+
+  // Inject k faults.
+  const auto perm = rng.permutation(g.n());
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto v = static_cast<graph::NodeIndex>(perm[i]);
+    if (rng.chance(options.plausible_fault_probability)) {
+      TreeState fake;
+      fake.root = 1 + rng.below(g.max_id());
+      fake.dist = rng.below(g.n() + 1);
+      fake.parent = 1 + rng.below(g.max_id());
+      states[v] = encode_tree_state(fake);
+    } else {
+      states[v] = local::random_state(states[v].bit_size(), rng);
+    }
+  }
+
+  FaultExperiment result;
+  result.corrupted = k;
+  result.detectors_immediate = SpanningTreeProtocol::detectors(g, states).size();
+
+  // Run the protocol to quiescence.  A copy of the graph is not needed: the
+  // network shares it.
+  auto shared = std::make_shared<const graph::Graph>(g);
+  local::SyncNetwork net(shared, std::move(states));
+  const std::size_t budget =
+      options.max_rounds != 0 ? options.max_rounds : 4 * g.n() + 16;
+  const std::size_t rounds = net.run_until_quiescent(protocol.step(), budget);
+  result.converged = rounds <= budget;
+  result.stabilization_rounds = rounds;
+
+  const std::vector<local::State>& final_states = net.states();
+  result.legitimate_after = final_states == protocol.legitimate(g);
+  result.silent_after =
+      SpanningTreeProtocol::detectors(g, final_states).empty();
+  return result;
+}
+
+}  // namespace pls::selfstab

@@ -1,0 +1,37 @@
+// Fault-injection harness for the self-stabilization experiments (F4).
+//
+// Starting from the legitimate configuration, corrupt k node states with
+// random (well-formed or garbage) values, then measure: how many nodes detect
+// the fault in the very next verification round, how many rounds the
+// protocol needs to re-stabilize, and whether the result is silent and
+// legitimate again.
+#pragma once
+
+#include <cstddef>
+
+#include "selfstab/spanning_tree_ss.hpp"
+#include "util/rng.hpp"
+
+namespace pls::selfstab {
+
+struct FaultExperiment {
+  std::size_t corrupted = 0;            ///< k, the number of faulty nodes
+  std::size_t detectors_immediate = 0;  ///< local checks failing at round 0
+  std::size_t stabilization_rounds = 0; ///< rounds until no state changes
+  bool converged = false;               ///< quiesced within the round budget
+  bool legitimate_after = false;        ///< exact legitimate configuration
+  bool silent_after = false;            ///< no detector fires at the end
+};
+
+struct FaultOptions {
+  std::size_t max_rounds = 0;  ///< 0 = use 4n + 16
+  /// Probability that a corrupted state is a well-formed (root, dist, parent)
+  /// triple with random values, rather than raw garbage bits.
+  double plausible_fault_probability = 0.5;
+};
+
+FaultExperiment run_fault_experiment(const graph::Graph& g, std::size_t k,
+                                     util::Rng& rng,
+                                     const FaultOptions& options = {});
+
+}  // namespace pls::selfstab

@@ -1,0 +1,68 @@
+#include "selfstab/mis_ss.hpp"
+
+#include "util/assert.hpp"
+#include "util/bitio.hpp"
+
+namespace pls::selfstab {
+
+namespace {
+
+bool read_member(const local::State& s) {
+  util::BitReader r = s.reader();
+  const auto bit = r.read_bit();
+  // A malformed state counts as "not a member"; the rule then rewrites it
+  // into a canonical 1-bit state, which is the self-stabilizing repair.
+  return bit.has_value() && r.exhausted() && *bit;
+}
+
+}  // namespace
+
+local::StepFn MisProtocol::step() {
+  return [](graph::RawId me, const local::State& own,
+            std::span<const local::NeighborState> neighbors) {
+    const bool member = read_member(own);
+    bool smaller_member_neighbor = false;
+    bool any_member_neighbor = false;
+    for (const local::NeighborState& nb : neighbors) {
+      if (!read_member(*nb.state)) continue;
+      any_member_neighbor = true;
+      if (nb.id < me) smaller_member_neighbor = true;
+    }
+    bool next = member;
+    if (member && smaller_member_neighbor) next = false;  // defer to smaller
+    if (!member && !any_member_neighbor) next = true;     // join
+    return local::State::of_uint(next ? 1 : 0, 1);
+  };
+}
+
+bool MisProtocol::locally_ok(const local::State& own,
+                             std::span<const local::NeighborState> neighbors) {
+  util::BitReader r = own.reader();
+  const auto bit = r.read_bit();
+  if (!bit || !r.exhausted()) return false;
+  bool member_neighbor = false;
+  for (const local::NeighborState& nb : neighbors) {
+    util::BitReader nr = nb.state->reader();
+    const auto theirs = nr.read_bit();
+    if (!theirs || !nr.exhausted()) return false;
+    if (*theirs) member_neighbor = true;
+  }
+  return *bit ? !member_neighbor : member_neighbor;
+}
+
+std::vector<graph::NodeIndex> MisProtocol::detectors(
+    const graph::Graph& g, const std::vector<local::State>& states) {
+  PLS_REQUIRE(states.size() == g.n());
+  std::vector<graph::NodeIndex> out;
+  std::vector<local::NeighborState> scratch;
+  for (graph::NodeIndex v = 0; v < g.n(); ++v) {
+    scratch.clear();
+    for (const graph::AdjEntry& a : g.adjacency(v))
+      scratch.push_back(
+          local::NeighborState{g.id(a.to), g.weight(a.edge), &states[a.to]});
+    if (!locally_ok(states[v], scratch)) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace pls::selfstab

@@ -1,0 +1,33 @@
+// Self-stabilizing maximal independent set with 0-bit PLS detection.
+//
+// A second instance of the paper's application pattern, at the opposite end
+// of the certificate-size spectrum from the spanning tree: the MIS predicate
+// is locally checkable, so its proof labeling scheme needs no certificates at
+// all — the protocol's own states are everything the 1-round detector reads.
+//
+// Rule (classic id-based MIS):
+//   join   — not a member and no neighbor member,
+//   defer  — a member with a smaller-id member neighbor leaves.
+// Under the central daemon this converges from any state (each activation
+// either removes a conflict involving the locally-smallest id or fills an
+// uncovered spot); the tests also drive it synchronously and distributed.
+#pragma once
+
+#include "local/network.hpp"
+
+namespace pls::selfstab {
+
+class MisProtocol {
+ public:
+  /// The self-stabilizing transition rule.
+  static local::StepFn step();
+
+  /// 1-round local detector == the 0-bit MIS verifier: true = consistent.
+  static bool locally_ok(const local::State& own,
+                         std::span<const local::NeighborState> neighbors);
+
+  static std::vector<graph::NodeIndex> detectors(
+      const graph::Graph& g, const std::vector<local::State>& states);
+};
+
+}  // namespace pls::selfstab

@@ -1,0 +1,115 @@
+#include "selfstab/spanning_tree_ss.hpp"
+
+#include <algorithm>
+
+#include "graph/algorithms.hpp"
+#include "util/assert.hpp"
+#include "util/bitio.hpp"
+
+namespace pls::selfstab {
+
+local::State encode_tree_state(const TreeState& s) {
+  util::BitWriter w;
+  w.write_varint(s.root);
+  w.write_varint(s.dist);
+  w.write_varint(s.parent);
+  return local::State::from_writer(std::move(w));
+}
+
+std::optional<TreeState> decode_tree_state(const local::State& s) {
+  util::BitReader r = s.reader();
+  const auto root = r.read_varint();
+  const auto dist = r.read_varint();
+  const auto parent = r.read_varint();
+  if (!root || !dist || !parent || !r.exhausted()) return std::nullopt;
+  return TreeState{*root, *dist, *parent};
+}
+
+SpanningTreeProtocol::SpanningTreeProtocol(std::uint64_t dist_bound)
+    : dist_bound_(dist_bound) {
+  PLS_REQUIRE(dist_bound >= 1);
+}
+
+local::StepFn SpanningTreeProtocol::step() const {
+  const std::uint64_t bound = dist_bound_;
+  return [bound](graph::RawId me, const local::State& /*own*/,
+                 std::span<const local::NeighborState> neighbors) {
+    // Candidate: become my own root...
+    TreeState best{me, 0, me};
+    // ...or attach to the neighbor advertising the smallest (root, dist).
+    for (const local::NeighborState& nb : neighbors) {
+      const auto ns = decode_tree_state(*nb.state);
+      if (!ns) continue;  // corrupted neighbor: ignore this round
+      if (ns->dist + 1 > bound) continue;  // ghost-root flush
+      const TreeState candidate{ns->root, ns->dist + 1, nb.id};
+      if (candidate.root < best.root ||
+          (candidate.root == best.root && candidate.dist < best.dist)) {
+        best = candidate;
+      }
+    }
+    return encode_tree_state(best);
+  };
+}
+
+std::vector<local::State> SpanningTreeProtocol::legitimate(
+    const graph::Graph& g) const {
+  const auto root = g.find_by_id(g.min_id());
+  PLS_REQUIRE(root.has_value());
+  const graph::BfsResult tree = graph::bfs(g, *root);
+  std::vector<local::State> states;
+  states.reserve(g.n());
+  for (graph::NodeIndex v = 0; v < g.n(); ++v) {
+    // The BFS rule attaches to the minimum-id neighbor among those one hop
+    // closer to the root (the rule's deterministic tie-break is "first
+    // smallest (root, dist)" which scans neighbors in adjacency order; we
+    // reproduce it so `legitimate` is exactly the protocol's fixed point).
+    graph::NodeIndex parent = v;
+    for (const graph::AdjEntry& a : g.adjacency(v)) {
+      if (tree.dist[a.to] + 1 == tree.dist[v]) {
+        if (parent == v) parent = a.to;
+      }
+    }
+    TreeState s;
+    s.root = g.min_id();
+    s.dist = tree.dist[v];
+    s.parent = v == *root ? g.id(v) : g.id(parent);
+    states.push_back(encode_tree_state(s));
+  }
+  return states;
+}
+
+bool SpanningTreeProtocol::locally_ok(
+    graph::RawId me, const local::State& own,
+    std::span<const local::NeighborState> neighbors) {
+  const auto s = decode_tree_state(own);
+  if (!s) return false;
+  // Root-id agreement with every neighbor.
+  for (const local::NeighborState& nb : neighbors) {
+    const auto ns = decode_tree_state(*nb.state);
+    if (!ns || ns->root != s->root) return false;
+  }
+  if (s->dist == 0) return s->root == me && s->parent == me;
+  for (const local::NeighborState& nb : neighbors) {
+    if (nb.id != s->parent) continue;
+    const auto ns = decode_tree_state(*nb.state);
+    return ns && ns->dist + 1 == s->dist;
+  }
+  return false;  // parent is not a neighbor
+}
+
+std::vector<graph::NodeIndex> SpanningTreeProtocol::detectors(
+    const graph::Graph& g, const std::vector<local::State>& states) {
+  PLS_REQUIRE(states.size() == g.n());
+  std::vector<graph::NodeIndex> out;
+  std::vector<local::NeighborState> scratch;
+  for (graph::NodeIndex v = 0; v < g.n(); ++v) {
+    scratch.clear();
+    for (const graph::AdjEntry& a : g.adjacency(v))
+      scratch.push_back(
+          local::NeighborState{g.id(a.to), g.weight(a.edge), &states[a.to]});
+    if (!locally_ok(g.id(v), states[v], scratch)) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace pls::selfstab

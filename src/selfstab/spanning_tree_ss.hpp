@@ -1,0 +1,61 @@
+// Silent self-stabilizing spanning tree with proof-labeling detection.
+//
+// The paper motivates proof labeling schemes as the detection layer of
+// self-stabilizing protocols: a *silent* protocol writes both its output and
+// the scheme's certificates into node states; in every round each node runs
+// the 1-round verifier over its neighborhood and, on rejection, resets /
+// recomputes its state locally.  Once the global state is legitimate, no
+// state changes and every local check passes.
+//
+// The protocol here is the classic min-id BFS-tree construction: states are
+// (root id, distance, parent id) — note this *is* the spanning-tree
+// certificate of the stp scheme, so the local detector is exactly the
+// proof-labeling verifier and detection latency after a transient fault is a
+// single round.  A distance bound (n is known) flushes ghost roots, giving
+// O(n)-round stabilization from arbitrary corruption.
+#pragma once
+
+#include <optional>
+
+#include "local/network.hpp"
+
+namespace pls::selfstab {
+
+struct TreeState {
+  graph::RawId root = 0;
+  std::uint64_t dist = 0;
+  graph::RawId parent = 0;
+
+  friend bool operator==(const TreeState&, const TreeState&) = default;
+};
+
+local::State encode_tree_state(const TreeState& s);
+std::optional<TreeState> decode_tree_state(const local::State& s);
+
+class SpanningTreeProtocol {
+ public:
+  /// dist_bound: any value >= n flushes states whose root does not exist.
+  explicit SpanningTreeProtocol(std::uint64_t dist_bound);
+
+  /// The self-stabilizing transition rule (one synchronous round).
+  local::StepFn step() const;
+
+  /// The legitimate configuration on g: BFS tree of the minimum-id node.
+  std::vector<local::State> legitimate(const graph::Graph& g) const;
+
+  /// The 1-round local detector (the proof-labeling verifier run on the
+  /// state-embedded certificates): true = this node sees no inconsistency.
+  static bool locally_ok(graph::RawId me, const local::State& own,
+                         std::span<const local::NeighborState> neighbors);
+
+  /// Runs the detector at every node; returns the rejecting node indices.
+  static std::vector<graph::NodeIndex> detectors(
+      const graph::Graph& g, const std::vector<local::State>& states);
+
+  std::uint64_t dist_bound() const noexcept { return dist_bound_; }
+
+ private:
+  std::uint64_t dist_bound_;
+};
+
+}  // namespace pls::selfstab

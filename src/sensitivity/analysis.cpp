@@ -1,0 +1,239 @@
+#include "sensitivity/analysis.hpp"
+
+#include <limits>
+#include <memory>
+#include <queue>
+
+#include "schemes/common.hpp"
+#include "schemes/leader.hpp"
+#include "util/assert.hpp"
+
+namespace pls::sensitivity {
+
+SensitivityRow measure(const core::Scheme& scheme,
+                       const local::Configuration& legal,
+                       const Corruptor& corrupt, std::size_t k,
+                       util::Rng& rng,
+                       const core::AttackOptions& attack_options) {
+  PLS_REQUIRE(scheme.language().contains(legal));
+  PLS_REQUIRE(k >= 1 && k <= legal.n());
+
+  SensitivityRow row;
+  row.n = legal.n();
+  row.corruptions = k;
+
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    auto perm = rng.permutation(legal.n());
+    std::vector<graph::NodeIndex> nodes;
+    nodes.reserve(k);
+    for (std::size_t i = 0; i < k; ++i)
+      nodes.push_back(static_cast<graph::NodeIndex>(perm[i]));
+    const local::Configuration corrupted = corrupt(legal, nodes, rng);
+    if (scheme.language().contains(corrupted)) continue;  // retry
+    const core::AttackReport report =
+        core::attack(scheme, corrupted, rng, attack_options);
+    row.min_rejections = report.min_rejections;
+    row.ratio = static_cast<double>(report.min_rejections) /
+                static_cast<double>(k);
+    return row;
+  }
+  throw std::runtime_error(
+      "sensitivity::measure: corruption kept producing legal configurations");
+}
+
+local::Configuration corrupt_leader(const local::Configuration& legal,
+                                    const std::vector<graph::NodeIndex>& nodes,
+                                    util::Rng& /*rng*/) {
+  std::vector<local::State> states = legal.states();
+  for (const graph::NodeIndex v : nodes)
+    states[v] = schemes::LeaderLanguage::encode_flag(true);
+  return legal.with_states(std::move(states));
+}
+
+local::Configuration corrupt_agree(const local::Configuration& legal,
+                                   const std::vector<graph::NodeIndex>& nodes,
+                                   util::Rng& rng) {
+  PLS_REQUIRE(!nodes.empty());
+  const std::size_t bits = legal.state(0).bit_size();
+  local::State fresh = local::random_state(bits, rng);
+  while (fresh == legal.state(0)) fresh = local::random_state(bits, rng);
+  std::vector<local::State> states = legal.states();
+  for (const graph::NodeIndex v : nodes) states[v] = fresh;
+  return legal.with_states(std::move(states));
+}
+
+local::Configuration corrupt_adjacency_list(
+    const local::Configuration& legal,
+    const std::vector<graph::NodeIndex>& nodes, util::Rng& rng) {
+  std::vector<local::State> states = legal.states();
+  for (const graph::NodeIndex v : nodes) {
+    auto list = schemes::decode_adjacency_list(states[v]);
+    PLS_REQUIRE(list.has_value());
+    if (list->empty()) continue;  // nothing to drop at this node
+    const std::size_t drop = rng.below(list->size());
+    list->erase(list->begin() + static_cast<std::ptrdiff_t>(drop));
+    states[v] = schemes::encode_adjacency_list(std::move(*list));
+  }
+  return legal.with_states(std::move(states));
+}
+
+std::optional<std::size_t> exact_distance(const core::Language& language,
+                                          const local::Configuration& cfg,
+                                          const CandidateFn& candidates,
+                                          std::size_t max_distance) {
+  if (language.contains(cfg)) return 0;
+  const std::size_t n = cfg.n();
+  PLS_REQUIRE(n <= 24);  // exhaustive search: keep instances tiny
+
+  std::vector<std::vector<local::State>> alphabet(n);
+  for (graph::NodeIndex v = 0; v < n; ++v) alphabet[v] = candidates(v);
+
+  // For each subset size d, enumerate subsets and candidate assignments.
+  std::vector<graph::NodeIndex> subset;
+  std::vector<local::State> states = cfg.states();
+
+  // Recursive assignment over the chosen subset.
+  std::function<bool(std::size_t)> assign = [&](std::size_t i) -> bool {
+    if (i == subset.size()) {
+      return language.contains(cfg.with_states(states));
+    }
+    const graph::NodeIndex v = subset[i];
+    const local::State original = states[v];
+    for (const local::State& candidate : alphabet[v]) {
+      if (candidate == original) continue;  // must actually change the node
+      states[v] = candidate;
+      if (assign(i + 1)) {
+        states[v] = original;
+        return true;
+      }
+    }
+    states[v] = original;
+    return false;
+  };
+
+  std::function<bool(graph::NodeIndex, std::size_t)> choose =
+      [&](graph::NodeIndex from, std::size_t remaining) -> bool {
+    if (remaining == 0) return assign(0);
+    for (graph::NodeIndex v = from; v + remaining <= n; ++v) {
+      subset.push_back(v);
+      if (choose(v + 1, remaining - 1)) {
+        subset.pop_back();
+        return true;
+      }
+      subset.pop_back();
+    }
+    return false;
+  };
+
+  for (std::size_t d = 1; d <= max_distance; ++d)
+    if (choose(0, d)) return d;
+  return std::nullopt;
+}
+
+CandidateFn pointer_candidates(const local::Configuration& cfg) {
+  const graph::Graph* g = &cfg.graph();
+  return [g](graph::NodeIndex v) {
+    std::vector<local::State> out;
+    out.push_back(schemes::encode_pointer(std::nullopt));
+    for (const graph::AdjEntry& a : g->adjacency(v))
+      out.push_back(schemes::encode_pointer(g->id(a.to)));
+    return out;
+  };
+}
+
+CandidateFn membership_bit_candidates() {
+  return [](graph::NodeIndex) {
+    return std::vector<local::State>{local::State::of_uint(0, 1),
+                                     local::State::of_uint(1, 1)};
+  };
+}
+
+CandidateFn adjacency_subset_candidates(const local::Configuration& cfg) {
+  const graph::Graph* g = &cfg.graph();
+  return [g](graph::NodeIndex v) {
+    const auto adj = g->adjacency(v);
+    PLS_REQUIRE(adj.size() <= 12);
+    std::vector<local::State> out;
+    for (std::uint64_t mask = 0; mask < (std::uint64_t{1} << adj.size());
+         ++mask) {
+      std::vector<graph::RawId> ids;
+      for (std::size_t i = 0; i < adj.size(); ++i)
+        if ((mask >> i) & 1u) ids.push_back(g->id(adj[i].to));
+      out.push_back(schemes::encode_adjacency_list(std::move(ids)));
+    }
+    return out;
+  };
+}
+
+ProximityReport detection_proximity(
+    const local::Configuration& cfg, const std::vector<bool>& rejecting,
+    const std::vector<graph::NodeIndex>& corrupted) {
+  PLS_REQUIRE(rejecting.size() == cfg.n());
+  PLS_REQUIRE(!corrupted.empty());
+  const graph::Graph& g = cfg.graph();
+
+  // Multi-source BFS from the corrupted nodes.
+  std::vector<std::uint32_t> dist(g.n(),
+                                  std::numeric_limits<std::uint32_t>::max());
+  std::queue<graph::NodeIndex> frontier;
+  for (const graph::NodeIndex v : corrupted) {
+    dist[v] = 0;
+    frontier.push(v);
+  }
+  while (!frontier.empty()) {
+    const graph::NodeIndex v = frontier.front();
+    frontier.pop();
+    for (const graph::AdjEntry& a : g.adjacency(v))
+      if (dist[a.to] == std::numeric_limits<std::uint32_t>::max()) {
+        dist[a.to] = dist[v] + 1;
+        frontier.push(a.to);
+      }
+  }
+
+  ProximityReport report;
+  std::size_t total = 0;
+  for (graph::NodeIndex v = 0; v < g.n(); ++v) {
+    if (!rejecting[v]) continue;
+    ++report.rejecting;
+    report.max_hops = std::max<std::size_t>(report.max_hops, dist[v]);
+    total += dist[v];
+  }
+  if (report.rejecting > 0)
+    report.mean_hops =
+        static_cast<double>(total) / static_cast<double>(report.rejecting);
+  return report;
+}
+
+CycleChainInstance make_cycle_chain(std::size_t k) {
+  PLS_REQUIRE(k >= 1);
+  // Triangles T_j = {3j, 3j+1, 3j+2}; triangle j is bridged to triangle j+1
+  // by the edge (3j+2, 3j+3).  Pointers run around each triangle, so the
+  // pointer graph has exactly k vertex-disjoint cycles: distance to
+  // `acyclic` is exactly k (one pointer per cycle must change, and setting
+  // one pointer per cycle to ⊥ suffices).
+  graph::Graph::Builder b;
+  const std::size_t n = 3 * k;
+  for (std::size_t i = 0; i < n; ++i) b.add_node(static_cast<graph::RawId>(i + 1));
+  for (std::size_t j = 0; j < k; ++j) {
+    const auto base = static_cast<graph::NodeIndex>(3 * j);
+    b.add_edge(base, base + 1);
+    b.add_edge(base + 1, base + 2);
+    b.add_edge(base, base + 2);
+    if (j + 1 < k) b.add_edge(base + 2, base + 3);
+  }
+  auto g = std::make_shared<const graph::Graph>(std::move(b).build());
+
+  std::vector<local::State> states;
+  states.reserve(n);
+  for (std::size_t j = 0; j < k; ++j) {
+    const graph::RawId i0 = 3 * j + 1, i1 = 3 * j + 2, i2 = 3 * j + 3;
+    states.push_back(schemes::encode_pointer(i1));  // 3j   -> 3j+1
+    states.push_back(schemes::encode_pointer(i2));  // 3j+1 -> 3j+2
+    states.push_back(schemes::encode_pointer(i0));  // 3j+2 -> 3j
+  }
+  CycleChainInstance out{local::Configuration(std::move(g), std::move(states)),
+                         k};
+  return out;
+}
+
+}  // namespace pls::sensitivity

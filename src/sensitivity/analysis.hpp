@@ -1,0 +1,108 @@
+// Error-sensitivity analysis (EXTENSION module — follow-on work, X1).
+//
+// Not part of the 2005 paper: this module quantifies *how many* nodes reject
+// as a function of how wrong the configuration is, the question formalized by
+// the follow-on "error-sensitive proof-labeling schemes" line of work.  The
+// 2005 conclusions motivate it (one rejecting node forces a global reset;
+// many rejecting nodes allow parallel local resets), which is why it ships
+// here as an extension.
+//
+// Measurement protocol: corrupt a legal configuration at k nodes with a
+// language-aware corruption (so the corrupted instance is illegal and its
+// Hamming distance to the language is at most k, and for some families
+// exactly k), then let the adversary suite pick certificates minimizing the
+// rejection count.  Reporting min-rejections against k is conservative in the
+// right direction: min_rejections >= alpha * k implies
+// min_rejections >= alpha * distance.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pls/adversary.hpp"
+
+namespace pls::sensitivity {
+
+/// Language-aware corruption: perturb `cfg` at exactly the given nodes,
+/// producing an illegal configuration at Hamming distance <= |nodes| from the
+/// original legal one.
+using Corruptor = std::function<local::Configuration(
+    const local::Configuration& legal,
+    const std::vector<graph::NodeIndex>& nodes, util::Rng& rng)>;
+
+struct SensitivityRow {
+  std::size_t n = 0;
+  std::size_t corruptions = 0;       ///< k (upper bound on the distance)
+  std::size_t exact_distance = 0;    ///< 0 when unknown; else the exact value
+  std::size_t min_rejections = 0;    ///< adversary's best outcome
+  double ratio = 0.0;                ///< min_rejections / corruptions
+};
+
+/// Corrupts `legal` at k random nodes with `corrupt`, attacks the result,
+/// and reports the adversary's best (minimum) rejection count.  Skips and
+/// retries (up to 8 times) if a corruption accidentally lands back inside the
+/// language.
+SensitivityRow measure(const core::Scheme& scheme,
+                       const local::Configuration& legal,
+                       const Corruptor& corrupt, std::size_t k,
+                       util::Rng& rng,
+                       const core::AttackOptions& attack_options = {});
+
+/// Built-in corruptors for the standard languages.
+/// leader: sets k extra leader bits (distance exactly k).
+local::Configuration corrupt_leader(const local::Configuration& legal,
+                                    const std::vector<graph::NodeIndex>& nodes,
+                                    util::Rng& rng);
+/// agree: rewrites k values to a fresh common value (distance exactly
+/// min(k, n-k); exactly k when k < n/2).
+local::Configuration corrupt_agree(const local::Configuration& legal,
+                                   const std::vector<graph::NodeIndex>& nodes,
+                                   util::Rng& rng);
+/// stl/mstl: drops one listed tree edge from each chosen node's list
+/// (asymmetric listing => illegal; distance <= k).
+local::Configuration corrupt_adjacency_list(
+    const local::Configuration& legal,
+    const std::vector<graph::NodeIndex>& nodes, util::Rng& rng);
+
+/// acyclic, exact-distance family: a chain of k triangles whose pointers form
+/// k disjoint 3-cycles — distance to acyclic is exactly k.
+struct CycleChainInstance {
+  local::Configuration config;
+  std::size_t cycles = 0;  ///< exact Hamming distance to `acyclic`
+};
+CycleChainInstance make_cycle_chain(std::size_t k);
+
+/// Exact Hamming distance from `cfg` to the language, by exhaustive search
+/// over all node subsets of size <= max_distance, replacing each chosen
+/// node's state with every candidate from `candidates(v)`.  Exponential —
+/// intended for small instances in tests, where it pins the exactness of the
+/// constructions above.  Returns nullopt when no repair within the budget
+/// exists (distance > max_distance over the candidate alphabet).
+using CandidateFn =
+    std::function<std::vector<local::State>(graph::NodeIndex)>;
+std::optional<std::size_t> exact_distance(const core::Language& language,
+                                          const local::Configuration& cfg,
+                                          const CandidateFn& candidates,
+                                          std::size_t max_distance);
+
+/// Candidate alphabets for the standard state shapes.
+CandidateFn pointer_candidates(const local::Configuration& cfg);
+CandidateFn membership_bit_candidates();
+CandidateFn adjacency_subset_candidates(const local::Configuration& cfg);
+
+/// Proximity of detection: for each rejecting node, the hop distance to the
+/// nearest corrupted node.  The paper's conclusions ask whether detection can
+/// be *located* near the fault; this measures how far it actually lands for
+/// a given certificate assignment.
+struct ProximityReport {
+  std::size_t rejecting = 0;
+  std::size_t max_hops = 0;     ///< farthest rejector from any fault
+  double mean_hops = 0.0;
+};
+ProximityReport detection_proximity(
+    const local::Configuration& cfg, const std::vector<bool>& rejecting,
+    const std::vector<graph::NodeIndex>& corrupted);
+
+}  // namespace pls::sensitivity

@@ -1,0 +1,113 @@
+#include "sensitivity/counterexamples.hpp"
+
+#include <memory>
+
+#include "graph/generators.hpp"
+#include "pls/engine.hpp"
+#include "schemes/common.hpp"
+#include "schemes/regular.hpp"
+#include "schemes/spanning_tree.hpp"
+#include "util/assert.hpp"
+
+namespace pls::sensitivity {
+
+CounterexampleResult stp_path_counterexample(std::size_t n) {
+  PLS_REQUIRE(n >= 4 && n % 2 == 0);
+  auto g = std::make_shared<const graph::Graph>(graph::path(n));
+
+  // ℓ1: everyone points right (root = last node);
+  // ℓ2: everyone points left  (root = first node).
+  std::vector<local::State> right, left;
+  right.reserve(n);
+  left.reserve(n);
+  for (graph::NodeIndex v = 0; v < n; ++v) {
+    if (v + 1 < n) {
+      right.push_back(schemes::encode_pointer(g->id(v + 1)));
+    } else {
+      right.push_back(schemes::encode_pointer(std::nullopt));
+    }
+    if (v == 0) {
+      left.push_back(schemes::encode_pointer(std::nullopt));
+    } else {
+      left.push_back(schemes::encode_pointer(g->id(v - 1)));
+    }
+  }
+  const local::Configuration cfg_right(g, right);
+  const local::Configuration cfg_left(g, left);
+
+  const schemes::StpLanguage language;
+  const schemes::StpScheme scheme(language);
+  PLS_REQUIRE(language.contains(cfg_right));
+  PLS_REQUIRE(language.contains(cfg_left));
+  const core::Labeling lab_right = scheme.mark(cfg_right);
+  const core::Labeling lab_left = scheme.mark(cfg_left);
+
+  // ℓ3: pointers meet nowhere — the first half points left, the second half
+  // points right (two roots, at the two path ends).  Certificates are
+  // spliced from the two legal markings the same way.
+  std::vector<local::State> meet(n);
+  core::Labeling hybrid;
+  hybrid.certs.resize(n);
+  const std::size_t half = n / 2;
+  for (graph::NodeIndex v = 0; v < n; ++v) {
+    const bool first_half = v < half;
+    meet[v] = first_half ? left[v] : right[v];
+    hybrid.certs[v] = first_half ? lab_left.certs[v] : lab_right.certs[v];
+  }
+  const local::Configuration spliced(g, std::move(meet));
+
+  CounterexampleResult result;
+  result.n = n;
+  result.illegal = !language.contains(spliced);
+  result.rejections = core::run_verifier(scheme, spliced, hybrid).rejections();
+  // Exact distance of the meet-in-the-middle configuration to stp is n/2
+  // (whichever end hosts the final root, every pointer of the other half
+  // plus one former root must flip).
+  result.distance_lower_bound = half;
+  return result;
+}
+
+CounterexampleResult regular_gluing_counterexample(std::size_t n1,
+                                                   std::size_t n2,
+                                                   std::size_t d2,
+                                                   util::Rng& rng) {
+  PLS_REQUIRE(n1 >= 4 && n2 >= 4 && d2 >= 3);
+  const graph::Graph side1 = graph::cycle(n1);          // 2-regular
+  const graph::Graph side2 = graph::random_regular(n2, d2, rng);
+
+  // Remove one edge from each side, add two cross edges (degrees preserved).
+  const graph::Edge cut2 = side2.edge(0);
+  const graph::CrossedPair crossed = graph::cross_graphs(
+      side1, 0, 1, side2, cut2.u, cut2.v, /*id_shift=*/side1.max_id());
+  auto g = std::make_shared<const graph::Graph>(crossed.graph);
+
+  const schemes::RegularLanguage language;
+  const schemes::RegularScheme scheme(language);
+
+  // The configuration describes the whole glued graph as H_ℓ; it is not
+  // regular because the two sides have different degrees.
+  const local::Configuration cfg = language.make_full_subgraph(g);
+
+  // Splice certificates: side-1 nodes get the certificate they would carry
+  // in a legal 2-regular self-description, side-2 nodes the d2-regular one.
+  core::Labeling hybrid;
+  hybrid.certs.reserve(g->n());
+  util::BitWriter w1, w2;
+  w1.write_varint(2);
+  w2.write_varint(d2);
+  const local::Certificate c1 = local::Certificate::from_writer(std::move(w1));
+  const local::Certificate c2 = local::Certificate::from_writer(std::move(w2));
+  for (graph::NodeIndex v = 0; v < g->n(); ++v)
+    hybrid.certs.push_back(v < n1 ? c1 : c2);
+
+  CounterexampleResult result;
+  result.n = g->n();
+  result.illegal = !language.contains(cfg);
+  result.rejections = core::run_verifier(scheme, cfg, hybrid).rejections();
+  // The paper's argument: fixing the instance requires re-labeling one side
+  // almost entirely; 4 cut nodes may adjust for free.
+  result.distance_lower_bound = std::min(n1, n2) - 4;
+  return result;
+}
+
+}  // namespace pls::sensitivity

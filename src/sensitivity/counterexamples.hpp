@@ -1,0 +1,41 @@
+// Negative constructions (EXTENSION module, X1): schemes that cannot be
+// error-sensitive, demonstrated executably.
+//
+//   * stp on a path: splice the certificates of the two legal orientations
+//     of an n-path onto the "pointers meet in the middle" configuration —
+//     a configuration at distance ~n/2 from the language that only the two
+//     middle nodes can reject.
+//   * regular: glue a d1-regular and a d2-regular graph along a 2-edge cut
+//     and splice the certificates of their legal self-descriptions — an
+//     instance at distance >= min(|G1|,|G2|)/2 where only the four cut nodes
+//     can reject.
+//
+// Both demos also validate the crossing engine against the real verifier:
+// away from the cut every view is bitwise identical to an accepting view.
+#pragma once
+
+#include <cstddef>
+
+#include "util/rng.hpp"
+
+namespace pls::sensitivity {
+
+struct CounterexampleResult {
+  std::size_t n = 0;                   ///< nodes in the spliced instance
+  std::size_t distance_lower_bound = 0;
+  std::size_t rejections = 0;          ///< under the spliced certificates
+  bool illegal = false;                ///< the spliced configuration is illegal
+};
+
+/// The stp two-orientations path construction. n must be even and >= 4.
+CounterexampleResult stp_path_counterexample(std::size_t n);
+
+/// The regular-subgraph gluing construction: cross a cycle (2-regular) on
+/// 2*half nodes with a complete graph K4-like d-regular gadget... concretely:
+/// G1 = cycle of size n1 (2-regular), G2 = random d2-regular of size n2.
+CounterexampleResult regular_gluing_counterexample(std::size_t n1,
+                                                   std::size_t n2,
+                                                   std::size_t d2,
+                                                   util::Rng& rng);
+
+}  // namespace pls::sensitivity

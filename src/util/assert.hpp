@@ -1,0 +1,36 @@
+// Precondition / invariant checking for the prooflab library.
+//
+// Following the Core Guidelines (I.5/I.6), public entry points state their
+// preconditions with PLS_REQUIRE, which throws std::logic_error with enough
+// context to identify the violated contract.  Internal invariants that are
+// unreachable unless the library itself is broken use PLS_ASSERT, which is
+// compiled to the same check (these simulations are not hot enough for the
+// check to matter, and a loud failure beats silent corruption in a verifier).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace pls::util {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  throw std::logic_error(std::string(kind) + " violated: `" + expr + "` at " +
+                         file + ":" + std::to_string(line));
+}
+
+}  // namespace pls::util
+
+#define PLS_REQUIRE(expr)                                                  \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::pls::util::contract_failure("precondition", #expr, __FILE__,       \
+                                    __LINE__);                             \
+  } while (false)
+
+#define PLS_ASSERT(expr)                                                   \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::pls::util::contract_failure("invariant", #expr, __FILE__,          \
+                                    __LINE__);                             \
+  } while (false)

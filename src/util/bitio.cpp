@@ -1,0 +1,77 @@
+#include "util/bitio.hpp"
+
+namespace pls::util {
+
+void BitWriter::write_uint(std::uint64_t value, unsigned width) {
+  PLS_REQUIRE(width <= 64);
+  for (unsigned i = 0; i < width; ++i) {
+    const std::size_t byte = nbits_ / 8;
+    const unsigned offset = static_cast<unsigned>(nbits_ % 8);
+    if (byte == bytes_.size()) bytes_.push_back(0);
+    if ((value >> i) & 1u) bytes_[byte] |= static_cast<std::uint8_t>(1u << offset);
+    ++nbits_;
+  }
+}
+
+void BitWriter::write_varint(std::uint64_t value) {
+  do {
+    const std::uint64_t group = value & 0x7Fu;
+    value >>= 7;
+    write_uint(group, 7);
+    write_bit(value != 0);
+  } while (value != 0);
+}
+
+void BitWriter::write_bits(const std::vector<std::uint8_t>& bytes,
+                           std::size_t nbits) {
+  PLS_REQUIRE(nbits <= bytes.size() * 8);
+  for (std::size_t i = 0; i < nbits; ++i) {
+    const bool bit = (bytes[i / 8] >> (i % 8)) & 1u;
+    write_bit(bit);
+  }
+}
+
+std::vector<std::uint8_t> BitWriter::take_bytes() noexcept {
+  nbits_ = 0;
+  return std::move(bytes_);
+}
+
+std::optional<std::uint64_t> BitReader::read_uint(unsigned width) noexcept {
+  if (width > 64 || remaining() < width) return std::nullopt;
+  std::uint64_t value = 0;
+  for (unsigned i = 0; i < width; ++i) {
+    const std::size_t byte = pos_ / 8;
+    const unsigned offset = static_cast<unsigned>(pos_ % 8);
+    if ((data_[byte] >> offset) & 1u) value |= (std::uint64_t{1} << i);
+    ++pos_;
+  }
+  return value;
+}
+
+std::optional<bool> BitReader::read_bit() noexcept {
+  auto v = read_uint(1);
+  if (!v) return std::nullopt;
+  return *v != 0;
+}
+
+std::optional<std::uint64_t> BitReader::read_varint() noexcept {
+  std::uint64_t value = 0;
+  unsigned shift = 0;
+  for (;;) {
+    auto group = read_uint(7);
+    auto cont = read_bit();
+    if (!group || !cont) return std::nullopt;
+    if (shift >= 64) return std::nullopt;  // overlong encoding
+    value |= (*group << shift);
+    if (!*cont) return value;
+    shift += 7;
+  }
+}
+
+unsigned bit_width_for(std::uint64_t value) noexcept {
+  unsigned w = 1;
+  while (value >>= 1) ++w;
+  return w;
+}
+
+}  // namespace pls::util

@@ -1,0 +1,78 @@
+// Bit-exact serialization for certificates.
+//
+// Proof size — the paper's complexity measure — is counted in *bits*, so all
+// certificate encodings go through BitWriter/BitReader rather than through
+// byte-oriented serialization.  The writer packs little-endian-within-byte
+// (bit k of the stream lives in byte k/8 at position k%8), and the reader is
+// total: reads past the end fail softly by returning std::nullopt, because a
+// verifier must treat a malformed (adversarial) certificate as "reject", not
+// as a crash.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace pls::util {
+
+class BitWriter {
+ public:
+  BitWriter() = default;
+
+  /// Append the low `width` bits of `value` (LSB first). width in [0,64].
+  void write_uint(std::uint64_t value, unsigned width);
+
+  /// Append a single bit.
+  void write_bit(bool bit) { write_uint(bit ? 1 : 0, 1); }
+
+  /// LEB128-style varint: 7 payload bits + 1 continuation bit per group.
+  void write_varint(std::uint64_t value);
+
+  /// Append another bit string verbatim.
+  void write_bits(const std::vector<std::uint8_t>& bytes, std::size_t nbits);
+
+  std::size_t bit_size() const noexcept { return nbits_; }
+  const std::vector<std::uint8_t>& bytes() const noexcept { return bytes_; }
+
+  /// Move the accumulated buffer out; the writer is reset.
+  std::vector<std::uint8_t> take_bytes() noexcept;
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  std::size_t nbits_ = 0;
+};
+
+class BitReader {
+ public:
+  BitReader(const std::uint8_t* data, std::size_t nbits) noexcept
+      : data_(data), nbits_(nbits) {}
+  BitReader(const std::vector<std::uint8_t>& bytes, std::size_t nbits) noexcept
+      : BitReader(bytes.data(), nbits) {
+    PLS_ASSERT(nbits <= bytes.size() * 8);
+  }
+
+  /// Read `width` bits as an unsigned value; nullopt if not enough bits left.
+  std::optional<std::uint64_t> read_uint(unsigned width) noexcept;
+
+  std::optional<bool> read_bit() noexcept;
+
+  std::optional<std::uint64_t> read_varint() noexcept;
+
+  std::size_t remaining() const noexcept { return nbits_ - pos_; }
+  bool exhausted() const noexcept { return pos_ == nbits_; }
+  std::size_t position() const noexcept { return pos_; }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t nbits_;
+  std::size_t pos_ = 0;
+};
+
+/// Number of bits needed to represent `value` (0 -> 1, so every value has a
+/// nonzero fixed width when used as a field size).
+unsigned bit_width_for(std::uint64_t value) noexcept;
+
+}  // namespace pls::util

@@ -1,0 +1,93 @@
+// Immutable-ish bit string value type.
+//
+// Node states and certificates are both binary strings in the paper's model;
+// BitString is the common value type (hashable, comparable) with bit-exact
+// length accounting.  Construction goes through BitWriter; consumption goes
+// through BitReader, which fails softly on truncated/garbage input (an
+// adversarial certificate must produce "reject", never undefined behavior).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/bitio.hpp"
+
+namespace pls::util {
+
+class BitString {
+ public:
+  BitString() = default;
+
+  BitString(std::vector<std::uint8_t> bytes, std::size_t nbits)
+      : bytes_(std::move(bytes)), nbits_(nbits) {
+    PLS_REQUIRE(nbits_ <= bytes_.size() * 8);
+  }
+
+  /// Consume a writer's buffer.
+  static BitString from_writer(BitWriter&& w) {
+    const std::size_t nbits = w.bit_size();
+    return BitString(w.take_bytes(), nbits);
+  }
+
+  /// Single fixed-width value convenience.
+  static BitString of_uint(std::uint64_t value, unsigned width) {
+    BitWriter w;
+    w.write_uint(value, width);
+    return from_writer(std::move(w));
+  }
+
+  BitReader reader() const noexcept { return BitReader(bytes_, nbits_); }
+
+  std::size_t bit_size() const noexcept { return nbits_; }
+  bool empty() const noexcept { return nbits_ == 0; }
+  const std::vector<std::uint8_t>& bytes() const noexcept { return bytes_; }
+
+  /// First `nbits` bits (for truncation/masking experiments).
+  BitString prefix(std::size_t nbits) const {
+    if (nbits >= nbits_) return *this;
+    BitWriter w;
+    w.write_bits(bytes_, nbits);
+    return from_writer(std::move(w));
+  }
+
+  friend bool operator==(const BitString& a, const BitString& b) {
+    if (a.nbits_ != b.nbits_) return false;
+    const std::size_t full = a.nbits_ / 8;
+    for (std::size_t i = 0; i < full; ++i)
+      if (a.bytes_[i] != b.bytes_[i]) return false;
+    const unsigned rest = static_cast<unsigned>(a.nbits_ % 8);
+    if (rest != 0) {
+      const std::uint8_t mask = static_cast<std::uint8_t>((1u << rest) - 1);
+      if ((a.bytes_[full] & mask) != (b.bytes_[full] & mask)) return false;
+    }
+    return true;
+  }
+  friend bool operator!=(const BitString& a, const BitString& b) {
+    return !(a == b);
+  }
+
+  std::size_t hash() const noexcept {
+    std::size_t h = std::hash<std::size_t>{}(nbits_);
+    const std::size_t full = nbits_ / 8;
+    for (std::size_t i = 0; i < full; ++i)
+      h = h * 1099511628211ull + bytes_[i];
+    const unsigned rest = static_cast<unsigned>(nbits_ % 8);
+    if (rest != 0)
+      h = h * 1099511628211ull +
+          (bytes_[full] & static_cast<std::uint8_t>((1u << rest) - 1));
+    return h;
+  }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  std::size_t nbits_ = 0;
+};
+
+struct BitStringHash {
+  std::size_t operator()(const BitString& s) const noexcept { return s.hash(); }
+};
+
+}  // namespace pls::util

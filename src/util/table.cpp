@@ -1,0 +1,50 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace pls::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  PLS_REQUIRE(!headers_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  PLS_REQUIRE(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::format_double(double v) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(3) << v;
+  return os.str();
+}
+
+void Table::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    out << "|";
+    for (std::size_t c = 0; c < row.size(); ++c)
+      out << " " << std::setw(static_cast<int>(widths[c])) << std::left
+          << row[c] << " |";
+    out << "\n";
+  };
+
+  print_row(headers_);
+  out << "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    out << std::string(widths[c] + 2, '-') << "|";
+  out << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace pls::util

@@ -1,0 +1,49 @@
+// Aligned-column table printing for the benchmark harness.
+//
+// Every experiment binary prints its results as a paper-style table; this
+// helper keeps the output format identical across binaries so EXPERIMENTS.md
+// can quote it directly.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace pls::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats arithmetic cells with to_string-like rules.
+  template <typename... Cells>
+  void row(const Cells&... cells) {
+    add_row({format_cell(cells)...});
+  }
+
+  void print(std::ostream& out) const;
+
+  std::size_t num_rows() const noexcept { return rows_.size(); }
+
+ private:
+  template <typename T>
+  static std::string format_cell(const T& value) {
+    if constexpr (std::is_convertible_v<T, std::string>) {
+      return std::string(value);
+    } else if constexpr (std::is_floating_point_v<T>) {
+      return format_double(static_cast<double>(value));
+    } else {
+      return std::to_string(value);
+    }
+  }
+  static std::string format_double(double v);
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pls::util

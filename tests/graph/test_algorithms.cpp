@@ -1,0 +1,167 @@
+#include "graph/algorithms.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace pls::graph {
+namespace {
+
+TEST(Bfs, DistancesOnPath) {
+  const Graph g = path(6);
+  const BfsResult r = bfs(g, 0);
+  for (NodeIndex v = 0; v < 6; ++v) EXPECT_EQ(r.dist[v], v);
+  EXPECT_EQ(r.parent[0], kInvalidNode);
+  EXPECT_EQ(r.parent[3], 2u);
+}
+
+TEST(Bfs, DistancesOnGrid) {
+  const Graph g = grid(3, 3);
+  const BfsResult r = bfs(g, 0);
+  EXPECT_EQ(r.dist[8], 4u);  // opposite corner: Manhattan distance
+}
+
+TEST(Bfs, SubgraphRestriction) {
+  const Graph g = cycle(6);
+  // Remove one edge: the cycle becomes a path, distances go the long way.
+  std::vector<bool> mask(g.m(), true);
+  const auto cut = g.find_edge(0, 5);
+  ASSERT_TRUE(cut.has_value());
+  mask[*cut] = false;
+  const BfsResult r = bfs_on_subgraph(g, 0, mask);
+  EXPECT_EQ(r.dist[5], 5u);
+}
+
+TEST(Bfs, UnreachableMarked) {
+  Graph::Builder b;
+  b.add_node(1);
+  b.add_node(2);
+  b.add_node(3);
+  b.add_edge(0, 1);
+  const Graph g = std::move(b).build();
+  const BfsResult r = bfs(g, 0);
+  EXPECT_EQ(r.dist[2], BfsResult::kUnreachable);
+}
+
+TEST(Components, CountsComponents) {
+  Graph::Builder b;
+  for (int i = 0; i < 6; ++i) b.add_node(static_cast<RawId>(i + 1));
+  b.add_edge(0, 1);
+  b.add_edge(2, 3);
+  const Graph g = std::move(b).build();
+  const Components c = connected_components(g);
+  EXPECT_EQ(c.count, 4u);
+  EXPECT_EQ(c.comp[0], c.comp[1]);
+  EXPECT_NE(c.comp[0], c.comp[2]);
+}
+
+TEST(Components, SubgraphComponents) {
+  const Graph g = cycle(6);
+  std::vector<bool> none(g.m(), false);
+  EXPECT_EQ(components_of_subgraph(g, none).count, 6u);
+  std::vector<bool> all(g.m(), true);
+  EXPECT_EQ(components_of_subgraph(g, all).count, 1u);
+}
+
+TEST(Bipartition, EvenCycleYes) {
+  const auto coloring = bipartition(cycle(8));
+  ASSERT_TRUE(coloring.has_value());
+  const Graph g = cycle(8);
+  for (const Edge& e : g.edges()) EXPECT_NE((*coloring)[e.u], (*coloring)[e.v]);
+}
+
+TEST(Bipartition, OddCycleNo) {
+  EXPECT_FALSE(bipartition(cycle(7)).has_value());
+}
+
+TEST(Bipartition, GridYes) { EXPECT_TRUE(bipartition(grid(4, 5)).has_value()); }
+
+TEST(Diameter, KnownValues) {
+  EXPECT_EQ(diameter(path(10)), 9u);
+  EXPECT_EQ(diameter(cycle(10)), 5u);
+  EXPECT_EQ(diameter(complete(5)), 1u);
+  EXPECT_EQ(diameter(star(9)), 2u);
+}
+
+TEST(SpanningTree, RecognizesTree) {
+  const Graph g = cycle(5);
+  std::vector<bool> mask(g.m(), true);
+  EXPECT_FALSE(is_spanning_tree(g, mask));  // a cycle is not a tree
+  mask[0] = false;
+  EXPECT_TRUE(is_spanning_tree(g, mask));  // cycle minus an edge is a path
+}
+
+TEST(SpanningTree, RejectsDisconnectedWithRightCount) {
+  const Graph g = cycle(6);
+  // Pick 5 edges but leave two gaps by taking one edge twice... instead:
+  // remove two adjacent edges and add none: 4 edges on 6 nodes.
+  std::vector<bool> mask(g.m(), true);
+  mask[0] = false;
+  mask[1] = false;
+  EXPECT_FALSE(is_spanning_tree(g, mask));
+}
+
+TEST(Forest, DetectsCycles) {
+  const Graph g = cycle(4);
+  std::vector<bool> all(g.m(), true);
+  EXPECT_FALSE(is_forest(g, all));
+  all[2] = false;
+  EXPECT_TRUE(is_forest(g, all));
+}
+
+TEST(PointerCycles, EmptyOnForest) {
+  // 0 -> 1 -> 2, 3 -> 2 (in-tree at 2).
+  std::vector<std::optional<NodeIndex>> ptrs = {1u, 2u, std::nullopt, 2u};
+  EXPECT_TRUE(pointer_cycles(ptrs).empty());
+}
+
+TEST(PointerCycles, FindsSingleCycle) {
+  // 0 -> 1 -> 2 -> 0 and a tail 3 -> 0.
+  std::vector<std::optional<NodeIndex>> ptrs = {1u, 2u, 0u, 0u};
+  const auto cycles = pointer_cycles(ptrs);
+  ASSERT_EQ(cycles.size(), 1u);
+  EXPECT_EQ(cycles[0].size(), 3u);
+}
+
+TEST(PointerCycles, FindsDisjointCycles) {
+  // Two 2-cycles.
+  std::vector<std::optional<NodeIndex>> ptrs = {1u, 0u, 3u, 2u};
+  EXPECT_EQ(pointer_cycles(ptrs).size(), 2u);
+}
+
+TEST(PointerCycles, SelfLoop) {
+  std::vector<std::optional<NodeIndex>> ptrs = {0u};
+  ASSERT_EQ(pointer_cycles(ptrs).size(), 1u);
+}
+
+TEST(SpanningInTree, AcceptsBfsTree) {
+  const Graph g = grid(3, 3);
+  const BfsResult r = bfs(g, 4);
+  std::vector<std::optional<NodeIndex>> ptrs(g.n());
+  for (NodeIndex v = 0; v < g.n(); ++v)
+    if (r.parent[v] != kInvalidNode) ptrs[v] = r.parent[v];
+  EXPECT_TRUE(is_spanning_in_tree(g, ptrs));
+}
+
+TEST(SpanningInTree, RejectsTwoRoots) {
+  const Graph g = path(4);
+  std::vector<std::optional<NodeIndex>> ptrs = {std::nullopt, 0u, 3u,
+                                                std::nullopt};
+  EXPECT_FALSE(is_spanning_in_tree(g, ptrs));
+}
+
+TEST(SpanningInTree, RejectsNonEdgePointer) {
+  const Graph g = path(4);
+  // 2 points to 0, but (0,2) is not an edge of the path.
+  std::vector<std::optional<NodeIndex>> ptrs = {std::nullopt, 0u, 0u, 2u};
+  EXPECT_FALSE(is_spanning_in_tree(g, ptrs));
+}
+
+TEST(SpanningInTree, RejectsCycle) {
+  const Graph g = cycle(4);
+  std::vector<std::optional<NodeIndex>> ptrs = {1u, 2u, 3u, 0u};
+  EXPECT_FALSE(is_spanning_in_tree(g, ptrs));
+}
+
+}  // namespace
+}  // namespace pls::graph

@@ -1,0 +1,167 @@
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace pls::graph {
+namespace {
+
+TEST(Generators, PathShape) {
+  const Graph g = path(5);
+  EXPECT_EQ(g.n(), 5u);
+  EXPECT_EQ(g.m(), 4u);
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(2), 2u);
+  EXPECT_EQ(g.degree(4), 1u);
+}
+
+TEST(Generators, SingleNodePath) {
+  const Graph g = path(1);
+  EXPECT_EQ(g.n(), 1u);
+  EXPECT_EQ(g.m(), 0u);
+  EXPECT_TRUE(g.is_connected());
+}
+
+TEST(Generators, CycleShape) {
+  const Graph g = cycle(6);
+  EXPECT_EQ(g.n(), 6u);
+  EXPECT_EQ(g.m(), 6u);
+  for (NodeIndex v = 0; v < 6; ++v) EXPECT_EQ(g.degree(v), 2u);
+}
+
+TEST(Generators, StarShape) {
+  const Graph g = star(7);
+  EXPECT_EQ(g.n(), 7u);
+  EXPECT_EQ(g.m(), 6u);
+  EXPECT_EQ(g.degree(0), 6u);
+  EXPECT_EQ(g.degree(1), 1u);
+}
+
+TEST(Generators, CompleteShape) {
+  const Graph g = complete(5);
+  EXPECT_EQ(g.m(), 10u);
+  for (NodeIndex v = 0; v < 5; ++v) EXPECT_EQ(g.degree(v), 4u);
+}
+
+TEST(Generators, GridShape) {
+  const Graph g = grid(3, 4);
+  EXPECT_EQ(g.n(), 12u);
+  EXPECT_EQ(g.m(), 3u * 3 + 4u * 2);  // 3 per row * ... : rows*(cols-1) + (rows-1)*cols
+  EXPECT_EQ(g.m(), 3 * (4 - 1) + (3 - 1) * 4);
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_EQ(g.degree(0), 2u);   // corner
+  EXPECT_EQ(g.degree(5), 4u);   // interior (row 1, col 1)
+}
+
+TEST(Generators, BalancedBinaryTreeShape) {
+  const Graph g = balanced_binary_tree(15);
+  EXPECT_EQ(g.m(), 14u);
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_EQ(g.degree(0), 2u);
+}
+
+TEST(Generators, CaterpillarShape) {
+  const Graph g = caterpillar(4, 2);
+  EXPECT_EQ(g.n(), 12u);
+  EXPECT_EQ(g.m(), 11u);
+  EXPECT_TRUE(g.is_connected());
+}
+
+class RandomGraphs : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(RandomGraphs, RandomTreeIsTree) {
+  const auto [n, seed] = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(seed));
+  const Graph g = random_tree(static_cast<std::size_t>(n), rng);
+  EXPECT_EQ(g.n(), static_cast<std::size_t>(n));
+  EXPECT_EQ(g.m(), static_cast<std::size_t>(n - 1));
+  EXPECT_TRUE(g.is_connected());
+}
+
+TEST_P(RandomGraphs, RandomConnectedHasRequestedEdges) {
+  const auto [n, seed] = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(seed));
+  const std::size_t un = static_cast<std::size_t>(n);
+  const std::size_t extra = std::min(un / 2, un * (un - 1) / 2 - (un - 1));
+  const Graph g = random_connected(un, extra, rng);
+  EXPECT_EQ(g.m(), static_cast<std::size_t>(n - 1) + extra);
+  EXPECT_TRUE(g.is_connected());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, RandomGraphs,
+    ::testing::Combine(::testing::Values(2, 5, 16, 64, 200),
+                       ::testing::Values(1, 2, 3)));
+
+TEST(Generators, RandomRegularDegrees) {
+  util::Rng rng(99);
+  const Graph g = random_regular(10, 3, rng);
+  EXPECT_TRUE(g.is_connected());
+  for (NodeIndex v = 0; v < g.n(); ++v) EXPECT_EQ(g.degree(v), 3u);
+}
+
+TEST(Generators, RandomRegularRejectsOddProduct) {
+  util::Rng rng(1);
+  EXPECT_THROW(random_regular(5, 3, rng), std::logic_error);
+}
+
+TEST(Generators, RelabelPreservesStructure) {
+  util::Rng rng(3);
+  const Graph g = grid(3, 3);
+  const Graph h = relabel_random(g, rng);
+  EXPECT_EQ(h.n(), g.n());
+  EXPECT_EQ(h.m(), g.m());
+  for (NodeIndex v = 0; v < g.n(); ++v) EXPECT_EQ(h.degree(v), g.degree(v));
+  // Ids are fresh and distinct.
+  std::set<RawId> ids(h.ids().begin(), h.ids().end());
+  EXPECT_EQ(ids.size(), h.n());
+}
+
+TEST(Generators, ReweightRandomGivesDistinctWeights) {
+  util::Rng rng(4);
+  const Graph g = reweight_random(complete(6), rng);
+  EXPECT_TRUE(g.has_distinct_weights());
+  // Weights are exactly a permutation of 1..m.
+  std::set<Weight> ws;
+  for (const Edge& e : g.edges()) ws.insert(e.w);
+  EXPECT_EQ(ws.size(), g.m());
+  EXPECT_EQ(*ws.begin(), 1);
+  EXPECT_EQ(*ws.rbegin(), static_cast<Weight>(g.m()));
+}
+
+TEST(Generators, ReweightExplicitSizeMismatchThrows) {
+  EXPECT_THROW(reweight(path(4), {1, 2}), std::logic_error);
+}
+
+TEST(Generators, CrossGraphsPreservesDegrees) {
+  const Graph a = cycle(6);
+  const Graph b = cycle(8);
+  const CrossedPair crossed = cross_graphs(a, 0, 1, b, 0, 1, 100);
+  EXPECT_EQ(crossed.graph.n(), 14u);
+  EXPECT_EQ(crossed.graph.m(), 14u);  // 6 + 8 - 2 removed + 2 added
+  EXPECT_TRUE(crossed.graph.is_connected());
+  for (NodeIndex v = 0; v < crossed.graph.n(); ++v)
+    EXPECT_EQ(crossed.graph.degree(v), 2u);
+  // The removed edges are gone, the cross edges exist.
+  EXPECT_FALSE(crossed.graph.find_edge(crossed.a1, crossed.a2).has_value());
+  EXPECT_TRUE(crossed.graph.find_edge(crossed.a1, crossed.b1).has_value());
+  EXPECT_TRUE(crossed.graph.find_edge(crossed.a2, crossed.b2).has_value());
+}
+
+TEST(Generators, CrossGraphsRequiresCutEdges) {
+  const Graph a = cycle(6);
+  EXPECT_THROW(cross_graphs(a, 0, 3, a, 0, 1, 100), std::logic_error);
+}
+
+TEST(Generators, UnionWithBridgeConnects) {
+  const Graph g = union_with_bridge(cycle(4), 0, cycle(5), 2, 50);
+  EXPECT_EQ(g.n(), 9u);
+  EXPECT_EQ(g.m(), 10u);
+  EXPECT_TRUE(g.is_connected());
+}
+
+}  // namespace
+}  // namespace pls::graph

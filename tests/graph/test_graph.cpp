@@ -1,0 +1,151 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/dsu.hpp"
+
+namespace pls::graph {
+namespace {
+
+Graph triangle() {
+  Graph::Builder b;
+  b.add_node(10);
+  b.add_node(20);
+  b.add_node(30);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(0, 2);
+  return std::move(b).build();
+}
+
+TEST(GraphBuilder, BasicProperties) {
+  const Graph g = triangle();
+  EXPECT_EQ(g.n(), 3u);
+  EXPECT_EQ(g.m(), 3u);
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_EQ(g.id(0), 10u);
+  EXPECT_EQ(g.max_id(), 30u);
+  EXPECT_EQ(g.min_id(), 10u);
+  EXPECT_EQ(g.degree(1), 2u);
+}
+
+TEST(GraphBuilder, DuplicateIdThrows) {
+  Graph::Builder b;
+  b.add_node(5);
+  EXPECT_THROW(b.add_node(5), std::invalid_argument);
+}
+
+TEST(GraphBuilder, SelfLoopThrows) {
+  Graph::Builder b;
+  b.add_node(1);
+  EXPECT_THROW(b.add_edge(0, 0), std::invalid_argument);
+}
+
+TEST(GraphBuilder, ParallelEdgeThrows) {
+  Graph::Builder b;
+  b.add_node(1);
+  b.add_node(2);
+  b.add_edge(0, 1);
+  b.add_edge(1, 0);  // same undirected edge
+  EXPECT_THROW(std::move(b).build(), std::invalid_argument);
+}
+
+TEST(GraphBuilder, OutOfRangeEndpointThrows) {
+  Graph::Builder b;
+  b.add_node(1);
+  EXPECT_THROW(b.add_edge(0, 3), std::invalid_argument);
+}
+
+TEST(Graph, AdjacencySortedByNeighborIndex) {
+  Graph::Builder b;
+  for (int i = 0; i < 5; ++i) b.add_node(static_cast<RawId>(i + 1));
+  b.add_edge(2, 4);
+  b.add_edge(2, 0);
+  b.add_edge(2, 3);
+  const Graph g = std::move(b).build();
+  const auto adj = g.adjacency(2);
+  ASSERT_EQ(adj.size(), 3u);
+  EXPECT_EQ(adj[0].to, 0u);
+  EXPECT_EQ(adj[1].to, 3u);
+  EXPECT_EQ(adj[2].to, 4u);
+}
+
+TEST(Graph, FindEdgeIsSymmetric) {
+  const Graph g = triangle();
+  const auto e1 = g.find_edge(0, 2);
+  const auto e2 = g.find_edge(2, 0);
+  ASSERT_TRUE(e1.has_value());
+  EXPECT_EQ(e1, e2);
+  EXPECT_FALSE(g.find_edge(0, 0).has_value());
+}
+
+TEST(Graph, OtherEndpoint) {
+  const Graph g = triangle();
+  const auto e = g.find_edge(0, 2);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(g.other_endpoint(*e, 0), 2u);
+  EXPECT_EQ(g.other_endpoint(*e, 2), 0u);
+  EXPECT_THROW(g.other_endpoint(*e, 1), std::logic_error);
+}
+
+TEST(Graph, FindById) {
+  const Graph g = triangle();
+  EXPECT_EQ(g.find_by_id(20), std::optional<NodeIndex>(1));
+  EXPECT_FALSE(g.find_by_id(99).has_value());
+}
+
+TEST(Graph, DisconnectedDetected) {
+  Graph::Builder b;
+  b.add_node(1);
+  b.add_node(2);
+  b.add_node(3);
+  b.add_edge(0, 1);
+  const Graph g = std::move(b).build();
+  EXPECT_FALSE(g.is_connected());
+}
+
+TEST(Graph, DistinctWeightsDetected) {
+  Graph::Builder b;
+  b.add_node(1);
+  b.add_node(2);
+  b.add_node(3);
+  b.add_edge(0, 1, 5);
+  b.add_edge(1, 2, 7);
+  EXPECT_TRUE(std::move(b).build().has_distinct_weights());
+
+  Graph::Builder b2;
+  b2.add_node(1);
+  b2.add_node(2);
+  b2.add_node(3);
+  b2.add_edge(0, 1, 5);
+  b2.add_edge(1, 2, 5);
+  EXPECT_FALSE(std::move(b2).build().has_distinct_weights());
+}
+
+TEST(Graph, DescribeMentionsShape) {
+  const std::string d = triangle().describe();
+  EXPECT_NE(d.find("n=3"), std::string::npos);
+  EXPECT_NE(d.find("connected"), std::string::npos);
+}
+
+TEST(Dsu, UniteAndFind) {
+  Dsu dsu(5);
+  EXPECT_EQ(dsu.component_count(), 5u);
+  EXPECT_TRUE(dsu.unite(0, 1));
+  EXPECT_TRUE(dsu.unite(2, 3));
+  EXPECT_FALSE(dsu.unite(1, 0));  // already together
+  EXPECT_EQ(dsu.component_count(), 3u);
+  EXPECT_TRUE(dsu.same(0, 1));
+  EXPECT_FALSE(dsu.same(0, 2));
+  EXPECT_TRUE(dsu.unite(1, 3));
+  EXPECT_TRUE(dsu.same(0, 2));
+  EXPECT_EQ(dsu.component_size(0), 4u);
+}
+
+TEST(Dsu, OutOfRangeThrows) {
+  Dsu dsu(3);
+  EXPECT_THROW(dsu.find(3), std::logic_error);
+}
+
+}  // namespace
+}  // namespace pls::graph

@@ -1,0 +1,179 @@
+#include "graph/mst.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+
+namespace pls::graph {
+namespace {
+
+Graph weighted_instance(std::size_t n, std::size_t extra, std::uint64_t seed) {
+  util::Rng rng(seed);
+  const std::size_t max_extra = n * (n - 1) / 2 - (n - 1);
+  Graph g = random_connected(n, std::min(extra, max_extra), rng);
+  return reweight_random(g, rng);
+}
+
+TEST(Mst, HandCheckedExample) {
+  // Square with a diagonal; unique MST is the three lightest edges that
+  // stay acyclic.
+  Graph::Builder b;
+  for (int i = 0; i < 4; ++i) b.add_node(static_cast<RawId>(i + 1));
+  b.add_edge(0, 1, 1);
+  b.add_edge(1, 2, 2);
+  b.add_edge(2, 3, 3);
+  b.add_edge(3, 0, 4);
+  b.add_edge(0, 2, 5);
+  const Graph g = std::move(b).build();
+  const auto tree = kruskal(g);
+  EXPECT_EQ(total_weight(g, tree), 1 + 2 + 3);
+}
+
+TEST(Mst, RequiresDistinctWeights) {
+  Graph::Builder b;
+  b.add_node(1);
+  b.add_node(2);
+  b.add_node(3);
+  b.add_edge(0, 1, 1);
+  b.add_edge(1, 2, 1);
+  const Graph g = std::move(b).build();
+  EXPECT_THROW(kruskal(g), std::logic_error);
+}
+
+TEST(Mst, RequiresConnected) {
+  Graph::Builder b;
+  b.add_node(1);
+  b.add_node(2);
+  b.add_node(3);
+  b.add_edge(0, 1, 1);
+  const Graph g = std::move(b).build();
+  EXPECT_THROW(kruskal(g), std::logic_error);
+}
+
+class MstAlgorithms
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(MstAlgorithms, KruskalPrimBoruvkaAgree) {
+  const auto [n, extra, seed] = GetParam();
+  const Graph g = weighted_instance(static_cast<std::size_t>(n),
+                                    static_cast<std::size_t>(extra),
+                                    static_cast<std::uint64_t>(seed));
+  const auto k = kruskal(g);
+  const auto p = prim(g);
+  const BoruvkaRun b = boruvka_with_history(g);
+
+  // Distinct weights => the MST is unique => identical edge sets.
+  const std::set<EdgeIndex> ks(k.begin(), k.end());
+  const std::set<EdgeIndex> ps(p.begin(), p.end());
+  const std::set<EdgeIndex> bs(b.mst_edges.begin(), b.mst_edges.end());
+  EXPECT_EQ(ks, ps);
+  EXPECT_EQ(ks, bs);
+
+  // And it is a spanning tree.
+  std::vector<bool> mask(g.m(), false);
+  for (const EdgeIndex e : k) mask[e] = true;
+  EXPECT_TRUE(is_spanning_tree(g, mask));
+}
+
+TEST_P(MstAlgorithms, BoruvkaPhaseStructure) {
+  const auto [n, extra, seed] = GetParam();
+  const Graph g = weighted_instance(static_cast<std::size_t>(n),
+                                    static_cast<std::size_t>(extra),
+                                    static_cast<std::uint64_t>(seed));
+  const BoruvkaRun run = boruvka_with_history(g);
+
+  // Phase 0 is all singletons; the last phase is a single fragment.
+  ASSERT_GE(run.phases.size(), 1u);
+  for (NodeIndex v = 0; v < g.n(); ++v)
+    EXPECT_EQ(run.phases.front().fragment_of[v], v);
+  const auto& last = run.phases.back();
+  for (NodeIndex v = 0; v < g.n(); ++v)
+    EXPECT_EQ(last.fragment_of[v], last.fragment_of[0]);
+  EXPECT_TRUE(last.chosen.empty());
+
+  // Fragments only merge, never split, and at least halve in count.
+  std::size_t prev_fragments = g.n();
+  for (std::size_t i = 0; i < run.phases.size(); ++i) {
+    const auto& phase = run.phases[i];
+    std::set<NodeIndex> reps(phase.fragment_of.begin(),
+                             phase.fragment_of.end());
+    if (i > 0) {
+      EXPECT_LE(reps.size(), (prev_fragments + 1) / 2);
+      // Monotone: same fragment before => same fragment now.
+      const auto& before = run.phases[i - 1];
+      for (const Edge& e : g.edges())
+        if (before.fragment_of[e.u] == before.fragment_of[e.v]) {
+          EXPECT_EQ(phase.fragment_of[e.u], phase.fragment_of[e.v]);
+        }
+    }
+    // The representative is the minimum-id member of its fragment.
+    for (NodeIndex v = 0; v < g.n(); ++v)
+      EXPECT_LE(g.id(phase.fragment_of[v]), g.id(v));
+    prev_fragments = reps.size();
+  }
+}
+
+TEST_P(MstAlgorithms, ChosenEdgesAreMinimumOutgoing) {
+  const auto [n, extra, seed] = GetParam();
+  const Graph g = weighted_instance(static_cast<std::size_t>(n),
+                                    static_cast<std::size_t>(extra),
+                                    static_cast<std::uint64_t>(seed));
+  const BoruvkaRun run = boruvka_with_history(g);
+  for (const BoruvkaPhase& phase : run.phases) {
+    for (const auto& [rep, chosen] : phase.chosen) {
+      const Weight w = g.weight(chosen);
+      // The chosen edge leaves the fragment...
+      EXPECT_NE(phase.fragment_of[g.edge(chosen).u],
+                phase.fragment_of[g.edge(chosen).v]);
+      // ...and no outgoing edge of this fragment is lighter.
+      for (EdgeIndex e = 0; e < g.m(); ++e) {
+        const Edge& ed = g.edge(e);
+        const bool outgoing =
+            (phase.fragment_of[ed.u] == rep) != (phase.fragment_of[ed.v] == rep);
+        if (outgoing) {
+          EXPECT_GE(g.weight(e), w);
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, MstAlgorithms,
+    ::testing::Combine(::testing::Values(2, 3, 8, 33, 100),
+                       ::testing::Values(0, 10),
+                       ::testing::Values(1, 7)));
+
+TEST(Mst, BoruvkaPhaseCountLogarithmic) {
+  for (const std::size_t n : {2u, 16u, 64u, 256u}) {
+    const Graph g = weighted_instance(n, n, 5);
+    const BoruvkaRun run = boruvka_with_history(g);
+    std::size_t bound = 1, frags = n;
+    while (frags > 1) {
+      frags = (frags + 1) / 2;
+      ++bound;
+    }
+    EXPECT_LE(run.phases.size(), bound) << "n=" << n;
+  }
+}
+
+TEST(Mst, PathGraphMstIsWholePath) {
+  util::Rng rng(3);
+  const Graph g = reweight_random(path(10), rng);
+  EXPECT_EQ(kruskal(g).size(), 9u);
+  EXPECT_EQ(boruvka_with_history(g).mst_edges.size(), 9u);
+}
+
+TEST(Mst, SingleNode) {
+  const Graph g = path(1);
+  const BoruvkaRun run = boruvka_with_history(g);
+  EXPECT_TRUE(run.mst_edges.empty());
+  EXPECT_EQ(run.phases.size(), 1u);
+}
+
+}  // namespace
+}  // namespace pls::graph

@@ -1,0 +1,126 @@
+// Second integration layer: pieces that span three or more modules at once —
+// universal over weighted languages, crossing over stl, alarms after
+// adversarial attacks, conjunctions under the adversary suite.
+#include <gtest/gtest.h>
+
+#include "pls/compose.hpp"
+#include "pls/crossing.hpp"
+#include "pls/strict_adapter.hpp"
+#include "pls/universal.hpp"
+#include "schemes/lcl.hpp"
+#include "schemes/mst.hpp"
+#include "schemes/spanning_tree.hpp"
+#include "selfstab/alarm.hpp"
+#include "testing/helpers.hpp"
+
+namespace pls {
+namespace {
+
+using pls::testing::share;
+
+TEST(CrossModule, UniversalOverMstIsCompleteAndSized) {
+  // The universal scheme must handle weighted languages: the weight table is
+  // part of the encoding and the verifier checks incident weight multisets.
+  const schemes::MstLanguage language;
+  const core::UniversalScheme universal(language);
+  util::Rng rng(3);
+  auto g = share(graph::reweight_random(graph::cycle(8), rng));
+  const auto cfg = language.sample_legal(g, rng);
+  testing::expect_complete(universal, cfg);
+
+  // Replaying the certificates on a differently-weighted copy fails: some
+  // node's incident weight multiset no longer matches.
+  auto g2 = share(graph::reweight_random(graph::cycle(8), rng));
+  if (!(g2->edges()[0].w == g->edges()[0].w)) {
+    const auto cfg2 = language.sample_legal(g2, rng);
+    const core::Labeling honest = universal.mark(cfg);
+    EXPECT_GE(core::run_verifier(universal, cfg2, honest).rejections(), 1u);
+  }
+}
+
+TEST(CrossModule, CrossingFamilyOverStl) {
+  // Spanning trees rooted at different nodes, spliced across the middle of a
+  // path: same underlying tree (the path itself), different orientations in
+  // the certificates.  Splices keep the same edge set, so they stay legal —
+  // the crossing engine must report them as such (a sanity check that
+  // "illegal" is decided by the language, not assumed).
+  const schemes::StlLanguage language;
+  const schemes::StlScheme inner(language);
+  const core::StrictAdapter scheme(inner);
+  const std::size_t n = 10;
+  auto g = share(graph::path(n));
+  std::vector<bool> mask(g->m(), true);
+  std::vector<local::Configuration> configs;
+  configs.push_back(language.make_from_mask(g, mask));
+  configs.push_back(language.make_from_mask(g, mask));
+  std::vector<bool> left(n, false);
+  for (std::size_t i = 0; i < n / 2; ++i) left[i] = true;
+  const core::CrossingFamily family =
+      core::make_family(scheme, std::move(configs), left);
+  const core::PairProbe probe = core::probe_pair(scheme, family, 0, 1, 1000);
+  EXPECT_FALSE(probe.spliced_illegal);  // identical states: still the tree
+}
+
+TEST(CrossModule, AttackThenAlarmLocatesAWitness) {
+  const schemes::StlLanguage language;
+  const schemes::StlScheme scheme(language);
+  util::Rng rng(7);
+  auto g = share(graph::random_connected(18, 9, rng));
+  const auto legal = language.sample_legal(g, rng);
+
+  // Corrupt, attack (adversary picks certificates), then converge the alarm.
+  for (int trial = 0; trial < 6; ++trial) {
+    const auto corrupted = local::corrupt_random_states(legal, 2, rng);
+    if (language.contains(corrupted.config)) continue;
+    const core::AttackReport report =
+        core::attack(scheme, corrupted.config, rng);
+    ASSERT_GE(report.min_rejections, 1u);
+    const core::Verdict verdict =
+        core::run_verifier(scheme, corrupted.config, report.best_labeling);
+    const selfstab::AlarmResult alarm =
+        selfstab::converge_alarm(*g, verdict.rejected());
+    EXPECT_TRUE(alarm.alarm);
+    break;
+  }
+}
+
+TEST(CrossModule, ConjunctionUnderFullAttackSuite) {
+  const schemes::DominatingSetLanguage domset;
+  const schemes::MisLanguage mis;
+  const core::ConjunctionLanguage conjunction(domset, mis, mis);
+  const schemes::DominatingSetScheme s1(domset);
+  const schemes::MisScheme s2(mis);
+  const core::ConjunctionScheme scheme(conjunction, s1, s2);
+
+  auto g = share(graph::grid(3, 5));
+  // Independent but not dominating: one corner member only.
+  std::vector<local::State> states(g->n(),
+                                   schemes::MisLanguage::encode_member(false));
+  states[0] = schemes::MisLanguage::encode_member(true);
+  const local::Configuration cfg(g, states);
+  ASSERT_FALSE(conjunction.contains(cfg));
+  testing::expect_sound(scheme, cfg, 11);
+}
+
+TEST(CrossModule, StrictAdapterComposesWithConjunction) {
+  // strict(conjunction(stl, stl)): three wrappers deep, still correct.
+  const schemes::StlLanguage stl;
+  const core::ConjunctionLanguage both(stl, stl, stl);
+  const schemes::StlScheme a(stl);
+  const schemes::StlScheme b(stl);
+  const core::ConjunctionScheme composed(both, a, b);
+  const core::StrictAdapter strict(composed);
+
+  util::Rng rng(13);
+  auto g = share(graph::grid(3, 4));
+  const auto cfg = both.sample_legal(g, rng);
+  testing::expect_complete(strict, cfg);
+
+  std::vector<bool> all(g->m(), true);
+  const schemes::StlLanguage helper;
+  const auto illegal = helper.make_from_mask(g, all);
+  if (!both.contains(illegal)) testing::expect_sound(strict, illegal, 17);
+}
+
+}  // namespace
+}  // namespace pls

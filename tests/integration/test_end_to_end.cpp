@@ -1,0 +1,128 @@
+// End-to-end flows across modules: construct → mark → verify → corrupt →
+// detect → (self-stab) recover, plus the universal scheme and the strict
+// adapter driven through the whole catalog.
+#include <gtest/gtest.h>
+
+#include "pls/strict_adapter.hpp"
+#include "pls/universal.hpp"
+#include "schemes/registry.hpp"
+#include "schemes/spanning_tree.hpp"
+#include "selfstab/harness.hpp"
+#include "sensitivity/analysis.hpp"
+#include "sensitivity/counterexamples.hpp"
+#include "testing/helpers.hpp"
+
+namespace pls {
+namespace {
+
+using pls::testing::share;
+
+std::shared_ptr<const graph::Graph> instance_for(
+    const schemes::SchemeEntry& entry, util::Rng& rng) {
+  if (entry.needs_weighted)
+    return share(
+        graph::reweight_random(graph::random_connected(14, 10, rng), rng));
+  if (entry.needs_bipartite) return share(graph::grid(3, 5));
+  return share(graph::random_connected(14, 10, rng));
+}
+
+TEST(EndToEnd, MarkVerifyCorruptDetectForWholeCatalog) {
+  util::Rng rng(101);
+  for (const schemes::SchemeEntry& entry : schemes::standard_catalog()) {
+    auto g = instance_for(entry, rng);
+    const local::Configuration legal = entry.language->sample_legal(g, rng);
+
+    // 1. The prover's certificates convince everyone.
+    const core::Labeling lab = entry.scheme->mark(legal);
+    EXPECT_TRUE(core::run_verifier(*entry.scheme, legal, lab).all_accept())
+        << entry.label;
+
+    // 2. Corrupting states while keeping the old certificates is detected
+    // whenever the result is illegal.
+    for (int trial = 0; trial < 5; ++trial) {
+      const auto corrupted = local::corrupt_random_states(legal, 2, rng);
+      if (entry.language->contains(corrupted.config)) continue;
+      EXPECT_GE(
+          core::run_verifier(*entry.scheme, corrupted.config, lab).rejections(),
+          1u)
+          << entry.label;
+    }
+  }
+}
+
+TEST(EndToEnd, UniversalSchemeCoversEveryCatalogLanguage) {
+  util::Rng rng(103);
+  for (const schemes::SchemeEntry& entry : schemes::standard_catalog()) {
+    // Keep instances small: universal certificates are O(n^2).
+    std::shared_ptr<const graph::Graph> g;
+    if (entry.needs_weighted) {
+      g = share(graph::reweight_random(graph::cycle(7), rng));
+    } else if (entry.needs_bipartite) {
+      g = share(graph::cycle(8));
+    } else {
+      g = share(graph::cycle(7));
+    }
+    const core::UniversalScheme universal(*entry.language);
+    const local::Configuration legal = entry.language->sample_legal(g, rng);
+    EXPECT_TRUE(core::completeness_holds(universal, legal)) << entry.label;
+
+    for (int trial = 0; trial < 4; ++trial) {
+      const auto corrupted = local::corrupt_random_states(legal, 1, rng);
+      if (entry.language->contains(corrupted.config)) continue;
+      const core::Labeling honest = universal.mark(legal);
+      EXPECT_GE(core::run_verifier(universal, corrupted.config, honest)
+                    .rejections(),
+                1u)
+          << entry.label;
+      break;
+    }
+  }
+}
+
+TEST(EndToEnd, StrictAdapterPreservesContractAcrossCatalog) {
+  util::Rng rng(107);
+  for (const schemes::SchemeEntry& entry : schemes::standard_catalog()) {
+    if (entry.scheme->visibility() != local::Visibility::kExtended) continue;
+    const core::StrictAdapter strict(*entry.scheme);
+    auto g = instance_for(entry, rng);
+    const local::Configuration legal = entry.language->sample_legal(g, rng);
+    EXPECT_TRUE(core::completeness_holds(strict, legal)) << entry.label;
+    EXPECT_GE(strict.mark(legal).max_bits(),
+              entry.scheme->mark(legal).max_bits())
+        << entry.label;
+  }
+}
+
+TEST(EndToEnd, SelfStabilizationUsesPlsDetection) {
+  // The full loop the paper motivates: legitimate state -> transient faults
+  // -> local detection (1 round) -> recovery -> silence.
+  util::Rng rng(109);
+  const graph::Graph g = graph::grid(4, 5);
+  const selfstab::FaultExperiment result =
+      selfstab::run_fault_experiment(g, 4, rng);
+  EXPECT_TRUE(result.converged);
+  EXPECT_TRUE(result.legitimate_after);
+  EXPECT_TRUE(result.silent_after);
+}
+
+TEST(EndToEnd, SensitivityContrastStlVersusStp) {
+  // The encoding of the same task decides how many nodes see a fault: the
+  // stp counterexample pins rejections at 2 for arbitrarily large distance,
+  // while stl corruptions are rejected in proportion to their size.
+  const sensitivity::CounterexampleResult stp =
+      sensitivity::stp_path_counterexample(32);
+  EXPECT_EQ(stp.rejections, 2u);
+  EXPECT_GE(stp.distance_lower_bound, 16u);
+
+  const schemes::StlLanguage stl_language;
+  const schemes::StlScheme stl_scheme(stl_language);
+  util::Rng rng(113);
+  auto g = share(graph::random_connected(24, 12, rng));
+  const auto legal = stl_language.sample_legal(g, rng);
+  const sensitivity::SensitivityRow row = sensitivity::measure(
+      stl_scheme, legal, sensitivity::corrupt_adjacency_list, 5, rng);
+  EXPECT_GE(row.min_rejections, 5u);
+}
+
+}  // namespace
+}  // namespace pls

@@ -1,0 +1,97 @@
+#include "local/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "graph/generators.hpp"
+
+namespace pls::local {
+namespace {
+
+std::shared_ptr<const graph::Graph> shared_path(std::size_t n) {
+  return std::make_shared<const graph::Graph>(graph::path(n));
+}
+
+Configuration uniform_config(std::shared_ptr<const graph::Graph> g,
+                             std::uint64_t value, unsigned bits) {
+  std::vector<State> states(g->n(), State::of_uint(value, bits));
+  return Configuration(std::move(g), std::move(states));
+}
+
+TEST(Configuration, RequiresMatchingStateCount) {
+  auto g = shared_path(3);
+  std::vector<State> two(2);
+  EXPECT_THROW(Configuration(g, two), std::logic_error);
+}
+
+TEST(Configuration, RequiresGraph) {
+  EXPECT_THROW(Configuration(nullptr, {}), std::logic_error);
+}
+
+TEST(Configuration, WithStateReplacesOneNode) {
+  auto cfg = uniform_config(shared_path(4), 5, 8);
+  const auto cfg2 = cfg.with_state(2, State::of_uint(9, 8));
+  EXPECT_EQ(cfg2.state(2), State::of_uint(9, 8));
+  EXPECT_EQ(cfg2.state(1), State::of_uint(5, 8));
+  EXPECT_EQ(cfg.state(2), State::of_uint(5, 8));  // original untouched
+}
+
+TEST(Configuration, HammingDistance) {
+  auto g = shared_path(5);
+  const auto a = uniform_config(g, 1, 4);
+  auto b = a.with_state(0, State::of_uint(2, 4))
+               .with_state(3, State::of_uint(2, 4));
+  EXPECT_EQ(a.hamming_distance(b), 2u);
+  EXPECT_EQ(b.hamming_distance(a), 2u);
+  EXPECT_EQ(a.hamming_distance(a), 0u);
+}
+
+TEST(Configuration, MaxStateBits) {
+  auto g = shared_path(3);
+  std::vector<State> states = {State::of_uint(1, 2), State::of_uint(1, 10),
+                               State::of_uint(1, 5)};
+  Configuration cfg(g, states);
+  EXPECT_EQ(cfg.max_state_bits(), 10u);
+}
+
+TEST(RandomState, HasRequestedLength) {
+  util::Rng rng(1);
+  for (const std::size_t bits : {0u, 1u, 7u, 8u, 63u, 64u, 65u, 200u})
+    EXPECT_EQ(random_state(bits, rng).bit_size(), bits);
+}
+
+TEST(Corruption, TouchesExactlyKNodes) {
+  util::Rng rng(2);
+  const auto cfg = uniform_config(shared_path(20), 3, 16);
+  const CorruptionResult r = corrupt_random_states(cfg, 5, rng);
+  EXPECT_EQ(r.corrupted.size(), 5u);
+  // The corrupted configuration differs from the original at most at the
+  // chosen nodes (a random state may coincide, hence <=).
+  EXPECT_LE(cfg.hamming_distance(r.config), 5u);
+  for (graph::NodeIndex v = 0; v < cfg.n(); ++v) {
+    const bool chosen = std::find(r.corrupted.begin(), r.corrupted.end(), v) !=
+                        r.corrupted.end();
+    if (!chosen) {
+      EXPECT_EQ(cfg.state(v), r.config.state(v));
+    }
+  }
+}
+
+TEST(Corruption, PreservesStateLength) {
+  util::Rng rng(3);
+  const auto cfg = uniform_config(shared_path(6), 1, 12);
+  const CorruptionResult r = corrupt_random_states(cfg, 6, rng);
+  for (graph::NodeIndex v = 0; v < cfg.n(); ++v)
+    EXPECT_EQ(r.config.state(v).bit_size(), 12u);
+}
+
+TEST(Corruption, KTooLargeThrows) {
+  util::Rng rng(4);
+  const auto cfg = uniform_config(shared_path(3), 1, 4);
+  EXPECT_THROW(corrupt_random_states(cfg, 4, rng), std::logic_error);
+}
+
+}  // namespace
+}  // namespace pls::local

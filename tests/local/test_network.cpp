@@ -1,0 +1,96 @@
+#include "local/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "graph/generators.hpp"
+
+namespace pls::local {
+namespace {
+
+std::shared_ptr<const graph::Graph> shared(graph::Graph g) {
+  return std::make_shared<const graph::Graph>(std::move(g));
+}
+
+/// Max-propagation protocol: every node adopts the maximum value it sees.
+StepFn max_protocol() {
+  return [](graph::RawId, const State& own,
+            std::span<const NeighborState> neighbors) {
+    auto read = [](const State& s) {
+      util::BitReader r = s.reader();
+      return r.read_uint(32).value_or(0);
+    };
+    std::uint64_t best = read(own);
+    for (const NeighborState& nb : neighbors)
+      best = std::max(best, read(*nb.state));
+    return State::of_uint(best, 32);
+  };
+}
+
+TEST(SyncNetwork, MaxPropagatesInDiameterRounds) {
+  auto g = shared(graph::path(6));
+  std::vector<State> init(6, State::of_uint(0, 32));
+  init[0] = State::of_uint(77, 32);
+  SyncNetwork net(g, init);
+  // Diameter of the path is 5: after 5 rounds everyone holds 77.
+  for (int round = 0; round < 5; ++round) net.step(max_protocol());
+  for (const State& s : net.states()) EXPECT_EQ(s, State::of_uint(77, 32));
+}
+
+TEST(SyncNetwork, StepIsSynchronous) {
+  // On a path with the max at one end, values move exactly one hop per round.
+  auto g = shared(graph::path(4));
+  std::vector<State> init(4, State::of_uint(0, 32));
+  init[0] = State::of_uint(9, 32);
+  SyncNetwork net(g, init);
+  net.step(max_protocol());
+  EXPECT_EQ(net.states()[1], State::of_uint(9, 32));
+  EXPECT_EQ(net.states()[2], State::of_uint(0, 32));  // not yet
+}
+
+TEST(SyncNetwork, RoundStatsCountChanges) {
+  auto g = shared(graph::path(4));
+  std::vector<State> init(4, State::of_uint(0, 32));
+  init[0] = State::of_uint(9, 32);
+  SyncNetwork net(g, init);
+  const RoundStats s1 = net.step(max_protocol());
+  EXPECT_EQ(s1.changed_nodes, 1u);  // only node 1 changes
+  // Message bits: each node receives the state of each neighbor; path(4) has
+  // 3 edges and 2 directions each, 32 bits per message.
+  EXPECT_EQ(s1.message_bits, 6u * 32u);
+}
+
+TEST(SyncNetwork, RunUntilQuiescent) {
+  auto g = shared(graph::grid(3, 3));
+  std::vector<State> init(9, State::of_uint(1, 32));
+  init[8] = State::of_uint(100, 32);
+  SyncNetwork net(g, init);
+  const std::size_t rounds = net.run_until_quiescent(max_protocol(), 50);
+  EXPECT_LE(rounds, 6u);  // diameter 4, +1 quiescence-confirming round
+  for (const State& s : net.states()) EXPECT_EQ(s, State::of_uint(100, 32));
+}
+
+TEST(SyncNetwork, NonConvergenceReportsBudgetPlusOne) {
+  // A protocol that never settles: every node increments its value.
+  auto g = shared(graph::path(2));
+  StepFn tick = [](graph::RawId, const State& own,
+                   std::span<const NeighborState>) {
+    util::BitReader r = own.reader();
+    return State::of_uint(r.read_uint(32).value_or(0) + 1, 32);
+  };
+  SyncNetwork net(g, std::vector<State>(2, State::of_uint(0, 32)));
+  EXPECT_EQ(net.run_until_quiescent(tick, 10), 11u);
+}
+
+TEST(SyncNetwork, ConfigurationSnapshot) {
+  auto g = shared(graph::path(3));
+  SyncNetwork net(g, std::vector<State>(3, State::of_uint(4, 8)));
+  const Configuration cfg = net.configuration();
+  EXPECT_EQ(cfg.n(), 3u);
+  EXPECT_EQ(cfg.state(1), State::of_uint(4, 8));
+}
+
+}  // namespace
+}  // namespace pls::local

@@ -1,0 +1,161 @@
+#include "pls/crossing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pls/strict_adapter.hpp"
+#include "schemes/agree.hpp"
+#include "schemes/leader.hpp"
+#include "schemes/spanning_tree.hpp"
+#include "testing/helpers.hpp"
+
+namespace pls::core {
+namespace {
+
+using testing::share;
+
+std::vector<bool> first_half_mask(std::size_t n) {
+  std::vector<bool> left(n, false);
+  for (std::size_t i = 0; i < n / 2; ++i) left[i] = true;
+  return left;
+}
+
+TEST(Crossing, BoundaryNodesOnPath) {
+  const graph::Graph g = graph::path(8);
+  const auto boundary = boundary_nodes(g, first_half_mask(8));
+  ASSERT_EQ(boundary.size(), 2u);
+  EXPECT_EQ(boundary[0], 3u);
+  EXPECT_EQ(boundary[1], 4u);
+}
+
+TEST(Crossing, BoundaryNodesOnRing) {
+  const graph::Graph g = graph::cycle(8);
+  const auto boundary = boundary_nodes(g, first_half_mask(8));
+  EXPECT_EQ(boundary.size(), 4u);  // two cut edges, four endpoints
+}
+
+TEST(Crossing, MakeFamilyRejectsIllegalInstances) {
+  const schemes::LeaderLanguage language;
+  const schemes::LeaderScheme scheme(language);
+  auto g = share(graph::path(4));
+  std::vector<local::State> none(4,
+                                 schemes::LeaderLanguage::encode_flag(false));
+  EXPECT_THROW(
+      make_family(scheme, {local::Configuration(g, none)}, first_half_mask(4)),
+      std::logic_error);
+}
+
+class AgreeCrossing : public ::testing::Test {
+ protected:
+  AgreeCrossing() : language_(16), scheme_(language_) {
+    auto g = share(graph::path(8));
+    std::vector<local::Configuration> configs;
+    // 32 distinct 16-bit values: guaranteed collisions at small masks.
+    for (std::uint64_t v = 0; v < 32; ++v) {
+      const std::uint64_t value = v * 2053 + 17;  // spread over 16 bits
+      std::vector<local::State> states(8, language_.encode_value(value));
+      configs.emplace_back(g, std::move(states));
+    }
+    family_ = make_family(scheme_, std::move(configs), first_half_mask(8));
+  }
+
+  schemes::AgreeLanguage language_;
+  schemes::AgreeScheme scheme_;
+  CrossingFamily family_;
+};
+
+TEST_F(AgreeCrossing, AllSplicesAreIllegal) {
+  const SweepRow row = sweep_mask(scheme_, family_, 16);
+  EXPECT_EQ(row.pairs_tested, 32u * 31u / 2u);
+  EXPECT_EQ(row.illegal_pairs, row.pairs_tested);  // all values distinct
+}
+
+TEST_F(AgreeCrossing, FullWidthNeverFooled) {
+  const SweepRow row = sweep_mask(scheme_, family_, 16);
+  EXPECT_EQ(row.fooled_pairs, 0u);
+}
+
+TEST_F(AgreeCrossing, ZeroBitsAlwaysFooled) {
+  const SweepRow row = sweep_mask(scheme_, family_, 0);
+  EXPECT_EQ(row.fooled_pairs, row.illegal_pairs);
+}
+
+TEST_F(AgreeCrossing, IntermediateMaskPartiallyFooled) {
+  const SweepRow row = sweep_mask(scheme_, family_, 3);
+  EXPECT_GT(row.fooled_pairs, 0u);  // 32 values over 8 buckets must collide
+  EXPECT_LT(row.fooled_pairs, row.illegal_pairs);
+}
+
+TEST_F(AgreeCrossing, FooledPairsMonotoneInMask) {
+  std::size_t prev = family_.instances.size() * family_.instances.size();
+  for (const std::size_t b : {0u, 2u, 4u, 8u, 16u}) {
+    const SweepRow row = sweep_mask(scheme_, family_, b);
+    EXPECT_LE(row.fooled_pairs, prev);
+    prev = row.fooled_pairs;
+  }
+}
+
+TEST_F(AgreeCrossing, SignatureCountGrowsWithMask) {
+  EXPECT_EQ(distinct_boundary_signatures(family_, 16), 32u);
+  EXPECT_LE(distinct_boundary_signatures(family_, 2), 4u);
+  EXPECT_EQ(distinct_boundary_signatures(family_, 0), 1u);
+}
+
+TEST_F(AgreeCrossing, FullVerifierCatchesEverySplice) {
+  // Even when the masked views collide, the real (full-width) verifier
+  // rejects: this is the scheme being sound at its actual proof size.
+  const PairProbe probe = probe_pair(scheme_, family_, 0, 1, 2);
+  EXPECT_TRUE(probe.spliced_illegal);
+  EXPECT_GE(probe.rejections_full, 1u);
+}
+
+TEST(CrossingLeader, TwoLeaderSpliceOnRing) {
+  const schemes::LeaderLanguage language;
+  const schemes::LeaderScheme inner(language);
+  const StrictAdapter scheme(inner);
+  auto g = share(graph::cycle(16));
+  std::vector<local::Configuration> configs;
+  // Leaders deep inside the left half and deep inside the right half.
+  for (const graph::NodeIndex p : {2u, 3u, 4u, 5u, 10u, 11u, 12u, 13u})
+    configs.push_back(language.make_with_leader(g, p));
+  const CrossingFamily family =
+      make_family(scheme, std::move(configs), first_half_mask(16));
+
+  // A left-leader with a right-leader: the splice has two leaders (illegal);
+  // boundary states agree (no leader near the cut).
+  const PairProbe zero = probe_pair(scheme, family, 0, 4, 0);
+  EXPECT_TRUE(zero.spliced_illegal);
+  EXPECT_TRUE(zero.views_identical);  // 0-bit certificates: always fooled
+  const PairProbe full = probe_pair(scheme, family, 0, 4, 100000);
+  EXPECT_TRUE(full.spliced_illegal);
+  EXPECT_FALSE(full.views_identical);  // root ids differ at the boundary
+  EXPECT_GE(full.rejections_full, 1u);
+
+  // Two left-leaders: the splice is the left instance itself (legal).
+  const PairProbe same_side = probe_pair(scheme, family, 0, 1, 0);
+  EXPECT_FALSE(same_side.spliced_illegal);
+}
+
+TEST(CrossingStp, MeetInTheMiddlePath) {
+  const schemes::StpLanguage language;
+  const schemes::StpScheme inner(language);
+  const StrictAdapter scheme(inner);
+  const std::size_t n = 12;
+  auto g = share(graph::path(n));
+  std::vector<local::Configuration> configs;
+  configs.push_back(language.make_tree(g, 0));      // everyone points left
+  configs.push_back(language.make_tree(g, n - 1));  // everyone points right
+  const CrossingFamily family =
+      make_family(scheme, std::move(configs), first_half_mask(n));
+
+  // left-half of tree-rooted-at-0 + right-half of tree-rooted-at-(n-1):
+  // pointers meet in the middle — two roots, illegal, distance ~ n/2, yet
+  // with the spliced certificates only the two middle nodes can reject.
+  const PairProbe probe = probe_pair(scheme, family, 0, 1, 100000);
+  EXPECT_TRUE(probe.spliced_illegal);
+  EXPECT_FALSE(probe.views_identical);
+  EXPECT_LE(probe.rejections_full, 2u);
+  EXPECT_GE(probe.rejections_full, 1u);
+}
+
+}  // namespace
+}  // namespace pls::core

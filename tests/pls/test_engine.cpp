@@ -1,0 +1,95 @@
+#include "pls/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "schemes/leader.hpp"
+#include "testing/helpers.hpp"
+
+namespace pls::core {
+namespace {
+
+using testing::share;
+
+TEST(Engine, RunVerifierReportsPerNodeVerdicts) {
+  const schemes::LeaderLanguage language;
+  const schemes::LeaderScheme scheme(language);
+  auto g = share(graph::path(5));
+  const auto cfg = language.make_with_leader(g, 2);
+  const Labeling lab = scheme.mark(cfg);
+  const Verdict verdict = run_verifier(scheme, cfg, lab);
+  EXPECT_EQ(verdict.accept.size(), 5u);
+  EXPECT_TRUE(verdict.all_accept());
+  EXPECT_EQ(verdict.rejections(), 0u);
+  EXPECT_TRUE(verdict.rejecting_nodes().empty());
+}
+
+TEST(Engine, RejectingNodesListed) {
+  const schemes::LeaderLanguage language;
+  const schemes::LeaderScheme scheme(language);
+  auto g = share(graph::path(5));
+  const auto cfg = language.make_with_leader(g, 2);
+  // Empty certificates: every node fails to parse and rejects.
+  Labeling empty;
+  empty.certs.assign(5, Certificate{});
+  const Verdict verdict = run_verifier(scheme, cfg, empty);
+  EXPECT_EQ(verdict.rejections(), 5u);
+  EXPECT_EQ(verdict.rejecting_nodes().size(), 5u);
+}
+
+TEST(Engine, LabelingSizeMismatchThrows) {
+  const schemes::LeaderLanguage language;
+  const schemes::LeaderScheme scheme(language);
+  auto g = share(graph::path(3));
+  const auto cfg = language.make_with_leader(g, 0);
+  Labeling wrong;
+  wrong.certs.assign(2, Certificate{});
+  EXPECT_THROW(run_verifier(scheme, cfg, wrong), std::logic_error);
+}
+
+TEST(Engine, CompletenessHoldsOnLegal) {
+  const schemes::LeaderLanguage language;
+  const schemes::LeaderScheme scheme(language);
+  auto g = share(graph::grid(3, 3));
+  EXPECT_TRUE(completeness_holds(scheme, language.make_with_leader(g, 4)));
+}
+
+TEST(Engine, CompletenessPreconditionOnIllegal) {
+  const schemes::LeaderLanguage language;
+  const schemes::LeaderScheme scheme(language);
+  auto g = share(graph::path(3));
+  // Two leaders: not in the language; completeness_holds requires legality.
+  auto cfg = language.make_with_leader(g, 0).with_state(
+      2, schemes::LeaderLanguage::encode_flag(true));
+  EXPECT_THROW(completeness_holds(scheme, cfg), std::logic_error);
+}
+
+TEST(Engine, VerificationRoundBits) {
+  const schemes::LeaderLanguage language;
+  const schemes::LeaderScheme scheme(language);
+  auto g = share(graph::path(3));  // 2 edges
+  const auto cfg = language.make_with_leader(g, 0);
+  const Labeling lab = scheme.mark(cfg);
+  const std::size_t bits = verification_round_bits(scheme, cfg, lab);
+  // Each edge carries both endpoint certificates plus (extended mode) both
+  // states and ids.
+  std::size_t expected = 0;
+  for (const graph::Edge& e : g->edges())
+    for (const graph::NodeIndex v : {e.u, e.v})
+      expected += lab.certs[v].bit_size() + cfg.state(v).bit_size() + 64;
+  EXPECT_EQ(bits, expected);
+}
+
+TEST(Engine, LabelingAccounting) {
+  Labeling lab;
+  lab.certs.push_back(Certificate::of_uint(1, 3));
+  lab.certs.push_back(Certificate::of_uint(1, 10));
+  lab.certs.push_back(Certificate{});
+  EXPECT_EQ(lab.max_bits(), 10u);
+  EXPECT_EQ(lab.total_bits(), 13u);
+  const Labeling masked = lab.prefix_mask(4);
+  EXPECT_EQ(masked.max_bits(), 4u);
+  EXPECT_EQ(masked.certs[0].bit_size(), 3u);
+}
+
+}  // namespace
+}  // namespace pls::core

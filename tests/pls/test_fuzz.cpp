@@ -1,0 +1,160 @@
+// Verifier totality fuzzing.
+//
+// The verifier must be total: certificates come from an untrusted prover, so
+// arbitrary bit strings — truncated, overlong, structurally absurd — must
+// produce accept/reject decisions, never exceptions or crashes.  The same
+// holds for language deciders over corrupted *states*.  These tests throw
+// thousands of random and adversarially-shaped inputs at every scheme.
+#include <gtest/gtest.h>
+
+#include "pls/compose.hpp"
+#include "pls/strict_adapter.hpp"
+#include "pls/universal.hpp"
+#include "schemes/registry.hpp"
+#include "testing/helpers.hpp"
+
+namespace pls::core {
+namespace {
+
+using testing::share;
+
+std::shared_ptr<const graph::Graph> fuzz_graph(
+    const schemes::SchemeEntry& entry, util::Rng& rng) {
+  if (entry.needs_weighted)
+    return share(
+        graph::reweight_random(graph::random_connected(10, 8, rng), rng));
+  if (entry.needs_bipartite) return share(graph::grid(2, 5));
+  return share(graph::random_connected(10, 8, rng));
+}
+
+Labeling fuzz_labeling(std::size_t n, util::Rng& rng, std::size_t max_bits) {
+  Labeling lab;
+  for (std::size_t v = 0; v < n; ++v)
+    lab.certs.push_back(local::random_state(rng.below(max_bits + 1), rng));
+  return lab;
+}
+
+TEST(Fuzz, RandomCertificatesNeverCrashAnyScheme) {
+  util::Rng rng(424242);
+  for (const schemes::SchemeEntry& entry : schemes::standard_catalog()) {
+    auto g = fuzz_graph(entry, rng);
+    const local::Configuration cfg = entry.language->sample_legal(g, rng);
+    for (int trial = 0; trial < 40; ++trial) {
+      const Labeling lab = fuzz_labeling(cfg.n(), rng, 160);
+      const Verdict verdict = run_verifier(*entry.scheme, cfg, lab);
+      EXPECT_EQ(verdict.accept.size(), cfg.n()) << entry.label;
+    }
+  }
+}
+
+TEST(Fuzz, RandomStatesNeverCrashDecidersOrVerifiers) {
+  util::Rng rng(777);
+  for (const schemes::SchemeEntry& entry : schemes::standard_catalog()) {
+    auto g = fuzz_graph(entry, rng);
+    const local::Configuration legal = entry.language->sample_legal(g, rng);
+    const Labeling honest = entry.scheme->mark(legal);
+    for (int trial = 0; trial < 30; ++trial) {
+      // Random states of random sizes (not just same-length corruptions).
+      std::vector<local::State> states;
+      for (std::size_t v = 0; v < legal.n(); ++v)
+        states.push_back(local::random_state(rng.below(64), rng));
+      const local::Configuration garbage = legal.with_states(states);
+      (void)entry.language->contains(garbage);  // must not throw
+      const Verdict verdict = run_verifier(*entry.scheme, garbage, honest);
+      EXPECT_EQ(verdict.accept.size(), legal.n()) << entry.label;
+    }
+  }
+}
+
+TEST(Fuzz, MutatedHonestCertificatesNeverCrash) {
+  // Bit-level mutations of honest certificates: the nastiest parse inputs
+  // are near-valid ones.
+  util::Rng rng(31337);
+  for (const schemes::SchemeEntry& entry : schemes::standard_catalog()) {
+    auto g = fuzz_graph(entry, rng);
+    const local::Configuration cfg = entry.language->sample_legal(g, rng);
+    const Labeling honest = entry.scheme->mark(cfg);
+    for (int trial = 0; trial < 30; ++trial) {
+      Labeling mutated = honest;
+      const auto v = static_cast<graph::NodeIndex>(rng.below(cfg.n()));
+      const local::Certificate& c = mutated.certs[v];
+      switch (rng.below(3)) {
+        case 0:  // truncate
+          mutated.certs[v] = c.prefix(rng.below(c.bit_size() + 1));
+          break;
+        case 1: {  // extend with random bits
+          util::BitWriter w;
+          w.write_bits(c.bytes(), c.bit_size());
+          w.write_uint(rng.bits(), 17);
+          mutated.certs[v] = local::Certificate::from_writer(std::move(w));
+          break;
+        }
+        default: {  // flip one bit
+          if (c.bit_size() == 0) break;
+          std::vector<std::uint8_t> bytes = c.bytes();
+          const std::size_t bit = rng.below(c.bit_size());
+          bytes[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+          mutated.certs[v] = local::Certificate(bytes, c.bit_size());
+          break;
+        }
+      }
+      const Verdict verdict = run_verifier(*entry.scheme, cfg, mutated);
+      EXPECT_EQ(verdict.accept.size(), cfg.n()) << entry.label;
+    }
+  }
+}
+
+TEST(Fuzz, UniversalParserSurvivesGarbage) {
+  // Catalog entry 1 is leader; the universal scheme wraps its language.
+  const schemes::SchemeEntry entry = schemes::standard_catalog()[1];
+  const UniversalScheme universal(*entry.language);
+  util::Rng rng(555);
+  auto g = share(graph::cycle(6));
+  const local::Configuration cfg = entry.language->sample_legal(g, rng);
+  for (int trial = 0; trial < 60; ++trial) {
+    const Labeling lab = fuzz_labeling(cfg.n(), rng, 600);
+    const Verdict verdict = run_verifier(universal, cfg, lab);
+    EXPECT_EQ(verdict.accept.size(), cfg.n());
+  }
+}
+
+TEST(Fuzz, StrictAdapterSurvivesGarbage) {
+  const auto catalog = schemes::standard_catalog();
+  util::Rng rng(999);
+  for (const schemes::SchemeEntry& entry : catalog) {
+    if (entry.scheme->visibility() != local::Visibility::kExtended) continue;
+    const StrictAdapter strict(*entry.scheme);
+    auto g = fuzz_graph(entry, rng);
+    const local::Configuration cfg = entry.language->sample_legal(g, rng);
+    for (int trial = 0; trial < 15; ++trial) {
+      const Labeling lab = fuzz_labeling(cfg.n(), rng, 200);
+      (void)run_verifier(strict, cfg, lab);
+    }
+  }
+}
+
+TEST(Fuzz, BitReaderNeverReadsOutOfBounds) {
+  util::Rng rng(2024);
+  for (int trial = 0; trial < 200; ++trial) {
+    const local::State s = local::random_state(rng.below(96), rng);
+    util::BitReader r = s.reader();
+    // Random sequence of reads; all failures must be soft.
+    for (int op = 0; op < 20; ++op) {
+      switch (rng.below(3)) {
+        case 0:
+          (void)r.read_bit();
+          break;
+        case 1:
+          (void)r.read_uint(static_cast<unsigned>(rng.below(65)));
+          break;
+        default:
+          (void)r.read_varint();
+          break;
+      }
+    }
+    EXPECT_LE(r.position(), s.bit_size());
+  }
+}
+
+}  // namespace
+}  // namespace pls::core

@@ -1,0 +1,94 @@
+#include "pls/strict_adapter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pls/adversary.hpp"
+#include "schemes/leader.hpp"
+#include "schemes/spanning_tree.hpp"
+#include "testing/helpers.hpp"
+
+namespace pls::core {
+namespace {
+
+using testing::share;
+
+TEST(StrictAdapter, RequiresExtendedInner) {
+  const schemes::LeaderLanguage language;
+  const schemes::LeaderScheme inner(language);
+  const StrictAdapter adapted(inner);  // fine: leader is extended
+  EXPECT_EQ(adapted.visibility(), local::Visibility::kCertificatesOnly);
+  EXPECT_EQ(adapted.name(), "strict(leader/tree)");
+}
+
+TEST(StrictAdapter, CompletenessForLeader) {
+  const schemes::LeaderLanguage language;
+  const schemes::LeaderScheme inner(language);
+  const StrictAdapter adapted(inner);
+  for (auto& g : testing::unweighted_family(37)) {
+    util::Rng rng(41);
+    testing::expect_complete(adapted, language.sample_legal(g, rng));
+  }
+}
+
+TEST(StrictAdapter, CompletenessForStl) {
+  const schemes::StlLanguage language;
+  const schemes::StlScheme inner(language);
+  const StrictAdapter adapted(inner);
+  util::Rng rng(43);
+  auto g = share(graph::random_connected(20, 10, rng));
+  testing::expect_complete(adapted, language.sample_legal(g, rng));
+}
+
+TEST(StrictAdapter, SoundnessAgainstAttack) {
+  const schemes::LeaderLanguage language;
+  const schemes::LeaderScheme inner(language);
+  const StrictAdapter adapted(inner);
+  auto g = share(graph::grid(3, 4));
+  auto cfg = language.make_with_leader(g, 2).with_state(
+      9, schemes::LeaderLanguage::encode_flag(true));
+  testing::expect_sound(adapted, cfg, 47);
+}
+
+TEST(StrictAdapter, LyingAboutOwnStateRejected) {
+  // Take honest adapted certificates, then change one node's *state*: the
+  // embedded claim no longer matches, and that node itself must reject.
+  const schemes::LeaderLanguage language;
+  const schemes::LeaderScheme inner(language);
+  const StrictAdapter adapted(inner);
+  auto g = share(graph::path(5));
+  const auto cfg = language.make_with_leader(g, 2);
+  const Labeling certs = adapted.mark(cfg);
+  const auto tampered =
+      cfg.with_state(4, schemes::LeaderLanguage::encode_flag(true));
+  const Verdict verdict = run_verifier(adapted, tampered, certs);
+  EXPECT_FALSE(verdict.accept[4]);
+}
+
+TEST(StrictAdapter, OverheadIsStatePlusId) {
+  const schemes::LeaderLanguage language;
+  const schemes::LeaderScheme inner(language);
+  const StrictAdapter adapted(inner);
+  auto g = share(graph::cycle(16));
+  const auto cfg = language.make_with_leader(g, 3);
+  const std::size_t inner_bits = inner.mark(cfg).max_bits();
+  const std::size_t adapted_bits = adapted.mark(cfg).max_bits();
+  EXPECT_GT(adapted_bits, inner_bits);
+  // id varint (<= 16 bits here) + state length varint + 1-bit state.
+  EXPECT_LE(adapted_bits, inner_bits + 64);
+  EXPECT_LE(adapted_bits,
+            adapted.proof_size_bound(cfg.n(), cfg.max_state_bits()));
+}
+
+TEST(StrictAdapter, GarbageCertificatesRejected) {
+  const schemes::LeaderLanguage language;
+  const schemes::LeaderScheme inner(language);
+  const StrictAdapter adapted(inner);
+  auto g = share(graph::path(3));
+  const auto cfg = language.make_with_leader(g, 1);
+  Labeling empty;
+  empty.certs.assign(3, Certificate{});
+  EXPECT_EQ(run_verifier(adapted, cfg, empty).rejections(), 3u);
+}
+
+}  // namespace
+}  // namespace pls::core

@@ -1,0 +1,123 @@
+#include "pls/universal.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pls/adversary.hpp"
+#include "schemes/leader.hpp"
+#include "schemes/spanning_tree.hpp"
+#include "testing/helpers.hpp"
+
+namespace pls::core {
+namespace {
+
+using testing::share;
+
+TEST(Universal, CompletenessForLeader) {
+  const schemes::LeaderLanguage language;
+  const UniversalScheme scheme(language);
+  for (auto& g : testing::unweighted_family(11)) {
+    util::Rng rng(13);
+    const auto cfg = language.sample_legal(g, rng);
+    testing::expect_complete(scheme, cfg);
+  }
+}
+
+TEST(Universal, CompletenessForStl) {
+  const schemes::StlLanguage language;
+  const UniversalScheme scheme(language);
+  util::Rng rng(17);
+  auto g = share(graph::grid(3, 3));
+  testing::expect_complete(scheme, language.sample_legal(g, rng));
+}
+
+TEST(Universal, SoundAgainstAttackSuite) {
+  const schemes::LeaderLanguage language;
+  const UniversalScheme scheme(language);
+  auto g = share(graph::cycle(6));
+  auto cfg = language.make_with_leader(g, 0).with_state(
+      3, schemes::LeaderLanguage::encode_flag(true));
+  // Universal certificates are big; keep the attack cheap but real.
+  AttackOptions options;
+  options.hill_climb_steps = 60;
+  options.random_trials = 4;
+  testing::expect_sound(scheme, cfg, 19, options);
+}
+
+TEST(Universal, ForeignDescriptionRejected) {
+  // Certificates describing a *different* (legal) configuration over the
+  // same graph: every node's own-row check catches the state mismatch.
+  const schemes::LeaderLanguage language;
+  const UniversalScheme scheme(language);
+  auto g = share(graph::path(5));
+  const auto with0 = language.make_with_leader(g, 0);
+  const auto with4 = language.make_with_leader(g, 4);
+  const Labeling honest_for_0 = scheme.mark(with0);
+  const Verdict verdict = run_verifier(scheme, with4, honest_for_0);
+  EXPECT_GE(verdict.rejections(), 1u);
+  // Specifically the nodes whose states differ (0 and 4) must reject.
+  EXPECT_FALSE(verdict.accept[0]);
+  EXPECT_FALSE(verdict.accept[4]);
+}
+
+TEST(Universal, WrongTopologyRejected) {
+  // Present certificates marked on a 6-cycle to nodes of a 6-path (same ids,
+  // different wiring): some node must notice its neighborhood row is wrong.
+  const schemes::LeaderLanguage language;
+  const UniversalScheme scheme(language);
+  auto ring = share(graph::cycle(6));
+  auto line = share(graph::path(6));
+  const auto ring_cfg = language.make_with_leader(ring, 2);
+  const auto line_cfg = language.make_with_leader(line, 2);
+  const Labeling ring_certs = scheme.mark(ring_cfg);
+  const Verdict verdict = run_verifier(scheme, line_cfg, ring_certs);
+  EXPECT_GE(verdict.rejections(), 1u);
+}
+
+TEST(Universal, ProofSizeWithinBound) {
+  const schemes::LeaderLanguage language;
+  const UniversalScheme scheme(language);
+  for (const std::size_t n : {2u, 8u, 24u}) {
+    auto g = share(graph::cycle(std::max<std::size_t>(n, 3)));
+    util::Rng rng(23);
+    const auto cfg = language.sample_legal(g, rng);
+    const Labeling lab = scheme.mark(cfg);
+    EXPECT_LE(lab.max_bits(),
+              scheme.proof_size_bound(cfg.n(), cfg.max_state_bits()));
+  }
+}
+
+TEST(Universal, ProofSizeGrowsQuadratically) {
+  const schemes::LeaderLanguage language;
+  const UniversalScheme scheme(language);
+  util::Rng rng(29);
+  auto small = share(graph::cycle(8));
+  auto large = share(graph::cycle(64));
+  const auto cfg_small = language.sample_legal(small, rng);
+  const auto cfg_large = language.sample_legal(large, rng);
+  const std::size_t bits_small = scheme.mark(cfg_small).max_bits();
+  const std::size_t bits_large = scheme.mark(cfg_large).max_bits();
+  // 4x nodes => at least ~10x certificate (n^2 term dominates eventually).
+  EXPECT_GE(bits_large, 8 * bits_small);
+}
+
+TEST(Universal, GarbageCertificatesRejected) {
+  const schemes::LeaderLanguage language;
+  const UniversalScheme scheme(language);
+  auto g = share(graph::path(4));
+  const auto cfg = language.make_with_leader(g, 1);
+  util::Rng rng(31);
+  Labeling garbage;
+  for (int v = 0; v < 4; ++v)
+    garbage.certs.push_back(local::random_state(200, rng));
+  EXPECT_GE(run_verifier(scheme, cfg, garbage).rejections(), 1u);
+}
+
+TEST(Universal, NameMentionsInnerLanguage) {
+  const schemes::LeaderLanguage language;
+  const UniversalScheme scheme(language);
+  EXPECT_EQ(scheme.name(), "universal(leader)");
+  EXPECT_EQ(scheme.visibility(), local::Visibility::kCertificatesOnly);
+}
+
+}  // namespace
+}  // namespace pls::core

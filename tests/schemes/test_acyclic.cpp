@@ -1,0 +1,126 @@
+#include "schemes/acyclic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "schemes/common.hpp"
+#include "sensitivity/analysis.hpp"
+#include "testing/helpers.hpp"
+
+namespace pls::schemes {
+namespace {
+
+using pls::testing::share;
+
+local::Configuration ring_of_pointers(std::shared_ptr<const graph::Graph> g) {
+  // Every node points to its clockwise neighbor: one big cycle.
+  const std::size_t n = g->n();
+  std::vector<local::State> states;
+  for (std::size_t v = 0; v < n; ++v)
+    states.push_back(encode_pointer(g->id(static_cast<graph::NodeIndex>((v + 1) % n))));
+  return local::Configuration(std::move(g), std::move(states));
+}
+
+TEST(AcyclicLanguage, ForestAccepted) {
+  const AcyclicLanguage language;
+  auto g = share(graph::path(5));
+  // 0 -> 1 -> 2 <- 3, 4 root: two trees.
+  std::vector<local::State> states = {
+      encode_pointer(g->id(1)), encode_pointer(g->id(2)),
+      encode_pointer(std::nullopt), encode_pointer(g->id(2)),
+      encode_pointer(std::nullopt)};
+  EXPECT_TRUE(language.contains(local::Configuration(g, states)));
+}
+
+TEST(AcyclicLanguage, CycleRejected) {
+  const AcyclicLanguage language;
+  EXPECT_FALSE(language.contains(ring_of_pointers(share(graph::cycle(6)))));
+}
+
+TEST(AcyclicLanguage, PointerToNonNeighborRejected) {
+  const AcyclicLanguage language;
+  auto g = share(graph::path(4));
+  std::vector<local::State> states(4, encode_pointer(std::nullopt));
+  states[0] = encode_pointer(g->id(3));  // not adjacent on the path
+  EXPECT_FALSE(language.contains(local::Configuration(g, states)));
+}
+
+TEST(AcyclicLanguage, MalformedStateRejected) {
+  const AcyclicLanguage language;
+  auto g = share(graph::path(2));
+  std::vector<local::State> states = {encode_pointer(std::nullopt),
+                                      local::State::of_uint(0b11, 2)};
+  EXPECT_FALSE(language.contains(local::Configuration(g, states)));
+}
+
+TEST(AcyclicScheme, CompletenessSweep) {
+  const AcyclicLanguage language;
+  const AcyclicScheme scheme(language);
+  for (auto& g : pls::testing::unweighted_family(41)) {
+    util::Rng rng(43);
+    pls::testing::expect_complete(scheme, language.sample_legal(g, rng));
+  }
+}
+
+TEST(AcyclicScheme, ProofSizeLogarithmic) {
+  const AcyclicLanguage language;
+  const AcyclicScheme scheme(language);
+  auto g = share(graph::path(512));
+  util::Rng rng(47);
+  const auto cfg = language.sample_legal(g, rng);
+  EXPECT_LE(scheme.mark(cfg).max_bits(), 16u);  // one varint of a distance
+}
+
+TEST(AcyclicScheme, SoundOnSingleCycle) {
+  const AcyclicLanguage language;
+  const AcyclicScheme scheme(language);
+  pls::testing::expect_sound(scheme, ring_of_pointers(share(graph::cycle(7))),
+                             53);
+}
+
+TEST(AcyclicScheme, EveryCycleHasARejectingNode) {
+  // The paper's Theorem-2-style guarantee (sensitivity 1): with *any*
+  // certificates, each of the k disjoint pointer cycles contains at least
+  // one rejecting node — the distance counters cannot be consistent around
+  // a cycle.
+  const AcyclicLanguage language;
+  const AcyclicScheme scheme(language);
+  for (const std::size_t k : {1u, 2u, 4u}) {
+    const auto instance = sensitivity::make_cycle_chain(k);
+    util::Rng rng(59 + k);
+    const core::AttackReport report =
+        core::attack(scheme, instance.config, rng);
+    EXPECT_GE(report.min_rejections, k) << "k=" << k;
+  }
+}
+
+TEST(AcyclicScheme, HonestMarkingOfForestHasZeroDistAtRoots) {
+  const AcyclicLanguage language;
+  const AcyclicScheme scheme(language);
+  auto g = share(graph::path(4));
+  std::vector<local::State> states = {
+      encode_pointer(std::nullopt), encode_pointer(g->id(0)),
+      encode_pointer(g->id(1)), encode_pointer(g->id(2))};
+  const local::Configuration cfg(g, states);
+  const core::Labeling lab = scheme.mark(cfg);
+  // dists along the chain are 0,1,2,3.
+  for (int v = 0; v < 4; ++v) {
+    util::BitReader r = lab.certs[v].reader();
+    EXPECT_EQ(r.read_varint(), std::optional<std::uint64_t>(v));
+  }
+}
+
+TEST(AcyclicScheme, WrongDistanceDetectedLocally) {
+  const AcyclicLanguage language;
+  const AcyclicScheme scheme(language);
+  auto g = share(graph::path(4));
+  std::vector<local::State> states = {
+      encode_pointer(std::nullopt), encode_pointer(g->id(0)),
+      encode_pointer(g->id(1)), encode_pointer(g->id(2))};
+  const local::Configuration cfg(g, states);
+  core::Labeling lab = scheme.mark(cfg);
+  lab.certs[2] = local::Certificate::of_uint(0, 0);  // malformed/empty
+  EXPECT_GE(core::run_verifier(scheme, cfg, lab).rejections(), 1u);
+}
+
+}  // namespace
+}  // namespace pls::schemes

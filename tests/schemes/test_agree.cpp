@@ -1,0 +1,120 @@
+#include "schemes/agree.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testing/helpers.hpp"
+
+namespace pls::schemes {
+namespace {
+
+using pls::testing::share;
+
+TEST(AgreeLanguage, ContainsUniformConfigurations) {
+  const AgreeLanguage language(8);
+  auto g = share(graph::cycle(5));
+  std::vector<local::State> states(5, language.encode_value(42));
+  EXPECT_TRUE(language.contains(local::Configuration(g, states)));
+}
+
+TEST(AgreeLanguage, RejectsDisagreement) {
+  const AgreeLanguage language(8);
+  auto g = share(graph::path(3));
+  std::vector<local::State> states(3, language.encode_value(1));
+  states[1] = language.encode_value(2);
+  EXPECT_FALSE(language.contains(local::Configuration(g, states)));
+}
+
+TEST(AgreeLanguage, RejectsWrongWidthStates) {
+  const AgreeLanguage language(8);
+  auto g = share(graph::path(2));
+  std::vector<local::State> states(2, local::State::of_uint(1, 7));
+  EXPECT_FALSE(language.contains(local::Configuration(g, states)));
+}
+
+TEST(AgreeLanguage, SampleLegalIsLegal) {
+  const AgreeLanguage language(16);
+  for (auto& g : pls::testing::unweighted_family(3)) {
+    util::Rng rng(5);
+    EXPECT_TRUE(language.contains(language.sample_legal(g, rng)));
+  }
+}
+
+TEST(AgreeScheme, CompletenessSweep) {
+  const AgreeLanguage language(16);
+  const AgreeScheme scheme(language);
+  for (auto& g : pls::testing::unweighted_family(7)) {
+    util::Rng rng(9);
+    pls::testing::expect_complete(scheme, language.sample_legal(g, rng));
+  }
+}
+
+TEST(AgreeScheme, ProofSizeIsExactlyStateSize) {
+  for (const unsigned bits : {1u, 8u, 32u, 64u}) {
+    const AgreeLanguage language(bits);
+    const AgreeScheme scheme(language);
+    auto g = share(graph::path(4));
+    util::Rng rng(11);
+    const auto cfg = language.sample_legal(g, rng);
+    EXPECT_EQ(scheme.mark(cfg).max_bits(), bits);
+    EXPECT_EQ(scheme.proof_size_bound(4, bits), bits);
+  }
+}
+
+TEST(AgreeScheme, StrictVisibility) {
+  const AgreeLanguage language(8);
+  const AgreeScheme scheme(language);
+  EXPECT_EQ(scheme.visibility(), local::Visibility::kCertificatesOnly);
+}
+
+TEST(AgreeScheme, SoundOnSplitValues) {
+  const AgreeLanguage language(8);
+  const AgreeScheme scheme(language);
+  auto g = share(graph::path(6));
+  std::vector<local::State> states(6, language.encode_value(10));
+  for (int i = 3; i < 6; ++i) states[i] = language.encode_value(20);
+  pls::testing::expect_sound(scheme, local::Configuration(g, states), 13);
+}
+
+TEST(AgreeScheme, BoundaryNodesRejectWithHonestHybrids) {
+  // Give each side its own honest certificate: exactly the two nodes at the
+  // value boundary reject (they see the other value's certificate).
+  const AgreeLanguage language(8);
+  const AgreeScheme scheme(language);
+  auto g = share(graph::path(6));
+  std::vector<local::State> states(6, language.encode_value(10));
+  for (int i = 3; i < 6; ++i) states[i] = language.encode_value(20);
+  const local::Configuration cfg(g, states);
+  core::Labeling hybrid;
+  for (int i = 0; i < 6; ++i) hybrid.certs.push_back(cfg.state(i));
+  const core::Verdict verdict = core::run_verifier(scheme, cfg, hybrid);
+  EXPECT_EQ(verdict.rejections(), 2u);
+  EXPECT_FALSE(verdict.accept[2]);
+  EXPECT_FALSE(verdict.accept[3]);
+}
+
+TEST(AgreeScheme, TamperedCertificateRejectsAtOwner) {
+  const AgreeLanguage language(8);
+  const AgreeScheme scheme(language);
+  auto g = share(graph::cycle(5));
+  util::Rng rng(17);
+  const auto cfg = language.sample_legal(g, rng);
+  core::Labeling lab = scheme.mark(cfg);
+  lab.certs[2] = local::Certificate::of_uint(0xAB, 8);
+  const core::Verdict verdict = core::run_verifier(scheme, cfg, lab);
+  EXPECT_GE(verdict.rejections(), 1u);
+}
+
+TEST(AgreeScheme, ExhaustiveSoundnessTiny) {
+  const AgreeLanguage language(2);
+  const AgreeScheme scheme(language);
+  auto g = share(graph::path(3));
+  std::vector<local::State> states = {language.encode_value(0),
+                                      language.encode_value(1),
+                                      language.encode_value(0)};
+  EXPECT_GE(core::exhaustive_min_rejections(
+                scheme, local::Configuration(g, states), 3),
+            1u);
+}
+
+}  // namespace
+}  // namespace pls::schemes

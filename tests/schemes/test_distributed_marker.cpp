@@ -1,0 +1,102 @@
+#include "schemes/distributed_marker.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "schemes/leader.hpp"
+#include "schemes/spanning_tree.hpp"
+#include "testing/helpers.hpp"
+
+namespace pls::schemes {
+namespace {
+
+using pls::testing::share;
+
+TEST(DistributedLeaderMarking, VerifierAcceptsTheDistributedCertificates) {
+  const LeaderLanguage language;
+  const LeaderScheme scheme(language);
+  for (auto& g : pls::testing::unweighted_family(3)) {
+    util::Rng rng(5);
+    const auto cfg = language.sample_legal(g, rng);
+    const DistributedMarking marking = distributed_leader_marking(cfg);
+    EXPECT_TRUE(core::run_verifier(scheme, cfg, marking.labeling).all_accept())
+        << g->describe();
+  }
+}
+
+TEST(DistributedLeaderMarking, RoundsTrackEccentricity) {
+  const LeaderLanguage language;
+  auto g = share(graph::path(32));
+  const auto cfg = language.make_with_leader(g, 0);
+  const DistributedMarking marking = distributed_leader_marking(cfg);
+  // Flooding from one end of a 32-path: 31 rounds to reach the far end,
+  // plus the quiescence-confirming round.
+  EXPECT_GE(marking.rounds, 31u);
+  EXPECT_LE(marking.rounds, 33u);
+  EXPECT_GT(marking.message_bits, 0u);
+}
+
+TEST(DistributedLeaderMarking, CertificatesMatchCentralizedDistances) {
+  const LeaderLanguage language;
+  auto g = share(graph::grid(4, 5));
+  const auto cfg = language.make_with_leader(g, 7);
+  const DistributedMarking marking = distributed_leader_marking(cfg);
+  const graph::BfsResult truth = graph::bfs(*g, 7);
+  for (graph::NodeIndex v = 0; v < g->n(); ++v) {
+    util::BitReader r = marking.labeling.certs[v].reader();
+    const auto root = r.read_varint();
+    (void)r.read_varint();  // parent: any min-dist neighbor is fine
+    const auto dist = r.read_varint();
+    ASSERT_TRUE(root && dist);
+    EXPECT_EQ(*root, g->id(7));
+    EXPECT_EQ(*dist, truth.dist[v]);
+  }
+}
+
+TEST(DistributedStpMarking, VerifierAcceptsTheDistributedCertificates) {
+  const StpLanguage language;
+  const StpScheme scheme(language);
+  for (auto& g : pls::testing::unweighted_family(7)) {
+    util::Rng rng(11);
+    const auto cfg = language.sample_legal(g, rng);
+    const DistributedMarking marking = distributed_stp_marking(cfg);
+    EXPECT_TRUE(core::run_verifier(scheme, cfg, marking.labeling).all_accept())
+        << g->describe();
+  }
+}
+
+TEST(DistributedStpMarking, RoundsTrackTreeDepth) {
+  const StpLanguage language;
+  auto g = share(graph::path(24));
+  const auto cfg = language.make_tree(g, 0);  // depth 23 chain
+  const DistributedMarking marking = distributed_stp_marking(cfg);
+  EXPECT_GE(marking.rounds, 23u);
+  EXPECT_LE(marking.rounds, 25u);
+}
+
+TEST(DistributedStpMarking, MatchesCentralizedMarkerBitForBit) {
+  // For stp the certificate is fully determined by the pointer tree, so the
+  // distributed and centralized markers must agree exactly.
+  const StpLanguage language;
+  const StpScheme scheme(language);
+  auto g = share(graph::grid(3, 4));
+  const auto cfg = language.make_tree(g, 5);
+  const DistributedMarking distributed = distributed_stp_marking(cfg);
+  const core::Labeling centralized = scheme.mark(cfg);
+  ASSERT_EQ(distributed.labeling.size(), centralized.size());
+  for (graph::NodeIndex v = 0; v < cfg.n(); ++v)
+    EXPECT_EQ(distributed.labeling.certs[v], centralized.certs[v]) << v;
+}
+
+TEST(DistributedMarking, SingleNodeNetworks) {
+  const LeaderLanguage leader;
+  auto g = share(graph::path(1));
+  const auto cfg = leader.make_with_leader(g, 0);
+  const DistributedMarking marking = distributed_leader_marking(cfg);
+  EXPECT_LE(marking.rounds, 1u);
+  const LeaderScheme scheme(leader);
+  EXPECT_TRUE(core::run_verifier(scheme, cfg, marking.labeling).all_accept());
+}
+
+}  // namespace
+}  // namespace pls::schemes

@@ -1,0 +1,213 @@
+#include "schemes/lcl.hpp"
+
+#include <gtest/gtest.h>
+
+#include "schemes/common.hpp"
+#include "testing/helpers.hpp"
+
+namespace pls::schemes {
+namespace {
+
+using pls::testing::share;
+
+// ---------------------------------------------------------------------------
+// dominating set
+// ---------------------------------------------------------------------------
+
+TEST(DominatingSet, AllNodesIsDominating) {
+  const DominatingSetLanguage language;
+  auto g = share(graph::cycle(5));
+  std::vector<local::State> all(5, DominatingSetLanguage::encode_member(true));
+  EXPECT_TRUE(language.contains(local::Configuration(g, all)));
+}
+
+TEST(DominatingSet, CenterDominatesStar) {
+  const DominatingSetLanguage language;
+  auto g = share(graph::star(6));
+  std::vector<local::State> states(6,
+                                   DominatingSetLanguage::encode_member(false));
+  states[0] = DominatingSetLanguage::encode_member(true);
+  EXPECT_TRUE(language.contains(local::Configuration(g, states)));
+}
+
+TEST(DominatingSet, UncoveredNodeRejected) {
+  const DominatingSetLanguage language;
+  auto g = share(graph::path(5));
+  std::vector<local::State> states(5,
+                                   DominatingSetLanguage::encode_member(false));
+  states[0] = DominatingSetLanguage::encode_member(true);
+  // node 4 is neither in the set nor adjacent to node 0.
+  EXPECT_FALSE(language.contains(local::Configuration(g, states)));
+}
+
+TEST(DominatingSet, GreedySamplerIsLegal) {
+  const DominatingSetLanguage language;
+  for (auto& g : pls::testing::unweighted_family(5)) {
+    util::Rng rng(7);
+    EXPECT_TRUE(language.contains(language.sample_legal(g, rng)))
+        << g->describe();
+  }
+}
+
+TEST(DominatingSet, ZeroBitSchemeContract) {
+  const DominatingSetLanguage language;
+  const DominatingSetScheme scheme(language);
+  for (auto& g : pls::testing::unweighted_family(9)) {
+    util::Rng rng(11);
+    const auto cfg = language.sample_legal(g, rng);
+    pls::testing::expect_complete(scheme, cfg);
+    EXPECT_EQ(scheme.mark(cfg).max_bits(), 0u);
+  }
+}
+
+TEST(DominatingSet, UndominatedNodeRejectsItself) {
+  const DominatingSetLanguage language;
+  const DominatingSetScheme scheme(language);
+  auto g = share(graph::path(5));
+  std::vector<local::State> states(5,
+                                   DominatingSetLanguage::encode_member(false));
+  states[0] = DominatingSetLanguage::encode_member(true);
+  const local::Configuration cfg(g, states);
+  core::Labeling empty;
+  empty.certs.assign(5, local::Certificate{});
+  const core::Verdict verdict = core::run_verifier(scheme, cfg, empty);
+  EXPECT_FALSE(verdict.accept[3]);
+  EXPECT_FALSE(verdict.accept[4]);
+  EXPECT_TRUE(verdict.accept[0]);
+  pls::testing::expect_sound(scheme, cfg, 13);
+}
+
+// ---------------------------------------------------------------------------
+// maximal matching
+// ---------------------------------------------------------------------------
+
+TEST(Matching, PerfectMatchingOnEvenPath) {
+  const MaximalMatchingLanguage language;
+  auto g = share(graph::path(4));
+  std::vector<local::State> states = {
+      encode_pointer(g->id(1)), encode_pointer(g->id(0)),
+      encode_pointer(g->id(3)), encode_pointer(g->id(2))};
+  EXPECT_TRUE(language.contains(local::Configuration(g, states)));
+}
+
+TEST(Matching, OneSidedPointerRejected) {
+  const MaximalMatchingLanguage language;
+  auto g = share(graph::path(3));
+  std::vector<local::State> states = {
+      encode_pointer(g->id(1)), encode_pointer(std::nullopt),
+      encode_pointer(std::nullopt)};
+  EXPECT_FALSE(language.contains(local::Configuration(g, states)));
+}
+
+TEST(Matching, NonMaximalRejected) {
+  const MaximalMatchingLanguage language;
+  auto g = share(graph::path(2));
+  std::vector<local::State> states(2, encode_pointer(std::nullopt));
+  // The empty matching is not maximal: edge (0,1) could be added.
+  EXPECT_FALSE(language.contains(local::Configuration(g, states)));
+}
+
+TEST(Matching, GreedySamplerIsLegal) {
+  const MaximalMatchingLanguage language;
+  for (auto& g : pls::testing::unweighted_family(15)) {
+    util::Rng rng(17);
+    EXPECT_TRUE(language.contains(language.sample_legal(g, rng)))
+        << g->describe();
+  }
+}
+
+TEST(Matching, ZeroBitSchemeContract) {
+  const MaximalMatchingLanguage language;
+  const MaximalMatchingScheme scheme(language);
+  for (auto& g : pls::testing::unweighted_family(19)) {
+    util::Rng rng(23);
+    pls::testing::expect_complete(scheme, language.sample_legal(g, rng));
+  }
+}
+
+TEST(Matching, BrokenMutualityDetected) {
+  const MaximalMatchingLanguage language;
+  const MaximalMatchingScheme scheme(language);
+  auto g = share(graph::cycle(6));
+  util::Rng rng(29);
+  auto cfg = language.sample_legal(g, rng);
+  // Re-point one matched node somewhere else (or unmatch it).
+  for (graph::NodeIndex v = 0; v < cfg.n(); ++v) {
+    const auto p = decode_pointer(cfg.state(v));
+    if (p && p->has_value()) {
+      cfg = cfg.with_state(v, encode_pointer(std::nullopt));
+      break;
+    }
+  }
+  if (!language.contains(cfg)) pls::testing::expect_sound(scheme, cfg, 31);
+}
+
+// ---------------------------------------------------------------------------
+// maximal independent set
+// ---------------------------------------------------------------------------
+
+TEST(Mis, AlternatingSetOnEvenCycle) {
+  const MisLanguage language;
+  auto g = share(graph::cycle(6));
+  std::vector<local::State> states;
+  for (int v = 0; v < 6; ++v)
+    states.push_back(MisLanguage::encode_member(v % 2 == 0));
+  EXPECT_TRUE(language.contains(local::Configuration(g, states)));
+}
+
+TEST(Mis, AdjacentMembersRejected) {
+  const MisLanguage language;
+  auto g = share(graph::path(3));
+  std::vector<local::State> states = {MisLanguage::encode_member(true),
+                                      MisLanguage::encode_member(true),
+                                      MisLanguage::encode_member(false)};
+  EXPECT_FALSE(language.contains(local::Configuration(g, states)));
+}
+
+TEST(Mis, NonMaximalRejected) {
+  const MisLanguage language;
+  auto g = share(graph::path(3));
+  std::vector<local::State> states(3, MisLanguage::encode_member(false));
+  EXPECT_FALSE(language.contains(local::Configuration(g, states)));
+}
+
+TEST(Mis, GreedySamplerIsLegal) {
+  const MisLanguage language;
+  for (auto& g : pls::testing::unweighted_family(37)) {
+    util::Rng rng(41);
+    EXPECT_TRUE(language.contains(language.sample_legal(g, rng)))
+        << g->describe();
+  }
+}
+
+TEST(Mis, ZeroBitSchemeContract) {
+  const MisLanguage language;
+  const MisScheme scheme(language);
+  for (auto& g : pls::testing::unweighted_family(43)) {
+    util::Rng rng(47);
+    const auto cfg = language.sample_legal(g, rng);
+    pls::testing::expect_complete(scheme, cfg);
+  }
+}
+
+TEST(Mis, ViolationsRejectedAtWitnessNodes) {
+  const MisLanguage language;
+  const MisScheme scheme(language);
+  auto g = share(graph::path(4));
+  // 1,1,0,0: adjacent members AND a non-maximal tail.
+  std::vector<local::State> states = {
+      MisLanguage::encode_member(true), MisLanguage::encode_member(true),
+      MisLanguage::encode_member(false), MisLanguage::encode_member(false)};
+  const local::Configuration cfg(g, states);
+  ASSERT_FALSE(language.contains(cfg));
+  core::Labeling empty;
+  empty.certs.assign(4, local::Certificate{});
+  const core::Verdict verdict = core::run_verifier(scheme, cfg, empty);
+  EXPECT_FALSE(verdict.accept[0]);  // member with member neighbor
+  EXPECT_FALSE(verdict.accept[1]);
+  EXPECT_FALSE(verdict.accept[3]);  // addable node
+  pls::testing::expect_sound(scheme, cfg, 53);
+}
+
+}  // namespace
+}  // namespace pls::schemes

@@ -1,0 +1,133 @@
+#include "schemes/leader.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testing/helpers.hpp"
+
+namespace pls::schemes {
+namespace {
+
+using pls::testing::share;
+
+TEST(LeaderLanguage, ExactlyOneLeader) {
+  const LeaderLanguage language;
+  auto g = share(graph::path(4));
+  EXPECT_TRUE(language.contains(language.make_with_leader(g, 2)));
+
+  std::vector<local::State> none(4, LeaderLanguage::encode_flag(false));
+  EXPECT_FALSE(language.contains(local::Configuration(g, none)));
+
+  auto two = language.make_with_leader(g, 0).with_state(
+      3, LeaderLanguage::encode_flag(true));
+  EXPECT_FALSE(language.contains(two));
+}
+
+TEST(LeaderLanguage, MalformedStatesRejected) {
+  const LeaderLanguage language;
+  auto g = share(graph::path(2));
+  std::vector<local::State> states = {LeaderLanguage::encode_flag(true),
+                                      local::State::of_uint(1, 2)};
+  EXPECT_FALSE(language.contains(local::Configuration(g, states)));
+}
+
+class LeaderCompleteness : public ::testing::TestWithParam<int> {};
+
+TEST_P(LeaderCompleteness, EveryLeaderPositionOnGrid) {
+  const LeaderLanguage language;
+  const LeaderScheme scheme(language);
+  auto g = share(graph::grid(3, 4));
+  pls::testing::expect_complete(
+      scheme, language.make_with_leader(
+                  g, static_cast<graph::NodeIndex>(GetParam())));
+}
+
+INSTANTIATE_TEST_SUITE_P(Positions, LeaderCompleteness,
+                         ::testing::Range(0, 12));
+
+TEST(LeaderScheme, CompletenessSweep) {
+  const LeaderLanguage language;
+  const LeaderScheme scheme(language);
+  for (auto& g : pls::testing::unweighted_family(19)) {
+    util::Rng rng(23);
+    pls::testing::expect_complete(scheme, language.sample_legal(g, rng));
+  }
+}
+
+TEST(LeaderScheme, ProofSizeLogarithmic) {
+  const LeaderLanguage language;
+  const LeaderScheme scheme(language);
+  // Certificates on a 1024-ring stay tiny (3 varints of small numbers).
+  auto g = share(graph::cycle(1024));
+  const auto cfg = language.make_with_leader(g, 17);
+  const std::size_t bits = scheme.mark(cfg).max_bits();
+  EXPECT_LE(bits, 3 * 16u + 16u);
+  EXPECT_LE(bits, scheme.proof_size_bound(1024, 1));
+}
+
+TEST(LeaderScheme, SoundOnTwoLeaders) {
+  const LeaderLanguage language;
+  const LeaderScheme scheme(language);
+  auto g = share(graph::cycle(9));
+  auto cfg = language.make_with_leader(g, 1).with_state(
+      5, LeaderLanguage::encode_flag(true));
+  pls::testing::expect_sound(scheme, cfg, 29);
+}
+
+TEST(LeaderScheme, SoundOnNoLeader) {
+  const LeaderLanguage language;
+  const LeaderScheme scheme(language);
+  auto g = share(graph::grid(3, 3));
+  std::vector<local::State> none(9, LeaderLanguage::encode_flag(false));
+  pls::testing::expect_sound(scheme, local::Configuration(g, none), 31);
+}
+
+TEST(LeaderScheme, ExtraLeadersRejectThemselves) {
+  // With *any* certificates, a second leader is caught: the adversary's best
+  // play still leaves every extra leader rejecting (root-id agreement forces
+  // a single claimed root, and non-root leaders violate the leader checks).
+  const LeaderLanguage language;
+  const LeaderScheme scheme(language);
+  auto g = share(graph::path(8));
+  auto cfg = language.make_with_leader(g, 0);
+  for (const graph::NodeIndex extra : {3u, 6u})
+    cfg = cfg.with_state(extra, LeaderLanguage::encode_flag(true));
+  util::Rng rng(37);
+  const core::AttackReport report = core::attack(scheme, cfg, rng);
+  EXPECT_GE(report.min_rejections, 2u);
+}
+
+TEST(LeaderScheme, HonestCertsFromOtherLeaderRejected) {
+  const LeaderLanguage language;
+  const LeaderScheme scheme(language);
+  auto g = share(graph::cycle(7));
+  const auto cfg1 = language.make_with_leader(g, 1);
+  const auto cfg4 = language.make_with_leader(g, 4);
+  const core::Labeling certs_for_4 = scheme.mark(cfg4);
+  EXPECT_GE(core::run_verifier(scheme, cfg1, certs_for_4).rejections(), 1u);
+}
+
+TEST(LeaderScheme, DistanceGapRejected) {
+  const LeaderLanguage language;
+  const LeaderScheme scheme(language);
+  auto g = share(graph::path(5));
+  const auto cfg = language.make_with_leader(g, 0);
+  core::Labeling lab = scheme.mark(cfg);
+  // Corrupt node 3's distance field: replace with (root, parent, dist=7).
+  util::BitWriter w;
+  w.write_varint(g->id(0));
+  w.write_varint(g->id(2));
+  w.write_varint(7);
+  lab.certs[3] = local::Certificate::from_writer(std::move(w));
+  const core::Verdict verdict = core::run_verifier(scheme, cfg, lab);
+  EXPECT_GE(verdict.rejections(), 1u);
+}
+
+TEST(LeaderScheme, SingleNodeNetwork) {
+  const LeaderLanguage language;
+  const LeaderScheme scheme(language);
+  auto g = share(graph::path(1));
+  pls::testing::expect_complete(scheme, language.make_with_leader(g, 0));
+}
+
+}  // namespace
+}  // namespace pls::schemes

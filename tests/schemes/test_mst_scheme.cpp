@@ -1,0 +1,225 @@
+#include "schemes/mst.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "graph/mst.hpp"
+#include "testing/helpers.hpp"
+
+namespace pls::schemes {
+namespace {
+
+using pls::testing::share;
+
+std::shared_ptr<const graph::Graph> weighted(std::size_t n, std::size_t extra,
+                                             std::uint64_t seed) {
+  util::Rng rng(seed);
+  const std::size_t max_extra = n * (n - 1) / 2 - (n - 1);
+  extra = std::min(extra, max_extra);
+  return share(
+      graph::reweight_random(graph::random_connected(n, extra, rng), rng));
+}
+
+TEST(MstLanguage, TrueMstAccepted) {
+  const MstLanguage language;
+  util::Rng rng(1);
+  auto g = weighted(12, 10, 2);
+  EXPECT_TRUE(language.contains(language.sample_legal(g, rng)));
+}
+
+TEST(MstLanguage, NonMstSpanningTreeRejected) {
+  const MstLanguage language;
+  util::Rng rng(3);
+  auto g = weighted(10, 12, 4);
+  // Build a spanning tree that is NOT the MST: swap one MST edge for the
+  // heaviest edge closing a different connection.
+  std::vector<bool> mst(g->m(), false);
+  for (const graph::EdgeIndex e : graph::kruskal(*g)) mst[e] = true;
+  // Find a non-MST edge and an MST edge on the cycle it closes.
+  for (graph::EdgeIndex e = 0; e < g->m(); ++e) {
+    if (mst[e]) continue;
+    std::vector<bool> candidate = mst;
+    candidate[e] = true;
+    // Remove some MST edge on the unique cycle: try them all.
+    for (graph::EdgeIndex f = 0; f < g->m(); ++f) {
+      if (!mst[f] || f == e) continue;
+      candidate[f] = false;
+      if (graph::is_spanning_tree(*g, candidate)) {
+        EXPECT_FALSE(language.contains(language.make_from_mask(g, candidate)));
+        return;
+      }
+      candidate[f] = true;
+    }
+  }
+  FAIL() << "no alternative spanning tree found";
+}
+
+TEST(MstLanguage, RequiresDistinctWeights) {
+  const MstLanguage language;
+  auto g = share(graph::path(3));  // all weights 1
+  std::vector<bool> all(g->m(), true);
+  EXPECT_FALSE(language.contains(language.make_from_mask(g, all)));
+}
+
+class MstCompleteness
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(MstCompleteness, MarkerVerifies) {
+  const auto [n, extra, seed] = GetParam();
+  const MstLanguage language;
+  const MstScheme scheme(language);
+  util::Rng rng(static_cast<std::uint64_t>(seed));
+  auto g = weighted(static_cast<std::size_t>(n),
+                    static_cast<std::size_t>(extra),
+                    static_cast<std::uint64_t>(seed));
+  pls::testing::expect_complete(scheme, language.sample_legal(g, rng));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, MstCompleteness,
+    ::testing::Combine(::testing::Values(2, 3, 4, 9, 25, 64),
+                       ::testing::Values(0, 8, 30),
+                       ::testing::Values(1, 2, 3)));
+
+TEST(MstScheme, CompletenessOnSpecialGraphs) {
+  const MstLanguage language;
+  const MstScheme scheme(language);
+  util::Rng rng(5);
+  for (auto base : {graph::path(9), graph::cycle(10), graph::complete(8),
+                    graph::grid(4, 4), graph::star(9)}) {
+    auto g = share(graph::reweight_random(base, rng));
+    pls::testing::expect_complete(scheme, language.sample_legal(g, rng));
+  }
+}
+
+TEST(MstScheme, ProofSizeWithinLogSquaredBound) {
+  const MstLanguage language;
+  const MstScheme scheme(language);
+  util::Rng rng(7);
+  for (const std::size_t n : {4u, 16u, 64u, 256u}) {
+    auto g = weighted(n, n, n);
+    const auto cfg = language.sample_legal(g, rng);
+    const core::Labeling lab = scheme.mark(cfg);
+    EXPECT_LE(lab.max_bits(), scheme.proof_size_bound(n, cfg.max_state_bits()))
+        << "n=" << n;
+  }
+}
+
+TEST(MstScheme, SoundOnEdgeSwappedTree) {
+  const MstLanguage language;
+  const MstScheme scheme(language);
+  auto g = weighted(10, 14, 11);
+  std::vector<bool> mst(g->m(), false);
+  for (const graph::EdgeIndex e : graph::kruskal(*g)) mst[e] = true;
+  for (graph::EdgeIndex e = 0; e < g->m(); ++e) {
+    if (mst[e]) continue;
+    std::vector<bool> candidate = mst;
+    candidate[e] = true;
+    for (graph::EdgeIndex f = 0; f < g->m(); ++f) {
+      if (!mst[f] || f == e) continue;
+      candidate[f] = false;
+      if (graph::is_spanning_tree(*g, candidate)) {
+        pls::testing::expect_sound(scheme,
+                                   language.make_from_mask(g, candidate), 13);
+        return;
+      }
+      candidate[f] = true;
+    }
+  }
+  FAIL() << "no alternative spanning tree found";
+}
+
+TEST(MstScheme, SoundOnForest) {
+  const MstLanguage language;
+  const MstScheme scheme(language);
+  auto g = weighted(12, 8, 17);
+  std::vector<bool> mst(g->m(), false);
+  for (const graph::EdgeIndex e : graph::kruskal(*g)) mst[e] = true;
+  // Drop one MST edge: a forest, not spanning.
+  for (graph::EdgeIndex e = 0; e < g->m(); ++e)
+    if (mst[e]) {
+      mst[e] = false;
+      break;
+    }
+  pls::testing::expect_sound(scheme, language.make_from_mask(g, mst), 19);
+}
+
+TEST(MstScheme, SoundOnRandomBfsTree) {
+  const MstLanguage language;
+  const MstScheme scheme(language);
+  util::Rng rng(23);
+  auto g = weighted(14, 20, 23);
+  // A BFS spanning tree is almost never the MST on this instance.
+  const graph::BfsResult tree = graph::bfs(*g, 0);
+  std::vector<bool> mask(g->m(), false);
+  for (graph::NodeIndex v = 1; v < g->n(); ++v) {
+    const auto e = g->find_edge(v, tree.parent[v]);
+    ASSERT_TRUE(e.has_value());
+    mask[*e] = true;
+  }
+  const auto cfg = language.make_from_mask(g, mask);
+  if (!language.contains(cfg)) pls::testing::expect_sound(scheme, cfg, 29);
+}
+
+TEST(MstScheme, HonestCertsOnWrongTreeRejected) {
+  // Present the marker's certificates for the true MST while the states
+  // claim a different tree: the coverage check must fire.
+  const MstLanguage language;
+  const MstScheme scheme(language);
+  auto g = weighted(10, 12, 31);
+  const auto mst_cfg = [&] {
+    util::Rng rng(1);
+    return language.sample_legal(g, rng);
+  }();
+  const core::Labeling honest = scheme.mark(mst_cfg);
+
+  std::vector<bool> mst(g->m(), false);
+  for (const graph::EdgeIndex e : graph::kruskal(*g)) mst[e] = true;
+  for (graph::EdgeIndex e = 0; e < g->m(); ++e) {
+    if (mst[e]) continue;
+    std::vector<bool> candidate = mst;
+    candidate[e] = true;
+    for (graph::EdgeIndex f = 0; f < g->m(); ++f) {
+      if (!mst[f] || f == e) continue;
+      candidate[f] = false;
+      if (graph::is_spanning_tree(*g, candidate)) {
+        const auto cfg = language.make_from_mask(g, candidate);
+        EXPECT_GE(core::run_verifier(scheme, cfg, honest).rejections(), 1u);
+        return;
+      }
+      candidate[f] = true;
+    }
+  }
+  FAIL() << "no alternative spanning tree found";
+}
+
+TEST(MstScheme, PhaseRecordsLogarithmic) {
+  const MstLanguage language;
+  const MstScheme scheme(language);
+  util::Rng rng(37);
+  for (const std::size_t n : {2u, 8u, 32u, 128u}) {
+    auto g = weighted(n, n / 2, n + 1);
+    const auto cfg = language.sample_legal(g, rng);
+    std::size_t bound = 1, frags = n;
+    while (frags > 1) {
+      frags = (frags + 1) / 2;
+      ++bound;
+    }
+    EXPECT_LE(scheme.phase_records(cfg), bound) << "n=" << n;
+  }
+}
+
+TEST(MstScheme, TinyInstances) {
+  const MstLanguage language;
+  const MstScheme scheme(language);
+  util::Rng rng(41);
+  // n = 1: the empty tree certifies trivially.
+  auto g1 = share(graph::path(1));
+  pls::testing::expect_complete(scheme, language.sample_legal(g1, rng));
+  // n = 2: one edge.
+  auto g2 = share(graph::reweight_random(graph::path(2), rng));
+  pls::testing::expect_complete(scheme, language.sample_legal(g2, rng));
+}
+
+}  // namespace
+}  // namespace pls::schemes

@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include "schemes/bipartite.hpp"
+#include "schemes/coloring.hpp"
+#include "schemes/common.hpp"
+#include "schemes/regular.hpp"
+#include "testing/helpers.hpp"
+
+namespace pls::schemes {
+namespace {
+
+using pls::testing::share;
+
+// ---------------------------------------------------------------------------
+// bipartite
+// ---------------------------------------------------------------------------
+
+TEST(Bipartite, LanguageIsGraphProperty) {
+  const BipartiteLanguage language;
+  util::Rng rng(1);
+  auto even = share(graph::cycle(8));
+  auto odd = share(graph::cycle(9));
+  EXPECT_TRUE(language.contains(language.sample_legal(even, rng)));
+  std::vector<local::State> empty(9);
+  EXPECT_FALSE(language.contains(local::Configuration(odd, empty)));
+}
+
+TEST(Bipartite, NonEmptyStatesNotInLanguage) {
+  const BipartiteLanguage language;
+  auto g = share(graph::path(3));
+  std::vector<local::State> states(3, local::State::of_uint(1, 1));
+  EXPECT_FALSE(language.contains(local::Configuration(g, states)));
+}
+
+TEST(Bipartite, CompletenessOnBipartiteFamily) {
+  const BipartiteLanguage language;
+  const BipartiteScheme scheme(language);
+  util::Rng rng(3);
+  for (auto base : {graph::path(7), graph::cycle(10), graph::grid(4, 5),
+                    graph::balanced_binary_tree(15), graph::star(8)}) {
+    auto g = share(std::move(base));
+    pls::testing::expect_complete(scheme, language.sample_legal(g, rng));
+  }
+}
+
+TEST(Bipartite, ProofSizeIsOneBit) {
+  const BipartiteLanguage language;
+  const BipartiteScheme scheme(language);
+  util::Rng rng(5);
+  auto g = share(graph::grid(6, 6));
+  EXPECT_EQ(scheme.mark(language.sample_legal(g, rng)).max_bits(), 1u);
+}
+
+TEST(Bipartite, OddCycleAlwaysRejected) {
+  const BipartiteLanguage language;
+  const BipartiteScheme scheme(language);
+  auto g = share(graph::cycle(7));
+  std::vector<local::State> empty(7);
+  const local::Configuration cfg(g, empty);
+  // Exhaustive over 1-bit certificates: a monochromatic edge always exists.
+  EXPECT_GE(core::exhaustive_min_rejections(scheme, cfg, 1), 2u);
+}
+
+TEST(Bipartite, AttackSuiteCannotFoolOddCycle) {
+  const BipartiteLanguage language;
+  const BipartiteScheme scheme(language);
+  auto g = share(graph::cycle(9));
+  std::vector<local::State> empty(9);
+  pls::testing::expect_sound(scheme, local::Configuration(g, empty), 7);
+}
+
+// ---------------------------------------------------------------------------
+// coloring
+// ---------------------------------------------------------------------------
+
+TEST(Coloring, ProperColoringAccepted) {
+  const ColoringLanguage language(4);
+  util::Rng rng(9);
+  for (auto& g : pls::testing::unweighted_family(11))
+    if (g->n() >= 2) {
+      // unweighted_family's max degree can reach 9 (star): use 16 colors.
+      const ColoringLanguage big(16);
+      EXPECT_TRUE(big.contains(big.sample_legal(g, rng)));
+    }
+}
+
+TEST(Coloring, MonochromaticEdgeRejected) {
+  const ColoringLanguage language(3);
+  auto g = share(graph::path(3));
+  std::vector<local::State> states = {language.encode_color(1),
+                                      language.encode_color(1),
+                                      language.encode_color(2)};
+  EXPECT_FALSE(language.contains(local::Configuration(g, states)));
+}
+
+TEST(Coloring, OutOfRangeColorRejected) {
+  const ColoringLanguage language(3);
+  auto g = share(graph::path(2));
+  util::BitWriter w;
+  w.write_varint(7);  // color 7 with only 3 colors
+  std::vector<local::State> states = {language.encode_color(0),
+                                      local::State::from_writer(std::move(w))};
+  EXPECT_FALSE(language.contains(local::Configuration(g, states)));
+}
+
+TEST(Coloring, ZeroBitScheme) {
+  const ColoringLanguage language(16);
+  const ColoringScheme scheme(language);
+  util::Rng rng(13);
+  for (auto& g : pls::testing::unweighted_family(13)) {
+    const auto cfg = language.sample_legal(g, rng);
+    pls::testing::expect_complete(scheme, cfg);
+    EXPECT_EQ(scheme.mark(cfg).max_bits(), 0u);
+  }
+}
+
+TEST(Coloring, MonochromaticEdgeRejectedAtBothEndpoints) {
+  const ColoringLanguage language(3);
+  const ColoringScheme scheme(language);
+  auto g = share(graph::path(4));
+  std::vector<local::State> states = {
+      language.encode_color(0), language.encode_color(1),
+      language.encode_color(1), language.encode_color(0)};
+  const local::Configuration cfg(g, states);
+  ASSERT_FALSE(language.contains(cfg));
+  core::Labeling empty;
+  empty.certs.assign(4, local::Certificate{});
+  const core::Verdict verdict = core::run_verifier(scheme, cfg, empty);
+  EXPECT_FALSE(verdict.accept[1]);
+  EXPECT_FALSE(verdict.accept[2]);
+  EXPECT_TRUE(verdict.accept[0]);
+  // Certificates are irrelevant for a 0-bit scheme: the attack changes nothing.
+  pls::testing::expect_sound(scheme, cfg, 17);
+}
+
+// ---------------------------------------------------------------------------
+// regular
+// ---------------------------------------------------------------------------
+
+TEST(Regular, FullCycleIsRegular) {
+  const RegularLanguage language;
+  auto g = share(graph::cycle(6));
+  EXPECT_TRUE(language.contains(language.make_full_subgraph(g)));
+}
+
+TEST(Regular, SampleLegalIsLegal) {
+  const RegularLanguage language;
+  util::Rng rng(19);
+  for (auto& g : pls::testing::unweighted_family(19))
+    EXPECT_TRUE(language.contains(language.sample_legal(g, rng)));
+}
+
+TEST(Regular, MixedDegreesRejected) {
+  const RegularLanguage language;
+  auto g = share(graph::star(5));
+  EXPECT_FALSE(language.contains(language.make_full_subgraph(g)));
+}
+
+TEST(Regular, SchemeCompleteOnCyclesAndMatchings) {
+  const RegularLanguage language;
+  const RegularScheme scheme(language);
+  util::Rng rng(23);
+  auto ring = share(graph::cycle(9));
+  pls::testing::expect_complete(scheme, language.make_full_subgraph(ring));
+  auto even_path = share(graph::path(8));
+  pls::testing::expect_complete(scheme, language.sample_legal(even_path, rng));
+}
+
+TEST(Regular, SchemeSoundOnStar) {
+  const RegularLanguage language;
+  const RegularScheme scheme(language);
+  auto g = share(graph::star(6));
+  pls::testing::expect_sound(scheme, language.make_full_subgraph(g), 29);
+}
+
+TEST(Regular, DegreeDisagreementDetectedAtCut) {
+  const RegularLanguage language;
+  const RegularScheme scheme(language);
+  util::Rng rng(31);
+  // Glue a 2-regular side and a 3-regular side.
+  const graph::Graph side1 = graph::cycle(6);
+  const graph::Graph side2 = graph::random_regular(8, 3, rng);
+  const graph::Edge cut2 = side2.edge(0);
+  const auto crossed =
+      graph::cross_graphs(side1, 0, 1, side2, cut2.u, cut2.v, 100);
+  auto g = share(crossed.graph);
+  const auto cfg = language.make_full_subgraph(g);
+  ASSERT_FALSE(language.contains(cfg));
+  pls::testing::expect_sound(scheme, cfg, 37);
+}
+
+}  // namespace
+}  // namespace pls::schemes

@@ -1,0 +1,99 @@
+// The cross-cutting property test: for every scheme in the catalog, on every
+// instance family, random corruptions that leave the language are always
+// detected by at least one node, no matter which adversary assigns the
+// certificates.  This is the soundness half of the PLS contract exercised
+// broadly rather than per-scheme.
+#include <gtest/gtest.h>
+
+#include "pls/adversary.hpp"
+#include "schemes/registry.hpp"
+#include "testing/helpers.hpp"
+
+namespace pls::schemes {
+namespace {
+
+using pls::testing::share;
+
+struct SuiteCase {
+  std::string label;
+  std::uint64_t seed;
+};
+
+class SoundnessSuite : public ::testing::TestWithParam<int> {};
+
+TEST_P(SoundnessSuite, CorruptedConfigurationsAreDetected) {
+  const std::uint64_t seed = static_cast<std::uint64_t>(GetParam());
+  util::Rng rng(seed);
+  const auto catalog = standard_catalog();
+
+  for (const SchemeEntry& entry : catalog) {
+    std::vector<std::shared_ptr<const graph::Graph>> graphs;
+    if (entry.needs_weighted) {
+      graphs.push_back(share(graph::reweight_random(
+          graph::random_connected(12, 10, rng), rng)));
+      graphs.push_back(share(graph::reweight_random(graph::cycle(9), rng)));
+    } else if (entry.needs_bipartite) {
+      graphs.push_back(share(graph::grid(3, 4)));
+      graphs.push_back(share(graph::cycle(8)));
+    } else {
+      graphs.push_back(share(graph::random_connected(12, 8, rng)));
+      graphs.push_back(share(graph::grid(3, 4)));
+    }
+
+    for (auto& g : graphs) {
+      const local::Configuration legal =
+          entry.language->sample_legal(g, rng);
+      ASSERT_TRUE(entry.language->contains(legal)) << entry.label;
+
+      // Try several corruption strengths; keep the ones that leave L.
+      for (const std::size_t k : {1u, 2u, 4u}) {
+        if (k > legal.n()) continue;
+        const local::CorruptionResult corrupted =
+            local::corrupt_random_states(legal, k, rng);
+        if (entry.language->contains(corrupted.config)) continue;
+        core::AttackOptions options;
+        options.hill_climb_steps = 120;
+        options.random_trials = 4;
+        options.splice_sources = 2;
+        util::Rng attack_rng(seed * 1000 + k);
+        const core::AttackReport report = core::attack(
+            *entry.scheme, corrupted.config, attack_rng, options);
+        EXPECT_GE(report.min_rejections, 1u)
+            << entry.label << " fooled by '" << report.best_strategy
+            << "' with k=" << k << " on " << g->describe();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SoundnessSuite, ::testing::Range(1, 6));
+
+TEST(CompletenessSuite, EveryCatalogSchemeAcceptsItsWitnesses) {
+  util::Rng rng(99);
+  const auto catalog = standard_catalog();
+  for (const SchemeEntry& entry : catalog) {
+    std::shared_ptr<const graph::Graph> g;
+    if (entry.needs_weighted) {
+      g = share(graph::reweight_random(graph::grid(3, 5), rng));
+    } else if (entry.needs_bipartite) {
+      g = share(graph::grid(3, 5));
+    } else {
+      g = share(graph::random_connected(15, 10, rng));
+    }
+    for (int trial = 0; trial < 3; ++trial)
+      pls::testing::expect_complete(*entry.scheme,
+                                    entry.language->sample_legal(g, rng));
+  }
+}
+
+TEST(Catalog, HasAllTwelveSchemes) {
+  const auto catalog = standard_catalog();
+  EXPECT_EQ(catalog.size(), 12u);
+  for (const SchemeEntry& entry : catalog) {
+    EXPECT_FALSE(entry.label.empty());
+    EXPECT_EQ(&entry.scheme->language(), entry.language.get());
+  }
+}
+
+}  // namespace
+}  // namespace pls::schemes

@@ -1,0 +1,201 @@
+#include "schemes/spanning_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "schemes/common.hpp"
+#include "testing/helpers.hpp"
+
+namespace pls::schemes {
+namespace {
+
+using pls::testing::share;
+
+// ---------------------------------------------------------------------------
+// stp
+// ---------------------------------------------------------------------------
+
+TEST(StpLanguage, BfsTreeIsLegal) {
+  const StpLanguage language;
+  auto g = share(graph::grid(3, 4));
+  for (graph::NodeIndex root = 0; root < g->n(); ++root)
+    EXPECT_TRUE(language.contains(language.make_tree(g, root)));
+}
+
+TEST(StpLanguage, TwoRootsIllegal) {
+  const StpLanguage language;
+  auto g = share(graph::path(6));
+  auto cfg = language.make_tree(g, 0);
+  // Cut the tree: node 3 becomes a second root.
+  cfg = cfg.with_state(3, encode_pointer(std::nullopt));
+  EXPECT_FALSE(language.contains(cfg));
+}
+
+TEST(StpLanguage, PointerCycleIllegal) {
+  const StpLanguage language;
+  auto g = share(graph::cycle(5));
+  std::vector<local::State> states;
+  for (std::size_t v = 0; v < 5; ++v)
+    states.push_back(encode_pointer(g->id(static_cast<graph::NodeIndex>((v + 1) % 5))));
+  EXPECT_FALSE(language.contains(local::Configuration(g, states)));
+}
+
+TEST(StpScheme, CompletenessSweep) {
+  const StpLanguage language;
+  const StpScheme scheme(language);
+  for (auto& g : pls::testing::unweighted_family(61)) {
+    util::Rng rng(67);
+    pls::testing::expect_complete(scheme, language.sample_legal(g, rng));
+  }
+}
+
+TEST(StpScheme, SoundOnMeetInTheMiddle) {
+  const StpLanguage language;
+  const StpScheme scheme(language);
+  const std::size_t n = 8;
+  auto g = share(graph::path(n));
+  std::vector<local::State> states;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (v == 0 || v == n - 1) {
+      states.push_back(encode_pointer(std::nullopt));
+    } else if (v < n / 2) {
+      states.push_back(encode_pointer(g->id(static_cast<graph::NodeIndex>(v - 1))));
+    } else {
+      states.push_back(encode_pointer(g->id(static_cast<graph::NodeIndex>(v + 1))));
+    }
+  }
+  pls::testing::expect_sound(scheme, local::Configuration(g, states), 71);
+}
+
+TEST(StpScheme, SoundOnCycle) {
+  const StpLanguage language;
+  const StpScheme scheme(language);
+  auto g = share(graph::cycle(6));
+  std::vector<local::State> states;
+  for (std::size_t v = 0; v < 6; ++v)
+    states.push_back(encode_pointer(g->id(static_cast<graph::NodeIndex>((v + 1) % 6))));
+  pls::testing::expect_sound(scheme, local::Configuration(g, states), 73);
+}
+
+TEST(StpScheme, NonRootClaimingDistanceZeroRejected) {
+  const StpLanguage language;
+  const StpScheme scheme(language);
+  auto g = share(graph::path(4));
+  const auto cfg = language.make_tree(g, 0);
+  core::Labeling lab = scheme.mark(cfg);
+  // Node 2 claims dist 0 with the true root id: it is not the root.
+  util::BitWriter w;
+  w.write_varint(g->id(0));
+  w.write_varint(g->id(2));
+  w.write_varint(0);
+  lab.certs[2] = local::Certificate::from_writer(std::move(w));
+  EXPECT_GE(core::run_verifier(scheme, cfg, lab).rejections(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// stl
+// ---------------------------------------------------------------------------
+
+TEST(StlLanguage, BfsTreeIsLegal) {
+  const StlLanguage language;
+  auto g = share(graph::grid(3, 3));
+  util::Rng rng(79);
+  EXPECT_TRUE(language.contains(language.sample_legal(g, rng)));
+}
+
+TEST(StlLanguage, AsymmetricListingIllegal) {
+  const StlLanguage language;
+  auto g = share(graph::path(3));
+  std::vector<bool> mask(g->m(), true);
+  auto cfg = language.make_from_mask(g, mask);
+  // Node 0 forgets its only edge; node 1 still lists node 0.
+  cfg = cfg.with_state(0, encode_adjacency_list({}));
+  EXPECT_FALSE(language.contains(cfg));
+}
+
+TEST(StlLanguage, ExtraEdgeIllegal) {
+  const StlLanguage language;
+  auto g = share(graph::cycle(4));
+  std::vector<bool> all(g->m(), true);  // a cycle, not a tree
+  EXPECT_FALSE(language.contains(language.make_from_mask(g, all)));
+}
+
+TEST(StlLanguage, ForestIllegal) {
+  const StlLanguage language;
+  auto g = share(graph::path(5));
+  std::vector<bool> mask(g->m(), true);
+  mask[2] = false;  // drop one path edge: two components
+  EXPECT_FALSE(language.contains(language.make_from_mask(g, mask)));
+}
+
+TEST(StlScheme, CompletenessSweep) {
+  const StlLanguage language;
+  const StlScheme scheme(language);
+  for (auto& g : pls::testing::unweighted_family(83)) {
+    util::Rng rng(89);
+    pls::testing::expect_complete(scheme, language.sample_legal(g, rng));
+  }
+}
+
+TEST(StlScheme, ProofSizeLogarithmic) {
+  const StlLanguage language;
+  const StlScheme scheme(language);
+  auto g = share(graph::cycle(513));
+  util::Rng rng(97);
+  const auto cfg = language.sample_legal(g, rng);
+  // Three varints of values <= 4n: comfortably below 64 bits total.
+  EXPECT_LE(scheme.mark(cfg).max_bits(), 64u);
+}
+
+TEST(StlScheme, SoundOnForest) {
+  const StlLanguage language;
+  const StlScheme scheme(language);
+  auto g = share(graph::cycle(8));
+  std::vector<bool> mask(g->m(), true);
+  mask[1] = false;
+  mask[5] = false;  // two components
+  pls::testing::expect_sound(scheme, language.make_from_mask(g, mask), 101);
+}
+
+TEST(StlScheme, SoundOnFullCycle) {
+  const StlLanguage language;
+  const StlScheme scheme(language);
+  auto g = share(graph::cycle(8));
+  std::vector<bool> all(g->m(), true);
+  pls::testing::expect_sound(scheme, language.make_from_mask(g, all), 103);
+}
+
+TEST(StlScheme, AsymmetryRejectedAtBothEndpointsRegardlessOfCertificates) {
+  const StlLanguage language;
+  const StlScheme scheme(language);
+  auto g = share(graph::path(4));
+  std::vector<bool> mask(g->m(), true);
+  auto cfg = language.make_from_mask(g, mask);
+  // Node 1 drops its edge to node 2 from the list; node 2 keeps listing 1.
+  cfg = cfg.with_state(1, encode_adjacency_list({g->id(0)}));
+  ASSERT_FALSE(language.contains(cfg));
+  util::Rng rng(107);
+  const core::AttackReport report = core::attack(scheme, cfg, rng);
+  // The symmetry check is state-only: certificates cannot save nodes 1 and 2.
+  EXPECT_GE(report.min_rejections, 2u);
+}
+
+TEST(StlScheme, ListedNonTreeEdgeMustBeParentEdge) {
+  const StlLanguage language;
+  const StlScheme scheme(language);
+  auto g = share(graph::cycle(4));
+  // Claim the full cycle (symmetric, but 4 edges on 4 nodes).
+  std::vector<bool> all(g->m(), true);
+  const auto cfg = language.make_from_mask(g, all);
+  ASSERT_FALSE(language.contains(cfg));
+  // Even certificates copied from a real spanning tree cannot help: the edge
+  // that is not a parent edge of either endpoint is rejected.
+  std::vector<bool> tree(g->m(), true);
+  tree[0] = false;
+  const auto legal = language.make_from_mask(g, tree);
+  const core::Labeling donor = scheme.mark(legal);
+  EXPECT_GE(core::run_verifier(scheme, cfg, donor).rejections(), 1u);
+}
+
+}  // namespace
+}  // namespace pls::schemes

@@ -1,0 +1,81 @@
+#include "selfstab/alarm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "schemes/leader.hpp"
+#include "testing/helpers.hpp"
+
+namespace pls::selfstab {
+namespace {
+
+using pls::testing::share;
+
+TEST(Alarm, NoRejectionsNoAlarm) {
+  const graph::Graph g = graph::grid(3, 4);
+  const AlarmResult r = converge_alarm(g, std::vector<bool>(g.n(), false));
+  EXPECT_FALSE(r.alarm);
+  EXPECT_LE(r.rounds, 2u);  // immediately quiescent
+}
+
+TEST(Alarm, SingleRejectionReachesEveryone) {
+  const graph::Graph g = graph::path(16);
+  std::vector<bool> rejected(16, false);
+  rejected[15] = true;
+  const AlarmResult r = converge_alarm(g, rejected);
+  EXPECT_TRUE(r.alarm);
+  EXPECT_EQ(r.source_id, g.id(15));
+  // One alarm at the end of a 16-path: 15 propagation rounds + quiescence.
+  EXPECT_GE(r.rounds, 15u);
+  EXPECT_LE(r.rounds, 17u);
+}
+
+TEST(Alarm, MinimumIdWinsAmongMultipleAlarms) {
+  const graph::Graph g = graph::cycle(10);
+  std::vector<bool> rejected(10, false);
+  rejected[3] = rejected[7] = true;
+  const AlarmResult r = converge_alarm(g, rejected);
+  EXPECT_TRUE(r.alarm);
+  EXPECT_EQ(r.source_id, std::min(g.id(3), g.id(7)));
+}
+
+TEST(Alarm, EndToEndWithVerifier) {
+  // The operational loop: verify -> collect -> alarm identifies a faulty
+  // region's smallest-id witness.
+  const schemes::LeaderLanguage language;
+  const schemes::LeaderScheme scheme(language);
+  auto g = share(graph::grid(4, 4));
+  const auto cfg = language.make_with_leader(g, 5);
+  const core::Labeling certs = scheme.mark(cfg);
+
+  // No fault: no alarm.
+  const core::Verdict ok = core::run_verifier(scheme, cfg, certs);
+  EXPECT_FALSE(converge_alarm(*g, ok.rejected()).alarm);
+
+  // Fault: alarm raised and attributed to a rejecting node.
+  const auto faulty =
+      cfg.with_state(12, schemes::LeaderLanguage::encode_flag(true));
+  const core::Verdict bad = core::run_verifier(scheme, faulty, certs);
+  ASSERT_GE(bad.rejections(), 1u);
+  const AlarmResult alarm = converge_alarm(*g, bad.rejected());
+  EXPECT_TRUE(alarm.alarm);
+  bool source_was_rejecting = false;
+  for (const graph::NodeIndex v : bad.rejecting_nodes())
+    if (g->id(v) == alarm.source_id) source_was_rejecting = true;
+  EXPECT_TRUE(source_was_rejecting);
+}
+
+TEST(Alarm, RoundsBoundedByEccentricityPlusOne) {
+  util::Rng rng(17);
+  const graph::Graph g = graph::random_connected(40, 30, rng);
+  std::vector<bool> rejected(g.n(), false);
+  rejected[0] = true;
+  const AlarmResult r = converge_alarm(g, rejected);
+  const graph::BfsResult bfs = graph::bfs(g, 0);
+  std::size_t ecc = 0;
+  for (const std::uint32_t d : bfs.dist) ecc = std::max<std::size_t>(ecc, d);
+  EXPECT_LE(r.rounds, ecc + 2);
+}
+
+}  // namespace
+}  // namespace pls::selfstab

@@ -1,0 +1,113 @@
+#include "selfstab/daemon.hpp"
+
+#include <gtest/gtest.h>
+
+#include "selfstab/spanning_tree_ss.hpp"
+#include "testing/helpers.hpp"
+
+namespace pls::selfstab {
+namespace {
+
+using pls::testing::share;
+
+std::vector<local::State> garbage_states(const graph::Graph& g,
+                                         util::Rng& rng) {
+  std::vector<local::State> states;
+  states.reserve(g.n());
+  for (graph::NodeIndex v = 0; v < g.n(); ++v) {
+    TreeState s;
+    s.root = 1 + rng.below(2 * g.max_id());
+    s.dist = rng.below(2 * g.n());
+    s.parent = 1 + rng.below(2 * g.max_id());
+    states.push_back(encode_tree_state(s));
+  }
+  return states;
+}
+
+class DaemonSweep
+    : public ::testing::TestWithParam<std::tuple<DaemonKind, int>> {};
+
+TEST_P(DaemonSweep, SpanningTreeStabilizesUnderEveryDaemon) {
+  const auto [daemon, seed] = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(seed));
+  const graph::Graph g = graph::random_connected(20, 10, rng);
+  const SpanningTreeProtocol protocol(g.n());
+  std::vector<local::State> states = garbage_states(g, rng);
+
+  // Budget: central daemon activates one node per step, so allow O(n^2)
+  // steps; synchronous/distributed need far fewer.
+  const std::size_t budget = 40 * g.n() * g.n();
+  const DaemonRun run =
+      run_under_daemon(g, states, protocol.step(), daemon, rng, budget);
+  EXPECT_TRUE(run.converged);
+  EXPECT_EQ(states, protocol.legitimate(g));
+  EXPECT_TRUE(SpanningTreeProtocol::detectors(g, states).empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Daemons, DaemonSweep,
+    ::testing::Combine(::testing::Values(DaemonKind::kSynchronous,
+                                         DaemonKind::kCentral,
+                                         DaemonKind::kDistributed),
+                       ::testing::Values(1, 2, 3, 4)));
+
+TEST(Daemon, LegitimateStateHasNoEnabledNodes) {
+  const graph::Graph g = graph::grid(4, 4);
+  const SpanningTreeProtocol protocol(g.n());
+  std::vector<local::State> states = protocol.legitimate(g);
+  util::Rng rng(5);
+  const DaemonRun run = run_under_daemon(g, states, protocol.step(),
+                                         DaemonKind::kCentral, rng, 100);
+  EXPECT_TRUE(run.converged);
+  EXPECT_EQ(run.steps, 0u);
+  EXPECT_EQ(run.activations, 0u);
+}
+
+TEST(Daemon, CentralActivatesOnePerStep) {
+  util::Rng rng(7);
+  const graph::Graph g = graph::path(10);
+  const SpanningTreeProtocol protocol(g.n());
+  std::vector<local::State> states = garbage_states(g, rng);
+  const DaemonRun run = run_under_daemon(g, states, protocol.step(),
+                                         DaemonKind::kCentral, rng, 100000);
+  EXPECT_TRUE(run.converged);
+  EXPECT_EQ(run.activations, run.steps);
+}
+
+TEST(Daemon, SynchronousMatchesSyncNetwork) {
+  util::Rng rng(9);
+  const graph::Graph g = graph::grid(3, 5);
+  const SpanningTreeProtocol protocol(g.n());
+  std::vector<local::State> daemon_states = garbage_states(g, rng);
+  std::vector<local::State> network_states = daemon_states;
+
+  util::Rng daemon_rng(1);
+  run_under_daemon(g, daemon_states, protocol.step(),
+                   DaemonKind::kSynchronous, daemon_rng, 10 * g.n());
+
+  auto shared = std::make_shared<const graph::Graph>(g);
+  local::SyncNetwork net(shared, network_states);
+  net.run_until_quiescent(protocol.step(), 10 * g.n());
+
+  EXPECT_EQ(daemon_states, net.states());
+}
+
+TEST(Daemon, NonConvergentProtocolReportsFailure) {
+  // A rule that flips a bit forever never converges under any daemon.
+  const graph::Graph g = graph::path(3);
+  const local::StepFn flip = [](graph::RawId, const local::State& own,
+                                std::span<const local::NeighborState>) {
+    util::BitReader r = own.reader();
+    const auto bit = r.read_bit();
+    return local::State::of_uint(bit && *bit ? 0 : 1, 1);
+  };
+  std::vector<local::State> states(3, local::State::of_uint(0, 1));
+  util::Rng rng(11);
+  const DaemonRun run =
+      run_under_daemon(g, states, flip, DaemonKind::kDistributed, rng, 50);
+  EXPECT_FALSE(run.converged);
+  EXPECT_EQ(run.steps, 50u);
+}
+
+}  // namespace
+}  // namespace pls::selfstab

@@ -1,0 +1,95 @@
+#include "selfstab/mis_ss.hpp"
+
+#include <gtest/gtest.h>
+
+#include "schemes/lcl.hpp"
+#include "selfstab/daemon.hpp"
+#include "testing/helpers.hpp"
+
+namespace pls::selfstab {
+namespace {
+
+using pls::testing::share;
+
+std::vector<local::State> random_bits(std::size_t n, util::Rng& rng) {
+  std::vector<local::State> states;
+  for (std::size_t v = 0; v < n; ++v)
+    states.push_back(local::State::of_uint(rng.below(2), 1));
+  return states;
+}
+
+class MisDaemonSweep
+    : public ::testing::TestWithParam<std::tuple<DaemonKind, int>> {};
+
+TEST_P(MisDaemonSweep, ConvergesToAnMisFromRandomStates) {
+  const auto [daemon, seed] = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(seed));
+  const graph::Graph g = graph::random_connected(24, 16, rng);
+  std::vector<local::State> states = random_bits(g.n(), rng);
+
+  const DaemonRun run = run_under_daemon(g, states, MisProtocol::step(),
+                                         daemon, rng, 200 * g.n());
+  EXPECT_TRUE(run.converged);
+  EXPECT_TRUE(MisProtocol::detectors(g, states).empty());
+
+  // The fixed point is a genuine MIS per the language decider.
+  const schemes::MisLanguage language;
+  auto shared = std::make_shared<const graph::Graph>(g);
+  EXPECT_TRUE(language.contains(local::Configuration(shared, states)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Daemons, MisDaemonSweep,
+    ::testing::Combine(::testing::Values(DaemonKind::kSynchronous,
+                                         DaemonKind::kCentral,
+                                         DaemonKind::kDistributed),
+                       ::testing::Values(1, 2, 3, 4, 5)));
+
+TEST(MisProtocol, LegitimateStatesAreSilentAndStable) {
+  const schemes::MisLanguage language;
+  for (auto& g : pls::testing::unweighted_family(31)) {
+    util::Rng rng(37);
+    const auto cfg = language.sample_legal(g, rng);
+    std::vector<local::State> states = cfg.states();
+    EXPECT_TRUE(MisProtocol::detectors(*g, states).empty()) << g->describe();
+    util::Rng daemon_rng(1);
+    const DaemonRun run = run_under_daemon(
+        *g, states, MisProtocol::step(), DaemonKind::kCentral, daemon_rng, 10);
+    EXPECT_TRUE(run.converged);
+    EXPECT_EQ(run.steps, 0u) << g->describe();
+  }
+}
+
+TEST(MisProtocol, DetectorFiresOnAdjacentMembers) {
+  const graph::Graph g = graph::path(4);
+  std::vector<local::State> states = {
+      local::State::of_uint(1, 1), local::State::of_uint(1, 1),
+      local::State::of_uint(0, 1), local::State::of_uint(1, 1)};
+  const auto detectors = MisProtocol::detectors(g, states);
+  // Nodes 0 and 1 are adjacent members; both fail the local check.
+  EXPECT_GE(detectors.size(), 2u);
+}
+
+TEST(MisProtocol, DetectorFiresOnUncoveredNode) {
+  const graph::Graph g = graph::path(5);
+  std::vector<local::State> states(5, local::State::of_uint(0, 1));
+  states[0] = local::State::of_uint(1, 1);
+  const auto detectors = MisProtocol::detectors(g, states);
+  // Nodes 2, 3, 4 are uncovered non-members.
+  EXPECT_GE(detectors.size(), 3u);
+}
+
+TEST(MisProtocol, MalformedStatesAreRepaired) {
+  util::Rng rng(41);
+  const graph::Graph g = graph::grid(3, 4);
+  std::vector<local::State> states = random_bits(g.n(), rng);
+  states[5] = local::random_state(17, rng);  // garbage
+  EXPECT_FALSE(MisProtocol::detectors(g, states).empty());
+  const DaemonRun run = run_under_daemon(
+      g, states, MisProtocol::step(), DaemonKind::kSynchronous, rng, 50 * g.n());
+  EXPECT_TRUE(run.converged);
+  EXPECT_TRUE(MisProtocol::detectors(g, states).empty());
+}
+
+}  // namespace
+}  // namespace pls::selfstab

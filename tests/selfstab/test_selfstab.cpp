@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "selfstab/harness.hpp"
+#include "selfstab/spanning_tree_ss.hpp"
+#include "testing/helpers.hpp"
+
+namespace pls::selfstab {
+namespace {
+
+using pls::testing::share;
+
+TEST(TreeState, EncodingRoundTrip) {
+  const TreeState s{42, 7, 13};
+  const auto decoded = decode_tree_state(encode_tree_state(s));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, s);
+}
+
+TEST(TreeState, GarbageFailsToDecode) {
+  EXPECT_FALSE(decode_tree_state(local::State{}).has_value());
+}
+
+TEST(Protocol, LegitimateIsFixedPoint) {
+  for (auto& g : pls::testing::unweighted_family(1)) {
+    const SpanningTreeProtocol protocol(g->n());
+    local::SyncNetwork net(g, protocol.legitimate(*g));
+    const local::RoundStats stats = net.step(protocol.step());
+    EXPECT_EQ(stats.changed_nodes, 0u) << g->describe();
+  }
+}
+
+TEST(Protocol, LegitimateIsSilent) {
+  for (auto& g : pls::testing::unweighted_family(2)) {
+    const SpanningTreeProtocol protocol(g->n());
+    EXPECT_TRUE(
+        SpanningTreeProtocol::detectors(*g, protocol.legitimate(*g)).empty())
+        << g->describe();
+  }
+}
+
+TEST(Protocol, ConvergesFromAllZeroStates) {
+  auto g = share(graph::grid(4, 4));
+  const SpanningTreeProtocol protocol(g->n());
+  std::vector<local::State> zero(g->n(),
+                                 encode_tree_state(TreeState{0, 0, 0}));
+  local::SyncNetwork net(g, zero);
+  const std::size_t rounds =
+      net.run_until_quiescent(protocol.step(), 4 * g->n());
+  EXPECT_LE(rounds, 4 * g->n());
+  EXPECT_EQ(net.states(), protocol.legitimate(*g));
+}
+
+TEST(Protocol, GhostRootIsFlushed) {
+  // A corrupted node advertises a root id smaller than every real id; the
+  // distance bound flushes it and the network re-stabilizes.
+  auto g = share(graph::path(8));
+  const SpanningTreeProtocol protocol(g->n());
+  std::vector<local::State> states = protocol.legitimate(*g);
+  states[4] = encode_tree_state(TreeState{0, 0, 0});  // fake root id 0
+  local::SyncNetwork net(g, states);
+  const std::size_t rounds =
+      net.run_until_quiescent(protocol.step(), 6 * g->n());
+  EXPECT_LE(rounds, 6 * g->n());
+  EXPECT_EQ(net.states(), protocol.legitimate(*g));
+}
+
+TEST(Detector, SingleCorruptionIsDetectedImmediately) {
+  auto g = share(graph::grid(3, 4));
+  const SpanningTreeProtocol protocol(g->n());
+  std::vector<local::State> states = protocol.legitimate(*g);
+  // Corrupt node 5's distance: detection is 1-round local.
+  TreeState s = *decode_tree_state(states[5]);
+  s.dist += 3;
+  states[5] = encode_tree_state(s);
+  EXPECT_GE(SpanningTreeProtocol::detectors(*g, states).size(), 1u);
+}
+
+class FaultSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(FaultSweep, RecoversAndStaysSilent) {
+  const auto [k, seed] = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(seed));
+  const graph::Graph g = graph::random_connected(24, 12, rng);
+  const FaultExperiment result =
+      run_fault_experiment(g, static_cast<std::size_t>(k), rng);
+  EXPECT_TRUE(result.converged);
+  EXPECT_TRUE(result.silent_after);
+  EXPECT_TRUE(result.legitimate_after);
+  if (k > 0) {
+    // Faults need not always be observable (a fault may rewrite a state to
+    // an equivalent value), but convergence must hold regardless.
+    EXPECT_LE(result.detectors_immediate, g.n());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Faults, FaultSweep,
+    ::testing::Combine(::testing::Values(0, 1, 3, 8, 24),
+                       ::testing::Values(1, 2, 3)));
+
+TEST(Detector, MoreFaultsMoreDetectorsOnAverage) {
+  // Aggregate trend check: k=8 triggers at least as many detectors as k=1
+  // summed over seeds (the error-sensitivity motivation from the paper's
+  // conclusions, measured on the self-stabilizing detector).
+  std::size_t few = 0, many = 0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    util::Rng rng(seed);
+    const graph::Graph g = graph::grid(5, 5);
+    few += run_fault_experiment(g, 1, rng).detectors_immediate;
+    util::Rng rng2(seed + 100);
+    many += run_fault_experiment(g, 8, rng2).detectors_immediate;
+  }
+  EXPECT_GT(many, few);
+}
+
+}  // namespace
+}  // namespace pls::selfstab

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "schemes/acyclic.hpp"
+#include "schemes/common.hpp"
+#include "schemes/agree.hpp"
+#include "schemes/leader.hpp"
+#include "schemes/mst.hpp"
+#include "schemes/spanning_tree.hpp"
+#include "sensitivity/analysis.hpp"
+#include "sensitivity/counterexamples.hpp"
+#include "testing/helpers.hpp"
+
+namespace pls::sensitivity {
+namespace {
+
+using pls::testing::share;
+
+TEST(CycleChain, ExactDistanceConstruction) {
+  const schemes::AcyclicLanguage language;
+  for (const std::size_t k : {1u, 3u, 5u}) {
+    const CycleChainInstance inst = make_cycle_chain(k);
+    EXPECT_EQ(inst.cycles, k);
+    EXPECT_EQ(inst.config.n(), 3 * k);
+    EXPECT_FALSE(language.contains(inst.config));
+    // Breaking one pointer per cycle lands back in the language: the
+    // distance is indeed at most k (and the cycles argument makes it >= k).
+    auto states = inst.config.states();
+    for (std::size_t j = 0; j < k; ++j)
+      states[3 * j] = schemes::encode_pointer(std::nullopt);
+    EXPECT_TRUE(
+        language.contains(inst.config.with_states(std::move(states))));
+  }
+}
+
+TEST(Sensitivity, AcyclicRejectionsScaleWithCycles) {
+  const schemes::AcyclicLanguage language;
+  const schemes::AcyclicScheme scheme(language);
+  std::size_t previous = 0;
+  for (const std::size_t k : {1u, 2u, 4u, 6u}) {
+    const CycleChainInstance inst = make_cycle_chain(k);
+    util::Rng rng(k);
+    const core::AttackReport report = core::attack(scheme, inst.config, rng);
+    EXPECT_GE(report.min_rejections, k) << "k=" << k;
+    EXPECT_GE(report.min_rejections, previous);
+    previous = report.min_rejections;
+  }
+}
+
+TEST(Sensitivity, LeaderExtraLeadersEachReject) {
+  const schemes::LeaderLanguage language;
+  const schemes::LeaderScheme scheme(language);
+  auto g = share(graph::grid(4, 5));
+  util::Rng rng(7);
+  const auto legal = language.sample_legal(g, rng);
+  for (const std::size_t k : {1u, 3u, 6u}) {
+    const SensitivityRow row =
+        measure(scheme, legal, corrupt_leader, k, rng);
+    // Every extra leader rejects regardless of certificates, so the ratio
+    // stays >= 1 (up to the corruption occasionally hitting the original
+    // leader, hence >= k-1 conservatively).
+    EXPECT_GE(row.min_rejections, k - 1) << "k=" << k;
+  }
+}
+
+TEST(Sensitivity, AgreeMinorityRejections) {
+  const schemes::AgreeLanguage language(16);
+  const schemes::AgreeScheme scheme(language);
+  auto g = share(graph::path(12));
+  util::Rng rng(11);
+  const auto legal = language.sample_legal(g, rng);
+  const SensitivityRow row = measure(scheme, legal, corrupt_agree, 3, rng);
+  EXPECT_GE(row.min_rejections, 1u);
+}
+
+TEST(Sensitivity, StlDroppedEdgesRejectAtLeastPerCorruption) {
+  const schemes::StlLanguage language;
+  const schemes::StlScheme scheme(language);
+  util::Rng gen(13);
+  auto g = share(graph::random_connected(20, 10, gen));
+  util::Rng rng(17);
+  const auto legal = language.sample_legal(g, rng);
+  for (const std::size_t k : {1u, 2u, 4u}) {
+    const SensitivityRow row =
+        measure(scheme, legal, corrupt_adjacency_list, k, rng);
+    // Dropping a listed edge breaks listing symmetry; both endpoints of each
+    // dropped edge reject on states alone, so at least ~k nodes reject.
+    EXPECT_GE(row.min_rejections, k) << "k=" << k;
+  }
+}
+
+TEST(Sensitivity, MstlDroppedEdgesDetected) {
+  const schemes::MstLanguage language;
+  const schemes::MstScheme scheme(language);
+  util::Rng setup(19);
+  auto g = share(graph::reweight_random(
+      graph::random_connected(16, 12, setup), setup));
+  util::Rng rng(23);
+  const auto legal = language.sample_legal(g, rng);
+  const SensitivityRow row =
+      measure(scheme, legal, corrupt_adjacency_list, 3, rng);
+  EXPECT_GE(row.min_rejections, 3u);
+}
+
+TEST(Counterexample, StpPathFlatline) {
+  // Distance grows linearly with n; rejections stay at 2.
+  for (const std::size_t n : {8u, 16u, 32u, 64u}) {
+    const CounterexampleResult r = stp_path_counterexample(n);
+    EXPECT_TRUE(r.illegal);
+    EXPECT_EQ(r.rejections, 2u) << "n=" << n;
+    EXPECT_EQ(r.distance_lower_bound, n / 2);
+  }
+}
+
+TEST(Counterexample, StpPathRequiresEvenN) {
+  EXPECT_THROW(stp_path_counterexample(7), std::logic_error);
+}
+
+TEST(Counterexample, RegularGluingFourRejections) {
+  util::Rng rng(29);
+  for (const std::size_t side : {8u, 16u, 24u}) {
+    util::Rng local_rng(side);
+    const CounterexampleResult r =
+        regular_gluing_counterexample(side, side, 3, local_rng);
+    EXPECT_TRUE(r.illegal);
+    EXPECT_EQ(r.rejections, 4u) << "side=" << side;
+    EXPECT_GE(r.distance_lower_bound, side - 4);
+  }
+}
+
+TEST(Sensitivity, MeasureRejectsLegalBaseRequirement) {
+  const schemes::LeaderLanguage language;
+  const schemes::LeaderScheme scheme(language);
+  auto g = share(graph::path(4));
+  std::vector<local::State> none(4,
+                                 schemes::LeaderLanguage::encode_flag(false));
+  const local::Configuration illegal(g, none);
+  util::Rng rng(31);
+  EXPECT_THROW(measure(scheme, illegal, corrupt_leader, 1, rng),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace pls::sensitivity

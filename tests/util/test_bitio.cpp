@@ -1,0 +1,157 @@
+#include "util/bitio.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pls::util {
+namespace {
+
+TEST(BitIo, EmptyWriterHasNoBits) {
+  BitWriter w;
+  EXPECT_EQ(w.bit_size(), 0u);
+  EXPECT_TRUE(w.bytes().empty());
+}
+
+TEST(BitIo, SingleBitRoundTrip) {
+  BitWriter w;
+  w.write_bit(true);
+  w.write_bit(false);
+  w.write_bit(true);
+  BitReader r(w.bytes(), w.bit_size());
+  EXPECT_EQ(r.read_bit(), std::optional<bool>(true));
+  EXPECT_EQ(r.read_bit(), std::optional<bool>(false));
+  EXPECT_EQ(r.read_bit(), std::optional<bool>(true));
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(BitIo, FixedWidthRoundTrip) {
+  BitWriter w;
+  w.write_uint(0b1011, 4);
+  w.write_uint(0xFFFF, 16);
+  w.write_uint(0, 1);
+  BitReader r(w.bytes(), w.bit_size());
+  EXPECT_EQ(r.read_uint(4), std::optional<std::uint64_t>(0b1011));
+  EXPECT_EQ(r.read_uint(16), std::optional<std::uint64_t>(0xFFFF));
+  EXPECT_EQ(r.read_uint(1), std::optional<std::uint64_t>(0));
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(BitIo, WidthZeroWritesNothing) {
+  BitWriter w;
+  w.write_uint(123, 0);
+  EXPECT_EQ(w.bit_size(), 0u);
+}
+
+TEST(BitIo, SixtyFourBitValue) {
+  const std::uint64_t v = 0xDEADBEEFCAFEF00Dull;
+  BitWriter w;
+  w.write_uint(v, 64);
+  BitReader r(w.bytes(), w.bit_size());
+  EXPECT_EQ(r.read_uint(64), std::optional<std::uint64_t>(v));
+}
+
+TEST(BitIo, ReadPastEndFailsSoftly) {
+  BitWriter w;
+  w.write_uint(3, 2);
+  BitReader r(w.bytes(), w.bit_size());
+  EXPECT_EQ(r.read_uint(3), std::nullopt);  // only 2 bits available
+  // A failed wide read does not consume anything usable; the reader is safe.
+  BitReader r2(w.bytes(), w.bit_size());
+  EXPECT_TRUE(r2.read_uint(2).has_value());
+  EXPECT_EQ(r2.read_bit(), std::nullopt);
+}
+
+TEST(BitIo, ReaderTracksRemaining) {
+  BitWriter w;
+  w.write_uint(0, 10);
+  BitReader r(w.bytes(), w.bit_size());
+  EXPECT_EQ(r.remaining(), 10u);
+  ASSERT_TRUE(r.read_uint(4).has_value());
+  EXPECT_EQ(r.remaining(), 6u);
+  EXPECT_EQ(r.position(), 4u);
+}
+
+class VarintRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(VarintRoundTrip, Value) {
+  BitWriter w;
+  w.write_varint(GetParam());
+  BitReader r(w.bytes(), w.bit_size());
+  EXPECT_EQ(r.read_varint(), std::optional<std::uint64_t>(GetParam()));
+  EXPECT_TRUE(r.exhausted());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Values, VarintRoundTrip,
+    ::testing::Values(0ull, 1ull, 2ull, 100ull, 127ull, 128ull, 129ull,
+                      16383ull, 16384ull, 1u << 20, (1ull << 40) + 17,
+                      std::uint64_t(-1)));
+
+TEST(BitIo, VarintSizeIsEightBitsPerGroup) {
+  BitWriter w;
+  w.write_varint(127);
+  EXPECT_EQ(w.bit_size(), 8u);
+  BitWriter w2;
+  w2.write_varint(128);
+  EXPECT_EQ(w2.bit_size(), 16u);
+}
+
+TEST(BitIo, TruncatedVarintFails) {
+  BitWriter w;
+  w.write_varint(300);  // two groups
+  BitReader r(w.bytes(), 8);  // cut off the second group
+  EXPECT_EQ(r.read_varint(), std::nullopt);
+}
+
+TEST(BitIo, InterleavedValuesKeepAlignment) {
+  BitWriter w;
+  w.write_bit(true);
+  w.write_varint(12345);
+  w.write_uint(0b101, 3);
+  w.write_varint(7);
+  BitReader r(w.bytes(), w.bit_size());
+  EXPECT_EQ(r.read_bit(), std::optional<bool>(true));
+  EXPECT_EQ(r.read_varint(), std::optional<std::uint64_t>(12345));
+  EXPECT_EQ(r.read_uint(3), std::optional<std::uint64_t>(0b101));
+  EXPECT_EQ(r.read_varint(), std::optional<std::uint64_t>(7));
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(BitIo, WriteBitsAppendsVerbatim) {
+  BitWriter inner;
+  inner.write_uint(0b110101, 6);
+  BitWriter outer;
+  outer.write_bit(false);
+  outer.write_bits(inner.bytes(), inner.bit_size());
+  BitReader r(outer.bytes(), outer.bit_size());
+  ASSERT_TRUE(r.read_bit().has_value());
+  EXPECT_EQ(r.read_uint(6), std::optional<std::uint64_t>(0b110101));
+}
+
+TEST(BitIo, TakeBytesResetsWriter) {
+  BitWriter w;
+  w.write_uint(0xAB, 8);
+  const auto bytes = w.take_bytes();
+  EXPECT_EQ(bytes.size(), 1u);
+  EXPECT_EQ(w.bit_size(), 0u);
+  w.write_bit(true);
+  EXPECT_EQ(w.bit_size(), 1u);
+}
+
+TEST(BitIo, BitWidthFor) {
+  EXPECT_EQ(bit_width_for(0), 1u);
+  EXPECT_EQ(bit_width_for(1), 1u);
+  EXPECT_EQ(bit_width_for(2), 2u);
+  EXPECT_EQ(bit_width_for(3), 2u);
+  EXPECT_EQ(bit_width_for(4), 3u);
+  EXPECT_EQ(bit_width_for(255), 8u);
+  EXPECT_EQ(bit_width_for(256), 9u);
+  EXPECT_EQ(bit_width_for(std::uint64_t(-1)), 64u);
+}
+
+TEST(BitIo, WidthOver64Throws) {
+  BitWriter w;
+  EXPECT_THROW(w.write_uint(0, 65), std::logic_error);
+}
+
+}  // namespace
+}  // namespace pls::util

@@ -1,0 +1,83 @@
+#include "util/bitstring.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pls::util {
+namespace {
+
+TEST(BitString, DefaultIsEmpty) {
+  BitString s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.bit_size(), 0u);
+}
+
+TEST(BitString, OfUintRoundTrip) {
+  const BitString s = BitString::of_uint(0b1011, 4);
+  EXPECT_EQ(s.bit_size(), 4u);
+  BitReader r = s.reader();
+  EXPECT_EQ(r.read_uint(4), std::optional<std::uint64_t>(0b1011));
+}
+
+TEST(BitString, EqualityIgnoresPaddingBits) {
+  // Same 3 significant bits, different garbage in the rest of the byte.
+  BitString a({0b00000101}, 3);
+  BitString b({0b11111101}, 3);
+  EXPECT_EQ(a, b);
+}
+
+TEST(BitString, DifferentLengthsDiffer) {
+  BitString a = BitString::of_uint(1, 1);
+  BitString b = BitString::of_uint(1, 2);
+  EXPECT_NE(a, b);
+}
+
+TEST(BitString, DifferentContentDiffers) {
+  EXPECT_NE(BitString::of_uint(5, 4), BitString::of_uint(6, 4));
+}
+
+TEST(BitString, HashConsistentWithEquality) {
+  BitString a({0b00000101}, 3);
+  BitString b({0b11111101}, 3);
+  EXPECT_EQ(a.hash(), b.hash());
+}
+
+TEST(BitString, PrefixShortens) {
+  const BitString s = BitString::of_uint(0b110101, 6);
+  const BitString p = s.prefix(3);
+  EXPECT_EQ(p.bit_size(), 3u);
+  EXPECT_EQ(p, BitString::of_uint(0b101, 3));
+}
+
+TEST(BitString, PrefixLongerThanStringIsIdentity) {
+  const BitString s = BitString::of_uint(0b11, 2);
+  EXPECT_EQ(s.prefix(100), s);
+}
+
+TEST(BitString, PrefixZeroIsEmpty) {
+  const BitString s = BitString::of_uint(0b11, 2);
+  EXPECT_TRUE(s.prefix(0).empty());
+  EXPECT_EQ(s.prefix(0), BitString{});
+}
+
+TEST(BitString, FromWriterTakesOwnership) {
+  BitWriter w;
+  w.write_varint(999);
+  const std::size_t bits = w.bit_size();
+  const BitString s = BitString::from_writer(std::move(w));
+  EXPECT_EQ(s.bit_size(), bits);
+  BitReader r = s.reader();
+  EXPECT_EQ(r.read_varint(), std::optional<std::uint64_t>(999));
+}
+
+TEST(BitString, MultiByteEquality) {
+  BitWriter w1, w2;
+  for (int i = 0; i < 5; ++i) {
+    w1.write_varint(1000 + i);
+    w2.write_varint(1000 + i);
+  }
+  EXPECT_EQ(BitString::from_writer(std::move(w1)),
+            BitString::from_writer(std::move(w2)));
+}
+
+}  // namespace
+}  // namespace pls::util

@@ -1,0 +1,90 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace pls::util {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.bits(), b.bits());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 16 && !any_diff; ++i) any_diff = a.bits() != b.bits();
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.below(13), 13u);
+}
+
+TEST(Rng, BelowOneIsAlwaysZero) {
+  Rng rng(7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowZeroThrows) {
+  Rng rng(7);
+  EXPECT_THROW(rng.below(0), std::logic_error);
+}
+
+TEST(Rng, BetweenInclusive) {
+  Rng rng(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const auto v = rng.between(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all five values hit with 500 draws
+}
+
+TEST(Rng, PermutationIsPermutation) {
+  Rng rng(11);
+  const auto p = rng.permutation(50);
+  ASSERT_EQ(p.size(), 50u);
+  std::set<std::uint64_t> values(p.begin(), p.end());
+  EXPECT_EQ(values.size(), 50u);
+  EXPECT_EQ(*values.begin(), 0u);
+  EXPECT_EQ(*values.rbegin(), 49u);
+}
+
+TEST(Rng, ShufflePreservesMultiset) {
+  Rng rng(13);
+  std::vector<int> xs = {1, 2, 2, 3, 3, 3};
+  auto sorted = xs;
+  rng.shuffle(xs);
+  std::sort(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(xs, sorted);
+}
+
+TEST(Rng, SplitGivesIndependentStream) {
+  Rng a(5);
+  Rng child = a.split();
+  // The child is deterministic given the parent state...
+  Rng a2(5);
+  Rng child2 = a2.split();
+  EXPECT_EQ(child.bits(), child2.bits());
+  // ...and distinct from the parent's continuation.
+  EXPECT_NE(child2.bits(), a.bits());
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(17);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+}  // namespace
+}  // namespace pls::util

@@ -1,0 +1,65 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+namespace pls::util {
+namespace {
+
+TEST(Table, PrintsHeaderAndRows) {
+  Table t({"name", "n", "bits"});
+  t.row("leader", 16, 42);
+  t.row("mstl", 1024, 9000);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("leader"), std::string::npos);
+  EXPECT_NE(out.find("9000"), std::string::npos);
+  // Header + separator + 2 rows = 4 lines.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(Table, FormatsDoublesWithThreeDecimals) {
+  Table t({"x"});
+  t.row(0.5);
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("0.500"), std::string::npos);
+}
+
+TEST(Table, RejectsWrongArity) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::logic_error);
+}
+
+TEST(Table, RejectsEmptyHeader) {
+  EXPECT_THROW(Table({}), std::logic_error);
+}
+
+TEST(Table, CountsRows) {
+  Table t({"a"});
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.row(1);
+  t.row(2);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(Table, ColumnsAlignToWidestCell) {
+  Table t({"x", "y"});
+  t.row("short", 1);
+  t.row("a-much-longer-cell", 2);
+  std::ostringstream os;
+  t.print(os);
+  std::istringstream in(os.str());
+  std::string first, second;
+  std::getline(in, first);
+  std::getline(in, second);
+  std::getline(in, second);  // first data row
+  EXPECT_EQ(first.size(), second.size());
+}
+
+}  // namespace
+}  // namespace pls::util
