@@ -1,0 +1,165 @@
+// Experiment R1 — the proof-size / verification-time tradeoff (t-PLS).
+//
+// Sweeps verification radius t in {1, 2, 4, 8} against network size n in
+// {2^8 .. 2^14} for the spanning-tree scheme (and a smaller sweep for MST),
+// certifying over graphs with a large id space (ids up to 2^56, so the
+// shared root-id prefix dominates the certificate).  t = 1 is the plain
+// 1-round scheme, t > 1 the spread transform; rows report max/avg
+// certificate bits, verifier wall-time, and t-round message volume as JSON.
+//
+// Usage: bench_radius_tradeoff [--smoke] [--out FILE]
+//   --smoke   small sweep (n in {256, 1024}, t in {1, 2, 4}) for CI
+//   --out     write the JSON there instead of stdout
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "radius/spread.hpp"
+#include "schemes/mst.hpp"
+#include "schemes/spanning_tree.hpp"
+#include "util/assert.hpp"
+
+namespace {
+
+using namespace pls;
+
+constexpr graph::RawId kIdSpace = graph::RawId{1} << 56;
+
+struct Row {
+  std::string scheme;
+  std::size_t n = 0;
+  unsigned t = 0;
+  std::size_t max_cert_bits = 0;
+  double avg_cert_bits = 0.0;
+  double verify_ms = 0.0;
+  std::size_t round_bits = 0;
+  bool all_accept = false;
+};
+
+std::shared_ptr<const graph::Graph> instance(std::size_t n, bool weighted,
+                                             std::uint64_t seed) {
+  util::Rng rng(seed);
+  graph::Graph g = graph::random_connected(n, n / 2, rng);
+  if (weighted) g = graph::reweight_random(g, rng);
+  return std::make_shared<const graph::Graph>(
+      graph::relabel_random(g, rng, kIdSpace));
+}
+
+Row measure(const core::Scheme& scheme, const local::Configuration& cfg,
+            unsigned t) {
+  Row row;
+  row.scheme = std::string(scheme.name());
+  row.n = cfg.n();
+  row.t = t;
+
+  const core::Labeling lab = scheme.mark(cfg);
+  row.max_cert_bits = lab.max_bits();
+  row.avg_cert_bits =
+      static_cast<double>(lab.total_bits()) / static_cast<double>(cfg.n());
+
+  const auto start = std::chrono::steady_clock::now();
+  const core::Verdict verdict = radius::run_verifier_t(scheme, cfg, lab, t);
+  const auto stop = std::chrono::steady_clock::now();
+  row.verify_ms =
+      std::chrono::duration<double, std::milli>(stop - start).count();
+  row.all_accept = verdict.all_accept();
+  row.round_bits = radius::verification_round_bits_t(scheme, cfg, lab, t);
+  return row;
+}
+
+void emit(std::ostream& out, const std::vector<Row>& rows) {
+  out << "{\n  \"bench\": \"radius_tradeoff\",\n  \"id_space\": "
+      << kIdSpace << ",\n  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    out << "    {\"scheme\": \"" << r.scheme << "\", \"n\": " << r.n
+        << ", \"t\": " << r.t << ", \"max_cert_bits\": " << r.max_cert_bits
+        << ", \"avg_cert_bits\": " << r.avg_cert_bits
+        << ", \"verify_ms\": " << r.verify_ms
+        << ", \"round_bits\": " << r.round_bits << ", \"all_accept\": "
+        << (r.all_accept ? "true" : "false") << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+template <typename BaseScheme, typename Language>
+void sweep(std::vector<Row>& rows, const Language& language,
+           const BaseScheme& base, bool weighted,
+           const std::vector<std::size_t>& sizes,
+           const std::vector<unsigned>& radii) {
+  for (const std::size_t n : sizes) {
+    auto g = instance(n, weighted, 0x9E3779B9u ^ n);
+    util::Rng rng(0xC0FFEEu ^ n);
+    const local::Configuration cfg = language.sample_legal(g, rng);
+    for (const unsigned t : radii) {
+      if (t == 1) {
+        rows.push_back(measure(base, cfg, 1));
+      } else {
+        const radius::SpreadScheme spread(base, t);
+        rows.push_back(measure(spread, cfg, t));
+      }
+      const Row& r = rows.back();
+      std::cerr << r.scheme << " n=" << r.n << " t=" << r.t
+                << " max_bits=" << r.max_cert_bits
+                << " verify_ms=" << r.verify_ms << "\n";
+      PLS_ASSERT(r.all_accept);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::cerr << "usage: bench_radius_tradeoff [--smoke] [--out FILE]\n";
+      return 2;
+    }
+  }
+
+  std::vector<std::size_t> sizes;
+  std::vector<unsigned> radii;
+  std::vector<std::size_t> mst_sizes;
+  if (smoke) {
+    sizes = {256, 1024};
+    radii = {1, 2, 4};
+    mst_sizes = {256};
+  } else {
+    for (std::size_t n = 256; n <= 16384; n *= 2) sizes.push_back(n);
+    radii = {1, 2, 4, 8};
+    mst_sizes = {256, 512, 1024};
+  }
+
+  std::vector<Row> rows;
+  const schemes::StpLanguage stp_language;
+  const schemes::StpScheme stp(stp_language);
+  sweep(rows, stp_language, stp, /*weighted=*/false, sizes, radii);
+
+  const schemes::MstLanguage mst_language;
+  const schemes::MstScheme mst(mst_language);
+  sweep(rows, mst_language, mst, /*weighted=*/true, mst_sizes, radii);
+
+  if (out_path.empty()) {
+    emit(std::cout, rows);
+  } else {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::cerr << "cannot open " << out_path << "\n";
+      return 1;
+    }
+    emit(out, rows);
+    std::cout << "wrote " << out_path << "\n";
+  }
+  return 0;
+}

@@ -9,6 +9,10 @@
 //
 // Edge weights are structural knowledge of the node's ports and are visible
 // in both modes (MST needs them; this matches the literature).
+//
+// The radius-t generalization (a decoder that runs t rounds and reads its
+// whole radius-t ball under the same visibility split) builds on these views
+// in radius/ball.hpp; VerifierContext is exactly the t = 1 specialization.
 #pragma once
 
 #include <span>

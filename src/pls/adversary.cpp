@@ -3,11 +3,20 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "radius/engine_t.hpp"
 #include "util/assert.hpp"
 
 namespace pls::core {
 
 namespace {
+
+/// Radius the attack runs the engine at: never below the scheme's own
+/// requirement, so ball schemes always go through the t-round engine.
+unsigned effective_radius(const Scheme& scheme, unsigned requested) {
+  const auto* ball = dynamic_cast<const radius::BallScheme*>(&scheme);
+  const unsigned need = ball != nullptr ? ball->radius() : 1;
+  return std::max(std::max(requested, 1u), need);
+}
 
 Labeling uniform_labeling(std::size_t n, const Certificate& c) {
   Labeling lab;
@@ -34,8 +43,9 @@ AttackReport attack(const Scheme& scheme, const local::Configuration& cfg,
   AttackReport report;
   report.min_rejections = n + 1;  // sentinel: worse than any real verdict
 
+  const unsigned t = effective_radius(scheme, options.rounds);
   auto consider = [&](const Labeling& lab, const std::string& strategy) {
-    const Verdict verdict = run_verifier(scheme, cfg, lab);
+    const Verdict verdict = radius::run_verifier_t(scheme, cfg, lab, t);
     const std::size_t rej = verdict.rejections();
     if (rej < report.min_rejections) {
       report.min_rejections = rej;
@@ -93,7 +103,7 @@ AttackReport attack(const Scheme& scheme, const local::Configuration& cfg,
   }
 
   // 4. Random certificates.
-  for (std::size_t t = 0; t < options.random_trials; ++t)
+  for (std::size_t trial = 0; trial < options.random_trials; ++trial)
     consider(random_labeling(n, options.max_cert_bits, rng), "random");
 
   // 5. Hill climbing from the best labeling found so far: replace one node's
@@ -125,7 +135,8 @@ AttackReport attack(const Scheme& scheme, const local::Configuration& cfg,
               local::random_state(rng.below(options.max_cert_bits + 1), rng);
           break;
       }
-      const std::size_t rej = run_verifier(scheme, cfg, current).rejections();
+      const std::size_t rej =
+          radius::run_verifier_t(scheme, cfg, current, t).rejections();
       if (rej <= current_rej) {
         current_rej = rej;
         if (rej < report.min_rejections) {
@@ -147,6 +158,7 @@ std::size_t exhaustive_min_rejections(const Scheme& scheme,
                                       const local::Configuration& cfg,
                                       std::size_t max_bits) {
   PLS_REQUIRE(max_bits <= 8);
+  const unsigned t = effective_radius(scheme, 1);
   // All bit strings of length 0..max_bits.
   std::vector<Certificate> alphabet;
   for (std::size_t len = 0; len <= max_bits; ++len)
@@ -164,7 +176,8 @@ std::size_t exhaustive_min_rejections(const Scheme& scheme,
   lab.certs.assign(n, Certificate{});
   while (true) {
     for (std::size_t v = 0; v < n; ++v) lab.certs[v] = alphabet[pick[v]];
-    best = std::min(best, run_verifier(scheme, cfg, lab).rejections());
+    best = std::min(best,
+                    radius::run_verifier_t(scheme, cfg, lab, t).rejections());
     if (best == 0) return 0;
     // Odometer increment.
     std::size_t v = 0;

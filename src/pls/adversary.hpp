@@ -29,6 +29,13 @@ struct AttackOptions {
   std::size_t splice_sources = 4;    ///< legal instances to copy labels from
   std::size_t hill_climb_steps = 400;
   std::size_t max_cert_bits = 128;   ///< random certificate length cap
+  /// Verification radius the suite attacks at (radius/engine_t.hpp).  The
+  /// effective radius is max(rounds, scheme's declared radius), so ball
+  /// schemes are always attacked through the t-round engine at their own
+  /// radius.  For plain 1-round schemes the setting is a no-op: their
+  /// decoders read only layer 1 and run_verifier_t evaluates them through
+  /// the shared 1-round routine whatever t is.
+  unsigned rounds = 1;
 };
 
 struct AttackReport {

@@ -4,33 +4,51 @@
 
 namespace pls::core {
 
+namespace detail {
+
+bool verify_one_round_at(const Scheme& scheme, const local::Configuration& cfg,
+                         const Labeling& labeling, graph::NodeIndex v,
+                         std::vector<local::NeighborView>& scratch) {
+  const graph::Graph& g = cfg.graph();
+  const local::Visibility mode = scheme.visibility();
+  scratch.clear();
+  for (const graph::AdjEntry& a : g.adjacency(v)) {
+    local::NeighborView nv;
+    nv.cert = &labeling.certs[a.to];
+    nv.edge_weight = g.weight(a.edge);
+    if (mode == local::Visibility::kExtended) {
+      nv.state = &cfg.state(a.to);
+      nv.id = g.id(a.to);
+      nv.id_visible = true;
+    }
+    scratch.push_back(nv);
+  }
+  const local::VerifierContext ctx(g.id(v), cfg.state(v), labeling.certs[v],
+                                   scratch, mode, g.n());
+  return scheme.verify(ctx);
+}
+
+std::size_t node_payload_bits(const Scheme& scheme,
+                              const local::Configuration& cfg,
+                              const Labeling& labeling, graph::NodeIndex v) {
+  std::size_t bits = labeling.certs[v].bit_size();
+  if (scheme.visibility() == local::Visibility::kExtended)
+    bits += cfg.state(v).bit_size() + 64;  // state + id
+  return bits;
+}
+
+}  // namespace detail
+
 Verdict run_verifier(const Scheme& scheme, const local::Configuration& cfg,
                      const Labeling& labeling) {
   PLS_REQUIRE(labeling.size() == cfg.n());
   const graph::Graph& g = cfg.graph();
-  const local::Visibility mode = scheme.visibility();
 
-  Verdict verdict;
-  verdict.accept.resize(cfg.n());
+  std::vector<bool> accept(cfg.n());
   std::vector<local::NeighborView> scratch;
-  for (graph::NodeIndex v = 0; v < g.n(); ++v) {
-    scratch.clear();
-    for (const graph::AdjEntry& a : g.adjacency(v)) {
-      local::NeighborView nv;
-      nv.cert = &labeling.certs[a.to];
-      nv.edge_weight = g.weight(a.edge);
-      if (mode == local::Visibility::kExtended) {
-        nv.state = &cfg.state(a.to);
-        nv.id = g.id(a.to);
-        nv.id_visible = true;
-      }
-      scratch.push_back(nv);
-    }
-    const local::VerifierContext ctx(g.id(v), cfg.state(v), labeling.certs[v],
-                                     scratch, mode, g.n());
-    verdict.accept[v] = scheme.verify(ctx);
-  }
-  return verdict;
+  for (graph::NodeIndex v = 0; v < g.n(); ++v)
+    accept[v] = detail::verify_one_round_at(scheme, cfg, labeling, v, scratch);
+  return Verdict(std::move(accept));
 }
 
 bool completeness_holds(const Scheme& scheme,
@@ -46,13 +64,9 @@ std::size_t verification_round_bits(const Scheme& scheme,
   PLS_REQUIRE(labeling.size() == cfg.n());
   const graph::Graph& g = cfg.graph();
   std::size_t bits = 0;
-  for (const graph::Edge& e : g.edges()) {
-    for (const graph::NodeIndex v : {e.u, e.v}) {
-      bits += labeling.certs[v].bit_size();
-      if (scheme.visibility() == local::Visibility::kExtended)
-        bits += cfg.state(v).bit_size() + 64;  // state + id
-    }
-  }
+  for (const graph::Edge& e : g.edges())
+    for (const graph::NodeIndex v : {e.u, e.v})
+      bits += detail::node_payload_bits(scheme, cfg, labeling, v);
   return bits;
 }
 

@@ -1,0 +1,90 @@
+#include "radius/ball.hpp"
+
+#include "util/assert.hpp"
+
+namespace pls::radius {
+
+const BallView& BallBuilder::build(const local::Configuration& cfg,
+                                   const core::Labeling& labeling,
+                                   graph::NodeIndex center, unsigned t,
+                                   local::Visibility mode) {
+  PLS_REQUIRE(t >= 1);
+  PLS_REQUIRE(center < cfg.n());
+  PLS_REQUIRE(labeling.size() == cfg.n());
+  const graph::Graph& g = cfg.graph();
+
+  if (visit_epoch_.size() != g.n() || epoch_ == UINT32_MAX) {
+    visit_epoch_.assign(g.n(), 0);
+    slot_.assign(g.n(), 0);
+    epoch_ = 0;
+  }
+  ++epoch_;
+
+  auto make_member = [&](graph::NodeIndex v, std::uint32_t dist,
+                         graph::Weight via_weight) {
+    BallMember m;
+    m.node = v;
+    m.dist = dist;
+    m.cert = &labeling.certs[v];
+    m.edge_weight = via_weight;
+    if (mode == local::Visibility::kExtended) {
+      m.state = &cfg.state(v);
+      m.id = g.id(v);
+      m.id_visible = true;
+    }
+    return m;
+  };
+
+  BallView& ball = ball_;
+  ball.members_.clear();
+  ball.layer_offsets_.assign(t + 2, 0);
+  ball.radius_ = t;
+  ball.whole_component_ = true;
+
+  visit_epoch_[center] = epoch_;
+  slot_[center] = 0;
+  ball.members_.push_back(make_member(center, 0, 1));
+  ball.layer_offsets_[1] = 1;
+
+  // Layered BFS: the frontier of layer r is members_[offsets[r], offsets[r+1]).
+  for (unsigned r = 0; r < t; ++r) {
+    const std::uint32_t begin = ball.layer_offsets_[r];
+    const std::uint32_t end = ball.layer_offsets_[r + 1];
+    for (std::uint32_t i = begin; i < end; ++i) {
+      const graph::NodeIndex u = ball.members_[i].node;
+      for (const graph::AdjEntry& a : g.adjacency(u)) {
+        if (visit_epoch_[a.to] == epoch_) continue;
+        visit_epoch_[a.to] = epoch_;
+        slot_[a.to] = static_cast<std::uint32_t>(ball.members_.size());
+        ball.members_.push_back(make_member(a.to, r + 1, g.weight(a.edge)));
+      }
+    }
+    ball.layer_offsets_[r + 2] = static_cast<std::uint32_t>(ball.members_.size());
+  }
+
+  // Unexplored neighbors beyond the last layer mean the ball is a strict
+  // subset of the component.
+  for (const BallMember& m : ball.layer(t)) {
+    for (const graph::AdjEntry& a : g.adjacency(m.node))
+      if (visit_epoch_[a.to] != epoch_) {
+        ball.whole_component_ = false;
+        break;
+      }
+    if (!ball.whole_component_) break;
+  }
+
+  // Ball-internal adjacency in CSR form over member indices.
+  ball.adj_offsets_.assign(ball.members_.size() + 1, 0);
+  ball.adj_.clear();
+  for (std::uint32_t i = 0; i < ball.members_.size(); ++i) {
+    ball.adj_offsets_[i] = static_cast<std::uint32_t>(ball.adj_.size());
+    for (const graph::AdjEntry& a : g.adjacency(ball.members_[i].node))
+      if (visit_epoch_[a.to] == epoch_) ball.adj_.push_back(slot_[a.to]);
+  }
+  ball.adj_offsets_[ball.members_.size()] =
+      static_cast<std::uint32_t>(ball.adj_.size());
+
+  return ball_;
+}
+
+}  // namespace pls::radius

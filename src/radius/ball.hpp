@@ -1,0 +1,137 @@
+// Radius-t verifier views: what a node learns in t verification rounds.
+//
+// A t-round verifier at node v sees its *ball* of radius t — every node at
+// hop distance <= t, with that node's certificate always visible and its
+// state/id additionally visible under Extended visibility (the same split as
+// the 1-round views in local/views.hpp).  The ball's topology (who is at
+// which distance, which ball members are adjacent) is structural knowledge in
+// both modes, matching how ports are treated in the 1-round model and how
+// t-PLS formalizations define the view.  Of the edge weights, only each
+// member's BFS-tree entry edge is carried (BallMember::edge_weight — enough
+// for the layer-1 bridge); a weighted radius-t scheme that compares
+// arbitrary intra-ball weights would need them added to the adjacency CSR.
+//
+// BallBuilder materializes balls by BFS over the configuration graph.  Its
+// scratch state (epoch-stamped visited marks, queues, member arrays) is
+// reused across calls, so an engine sweeping all n centers allocates O(n)
+// once instead of per ball; the returned BallView references that scratch
+// and is invalidated by the next build() call.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "local/views.hpp"
+#include "pls/certificate.hpp"
+
+namespace pls::radius {
+
+struct BallMember {
+  graph::NodeIndex node = graph::kInvalidNode;  ///< dense simulation index
+  std::uint32_t dist = 0;                       ///< hops from the center
+  const local::Certificate* cert = nullptr;     ///< always visible
+  const local::State* state = nullptr;          ///< Extended only
+  graph::RawId id = 0;                          ///< Extended only
+  bool id_visible = false;
+  /// Weight of the BFS tree edge through which the member was first reached
+  /// (1 for the center).  For layer-1 members this is the weight of the edge
+  /// to the center, matching the 1-round NeighborView.
+  graph::Weight edge_weight = 1;
+};
+
+class BallView {
+ public:
+  /// Members in BFS order: the center first, then layer 1 in the center's
+  /// adjacency order, then layer 2, ...  The layer-1 ordering is what makes
+  /// the 1-round bridge bit-for-bit identical to the 1-round engine.
+  std::span<const BallMember> members() const noexcept { return members_; }
+
+  std::size_t size() const noexcept { return members_.size(); }
+
+  /// The requested radius t (layers beyond the component may be empty).
+  unsigned radius() const noexcept { return radius_; }
+
+  /// Members at hop distance exactly r, r in [0, radius()].
+  std::span<const BallMember> layer(unsigned r) const {
+    PLS_REQUIRE(r < layer_offsets_.size() - 1);
+    return std::span<const BallMember>(members_).subspan(
+        layer_offsets_[r], layer_offsets_[r + 1] - layer_offsets_[r]);
+  }
+
+  /// Ball-internal adjacency: indices (into members()) of the ball members
+  /// adjacent to members()[member_index].
+  std::span<const std::uint32_t> neighbors_of(std::uint32_t member_index) const {
+    PLS_REQUIRE(member_index < members_.size());
+    return std::span<const std::uint32_t>(adj_)
+        .subspan(adj_offsets_[member_index],
+                 adj_offsets_[member_index + 1] - adj_offsets_[member_index]);
+  }
+
+  /// True when the ball is the center's entire connected component, i.e.
+  /// t >= the center's eccentricity (always detected, even when t exceeds
+  /// the component's diameter).
+  bool whole_component() const noexcept { return whole_component_; }
+
+ private:
+  friend class BallBuilder;
+  std::vector<BallMember> members_;
+  std::vector<std::uint32_t> layer_offsets_;  // size radius_+2
+  std::vector<std::uint32_t> adj_offsets_;    // size members_.size()+1
+  std::vector<std::uint32_t> adj_;
+  unsigned radius_ = 0;
+  bool whole_component_ = false;
+};
+
+class BallBuilder {
+ public:
+  /// Materializes the radius-t ball around `center`.  Requires t >= 1 (a
+  /// verifier always runs at least one round; t = 0 is invalid input).  The
+  /// returned view aliases builder-internal storage: it is valid until the
+  /// next build() call on this builder.
+  const BallView& build(const local::Configuration& cfg,
+                        const core::Labeling& labeling,
+                        graph::NodeIndex center, unsigned t,
+                        local::Visibility mode);
+
+ private:
+  BallView ball_;
+  std::vector<std::uint32_t> visit_epoch_;  // per node: epoch of last visit
+  std::vector<std::uint32_t> slot_;         // per node: member index this epoch
+  std::uint32_t epoch_ = 0;
+};
+
+/// The full verifier input for one t-round evaluation: the center's own data
+/// plus its ball.  The mirror of local::VerifierContext one level up.
+class RadiusContext {
+ public:
+  RadiusContext(const BallView& ball, graph::RawId center_id,
+                const local::State& center_state,
+                const local::Certificate& center_cert, local::Visibility mode,
+                std::size_t network_size)
+      : ball_(&ball),
+        id_(center_id),
+        state_(&center_state),
+        cert_(&center_cert),
+        mode_(mode),
+        network_size_(network_size) {}
+
+  const BallView& ball() const noexcept { return *ball_; }
+
+  /// A node always knows its own identity, whatever the visibility mode.
+  graph::RawId id() const noexcept { return id_; }
+  const local::State& state() const noexcept { return *state_; }
+  const local::Certificate& certificate() const noexcept { return *cert_; }
+  local::Visibility mode() const noexcept { return mode_; }
+  std::size_t network_size() const noexcept { return network_size_; }
+
+ private:
+  const BallView* ball_;
+  graph::RawId id_;
+  const local::State* state_;
+  const local::Certificate* cert_;
+  local::Visibility mode_;
+  std::size_t network_size_;
+};
+
+}  // namespace pls::radius

@@ -1,0 +1,59 @@
+// Radius-t verification engine (t-PLS).
+//
+// KKP05 fixes the verification time at one round and proves label-size lower
+// bounds there; the t-PLS line of work (Ostrovsky–Perry–Rosenbaum,
+// Filtser–Fischer) trades verification time against proof size: a verifier
+// that runs t rounds sees its radius-t ball, and certificates can shrink by
+// a ~t factor.  This engine generalizes pls::core::run_verifier to that
+// model:
+//
+//   * plain 1-round schemes run unchanged at any t >= 1 (extra rounds add
+//     information the decoder does not read), and at t = 1 the verdict is
+//     bit-for-bit what run_verifier produces — same per-node routine;
+//   * BallScheme implementations declare a radius and receive the full
+//     RadiusContext;
+//   * verification_round_bits_t accounts the message volume of t flooding
+//     rounds (round r forwards what was learned in round r-1), reducing to
+//     verification_round_bits at t = 1.
+#pragma once
+
+#include "pls/engine.hpp"
+#include "radius/ball.hpp"
+
+namespace pls::radius {
+
+/// A scheme whose decoder reads a radius-t ball instead of the 1-hop view.
+class BallScheme : public core::Scheme {
+ public:
+  /// The verification radius t >= 1 the decoder needs.
+  virtual unsigned radius() const noexcept = 0;
+
+  /// The decoder, run independently at every center.
+  virtual bool verify_ball(const RadiusContext& ctx) const = 0;
+
+  /// Ball schemes cannot run in the 1-round engine; use run_verifier_t.
+  bool verify(const local::VerifierContext&) const override;
+};
+
+/// Runs the verifier at every node over radius-t balls.  Requires t >= 1
+/// (t = 0 is invalid input), and t >= scheme.radius() for ball schemes (the
+/// decoder is evaluated on exactly its declared radius).
+core::Verdict run_verifier_t(const core::Scheme& scheme,
+                             const local::Configuration& cfg,
+                             const core::Labeling& labeling, unsigned t);
+
+/// Completeness at radius t: marks cfg (must be legal), verifies all-accept.
+bool completeness_holds_t(const core::Scheme& scheme,
+                          const local::Configuration& cfg, unsigned t);
+
+/// Message bits of t flooding rounds: in round r (1-based), every node sends
+/// each neighbor the payloads (certificate, plus state/id when Extended) it
+/// learned in round r-1, i.e. of the nodes at distance exactly r-1 from it.
+/// Total over directed edges (u -> v): sum over r < t of the payloads of u's
+/// distance-r layer.  At t = 1 this is verification_round_bits exactly.
+std::size_t verification_round_bits_t(const core::Scheme& scheme,
+                                      const local::Configuration& cfg,
+                                      const core::Labeling& labeling,
+                                      unsigned t);
+
+}  // namespace pls::radius

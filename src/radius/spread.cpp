@@ -1,0 +1,265 @@
+#include "radius/spread.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <unordered_map>
+
+#include "graph/algorithms.hpp"
+#include "util/assert.hpp"
+
+namespace pls::radius {
+
+namespace {
+
+constexpr unsigned kChunkCountField = 6;  // k fits in 6 bits: k in [1, 63]
+
+/// Bit i of a BitString (stream order: bit i lives in byte i/8, position i%8).
+bool bit_at(const util::BitString& s, std::size_t i) {
+  return (s.bytes()[i / 8] >> (i % 8)) & 1;
+}
+
+/// Length of the longest common prefix of two bit strings.
+std::size_t lcp_bits(const util::BitString& a, const util::BitString& b) {
+  const std::size_t limit = std::min(a.bit_size(), b.bit_size());
+  std::size_t i = 0;
+  // Whole equal bytes first, then the mismatching byte bit by bit.
+  while (i + 8 <= limit && a.bytes()[i / 8] == b.bytes()[i / 8]) i += 8;
+  while (i < limit && bit_at(a, i) == bit_at(b, i)) ++i;
+  return i;
+}
+
+/// Encoded size of a varint (8 bits per 7-bit payload group).
+std::size_t varint_bits(std::uint64_t value) {
+  return 8 * ((std::max<unsigned>(util::bit_width_for(value), 1) + 6) / 7);
+}
+
+/// Reads exactly `nbits` bits; nullopt when the reader runs dry.
+std::optional<util::BitString> read_bits(util::BitReader& r,
+                                         std::size_t nbits) {
+  if (r.remaining() < nbits) return std::nullopt;
+  util::BitWriter w;
+  std::size_t left = nbits;
+  while (left > 0) {
+    const unsigned take = static_cast<unsigned>(std::min<std::size_t>(left, 64));
+    const auto chunk = r.read_uint(take);
+    if (!chunk) return std::nullopt;
+    w.write_uint(*chunk, take);
+    left -= take;
+  }
+  return util::BitString::from_writer(std::move(w));
+}
+
+/// Bits [from, from+len) of `s` as a fresh bit string.
+util::BitString slice(const util::BitString& s, std::size_t from,
+                      std::size_t len) {
+  PLS_ASSERT(from + len <= s.bit_size());
+  util::BitWriter w;
+  for (std::size_t i = 0; i < len; ++i) w.write_bit(bit_at(s, from + i));
+  return util::BitString::from_writer(std::move(w));
+}
+
+/// Number of indices i < total with i % k == j.
+std::size_t chunk_size(std::size_t total, std::size_t k, std::size_t j) {
+  return total > j ? (total - 1 - j) / k + 1 : 0;
+}
+
+struct ParsedSpread {
+  std::uint64_t k = 0;
+  std::uint64_t residue = 0;
+  util::BitString suffix;
+  util::BitString chunk;
+};
+
+std::optional<ParsedSpread> parse(const local::Certificate& c) {
+  util::BitReader r = c.reader();
+  ParsedSpread p;
+  const auto k = r.read_uint(kChunkCountField);
+  if (!k || *k == 0) return std::nullopt;
+  p.k = *k;
+  const auto residue = r.read_uint(util::bit_width_for(p.k - 1));
+  if (!residue || *residue >= p.k) return std::nullopt;
+  p.residue = *residue;
+  const auto suffix_len = r.read_varint();
+  if (!suffix_len) return std::nullopt;
+  auto suffix = read_bits(r, *suffix_len);
+  if (!suffix) return std::nullopt;
+  p.suffix = std::move(*suffix);
+  auto chunk = read_bits(r, r.remaining());
+  PLS_ASSERT(chunk.has_value());
+  p.chunk = std::move(*chunk);
+  return p;
+}
+
+}  // namespace
+
+SpreadScheme::SpreadScheme(const core::Scheme& base, unsigned t)
+    : base_(base), t_(t) {
+  PLS_REQUIRE(t >= 1 && t <= 63);
+  name_ = "spread(t=" + std::to_string(t) + ")/" + std::string(base.name());
+}
+
+core::Labeling SpreadScheme::mark(const local::Configuration& cfg) const {
+  const core::Labeling base_lab = base_.mark(cfg);
+  const graph::Graph& g = cfg.graph();
+  const std::size_t n = g.n();
+  PLS_ASSERT(base_lab.size() == n);
+  if (n == 0) return {};
+
+  // Longest common prefix X of all base certificates.
+  std::size_t prefix_len = base_lab.certs.front().bit_size();
+  for (const local::Certificate& c : base_lab.certs)
+    prefix_len = std::min(prefix_len, lcp_bits(base_lab.certs.front(), c));
+
+  // Per-component landmark (minimum-id node) and BFS distances from it.
+  const graph::Components comps = graph::connected_components(g);
+  std::vector<graph::NodeIndex> root(comps.count, graph::kInvalidNode);
+  for (graph::NodeIndex v = 0; v < n; ++v) {
+    graph::NodeIndex& r = root[comps.comp[v]];
+    if (r == graph::kInvalidNode || g.id(v) < g.id(r)) r = v;
+  }
+  std::vector<std::uint32_t> dist(n, 0);
+  std::vector<std::uint32_t> ecc(comps.count, 0);
+  for (std::size_t c = 0; c < comps.count; ++c) {
+    const graph::BfsResult bfs = graph::bfs(g, root[c]);
+    for (graph::NodeIndex v = 0; v < n; ++v) {
+      if (comps.comp[v] != c) continue;
+      PLS_ASSERT(bfs.dist[v] != graph::BfsResult::kUnreachable);
+      dist[v] = bfs.dist[v];
+      ecc[c] = std::max(ecc[c], bfs.dist[v]);
+    }
+  }
+
+  // Chunk count per component, capped so every residue class is inhabited,
+  // and the k interleaved chunks of X.
+  const util::BitString& exemplar = base_lab.certs.front();
+  std::vector<std::size_t> k_of(comps.count);
+  // Chunks depend only on k, not on the component; memoize per distinct k.
+  std::unordered_map<std::size_t, std::vector<util::BitString>> chunks_by_k;
+  for (std::size_t c = 0; c < comps.count; ++c) {
+    const std::size_t k =
+        std::min<std::size_t>(t_ / 2 + 1, std::size_t{ecc[c]} + 1);
+    k_of[c] = k;
+    if (chunks_by_k.count(k) != 0) continue;
+    std::vector<util::BitWriter> writers(k);
+    for (std::size_t i = 0; i < prefix_len; ++i)
+      writers[i % k].write_bit(bit_at(exemplar, i));
+    std::vector<util::BitString> chunks(k);
+    for (std::size_t j = 0; j < k; ++j)
+      chunks[j] = util::BitString::from_writer(std::move(writers[j]));
+    chunks_by_k.emplace(k, std::move(chunks));
+  }
+
+  core::Labeling lab;
+  lab.certs.reserve(n);
+  for (graph::NodeIndex v = 0; v < n; ++v) {
+    const std::size_t c = comps.comp[v];
+    const std::size_t k = k_of[c];
+    const std::size_t j = dist[v] % k;
+    const util::BitString suffix =
+        slice(base_lab.certs[v], prefix_len,
+              base_lab.certs[v].bit_size() - prefix_len);
+    util::BitWriter w;
+    w.write_uint(k, kChunkCountField);
+    w.write_uint(j, util::bit_width_for(k - 1));
+    w.write_varint(suffix.bit_size());
+    w.write_bits(suffix.bytes(), suffix.bit_size());
+    const util::BitString& chunk = chunks_by_k.at(k)[j];
+    w.write_bits(chunk.bytes(), chunk.bit_size());
+    lab.certs.push_back(local::Certificate::from_writer(std::move(w)));
+  }
+  return lab;
+}
+
+bool SpreadScheme::verify_ball(const RadiusContext& ctx) const {
+  const BallView& ball = ctx.ball();
+  const std::span<const BallMember> members = ball.members();
+
+  // Parse every ball certificate; agree on the chunk count.
+  std::vector<ParsedSpread> parsed(members.size());
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    auto p = parse(*members[i].cert);
+    if (!p) return false;
+    parsed[i] = std::move(*p);
+  }
+  const std::uint64_t k = parsed.front().k;
+  for (const ParsedSpread& p : parsed)
+    if (p.k != k) return false;
+
+  // Adjacent residues must be cyclically consecutive (distances from the
+  // landmark differ by at most 1 across an edge).
+  for (std::uint32_t i = 0; i < members.size(); ++i)
+    for (const std::uint32_t nb : ball.neighbors_of(i)) {
+      if (nb <= i) continue;
+      const std::uint64_t diff =
+          (parsed[i].residue + k - parsed[nb].residue) % k;
+      if (diff != 0 && diff != 1 && diff != k - 1) return false;
+    }
+
+  // Chunk-class agreement and coverage.
+  std::vector<const util::BitString*> chunk_of(k, nullptr);
+  for (const ParsedSpread& p : parsed) {
+    const util::BitString*& slot = chunk_of[p.residue];
+    if (slot == nullptr) {
+      slot = &p.chunk;
+    } else if (*slot != p.chunk) {
+      return false;
+    }
+  }
+  for (const util::BitString* chunk : chunk_of)
+    if (chunk == nullptr) return false;
+
+  // Reassemble the shared prefix X: bit i of X is bit i/k of chunk i%k, and
+  // the chunk lengths must interleave to a consistent total.
+  std::size_t prefix_len = 0;
+  for (const util::BitString* chunk : chunk_of) prefix_len += chunk->bit_size();
+  for (std::size_t j = 0; j < k; ++j)
+    if (chunk_of[j]->bit_size() != chunk_size(prefix_len, k, j)) return false;
+  util::BitWriter xw;
+  for (std::size_t i = 0; i < prefix_len; ++i)
+    xw.write_bit(bit_at(*chunk_of[i % k], i / k));
+  const util::BitString prefix = util::BitString::from_writer(std::move(xw));
+
+  // Reconstruct the base certificates of the 1-hop neighborhood and run the
+  // base decoder on them.
+  auto reconstruct = [&](const ParsedSpread& p) {
+    util::BitWriter w;
+    w.write_bits(prefix.bytes(), prefix.bit_size());
+    w.write_bits(p.suffix.bytes(), p.suffix.bit_size());
+    return local::Certificate::from_writer(std::move(w));
+  };
+  const local::Certificate own = reconstruct(parsed.front());
+  const std::span<const BallMember> layer1 = ball.layer(1);
+  std::vector<local::Certificate> neighbor_certs;
+  neighbor_certs.reserve(layer1.size());
+  // Members are in BFS order: layer 1 starts at member index 1.
+  for (std::size_t i = 0; i < layer1.size(); ++i)
+    neighbor_certs.push_back(reconstruct(parsed[1 + i]));
+
+  std::vector<local::NeighborView> views;
+  views.reserve(layer1.size());
+  for (std::size_t i = 0; i < layer1.size(); ++i) {
+    local::NeighborView nv;
+    nv.cert = &neighbor_certs[i];
+    nv.edge_weight = layer1[i].edge_weight;
+    if (ctx.mode() == local::Visibility::kExtended) {
+      nv.state = layer1[i].state;
+      nv.id = layer1[i].id;
+      nv.id_visible = true;
+    }
+    views.push_back(nv);
+  }
+  const local::VerifierContext base_ctx(ctx.id(), ctx.state(), own, views,
+                                        ctx.mode(), ctx.network_size());
+  return base_.verify(base_ctx);
+}
+
+std::size_t SpreadScheme::proof_size_bound(std::size_t n,
+                                           std::size_t state_bits) const {
+  // suffix + chunk never exceed a full base certificate (the chunk is at
+  // most the factored prefix, the suffix is the rest), so the spread adds
+  // only the header: k, residue, suffix length.
+  const std::size_t base = base_.proof_size_bound(n, state_bits);
+  return kChunkCountField + util::bit_width_for(62) + varint_bits(base) + base;
+}
+
+}  // namespace pls::radius

@@ -81,7 +81,7 @@ TEST_F(MisConjunctionFixture, MalformedFramingRejected) {
   // instance is legal (framing may parse; then both 0-bit halves accept
   // empty certificates — craft a specific bad frame instead).
   const Verdict verdict = run_verifier(scheme_, cfg, garbage);
-  EXPECT_EQ(verdict.accept.size(), 3u);
+  EXPECT_EQ(verdict.accept().size(), 3u);
 }
 
 // Composition with non-trivial certificates on both sides: stl & stl (the

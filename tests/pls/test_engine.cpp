@@ -17,7 +17,7 @@ TEST(Engine, RunVerifierReportsPerNodeVerdicts) {
   const auto cfg = language.make_with_leader(g, 2);
   const Labeling lab = scheme.mark(cfg);
   const Verdict verdict = run_verifier(scheme, cfg, lab);
-  EXPECT_EQ(verdict.accept.size(), 5u);
+  EXPECT_EQ(verdict.accept().size(), 5u);
   EXPECT_TRUE(verdict.all_accept());
   EXPECT_EQ(verdict.rejections(), 0u);
   EXPECT_TRUE(verdict.rejecting_nodes().empty());

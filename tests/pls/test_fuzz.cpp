@@ -42,7 +42,7 @@ TEST(Fuzz, RandomCertificatesNeverCrashAnyScheme) {
     for (int trial = 0; trial < 40; ++trial) {
       const Labeling lab = fuzz_labeling(cfg.n(), rng, 160);
       const Verdict verdict = run_verifier(*entry.scheme, cfg, lab);
-      EXPECT_EQ(verdict.accept.size(), cfg.n()) << entry.label;
+      EXPECT_EQ(verdict.accept().size(), cfg.n()) << entry.label;
     }
   }
 }
@@ -61,7 +61,7 @@ TEST(Fuzz, RandomStatesNeverCrashDecidersOrVerifiers) {
       const local::Configuration garbage = legal.with_states(states);
       (void)entry.language->contains(garbage);  // must not throw
       const Verdict verdict = run_verifier(*entry.scheme, garbage, honest);
-      EXPECT_EQ(verdict.accept.size(), legal.n()) << entry.label;
+      EXPECT_EQ(verdict.accept().size(), legal.n()) << entry.label;
     }
   }
 }
@@ -99,7 +99,7 @@ TEST(Fuzz, MutatedHonestCertificatesNeverCrash) {
         }
       }
       const Verdict verdict = run_verifier(*entry.scheme, cfg, mutated);
-      EXPECT_EQ(verdict.accept.size(), cfg.n()) << entry.label;
+      EXPECT_EQ(verdict.accept().size(), cfg.n()) << entry.label;
     }
   }
 }
@@ -114,7 +114,7 @@ TEST(Fuzz, UniversalParserSurvivesGarbage) {
   for (int trial = 0; trial < 60; ++trial) {
     const Labeling lab = fuzz_labeling(cfg.n(), rng, 600);
     const Verdict verdict = run_verifier(universal, cfg, lab);
-    EXPECT_EQ(verdict.accept.size(), cfg.n());
+    EXPECT_EQ(verdict.accept().size(), cfg.n());
   }
 }
 

@@ -61,7 +61,7 @@ TEST(StrictAdapter, LyingAboutOwnStateRejected) {
   const auto tampered =
       cfg.with_state(4, schemes::LeaderLanguage::encode_flag(true));
   const Verdict verdict = run_verifier(adapted, tampered, certs);
-  EXPECT_FALSE(verdict.accept[4]);
+  EXPECT_FALSE(verdict.accept()[4]);
 }
 
 TEST(StrictAdapter, OverheadIsStatePlusId) {

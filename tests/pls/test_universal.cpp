@@ -55,8 +55,8 @@ TEST(Universal, ForeignDescriptionRejected) {
   const Verdict verdict = run_verifier(scheme, with4, honest_for_0);
   EXPECT_GE(verdict.rejections(), 1u);
   // Specifically the nodes whose states differ (0 and 4) must reject.
-  EXPECT_FALSE(verdict.accept[0]);
-  EXPECT_FALSE(verdict.accept[4]);
+  EXPECT_FALSE(verdict.accept()[0]);
+  EXPECT_FALSE(verdict.accept()[4]);
 }
 
 TEST(Universal, WrongTopologyRejected) {

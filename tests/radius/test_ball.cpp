@@ -1,0 +1,184 @@
+// BallView geometry: layers, orderings, component boundaries, visibility.
+#include "radius/ball.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "testing/helpers.hpp"
+
+namespace pls::radius {
+namespace {
+
+using pls::testing::share;
+
+local::Configuration trivial_config(std::shared_ptr<const graph::Graph> g) {
+  std::vector<local::State> states(g->n());
+  return local::Configuration(std::move(g), std::move(states));
+}
+
+core::Labeling numbered_labeling(std::size_t n) {
+  core::Labeling lab;
+  for (std::size_t v = 0; v < n; ++v)
+    lab.certs.push_back(local::Certificate::of_uint(v, 16));
+  return lab;
+}
+
+TEST(BallView, PathLayersAndBoundary) {
+  auto g = share(graph::path(7));
+  const auto cfg = trivial_config(g);
+  const auto lab = numbered_labeling(7);
+  BallBuilder builder;
+
+  const BallView& ball =
+      builder.build(cfg, lab, 3, 2, local::Visibility::kExtended);
+  EXPECT_EQ(ball.size(), 5u);
+  EXPECT_EQ(ball.layer(0).size(), 1u);
+  EXPECT_EQ(ball.layer(0)[0].node, 3u);
+  EXPECT_EQ(ball.layer(1).size(), 2u);
+  EXPECT_EQ(ball.layer(2).size(), 2u);
+  EXPECT_FALSE(ball.whole_component());
+
+  const BallView& full =
+      builder.build(cfg, lab, 3, 3, local::Visibility::kExtended);
+  EXPECT_EQ(full.size(), 7u);
+  EXPECT_TRUE(full.whole_component());
+}
+
+TEST(BallView, RadiusBeyondDiameterIsWholeComponent) {
+  auto g = share(graph::path(5));
+  const auto cfg = trivial_config(g);
+  const auto lab = numbered_labeling(5);
+  BallBuilder builder;
+  const BallView& ball =
+      builder.build(cfg, lab, 0, 10, local::Visibility::kExtended);
+  EXPECT_EQ(ball.size(), 5u);
+  EXPECT_TRUE(ball.whole_component());
+  EXPECT_EQ(ball.radius(), 10u);
+  for (unsigned r = 5; r <= 10; ++r) EXPECT_TRUE(ball.layer(r).empty());
+}
+
+TEST(BallView, DisconnectedGraphStaysInComponent) {
+  graph::Graph::Builder b;
+  for (graph::RawId id = 1; id <= 5; ++id) b.add_node(id);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(0, 2);  // triangle 0-1-2
+  b.add_edge(3, 4);  // separate edge 3-4
+  auto g = share(std::move(b).build());
+  ASSERT_FALSE(g->is_connected());
+  const auto cfg = trivial_config(g);
+  const auto lab = numbered_labeling(5);
+  BallBuilder builder;
+
+  const BallView& triangle =
+      builder.build(cfg, lab, 0, 4, local::Visibility::kExtended);
+  EXPECT_EQ(triangle.size(), 3u);
+  EXPECT_TRUE(triangle.whole_component());
+
+  const BallView& pair =
+      builder.build(cfg, lab, 3, 4, local::Visibility::kExtended);
+  EXPECT_EQ(pair.size(), 2u);
+  EXPECT_TRUE(pair.whole_component());
+  EXPECT_EQ(pair.layer(1)[0].node, 4u);
+}
+
+TEST(BallView, RadiusZeroIsInvalidInput) {
+  auto g = share(graph::path(3));
+  const auto cfg = trivial_config(g);
+  const auto lab = numbered_labeling(3);
+  BallBuilder builder;
+  EXPECT_THROW(builder.build(cfg, lab, 0, 0, local::Visibility::kExtended),
+               std::logic_error);
+}
+
+TEST(BallView, LayerOneMatchesAdjacencyOrderAndWeights) {
+  util::Rng rng(97);
+  auto g = share(graph::reweight_random(graph::grid(3, 4), rng));
+  const auto cfg = trivial_config(g);
+  const auto lab = numbered_labeling(g->n());
+  BallBuilder builder;
+  for (graph::NodeIndex v = 0; v < g->n(); ++v) {
+    const BallView& ball =
+        builder.build(cfg, lab, v, 3, local::Visibility::kExtended);
+    const auto layer1 = ball.layer(1);
+    const auto adj = g->adjacency(v);
+    ASSERT_EQ(layer1.size(), adj.size());
+    for (std::size_t i = 0; i < adj.size(); ++i) {
+      EXPECT_EQ(layer1[i].node, adj[i].to);
+      EXPECT_EQ(layer1[i].edge_weight, g->weight(adj[i].edge));
+      EXPECT_EQ(layer1[i].cert, &lab.certs[adj[i].to]);
+    }
+  }
+}
+
+TEST(BallView, DistancesMatchBfs) {
+  util::Rng rng(101);
+  auto g = share(graph::random_connected(40, 25, rng));
+  const auto cfg = trivial_config(g);
+  const auto lab = numbered_labeling(g->n());
+  BallBuilder builder;
+  for (graph::NodeIndex v = 0; v < g->n(); ++v) {
+    const graph::BfsResult bfs = graph::bfs(*g, v);
+    const BallView& ball =
+        builder.build(cfg, lab, v, 4, local::Visibility::kExtended);
+    std::size_t within = 0;
+    for (graph::NodeIndex u = 0; u < g->n(); ++u)
+      if (bfs.dist[u] <= 4) ++within;
+    EXPECT_EQ(ball.size(), within);
+    for (const BallMember& m : ball.members())
+      EXPECT_EQ(m.dist, bfs.dist[m.node]);
+  }
+}
+
+TEST(BallView, InternalAdjacencyMatchesGraph) {
+  util::Rng rng(103);
+  auto g = share(graph::random_connected(20, 15, rng));
+  const auto cfg = trivial_config(g);
+  const auto lab = numbered_labeling(g->n());
+  BallBuilder builder;
+  const BallView& ball =
+      builder.build(cfg, lab, 0, 2, local::Visibility::kExtended);
+  for (std::uint32_t i = 0; i < ball.size(); ++i) {
+    const graph::NodeIndex u = ball.members()[i].node;
+    for (const std::uint32_t nb : ball.neighbors_of(i)) {
+      const graph::NodeIndex w = ball.members()[nb].node;
+      EXPECT_TRUE(g->find_edge(u, w).has_value());
+    }
+    // Every graph neighbor inside the ball must be listed.
+    std::size_t inside = 0;
+    for (const graph::AdjEntry& a : g->adjacency(u)) {
+      for (const BallMember& m : ball.members())
+        if (m.node == a.to) {
+          ++inside;
+          break;
+        }
+    }
+    EXPECT_EQ(ball.neighbors_of(i).size(), inside);
+  }
+}
+
+TEST(BallView, VisibilityControlsStatesAndIds) {
+  auto g = share(graph::cycle(5));
+  const auto cfg = trivial_config(g);
+  const auto lab = numbered_labeling(5);
+  BallBuilder builder;
+
+  const BallView& strict =
+      builder.build(cfg, lab, 0, 2, local::Visibility::kCertificatesOnly);
+  for (const BallMember& m : strict.members()) {
+    EXPECT_EQ(m.state, nullptr);
+    EXPECT_FALSE(m.id_visible);
+    EXPECT_NE(m.cert, nullptr);
+  }
+
+  const BallView& extended =
+      builder.build(cfg, lab, 0, 2, local::Visibility::kExtended);
+  for (const BallMember& m : extended.members()) {
+    EXPECT_NE(m.state, nullptr);
+    EXPECT_TRUE(m.id_visible);
+    EXPECT_EQ(m.id, g->id(m.node));
+  }
+}
+
+}  // namespace
+}  // namespace pls::radius

@@ -1,0 +1,164 @@
+// run_verifier_t: t = 1 equivalence with the 1-round engine across the full
+// scheme registry, radius-invariance of 1-round decoders, input validation,
+// and t-round message accounting.
+#include "radius/engine_t.hpp"
+
+#include <gtest/gtest.h>
+
+#include "schemes/leader.hpp"
+#include "schemes/registry.hpp"
+#include "testing/helpers.hpp"
+
+namespace pls::radius {
+namespace {
+
+using core::Labeling;
+using core::Verdict;
+using pls::testing::share;
+
+std::shared_ptr<const graph::Graph> graph_for(
+    const schemes::SchemeEntry& entry, util::Rng& rng) {
+  if (entry.needs_weighted)
+    return share(
+        graph::reweight_random(graph::random_connected(12, 8, rng), rng));
+  if (entry.needs_bipartite) return share(graph::grid(2, 6));
+  return share(graph::random_connected(12, 8, rng));
+}
+
+Labeling random_labeling(std::size_t n, util::Rng& rng) {
+  Labeling lab;
+  for (std::size_t v = 0; v < n; ++v)
+    lab.certs.push_back(local::random_state(rng.below(96), rng));
+  return lab;
+}
+
+void expect_same_verdict(const Verdict& a, const Verdict& b,
+                         const std::string& label) {
+  ASSERT_EQ(a.accept().size(), b.accept().size()) << label;
+  for (std::size_t v = 0; v < a.accept().size(); ++v)
+    EXPECT_EQ(a.accept()[v], b.accept()[v]) << label << " node " << v;
+  EXPECT_EQ(a.rejections(), b.rejections()) << label;
+}
+
+// Property test over the whole registry: at t = 1 the radius engine is the
+// 1-round engine, on honest certificates, corrupted states, and garbage
+// certificates alike.
+TEST(EngineT, RadiusOneMatchesRunVerifierOnFullRegistry) {
+  util::Rng rng(20250'7);
+  for (const schemes::SchemeEntry& entry : schemes::standard_catalog()) {
+    auto g = graph_for(entry, rng);
+    const local::Configuration legal = entry.language->sample_legal(g, rng);
+    const Labeling honest = entry.scheme->mark(legal);
+
+    expect_same_verdict(core::run_verifier(*entry.scheme, legal, honest),
+                        run_verifier_t(*entry.scheme, legal, honest, 1),
+                        entry.label + "/honest");
+
+    const auto corrupted = local::corrupt_random_states(legal, 3, rng);
+    expect_same_verdict(
+        core::run_verifier(*entry.scheme, corrupted.config, honest),
+        run_verifier_t(*entry.scheme, corrupted.config, honest, 1),
+        entry.label + "/corrupted");
+
+    for (int trial = 0; trial < 10; ++trial) {
+      const Labeling garbage = random_labeling(legal.n(), rng);
+      expect_same_verdict(core::run_verifier(*entry.scheme, legal, garbage),
+                          run_verifier_t(*entry.scheme, legal, garbage, 1),
+                          entry.label + "/garbage");
+    }
+  }
+}
+
+// A 1-round decoder reads only layer 1: extra rounds must not change its
+// verdict.
+TEST(EngineT, PlainSchemesAreRadiusInvariant) {
+  util::Rng rng(311);
+  for (const schemes::SchemeEntry& entry : schemes::standard_catalog()) {
+    auto g = graph_for(entry, rng);
+    const local::Configuration legal = entry.language->sample_legal(g, rng);
+    const Labeling honest = entry.scheme->mark(legal);
+    const Verdict base = run_verifier_t(*entry.scheme, legal, honest, 1);
+    for (const unsigned t : {2u, 5u})
+      expect_same_verdict(base, run_verifier_t(*entry.scheme, legal, honest, t),
+                          entry.label);
+  }
+}
+
+TEST(EngineT, RadiusZeroIsInvalidInput) {
+  const schemes::LeaderLanguage language;
+  const schemes::LeaderScheme scheme(language);
+  auto g = share(graph::path(4));
+  const auto cfg = language.make_with_leader(g, 1);
+  const Labeling lab = scheme.mark(cfg);
+  EXPECT_THROW(run_verifier_t(scheme, cfg, lab, 0), std::logic_error);
+  EXPECT_THROW(completeness_holds_t(scheme, cfg, 0), std::logic_error);
+  EXPECT_THROW(verification_round_bits_t(scheme, cfg, lab, 0),
+               std::logic_error);
+}
+
+TEST(EngineT, LabelingSizeMismatchThrows) {
+  const schemes::LeaderLanguage language;
+  const schemes::LeaderScheme scheme(language);
+  auto g = share(graph::path(4));
+  const auto cfg = language.make_with_leader(g, 1);
+  Labeling wrong;
+  wrong.certs.assign(2, local::Certificate{});
+  EXPECT_THROW(run_verifier_t(scheme, cfg, wrong, 1), std::logic_error);
+}
+
+TEST(EngineT, CompletenessHoldsAcrossRadii) {
+  const schemes::LeaderLanguage language;
+  const schemes::LeaderScheme scheme(language);
+  auto g = share(graph::grid(3, 3));
+  const auto cfg = language.make_with_leader(g, 4);
+  for (const unsigned t : {1u, 2u, 4u, 16u})
+    EXPECT_TRUE(completeness_holds_t(scheme, cfg, t)) << "t=" << t;
+}
+
+TEST(EngineT, RoundBitsReduceToOneRoundAtTOne) {
+  util::Rng rng(509);
+  for (const schemes::SchemeEntry& entry : schemes::standard_catalog()) {
+    auto g = graph_for(entry, rng);
+    const local::Configuration legal = entry.language->sample_legal(g, rng);
+    const Labeling honest = entry.scheme->mark(legal);
+    EXPECT_EQ(verification_round_bits_t(*entry.scheme, legal, honest, 1),
+              core::verification_round_bits(*entry.scheme, legal, honest))
+        << entry.label;
+  }
+}
+
+// Hand-computed flooding volume on a path: round r forwards the payloads of
+// the distance-(r-1) layer across every incident edge.
+TEST(EngineT, RoundBitsFloodingOnPath) {
+  const schemes::LeaderLanguage language;
+  const schemes::LeaderScheme scheme(language);
+  auto g = share(graph::path(3));
+  const auto cfg = language.make_with_leader(g, 0);
+  const Labeling lab = scheme.mark(cfg);
+
+  auto payload = [&](graph::NodeIndex v) {
+    return lab.certs[v].bit_size() + cfg.state(v).bit_size() + 64;
+  };
+  const std::size_t p0 = payload(0), p1 = payload(1), p2 = payload(2);
+  // deg(0)=deg(2)=1, deg(1)=2; radius-1 balls: {0,1}, {0,1,2}, {1,2}.
+  const std::size_t expected =
+      1 * (p0 + p1) + 2 * (p0 + p1 + p2) + 1 * (p1 + p2);
+  EXPECT_EQ(verification_round_bits_t(scheme, cfg, lab, 2), expected);
+}
+
+TEST(EngineT, RoundBitsMonotoneInRadius) {
+  const schemes::LeaderLanguage language;
+  const schemes::LeaderScheme scheme(language);
+  auto g = share(graph::cycle(9));
+  const auto cfg = language.make_with_leader(g, 2);
+  const Labeling lab = scheme.mark(cfg);
+  std::size_t prev = 0;
+  for (const unsigned t : {1u, 2u, 3u, 4u}) {
+    const std::size_t bits = verification_round_bits_t(scheme, cfg, lab, t);
+    EXPECT_GT(bits, prev) << "t=" << t;
+    prev = bits;
+  }
+}
+
+}  // namespace
+}  // namespace pls::radius

@@ -88,8 +88,8 @@ TEST(AgreeScheme, BoundaryNodesRejectWithHonestHybrids) {
   for (int i = 0; i < 6; ++i) hybrid.certs.push_back(cfg.state(i));
   const core::Verdict verdict = core::run_verifier(scheme, cfg, hybrid);
   EXPECT_EQ(verdict.rejections(), 2u);
-  EXPECT_FALSE(verdict.accept[2]);
-  EXPECT_FALSE(verdict.accept[3]);
+  EXPECT_FALSE(verdict.accept()[2]);
+  EXPECT_FALSE(verdict.accept()[3]);
 }
 
 TEST(AgreeScheme, TamperedCertificateRejectsAtOwner) {

@@ -71,9 +71,9 @@ TEST(DominatingSet, UndominatedNodeRejectsItself) {
   core::Labeling empty;
   empty.certs.assign(5, local::Certificate{});
   const core::Verdict verdict = core::run_verifier(scheme, cfg, empty);
-  EXPECT_FALSE(verdict.accept[3]);
-  EXPECT_FALSE(verdict.accept[4]);
-  EXPECT_TRUE(verdict.accept[0]);
+  EXPECT_FALSE(verdict.accept()[3]);
+  EXPECT_FALSE(verdict.accept()[4]);
+  EXPECT_TRUE(verdict.accept()[0]);
   pls::testing::expect_sound(scheme, cfg, 13);
 }
 
@@ -203,9 +203,9 @@ TEST(Mis, ViolationsRejectedAtWitnessNodes) {
   core::Labeling empty;
   empty.certs.assign(4, local::Certificate{});
   const core::Verdict verdict = core::run_verifier(scheme, cfg, empty);
-  EXPECT_FALSE(verdict.accept[0]);  // member with member neighbor
-  EXPECT_FALSE(verdict.accept[1]);
-  EXPECT_FALSE(verdict.accept[3]);  // addable node
+  EXPECT_FALSE(verdict.accept()[0]);  // member with member neighbor
+  EXPECT_FALSE(verdict.accept()[1]);
+  EXPECT_FALSE(verdict.accept()[3]);  // addable node
   pls::testing::expect_sound(scheme, cfg, 53);
 }
 

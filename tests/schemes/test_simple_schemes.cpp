@@ -126,9 +126,9 @@ TEST(Coloring, MonochromaticEdgeRejectedAtBothEndpoints) {
   core::Labeling empty;
   empty.certs.assign(4, local::Certificate{});
   const core::Verdict verdict = core::run_verifier(scheme, cfg, empty);
-  EXPECT_FALSE(verdict.accept[1]);
-  EXPECT_FALSE(verdict.accept[2]);
-  EXPECT_TRUE(verdict.accept[0]);
+  EXPECT_FALSE(verdict.accept()[1]);
+  EXPECT_FALSE(verdict.accept()[2]);
+  EXPECT_TRUE(verdict.accept()[0]);
   // Certificates are irrelevant for a 0-bit scheme: the attack changes nothing.
   pls::testing::expect_sound(scheme, cfg, 17);
 }
