@@ -1,0 +1,212 @@
+// Experiment R2 — parse-once parallel verification at scale.
+//
+// The t-PLS tradeoff is only real if verification at large t is actually
+// cheap: this bench pits the pre-session reference engine (one ball at a
+// time, every ball certificate re-parsed at every center — the pre-PR hot
+// path) against VerificationSession (parse-once cache, merged BFS+CSR ball
+// construction, optional thread pool) on the spanning-tree spread at
+// n = 4096, t in {1, 2, 4, 8}, and emits the full time–size tradeoff curve
+// as JSON: certificate bits vs verification wall-time per engine.
+//
+// Verdict identity across baseline / sequential session / parallel session
+// is asserted for every row.  The headline t = 8 speedup is reported in the
+// JSON (t8_speedup_*); pass --require-speedup X to make the run fail unless
+// the sequential-session speedup reaches X (the acceptance gate is 10; it is
+// opt-in so a loaded CI host can't flake the smoke run).
+//
+// Usage: bench_verify_scale [--smoke] [--out FILE] [--threads T]
+//                           [--require-speedup X]
+//   --smoke             n = 1024 (CI-friendly); default n = 4096
+//   --out FILE          write the JSON there instead of stdout
+//   --threads T         parallel session thread count (default: hardware)
+//   --require-speedup X exit nonzero if t = 8 sequential speedup < X
+#include <chrono>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "radius/session.hpp"
+#include "radius/spread.hpp"
+#include "schemes/spanning_tree.hpp"
+#include "util/assert.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace pls;
+
+constexpr graph::RawId kIdSpace = graph::RawId{1} << 56;
+
+struct Row {
+  std::string scheme;
+  std::size_t n = 0;
+  unsigned t = 0;
+  std::size_t max_cert_bits = 0;
+  double avg_cert_bits = 0.0;
+  double baseline_ms = 0.0;     ///< pre-session engine (re-parse per ball)
+  double session_seq_ms = 0.0;  ///< session, threads = 1
+  double session_par_ms = 0.0;  ///< session, threads = T
+  unsigned threads = 1;
+  bool verdicts_identical = false;
+};
+
+double time_ms(const std::function<core::Verdict()>& run,
+               core::Verdict& out) {
+  const auto start = std::chrono::steady_clock::now();
+  out = run();
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(stop - start).count();
+}
+
+bool same_verdict(const core::Verdict& a, const core::Verdict& b) {
+  return a.accept() == b.accept();
+}
+
+Row measure(const core::Scheme& scheme, const local::Configuration& cfg,
+            unsigned t, unsigned threads) {
+  Row row;
+  row.scheme = std::string(scheme.name());
+  row.n = cfg.n();
+  row.t = t;
+  row.threads = threads;
+
+  const core::Labeling lab = scheme.mark(cfg);
+  row.max_cert_bits = lab.max_bits();
+  row.avg_cert_bits =
+      static_cast<double>(lab.total_bits()) / static_cast<double>(cfg.n());
+
+  core::Verdict baseline, seq, par;
+  row.baseline_ms = time_ms(
+      [&] { return radius::run_verifier_t_baseline(scheme, cfg, lab, t); },
+      baseline);
+  row.session_seq_ms = time_ms(
+      [&] {
+        radius::SessionOptions options;
+        options.threads = 1;
+        radius::VerificationSession session(scheme, cfg, t, options);
+        return session.run(lab);
+      },
+      seq);
+  row.session_par_ms = time_ms(
+      [&] {
+        radius::SessionOptions options;
+        options.threads = threads;
+        radius::VerificationSession session(scheme, cfg, t, options);
+        return session.run(lab);
+      },
+      par);
+
+  row.verdicts_identical =
+      same_verdict(baseline, seq) && same_verdict(baseline, par);
+  PLS_ASSERT(row.verdicts_identical);
+  PLS_ASSERT(baseline.all_accept());  // honest marking on a legal instance
+  return row;
+}
+
+double t8_speedup_sequential(const std::vector<Row>& rows) {
+  for (const Row& r : rows)
+    if (r.t == 8) return r.baseline_ms / r.session_seq_ms;
+  return 0.0;
+}
+
+void emit(std::ostream& out, const std::vector<Row>& rows) {
+  const double t8_speedup_seq = t8_speedup_sequential(rows);
+  double t8_speedup_par = 0.0;
+  for (const Row& r : rows)
+    if (r.t == 8) t8_speedup_par = r.baseline_ms / r.session_par_ms;
+  out << "{\n  \"bench\": \"verify_scale\",\n  \"id_space\": " << kIdSpace
+      << ",\n  \"t8_speedup_sequential\": " << t8_speedup_seq
+      << ",\n  \"t8_speedup_parallel\": " << t8_speedup_par
+      << ",\n  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    out << "    {\"scheme\": \"" << r.scheme << "\", \"n\": " << r.n
+        << ", \"t\": " << r.t << ", \"max_cert_bits\": " << r.max_cert_bits
+        << ", \"avg_cert_bits\": " << r.avg_cert_bits
+        << ", \"baseline_ms\": " << r.baseline_ms
+        << ", \"session_seq_ms\": " << r.session_seq_ms
+        << ", \"session_par_ms\": " << r.session_par_ms
+        << ", \"threads\": " << r.threads << ", \"verdicts_identical\": "
+        << (r.verdicts_identical ? "true" : "false") << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path;
+  unsigned threads = util::ThreadPool::hardware_threads();
+  double require_speedup = 0.0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--threads" && i + 1 < argc) {
+      threads = static_cast<unsigned>(std::stoul(argv[++i]));
+    } else if (arg == "--require-speedup" && i + 1 < argc) {
+      require_speedup = std::stod(argv[++i]);
+    } else {
+      std::cerr << "usage: bench_verify_scale [--smoke] [--out FILE] "
+                   "[--threads T] [--require-speedup X]\n";
+      return 2;
+    }
+  }
+
+  const std::size_t n = smoke ? 1024 : 4096;
+  util::Rng rng(0xBA11'5CA1Eull);
+  graph::Graph base_graph = graph::random_connected(n, n / 2, rng);
+  auto g = std::make_shared<const graph::Graph>(
+      graph::relabel_random(base_graph, rng, kIdSpace));
+
+  const schemes::StpLanguage language;
+  const schemes::StpScheme stp(language);
+  const local::Configuration cfg = language.sample_legal(g, rng);
+
+  std::vector<Row> rows;
+  for (const unsigned t : {1u, 2u, 4u, 8u}) {
+    if (t == 1) {
+      rows.push_back(measure(stp, cfg, 1, threads));
+    } else {
+      const radius::SpreadScheme spread(stp, t);
+      rows.push_back(measure(spread, cfg, t, threads));
+    }
+    const Row& r = rows.back();
+    std::cerr << r.scheme << " n=" << r.n << " t=" << r.t
+              << " max_bits=" << r.max_cert_bits
+              << " baseline_ms=" << r.baseline_ms
+              << " session_seq_ms=" << r.session_seq_ms
+              << " session_par_ms=" << r.session_par_ms << "\n";
+  }
+
+  if (out_path.empty()) {
+    emit(std::cout, rows);
+  } else {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::cerr << "cannot open " << out_path << "\n";
+      return 1;
+    }
+    emit(out, rows);
+    std::cout << "wrote " << out_path << "\n";
+  }
+
+  if (require_speedup > 0.0) {
+    const double speedup = t8_speedup_sequential(rows);
+    if (speedup < require_speedup) {
+      std::cerr << "FAIL: t=8 sequential speedup " << speedup << " < required "
+                << require_speedup << "\n";
+      return 1;
+    }
+    std::cerr << "t=8 sequential speedup " << speedup << " >= required "
+              << require_speedup << "\n";
+  }
+  return 0;
+}

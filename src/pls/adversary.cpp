@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
-#include "radius/engine_t.hpp"
+#include "radius/session.hpp"
 #include "util/assert.hpp"
 
 namespace pls::core {
@@ -43,9 +43,18 @@ AttackReport attack(const Scheme& scheme, const local::Configuration& cfg,
   AttackReport report;
   report.min_rejections = n + 1;  // sentinel: worse than any real verdict
 
+  // One verification session for the whole attack: thousands of candidate
+  // labelings are verified against the same (scheme, cfg, t) triple, so the
+  // session's ball scratch persists across them and each labeling's
+  // certificates are parsed once instead of once per ball.  Sequential
+  // (threads = 1): attack results must not depend on the host's core count,
+  // and the candidate labelings are evaluated in a serial hill-climb anyway.
   const unsigned t = effective_radius(scheme, options.rounds);
+  radius::SessionOptions session_options;
+  session_options.threads = 1;
+  radius::VerificationSession session(scheme, cfg, t, session_options);
   auto consider = [&](const Labeling& lab, const std::string& strategy) {
-    const Verdict verdict = radius::run_verifier_t(scheme, cfg, lab, t);
+    const Verdict verdict = session.run(lab);
     const std::size_t rej = verdict.rejections();
     if (rej < report.min_rejections) {
       report.min_rejections = rej;
@@ -102,11 +111,19 @@ AttackReport attack(const Scheme& scheme, const local::Configuration& cfg,
     }
   }
 
-  // 4. Random certificates.
+  // 4. Scheme-aware attacks: labelings the scheme itself declares as its
+  // structural failure modes (for spread schemes, the splice suite — two
+  // regions voting different prefixes, rotated residues, crossed chunks).
+  if (const auto* ball = dynamic_cast<const radius::BallScheme*>(&scheme)) {
+    for (radius::SchemeAttack& attack : ball->adversarial_labelings(cfg, rng))
+      consider(attack.labeling, attack.name);
+  }
+
+  // 5. Random certificates.
   for (std::size_t trial = 0; trial < options.random_trials; ++trial)
     consider(random_labeling(n, options.max_cert_bits, rng), "random");
 
-  // 5. Hill climbing from the best labeling found so far: replace one node's
+  // 6. Hill climbing from the best labeling found so far: replace one node's
   // certificate with a candidate drawn from (a) another node's certificate,
   // (b) a fresh legal marking, or (c) random bits; keep the move if the
   // rejection count does not increase.
@@ -135,8 +152,7 @@ AttackReport attack(const Scheme& scheme, const local::Configuration& cfg,
               local::random_state(rng.below(options.max_cert_bits + 1), rng);
           break;
       }
-      const std::size_t rej =
-          radius::run_verifier_t(scheme, cfg, current, t).rejections();
+      const std::size_t rej = session.run(current).rejections();
       if (rej <= current_rej) {
         current_rej = rej;
         if (rej < report.min_rejections) {
@@ -159,6 +175,9 @@ std::size_t exhaustive_min_rejections(const Scheme& scheme,
                                       std::size_t max_bits) {
   PLS_REQUIRE(max_bits <= 8);
   const unsigned t = effective_radius(scheme, 1);
+  radius::SessionOptions session_options;
+  session_options.threads = 1;
+  radius::VerificationSession session(scheme, cfg, t, session_options);
   // All bit strings of length 0..max_bits.
   std::vector<Certificate> alphabet;
   for (std::size_t len = 0; len <= max_bits; ++len)
@@ -176,8 +195,7 @@ std::size_t exhaustive_min_rejections(const Scheme& scheme,
   lab.certs.assign(n, Certificate{});
   while (true) {
     for (std::size_t v = 0; v < n; ++v) lab.certs[v] = alphabet[pick[v]];
-    best = std::min(best,
-                    radius::run_verifier_t(scheme, cfg, lab, t).rejections());
+    best = std::min(best, session.run(lab).rejections());
     if (best == 0) return 0;
     // Odometer increment.
     std::size_t v = 0;

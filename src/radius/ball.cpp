@@ -38,6 +38,8 @@ const BallView& BallBuilder::build(const local::Configuration& cfg,
   BallView& ball = ball_;
   ball.members_.clear();
   ball.layer_offsets_.assign(t + 2, 0);
+  ball.adj_offsets_.clear();
+  ball.adj_.clear();
   ball.radius_ = t;
   ball.whole_component_ = true;
 
@@ -46,43 +48,39 @@ const BallView& BallBuilder::build(const local::Configuration& cfg,
   ball.members_.push_back(make_member(center, 0, 1));
   ball.layer_offsets_[1] = 1;
 
-  // Layered BFS: the frontier of layer r is members_[offsets[r], offsets[r+1]).
-  for (unsigned r = 0; r < t; ++r) {
+  // Merged layered BFS + CSR pass.  Scanning member i at layer r touches each
+  // of its graph edges once: a neighbor at layer r-1 or r already has a slot
+  // (all of layer r was discovered while scanning layer r-1), a neighbor at
+  // layer r+1 gets its slot the moment it is discovered here, and a neighbor
+  // past the last layer (only possible at r == t) marks the ball as a strict
+  // subset of the component.  So each member's full CSR row — and the
+  // whole-component flag — fall out of the single scan, with no separate
+  // boundary or adjacency pass over the ball.
+  for (unsigned r = 0; r <= t; ++r) {
     const std::uint32_t begin = ball.layer_offsets_[r];
     const std::uint32_t end = ball.layer_offsets_[r + 1];
     for (std::uint32_t i = begin; i < end; ++i) {
       const graph::NodeIndex u = ball.members_[i].node;
+      ball.adj_offsets_.push_back(static_cast<std::uint32_t>(ball.adj_.size()));
       for (const graph::AdjEntry& a : g.adjacency(u)) {
-        if (visit_epoch_[a.to] == epoch_) continue;
-        visit_epoch_[a.to] = epoch_;
-        slot_[a.to] = static_cast<std::uint32_t>(ball.members_.size());
-        ball.members_.push_back(make_member(a.to, r + 1, g.weight(a.edge)));
+        if (visit_epoch_[a.to] == epoch_) {
+          ball.adj_.push_back(slot_[a.to]);
+        } else if (r < t) {
+          visit_epoch_[a.to] = epoch_;
+          const auto s = static_cast<std::uint32_t>(ball.members_.size());
+          slot_[a.to] = s;
+          ball.members_.push_back(make_member(a.to, r + 1, g.weight(a.edge)));
+          ball.adj_.push_back(s);
+        } else {
+          ball.whole_component_ = false;
+        }
       }
     }
-    ball.layer_offsets_[r + 2] = static_cast<std::uint32_t>(ball.members_.size());
+    if (r < t)
+      ball.layer_offsets_[r + 2] =
+          static_cast<std::uint32_t>(ball.members_.size());
   }
-
-  // Unexplored neighbors beyond the last layer mean the ball is a strict
-  // subset of the component.
-  for (const BallMember& m : ball.layer(t)) {
-    for (const graph::AdjEntry& a : g.adjacency(m.node))
-      if (visit_epoch_[a.to] != epoch_) {
-        ball.whole_component_ = false;
-        break;
-      }
-    if (!ball.whole_component_) break;
-  }
-
-  // Ball-internal adjacency in CSR form over member indices.
-  ball.adj_offsets_.assign(ball.members_.size() + 1, 0);
-  ball.adj_.clear();
-  for (std::uint32_t i = 0; i < ball.members_.size(); ++i) {
-    ball.adj_offsets_[i] = static_cast<std::uint32_t>(ball.adj_.size());
-    for (const graph::AdjEntry& a : g.adjacency(ball.members_[i].node))
-      if (visit_epoch_[a.to] == epoch_) ball.adj_.push_back(slot_[a.to]);
-  }
-  ball.adj_offsets_[ball.members_.size()] =
-      static_cast<std::uint32_t>(ball.adj_.size());
+  ball.adj_offsets_.push_back(static_cast<std::uint32_t>(ball.adj_.size()));
 
   return ball_;
 }

@@ -11,11 +11,16 @@
 // for the layer-1 bridge); a weighted radius-t scheme that compares
 // arbitrary intra-ball weights would need them added to the adjacency CSR.
 //
-// BallBuilder materializes balls by BFS over the configuration graph.  Its
-// scratch state (epoch-stamped visited marks, queues, member arrays) is
-// reused across calls, so an engine sweeping all n centers allocates O(n)
-// once instead of per ball; the returned BallView references that scratch
-// and is invalidated by the next build() call.
+// BallBuilder materializes balls by BFS over the configuration graph.  The
+// BFS and the ball-internal adjacency CSR are produced in one merged pass —
+// by the time a member is scanned, every in-ball neighbor already has (or
+// receives right then) its member slot, so each ball edge is touched exactly
+// once.  Scratch state (epoch-stamped visited marks, member arrays, CSR
+// buffers) persists across build() calls: a session sweeping adjacent
+// centers reuses the same allocations and epoch marks instead of rebuilding
+// the scratch from scratch, so an engine sweeping all n centers allocates
+// O(n) once instead of per ball.  The returned BallView references that
+// scratch and is invalidated by the next build() call.
 #pragma once
 
 #include <cstdint>
@@ -94,11 +99,28 @@ class BallBuilder {
                         graph::NodeIndex center, unsigned t,
                         local::Visibility mode);
 
+  /// Test hook: forces the epoch counter so the wraparound reset is
+  /// exercisable without 2^32 builds.  Not for production use.
+  void set_epoch_for_testing(std::uint32_t epoch) noexcept { epoch_ = epoch; }
+
  private:
   BallView ball_;
   std::vector<std::uint32_t> visit_epoch_;  // per node: epoch of last visit
   std::vector<std::uint32_t> slot_;         // per node: member index this epoch
   std::uint32_t epoch_ = 0;
+};
+
+/// Base class for scheme-defined parsed certificates (the parse-once cache of
+/// VerificationSession).  A BallScheme that overrides parse_cert returns its
+/// own subclass; the session parses each node's certificate exactly once and
+/// hands the per-node results to every verify_ball call through
+/// RadiusContext::parsed.
+class ParsedCert {
+ public:
+  virtual ~ParsedCert() = default;
+
+ protected:
+  ParsedCert() = default;
 };
 
 /// The full verifier input for one t-round evaluation: the center's own data
@@ -108,13 +130,15 @@ class RadiusContext {
   RadiusContext(const BallView& ball, graph::RawId center_id,
                 const local::State& center_state,
                 const local::Certificate& center_cert, local::Visibility mode,
-                std::size_t network_size)
+                std::size_t network_size,
+                std::span<const ParsedCert* const> parsed_by_node = {})
       : ball_(&ball),
         id_(center_id),
         state_(&center_state),
         cert_(&center_cert),
         mode_(mode),
-        network_size_(network_size) {}
+        network_size_(network_size),
+        parsed_(parsed_by_node) {}
 
   const BallView& ball() const noexcept { return *ball_; }
 
@@ -125,6 +149,18 @@ class RadiusContext {
   local::Visibility mode() const noexcept { return mode_; }
   std::size_t network_size() const noexcept { return network_size_; }
 
+  /// Parse-once cache (VerificationSession): true when every node's
+  /// certificate was pre-parsed by the scheme's parse_cert hook.
+  bool has_parse_cache() const noexcept { return !parsed_.empty(); }
+
+  /// The cached parse of node v's certificate; nullptr means parse_cert
+  /// rejected it as malformed (the scheme decides what that implies for the
+  /// ball's verdict).  Requires has_parse_cache().
+  const ParsedCert* parsed(graph::NodeIndex v) const {
+    PLS_REQUIRE(v < parsed_.size());
+    return parsed_[v];
+  }
+
  private:
   const BallView* ball_;
   graph::RawId id_;
@@ -132,6 +168,7 @@ class RadiusContext {
   const local::Certificate* cert_;
   local::Visibility mode_;
   std::size_t network_size_;
+  std::span<const ParsedCert* const> parsed_;
 };
 
 }  // namespace pls::radius

@@ -1,5 +1,6 @@
 #include "radius/engine_t.hpp"
 
+#include "radius/session.hpp"
 #include "util/assert.hpp"
 
 namespace pls::radius {
@@ -10,9 +11,31 @@ bool BallScheme::verify(const local::VerifierContext&) const {
       __FILE__, __LINE__);
 }
 
+std::unique_ptr<ParsedCert> BallScheme::parse_cert(
+    const local::Certificate&) const {
+  util::contract_failure(
+      "precondition", "parse_cert called on a scheme without a cert parser",
+      __FILE__, __LINE__);
+}
+
+std::vector<SchemeAttack> BallScheme::adversarial_labelings(
+    const local::Configuration&, util::Rng&) const {
+  return {};
+}
+
 core::Verdict run_verifier_t(const core::Scheme& scheme,
                              const local::Configuration& cfg,
                              const core::Labeling& labeling, unsigned t) {
+  SessionOptions options;
+  options.threads = 1;
+  VerificationSession session(scheme, cfg, t, options);
+  return session.run(labeling);
+}
+
+core::Verdict run_verifier_t_baseline(const core::Scheme& scheme,
+                                      const local::Configuration& cfg,
+                                      const core::Labeling& labeling,
+                                      unsigned t) {
   PLS_REQUIRE(t >= 1);
   PLS_REQUIRE(labeling.size() == cfg.n());
   const auto* ball_scheme = dynamic_cast<const BallScheme*>(&scheme);

@@ -17,10 +17,23 @@
 //     verification_round_bits at t = 1.
 #pragma once
 
+#include <memory>
+#include <string>
+#include <vector>
+
 #include "pls/engine.hpp"
 #include "radius/ball.hpp"
+#include "util/rng.hpp"
 
 namespace pls::radius {
+
+/// A scheme-aware adversarial labeling: a strategy label plus the
+/// certificates it assigns.  Produced by BallScheme::adversarial_labelings
+/// and fed through the attack suite (pls/adversary.hpp).
+struct SchemeAttack {
+  std::string name;
+  core::Labeling labeling;
+};
 
 /// A scheme whose decoder reads a radius-t ball instead of the 1-hop view.
 class BallScheme : public core::Scheme {
@@ -31,16 +44,51 @@ class BallScheme : public core::Scheme {
   /// The decoder, run independently at every center.
   virtual bool verify_ball(const RadiusContext& ctx) const = 0;
 
+  /// Parse-once hook.  A scheme that returns true here must override
+  /// parse_cert; VerificationSession then parses every node's certificate
+  /// exactly once per labeling and exposes the results to verify_ball via
+  /// RadiusContext::parsed, instead of each of the O(n) overlapping balls
+  /// re-parsing the same certificates.
+  virtual bool has_cert_parser() const noexcept { return false; }
+
+  /// Parses one certificate into the scheme's own ParsedCert subclass;
+  /// nullptr means malformed (the scheme's verify_ball decides what a
+  /// malformed member implies — for every scheme so far, reject).  Must be
+  /// thread-safe: the session parses nodes in parallel.
+  virtual std::unique_ptr<ParsedCert> parse_cert(
+      const local::Certificate& cert) const;
+
+  /// Scheme-aware adversarial labelings for the attack suite: labelings
+  /// that target the scheme's own structural invariants, beyond what the
+  /// generic strategies can construct.  The adversary mounts every returned
+  /// labeling.  Default: none.
+  virtual std::vector<SchemeAttack> adversarial_labelings(
+      const local::Configuration& cfg, util::Rng& rng) const;
+
   /// Ball schemes cannot run in the 1-round engine; use run_verifier_t.
   bool verify(const local::VerifierContext&) const override;
 };
 
 /// Runs the verifier at every node over radius-t balls.  Requires t >= 1
 /// (t = 0 is invalid input), and t >= scheme.radius() for ball schemes (the
-/// decoder is evaluated on exactly its declared radius).
+/// decoder is evaluated on exactly its declared radius).  This is the
+/// sequential path: it delegates to a single-threaded VerificationSession
+/// (session.hpp), so it still benefits from the parse-once cache; callers
+/// that sweep many labelings over one configuration, or want the thread
+/// pool, should hold a VerificationSession directly.
 core::Verdict run_verifier_t(const core::Scheme& scheme,
                              const local::Configuration& cfg,
                              const core::Labeling& labeling, unsigned t);
+
+/// The pre-session reference engine: one ball at a time, no parse cache, no
+/// threading — every ball certificate is re-parsed at every center.  Kept as
+/// the differential-testing oracle and the benchmark baseline
+/// (bench_verify_scale measures the session against it).  Verdicts are
+/// bit-identical to run_verifier_t and the session at every thread count.
+core::Verdict run_verifier_t_baseline(const core::Scheme& scheme,
+                                      const local::Configuration& cfg,
+                                      const core::Labeling& labeling,
+                                      unsigned t);
 
 /// Completeness at radius t: marks cfg (must be legal), verifies all-accept.
 bool completeness_holds_t(const core::Scheme& scheme,

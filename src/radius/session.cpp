@@ -1,0 +1,86 @@
+#include "radius/session.hpp"
+
+#include "util/assert.hpp"
+
+namespace pls::radius {
+
+VerificationSession::VerificationSession(const core::Scheme& scheme,
+                                         const local::Configuration& cfg,
+                                         unsigned t, SessionOptions options)
+    : scheme_(scheme),
+      ball_scheme_(dynamic_cast<const BallScheme*>(&scheme)),
+      cfg_(cfg),
+      t_(t),
+      threads_(options.threads == 0 ? util::ThreadPool::hardware_threads()
+                                    : options.threads) {
+  PLS_REQUIRE(t >= 1);
+  if (ball_scheme_ != nullptr) PLS_REQUIRE(t >= ball_scheme_->radius());
+  if (threads_ > 1) pool_ = std::make_unique<util::ThreadPool>(threads_);
+  slots_.resize(threads_);
+}
+
+core::Verdict VerificationSession::run(const core::Labeling& labeling) {
+  PLS_REQUIRE(labeling.size() == cfg_.n());
+  const graph::Graph& g = cfg_.graph();
+  const std::size_t n = cfg_.n();
+  accept_.assign(n, 0);
+
+  // for_range with a 1-thread pool-less session degenerates to fn(0, 0, n)
+  // on the calling thread: the sequential fallback shares this exact code.
+  const auto sweep = [&](const util::ThreadPool::RangeFn& fn) {
+    if (pool_ != nullptr) {
+      pool_->for_range(n, fn);
+    } else if (n > 0) {
+      fn(0, 0, n);
+    }
+  };
+
+  if (ball_scheme_ == nullptr) {
+    // Plain 1-round scheme: the shared per-node routine, per-slot scratch.
+    sweep([&](unsigned worker, std::size_t begin, std::size_t end) {
+      std::vector<local::NeighborView>& scratch = slots_[worker].views;
+      for (std::size_t v = begin; v < end; ++v)
+        accept_[v] = core::detail::verify_one_round_at(
+            scheme_, cfg_, labeling, static_cast<graph::NodeIndex>(v),
+            scratch);
+    });
+  } else {
+    // Phase 1 — parse-once: each node's certificate parsed exactly once per
+    // labeling, in parallel (parse_cert is independent per node).
+    std::span<const ParsedCert* const> cache;
+    if (ball_scheme_->has_cert_parser()) {
+      parsed_storage_.clear();
+      parsed_storage_.resize(n);
+      parsed_.assign(n, nullptr);
+      sweep([&](unsigned, std::size_t begin, std::size_t end) {
+        for (std::size_t v = begin; v < end; ++v) {
+          parsed_storage_[v] = ball_scheme_->parse_cert(labeling.certs[v]);
+          parsed_[v] = parsed_storage_[v].get();
+        }
+      });
+      cache = parsed_;
+    }
+
+    // Phase 2 — per-center ball verification.  Each slot's BallBuilder
+    // sweeps the adjacent centers of its contiguous slice, reusing its
+    // scratch between them.
+    const unsigned radius = ball_scheme_->radius();
+    const local::Visibility mode = scheme_.visibility();
+    sweep([&](unsigned worker, std::size_t begin, std::size_t end) {
+      BallBuilder& builder = slots_[worker].builder;
+      for (std::size_t i = begin; i < end; ++i) {
+        const auto v = static_cast<graph::NodeIndex>(i);
+        const BallView& ball = builder.build(cfg_, labeling, v, radius, mode);
+        const RadiusContext ctx(ball, g.id(v), cfg_.state(v),
+                                labeling.certs[v], mode, n, cache);
+        accept_[i] = ball_scheme_->verify_ball(ctx);
+      }
+    });
+  }
+
+  std::vector<bool> accept(n);
+  for (std::size_t v = 0; v < n; ++v) accept[v] = accept_[v] != 0;
+  return core::Verdict(std::move(accept));
+}
+
+}  // namespace pls::radius

@@ -1,0 +1,148 @@
+#include "radius/splice.hpp"
+
+#include <optional>
+#include <utility>
+
+#include "graph/algorithms.hpp"
+#include "radius/spread_wire.hpp"
+#include "util/assert.hpp"
+
+namespace pls::radius {
+
+namespace {
+
+using detail::SpreadWire;
+
+/// Region mask: the half of each component nearest a random seed node (by
+/// BFS distance), so both regions are connected-ish and the seam is a
+/// plausible frontier an adversary would pick.
+std::vector<bool> near_region(const graph::Graph& g, util::Rng& rng) {
+  const std::size_t n = g.n();
+  std::vector<bool> near(n, false);
+  if (n == 0) return near;
+  const graph::Components comps = graph::connected_components(g);
+  std::vector<std::uint32_t> dist(n, 0);
+  std::vector<std::uint32_t> max_dist(comps.count, 0);
+  const auto seed = static_cast<graph::NodeIndex>(rng.below(n));
+  for (std::size_t c = 0; c < comps.count; ++c) {
+    const graph::NodeIndex root =
+        comps.comp[seed] == c ? seed : [&] {
+          for (graph::NodeIndex v = 0; v < n; ++v)
+            if (comps.comp[v] == c) return v;
+          return graph::kInvalidNode;
+        }();
+    const graph::BfsResult bfs = graph::bfs(g, root);
+    for (graph::NodeIndex v = 0; v < n; ++v) {
+      if (comps.comp[v] != c) continue;
+      dist[v] = bfs.dist[v];
+      max_dist[c] = std::max(max_dist[c], bfs.dist[v]);
+    }
+  }
+  for (graph::NodeIndex v = 0; v < n; ++v)
+    near[v] = dist[v] <= max_dist[comps.comp[v]] / 2;
+  return near;
+}
+
+/// Parses every certificate of a (marker-produced) labeling; the marker's
+/// output always parses, so this asserts rather than rejects.
+std::vector<SpreadWire> parse_all(const core::Labeling& lab) {
+  std::vector<SpreadWire> wires;
+  wires.reserve(lab.size());
+  for (const local::Certificate& c : lab.certs) {
+    auto p = detail::parse_wire(c);
+    PLS_ASSERT(p.has_value());
+    wires.push_back(std::move(*p));
+  }
+  return wires;
+}
+
+core::Labeling encode_all(const std::vector<SpreadWire>& wires) {
+  core::Labeling lab;
+  lab.certs.reserve(wires.size());
+  for (const SpreadWire& w : wires) lab.certs.push_back(detail::encode_wire(w));
+  return lab;
+}
+
+}  // namespace
+
+std::vector<SpliceAttack> splice_attacks(const SpreadScheme& scheme,
+                                         const local::Configuration& cfg,
+                                         util::Rng& rng) {
+  const graph::Graph& g = cfg.graph();
+  const std::size_t n = g.n();
+  std::vector<SpliceAttack> out;
+  if (n == 0) return out;
+
+  core::Labeling mark_a;
+  core::Labeling mark_b;
+  try {
+    mark_a = scheme.mark(scheme.language().sample_legal(cfg.graph_ptr(), rng));
+    mark_b = scheme.mark(scheme.language().sample_legal(cfg.graph_ptr(), rng));
+  } catch (const std::logic_error&) {
+    return out;  // language not constructible on this graph
+  }
+
+  const std::vector<bool> region = near_region(g, rng);
+  const std::vector<SpreadWire> wires_a = parse_all(mark_a);
+  const std::vector<SpreadWire> wires_b = parse_all(mark_b);
+
+  // Two regions voting different reassembled prefixes: region A carries
+  // instance A's spread certificates verbatim, region B instance B's.
+  {
+    core::Labeling lab;
+    lab.certs.reserve(n);
+    for (graph::NodeIndex v = 0; v < n; ++v)
+      lab.certs.push_back(region[v] ? mark_a.certs[v] : mark_b.certs[v]);
+    out.push_back({"region-prefix", std::move(lab)});
+  }
+
+  // Chunks and residues of A, residual suffixes of B: the reassembled prefix
+  // is globally consistent but disagrees with the suffixes it is glued to.
+  {
+    std::vector<SpreadWire> wires = wires_a;
+    for (graph::NodeIndex v = 0; v < n; ++v) wires[v].suffix = wires_b[v].suffix;
+    out.push_back({"suffix-crossbreed", encode_all(wires)});
+  }
+
+  // Rotated residue assignment, regional and global: residues still change
+  // by at most one across every edge, but the chunk a node carries belongs
+  // to the class it previously claimed — any ball that reassembles across
+  // the rotation stitches prefix bits into the wrong positions.
+  {
+    std::vector<SpreadWire> wires = wires_a;
+    for (graph::NodeIndex v = 0; v < n; ++v)
+      if (!region[v]) wires[v].residue = (wires[v].residue + 1) % wires[v].k;
+    out.push_back({"residue-rotate-region", encode_all(wires)});
+  }
+  {
+    std::vector<SpreadWire> wires = wires_a;
+    for (graph::NodeIndex v = 0; v < n; ++v)
+      wires[v].residue = (wires[v].residue + 1) % wires[v].k;
+    out.push_back({"residue-rotate-global", encode_all(wires)});
+  }
+
+  // Chunk payloads of residue classes 0 and 1 swapped everywhere: each class
+  // stays internally consistent, but the reassembled prefix is a
+  // transposition of the real one.
+  {
+    std::vector<SpreadWire> wires = wires_a;
+    std::optional<util::BitString> class0;
+    std::optional<util::BitString> class1;
+    for (const SpreadWire& w : wires) {
+      if (w.k < 2) continue;
+      if (w.residue == 0 && !class0) class0 = w.chunk;
+      if (w.residue == 1 && !class1) class1 = w.chunk;
+    }
+    if (class0 && class1) {
+      for (SpreadWire& w : wires) {
+        if (w.residue == 0) w.chunk = *class1;
+        if (w.residue == 1) w.chunk = *class0;
+      }
+      out.push_back({"chunk-crosswire", encode_all(wires)});
+    }
+  }
+
+  return out;
+}
+
+}  // namespace pls::radius

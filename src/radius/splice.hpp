@@ -1,0 +1,48 @@
+// Splice attacks on certificate spreading.
+//
+// SpreadScheme's soundness story has one structurally novel obligation the
+// generic adversary strategies don't probe: the reassembled shared prefix
+// must be *consistent across overlapping balls*.  The error-sensitivity
+// literature (Feuilloley–Fraigniaud) frames exactly this failure mode:
+// adversarial certificates that are locally well-formed everywhere but
+// splice two incompatible global claims together.  This module builds such
+// labelings deliberately:
+//
+//   * region-prefix:     two graph regions carry the spread markings of two
+//                        different legal instances — two regions voting
+//                        different reassembled prefixes;
+//   * suffix-crossbreed: chunks/residues of one legal marking, residual
+//                        suffixes of another;
+//   * residue-rotate     (regional and global): every certificate keeps its
+//                        chunk but claims the cyclically-next residue class,
+//                        so balls reassemble a rotated — wrong — prefix
+//                        while residues still look like BFS distances;
+//   * chunk-crosswire:   the payloads of two residue classes are swapped
+//                        globally, a transposition of the prefix bits that
+//                        is internally consistent per class.
+//
+// Every attack is a labeling the t-round engine must reject somewhere when
+// the configuration is illegal; the adversary suite (pls/adversary.hpp)
+// feeds them through `attack` automatically for spread schemes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "radius/spread.hpp"
+#include "util/rng.hpp"
+
+namespace pls::radius {
+
+/// Splice attacks are the spread scheme's SchemeAttack suite (the adversary
+/// mounts them through BallScheme::adversarial_labelings).
+using SpliceAttack = SchemeAttack;
+
+/// Builds the splice-attack labelings for `scheme` on cfg's graph.  Returns
+/// an empty vector when the base language is not constructible there (no
+/// legal instance to splice from).
+std::vector<SpliceAttack> splice_attacks(const SpreadScheme& scheme,
+                                         const local::Configuration& cfg,
+                                         util::Rng& rng);
+
+}  // namespace pls::radius

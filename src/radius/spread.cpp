@@ -1,94 +1,39 @@
 #include "radius/spread.hpp"
 
 #include <algorithm>
-#include <optional>
 #include <unordered_map>
 
 #include "graph/algorithms.hpp"
+#include "radius/splice.hpp"
+#include "radius/spread_wire.hpp"
 #include "util/assert.hpp"
 
 namespace pls::radius {
 
 namespace {
 
-constexpr unsigned kChunkCountField = 6;  // k fits in 6 bits: k in [1, 63]
+using detail::bit_at;
+using detail::chunk_size;
+using detail::kChunkCountField;
+using detail::SpreadWire;
 
-/// Bit i of a BitString (stream order: bit i lives in byte i/8, position i%8).
-bool bit_at(const util::BitString& s, std::size_t i) {
-  return (s.bytes()[i / 8] >> (i % 8)) & 1;
-}
-
-/// Length of the longest common prefix of two bit strings.
-std::size_t lcp_bits(const util::BitString& a, const util::BitString& b) {
-  const std::size_t limit = std::min(a.bit_size(), b.bit_size());
-  std::size_t i = 0;
-  // Whole equal bytes first, then the mismatching byte bit by bit.
-  while (i + 8 <= limit && a.bytes()[i / 8] == b.bytes()[i / 8]) i += 8;
-  while (i < limit && bit_at(a, i) == bit_at(b, i)) ++i;
-  return i;
-}
-
-/// Encoded size of a varint (8 bits per 7-bit payload group).
-std::size_t varint_bits(std::uint64_t value) {
-  return 8 * ((std::max<unsigned>(util::bit_width_for(value), 1) + 6) / 7);
-}
-
-/// Reads exactly `nbits` bits; nullopt when the reader runs dry.
-std::optional<util::BitString> read_bits(util::BitReader& r,
-                                         std::size_t nbits) {
-  if (r.remaining() < nbits) return std::nullopt;
-  util::BitWriter w;
-  std::size_t left = nbits;
-  while (left > 0) {
-    const unsigned take = static_cast<unsigned>(std::min<std::size_t>(left, 64));
-    const auto chunk = r.read_uint(take);
-    if (!chunk) return std::nullopt;
-    w.write_uint(*chunk, take);
-    left -= take;
-  }
-  return util::BitString::from_writer(std::move(w));
-}
-
-/// Bits [from, from+len) of `s` as a fresh bit string.
-util::BitString slice(const util::BitString& s, std::size_t from,
-                      std::size_t len) {
-  PLS_ASSERT(from + len <= s.bit_size());
-  util::BitWriter w;
-  for (std::size_t i = 0; i < len; ++i) w.write_bit(bit_at(s, from + i));
-  return util::BitString::from_writer(std::move(w));
-}
-
-/// Number of indices i < total with i % k == j.
-std::size_t chunk_size(std::size_t total, std::size_t k, std::size_t j) {
-  return total > j ? (total - 1 - j) / k + 1 : 0;
-}
-
-struct ParsedSpread {
-  std::uint64_t k = 0;
-  std::uint64_t residue = 0;
-  util::BitString suffix;
-  util::BitString chunk;
+/// The session's cached parse of one spread certificate.
+struct SpreadParsed final : ParsedCert {
+  explicit SpreadParsed(SpreadWire w) : wire(std::move(w)) {}
+  SpreadWire wire;
 };
 
-std::optional<ParsedSpread> parse(const local::Certificate& c) {
-  util::BitReader r = c.reader();
-  ParsedSpread p;
-  const auto k = r.read_uint(kChunkCountField);
-  if (!k || *k == 0) return std::nullopt;
-  p.k = *k;
-  const auto residue = r.read_uint(util::bit_width_for(p.k - 1));
-  if (!residue || *residue >= p.k) return std::nullopt;
-  p.residue = *residue;
-  const auto suffix_len = r.read_varint();
-  if (!suffix_len) return std::nullopt;
-  auto suffix = read_bits(r, *suffix_len);
-  if (!suffix) return std::nullopt;
-  p.suffix = std::move(*suffix);
-  auto chunk = read_bits(r, r.remaining());
-  PLS_ASSERT(chunk.has_value());
-  p.chunk = std::move(*chunk);
-  return p;
-}
+/// Per-thread scratch for verify_ball: the engine calls it once per center,
+/// so reusing these buffers across the O(n) adjacent centers of a sweep
+/// removes every per-ball allocation from the hot path.  Thread-local keeps
+/// the parallel session race-free without sharing state between slots.
+struct VerifyScratch {
+  std::vector<const SpreadWire*> parsed;
+  std::vector<SpreadWire> local_parses;
+  std::vector<const util::BitString*> chunk_of;
+  std::vector<local::Certificate> neighbor_certs;
+  std::vector<local::NeighborView> views;
+};
 
 }  // namespace
 
@@ -96,6 +41,20 @@ SpreadScheme::SpreadScheme(const core::Scheme& base, unsigned t)
     : base_(base), t_(t) {
   PLS_REQUIRE(t >= 1 && t <= 63);
   name_ = "spread(t=" + std::to_string(t) + ")/" + std::string(base.name());
+}
+
+std::unique_ptr<ParsedCert> SpreadScheme::parse_cert(
+    const local::Certificate& cert) const {
+  auto wire = detail::parse_wire(cert);
+  if (!wire) return nullptr;
+  return std::make_unique<SpreadParsed>(std::move(*wire));
+}
+
+std::vector<SchemeAttack> SpreadScheme::adversarial_labelings(
+    const local::Configuration& cfg, util::Rng& rng) const {
+  std::vector<SchemeAttack> attacks = splice_attacks(*this, cfg, rng);
+  for (SchemeAttack& attack : attacks) attack.name = "splice:" + attack.name;
+  return attacks;
 }
 
 core::Labeling SpreadScheme::mark(const local::Configuration& cfg) const {
@@ -108,7 +67,8 @@ core::Labeling SpreadScheme::mark(const local::Configuration& cfg) const {
   // Longest common prefix X of all base certificates.
   std::size_t prefix_len = base_lab.certs.front().bit_size();
   for (const local::Certificate& c : base_lab.certs)
-    prefix_len = std::min(prefix_len, lcp_bits(base_lab.certs.front(), c));
+    prefix_len = std::min(prefix_len,
+                          detail::lcp_bits(base_lab.certs.front(), c));
 
   // Per-component landmark (minimum-id node) and BFS distances from it.
   const graph::Components comps = graph::connected_components(g);
@@ -155,17 +115,14 @@ core::Labeling SpreadScheme::mark(const local::Configuration& cfg) const {
     const std::size_t c = comps.comp[v];
     const std::size_t k = k_of[c];
     const std::size_t j = dist[v] % k;
-    const util::BitString suffix =
-        slice(base_lab.certs[v], prefix_len,
-              base_lab.certs[v].bit_size() - prefix_len);
-    util::BitWriter w;
-    w.write_uint(k, kChunkCountField);
-    w.write_uint(j, util::bit_width_for(k - 1));
-    w.write_varint(suffix.bit_size());
-    w.write_bits(suffix.bytes(), suffix.bit_size());
-    const util::BitString& chunk = chunks_by_k.at(k)[j];
-    w.write_bits(chunk.bytes(), chunk.bit_size());
-    lab.certs.push_back(local::Certificate::from_writer(std::move(w)));
+    SpreadWire wire;
+    wire.k = k;
+    wire.residue = j;
+    wire.suffix = detail::slice_bits(
+        base_lab.certs[v], prefix_len,
+        base_lab.certs[v].bit_size() - prefix_len);
+    wire.chunk = chunks_by_k.at(k)[j];
+    lab.certs.push_back(detail::encode_wire(wire));
   }
   return lab;
 }
@@ -174,16 +131,35 @@ bool SpreadScheme::verify_ball(const RadiusContext& ctx) const {
   const BallView& ball = ctx.ball();
   const std::span<const BallMember> members = ball.members();
 
-  // Parse every ball certificate; agree on the chunk count.
-  std::vector<ParsedSpread> parsed(members.size());
-  for (std::size_t i = 0; i < members.size(); ++i) {
-    auto p = parse(*members[i].cert);
-    if (!p) return false;
-    parsed[i] = std::move(*p);
+  static thread_local VerifyScratch scratch;
+
+  // Certificates of the ball, parsed at most once per node: through the
+  // session's shared cache when present, locally otherwise.
+  std::vector<const SpreadWire*>& parsed = scratch.parsed;
+  parsed.assign(members.size(), nullptr);
+  if (ctx.has_parse_cache()) {
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      const auto* p = static_cast<const SpreadParsed*>(ctx.parsed(members[i].node));
+      if (p == nullptr) return false;  // malformed certificate in the ball
+      parsed[i] = &p->wire;
+    }
+  } else {
+    std::vector<SpreadWire>& local_parses = scratch.local_parses;
+    local_parses.clear();
+    local_parses.reserve(members.size());
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      auto p = detail::parse_wire(*members[i].cert);
+      if (!p) return false;
+      local_parses.push_back(std::move(*p));
+    }
+    for (std::size_t i = 0; i < members.size(); ++i)
+      parsed[i] = &local_parses[i];
   }
-  const std::uint64_t k = parsed.front().k;
-  for (const ParsedSpread& p : parsed)
-    if (p.k != k) return false;
+
+  // Agree on the chunk count.
+  const std::uint64_t k = parsed.front()->k;
+  for (const SpreadWire* p : parsed)
+    if (p->k != k) return false;
 
   // Adjacent residues must be cyclically consecutive (distances from the
   // landmark differ by at most 1 across an edge).
@@ -191,17 +167,18 @@ bool SpreadScheme::verify_ball(const RadiusContext& ctx) const {
     for (const std::uint32_t nb : ball.neighbors_of(i)) {
       if (nb <= i) continue;
       const std::uint64_t diff =
-          (parsed[i].residue + k - parsed[nb].residue) % k;
+          (parsed[i]->residue + k - parsed[nb]->residue) % k;
       if (diff != 0 && diff != 1 && diff != k - 1) return false;
     }
 
   // Chunk-class agreement and coverage.
-  std::vector<const util::BitString*> chunk_of(k, nullptr);
-  for (const ParsedSpread& p : parsed) {
-    const util::BitString*& slot = chunk_of[p.residue];
+  std::vector<const util::BitString*>& chunk_of = scratch.chunk_of;
+  chunk_of.assign(k, nullptr);
+  for (const SpreadWire* p : parsed) {
+    const util::BitString*& slot = chunk_of[p->residue];
     if (slot == nullptr) {
-      slot = &p.chunk;
-    } else if (*slot != p.chunk) {
+      slot = &p->chunk;
+    } else if (*slot != p->chunk) {
       return false;
     }
   }
@@ -221,21 +198,23 @@ bool SpreadScheme::verify_ball(const RadiusContext& ctx) const {
 
   // Reconstruct the base certificates of the 1-hop neighborhood and run the
   // base decoder on them.
-  auto reconstruct = [&](const ParsedSpread& p) {
+  auto reconstruct = [&](const SpreadWire& p) {
     util::BitWriter w;
     w.write_bits(prefix.bytes(), prefix.bit_size());
     w.write_bits(p.suffix.bytes(), p.suffix.bit_size());
     return local::Certificate::from_writer(std::move(w));
   };
-  const local::Certificate own = reconstruct(parsed.front());
+  const local::Certificate own = reconstruct(*parsed.front());
   const std::span<const BallMember> layer1 = ball.layer(1);
-  std::vector<local::Certificate> neighbor_certs;
+  std::vector<local::Certificate>& neighbor_certs = scratch.neighbor_certs;
+  neighbor_certs.clear();
   neighbor_certs.reserve(layer1.size());
   // Members are in BFS order: layer 1 starts at member index 1.
   for (std::size_t i = 0; i < layer1.size(); ++i)
-    neighbor_certs.push_back(reconstruct(parsed[1 + i]));
+    neighbor_certs.push_back(reconstruct(*parsed[1 + i]));
 
-  std::vector<local::NeighborView> views;
+  std::vector<local::NeighborView>& views = scratch.views;
+  views.clear();
   views.reserve(layer1.size());
   for (std::size_t i = 0; i < layer1.size(); ++i) {
     local::NeighborView nv;
@@ -257,9 +236,12 @@ std::size_t SpreadScheme::proof_size_bound(std::size_t n,
                                            std::size_t state_bits) const {
   // suffix + chunk never exceed a full base certificate (the chunk is at
   // most the factored prefix, the suffix is the rest), so the spread adds
-  // only the header: k, residue, suffix length.
+  // only the header: k, residue, suffix length.  The residue field is
+  // bit_width(k-1) wide with k <= t/2 + 1, so its bound is bit_width(t/2) —
+  // not the 6-bit worst case of the k field itself.
   const std::size_t base = base_.proof_size_bound(n, state_bits);
-  return kChunkCountField + util::bit_width_for(62) + varint_bits(base) + base;
+  return kChunkCountField + util::bit_width_for(t_ / 2) +
+         detail::varint_bits(base) + base;
 }
 
 }  // namespace pls::radius

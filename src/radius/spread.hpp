@@ -54,6 +54,18 @@ class SpreadScheme final : public BallScheme {
   std::size_t proof_size_bound(std::size_t n,
                                std::size_t state_bits) const override;
 
+  /// Parse-once support (session.hpp): the wire format is parsed per node
+  /// exactly once per labeling; verify_ball reads the shared cache and only
+  /// falls back to parsing locally when run without a session cache.
+  bool has_cert_parser() const noexcept override { return true; }
+  std::unique_ptr<ParsedCert> parse_cert(
+      const local::Certificate& cert) const override;
+
+  /// The splice attack suite (splice.hpp): region-spliced prefixes, rotated
+  /// residues, crossed chunks — the reassembly-specific failure modes.
+  std::vector<SchemeAttack> adversarial_labelings(
+      const local::Configuration& cfg, util::Rng& rng) const override;
+
   const core::Scheme& base() const noexcept { return base_; }
 
  private:

@@ -1,0 +1,109 @@
+// Wire format of spread certificates, shared between SpreadScheme (the
+// honest marker/decoder) and the splice attack suite (splice.hpp), which
+// must be able to parse, tamper with, and re-encode certificates bit-exactly.
+//
+// Layout (parse order):
+//   [6 bits: k] [bit_width(k-1) bits: residue j] [varint: suffix bit-length]
+//   [suffix bits] [remaining bits: chunk j of X]
+#pragma once
+
+#include <algorithm>
+#include <optional>
+
+#include "pls/certificate.hpp"
+#include "util/bitstring.hpp"
+
+namespace pls::radius::detail {
+
+inline constexpr unsigned kChunkCountField = 6;  // k fits in 6 bits: [1, 63]
+
+/// Bit i of a BitString (stream order: bit i lives in byte i/8, position i%8).
+inline bool bit_at(const util::BitString& s, std::size_t i) {
+  return (s.bytes()[i / 8] >> (i % 8)) & 1;
+}
+
+/// Length of the longest common prefix of two bit strings.
+inline std::size_t lcp_bits(const util::BitString& a, const util::BitString& b) {
+  const std::size_t limit = std::min(a.bit_size(), b.bit_size());
+  std::size_t i = 0;
+  // Whole equal bytes first, then the mismatching byte bit by bit.
+  while (i + 8 <= limit && a.bytes()[i / 8] == b.bytes()[i / 8]) i += 8;
+  while (i < limit && bit_at(a, i) == bit_at(b, i)) ++i;
+  return i;
+}
+
+/// Encoded size of a varint (8 bits per 7-bit payload group).
+inline std::size_t varint_bits(std::uint64_t value) {
+  return 8 * ((std::max<unsigned>(util::bit_width_for(value), 1) + 6) / 7);
+}
+
+/// Reads exactly `nbits` bits; nullopt when the reader runs dry.
+inline std::optional<util::BitString> read_bits(util::BitReader& r,
+                                                std::size_t nbits) {
+  if (r.remaining() < nbits) return std::nullopt;
+  util::BitWriter w;
+  std::size_t left = nbits;
+  while (left > 0) {
+    const unsigned take = static_cast<unsigned>(std::min<std::size_t>(left, 64));
+    const auto chunk = r.read_uint(take);
+    if (!chunk) return std::nullopt;
+    w.write_uint(*chunk, take);
+    left -= take;
+  }
+  return util::BitString::from_writer(std::move(w));
+}
+
+/// Bits [from, from+len) of `s` as a fresh bit string.
+inline util::BitString slice_bits(const util::BitString& s, std::size_t from,
+                                  std::size_t len) {
+  PLS_ASSERT(from + len <= s.bit_size());
+  util::BitWriter w;
+  for (std::size_t i = 0; i < len; ++i) w.write_bit(bit_at(s, from + i));
+  return util::BitString::from_writer(std::move(w));
+}
+
+/// Number of indices i < total with i % k == j.
+inline std::size_t chunk_size(std::size_t total, std::size_t k, std::size_t j) {
+  return total > j ? (total - 1 - j) / k + 1 : 0;
+}
+
+/// One parsed spread certificate.
+struct SpreadWire {
+  std::uint64_t k = 0;
+  std::uint64_t residue = 0;
+  util::BitString suffix;
+  util::BitString chunk;
+};
+
+inline std::optional<SpreadWire> parse_wire(const local::Certificate& c) {
+  util::BitReader r = c.reader();
+  SpreadWire p;
+  const auto k = r.read_uint(kChunkCountField);
+  if (!k || *k == 0) return std::nullopt;
+  p.k = *k;
+  const auto residue = r.read_uint(util::bit_width_for(p.k - 1));
+  if (!residue || *residue >= p.k) return std::nullopt;
+  p.residue = *residue;
+  const auto suffix_len = r.read_varint();
+  if (!suffix_len) return std::nullopt;
+  auto suffix = read_bits(r, *suffix_len);
+  if (!suffix) return std::nullopt;
+  p.suffix = std::move(*suffix);
+  auto chunk = read_bits(r, r.remaining());
+  PLS_ASSERT(chunk.has_value());
+  p.chunk = std::move(*chunk);
+  return p;
+}
+
+/// Re-encodes a (possibly tampered) parsed certificate in the wire format.
+inline local::Certificate encode_wire(const SpreadWire& p) {
+  util::BitWriter w;
+  w.write_uint(p.k, kChunkCountField);
+  w.write_uint(p.residue, util::bit_width_for(p.k - 1));
+  w.write_varint(p.suffix.bit_size());
+  w.write_bits(p.suffix.bytes(), p.suffix.bit_size());
+  w.write_bits(p.chunk.bytes(), p.chunk.bit_size());
+  return local::Certificate::from_writer(std::move(w));
+}
+
+}  // namespace pls::radius::detail

@@ -1,0 +1,98 @@
+#include "util/thread_pool.hpp"
+
+#include "util/assert.hpp"
+
+namespace pls::util {
+
+ThreadPool::ThreadPool(unsigned threads) : threads_(threads) {
+  PLS_REQUIRE(threads >= 1);
+  workers_.reserve(threads_ - 1);
+  for (unsigned w = 1; w < threads_; ++w)
+    workers_.emplace_back([this, w] { worker_loop(w); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+unsigned ThreadPool::hardware_threads() noexcept {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+void ThreadPool::worker_loop(unsigned worker) {
+  std::uint64_t seen = 0;
+  while (true) {
+    const RangeFn* fn = nullptr;
+    std::size_t n = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      start_cv_.wait(lock,
+                     [&] { return stopping_ || generation_ != seen; });
+      if (stopping_) return;
+      seen = generation_;
+      fn = job_;
+      n = job_n_;
+    }
+    const auto [begin, end] = slice(n, threads_, worker);
+    std::exception_ptr error;
+    if (begin < end) {
+      try {
+        (*fn)(worker, begin, end);
+      } catch (...) {
+        error = std::current_exception();
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (error && !first_error_) first_error_ = std::move(error);
+      if (--remaining_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::for_range(std::size_t n, const RangeFn& fn) {
+  if (n == 0) return;
+  if (threads_ == 1) {
+    fn(0, 0, n);
+    return;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &fn;
+    job_n_ = n;
+    remaining_ = threads_ - 1;
+    first_error_ = nullptr;
+    ++generation_;
+  }
+  start_cv_.notify_all();
+
+  // The caller owns slice 0; its exception still waits for the workers so
+  // the pool is quiescent before it propagates.
+  std::exception_ptr own_error;
+  const auto [begin, end] = slice(n, threads_, 0);
+  if (begin < end) {
+    try {
+      fn(0, begin, end);
+    } catch (...) {
+      own_error = std::current_exception();
+    }
+  }
+
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return remaining_ == 0; });
+  job_ = nullptr;
+  std::exception_ptr error =
+      own_error ? std::move(own_error) : std::move(first_error_);
+  first_error_ = nullptr;
+  lock.unlock();
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace pls::util

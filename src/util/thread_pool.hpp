@@ -1,0 +1,75 @@
+// Fixed-size worker pool for embarrassingly-parallel sweeps.
+//
+// The radius-t engine evaluates one independent verdict per node, so the only
+// parallel primitive the codebase needs is a blocking parallel-for over a
+// dense index range.  ThreadPool provides exactly that: `for_range(n, fn)`
+// splits [0, n) into `thread_count()` contiguous slices (the same static
+// partition every call, so work assignment — and therefore any per-worker
+// scratch reuse — is deterministic), runs one slice per worker, and blocks
+// until all slices finish.  Slice 0 always runs on the calling thread; a
+// 1-thread pool therefore spawns no threads at all and is the sequential
+// fallback path, byte-for-byte the same traversal order as a plain loop.
+//
+// Exceptions thrown by `fn` are captured (first one wins) and rethrown on
+// the calling thread after every slice has finished, so the pool is never
+// left with a wedged worker.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pls::util {
+
+class ThreadPool {
+ public:
+  /// A pool with `threads` >= 1 execution slots (including the caller).
+  /// `threads` == 1 spawns no worker threads.
+  explicit ThreadPool(unsigned threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned thread_count() const noexcept { return threads_; }
+
+  /// fn(worker, begin, end): worker in [0, thread_count()) identifies the
+  /// execution slot (stable across calls — index per-worker scratch with it),
+  /// [begin, end) the contiguous slice of [0, n) it owns.  Empty slices are
+  /// not invoked.  Blocks until the whole range is covered.
+  using RangeFn = std::function<void(unsigned worker, std::size_t begin,
+                                     std::size_t end)>;
+  void for_range(std::size_t n, const RangeFn& fn);
+
+  /// Slice `worker` of the static partition of [0, n) into `threads` parts.
+  static std::pair<std::size_t, std::size_t> slice(std::size_t n,
+                                                   unsigned threads,
+                                                   unsigned worker) noexcept {
+    return {n * worker / threads, n * (worker + 1) / threads};
+  }
+
+  /// std::thread::hardware_concurrency, clamped to >= 1.
+  static unsigned hardware_threads() noexcept;
+
+ private:
+  void worker_loop(unsigned worker);
+
+  const unsigned threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable start_cv_;  // signals workers: a new job is posted
+  std::condition_variable done_cv_;   // signals caller: all slices finished
+  const RangeFn* job_ = nullptr;      // valid while the current job runs
+  std::size_t job_n_ = 0;
+  std::uint64_t generation_ = 0;      // bumped once per for_range call
+  unsigned remaining_ = 0;            // worker slices not yet finished
+  std::exception_ptr first_error_;
+  bool stopping_ = false;
+};
+
+}  // namespace pls::util

@@ -157,6 +157,109 @@ TEST(BallView, InternalAdjacencyMatchesGraph) {
   }
 }
 
+/// Full structural equality of two ball views (members, layers, internal
+/// adjacency, component flag) — the oracle for the builder-reuse regressions.
+void expect_same_ball(const BallView& a, const BallView& b) {
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_EQ(a.radius(), b.radius());
+  EXPECT_EQ(a.whole_component(), b.whole_component());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const BallMember& ma = a.members()[i];
+    const BallMember& mb = b.members()[i];
+    EXPECT_EQ(ma.node, mb.node);
+    EXPECT_EQ(ma.dist, mb.dist);
+    EXPECT_EQ(ma.edge_weight, mb.edge_weight);
+    EXPECT_EQ(ma.cert, mb.cert);
+    EXPECT_EQ(ma.state, mb.state);
+    EXPECT_EQ(ma.id, mb.id);
+    EXPECT_EQ(ma.id_visible, mb.id_visible);
+  }
+  for (unsigned r = 0; r <= a.radius(); ++r)
+    EXPECT_EQ(a.layer(r).size(), b.layer(r).size()) << "layer " << r;
+  for (std::uint32_t i = 0; i < a.size(); ++i) {
+    const auto na = a.neighbors_of(i);
+    const auto nb = b.neighbors_of(i);
+    ASSERT_EQ(na.size(), nb.size()) << "member " << i;
+    for (std::size_t j = 0; j < na.size(); ++j) EXPECT_EQ(na[j], nb[j]);
+  }
+}
+
+/// Regression: a builder carrying scratch sized for a larger graph must not
+/// leak stale visit marks or slots into balls of a smaller graph (the
+/// scratch reset is keyed on graph size).
+TEST(BallBuilder, SmallerGraphAfterLargerIsClean) {
+  util::Rng rng(919);
+  auto big = share(graph::random_connected(40, 30, rng));
+  auto small = share(graph::path(5));
+  const auto big_cfg = trivial_config(big);
+  const auto small_cfg = trivial_config(small);
+  const auto big_lab = numbered_labeling(big->n());
+  const auto small_lab = numbered_labeling(small->n());
+
+  BallBuilder reused;
+  for (graph::NodeIndex v = 0; v < big->n(); ++v)
+    reused.build(big_cfg, big_lab, v, 3, local::Visibility::kExtended);
+
+  for (graph::NodeIndex v = 0; v < small->n(); ++v)
+    for (const unsigned t : {1u, 2u, 4u}) {
+      BallBuilder fresh;
+      expect_same_ball(
+          fresh.build(small_cfg, small_lab, v, t, local::Visibility::kExtended),
+          reused.build(small_cfg, small_lab, v, t,
+                       local::Visibility::kExtended));
+    }
+}
+
+/// Regression: alternating between two same-size graphs must not mix their
+/// scratch (same n means no size-triggered reset — the epoch stamps alone
+/// must keep the visit marks and slots apart).
+TEST(BallBuilder, InterleavedSameSizeGraphsStayApart) {
+  auto cycle = share(graph::cycle(8));
+  auto grid = share(graph::grid(2, 4));
+  ASSERT_EQ(cycle->n(), grid->n());
+  const auto cycle_cfg = trivial_config(cycle);
+  const auto grid_cfg = trivial_config(grid);
+  const auto lab = numbered_labeling(8);
+
+  BallBuilder reused;
+  for (graph::NodeIndex v = 0; v < 8; ++v) {
+    BallBuilder fresh_cycle;
+    BallBuilder fresh_grid;
+    expect_same_ball(
+        fresh_cycle.build(cycle_cfg, lab, v, 2, local::Visibility::kExtended),
+        reused.build(cycle_cfg, lab, v, 2, local::Visibility::kExtended));
+    expect_same_ball(
+        fresh_grid.build(grid_cfg, lab, v, 2, local::Visibility::kExtended),
+        reused.build(grid_cfg, lab, v, 2, local::Visibility::kExtended));
+  }
+}
+
+/// Regression: the epoch counter wraps after 2^32 - 1 builds; the reset must
+/// clear every stale visit mark (a mark stamped UINT32_MAX would otherwise
+/// collide with a post-reset epoch).  The test drives the counter across the
+/// boundary with the test hook and checks every ball against a fresh
+/// builder.
+TEST(BallBuilder, EpochWraparoundResetsScratch) {
+  util::Rng rng(929);
+  auto g = share(graph::random_connected(12, 8, rng));
+  const auto cfg = trivial_config(g);
+  const auto lab = numbered_labeling(g->n());
+
+  BallBuilder reused;
+  // Seed the scratch with real marks, then jump next to the wrap.
+  for (graph::NodeIndex v = 0; v < g->n(); ++v)
+    reused.build(cfg, lab, v, 2, local::Visibility::kExtended);
+  reused.set_epoch_for_testing(UINT32_MAX - 3);
+
+  for (int step = 0; step < 8; ++step) {
+    const auto v = static_cast<graph::NodeIndex>(step % g->n());
+    BallBuilder fresh;
+    expect_same_ball(
+        fresh.build(cfg, lab, v, 3, local::Visibility::kExtended),
+        reused.build(cfg, lab, v, 3, local::Visibility::kExtended));
+  }
+}
+
 TEST(BallView, VisibilityControlsStatesAndIds) {
   auto g = share(graph::cycle(5));
   const auto cfg = trivial_config(g);

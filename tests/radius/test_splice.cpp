@@ -1,0 +1,143 @@
+// Splice attacks on SpreadScheme: adversarial certificates that are locally
+// well-formed but stitch together incompatible global claims (two regions
+// voting different reassembled prefixes, rotated residue assignments,
+// crossed chunk payloads) must be rejected somewhere by the t-round engine
+// on every illegal configuration.
+#include "radius/splice.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "radius/session.hpp"
+#include "schemes/common.hpp"
+#include "schemes/spanning_tree.hpp"
+#include "testing/helpers.hpp"
+
+namespace pls::radius {
+namespace {
+
+using pls::testing::share;
+
+/// Every splice variant must leave at least one rejecting node on an
+/// illegal configuration.
+void expect_splices_rejected(const SpreadScheme& spread,
+                             const local::Configuration& cfg,
+                             std::uint64_t seed) {
+  ASSERT_FALSE(spread.language().contains(cfg));
+  util::Rng rng(seed);
+  const std::vector<SpliceAttack> attacks = splice_attacks(spread, cfg, rng);
+  ASSERT_FALSE(attacks.empty());
+  for (const SpliceAttack& attack : attacks) {
+    const core::Verdict verdict =
+        run_verifier_t(spread, cfg, attack.labeling, spread.radius());
+    EXPECT_GE(verdict.rejections(), 1u)
+        << spread.name() << " accepted splice '" << attack.name << "' on "
+        << cfg.graph().describe();
+  }
+}
+
+local::Configuration meet_in_the_middle(std::size_t n) {
+  auto g = share(graph::path(n));
+  std::vector<local::State> states;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (v == 0 || v == n - 1) {
+      states.push_back(schemes::encode_pointer(std::nullopt));
+    } else if (v < n / 2) {
+      states.push_back(
+          schemes::encode_pointer(g->id(static_cast<graph::NodeIndex>(v - 1))));
+    } else {
+      states.push_back(
+          schemes::encode_pointer(g->id(static_cast<graph::NodeIndex>(v + 1))));
+    }
+  }
+  return local::Configuration(g, states);
+}
+
+TEST(Splice, AllVariantsRejectedOnMeetInTheMiddle) {
+  const schemes::StpLanguage language;
+  const schemes::StpScheme base(language);
+  for (const unsigned t : {2u, 4u, 8u}) {
+    const SpreadScheme spread(base, t);
+    expect_splices_rejected(spread, meet_in_the_middle(12), 211 + t);
+  }
+}
+
+TEST(Splice, AllVariantsRejectedOnPointerCycle) {
+  const schemes::StpLanguage language;
+  const schemes::StpScheme base(language);
+  auto g = share(graph::cycle(9));
+  std::vector<local::State> states;
+  for (std::size_t v = 0; v < 9; ++v)
+    states.push_back(schemes::encode_pointer(
+        g->id(static_cast<graph::NodeIndex>((v + 1) % 9))));
+  const local::Configuration cfg(g, states);
+  for (const unsigned t : {2u, 4u, 8u}) {
+    const SpreadScheme spread(base, t);
+    expect_splices_rejected(spread, cfg, 223 + t);
+  }
+}
+
+TEST(Splice, AllVariantsRejectedOnTwoRoots) {
+  const schemes::StpLanguage language;
+  const schemes::StpScheme base(language);
+  for (const unsigned t : {2u, 4u, 8u}) {
+    const SpreadScheme spread(base, t);
+    auto g = share(graph::grid(3, 4));
+    auto cfg = language.make_tree(g, 0).with_state(
+        11, schemes::encode_pointer(std::nullopt));
+    expect_splices_rejected(spread, cfg, 227 + t);
+  }
+}
+
+// A rotated residue assignment on a *legal* configuration reassembles the
+// prefix bits into the wrong positions: the spanning-tree root id changes,
+// and the decoder's root-id/own-id binding must catch it at the root.
+TEST(Splice, GlobalResidueRotationRejectedOnLegalTree) {
+  const schemes::StpLanguage language;
+  const schemes::StpScheme base(language);
+  const SpreadScheme spread(base, 4);
+  util::Rng rng(229);
+  auto g = share(graph::relabel_random(graph::random_tree(24, rng), rng,
+                                       graph::RawId{1} << 40));
+  const auto cfg = language.sample_legal(g, rng);
+  util::Rng attack_rng(233);
+  for (const SpliceAttack& attack : splice_attacks(spread, cfg, attack_rng)) {
+    if (attack.name != "residue-rotate-global") continue;
+    const core::Verdict verdict =
+        run_verifier_t(spread, cfg, attack.labeling, 4);
+    EXPECT_GE(verdict.rejections(), 1u);
+  }
+}
+
+TEST(Splice, AttackRosterIsComplete) {
+  const schemes::StpLanguage language;
+  const schemes::StpScheme base(language);
+  const SpreadScheme spread(base, 8);
+  util::Rng rng(239);
+  auto g = share(graph::grid(4, 4));
+  const auto cfg = language.sample_legal(g, rng);
+  util::Rng attack_rng(241);
+  std::set<std::string> names;
+  for (const SpliceAttack& attack : splice_attacks(spread, cfg, attack_rng))
+    names.insert(attack.name);
+  EXPECT_EQ(names, (std::set<std::string>{
+                       "region-prefix", "suffix-crossbreed",
+                       "residue-rotate-region", "residue-rotate-global",
+                       "chunk-crosswire"}));
+}
+
+// The adversary suite now reports splice strategies for spread schemes; on
+// an illegal configuration none of them may reach zero rejections (this is
+// the integration path expect_sound exercises).
+TEST(Splice, AdversaryIntegrationStaysSound) {
+  const schemes::StpLanguage language;
+  const schemes::StpScheme base(language);
+  for (const unsigned t : {2u, 4u}) {
+    const SpreadScheme spread(base, t);
+    pls::testing::expect_sound(spread, meet_in_the_middle(10), 251 + t);
+  }
+}
+
+}  // namespace
+}  // namespace pls::radius

@@ -4,9 +4,11 @@
 
 #include <gtest/gtest.h>
 
+#include "radius/spread_wire.hpp"
 #include "schemes/agree.hpp"
 #include "schemes/common.hpp"
 #include "schemes/mst.hpp"
+#include "schemes/registry.hpp"
 #include "schemes/spanning_tree.hpp"
 #include "testing/helpers.hpp"
 
@@ -203,6 +205,60 @@ TEST(Spread, MaxBitsDecreaseWithRadius) {
     const std::size_t bits = spread.mark(cfg).max_bits();
     EXPECT_LT(bits, prev) << "t=" << t;
     prev = bits;
+  }
+}
+
+// The spread header's residue field is sized by the actual chunk-count cap
+// k <= t/2 + 1, not by the 6-bit worst case of the k field: the bound must
+// still dominate every marker output across the registry, and shrink as the
+// old hardcoded bit_width(62) residue bound is replaced.
+TEST(Spread, ProofSizeBoundCoversRegistryAtAllRadii) {
+  util::Rng rng(941);
+  for (const schemes::SchemeEntry& entry : schemes::standard_catalog()) {
+    std::shared_ptr<const graph::Graph> g;
+    if (entry.needs_weighted) {
+      g = share(graph::reweight_random(graph::random_connected(14, 10, rng),
+                                       rng));
+    } else if (entry.needs_bipartite) {
+      g = share(graph::grid(2, 7));
+    } else {
+      g = share(graph::random_connected(14, 10, rng));
+    }
+    const local::Configuration cfg = entry.language->sample_legal(g, rng);
+    for (const unsigned t : {1u, 2u, 4u, 8u}) {
+      const SpreadScheme spread(*entry.scheme, t);
+      const core::Labeling lab = spread.mark(cfg);
+      const std::size_t bound =
+          spread.proof_size_bound(cfg.n(), cfg.max_state_bits());
+      EXPECT_GE(bound, lab.max_bits())
+          << spread.name() << " bound below an actual certificate on "
+          << cfg.graph().describe();
+
+      // Independent header check: measure the real header of every marked
+      // certificate by parsing it (header = total - suffix - chunk) and
+      // assert the bound's header budget covers it.  This catches a residue
+      // field undercount without restating the production formula.
+      const std::size_t base_bound =
+          entry.scheme->proof_size_bound(cfg.n(), cfg.max_state_bits());
+      ASSERT_GE(bound, base_bound);
+      const std::size_t header_budget = bound - base_bound;
+      for (const local::Certificate& cert : lab.certs) {
+        const auto wire = detail::parse_wire(cert);
+        ASSERT_TRUE(wire.has_value()) << spread.name();
+        const std::size_t measured_header = cert.bit_size() -
+                                            wire->suffix.bit_size() -
+                                            wire->chunk.bit_size();
+        EXPECT_LE(measured_header, header_budget) << spread.name();
+      }
+
+      // Tightness regression: the residue field is sized by k <= t/2 + 1,
+      // so for t <= 8 the bound must be strictly below the old formula that
+      // budgeted the residue at the k field's 6-bit ceiling.
+      EXPECT_LT(bound, base_bound + detail::kChunkCountField +
+                           util::bit_width_for(62) +
+                           detail::varint_bits(base_bound))
+          << spread.name();
+    }
   }
 }
 

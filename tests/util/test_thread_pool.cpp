@@ -1,0 +1,113 @@
+// ThreadPool: exact range coverage, deterministic static partition,
+// sequential fallback, exception propagation, reuse across jobs.
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace pls::util {
+namespace {
+
+TEST(ThreadPool, CoversRangeExactlyOnce) {
+  for (const unsigned threads : {1u, 2u, 3u, 8u}) {
+    ThreadPool pool(threads);
+    std::vector<std::atomic<int>> hits(1000);
+    pool.for_range(hits.size(), [&](unsigned worker, std::size_t begin,
+                                    std::size_t end) {
+      EXPECT_LT(worker, threads);
+      EXPECT_LT(begin, end);
+      for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+    });
+    for (const std::atomic<int>& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPool, RangeSmallerThanThreadCount) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  pool.for_range(hits.size(),
+                 [&](unsigned, std::size_t begin, std::size_t end) {
+                   for (std::size_t i = begin; i < end; ++i)
+                     hits[i].fetch_add(1);
+                 });
+  for (const std::atomic<int>& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, EmptyRangeInvokesNothing) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.for_range(0, [&](unsigned, std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPool, SequentialFallbackRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.thread_count(), 1u);
+  const auto caller = std::this_thread::get_id();
+  std::size_t calls = 0;
+  pool.for_range(57, [&](unsigned worker, std::size_t begin, std::size_t end) {
+    EXPECT_EQ(worker, 0u);
+    EXPECT_EQ(begin, 0u);
+    EXPECT_EQ(end, 57u);
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1u);
+}
+
+TEST(ThreadPool, StaticPartitionIsDeterministic) {
+  // slice() tiles [0, n) in order, and repeated jobs see the same partition.
+  for (const unsigned threads : {1u, 2u, 5u}) {
+    std::size_t expect_begin = 0;
+    for (unsigned w = 0; w < threads; ++w) {
+      const auto [begin, end] = ThreadPool::slice(103, threads, w);
+      EXPECT_EQ(begin, expect_begin);
+      EXPECT_LE(begin, end);
+      expect_begin = end;
+    }
+    EXPECT_EQ(expect_begin, 103u);
+  }
+}
+
+TEST(ThreadPool, ExceptionPropagatesAndPoolSurvives) {
+  ThreadPool pool(3);
+  EXPECT_THROW(
+      pool.for_range(100,
+                     [&](unsigned, std::size_t begin, std::size_t) {
+                       if (begin == 0) throw std::runtime_error("slice 0");
+                     }),
+      std::runtime_error);
+  // The pool must be reusable after a failed job.
+  std::atomic<int> total{0};
+  pool.for_range(100, [&](unsigned, std::size_t begin, std::size_t end) {
+    total.fetch_add(static_cast<int>(end - begin));
+  });
+  EXPECT_EQ(total.load(), 100);
+}
+
+TEST(ThreadPool, ReusableAcrossManyJobs) {
+  ThreadPool pool(4);
+  std::atomic<long> sum{0};
+  for (int job = 0; job < 200; ++job)
+    pool.for_range(64, [&](unsigned, std::size_t begin, std::size_t end) {
+      long local = 0;
+      for (std::size_t i = begin; i < end; ++i) local += static_cast<long>(i);
+      sum.fetch_add(local);
+    });
+  EXPECT_EQ(sum.load(), 200L * (63 * 64 / 2));
+}
+
+TEST(ThreadPool, HardwareThreadsIsPositive) {
+  EXPECT_GE(ThreadPool::hardware_threads(), 1u);
+}
+
+TEST(ThreadPool, ZeroThreadsIsInvalidInput) {
+  EXPECT_THROW(ThreadPool pool(0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace pls::util
