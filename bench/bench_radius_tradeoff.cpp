@@ -1,22 +1,31 @@
 // Experiment R1 — the proof-size / verification-time tradeoff (t-PLS).
 //
 // Sweeps verification radius t in {1, 2, 4, 8} against network size n in
-// {2^8 .. 2^14} for the spanning-tree scheme (and a smaller sweep for MST),
-// certifying over graphs with a large id space (ids up to 2^56, so the
-// shared root-id prefix dominates the certificate).  t = 1 is the plain
-// 1-round scheme, t > 1 the spread transform; rows report max/avg
-// certificate bits, verifier wall-time, and t-round message volume as JSON.
+// {2^8 .. 2^14} for the spanning-tree scheme, and in {2^8, 2^10, 2^12} for
+// MST, certifying over graphs with a large id space (ids up to 2^56, so the
+// shared id content dominates the certificate).  t = 1 is the plain 1-round
+// scheme; t > 1 is the global spread transform for the spanning tree and the
+// *fragment* spread for MST — Borůvka certificates share content per
+// fragment, not globally, so MST only joins the tradeoff curve through the
+// region decomposition (it used to be this bench's honest negative).  Rows
+// report max/avg certificate bits, verifier wall-time, and t-round message
+// volume as JSON; the MST curve at n = 4096 is asserted strictly decreasing
+// in t.
 //
-// Usage: bench_radius_tradeoff [--smoke] [--out FILE]
-//   --smoke   small sweep (n in {256, 1024}, t in {1, 2, 4}) for CI
-//   --out     write the JSON there instead of stdout
+// Usage: bench_radius_tradeoff [--smoke] [--out FILE] [--scheme S]
+//   --smoke     small sweep (stp: n in {256, 1024}, t in {1, 2, 4};
+//               mst: n = 256) for CI
+//   --out       write the JSON there instead of stdout
+//   --scheme S  restrict to one curve: "stp" or "mst" (default: both)
 #include <chrono>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "graph/generators.hpp"
+#include "radius/fragment_spread.hpp"
 #include "radius/spread.hpp"
 #include "schemes/mst.hpp"
 #include "schemes/spanning_tree.hpp"
@@ -86,11 +95,15 @@ void emit(std::ostream& out, const std::vector<Row>& rows) {
   out << "  ]\n}\n";
 }
 
-template <typename BaseScheme, typename Language>
+/// Sweeps one (language, base) curve.  `make_spread` builds the radius-t
+/// transform under test for t > 1: the global SpreadScheme for globally
+/// redundant certificates, FragmentSpreadScheme for regionally redundant
+/// ones (MST).
+template <typename BaseScheme, typename Language, typename MakeSpread>
 void sweep(std::vector<Row>& rows, const Language& language,
            const BaseScheme& base, bool weighted,
            const std::vector<std::size_t>& sizes,
-           const std::vector<unsigned>& radii) {
+           const std::vector<unsigned>& radii, MakeSpread make_spread) {
   for (const std::size_t n : sizes) {
     auto g = instance(n, weighted, 0x9E3779B9u ^ n);
     util::Rng rng(0xC0FFEEu ^ n);
@@ -99,8 +112,8 @@ void sweep(std::vector<Row>& rows, const Language& language,
       if (t == 1) {
         rows.push_back(measure(base, cfg, 1));
       } else {
-        const radius::SpreadScheme spread(base, t);
-        rows.push_back(measure(spread, cfg, t));
+        const auto spread = make_spread(base, t);
+        rows.push_back(measure(*spread, cfg, t));
       }
       const Row& r = rows.back();
       std::cerr << r.scheme << " n=" << r.n << " t=" << r.t
@@ -111,19 +124,54 @@ void sweep(std::vector<Row>& rows, const Language& language,
   }
 }
 
+/// The acceptance gate the fragment spread exists for: the MST maximum
+/// certificate strictly decreases across the radius sweep at `gate_n`, for
+/// radii up to `max_t`.  The full run gates the whole curve at n = 4096;
+/// the CI smoke run gates t = 1 -> 2 at n = 256 (beyond t = 2 the small
+/// instance's maximum is pinned by per-node tree fields and only required
+/// to be monotone, which measure() has already asserted accepts-wise).
+void assert_mst_strictly_decreasing(const std::vector<Row>& rows,
+                                    std::size_t gate_n, unsigned max_t) {
+  std::size_t prev = 0;
+  bool first = true;
+  for (const Row& r : rows) {
+    if (r.n != gate_n || r.t > max_t ||
+        r.scheme.find("mstl") == std::string::npos)
+      continue;
+    if (!first && r.max_cert_bits >= prev) {
+      std::cerr << "FAIL: mst max_cert_bits not strictly decreasing at n="
+                << gate_n << " (t=" << r.t << ": " << r.max_cert_bits
+                << " >= " << prev << ")\n";
+      std::abort();
+    }
+    prev = r.max_cert_bits;
+    first = false;
+  }
+  PLS_ASSERT(!first);  // the gate rows must exist
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool smoke = false;
   std::string out_path;
+  std::string scheme_filter;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--smoke") {
       smoke = true;
     } else if (arg == "--out" && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (arg == "--scheme" && i + 1 < argc) {
+      scheme_filter = argv[++i];
+      if (scheme_filter != "stp" && scheme_filter != "mst") {
+        std::cerr << "unknown --scheme " << scheme_filter
+                  << " (expected stp or mst)\n";
+        return 2;
+      }
     } else {
-      std::cerr << "usage: bench_radius_tradeoff [--smoke] [--out FILE]\n";
+      std::cerr << "usage: bench_radius_tradeoff [--smoke] [--out FILE] "
+                   "[--scheme stp|mst]\n";
       return 2;
     }
   }
@@ -138,17 +186,32 @@ int main(int argc, char** argv) {
   } else {
     for (std::size_t n = 256; n <= 16384; n *= 2) sizes.push_back(n);
     radii = {1, 2, 4, 8};
-    mst_sizes = {256, 512, 1024};
+    mst_sizes = {256, 1024, 4096};
   }
 
   std::vector<Row> rows;
-  const schemes::StpLanguage stp_language;
-  const schemes::StpScheme stp(stp_language);
-  sweep(rows, stp_language, stp, /*weighted=*/false, sizes, radii);
+  if (scheme_filter.empty() || scheme_filter == "stp") {
+    const schemes::StpLanguage stp_language;
+    const schemes::StpScheme stp(stp_language);
+    sweep(rows, stp_language, stp, /*weighted=*/false, sizes, radii,
+          [](const core::Scheme& base, unsigned t) {
+            return std::make_unique<radius::SpreadScheme>(base, t);
+          });
+  }
 
-  const schemes::MstLanguage mst_language;
-  const schemes::MstScheme mst(mst_language);
-  sweep(rows, mst_language, mst, /*weighted=*/true, mst_sizes, radii);
+  if (scheme_filter.empty() || scheme_filter == "mst") {
+    const schemes::MstLanguage mst_language;
+    const schemes::MstScheme mst(mst_language);
+    sweep(rows, mst_language, mst, /*weighted=*/true, mst_sizes, radii,
+          [](const core::Scheme& base, unsigned t) {
+            return std::make_unique<radius::FragmentSpreadScheme>(base, t);
+          });
+    if (smoke) {
+      assert_mst_strictly_decreasing(rows, 256, 2);
+    } else {
+      assert_mst_strictly_decreasing(rows, 4096, 8);
+    }
+  }
 
   if (out_path.empty()) {
     emit(std::cout, rows);

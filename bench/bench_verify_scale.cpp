@@ -99,6 +99,11 @@ Row measure(const core::Scheme& scheme, const local::Configuration& cfg,
       },
       par);
 
+  // Micro-assert for the parse-link pipeline: the session path interns
+  // chunk payloads into dense ids after the parallel parse (link_parses)
+  // and compares ids on the chunk-agreement hot path, while the baseline
+  // engine re-parses raw BitStrings everywhere — any divergence between the
+  // interned and uninterned equality checks shows up right here.
   row.verdicts_identical =
       same_verdict(baseline, seq) && same_verdict(baseline, par);
   PLS_ASSERT(row.verdicts_identical);

@@ -15,7 +15,9 @@
 //     parse failure or malformed field is a *reject*, never a throw/UB.
 #pragma once
 
+#include <cstdint>
 #include <string_view>
+#include <vector>
 
 #include "local/views.hpp"
 #include "pls/certificate.hpp"
@@ -50,6 +52,36 @@ class Scheme {
   /// (the theory column of the experiment tables).
   virtual std::size_t proof_size_bound(std::size_t n,
                                        std::size_t state_bits) const = 0;
+};
+
+/// One candidate region decomposition of a configuration's nodes: a region
+/// label per node (labels are opaque; equal label = same region).  Nodes that
+/// share a region are expected to share a long common prefix of their
+/// certificates — the consumer (radius::FragmentSpreadScheme) refines every
+/// candidate into connected components and measures the actual prefixes, so
+/// candidates are hints, never trusted.
+using RegionAssignment = std::vector<std::uint32_t>;
+
+/// Optional side-interface for schemes whose certificates have a known
+/// region structure (MST's Borůvka fragments: all members of a phase-p
+/// fragment share the fragment's name and chosen-edge records for every
+/// phase >= p).  A scheme implements this alongside Scheme; transforms that
+/// shard shared certificate content discover it via dynamic_cast and pick
+/// the best candidate.  Schemes without it get their regions computed
+/// mechanically from certificate prefixes.
+class RegionProvider {
+ public:
+  virtual ~RegionProvider() = default;
+
+  /// Candidate decompositions, *fine to coarse and laminar*: each
+  /// candidate's regions must refine the next candidate's (Borůvka
+  /// fragments only merge across phases, which is exactly this shape).
+  /// The consumer's bottom-up DP (radius::FragmentSpreadScheme::mark)
+  /// relies on that ordering to map each level's regions to their parents
+  /// in the next.  Precondition: language().contains(cfg) — region
+  /// structure is marker-side knowledge.
+  virtual std::vector<RegionAssignment> region_candidates(
+      const local::Configuration& cfg) const = 0;
 };
 
 }  // namespace pls::core

@@ -18,6 +18,9 @@ std::unique_ptr<ParsedCert> BallScheme::parse_cert(
       __FILE__, __LINE__);
 }
 
+void BallScheme::link_parses(
+    std::span<const std::unique_ptr<ParsedCert>>) const {}
+
 std::vector<SchemeAttack> BallScheme::adversarial_labelings(
     const local::Configuration&, util::Rng&) const {
   return {};

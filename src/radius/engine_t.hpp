@@ -18,6 +18,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -57,6 +58,16 @@ class BallScheme : public core::Scheme {
   /// thread-safe: the session parses nodes in parallel.
   virtual std::unique_ptr<ParsedCert> parse_cert(
       const local::Certificate& cert) const;
+
+  /// Link phase of the parse-once pipeline.  VerificationSession calls this
+  /// once per labeling, after the parallel parse and before any verify_ball,
+  /// with every node's parse (entries are null for malformed certificates).
+  /// Schemes intern payloads repeated across nodes — the spread schemes'
+  /// chunk bit strings — into small dense ids here, so the per-ball equality
+  /// checks on the hot path compare ids instead of BitStrings.  Runs on one
+  /// thread; the linked parses are read-shared by all workers afterwards.
+  virtual void link_parses(
+      std::span<const std::unique_ptr<ParsedCert>> parsed) const;
 
   /// Scheme-aware adversarial labelings for the attack suite: labelings
   /// that target the scheme's own structural invariants, beyond what the

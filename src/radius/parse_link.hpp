@@ -1,0 +1,36 @@
+// Shared link-phase helper for the spread schemes' parse caches.
+//
+// Both SpreadScheme and FragmentSpreadScheme implement
+// BallScheme::link_parses the same way: walk the session's per-node parse
+// cache once and intern each certificate's chunk payload into a dense class
+// id (equal id <=> bit-identical chunk), so the per-ball chunk-agreement
+// checks on the verify hot path compare ids instead of BitStrings.  The
+// helper is templated on the scheme's ParsedCert subclass, which must expose
+// `wire.chunk` (the payload) and `chunk_class` (the slot to fill).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <unordered_map>
+
+#include "radius/ball.hpp"
+#include "util/bitstring.hpp"
+
+namespace pls::radius::detail {
+
+template <typename Parsed>
+void intern_chunk_classes(
+    std::span<const std::unique_ptr<ParsedCert>> parsed) {
+  std::unordered_map<util::BitString, std::uint32_t, util::BitStringHash>
+      classes;
+  for (const std::unique_ptr<ParsedCert>& p : parsed) {
+    if (p == nullptr) continue;
+    auto* sp = static_cast<Parsed*>(p.get());
+    const auto [it, inserted] = classes.emplace(
+        sp->wire.chunk, static_cast<std::uint32_t>(classes.size()));
+    sp->chunk_class = it->second;
+  }
+}
+
+}  // namespace pls::radius::detail

@@ -58,6 +58,11 @@ core::Verdict VerificationSession::run(const core::Labeling& labeling) {
           parsed_[v] = parsed_storage_[v].get();
         }
       });
+      // Link phase: intern payloads repeated across the per-node parses
+      // (spread chunk bit strings) into small ids, so the per-ball equality
+      // checks of phase 2 compare ids.  Single-threaded between the phases;
+      // the workers only read the linked parses.
+      ball_scheme_->link_parses(parsed_storage_);
       cache = parsed_;
     }
 

@@ -1,6 +1,8 @@
 #include "radius/splice.hpp"
 
+#include <algorithm>
 #include <optional>
+#include <unordered_map>
 #include <utility>
 
 #include "graph/algorithms.hpp"
@@ -61,6 +63,53 @@ core::Labeling encode_all(const std::vector<SpreadWire>& wires) {
   lab.certs.reserve(wires.size());
   for (const SpreadWire& w : wires) lab.certs.push_back(detail::encode_wire(w));
   return lab;
+}
+
+using detail::FragmentWire;
+
+std::vector<FragmentWire> parse_all_fragment(const core::Labeling& lab) {
+  std::vector<FragmentWire> wires;
+  wires.reserve(lab.size());
+  for (const local::Certificate& c : lab.certs) {
+    auto p = detail::parse_fragment_wire(c);
+    PLS_ASSERT(p.has_value());
+    wires.push_back(std::move(*p));
+  }
+  return wires;
+}
+
+core::Labeling encode_all_fragment(const std::vector<FragmentWire>& wires) {
+  core::Labeling lab;
+  lab.certs.reserve(wires.size());
+  for (const FragmentWire& w : wires)
+    lab.certs.push_back(detail::encode_fragment_wire(w));
+  return lab;
+}
+
+/// The representative chunk of every (region, residue) class of an honest
+/// fragment marking (all classes are inhabited: k_r <= ecc_r + 1 and BFS
+/// layers are contiguous).
+std::unordered_map<std::uint64_t, std::vector<util::BitString>>
+chunks_by_region(const std::vector<FragmentWire>& wires) {
+  std::unordered_map<std::uint64_t, std::vector<util::BitString>> chunks;
+  for (const FragmentWire& w : wires) {
+    auto& slots = chunks[w.region];
+    if (slots.size() < w.k) slots.resize(w.k);
+    slots[w.residue] = w.chunk;
+  }
+  return chunks;
+}
+
+/// Reassembles a region's prefix from its per-class chunks through the
+/// verifier's own shared routine; the marker's chunks always interleave
+/// consistently, so this asserts rather than rejects.
+util::BitString reassemble(const std::vector<util::BitString>& chunks) {
+  std::vector<const util::BitString*> ptrs;
+  ptrs.reserve(chunks.size());
+  for (const util::BitString& c : chunks) ptrs.push_back(&c);
+  auto prefix = detail::reassemble_chunks(ptrs);
+  PLS_ASSERT(prefix.has_value());
+  return std::move(*prefix);
 }
 
 }  // namespace
@@ -140,6 +189,121 @@ std::vector<SpliceAttack> splice_attacks(const SpreadScheme& scheme,
       }
       out.push_back({"chunk-crosswire", encode_all(wires)});
     }
+  }
+
+  return out;
+}
+
+std::vector<SpliceAttack> fragment_splice_attacks(
+    const FragmentSpreadScheme& scheme, const local::Configuration& cfg,
+    util::Rng& rng) {
+  const graph::Graph& g = cfg.graph();
+  const std::size_t n = g.n();
+  std::vector<SpliceAttack> out;
+  if (n == 0) return out;
+
+  core::Labeling mark_a;
+  core::Labeling mark_b;
+  try {
+    mark_a = scheme.mark(scheme.language().sample_legal(cfg.graph_ptr(), rng));
+    mark_b = scheme.mark(scheme.language().sample_legal(cfg.graph_ptr(), rng));
+  } catch (const std::logic_error&) {
+    return out;  // language not constructible on this graph
+  }
+
+  const std::vector<bool> region_mask = near_region(g, rng);
+  const std::vector<FragmentWire> wires_a = parse_all_fragment(mark_a);
+  const std::vector<FragmentWire> wires_b = parse_all_fragment(mark_b);
+
+  // The global splice attacks re-mounted on the fragment wire.
+  {
+    core::Labeling lab;
+    lab.certs.reserve(n);
+    for (graph::NodeIndex v = 0; v < n; ++v)
+      lab.certs.push_back(region_mask[v] ? mark_a.certs[v] : mark_b.certs[v]);
+    out.push_back({"fragment-region-prefix", std::move(lab)});
+  }
+  {
+    std::vector<FragmentWire> wires = wires_a;
+    for (graph::NodeIndex v = 0; v < n; ++v)
+      wires[v].suffix = wires_b[v].suffix;
+    out.push_back({"fragment-suffix-crossbreed", encode_all_fragment(wires)});
+  }
+  {
+    std::vector<FragmentWire> wires = wires_a;
+    for (graph::NodeIndex v = 0; v < n; ++v)
+      wires[v].residue = (wires[v].residue + 1) % wires[v].k;
+    out.push_back({"fragment-residue-rotate", encode_all_fragment(wires)});
+  }
+
+  // Cross-region variants, whenever the honest marking has >= 2 regions.
+  std::vector<std::uint64_t> regions;
+  for (const FragmentWire& w : wires_a) regions.push_back(w.region);
+  std::sort(regions.begin(), regions.end());
+  regions.erase(std::unique(regions.begin(), regions.end()), regions.end());
+  if (regions.size() < 2) return out;
+
+  // Every region claims the cyclically-next region's name.  The partition
+  // is untouched, but the region holding the globally minimal id now claims
+  // a name larger than that id — the landmark binding must catch it.
+  {
+    std::unordered_map<std::uint64_t, std::uint64_t> next;
+    for (std::size_t i = 0; i < regions.size(); ++i)
+      next[regions[i]] = regions[(i + 1) % regions.size()];
+    std::vector<FragmentWire> wires = wires_a;
+    for (FragmentWire& w : wires) w.region = next.at(w.region);
+    out.push_back({"region-id-rotate", encode_all_fragment(wires)});
+  }
+
+  const auto chunks = chunks_by_region(wires_a);
+
+  // Two regions swap chunk payloads class-by-class: each stays internally
+  // consistent while reassembling (a shard of) the other's prefix.  Prefer
+  // an adjacent pair with equal factor — the hardest-to-detect crossing.
+  {
+    std::uint64_t r1 = regions[0];
+    std::uint64_t r2 = regions[1];
+    for (graph::EdgeIndex e = 0; e < g.m(); ++e) {
+      const graph::Edge& ed = g.edge(e);
+      const FragmentWire& wu = wires_a[ed.u];
+      const FragmentWire& wv = wires_a[ed.v];
+      if (wu.region != wv.region && wu.k == wv.k) {
+        r1 = wu.region;
+        r2 = wv.region;
+        break;
+      }
+    }
+    const auto& c1 = chunks.at(r1);
+    const auto& c2 = chunks.at(r2);
+    std::vector<FragmentWire> wires = wires_a;
+    for (FragmentWire& w : wires) {
+      if (w.region == r1 && w.residue < c2.size()) w.chunk = c2[w.residue];
+      if (w.region == r2 && w.residue < c1.size()) w.chunk = c1[w.residue];
+    }
+    out.push_back({"fragment-chunk-crosswire", encode_all_fragment(wires)});
+  }
+
+  // A neighboring region's fully reassembled prefix, re-sharded with the
+  // victim region's own factor and planted on its nodes: a *valid* prefix
+  // glued onto foreign suffixes.
+  {
+    std::uint64_t victim = regions[0];
+    std::uint64_t donor = regions[1];
+    for (graph::EdgeIndex e = 0; e < g.m(); ++e) {
+      const graph::Edge& ed = g.edge(e);
+      if (wires_a[ed.u].region != wires_a[ed.v].region) {
+        victim = wires_a[ed.u].region;
+        donor = wires_a[ed.v].region;
+        break;
+      }
+    }
+    const util::BitString donor_prefix = reassemble(chunks.at(donor));
+    const std::vector<util::BitString> planted =
+        detail::shard_chunks(donor_prefix, chunks.at(victim).size());
+    std::vector<FragmentWire> wires = wires_a;
+    for (FragmentWire& w : wires)
+      if (w.region == victim) w.chunk = planted[w.residue];
+    out.push_back({"region-prefix-splice", encode_all_fragment(wires)});
   }
 
   return out;

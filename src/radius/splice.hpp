@@ -21,6 +21,24 @@
 //                        globally, a transposition of the prefix bits that
 //                        is internally consistent per class.
 //
+// The fragment spread (fragment_spread.hpp) adds a region decomposition, and
+// with it region-crossing failure modes of its own:
+//
+//   * fragment-region-prefix / fragment-suffix-crossbreed /
+//     fragment-residue-rotate: the global attacks re-mounted on the
+//     fragment wire;
+//   * region-id-rotate:  every region claims the next region's name — the
+//                        partition is untouched, but a region is named by
+//                        its minimum-id member, so the region holding the
+//                        globally minimal id now claims a name above it;
+//   * fragment-chunk-crosswire: two regions swap their chunk payloads
+//                        class-by-class, each region staying internally
+//                        consistent while reassembling the other's prefix;
+//   * region-prefix-splice: one region's fully reassembled prefix is
+//                        re-sharded with a neighboring region's factor and
+//                        planted on that region's nodes, gluing a valid
+//                        prefix onto foreign suffixes.
+//
 // Every attack is a labeling the t-round engine must reject somewhere when
 // the configuration is illegal; the adversary suite (pls/adversary.hpp)
 // feeds them through `attack` automatically for spread schemes.
@@ -29,6 +47,7 @@
 #include <string>
 #include <vector>
 
+#include "radius/fragment_spread.hpp"
 #include "radius/spread.hpp"
 #include "util/rng.hpp"
 
@@ -44,5 +63,13 @@ using SpliceAttack = SchemeAttack;
 std::vector<SpliceAttack> splice_attacks(const SpreadScheme& scheme,
                                          const local::Configuration& cfg,
                                          util::Rng& rng);
+
+/// The fragment-spread suite: the global attacks on the fragment wire plus
+/// the cross-region attacks (region-id rotation, crossed fragment chunk
+/// payloads, a neighbor region's prefix spliced in).  The region-crossing
+/// variants appear whenever the honest marking has at least two regions.
+std::vector<SpliceAttack> fragment_splice_attacks(
+    const FragmentSpreadScheme& scheme, const local::Configuration& cfg,
+    util::Rng& rng);
 
 }  // namespace pls::radius

@@ -1,9 +1,11 @@
 #include "radius/spread.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <unordered_map>
 
 #include "graph/algorithms.hpp"
+#include "radius/parse_link.hpp"
 #include "radius/splice.hpp"
 #include "radius/spread_wire.hpp"
 #include "util/assert.hpp"
@@ -12,15 +14,19 @@ namespace pls::radius {
 
 namespace {
 
-using detail::bit_at;
-using detail::chunk_size;
 using detail::kChunkCountField;
 using detail::SpreadWire;
 
 /// The session's cached parse of one spread certificate.
 struct SpreadParsed final : ParsedCert {
+  static constexpr std::uint32_t kUnlinked =
+      std::numeric_limits<std::uint32_t>::max();
+
   explicit SpreadParsed(SpreadWire w) : wire(std::move(w)) {}
   SpreadWire wire;
+  /// Dense chunk-payload class assigned by link_parses: equal ids iff the
+  /// chunks are bit-identical.  kUnlinked outside a session cache.
+  std::uint32_t chunk_class = kUnlinked;
 };
 
 /// Per-thread scratch for verify_ball: the engine calls it once per center,
@@ -29,11 +35,15 @@ struct SpreadParsed final : ParsedCert {
 /// the parallel session race-free without sharing state between slots.
 struct VerifyScratch {
   std::vector<const SpreadWire*> parsed;
+  std::vector<std::uint32_t> chunk_class;  ///< per member; kUnlinked = none
   std::vector<SpreadWire> local_parses;
+  std::vector<std::uint32_t> rep_of;  ///< per residue: first member index
   std::vector<const util::BitString*> chunk_of;
   std::vector<local::Certificate> neighbor_certs;
   std::vector<local::NeighborView> views;
 };
+
+constexpr std::uint32_t kNoMember = std::numeric_limits<std::uint32_t>::max();
 
 }  // namespace
 
@@ -48,6 +58,11 @@ std::unique_ptr<ParsedCert> SpreadScheme::parse_cert(
   auto wire = detail::parse_wire(cert);
   if (!wire) return nullptr;
   return std::make_unique<SpreadParsed>(std::move(*wire));
+}
+
+void SpreadScheme::link_parses(
+    std::span<const std::unique_ptr<ParsedCert>> parsed) const {
+  detail::intern_chunk_classes<SpreadParsed>(parsed);
 }
 
 std::vector<SchemeAttack> SpreadScheme::adversarial_labelings(
@@ -91,7 +106,8 @@ core::Labeling SpreadScheme::mark(const local::Configuration& cfg) const {
 
   // Chunk count per component, capped so every residue class is inhabited,
   // and the k interleaved chunks of X.
-  const util::BitString& exemplar = base_lab.certs.front();
+  const util::BitString prefix =
+      detail::slice_bits(base_lab.certs.front(), 0, prefix_len);
   std::vector<std::size_t> k_of(comps.count);
   // Chunks depend only on k, not on the component; memoize per distinct k.
   std::unordered_map<std::size_t, std::vector<util::BitString>> chunks_by_k;
@@ -100,13 +116,7 @@ core::Labeling SpreadScheme::mark(const local::Configuration& cfg) const {
         std::min<std::size_t>(t_ / 2 + 1, std::size_t{ecc[c]} + 1);
     k_of[c] = k;
     if (chunks_by_k.count(k) != 0) continue;
-    std::vector<util::BitWriter> writers(k);
-    for (std::size_t i = 0; i < prefix_len; ++i)
-      writers[i % k].write_bit(bit_at(exemplar, i));
-    std::vector<util::BitString> chunks(k);
-    for (std::size_t j = 0; j < k; ++j)
-      chunks[j] = util::BitString::from_writer(std::move(writers[j]));
-    chunks_by_k.emplace(k, std::move(chunks));
+    chunks_by_k.emplace(k, detail::shard_chunks(prefix, k));
   }
 
   core::Labeling lab;
@@ -134,14 +144,18 @@ bool SpreadScheme::verify_ball(const RadiusContext& ctx) const {
   static thread_local VerifyScratch scratch;
 
   // Certificates of the ball, parsed at most once per node: through the
-  // session's shared cache when present, locally otherwise.
+  // session's shared cache when present, locally otherwise.  The cache path
+  // also carries the interned chunk-class ids assigned by link_parses.
   std::vector<const SpreadWire*>& parsed = scratch.parsed;
+  std::vector<std::uint32_t>& chunk_class = scratch.chunk_class;
   parsed.assign(members.size(), nullptr);
+  chunk_class.assign(members.size(), SpreadParsed::kUnlinked);
   if (ctx.has_parse_cache()) {
     for (std::size_t i = 0; i < members.size(); ++i) {
       const auto* p = static_cast<const SpreadParsed*>(ctx.parsed(members[i].node));
       if (p == nullptr) return false;  // malformed certificate in the ball
       parsed[i] = &p->wire;
+      chunk_class[i] = p->chunk_class;
     }
   } else {
     std::vector<SpreadWire>& local_parses = scratch.local_parses;
@@ -171,36 +185,37 @@ bool SpreadScheme::verify_ball(const RadiusContext& ctx) const {
       if (diff != 0 && diff != 1 && diff != k - 1) return false;
     }
 
-  // Chunk-class agreement and coverage.
+  // Chunk-class agreement and coverage.  Same-residue chunks must be
+  // bit-identical; with a linked cache that is one id comparison per member.
+  std::vector<std::uint32_t>& rep_of = scratch.rep_of;
+  rep_of.assign(k, kNoMember);
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    std::uint32_t& rep = rep_of[parsed[i]->residue];
+    if (rep == kNoMember) {
+      rep = static_cast<std::uint32_t>(i);
+      continue;
+    }
+    // Within one call either every member is linked (cache path) or none is.
+    const bool equal = chunk_class[i] != SpreadParsed::kUnlinked
+                           ? chunk_class[i] == chunk_class[rep]
+                           : parsed[i]->chunk == parsed[rep]->chunk;
+    if (!equal) return false;
+  }
+  for (const std::uint32_t rep : rep_of)
+    if (rep == kNoMember) return false;
+
+  // Reassemble the shared prefix X (interleave-length check included).
   std::vector<const util::BitString*>& chunk_of = scratch.chunk_of;
   chunk_of.assign(k, nullptr);
-  for (const SpreadWire* p : parsed) {
-    const util::BitString*& slot = chunk_of[p->residue];
-    if (slot == nullptr) {
-      slot = &p->chunk;
-    } else if (*slot != p->chunk) {
-      return false;
-    }
-  }
-  for (const util::BitString* chunk : chunk_of)
-    if (chunk == nullptr) return false;
-
-  // Reassemble the shared prefix X: bit i of X is bit i/k of chunk i%k, and
-  // the chunk lengths must interleave to a consistent total.
-  std::size_t prefix_len = 0;
-  for (const util::BitString* chunk : chunk_of) prefix_len += chunk->bit_size();
-  for (std::size_t j = 0; j < k; ++j)
-    if (chunk_of[j]->bit_size() != chunk_size(prefix_len, k, j)) return false;
-  util::BitWriter xw;
-  for (std::size_t i = 0; i < prefix_len; ++i)
-    xw.write_bit(bit_at(*chunk_of[i % k], i / k));
-  const util::BitString prefix = util::BitString::from_writer(std::move(xw));
+  for (std::size_t j = 0; j < k; ++j) chunk_of[j] = &parsed[rep_of[j]]->chunk;
+  const auto prefix = detail::reassemble_chunks(chunk_of);
+  if (!prefix) return false;
 
   // Reconstruct the base certificates of the 1-hop neighborhood and run the
   // base decoder on them.
   auto reconstruct = [&](const SpreadWire& p) {
     util::BitWriter w;
-    w.write_bits(prefix.bytes(), prefix.bit_size());
+    w.write_bits(prefix->bytes(), prefix->bit_size());
     w.write_bits(p.suffix.bytes(), p.suffix.bit_size());
     return local::Certificate::from_writer(std::move(w));
   };

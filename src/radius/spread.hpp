@@ -61,6 +61,12 @@ class SpreadScheme final : public BallScheme {
   std::unique_ptr<ParsedCert> parse_cert(
       const local::Certificate& cert) const override;
 
+  /// Interns the parsed chunk payloads into dense class ids (equal id <=>
+  /// bit-identical chunk), so verify_ball's chunk-agreement check compares
+  /// ids instead of BitStrings on the session hot path.
+  void link_parses(
+      std::span<const std::unique_ptr<ParsedCert>> parsed) const override;
+
   /// The splice attack suite (splice.hpp): region-spliced prefixes, rotated
   /// residues, crossed chunks — the reassembly-specific failure modes.
   std::vector<SchemeAttack> adversarial_labelings(

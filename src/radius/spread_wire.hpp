@@ -1,14 +1,23 @@
-// Wire format of spread certificates, shared between SpreadScheme (the
-// honest marker/decoder) and the splice attack suite (splice.hpp), which
-// must be able to parse, tamper with, and re-encode certificates bit-exactly.
+// Wire formats of spread certificates, shared between the spread schemes
+// (the honest markers/decoders) and the splice attack suite (splice.hpp),
+// which must be able to parse, tamper with, and re-encode certificates
+// bit-exactly.
 //
-// Layout (parse order):
+// Global spread (SpreadScheme) layout (parse order):
 //   [6 bits: k] [bit_width(k-1) bits: residue j] [varint: suffix bit-length]
 //   [suffix bits] [remaining bits: chunk j of X]
+//
+// Fragment spread (FragmentSpreadScheme) layout adds the region id — the raw
+// id of the region's landmark node — between the residue and the suffix
+// length, so the parse-once cache carries each node's region:
+//   [6 bits: k_r] [bit_width(k_r-1) bits: residue j] [varint: region id]
+//   [varint: suffix bit-length] [suffix bits] [remaining: chunk j of X_r]
 #pragma once
 
 #include <algorithm>
 #include <optional>
+#include <span>
+#include <vector>
 
 #include "pls/certificate.hpp"
 #include "util/bitstring.hpp"
@@ -67,6 +76,39 @@ inline std::size_t chunk_size(std::size_t total, std::size_t k, std::size_t j) {
   return total > j ? (total - 1 - j) / k + 1 : 0;
 }
 
+/// The marker's sharding step, shared by both spread markers and the splice
+/// suite: cuts X into k interleaved chunks, bit i of X going to chunk i%k.
+/// The exact inverse of reassemble_chunks below.
+inline std::vector<util::BitString> shard_chunks(const util::BitString& x,
+                                                 std::size_t k) {
+  std::vector<util::BitWriter> writers(k);
+  for (std::size_t i = 0; i < x.bit_size(); ++i)
+    writers[i % k].write_bit(bit_at(x, i));
+  std::vector<util::BitString> chunks;
+  chunks.reserve(k);
+  for (std::size_t j = 0; j < k; ++j)
+    chunks.push_back(util::BitString::from_writer(std::move(writers[j])));
+  return chunks;
+}
+
+/// The verifier's reassembly step, shared by both spread decoders: checks
+/// that the k chunk lengths interleave to a consistent total (nullopt
+/// otherwise — a splice of chunks from prefixes of different lengths) and
+/// stitches the prefix back together, bit i of X being bit i/k of chunk
+/// i%k.
+inline std::optional<util::BitString> reassemble_chunks(
+    std::span<const util::BitString* const> chunks) {
+  const std::size_t k = chunks.size();
+  std::size_t total = 0;
+  for (const util::BitString* c : chunks) total += c->bit_size();
+  for (std::size_t j = 0; j < k; ++j)
+    if (chunks[j]->bit_size() != chunk_size(total, k, j)) return std::nullopt;
+  util::BitWriter w;
+  for (std::size_t i = 0; i < total; ++i)
+    w.write_bit(bit_at(*chunks[i % k], i / k));
+  return util::BitString::from_writer(std::move(w));
+}
+
 /// One parsed spread certificate.
 struct SpreadWire {
   std::uint64_t k = 0;
@@ -100,6 +142,52 @@ inline local::Certificate encode_wire(const SpreadWire& p) {
   util::BitWriter w;
   w.write_uint(p.k, kChunkCountField);
   w.write_uint(p.residue, util::bit_width_for(p.k - 1));
+  w.write_varint(p.suffix.bit_size());
+  w.write_bits(p.suffix.bytes(), p.suffix.bit_size());
+  w.write_bits(p.chunk.bytes(), p.chunk.bit_size());
+  return local::Certificate::from_writer(std::move(w));
+}
+
+/// One parsed fragment-spread certificate: the global wire plus the region
+/// id naming which region's prefix the chunk belongs to.
+struct FragmentWire {
+  std::uint64_t k = 0;
+  std::uint64_t residue = 0;
+  std::uint64_t region = 0;  ///< raw id of the region's landmark node
+  util::BitString suffix;
+  util::BitString chunk;
+};
+
+inline std::optional<FragmentWire> parse_fragment_wire(
+    const local::Certificate& c) {
+  util::BitReader r = c.reader();
+  FragmentWire p;
+  const auto k = r.read_uint(kChunkCountField);
+  if (!k || *k == 0) return std::nullopt;
+  p.k = *k;
+  const auto residue = r.read_uint(util::bit_width_for(p.k - 1));
+  if (!residue || *residue >= p.k) return std::nullopt;
+  p.residue = *residue;
+  const auto region = r.read_varint();
+  if (!region) return std::nullopt;
+  p.region = *region;
+  const auto suffix_len = r.read_varint();
+  if (!suffix_len) return std::nullopt;
+  auto suffix = read_bits(r, *suffix_len);
+  if (!suffix) return std::nullopt;
+  p.suffix = std::move(*suffix);
+  auto chunk = read_bits(r, r.remaining());
+  PLS_ASSERT(chunk.has_value());
+  p.chunk = std::move(*chunk);
+  return p;
+}
+
+/// Re-encodes a (possibly tampered) parsed fragment certificate.
+inline local::Certificate encode_fragment_wire(const FragmentWire& p) {
+  util::BitWriter w;
+  w.write_uint(p.k, kChunkCountField);
+  w.write_uint(p.residue, util::bit_width_for(p.k - 1));
+  w.write_varint(p.region);
   w.write_varint(p.suffix.bit_size());
   w.write_bits(p.suffix.bytes(), p.suffix.bit_size());
   w.write_bits(p.chunk.bytes(), p.chunk.bit_size());

@@ -30,37 +30,45 @@ struct MstCert {
   std::vector<PhaseRecord> rec;
 };
 
+// Wire layout (see mst.hpp): shared fragment fields first, phases reversed —
+// the fields all members of a fragment agree on form a certificate prefix —
+// then the per-node tree fields in forward phase order.
 std::optional<MstCert> parse(const local::Certificate& c) {
   util::BitReader r = c.reader();
   const auto count = r.read_varint();
   if (!count || *count == 0 || *count > kMaxPhaseRecords) return std::nullopt;
   MstCert cert;
-  cert.rec.reserve(static_cast<std::size_t>(*count));
-  for (std::uint64_t i = 0; i < *count; ++i) {
-    PhaseRecord rec;
+  cert.rec.resize(static_cast<std::size_t>(*count));
+  for (std::size_t i = cert.rec.size(); i-- > 0;) {
+    PhaseRecord& rec = cert.rec[i];
     const auto frag = r.read_varint();
-    const auto t1p = r.read_varint();
-    const auto t1d = r.read_varint();
     const auto has = r.read_bit();
-    if (!frag || !t1p || !t1d || !has) return std::nullopt;
+    if (!frag || !has) return std::nullopt;
     rec.frag = *frag;
-    rec.t1_parent = *t1p;
-    rec.t1_dist = *t1d;
     rec.has_chosen = *has;
     if (rec.has_chosen) {
       const auto a = r.read_varint();
       const auto b = r.read_varint();
       const auto w = r.read_varint();
-      const auto t2p = r.read_varint();
-      const auto t2d = r.read_varint();
-      if (!a || !b || !w || !t2p || !t2d) return std::nullopt;
+      if (!a || !b || !w) return std::nullopt;
       rec.a = *a;
       rec.b = *b;
       rec.w = *w;
+    }
+  }
+  for (PhaseRecord& rec : cert.rec) {
+    const auto t1p = r.read_varint();
+    const auto t1d = r.read_varint();
+    if (!t1p || !t1d) return std::nullopt;
+    rec.t1_parent = *t1p;
+    rec.t1_dist = *t1d;
+    if (rec.has_chosen) {
+      const auto t2p = r.read_varint();
+      const auto t2d = r.read_varint();
+      if (!t2p || !t2d) return std::nullopt;
       rec.t2_parent = *t2p;
       rec.t2_dist = *t2d;
     }
-    cert.rec.push_back(rec);
   }
   if (!r.exhausted()) return std::nullopt;
   return cert;
@@ -69,15 +77,20 @@ std::optional<MstCert> parse(const local::Certificate& c) {
 local::Certificate serialize(const MstCert& cert) {
   util::BitWriter w;
   w.write_varint(cert.rec.size());
-  for (const PhaseRecord& rec : cert.rec) {
+  for (std::size_t i = cert.rec.size(); i-- > 0;) {
+    const PhaseRecord& rec = cert.rec[i];
     w.write_varint(rec.frag);
-    w.write_varint(rec.t1_parent);
-    w.write_varint(rec.t1_dist);
     w.write_bit(rec.has_chosen);
     if (rec.has_chosen) {
       w.write_varint(rec.a);
       w.write_varint(rec.b);
       w.write_varint(rec.w);
+    }
+  }
+  for (const PhaseRecord& rec : cert.rec) {
+    w.write_varint(rec.t1_parent);
+    w.write_varint(rec.t1_dist);
+    if (rec.has_chosen) {
       w.write_varint(rec.t2_parent);
       w.write_varint(rec.t2_dist);
     }
@@ -378,6 +391,16 @@ std::size_t MstScheme::proof_size_bound(std::size_t n,
 
 std::size_t MstScheme::phase_records(const local::Configuration& cfg) const {
   return graph::boruvka_with_history(cfg.graph()).phases.size();
+}
+
+std::vector<core::RegionAssignment> MstScheme::region_candidates(
+    const local::Configuration& cfg) const {
+  const graph::BoruvkaRun run = graph::boruvka_with_history(cfg.graph());
+  std::vector<core::RegionAssignment> out;
+  out.reserve(run.phases.size());
+  for (const graph::BoruvkaPhase& phase : run.phases)
+    out.emplace_back(phase.fragment_of.begin(), phase.fragment_of.end());
+  return out;
 }
 
 }  // namespace pls::schemes

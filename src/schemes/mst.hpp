@@ -29,6 +29,26 @@
 // its endpoints' fragments merge — by the cut property that puts it in the
 // MST — and the final phase's T1 spans the whole graph inside the claimed
 // edges, so claimed ⊆ MST and claimed ⊇ a spanning tree: claimed = MST.
+//
+// Wire layout (parse order) — shared-first, phases reversed:
+//
+//   [varint R]
+//   for i = R-1 .. 0:  [varint frag_i] [1 bit has_chosen_i]
+//                      [varint a_i, b_i, w_i when chosen]
+//   for i = 0 .. R-1:  [varint t1_parent_i] [varint t1_dist_i]
+//                      [varint t2_parent_i, t2_dist_i when chosen]
+//
+// The first block holds exactly the fields every member of a fragment
+// shares: all members of a phase-p fragment store identical
+// (frag, chosen-edge) records for every phase >= p, and fragments only merge,
+// so serializing those records from the final phase backwards makes the
+// shared content a *prefix* — certificates of same-fragment nodes agree on
+// [varint R] plus the records of phases R-1 down to p before diverging.
+// That hierarchical prefix is what the fragment-aware spread transform
+// (radius/fragment_spread.hpp) shards across radius-t balls; MstScheme
+// exposes the matching region structure through core::RegionProvider (one
+// candidate decomposition per Borůvka phase).  The per-node trees (T1/T2
+// parents and distances) follow in the second block.
 #pragma once
 
 #include "pls/scheme.hpp"
@@ -53,7 +73,7 @@ class MstLanguage final : public core::Language {
                                       const std::vector<bool>& mask) const;
 };
 
-class MstScheme final : public core::Scheme {
+class MstScheme final : public core::Scheme, public core::RegionProvider {
  public:
   explicit MstScheme(const MstLanguage& language) : language_(language) {}
 
@@ -70,6 +90,13 @@ class MstScheme final : public core::Scheme {
   /// Number of phase records the marker emits for this configuration
   /// (exposed for the phase-structure experiment F2).
   std::size_t phase_records(const local::Configuration& cfg) const;
+
+  /// The Borůvka phase structure as region candidates: one decomposition per
+  /// phase, regions = that phase's fragments (phase 0 is all-singletons, the
+  /// final phase one region).  All members of a phase-p fragment share the
+  /// certificate prefix covering phases R-1..p of the shared block.
+  std::vector<core::RegionAssignment> region_candidates(
+      const local::Configuration& cfg) const override;
 
  private:
   const MstLanguage& language_;

@@ -1,0 +1,133 @@
+// Differential fuzz: the production verify path (VerificationSession, with
+// its parse-once cache, link-phase interning, merged BFS+CSR ball reuse and
+// thread-pool fan-out) must stay *bit-identical* to the naive reference
+// engine run_verifier_t_baseline on adversarial input, not just on honest
+// markings.  Seeded random graphs × random certificate corruptions — bit
+// flips, truncations, random replacements, cert swaps — swept over every
+// registry scheme, radii t ∈ {1, 2, 4}, and thread counts {1, 2, hardware},
+// for both the plain scheme at radius t and its fragment spread.  This turns
+// PR 2's "bit-identical at every thread count" claim into a standing fuzzed
+// property.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "radius/fragment_spread.hpp"
+#include "radius/session.hpp"
+#include "schemes/registry.hpp"
+#include "testing/helpers.hpp"
+
+namespace pls::radius {
+namespace {
+
+using pls::testing::share;
+
+/// One random corruption of one node's certificate.
+core::Labeling mutate(const core::Labeling& lab, util::Rng& rng) {
+  core::Labeling out = lab;
+  if (out.size() == 0) return out;
+  const std::size_t v = rng.below(out.size());
+  switch (rng.below(4)) {
+    case 0: {  // flip one bit
+      const std::size_t bits = out.certs[v].bit_size();
+      if (bits == 0) break;
+      const std::size_t i = rng.below(bits);
+      std::vector<std::uint8_t> bytes = out.certs[v].bytes();
+      bytes[i / 8] ^= static_cast<std::uint8_t>(1u << (i % 8));
+      out.certs[v] = local::Certificate(std::move(bytes), bits);
+      break;
+    }
+    case 1: {  // truncate
+      out.certs[v] =
+          out.certs[v].prefix(rng.below(out.certs[v].bit_size() + 1));
+      break;
+    }
+    case 2: {  // replace with random bits
+      out.certs[v] = local::random_state(rng.below(96), rng);
+      break;
+    }
+    default: {  // swap two nodes' certificates
+      const std::size_t u = rng.below(out.size());
+      std::swap(out.certs[v], out.certs[u]);
+      break;
+    }
+  }
+  return out;
+}
+
+/// Asserts session(threads ∈ {1, 2, hardware}) ≡ baseline on `labeling`.
+void expect_engines_agree(const core::Scheme& scheme,
+                          const local::Configuration& cfg, unsigned t,
+                          const core::Labeling& labeling,
+                          const std::string& what) {
+  const core::Verdict oracle =
+      run_verifier_t_baseline(scheme, cfg, labeling, t);
+  for (const unsigned threads : {1u, 2u, 0u}) {  // 0 = hardware
+    SessionOptions options;
+    options.threads = threads;
+    VerificationSession session(scheme, cfg, t, options);
+    const core::Verdict got = session.run(labeling);
+    ASSERT_EQ(oracle.accept(), got.accept())
+        << scheme.name() << " diverged from the baseline at threads="
+        << session.threads() << " (" << what << ") on "
+        << cfg.graph().describe();
+  }
+}
+
+void fuzz_scheme(const core::Scheme& scheme, const local::Configuration& cfg,
+                 unsigned t, std::uint64_t seed, std::size_t mutations) {
+  const core::Labeling honest = scheme.mark(cfg);
+  expect_engines_agree(scheme, cfg, t, honest, "honest marking");
+  util::Rng rng(seed);
+  for (std::size_t m = 0; m < mutations; ++m)
+    expect_engines_agree(scheme, cfg, t, mutate(honest, rng),
+                         "mutation " + std::to_string(m));
+}
+
+TEST(FuzzDifferential, RegistrySchemesAllEnginesAgree) {
+  util::Rng rng(0xD1FFu);
+  for (const schemes::SchemeEntry& entry : schemes::standard_catalog()) {
+    std::shared_ptr<const graph::Graph> g;
+    if (entry.needs_weighted) {
+      g = share(graph::reweight_random(graph::random_connected(18, 12, rng),
+                                       rng));
+    } else if (entry.needs_bipartite) {
+      g = share(graph::grid(3, 6));
+    } else {
+      g = share(graph::random_connected(18, 12, rng));
+    }
+    const local::Configuration cfg = entry.language->sample_legal(g, rng);
+    for (const unsigned t : {1u, 2u, 4u}) {
+      // The registry scheme itself, run at radius t (1-round decoders are
+      // radius-invariant; the engines still must agree bit-for-bit)...
+      fuzz_scheme(*entry.scheme, cfg, t, 0xF00Du ^ (t * 7919), 8);
+      // ...and its fragment spread, whose parse cache, interning and
+      // region-grouped verify_ball are the hot paths under test.
+      const FragmentSpreadScheme spread(*entry.scheme, t);
+      fuzz_scheme(spread, cfg, t, 0xBEEFu ^ (t * 104729), 8);
+    }
+  }
+}
+
+// A second, smaller sweep over a graph family with structure the random
+// instances lack (paths, cycles, stars: long balls, pendant nodes).
+TEST(FuzzDifferential, StructuredGraphsAllEnginesAgree) {
+  const auto catalog = schemes::standard_catalog();
+  const schemes::SchemeEntry* stp = nullptr;
+  for (const schemes::SchemeEntry& entry : catalog)
+    if (entry.label == "stp") stp = &entry;
+  ASSERT_NE(stp, nullptr);
+  util::Rng rng(0x57A7u);
+  for (auto& g : {share(graph::path(13)), share(graph::cycle(12)),
+                  share(graph::star(9))}) {
+    const local::Configuration cfg = stp->language->sample_legal(g, rng);
+    for (const unsigned t : {2u, 4u}) {
+      const FragmentSpreadScheme spread(*stp->scheme, t);
+      fuzz_scheme(spread, cfg, t, 0xCAFEu ^ (t * 31), 10);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pls::radius

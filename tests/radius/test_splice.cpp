@@ -1,8 +1,10 @@
-// Splice attacks on SpreadScheme: adversarial certificates that are locally
-// well-formed but stitch together incompatible global claims (two regions
-// voting different reassembled prefixes, rotated residue assignments,
-// crossed chunk payloads) must be rejected somewhere by the t-round engine
-// on every illegal configuration.
+// Splice attacks on the spread schemes: adversarial certificates that are
+// locally well-formed but stitch together incompatible global claims (two
+// regions voting different reassembled prefixes, rotated residue
+// assignments, crossed chunk payloads — and for the fragment spread, rotated
+// region names, fragment payloads swapped between regions, and a neighbor
+// region's reassembled prefix spliced in) must be rejected somewhere by the
+// t-round engine, at every thread count, on every illegal configuration.
 #include "radius/splice.hpp"
 
 #include <gtest/gtest.h>
@@ -10,7 +12,9 @@
 #include <set>
 
 #include "radius/session.hpp"
+#include "radius/spread_wire.hpp"
 #include "schemes/common.hpp"
+#include "schemes/mst.hpp"
 #include "schemes/spanning_tree.hpp"
 #include "testing/helpers.hpp"
 
@@ -136,6 +140,136 @@ TEST(Splice, AdversaryIntegrationStaysSound) {
   for (const unsigned t : {2u, 4u}) {
     const SpreadScheme spread(base, t);
     pls::testing::expect_sound(spread, meet_in_the_middle(10), 251 + t);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cross-region attacks on the fragment spread.
+// ---------------------------------------------------------------------------
+
+/// Every fragment splice variant must leave >= 1 rejecting node on an
+/// illegal configuration, and the verdict must say so at every thread count
+/// (the parallel session is the production path the adversary drives).
+void expect_fragment_splices_rejected(const FragmentSpreadScheme& spread,
+                                      const local::Configuration& cfg,
+                                      std::uint64_t seed) {
+  ASSERT_FALSE(spread.language().contains(cfg));
+  util::Rng rng(seed);
+  const std::vector<SpliceAttack> attacks =
+      fragment_splice_attacks(spread, cfg, rng);
+  ASSERT_FALSE(attacks.empty());
+  for (const SpliceAttack& attack : attacks) {
+    for (const unsigned threads : {1u, 2u, 0u}) {  // 0 = hardware
+      SessionOptions options;
+      options.threads = threads;
+      VerificationSession session(spread, cfg, spread.radius(), options);
+      EXPECT_GE(session.run(attack.labeling).rejections(), 1u)
+          << spread.name() << " accepted fragment splice '" << attack.name
+          << "' at threads=" << session.threads() << " on "
+          << cfg.graph().describe();
+    }
+  }
+}
+
+/// A connected spanning tree that is not the MST: a cycle's MST drops the
+/// unique heaviest edge; this drops a different one.
+local::Configuration wrong_cycle_tree(const schemes::MstLanguage& language,
+                                      std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  auto g = share(graph::reweight_random(graph::cycle(n), rng));
+  graph::EdgeIndex heaviest = 0;
+  for (graph::EdgeIndex e = 1; e < g->m(); ++e)
+    if (g->weight(e) > g->weight(heaviest)) heaviest = e;
+  std::vector<bool> mask(g->m(), true);
+  mask[heaviest == 0 ? 1 : 0] = false;
+  return language.make_from_mask(g, mask);
+}
+
+TEST(Splice, FragmentVariantsRejectedOnWrongMstAtEveryThreadCount) {
+  const schemes::MstLanguage language;
+  const schemes::MstScheme base(language);
+  for (const unsigned t : {2u, 4u, 8u}) {
+    const FragmentSpreadScheme spread(base, t);
+    expect_fragment_splices_rejected(spread, wrong_cycle_tree(language, 10, 401 + t),
+                                     409 + t);
+  }
+}
+
+TEST(Splice, FragmentVariantsRejectedOnStpTwoRoots) {
+  const schemes::StpLanguage language;
+  const schemes::StpScheme base(language);
+  for (const unsigned t : {2u, 4u, 8u}) {
+    const FragmentSpreadScheme spread(base, t);
+    auto g = share(graph::grid(3, 4));
+    auto cfg = language.make_tree(g, 0).with_state(
+        11, schemes::encode_pointer(std::nullopt));
+    expect_fragment_splices_rejected(spread, cfg, 419 + t);
+  }
+}
+
+/// A sizable weighted instance whose fragment decomposition is nontrivial:
+/// the cross-region attack variants must all be present and, on a *legal*
+/// configuration, the region-id rotation must still be rejected — a region
+/// is named by its minimum-id member, and rotating names gives the region
+/// holding the globally minimal id a name above it.
+TEST(Splice, FragmentRosterAndRegionRotationOnLegalMst) {
+  const schemes::MstLanguage language;
+  const schemes::MstScheme base(language);
+  const FragmentSpreadScheme spread(base, 4);
+  util::Rng rng(431);
+  auto g = share(graph::relabel_random(
+      graph::reweight_random(graph::random_connected(96, 48, rng), rng), rng,
+      graph::RawId{1} << 40));
+  const auto cfg = language.sample_legal(g, rng);
+
+  // How many regions does the honest marking carry?
+  std::set<std::uint64_t> regions;
+  for (const local::Certificate& c : spread.mark(cfg).certs) {
+    const auto wire = detail::parse_fragment_wire(c);
+    ASSERT_TRUE(wire.has_value());
+    regions.insert(wire->region);
+  }
+
+  util::Rng attack_rng(433);
+  std::set<std::string> names;
+  for (const SpliceAttack& attack :
+       fragment_splice_attacks(spread, cfg, attack_rng))
+    names.insert(attack.name);
+  std::set<std::string> expected{"fragment-region-prefix",
+                                 "fragment-suffix-crossbreed",
+                                 "fragment-residue-rotate"};
+  if (regions.size() > 1) {
+    expected.insert("region-id-rotate");
+    expected.insert("fragment-chunk-crosswire");
+    expected.insert("region-prefix-splice");
+  }
+  EXPECT_EQ(names, expected);
+  ASSERT_GT(regions.size(), 1u)
+      << "instance too small for a nontrivial decomposition";
+
+  util::Rng rerun_rng(433);
+  for (const SpliceAttack& attack :
+       fragment_splice_attacks(spread, cfg, rerun_rng)) {
+    if (attack.name != "region-id-rotate") continue;
+    for (const unsigned threads : {1u, 2u, 0u}) {
+      SessionOptions options;
+      options.threads = threads;
+      VerificationSession session(spread, cfg, 4, options);
+      EXPECT_GE(session.run(attack.labeling).rejections(), 1u)
+          << "threads=" << session.threads();
+    }
+  }
+}
+
+// The fragment attacks ride the adversary suite the same way the global
+// ones do: expect_sound must stay sound with them in the roster.
+TEST(Splice, FragmentAdversaryIntegrationStaysSound) {
+  const schemes::MstLanguage language;
+  const schemes::MstScheme base(language);
+  for (const unsigned t : {2u, 4u}) {
+    const FragmentSpreadScheme spread(base, t);
+    pls::testing::expect_sound(spread, wrong_cycle_tree(language, 8, 439 + t),
+                               443 + t);
   }
 }
 
