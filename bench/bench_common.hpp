@@ -5,14 +5,131 @@
 // (fixed seeds) so the outputs are reproducible run to run.
 #pragma once
 
+#include <cstdlib>
 #include <iostream>
 #include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "graph/generators.hpp"
 #include "schemes/registry.hpp"
 #include "util/table.hpp"
 
 namespace pls::bench {
+
+/// Tiny shared CLI parser for the experiment binaries: boolean `--flag`s and
+/// `--key VALUE` pairs, consumed by name.  After all take_* calls,
+/// `unrecognized()` holds whatever was left — a non-empty leftover set is the
+/// caller's usage error.  Keeps every bench's flag handling (and the shared
+/// --threads/--t/--labelings trio) in one place instead of five hand-rolled
+/// argv loops.
+class CliArgs {
+ public:
+  CliArgs(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) args_.emplace_back(argv[i]);
+  }
+
+  /// Consumes `--name` if present; returns whether it was.
+  bool take_flag(const std::string& name) {
+    for (std::size_t i = 0; i < args_.size(); ++i) {
+      if (args_[i] != "--" + name) continue;
+      args_.erase(args_.begin() + static_cast<std::ptrdiff_t>(i));
+      return true;
+    }
+    return false;
+  }
+
+  /// Consumes `--name VALUE` if present; returns the value.
+  std::optional<std::string> take_value(const std::string& name) {
+    for (std::size_t i = 0; i + 1 < args_.size(); ++i) {
+      if (args_[i] != "--" + name) continue;
+      std::string value = args_[i + 1];
+      args_.erase(args_.begin() + static_cast<std::ptrdiff_t>(i),
+                  args_.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+      return value;
+    }
+    return std::nullopt;
+  }
+
+  unsigned take_unsigned(const std::string& name, unsigned fallback) {
+    return parse_numeric<unsigned>(name, fallback, [](const std::string& v) {
+      reject_sign(v);  // stoul would silently wrap "-1" to 4294967295
+      std::size_t pos = 0;
+      const unsigned long x = std::stoul(v, &pos);
+      reject_trailing(v, pos);  // "8x" must not silently parse as 8
+      return static_cast<unsigned>(x);
+    });
+  }
+
+  std::size_t take_size(const std::string& name, std::size_t fallback) {
+    return parse_numeric<std::size_t>(
+        name, fallback,
+        [](const std::string& v) {
+          reject_sign(v);
+          std::size_t pos = 0;
+          const unsigned long long x = std::stoull(v, &pos);
+          reject_trailing(v, pos);  // "1e3" must not silently parse as 1
+          return static_cast<std::size_t>(x);
+        });
+  }
+
+  double take_double(const std::string& name, double fallback) {
+    return parse_numeric<double>(
+        name, fallback, [](const std::string& v) {
+          std::size_t pos = 0;
+          const double x = std::stod(v, &pos);
+          reject_trailing(v, pos);
+          return x;
+        });
+  }
+
+  /// Arguments no take_* call claimed; non-empty means a usage error.
+  const std::vector<std::string>& unrecognized() const noexcept {
+    return args_;
+  }
+
+  /// Prints any parse error or unclaimed argument plus `usage`; returns
+  /// whether the command line was fully valid.
+  bool finish(const std::string& usage) const {
+    if (error_.empty() && args_.empty()) return true;
+    if (!error_.empty()) {
+      std::cerr << error_ << "\n";
+    } else {
+      std::cerr << "unrecognized argument: " << args_.front() << "\n";
+    }
+    std::cerr << "usage: " << usage << "\n";
+    return false;
+  }
+
+ private:
+  static void reject_sign(const std::string& v) {
+    if (!v.empty() && (v.front() == '-' || v.front() == '+'))
+      throw std::invalid_argument("signed value for an unsigned flag");
+  }
+
+  static void reject_trailing(const std::string& v, std::size_t parsed) {
+    if (parsed != v.size())
+      throw std::invalid_argument("trailing characters in numeric value");
+  }
+
+  template <typename T, typename Parse>
+  T parse_numeric(const std::string& name, T fallback, Parse parse) {
+    const auto v = take_value(name);
+    if (!v) return fallback;
+    try {
+      return parse(*v);
+    } catch (const std::exception&) {
+      if (error_.empty())
+        error_ = "invalid value for --" + name + ": '" + *v + "'";
+      return fallback;
+    }
+  }
+
+  std::vector<std::string> args_;
+  std::string error_;
+};
 
 inline std::shared_ptr<const graph::Graph> share(graph::Graph g) {
   return std::make_shared<const graph::Graph>(std::move(g));

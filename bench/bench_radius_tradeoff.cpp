@@ -13,10 +13,18 @@
 // in t.
 //
 // Usage: bench_radius_tradeoff [--smoke] [--out FILE] [--scheme S]
-//   --smoke     small sweep (stp: n in {256, 1024}, t in {1, 2, 4};
-//               mst: n = 256) for CI
-//   --out       write the JSON there instead of stdout
-//   --scheme S  restrict to one curve: "stp" or "mst" (default: both)
+//                              [--threads T] [--t T] [--labelings L]
+//   --smoke       small sweep (stp: n in {256, 1024}, t in {1, 2, 4};
+//                 mst: n = 256) for CI
+//   --out         write the JSON there instead of stdout
+//   --scheme S    restrict to one curve: "stp" or "mst" (default: both)
+//   --threads T   verifier thread count (default 1: the deterministic
+//                 sequential path the published curves use)
+//   --t T         restrict the radius sweep to that single t (skips the
+//                 MST strict-decrease gate, which needs the whole curve)
+//   --labelings L verify each row's marking L times through one
+//                 BatchVerifier (shared geometry atlas; verify_ms is the
+//                 per-labeling average — the many-labelings regime)
 #include <chrono>
 #include <fstream>
 #include <iostream>
@@ -24,7 +32,9 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "graph/generators.hpp"
+#include "radius/batch.hpp"
 #include "radius/fragment_spread.hpp"
 #include "radius/spread.hpp"
 #include "schemes/mst.hpp"
@@ -57,8 +67,14 @@ std::shared_ptr<const graph::Graph> instance(std::size_t n, bool weighted,
       graph::relabel_random(g, rng, kIdSpace));
 }
 
+/// Sweep-wide knobs threaded through every measure() call.
+struct MeasureOptions {
+  unsigned threads = 1;      ///< verifier thread count
+  std::size_t labelings = 1; ///< repeats per row through one BatchVerifier
+};
+
 Row measure(const core::Scheme& scheme, const local::Configuration& cfg,
-            unsigned t) {
+            unsigned t, const MeasureOptions& mopts) {
   Row row;
   row.scheme = std::string(scheme.name());
   row.n = cfg.n();
@@ -69,12 +85,18 @@ Row measure(const core::Scheme& scheme, const local::Configuration& cfg,
   row.avg_cert_bits =
       static_cast<double>(lab.total_bits()) / static_cast<double>(cfg.n());
 
+  radius::BatchOptions options;
+  options.threads = mopts.threads;
+  radius::BatchVerifier verifier(scheme, cfg, t, options);
   const auto start = std::chrono::steady_clock::now();
-  const core::Verdict verdict = radius::run_verifier_t(scheme, cfg, lab, t);
+  bool all_accept = verifier.run_one(lab).all_accept();
+  for (std::size_t rep = 1; rep < mopts.labelings; ++rep)
+    if (!verifier.run_one(lab).all_accept()) all_accept = false;
   const auto stop = std::chrono::steady_clock::now();
   row.verify_ms =
-      std::chrono::duration<double, std::milli>(stop - start).count();
-  row.all_accept = verdict.all_accept();
+      std::chrono::duration<double, std::milli>(stop - start).count() /
+      static_cast<double>(mopts.labelings);
+  row.all_accept = all_accept;
   row.round_bits = radius::verification_round_bits_t(scheme, cfg, lab, t);
   return row;
 }
@@ -103,17 +125,18 @@ template <typename BaseScheme, typename Language, typename MakeSpread>
 void sweep(std::vector<Row>& rows, const Language& language,
            const BaseScheme& base, bool weighted,
            const std::vector<std::size_t>& sizes,
-           const std::vector<unsigned>& radii, MakeSpread make_spread) {
+           const std::vector<unsigned>& radii, const MeasureOptions& mopts,
+           MakeSpread make_spread) {
   for (const std::size_t n : sizes) {
     auto g = instance(n, weighted, 0x9E3779B9u ^ n);
     util::Rng rng(0xC0FFEEu ^ n);
     const local::Configuration cfg = language.sample_legal(g, rng);
     for (const unsigned t : radii) {
       if (t == 1) {
-        rows.push_back(measure(base, cfg, 1));
+        rows.push_back(measure(base, cfg, 1, mopts));
       } else {
         const auto spread = make_spread(base, t);
-        rows.push_back(measure(*spread, cfg, t));
+        rows.push_back(measure(*spread, cfg, t, mopts));
       }
       const Row& r = rows.back();
       std::cerr << r.scheme << " n=" << r.n << " t=" << r.t
@@ -153,28 +176,25 @@ void assert_mst_strictly_decreasing(const std::vector<Row>& rows,
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool smoke = false;
-  std::string out_path;
-  std::string scheme_filter;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--smoke") {
-      smoke = true;
-    } else if (arg == "--out" && i + 1 < argc) {
-      out_path = argv[++i];
-    } else if (arg == "--scheme" && i + 1 < argc) {
-      scheme_filter = argv[++i];
-      if (scheme_filter != "stp" && scheme_filter != "mst") {
-        std::cerr << "unknown --scheme " << scheme_filter
-                  << " (expected stp or mst)\n";
-        return 2;
-      }
-    } else {
-      std::cerr << "usage: bench_radius_tradeoff [--smoke] [--out FILE] "
-                   "[--scheme stp|mst]\n";
-      return 2;
-    }
+  bench::CliArgs args(argc, argv);
+  const bool smoke = args.take_flag("smoke");
+  const std::string out_path = args.take_value("out").value_or("");
+  const std::string scheme_filter = args.take_value("scheme").value_or("");
+  MeasureOptions mopts;
+  mopts.threads = args.take_unsigned("threads", 1);
+  mopts.labelings = args.take_size("labelings", 1);
+  const unsigned t_filter = args.take_unsigned("t", 0);
+  if (!args.finish("bench_radius_tradeoff [--smoke] [--out FILE] "
+                   "[--scheme stp|mst] [--threads T] [--t T] "
+                   "[--labelings L]"))
+    return 2;
+  if (!scheme_filter.empty() && scheme_filter != "stp" &&
+      scheme_filter != "mst") {
+    std::cerr << "unknown --scheme " << scheme_filter
+              << " (expected stp or mst)\n";
+    return 2;
   }
+  PLS_REQUIRE(mopts.threads >= 1 && mopts.labelings >= 1);
 
   std::vector<std::size_t> sizes;
   std::vector<unsigned> radii;
@@ -188,12 +208,13 @@ int main(int argc, char** argv) {
     radii = {1, 2, 4, 8};
     mst_sizes = {256, 1024, 4096};
   }
+  if (t_filter != 0) radii = {t_filter};
 
   std::vector<Row> rows;
   if (scheme_filter.empty() || scheme_filter == "stp") {
     const schemes::StpLanguage stp_language;
     const schemes::StpScheme stp(stp_language);
-    sweep(rows, stp_language, stp, /*weighted=*/false, sizes, radii,
+    sweep(rows, stp_language, stp, /*weighted=*/false, sizes, radii, mopts,
           [](const core::Scheme& base, unsigned t) {
             return std::make_unique<radius::SpreadScheme>(base, t);
           });
@@ -202,14 +223,18 @@ int main(int argc, char** argv) {
   if (scheme_filter.empty() || scheme_filter == "mst") {
     const schemes::MstLanguage mst_language;
     const schemes::MstScheme mst(mst_language);
-    sweep(rows, mst_language, mst, /*weighted=*/true, mst_sizes, radii,
+    sweep(rows, mst_language, mst, /*weighted=*/true, mst_sizes, radii, mopts,
           [](const core::Scheme& base, unsigned t) {
             return std::make_unique<radius::FragmentSpreadScheme>(base, t);
           });
-    if (smoke) {
-      assert_mst_strictly_decreasing(rows, 256, 2);
-    } else {
-      assert_mst_strictly_decreasing(rows, 4096, 8);
+    // The strict-decrease gate needs the whole curve; a --t filter keeps
+    // only one point of it.
+    if (t_filter == 0) {
+      if (smoke) {
+        assert_mst_strictly_decreasing(rows, 256, 2);
+      } else {
+        assert_mst_strictly_decreasing(rows, 4096, 8);
+      }
     }
   }
 

@@ -1,25 +1,39 @@
-// Experiment R2 — parse-once parallel verification at scale.
+// Experiment R2 — staged verification at scale.
 //
-// The t-PLS tradeoff is only real if verification at large t is actually
-// cheap: this bench pits the pre-session reference engine (one ball at a
-// time, every ball certificate re-parsed at every center — the pre-PR hot
-// path) against VerificationSession (parse-once cache, merged BFS+CSR ball
-// construction, optional thread pool) on the spanning-tree spread at
-// n = 4096, t in {1, 2, 4, 8}, and emits the full time–size tradeoff curve
-// as JSON: certificate bits vs verification wall-time per engine.
+// Two scenarios over the spanning-tree spread:
 //
-// Verdict identity across baseline / sequential session / parallel session
-// is asserted for every row.  The headline t = 8 speedup is reported in the
-// JSON (t8_speedup_*); pass --require-speedup X to make the run fail unless
-// the sequential-session speedup reaches X (the acceptance gate is 10; it is
-// opt-in so a loaded CI host can't flake the smoke run).
+// 1. Single labeling (the PR 2 experiment): the pre-session reference engine
+//    (one ball at a time, every ball certificate re-parsed at every center)
+//    against VerificationSession (staged pipeline: geometry atlas +
+//    parse-once cache + optional thread pool) at n = 4096, t in
+//    {1, 2, 4, 8}.  Emits the time–size tradeoff curve as JSON.
 //
-// Usage: bench_verify_scale [--smoke] [--out FILE] [--threads T]
-//                           [--require-speedup X]
-//   --smoke             n = 1024 (CI-friendly); default n = 4096
-//   --out FILE          write the JSON there instead of stdout
-//   --threads T         parallel session thread count (default: hardware)
-//   --require-speedup X exit nonzero if t = 8 sequential speedup < X
+// 2. Multi-labeling batch (the adversary's workload): L labelings derived
+//    from the honest marking by hill-climb-style point mutations, all
+//    verified against ONE (scheme, cfg, t).  BatchVerifier + a warm
+//    GeometryAtlas (geometry built once, served to every labeling, parse of
+//    labeling i+1 overlapped with the sweep of labeling i) against the
+//    rebuild-every-run baseline (byte_budget = 0 atlas: same code path, no
+//    geometry retained — the pre-atlas behavior).  Reports throughput
+//    (labelings/sec), the atlas hit rate, and resident bytes.
+//
+// Verdict identity is asserted everywhere: scenario 1 across
+// baseline/sequential/parallel sessions per row; scenario 2 across the
+// rebuild loop and batch runs at threads {1, 2, hardware}, and against
+// run_verifier_t_baseline for the first few labelings (all of them under
+// --smoke — the naive engine is too slow to oracle 100 full-size labelings).
+//
+// Usage: bench_verify_scale [--smoke] [--out FILE] [--batch-out FILE]
+//                           [--threads T] [--t T] [--labelings L]
+//                           [--require-speedup X] [--require-batch-speedup X]
+//   --smoke                   n = 1024, fewer labelings (CI-friendly)
+//   --out FILE                write the tradeoff JSON there instead of stdout
+//   --batch-out FILE          additionally write the batch-scenario JSON
+//   --threads T               thread count for the timed runs (default: hw)
+//   --t T                     batch-scenario radius (default 8)
+//   --labelings L             batch size (default 100; 16 under --smoke)
+//   --require-speedup X       fail if t = 8 sequential session speedup < X
+//   --require-batch-speedup X fail if batch+atlas throughput gain < X
 #include <chrono>
 #include <fstream>
 #include <functional>
@@ -27,7 +41,9 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "graph/generators.hpp"
+#include "radius/batch.hpp"
 #include "radius/session.hpp"
 #include "radius/spread.hpp"
 #include "schemes/spanning_tree.hpp"
@@ -50,6 +66,22 @@ struct Row {
   double session_seq_ms = 0.0;  ///< session, threads = 1
   double session_par_ms = 0.0;  ///< session, threads = T
   unsigned threads = 1;
+  bool verdicts_identical = false;
+};
+
+/// The multi-labeling scenario's result sheet.
+struct BatchResult {
+  std::size_t n = 0;
+  unsigned t = 0;
+  std::size_t labelings = 0;
+  unsigned threads = 1;
+  double rebuild_ms = 0.0;  ///< per-run geometry rebuild (budget-0 atlas)
+  double batch_ms = 0.0;    ///< BatchVerifier + warm atlas
+  double rebuild_per_sec = 0.0;
+  double batch_per_sec = 0.0;
+  double speedup = 0.0;
+  radius::AtlasStats atlas;
+  std::size_t baseline_checked = 0;  ///< labelings oracled vs the naive engine
   bool verdicts_identical = false;
 };
 
@@ -99,16 +131,116 @@ Row measure(const core::Scheme& scheme, const local::Configuration& cfg,
       },
       par);
 
-  // Micro-assert for the parse-link pipeline: the session path interns
-  // chunk payloads into dense ids after the parallel parse (link_parses)
-  // and compares ids on the chunk-agreement hot path, while the baseline
-  // engine re-parses raw BitStrings everywhere — any divergence between the
-  // interned and uninterned equality checks shows up right here.
+  // Micro-assert for the staged pipeline: the session path serves geometry
+  // through the atlas and interns chunk payloads into dense ids after the
+  // parallel parse (link_parses), while the baseline engine rebuilds balls
+  // and re-parses raw BitStrings everywhere — any divergence between the
+  // two shows up right here.
   row.verdicts_identical =
       same_verdict(baseline, seq) && same_verdict(baseline, par);
   PLS_ASSERT(row.verdicts_identical);
   PLS_ASSERT(baseline.all_accept());  // honest marking on a legal instance
   return row;
+}
+
+/// Hill-climb-style candidate stream: each labeling is the previous one with
+/// one node's certificate replaced (by a donor node's certificate or random
+/// bits) — exactly the adversary's usage pattern.
+std::vector<core::Labeling> candidate_labelings(const core::Scheme& scheme,
+                                                const local::Configuration& cfg,
+                                                std::size_t count,
+                                                util::Rng& rng) {
+  std::vector<core::Labeling> labs;
+  labs.reserve(count);
+  labs.push_back(scheme.mark(cfg));
+  const std::size_t n = cfg.n();
+  while (labs.size() < count) {
+    core::Labeling next = labs.back();
+    const std::size_t v = rng.below(n);
+    if (rng.below(2) == 0) {
+      next.certs[v] = next.certs[rng.below(n)];
+    } else {
+      next.certs[v] = local::random_state(rng.below(64), rng);
+    }
+    labs.push_back(std::move(next));
+  }
+  return labs;
+}
+
+BatchResult measure_batch(const core::Scheme& scheme,
+                          const local::Configuration& cfg, unsigned t,
+                          unsigned threads,
+                          std::span<const core::Labeling> labs,
+                          std::size_t baseline_checked) {
+  BatchResult r;
+  r.n = cfg.n();
+  r.t = t;
+  r.labelings = labs.size();
+  r.threads = threads;
+
+  // Rebuild-every-run baseline: the identical staged code path with a
+  // byte_budget = 0 atlas (nothing retained between runs) and no batch
+  // pipelining — what every pre-atlas caller paid.
+  std::vector<core::Verdict> rebuild_verdicts;
+  rebuild_verdicts.reserve(labs.size());
+  {
+    radius::BatchOptions options;
+    options.threads = threads;
+    options.atlas = std::make_shared<radius::GeometryAtlas>(
+        radius::AtlasOptions{0, 64});
+    radius::BatchVerifier rebuild(scheme, cfg, t, options);
+    const auto start = std::chrono::steady_clock::now();
+    for (const core::Labeling& lab : labs)
+      rebuild_verdicts.push_back(rebuild.run_one(lab));
+    const auto stop = std::chrono::steady_clock::now();
+    r.rebuild_ms =
+        std::chrono::duration<double, std::milli>(stop - start).count();
+  }
+
+  // BatchVerifier + warm atlas, the timed contender.
+  std::vector<core::Verdict> batch_verdicts;
+  {
+    radius::BatchOptions options;
+    options.threads = threads;
+    radius::BatchVerifier batch(scheme, cfg, t, options);
+    const auto start = std::chrono::steady_clock::now();
+    batch_verdicts = batch.run(labs);
+    const auto stop = std::chrono::steady_clock::now();
+    r.batch_ms =
+        std::chrono::duration<double, std::milli>(stop - start).count();
+    r.atlas = batch.atlas().stats();
+  }
+
+  r.rebuild_per_sec =
+      static_cast<double>(labs.size()) / (r.rebuild_ms / 1000.0);
+  r.batch_per_sec = static_cast<double>(labs.size()) / (r.batch_ms / 1000.0);
+  r.speedup = r.rebuild_ms / r.batch_ms;
+
+  // Verdict identity: batch == rebuild for every labeling, batch at
+  // threads {1, 2, hardware} all equal (untimed), and the first
+  // `baseline_checked` labelings against the naive reference engine.
+  bool identical = true;
+  for (std::size_t i = 0; i < labs.size(); ++i)
+    identical = identical &&
+                same_verdict(rebuild_verdicts[i], batch_verdicts[i]);
+  for (const unsigned check_threads :
+       {1u, 2u, util::ThreadPool::hardware_threads()}) {
+    radius::BatchOptions options;
+    options.threads = check_threads;
+    radius::BatchVerifier batch(scheme, cfg, t, options);
+    const std::vector<core::Verdict> verdicts = batch.run(labs);
+    for (std::size_t i = 0; i < labs.size(); ++i)
+      identical = identical && same_verdict(verdicts[i], batch_verdicts[i]);
+  }
+  r.baseline_checked = std::min(baseline_checked, labs.size());
+  for (std::size_t i = 0; i < r.baseline_checked; ++i)
+    identical = identical &&
+                same_verdict(radius::run_verifier_t_baseline(scheme, cfg,
+                                                             labs[i], t),
+                             batch_verdicts[i]);
+  r.verdicts_identical = identical;
+  PLS_ASSERT(identical);
+  return r;
 }
 
 double t8_speedup_sequential(const std::vector<Row>& rows) {
@@ -117,7 +249,29 @@ double t8_speedup_sequential(const std::vector<Row>& rows) {
   return 0.0;
 }
 
-void emit(std::ostream& out, const std::vector<Row>& rows) {
+void emit_batch(std::ostream& out, const BatchResult& b) {
+  out << "{\n  \"bench\": \"verify_batch\",\n"
+      << "  \"n\": " << b.n << ",\n  \"t\": " << b.t
+      << ",\n  \"labelings\": " << b.labelings
+      << ",\n  \"threads\": " << b.threads
+      << ",\n  \"rebuild_ms\": " << b.rebuild_ms
+      << ",\n  \"batch_ms\": " << b.batch_ms
+      << ",\n  \"rebuild_labelings_per_sec\": " << b.rebuild_per_sec
+      << ",\n  \"batch_labelings_per_sec\": " << b.batch_per_sec
+      << ",\n  \"speedup\": " << b.speedup
+      << ",\n  \"atlas_hits\": " << b.atlas.hits
+      << ",\n  \"atlas_misses\": " << b.atlas.misses
+      << ",\n  \"atlas_hit_rate\": " << b.atlas.hit_rate()
+      << ",\n  \"atlas_evictions\": " << b.atlas.evictions
+      << ",\n  \"atlas_bytes_in_use\": " << b.atlas.bytes_in_use
+      << ",\n  \"atlas_peak_bytes\": " << b.atlas.peak_bytes
+      << ",\n  \"baseline_checked\": " << b.baseline_checked
+      << ",\n  \"verdicts_identical\": "
+      << (b.verdicts_identical ? "true" : "false") << "\n}\n";
+}
+
+void emit(std::ostream& out, const std::vector<Row>& rows,
+          const BatchResult& batch) {
   const double t8_speedup_seq = t8_speedup_sequential(rows);
   double t8_speedup_par = 0.0;
   for (const Row& r : rows)
@@ -138,32 +292,31 @@ void emit(std::ostream& out, const std::vector<Row>& rows) {
         << (r.verdicts_identical ? "true" : "false") << "}"
         << (i + 1 < rows.size() ? "," : "") << "\n";
   }
-  out << "  ]\n}\n";
+  out << "  ],\n  \"batch\": ";
+  emit_batch(out, batch);
+  out << "}\n";
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool smoke = false;
-  std::string out_path;
-  unsigned threads = util::ThreadPool::hardware_threads();
-  double require_speedup = 0.0;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--smoke") {
-      smoke = true;
-    } else if (arg == "--out" && i + 1 < argc) {
-      out_path = argv[++i];
-    } else if (arg == "--threads" && i + 1 < argc) {
-      threads = static_cast<unsigned>(std::stoul(argv[++i]));
-    } else if (arg == "--require-speedup" && i + 1 < argc) {
-      require_speedup = std::stod(argv[++i]);
-    } else {
-      std::cerr << "usage: bench_verify_scale [--smoke] [--out FILE] "
-                   "[--threads T] [--require-speedup X]\n";
-      return 2;
-    }
-  }
+  bench::CliArgs args(argc, argv);
+  const bool smoke = args.take_flag("smoke");
+  const std::string out_path = args.take_value("out").value_or("");
+  const std::string batch_out_path = args.take_value("batch-out").value_or("");
+  const unsigned threads =
+      args.take_unsigned("threads", util::ThreadPool::hardware_threads());
+  const unsigned batch_t = args.take_unsigned("t", 8);
+  const std::size_t labeling_count =
+      args.take_size("labelings", smoke ? 16 : 100);
+  const double require_speedup = args.take_double("require-speedup", 0.0);
+  const double require_batch_speedup =
+      args.take_double("require-batch-speedup", 0.0);
+  if (!args.finish("bench_verify_scale [--smoke] [--out FILE] "
+                   "[--batch-out FILE] [--threads T] [--t T] [--labelings L] "
+                   "[--require-speedup X] [--require-batch-speedup X]"))
+    return 2;
+  PLS_REQUIRE(batch_t >= 1 && labeling_count >= 1 && threads >= 1);
 
   const std::size_t n = smoke ? 1024 : 4096;
   util::Rng rng(0xBA11'5CA1Eull);
@@ -191,16 +344,45 @@ int main(int argc, char** argv) {
               << " session_par_ms=" << r.session_par_ms << "\n";
   }
 
+  // Scenario 2: the adversary-style batch.  Oracle every labeling against
+  // the naive engine under --smoke; at full size the naive engine takes
+  // ~10 s per labeling, so oracle only the first two (the batch/rebuild/
+  // thread-count cross-checks still cover all of them).
+  const radius::SpreadScheme batch_spread(stp, batch_t);
+  const core::Scheme& batch_scheme =
+      batch_t == 1 ? static_cast<const core::Scheme&>(stp)
+                   : static_cast<const core::Scheme&>(batch_spread);
+  util::Rng batch_rng(0xA7'1A5ull);
+  const std::vector<core::Labeling> labs =
+      candidate_labelings(batch_scheme, cfg, labeling_count, batch_rng);
+  const BatchResult batch =
+      measure_batch(batch_scheme, cfg, batch_t, threads, labs,
+                    smoke ? labs.size() : 2);
+  std::cerr << "batch n=" << batch.n << " t=" << batch.t
+            << " labelings=" << batch.labelings << " threads=" << batch.threads
+            << " rebuild_ms=" << batch.rebuild_ms
+            << " batch_ms=" << batch.batch_ms << " speedup=" << batch.speedup
+            << " atlas_hit_rate=" << batch.atlas.hit_rate() << "\n";
+
   if (out_path.empty()) {
-    emit(std::cout, rows);
+    emit(std::cout, rows, batch);
   } else {
     std::ofstream out(out_path);
     if (!out) {
       std::cerr << "cannot open " << out_path << "\n";
       return 1;
     }
-    emit(out, rows);
+    emit(out, rows, batch);
     std::cout << "wrote " << out_path << "\n";
+  }
+  if (!batch_out_path.empty()) {
+    std::ofstream out(batch_out_path);
+    if (!out) {
+      std::cerr << "cannot open " << batch_out_path << "\n";
+      return 1;
+    }
+    emit_batch(out, batch);
+    std::cout << "wrote " << batch_out_path << "\n";
   }
 
   if (require_speedup > 0.0) {
@@ -212,6 +394,15 @@ int main(int argc, char** argv) {
     }
     std::cerr << "t=8 sequential speedup " << speedup << " >= required "
               << require_speedup << "\n";
+  }
+  if (require_batch_speedup > 0.0) {
+    if (batch.speedup < require_batch_speedup) {
+      std::cerr << "FAIL: batch speedup " << batch.speedup << " < required "
+                << require_batch_speedup << "\n";
+      return 1;
+    }
+    std::cerr << "batch speedup " << batch.speedup << " >= required "
+              << require_batch_speedup << "\n";
   }
   return 0;
 }

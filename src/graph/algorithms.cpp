@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <queue>
 
+#include "graph/bfs_core.hpp"
 #include "graph/dsu.hpp"
 #include "util/assert.hpp"
 
@@ -10,26 +11,37 @@ namespace pls::graph {
 
 namespace {
 
+/// layered_bfs visitor recording the classic dist/parent arrays.  This is
+/// the ground-truth end of the shared BFS core — the radius-t geometry
+/// builder (radius/ball.cpp) drives the same traversal, so ball layer
+/// structure and these distances cannot drift apart.
+struct DistParentVisitor {
+  BfsResult* r;
+  const std::vector<bool>* edge_mask;
+
+  void discover(NodeIndex v, std::uint32_t, std::uint32_t dist,
+                NodeIndex parent, EdgeIndex) {
+    r->dist[v] = dist;
+    r->parent[v] = parent;
+  }
+  void row(NodeIndex, std::uint32_t, std::uint32_t) {}
+  void edge_in(std::uint32_t, std::uint32_t, std::uint32_t) {}
+  void edge_beyond(NodeIndex, EdgeIndex) {}
+  bool accept_edge(EdgeIndex e) const {
+    return edge_mask == nullptr || (*edge_mask)[e];
+  }
+};
+
 BfsResult bfs_impl(const Graph& g, NodeIndex root,
                    const std::vector<bool>* edge_mask) {
   PLS_REQUIRE(root < g.n());
   BfsResult r;
   r.dist.assign(g.n(), BfsResult::kUnreachable);
   r.parent.assign(g.n(), kInvalidNode);
-  std::queue<NodeIndex> frontier;
-  r.dist[root] = 0;
-  frontier.push(root);
-  while (!frontier.empty()) {
-    const NodeIndex v = frontier.front();
-    frontier.pop();
-    for (const AdjEntry& a : g.adjacency(v)) {
-      if (edge_mask != nullptr && !(*edge_mask)[a.edge]) continue;
-      if (r.dist[a.to] != BfsResult::kUnreachable) continue;
-      r.dist[a.to] = r.dist[v] + 1;
-      r.parent[a.to] = v;
-      frontier.push(a.to);
-    }
-  }
+  VisitEpochSet scratch;
+  std::vector<NodeIndex> frontier;
+  layered_bfs(g, root, BfsResult::kUnreachable, scratch, frontier,
+              DistParentVisitor{&r, edge_mask});
   return r;
 }
 

@@ -1,6 +1,7 @@
 #include "graph/graph.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <queue>
 #include <set>
 #include <sstream>
@@ -9,6 +10,15 @@
 #include "util/assert.hpp"
 
 namespace pls::graph {
+
+namespace {
+
+std::uint64_t next_graph_epoch() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+}  // namespace
 
 NodeIndex Graph::Builder::add_node(RawId id) {
   auto [it, inserted] = by_id_.emplace(id, static_cast<NodeIndex>(ids_.size()));
@@ -39,6 +49,7 @@ Graph Graph::Builder::build() && {
   }
 
   Graph g;
+  g.epoch_ = next_graph_epoch();
   g.ids_ = std::move(ids_);
   g.edges_ = std::move(edges_);
   g.by_id_ = std::move(by_id_);

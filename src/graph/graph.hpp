@@ -102,6 +102,13 @@ class Graph {
   RawId max_id() const noexcept { return max_id_; }
   RawId min_id() const noexcept { return min_id_; }
 
+  /// Process-unique identity of this built graph, assigned by
+  /// Builder::build and never reused within a process.  Copies share the
+  /// epoch of the original — they are bit-identical, so anything keyed on
+  /// the epoch (the radius-t geometry atlas) stays correct.  Graphs are
+  /// immutable, so equal epochs imply equal topology for a cache's lifetime.
+  std::uint64_t epoch() const noexcept { return epoch_; }
+
   /// Human-readable one-line summary, e.g. "graph(n=16, m=24, connected)".
   std::string describe() const;
 
@@ -118,6 +125,7 @@ class Graph {
   bool distinct_weights_ = false;
   RawId max_id_ = 0;
   RawId min_id_ = 0;
+  std::uint64_t epoch_ = 0;
 };
 
 }  // namespace pls::graph

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
-#include "radius/session.hpp"
+#include "radius/batch.hpp"
 #include "util/assert.hpp"
 
 namespace pls::core {
@@ -43,18 +43,19 @@ AttackReport attack(const Scheme& scheme, const local::Configuration& cfg,
   AttackReport report;
   report.min_rejections = n + 1;  // sentinel: worse than any real verdict
 
-  // One verification session for the whole attack: thousands of candidate
-  // labelings are verified against the same (scheme, cfg, t) triple, so the
-  // session's ball scratch persists across them and each labeling's
-  // certificates are parsed once instead of once per ball.  Sequential
+  // One batch verifier — and therefore ONE geometry atlas — for the whole
+  // attack: thousands of candidate labelings are verified against the same
+  // (scheme, cfg, t) triple, so ball geometry is built once per center and
+  // each candidate pays only its own parse + sweep.  Sequential
   // (threads = 1): attack results must not depend on the host's core count,
-  // and the candidate labelings are evaluated in a serial hill-climb anyway.
+  // and the hill-climb is adaptive (candidate i+1 depends on verdict i), so
+  // there is no batch to pipeline.
   const unsigned t = effective_radius(scheme, options.rounds);
-  radius::SessionOptions session_options;
-  session_options.threads = 1;
-  radius::VerificationSession session(scheme, cfg, t, session_options);
+  radius::BatchOptions batch_options;
+  batch_options.threads = 1;
+  radius::BatchVerifier verifier(scheme, cfg, t, batch_options);
   auto consider = [&](const Labeling& lab, const std::string& strategy) {
-    const Verdict verdict = session.run(lab);
+    const Verdict verdict = verifier.run_one(lab);
     const std::size_t rej = verdict.rejections();
     if (rej < report.min_rejections) {
       report.min_rejections = rej;
@@ -152,7 +153,7 @@ AttackReport attack(const Scheme& scheme, const local::Configuration& cfg,
               local::random_state(rng.below(options.max_cert_bits + 1), rng);
           break;
       }
-      const std::size_t rej = session.run(current).rejections();
+      const std::size_t rej = verifier.run_one(current).rejections();
       if (rej <= current_rej) {
         current_rej = rej;
         if (rej < report.min_rejections) {
@@ -175,9 +176,9 @@ std::size_t exhaustive_min_rejections(const Scheme& scheme,
                                       std::size_t max_bits) {
   PLS_REQUIRE(max_bits <= 8);
   const unsigned t = effective_radius(scheme, 1);
-  radius::SessionOptions session_options;
-  session_options.threads = 1;
-  radius::VerificationSession session(scheme, cfg, t, session_options);
+  radius::BatchOptions batch_options;
+  batch_options.threads = 1;
+  radius::BatchVerifier verifier(scheme, cfg, t, batch_options);
   // All bit strings of length 0..max_bits.
   std::vector<Certificate> alphabet;
   for (std::size_t len = 0; len <= max_bits; ++len)
@@ -195,7 +196,7 @@ std::size_t exhaustive_min_rejections(const Scheme& scheme,
   lab.certs.assign(n, Certificate{});
   while (true) {
     for (std::size_t v = 0; v < n; ++v) lab.certs[v] = alphabet[pick[v]];
-    best = std::min(best, session.run(lab).rejections());
+    best = std::min(best, verifier.run_one(lab).rejections());
     if (best == 0) return 0;
     // Odometer increment.
     std::size_t v = 0;

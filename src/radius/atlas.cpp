@@ -1,0 +1,171 @@
+#include "radius/atlas.hpp"
+
+#include "util/assert.hpp"
+
+namespace pls::radius {
+
+GeometryBlock::GeometryBlock(const graph::Graph& g,
+                             graph::NodeIndex first_center,
+                             graph::NodeIndex end_center, unsigned t)
+    : first_(first_center), end_(end_center) {
+  PLS_REQUIRE(first_center < end_center);
+  PLS_REQUIRE(end_center <= g.n());
+  graph::VisitEpochSet scratch;
+  std::vector<graph::NodeIndex> frontier;
+  for (graph::NodeIndex c = first_center; c < end_center; ++c)
+    store_.build_center(g, c, t, scratch, frontier);
+  store_.shrink_to_fit();
+}
+
+GeometryAtlas::GeometryAtlas(AtlasOptions options) : options_(options) {
+  PLS_REQUIRE(options_.block_centers >= 1);
+  PLS_REQUIRE(options_.turnover_period >= 1);
+}
+
+std::shared_ptr<const GeometryBlock> GeometryAtlas::block(
+    const graph::Graph& g, unsigned t, graph::NodeIndex center) {
+  PLS_REQUIRE(t >= 1);
+  PLS_REQUIRE(center < g.n());
+  const std::uint32_t index = center / options_.block_centers;
+  const Key wanted{g.epoch(), index, t};
+
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    // Any resident block over the same centers with radius >= t serves the
+    // lookup (smaller radii are prefixes); the map order makes the smallest
+    // such radius the lower bound.
+    auto it = entries_.lower_bound(wanted);
+    if (it != entries_.end() && it->first.graph_epoch == wanted.graph_epoch &&
+        it->first.block_index == wanted.block_index) {
+      if (it->second->block == nullptr) {
+        // In flight on another thread.  Hold the slot itself: even if the
+        // finished block is bypassed by the budget (and its entry erased),
+        // the builder hands it to us through the slot — in-flight dedup
+        // must never degenerate into serialized rebuilds of one block.
+        const std::shared_ptr<Slot> pending = it->second;
+        built_cv_.wait(lock);
+        if (pending->block != nullptr) {
+          ++stats_.hits;
+          return pending->block;
+        }
+        continue;  // the build failed; retry (possibly claiming it ourselves)
+      }
+      ++stats_.hits;
+      touch_locked(*it->second, it->first);
+      return it->second->block;
+    }
+
+    // Miss: claim the build, construct outside the lock.
+    ++stats_.misses;
+    auto [slot_it, inserted] =
+        entries_.emplace(wanted, std::make_shared<Slot>());
+    PLS_ASSERT(inserted);
+    lock.unlock();
+
+    const auto first =
+        static_cast<graph::NodeIndex>(index * options_.block_centers);
+    const auto end = static_cast<graph::NodeIndex>(
+        std::min<std::size_t>(std::size_t{first} + options_.block_centers,
+                              g.n()));
+    std::shared_ptr<const GeometryBlock> built;
+    try {
+      built = std::make_shared<const GeometryBlock>(g, first, end, t);
+    } catch (...) {
+      lock.lock();
+      entries_.erase(slot_it);
+      built_cv_.notify_all();
+      throw;
+    }
+
+    lock.lock();
+    // Publish to any waiters first (through the shared slot), then decide
+    // residency.  Admission is decided BEFORE retiring the smaller-radius
+    // blocks this one supersedes: a bypassed contender must not evict
+    // anything.
+    slot_it->second->block = built;
+    if (admit_locked(built->bytes(), reclaimable_prefix_bytes_locked(wanted))) {
+      retire_prefixes_locked(wanted);
+      evict_for_locked(built->bytes());
+      lru_.push_front(wanted);
+      slot_it->second->lru = lru_.begin();
+      stats_.bytes_in_use += built->bytes();
+      stats_.peak_bytes = std::max(stats_.peak_bytes, stats_.bytes_in_use);
+    } else {
+      // Scan guard: hand the pinned block to the caller (and the waiters)
+      // without caching it, so a cyclic sweep larger than the budget keeps
+      // a stable resident subset instead of churning everything to a 0%
+      // hit rate.
+      entries_.erase(slot_it);
+      ++stats_.bypassed;
+    }
+    built_cv_.notify_all();
+    return built;
+  }
+}
+
+void GeometryAtlas::touch_locked(Slot& slot, const Key& key) {
+  (void)key;
+  lru_.splice(lru_.begin(), lru_, slot.lru);
+}
+
+std::size_t GeometryAtlas::reclaimable_prefix_bytes_locked(
+    const Key& key) const {
+  std::size_t bytes = 0;
+  auto it = entries_.lower_bound(Key{key.graph_epoch, key.block_index, 0});
+  for (; it != entries_.end() && it->first.graph_epoch == key.graph_epoch &&
+         it->first.block_index == key.block_index && it->first.t < key.t;
+       ++it)
+    if (it->second->block != nullptr) bytes += it->second->block->bytes();
+  return bytes;
+}
+
+void GeometryAtlas::retire_prefixes_locked(const Key& key) {
+  // A radius-t block strictly dominates every resident smaller-radius block
+  // over the same centers (they are prefixes of it), so admitting the new
+  // one must not leave the duplicates charged against the budget.
+  auto it = entries_.lower_bound(Key{key.graph_epoch, key.block_index, 0});
+  while (it != entries_.end() && it->first.graph_epoch == key.graph_epoch &&
+         it->first.block_index == key.block_index && it->first.t < key.t) {
+    if (it->second->block == nullptr) {  // another thread's in-flight build
+      ++it;
+      continue;
+    }
+    stats_.bytes_in_use -= it->second->block->bytes();
+    lru_.erase(it->second->lru);
+    it = entries_.erase(it);
+    ++stats_.evictions;
+  }
+}
+
+bool GeometryAtlas::admit_locked(std::size_t needed,
+                                 std::size_t reclaimable) {
+  if (needed > options_.byte_budget) return false;  // can never fit
+  if (stats_.bytes_in_use - reclaimable + needed <= options_.byte_budget)
+    return true;
+  // The cache is full.  Only every turnover_period-th contender may
+  // displace residents (LRU victims) — the rest bypass the cache.
+  if (++denials_since_turnover_ < options_.turnover_period) return false;
+  denials_since_turnover_ = 0;
+  return true;
+}
+
+void GeometryAtlas::evict_for_locked(std::size_t needed) {
+  while (stats_.bytes_in_use + needed > options_.byte_budget &&
+         !lru_.empty()) {
+    const Key victim = lru_.back();
+    lru_.pop_back();
+    auto it = entries_.find(victim);
+    PLS_ASSERT(it != entries_.end() && it->second->block != nullptr);
+    stats_.bytes_in_use -= it->second->block->bytes();
+    entries_.erase(it);  // holders' shared_ptrs keep the block alive
+    ++stats_.evictions;
+  }
+  PLS_ASSERT(stats_.bytes_in_use + needed <= options_.byte_budget);
+}
+
+AtlasStats GeometryAtlas::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace pls::radius

@@ -4,6 +4,187 @@
 
 namespace pls::radius {
 
+/// layered_bfs visitor appending one center's geometry to a GeometryStore.
+/// Adjacency rows are written layer-partitioned: entries whose far end sits
+/// at the scanning member's layer or below go straight into adj_, entries
+/// one layer out are buffered in `tail` and flushed when the row closes —
+/// that partition point (row_mid_) is what lets a radius-t store serve every
+/// smaller radius zero-copy.
+struct GeometryBuildVisitor {
+  GeometryStore* s;
+  const graph::Graph* g;
+  std::uint32_t member_base;  // members_ size at center start
+  std::uint32_t adj_base;     // adj_ size at center start
+  std::vector<std::uint32_t> tail;
+  bool row_open = false;
+  bool whole = true;
+
+  std::uint32_t rel_len() const {
+    return static_cast<std::uint32_t>(s->adj_.size()) - adj_base;
+  }
+
+  void close_row() {
+    if (!row_open) return;
+    s->row_mid_.push_back(rel_len());
+    s->adj_.insert(s->adj_.end(), tail.begin(), tail.end());
+    tail.clear();
+    row_open = false;
+  }
+
+  void discover(graph::NodeIndex v, std::uint32_t, std::uint32_t dist,
+                graph::NodeIndex, graph::EdgeIndex entry_edge) {
+    GeomMember m;
+    m.node = v;
+    m.dist = dist;
+    m.edge_weight =
+        entry_edge == graph::kInvalidEdge ? graph::Weight{1} : g->weight(entry_edge);
+    s->members_.push_back(m);
+  }
+
+  void row(graph::NodeIndex, std::uint32_t, std::uint32_t) {
+    close_row();
+    s->row_begin_.push_back(rel_len());
+    row_open = true;
+  }
+
+  void edge_in(std::uint32_t u_slot, std::uint32_t v_slot, std::uint32_t u_dist) {
+    (void)u_slot;
+    if (s->members_[member_base + v_slot].dist <= u_dist) {
+      s->adj_.push_back(v_slot);
+    } else {
+      tail.push_back(v_slot);
+    }
+  }
+
+  void edge_beyond(graph::NodeIndex, graph::EdgeIndex) { whole = false; }
+
+  bool accept_edge(graph::EdgeIndex) const { return true; }
+
+  void finish() {
+    close_row();
+    // Row sentinels: row_begin_ gets the end of the last row, row_mid_ a
+    // matching dummy so both arrays share the (count+1)-per-center stride.
+    s->row_begin_.push_back(rel_len());
+    s->row_mid_.push_back(rel_len());
+  }
+};
+
+void GeometryStore::clear() {
+  members_.clear();
+  layers_.clear();
+  row_begin_.clear();
+  row_mid_.clear();
+  adj_.clear();
+  centers_.clear();
+  t_ = 0;
+}
+
+void GeometryStore::build_center(const graph::Graph& g,
+                                 graph::NodeIndex center, unsigned t,
+                                 graph::VisitEpochSet& scratch,
+                                 std::vector<graph::NodeIndex>& frontier) {
+  PLS_REQUIRE(t >= 1);
+  PLS_REQUIRE(center < g.n());
+  PLS_REQUIRE(centers_.empty() || t_ == t);
+  t_ = t;
+
+  CenterMeta meta;
+  meta.member_begin = static_cast<std::uint32_t>(members_.size());
+  meta.layer_begin = static_cast<std::uint32_t>(layers_.size());
+  meta.row_begin = static_cast<std::uint32_t>(row_begin_.size());
+  meta.adj_begin = static_cast<std::uint32_t>(adj_.size());
+
+  GeometryBuildVisitor visitor{
+      this, &g, meta.member_begin, meta.adj_begin, {}, false, true};
+  graph::layered_bfs(g, center, t, scratch, frontier, visitor);
+  visitor.finish();
+  meta.whole_component = visitor.whole;
+
+  // Layer offsets from the members' dists (BFS order => sorted by dist);
+  // trailing empty layers repeat the member count.
+  const auto count =
+      static_cast<std::uint32_t>(members_.size()) - meta.member_begin;
+  layers_.reserve(layers_.size() + t + 2);
+  std::uint32_t idx = 0;
+  for (unsigned r = 0; r <= t + 1; ++r) {
+    while (idx < count && members_[meta.member_begin + idx].dist < r) ++idx;
+    layers_.push_back(idx);
+  }
+
+  centers_.push_back(meta);
+}
+
+GeometryView GeometryStore::view(std::size_t i, unsigned serve_t) const {
+  PLS_REQUIRE(i < centers_.size());
+  PLS_REQUIRE(serve_t >= 1 && serve_t <= t_);
+  const CenterMeta& c = centers_[i];
+  const std::uint32_t adj_end = i + 1 < centers_.size()
+                                    ? centers_[i + 1].adj_begin
+                                    : static_cast<std::uint32_t>(adj_.size());
+  const std::uint32_t count = layers_[c.layer_begin + serve_t + 1];
+
+  GeometryView v;
+  v.members = std::span<const GeomMember>(members_).subspan(c.member_begin, count);
+  v.layers = std::span<const std::uint32_t>(layers_).subspan(c.layer_begin,
+                                                             serve_t + 2);
+  v.row_begin =
+      std::span<const std::uint32_t>(row_begin_).subspan(c.row_begin, count + 1);
+  v.row_mid =
+      std::span<const std::uint32_t>(row_mid_).subspan(c.row_begin, count + 1);
+  v.adj = std::span<const std::uint32_t>(adj_).subspan(c.adj_begin,
+                                                       adj_end - c.adj_begin);
+  v.radius = serve_t;
+  v.whole_component =
+      serve_t == t_
+          ? c.whole_component
+          : layers_[c.layer_begin + serve_t + 2] == layers_[c.layer_begin + serve_t + 1];
+  return v;
+}
+
+std::size_t GeometryStore::bytes() const noexcept {
+  return members_.size() * sizeof(GeomMember) +
+         (layers_.size() + row_begin_.size() + row_mid_.size() + adj_.size()) *
+             sizeof(std::uint32_t) +
+         centers_.size() * sizeof(CenterMeta);
+}
+
+void GeometryStore::shrink_to_fit() {
+  members_.shrink_to_fit();
+  layers_.shrink_to_fit();
+  row_begin_.shrink_to_fit();
+  row_mid_.shrink_to_fit();
+  adj_.shrink_to_fit();
+  centers_.shrink_to_fit();
+}
+
+void BallView::bind(const GeometryView& geom, const local::Configuration& cfg,
+                    const core::Labeling& labeling, local::Visibility mode) {
+  const graph::Graph& g = cfg.graph();
+  radius_ = geom.radius;
+  whole_component_ = geom.whole_component;
+  layers_ = geom.layers;
+  row_begin_ = geom.row_begin;
+  row_mid_ = geom.row_mid;
+  adj_ = geom.adj;
+
+  members_.clear();
+  members_.reserve(geom.members.size());
+  const bool extended = mode == local::Visibility::kExtended;
+  for (const GeomMember& gm : geom.members) {
+    BallMember m;
+    m.node = gm.node;
+    m.dist = gm.dist;
+    m.edge_weight = gm.edge_weight;
+    m.cert = &labeling.certs[gm.node];
+    if (extended) {
+      m.state = &cfg.state(gm.node);
+      m.id = g.id(gm.node);
+      m.id_visible = true;
+    }
+    members_.push_back(m);
+  }
+}
+
 const BallView& BallBuilder::build(const local::Configuration& cfg,
                                    const core::Labeling& labeling,
                                    graph::NodeIndex center, unsigned t,
@@ -11,77 +192,9 @@ const BallView& BallBuilder::build(const local::Configuration& cfg,
   PLS_REQUIRE(t >= 1);
   PLS_REQUIRE(center < cfg.n());
   PLS_REQUIRE(labeling.size() == cfg.n());
-  const graph::Graph& g = cfg.graph();
-
-  if (visit_epoch_.size() != g.n() || epoch_ == UINT32_MAX) {
-    visit_epoch_.assign(g.n(), 0);
-    slot_.assign(g.n(), 0);
-    epoch_ = 0;
-  }
-  ++epoch_;
-
-  auto make_member = [&](graph::NodeIndex v, std::uint32_t dist,
-                         graph::Weight via_weight) {
-    BallMember m;
-    m.node = v;
-    m.dist = dist;
-    m.cert = &labeling.certs[v];
-    m.edge_weight = via_weight;
-    if (mode == local::Visibility::kExtended) {
-      m.state = &cfg.state(v);
-      m.id = g.id(v);
-      m.id_visible = true;
-    }
-    return m;
-  };
-
-  BallView& ball = ball_;
-  ball.members_.clear();
-  ball.layer_offsets_.assign(t + 2, 0);
-  ball.adj_offsets_.clear();
-  ball.adj_.clear();
-  ball.radius_ = t;
-  ball.whole_component_ = true;
-
-  visit_epoch_[center] = epoch_;
-  slot_[center] = 0;
-  ball.members_.push_back(make_member(center, 0, 1));
-  ball.layer_offsets_[1] = 1;
-
-  // Merged layered BFS + CSR pass.  Scanning member i at layer r touches each
-  // of its graph edges once: a neighbor at layer r-1 or r already has a slot
-  // (all of layer r was discovered while scanning layer r-1), a neighbor at
-  // layer r+1 gets its slot the moment it is discovered here, and a neighbor
-  // past the last layer (only possible at r == t) marks the ball as a strict
-  // subset of the component.  So each member's full CSR row — and the
-  // whole-component flag — fall out of the single scan, with no separate
-  // boundary or adjacency pass over the ball.
-  for (unsigned r = 0; r <= t; ++r) {
-    const std::uint32_t begin = ball.layer_offsets_[r];
-    const std::uint32_t end = ball.layer_offsets_[r + 1];
-    for (std::uint32_t i = begin; i < end; ++i) {
-      const graph::NodeIndex u = ball.members_[i].node;
-      ball.adj_offsets_.push_back(static_cast<std::uint32_t>(ball.adj_.size()));
-      for (const graph::AdjEntry& a : g.adjacency(u)) {
-        if (visit_epoch_[a.to] == epoch_) {
-          ball.adj_.push_back(slot_[a.to]);
-        } else if (r < t) {
-          visit_epoch_[a.to] = epoch_;
-          const auto s = static_cast<std::uint32_t>(ball.members_.size());
-          slot_[a.to] = s;
-          ball.members_.push_back(make_member(a.to, r + 1, g.weight(a.edge)));
-          ball.adj_.push_back(s);
-        } else {
-          ball.whole_component_ = false;
-        }
-      }
-    }
-    if (r < t)
-      ball.layer_offsets_[r + 2] =
-          static_cast<std::uint32_t>(ball.members_.size());
-  }
-  ball.adj_offsets_.push_back(static_cast<std::uint32_t>(ball.adj_.size()));
-
+  store_.clear();
+  store_.build_center(cfg.graph(), center, t, scratch_, frontier_);
+  ball_.bind(store_.view(0, t), cfg, labeling, mode);
   return ball_;
 }
 

@@ -1,0 +1,144 @@
+#include "radius/batch.hpp"
+
+#include "pls/engine.hpp"
+#include "util/assert.hpp"
+
+namespace pls::radius {
+
+BatchVerifier::BatchVerifier(const core::Scheme& scheme,
+                             const local::Configuration& cfg, unsigned t,
+                             BatchOptions options)
+    : scheme_(scheme),
+      ball_scheme_(dynamic_cast<const BallScheme*>(&scheme)),
+      cfg_(cfg),
+      t_(t),
+      threads_(options.threads == 0 ? util::ThreadPool::hardware_threads()
+                                    : options.threads),
+      atlas_(options.atlas != nullptr
+                 ? std::move(options.atlas)
+                 : std::make_shared<GeometryAtlas>()) {
+  PLS_REQUIRE(t >= 1);
+  if (ball_scheme_ != nullptr) PLS_REQUIRE(t >= ball_scheme_->radius());
+  pool_ = std::make_unique<util::ThreadPool>(threads_);
+  slots_.resize(threads_);
+}
+
+void BatchVerifier::parse_link(const core::Labeling& labeling,
+                               ParsedLabeling& out, bool parallel) {
+  const std::size_t n = cfg_.n();
+  out.storage.clear();
+  out.storage.resize(n);
+  out.view.assign(n, nullptr);
+  const auto parse_slice = [&](unsigned, std::size_t begin, std::size_t end) {
+    for (std::size_t v = begin; v < end; ++v) {
+      out.storage[v] = ball_scheme_->parse_cert(labeling.certs[v]);
+      out.view[v] = out.storage[v].get();
+    }
+  };
+  if (parallel) {
+    pool_->for_range(n, parse_slice);
+  } else {
+    parse_slice(0, 0, n);
+  }
+  // Link phase: intern payloads repeated across the per-node parses into
+  // small dense ids; single-threaded, the sweep workers only read the
+  // linked parses.
+  ball_scheme_->link_parses(out.storage);
+}
+
+void BatchVerifier::post_sweep(const core::Labeling& labeling,
+                               const ParsedLabeling& parsed,
+                               std::vector<std::uint8_t>& accept) {
+  const std::size_t n = cfg_.n();
+  accept.assign(n, 0);
+
+  if (ball_scheme_ == nullptr) {
+    // Plain 1-round scheme: the shared per-node routine, per-slot scratch.
+    pool_->post_range(n, [this, &labeling, &accept](unsigned worker,
+                                                    std::size_t begin,
+                                                    std::size_t end) {
+      std::vector<local::NeighborView>& scratch = slots_[worker].views;
+      for (std::size_t v = begin; v < end; ++v)
+        accept[v] = core::detail::verify_one_round_at(
+            scheme_, cfg_, labeling, static_cast<graph::NodeIndex>(v),
+            scratch);
+    });
+    return;
+  }
+
+  const std::span<const ParsedCert* const> cache =
+      ball_scheme_->has_cert_parser()
+          ? std::span<const ParsedCert* const>(parsed.view)
+          : std::span<const ParsedCert* const>();
+  const unsigned radius = ball_scheme_->radius();
+  const local::Visibility mode = scheme_.visibility();
+  pool_->post_range(n, [this, &labeling, &accept, cache, radius, mode](
+                           unsigned worker, std::size_t begin,
+                           std::size_t end) {
+    const graph::Graph& g = cfg_.graph();
+    Slot& slot = slots_[worker];
+    // Each slot walks a contiguous slice, so it re-requests a block only at
+    // block boundaries; the shared_ptr pins the block across the slice even
+    // if the atlas evicts it meanwhile.
+    std::shared_ptr<const GeometryBlock> block;
+    for (std::size_t i = begin; i < end; ++i) {
+      const auto v = static_cast<graph::NodeIndex>(i);
+      if (block == nullptr || !block->covers(v))
+        block = atlas_->block(g, radius, v);
+      slot.view.bind(block->ball(v, radius), cfg_, labeling, mode);
+      const RadiusContext ctx(slot.view, g.id(v), cfg_.state(v),
+                              labeling.certs[v], mode, cfg_.n(), cache);
+      accept[i] = ball_scheme_->verify_ball(ctx);
+    }
+  });
+}
+
+std::vector<core::Verdict> BatchVerifier::run(
+    std::span<const core::Labeling> labelings) {
+  const std::size_t n = cfg_.n();
+  for (const core::Labeling& lab : labelings)
+    PLS_REQUIRE(lab.size() == n);
+
+  std::vector<core::Verdict> verdicts;
+  verdicts.reserve(labelings.size());
+  if (labelings.empty()) return verdicts;
+
+  const bool cached =
+      ball_scheme_ != nullptr && ball_scheme_->has_cert_parser();
+
+  // Stage 2 of the first labeling has nothing to overlap with — use the
+  // idle pool.  parsed_/accept_ are the double buffers: stage 2 of
+  // labeling i+1 fills the half the sweep of labeling i is not reading.
+  if (cached) parse_link(labelings[0], parsed_[0], /*parallel=*/true);
+
+  for (std::size_t i = 0; i < labelings.size(); ++i) {
+    post_sweep(labelings[i], parsed_[i % 2], accept_[i % 2]);
+    // Overlap window: the workers are sweeping labeling i (with threads = 1
+    // the sweep is merely deferred — strictly sequential, same verdicts).
+    // A stage-2 throw must not unwind past the posted sweep: the workers
+    // are writing into this object's buffers under the caller's feet, so
+    // quiesce them first.
+    if (cached && i + 1 < labelings.size()) {
+      try {
+        parse_link(labelings[i + 1], parsed_[(i + 1) % 2],
+                   /*parallel=*/false);
+      } catch (...) {
+        pool_->finish_range();
+        throw;
+      }
+    }
+    pool_->finish_range();
+
+    std::vector<bool> bits(n);
+    for (std::size_t v = 0; v < n; ++v) bits[v] = accept_[i % 2][v] != 0;
+    verdicts.emplace_back(std::move(bits));
+  }
+  return verdicts;
+}
+
+core::Verdict BatchVerifier::run_one(const core::Labeling& labeling) {
+  std::vector<core::Verdict> verdicts = run({&labeling, 1});
+  return std::move(verdicts.front());
+}
+
+}  // namespace pls::radius

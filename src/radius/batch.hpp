@@ -1,0 +1,113 @@
+// Stages 2+3 of the verification pipeline, and its batch-labeling front end.
+//
+// The staged pipeline splits a radius-t verification into three separately
+// owned stages:
+//
+//   1. GEOMETRY  — labeling-independent ball CSRs, owned by GeometryAtlas
+//                  (atlas.hpp): built once per (graph, t, center), shared
+//                  across sessions, thread slots, and t values.
+//   2. PARSE/LINK — labeling-dependent, center-independent: each node's
+//                  certificate parsed exactly once per labeling
+//                  (BallScheme::parse_cert), then the single-threaded link
+//                  phase interns repeated payloads (link_parses).
+//   3. SWEEP     — per-center verify_ball over geometry bound to the
+//                  labeling, fanned out over util::ThreadPool with the
+//                  static deterministic partition.
+//
+// BatchVerifier pins one (scheme, configuration, t) and verifies any number
+// of labelings against it.  For a batch, the stages overlap: while the pool
+// sweeps labeling i, the calling thread (slice 0 of the posted range is
+// deferred, ThreadPool::post_range) parses and links labeling i+1 into the
+// other half of a double buffer.  Verdicts are bit-identical to per-labeling
+// sessions at every thread count — parse results are per-node and
+// scheduling-independent, the link phase is deterministic, and each verdict
+// depends only on its own labeling's stage-2 output — so the overlap is a
+// pure wall-clock win.  threads = 1 degenerates to the strictly sequential
+// parse -> link -> sweep per labeling, spawning no threads.
+//
+// VerificationSession (session.hpp) is a batch-of-one over this class;
+// pls::core::attack hill-climbs through run_one with a per-attack atlas.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "radius/atlas.hpp"
+#include "radius/engine_t.hpp"
+#include "util/thread_pool.hpp"
+
+namespace pls::radius {
+
+struct BatchOptions {
+  /// Execution slots; 0 means util::ThreadPool::hardware_threads().
+  /// 1 runs strictly sequentially on the calling thread (no worker threads).
+  unsigned threads = 0;
+  /// Geometry atlas to read/populate; null creates a private atlas with
+  /// default AtlasOptions.  Share one atlas across verifiers to share
+  /// geometry (it is thread-safe and keyed by graph epoch).
+  std::shared_ptr<GeometryAtlas> atlas;
+};
+
+class BatchVerifier {
+ public:
+  /// Pins (scheme, cfg, t).  Both must outlive the verifier.  Requires
+  /// t >= 1, and t >= scheme.radius() for ball schemes.
+  BatchVerifier(const core::Scheme& scheme, const local::Configuration& cfg,
+                unsigned t, BatchOptions options = {});
+
+  /// Verifies every labeling of the span, pipelined as described above.
+  /// verdicts[i] is bit-identical to a fresh per-labeling session (and to
+  /// run_verifier_t_baseline) at every thread count.
+  std::vector<core::Verdict> run(std::span<const core::Labeling> labelings);
+
+  /// Batch of one; the geometry atlas still persists across calls, which is
+  /// what the adversary's hill-climb loop amortizes.
+  core::Verdict run_one(const core::Labeling& labeling);
+
+  unsigned radius() const noexcept { return t_; }
+  unsigned threads() const noexcept { return threads_; }
+  const GeometryAtlas& atlas() const noexcept { return *atlas_; }
+  const std::shared_ptr<GeometryAtlas>& atlas_ptr() const noexcept {
+    return atlas_;
+  }
+
+ private:
+  /// Stage-2 output for one labeling: the per-node parse-once cache.
+  struct ParsedLabeling {
+    std::vector<std::unique_ptr<ParsedCert>> storage;
+    std::vector<const ParsedCert*> view;
+  };
+
+  void parse_link(const core::Labeling& labeling, ParsedLabeling& out,
+                  bool parallel);
+  /// Posts the stage-3 sweep of `labeling` over the pool and returns; the
+  /// caller overlaps stage 2 of the next labeling, then calls
+  /// pool_->finish_range().
+  void post_sweep(const core::Labeling& labeling, const ParsedLabeling& parsed,
+                  std::vector<std::uint8_t>& accept);
+
+  const core::Scheme& scheme_;
+  const BallScheme* ball_scheme_;  // nullptr for plain 1-round schemes
+  const local::Configuration& cfg_;
+  unsigned t_;
+  unsigned threads_;
+  std::shared_ptr<GeometryAtlas> atlas_;
+  std::unique_ptr<util::ThreadPool> pool_;
+
+  struct Slot {
+    BallView view;
+    std::vector<local::NeighborView> views;  // plain 1-round scratch
+  };
+  std::vector<Slot> slots_;
+
+  // The pipeline's double buffers, members so their capacity persists
+  // across run()/run_one() calls — the adversary's hill-climb calls
+  // run_one thousands of times per attack and must not reallocate per
+  // candidate.  No labeling's parse outlives its iteration: each buffer is
+  // rebuilt (clear + resize) before its labeling's sweep is posted.
+  ParsedLabeling parsed_[2];
+  std::vector<std::uint8_t> accept_[2];
+};
+
+}  // namespace pls::radius

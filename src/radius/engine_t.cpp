@@ -31,6 +31,13 @@ core::Verdict run_verifier_t(const core::Scheme& scheme,
                              const core::Labeling& labeling, unsigned t) {
   SessionOptions options;
   options.threads = 1;
+  // One-shot call: a retaining atlas would materialize the whole graph's
+  // geometry (hundreds of MB at large t) for a single labeling with no
+  // reuse to amortize it.  A zero-budget atlas keeps the peak at one
+  // block — blocks are built, swept, and dropped — with identical
+  // verdicts.  Callers verifying many labelings hold a session or a
+  // BatchVerifier (and its warm atlas) themselves.
+  options.atlas = std::make_shared<GeometryAtlas>(AtlasOptions{0, 64, 1});
   VerificationSession session(scheme, cfg, t, options);
   return session.run(labeling);
 }

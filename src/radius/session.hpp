@@ -1,45 +1,36 @@
 // Parse-once, parallel radius-t verification sessions.
 //
-// The naive radius-t sweep (run_verifier_t_baseline) re-parses every ball
-// certificate at every center: O(n * |ball|) parse work, which at t = 8 on a
-// few thousand nodes dwarfs the actual decoding.  A VerificationSession
-// pins one (scheme, configuration, radius) triple and amortizes everything
-// that is shared across the sweep — and across repeated sweeps, which is how
-// the adversary's hill-climb uses it:
+// A VerificationSession is the single-labeling entry point to the staged
+// verification pipeline (Geometry -> Parse/Link -> Sweep, batch.hpp): it
+// pins one (scheme, configuration, radius) triple and verifies one labeling
+// per run() call, as a batch of one over BatchVerifier.  Everything shared
+// across repeated runs is amortized:
 //
+//   * geometry: ball CSRs live in the session's GeometryAtlas (pass one in
+//     through SessionOptions::atlas to share across sessions), so repeated
+//     run() calls — the adversary's hill-climb — never rebuild a ball;
 //   * parse-once: if the scheme implements BallScheme::parse_cert, each
 //     node's certificate is parsed exactly once per labeling into a shared
 //     per-node cache that every verify_ball call reads through
 //     RadiusContext::parsed;
-//   * ball reuse: each execution slot owns one BallBuilder whose
-//     epoch-stamped scratch, member arrays and CSR buffers persist across
-//     the adjacent centers of its slice (ball.hpp) — no per-ball allocation
-//     or clearing, and the merged BFS+CSR pass touches each ball edge once;
 //   * parallelism: per-node verdicts are independent, so the sweep fans out
 //     over a util::ThreadPool with a static, deterministic partition.
-//     Verdicts are bit-identical at every thread count — each slot writes
-//     only its own slice of the accept buffer, and no verdict depends on
-//     any other.  threads = 1 is the sequential fallback: no worker threads
-//     are spawned and the traversal order equals the plain loop's.
+//     Verdicts are bit-identical at every thread count; threads = 1 is the
+//     sequential fallback (no worker threads are spawned).
 //
 // Plain 1-round schemes run through the session too (parallel over nodes,
 // per-slot view scratch, same per-node routine as the 1-round engine), so
-// run_verifier_t keeps its t = 1 bit-for-bit guarantee.
+// run_verifier_t keeps its t = 1 bit-for-bit guarantee.  Callers sweeping
+// many labelings at once should hold a BatchVerifier directly and get the
+// parse/sweep overlap on top.
 #pragma once
 
-#include <memory>
-#include <vector>
-
-#include "radius/engine_t.hpp"
-#include "util/thread_pool.hpp"
+#include "radius/batch.hpp"
 
 namespace pls::radius {
 
-struct SessionOptions {
-  /// Execution slots; 0 means util::ThreadPool::hardware_threads().
-  /// 1 runs sequentially on the calling thread (no pool, no threads).
-  unsigned threads = 0;
-};
+/// Session construction options; identical to the batch verifier's.
+using SessionOptions = BatchOptions;
 
 class VerificationSession {
  public:
@@ -47,36 +38,22 @@ class VerificationSession {
   /// t >= 1, and t >= scheme.radius() for ball schemes.
   VerificationSession(const core::Scheme& scheme,
                       const local::Configuration& cfg, unsigned t,
-                      SessionOptions options = {});
+                      SessionOptions options = {})
+      : batch_(scheme, cfg, t, std::move(options)) {}
 
   /// Verifies one labeling; callable repeatedly with different labelings
-  /// (the per-node parse cache is rebuilt per call, the ball/thread
-  /// machinery is reused).  The verdict is independent of the thread count.
-  core::Verdict run(const core::Labeling& labeling);
+  /// (the per-node parse cache is rebuilt per call, the geometry and thread
+  /// machinery are reused).  The verdict is independent of the thread count.
+  core::Verdict run(const core::Labeling& labeling) {
+    return batch_.run_one(labeling);
+  }
 
-  unsigned radius() const noexcept { return t_; }
-  unsigned threads() const noexcept { return threads_; }
+  unsigned radius() const noexcept { return batch_.radius(); }
+  unsigned threads() const noexcept { return batch_.threads(); }
+  const GeometryAtlas& atlas() const noexcept { return batch_.atlas(); }
 
  private:
-  const core::Scheme& scheme_;
-  const BallScheme* ball_scheme_;  // nullptr for plain 1-round schemes
-  const local::Configuration& cfg_;
-  unsigned t_;
-  unsigned threads_;
-  std::unique_ptr<util::ThreadPool> pool_;  // null when threads_ == 1
-
-  struct Slot {
-    BallBuilder builder;
-    std::vector<local::NeighborView> views;
-  };
-  std::vector<Slot> slots_;
-
-  // Parse-once cache, rebuilt by run(): owning storage plus the raw-pointer
-  // view handed to RadiusContext (nullptr entry = malformed certificate).
-  std::vector<std::unique_ptr<ParsedCert>> parsed_storage_;
-  std::vector<const ParsedCert*> parsed_;
-
-  std::vector<std::uint8_t> accept_;  // per-node verdicts (disjoint writes)
+  BatchVerifier batch_;
 };
 
 }  // namespace pls::radius

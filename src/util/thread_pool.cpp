@@ -57,22 +57,51 @@ void ThreadPool::worker_loop(unsigned worker) {
 }
 
 void ThreadPool::for_range(std::size_t n, const RangeFn& fn) {
+  PLS_REQUIRE(!posted_);
   if (n == 0) return;
   if (threads_ == 1) {
     fn(0, 0, n);
     return;
   }
+  start_workers(&fn, n);
+  join_workers(fn, n);
+}
 
+void ThreadPool::post_range(std::size_t n, RangeFn fn) {
+  PLS_REQUIRE(!posted_);
+  posted_fn_ = std::move(fn);
+  posted_ = true;
+  posted_n_ = n;
+  if (n == 0 || threads_ == 1) return;  // whole range runs in finish_range
+  start_workers(&posted_fn_, n);
+}
+
+void ThreadPool::finish_range() {
+  PLS_REQUIRE(posted_);
+  posted_ = false;
+  const std::size_t n = posted_n_;
+  if (n == 0) return;
+  if (threads_ == 1) {
+    // Sequential fallback: the deferred range is the plain loop.
+    posted_fn_(0, 0, n);
+    return;
+  }
+  join_workers(posted_fn_, n);
+}
+
+void ThreadPool::start_workers(const RangeFn* fn, std::size_t n) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    job_ = &fn;
+    job_ = fn;
     job_n_ = n;
     remaining_ = threads_ - 1;
     first_error_ = nullptr;
     ++generation_;
   }
   start_cv_.notify_all();
+}
 
+void ThreadPool::join_workers(const RangeFn& fn, std::size_t n) {
   // The caller owns slice 0; its exception still waits for the workers so
   // the pool is quiescent before it propagates.
   std::exception_ptr own_error;

@@ -45,6 +45,22 @@ class ThreadPool {
                                      std::size_t end)>;
   void for_range(std::size_t n, const RangeFn& fn);
 
+  /// Asynchronous variant for software pipelining: posts the job and returns
+  /// immediately — worker threads start slices 1..thread_count()-1 right
+  /// away, while slice 0 is deferred until finish_range(), where it runs on
+  /// the calling thread.  Between the two calls the caller may do unrelated
+  /// work (the batch verifier parses labeling i+1 there while the workers
+  /// sweep labeling i).  The static partition, and therefore any per-worker
+  /// scratch reuse, is identical to for_range's; a 1-thread pool simply runs
+  /// the whole range inside finish_range(), so the sequential path still
+  /// spawns nothing.  At most one posted range may be outstanding;
+  /// for_range(n, fn) == post_range(n, fn) + finish_range().
+  void post_range(std::size_t n, RangeFn fn);
+
+  /// Completes the posted range: runs slice 0 here, blocks until every
+  /// worker slice has finished, and rethrows the first captured exception.
+  void finish_range();
+
   /// Slice `worker` of the static partition of [0, n) into `threads` parts.
   static std::pair<std::size_t, std::size_t> slice(std::size_t n,
                                                    unsigned threads,
@@ -57,6 +73,8 @@ class ThreadPool {
 
  private:
   void worker_loop(unsigned worker);
+  void start_workers(const RangeFn* fn, std::size_t n);
+  void join_workers(const RangeFn& fn, std::size_t n);
 
   const unsigned threads_;
   std::vector<std::thread> workers_;
@@ -66,6 +84,9 @@ class ThreadPool {
   std::condition_variable done_cv_;   // signals caller: all slices finished
   const RangeFn* job_ = nullptr;      // valid while the current job runs
   std::size_t job_n_ = 0;
+  RangeFn posted_fn_;                 // owning copy for post_range jobs
+  std::size_t posted_n_ = 0;
+  bool posted_ = false;               // a post_range awaits finish_range
   std::uint64_t generation_ = 0;      // bumped once per for_range call
   unsigned remaining_ = 0;            // worker slices not yet finished
   std::exception_ptr first_error_;

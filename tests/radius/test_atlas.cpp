@@ -1,0 +1,334 @@
+// GeometryAtlas: the cached geometry must be indistinguishable from a fresh
+// BallBuilder build — for every center, radius, graph, and sharing pattern —
+// while the byte budget and LRU accounting hold at every step.
+#include "radius/atlas.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "graph/generators.hpp"
+#include "radius/session.hpp"
+#include "radius/spread.hpp"
+#include "schemes/spanning_tree.hpp"
+#include "testing/helpers.hpp"
+
+namespace pls::radius {
+namespace {
+
+using pls::testing::share;
+
+local::Configuration trivial_config(std::shared_ptr<const graph::Graph> g) {
+  std::vector<local::State> states(g->n(), local::State{});
+  return local::Configuration(std::move(g), std::move(states));
+}
+
+core::Labeling numbered_labeling(std::size_t n) {
+  core::Labeling lab;
+  for (std::size_t v = 0; v < n; ++v) {
+    util::BitWriter w;
+    w.write_uint(v, 16);
+    lab.certs.push_back(local::Certificate::from_writer(std::move(w)));
+  }
+  return lab;
+}
+
+/// Structural equality of a bound view against the BallBuilder oracle.
+void expect_same_ball(const BallView& a, const BallView& b) {
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_EQ(a.radius(), b.radius());
+  EXPECT_EQ(a.whole_component(), b.whole_component());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const BallMember& ma = a.members()[i];
+    const BallMember& mb = b.members()[i];
+    EXPECT_EQ(ma.node, mb.node);
+    EXPECT_EQ(ma.dist, mb.dist);
+    EXPECT_EQ(ma.edge_weight, mb.edge_weight);
+    EXPECT_EQ(ma.cert, mb.cert);
+    EXPECT_EQ(ma.state, mb.state);
+    EXPECT_EQ(ma.id, mb.id);
+    EXPECT_EQ(ma.id_visible, mb.id_visible);
+  }
+  for (unsigned r = 0; r <= a.radius(); ++r)
+    ASSERT_EQ(a.layer(r).size(), b.layer(r).size()) << "layer " << r;
+  for (std::uint32_t i = 0; i < a.size(); ++i) {
+    const auto na = a.neighbors_of(i);
+    const auto nb = b.neighbors_of(i);
+    ASSERT_EQ(na.size(), nb.size()) << "member " << i;
+    for (std::size_t j = 0; j < na.size(); ++j) EXPECT_EQ(na[j], nb[j]);
+  }
+}
+
+void expect_atlas_matches_builder(GeometryAtlas& atlas,
+                                  const local::Configuration& cfg,
+                                  const core::Labeling& lab, unsigned t,
+                                  local::Visibility mode) {
+  BallBuilder builder;
+  BallView bound;
+  for (graph::NodeIndex v = 0; v < cfg.n(); ++v) {
+    const auto block = atlas.block(cfg.graph(), t, v);
+    bound.bind(block->ball(v, t), cfg, lab, mode);
+    expect_same_ball(bound, builder.build(cfg, lab, v, t, mode));
+  }
+}
+
+TEST(GeometryAtlas, MatchesBuilderOnRandomGraphs) {
+  util::Rng rng(7001);
+  for (int instance = 0; instance < 3; ++instance) {
+    auto g = share(graph::random_connected(30 + 7 * instance, 20, rng));
+    const auto cfg = trivial_config(g);
+    const auto lab = numbered_labeling(g->n());
+    for (const unsigned t : {1u, 2u, 4u, 9u}) {
+      GeometryAtlas atlas;
+      expect_atlas_matches_builder(atlas, cfg, lab, t,
+                                   local::Visibility::kExtended);
+      expect_atlas_matches_builder(atlas, cfg, lab, t,
+                                   local::Visibility::kCertificatesOnly);
+    }
+  }
+}
+
+// The prefix property: a block built at radius t serves every t' < t with
+// geometry equal to a direct radius-t' build (members are a prefix, boundary
+// rows are cut at the layer partition, whole_component is re-derived).
+TEST(GeometryAtlas, LargerRadiusServesSmallerByPrefix) {
+  util::Rng rng(7002);
+  auto g = share(graph::random_connected(40, 28, rng));
+  const auto cfg = trivial_config(g);
+  const auto lab = numbered_labeling(g->n());
+
+  GeometryAtlas atlas;
+  // Warm the atlas at t = 8; all smaller radii must be served without a
+  // single additional build.
+  for (graph::NodeIndex v = 0; v < g->n(); ++v) atlas.block(*g, 8, v);
+  const std::uint64_t misses_after_warmup = atlas.stats().misses;
+
+  BallBuilder builder;
+  BallView bound;
+  for (const unsigned t : {1u, 2u, 3u, 5u, 8u}) {
+    for (graph::NodeIndex v = 0; v < g->n(); ++v) {
+      const auto block = atlas.block(*g, t, v);
+      EXPECT_GE(block->radius(), t);
+      bound.bind(block->ball(v, t), cfg, lab, local::Visibility::kExtended);
+      expect_same_ball(bound,
+                       builder.build(cfg, lab, v, t,
+                                     local::Visibility::kExtended));
+    }
+  }
+  EXPECT_EQ(atlas.stats().misses, misses_after_warmup);
+  EXPECT_GT(atlas.stats().hits, 0u);
+}
+
+// Ascending radii must not leave redundant prefixes resident: admitting a
+// radius-8 block retires the radius-2 block over the same centers (a strict
+// prefix of it), and later radius-2 lookups hit the radius-8 block.
+TEST(GeometryAtlas, AscendingRadiusRetiresPrefixBlocks) {
+  util::Rng rng(7012);
+  auto g = share(graph::random_connected(40, 28, rng));
+
+  GeometryAtlas atlas;
+  for (graph::NodeIndex v = 0; v < g->n(); ++v) atlas.block(*g, 2, v);
+  const AtlasStats after_t2 = atlas.stats();
+  const std::size_t t2_bytes = after_t2.bytes_in_use;
+  ASSERT_GT(t2_bytes, 0u);
+
+  for (graph::NodeIndex v = 0; v < g->n(); ++v) atlas.block(*g, 8, v);
+  const AtlasStats after_t8 = atlas.stats();
+  // Every t=2 block was superseded by its t=8 cover...
+  EXPECT_EQ(after_t8.evictions, after_t2.misses);
+  // ...so residency equals the t=8 geometry alone, not the sum of both.
+  GeometryAtlas only_t8;
+  for (graph::NodeIndex v = 0; v < g->n(); ++v) only_t8.block(*g, 8, v);
+  EXPECT_EQ(after_t8.bytes_in_use, only_t8.stats().bytes_in_use);
+
+  // And t=2 is now served by the t=8 blocks: hits only, no new builds.
+  const std::uint64_t misses_before = after_t8.misses;
+  for (graph::NodeIndex v = 0; v < g->n(); ++v) atlas.block(*g, 2, v);
+  EXPECT_EQ(atlas.stats().misses, misses_before);
+}
+
+TEST(GeometryAtlas, DisconnectedGraphAndPendantNodes) {
+  // Two components (a path and a triangle) exercise whole_component and
+  // empty trailing layers through the prefix view.
+  graph::Graph::Builder b;
+  for (graph::RawId id = 0; id < 8; ++id) b.add_node(100 + id);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 3);
+  b.add_edge(3, 4);  // path 0-1-2-3-4
+  b.add_edge(5, 6);
+  b.add_edge(6, 7);
+  b.add_edge(5, 7);  // triangle 5-6-7
+  auto g = share(std::move(b).build());
+  const auto cfg = trivial_config(g);
+  const auto lab = numbered_labeling(g->n());
+
+  GeometryAtlas atlas;
+  for (const unsigned t : {1u, 2u, 6u}) {
+    expect_atlas_matches_builder(atlas, cfg, lab, t,
+                                 local::Visibility::kExtended);
+  }
+  // Triangle members see the whole component from t = 2 on.
+  const auto block = atlas.block(*g, 2, 5);
+  EXPECT_TRUE(block->ball(5, 2).whole_component);
+  EXPECT_FALSE(atlas.block(*g, 2, 0)->ball(0, 2).whole_component);
+}
+
+TEST(GeometryAtlas, RespectsByteBudgetAndEvictsLru) {
+  util::Rng rng(7003);
+  auto g = share(graph::random_connected(96, 60, rng));
+
+  // First find out how big one block is, then budget for about three.
+  AtlasOptions probe_options;
+  probe_options.block_centers = 16;
+  GeometryAtlas probe(probe_options);
+  const std::size_t block_bytes = probe.block(*g, 4, 0)->bytes();
+  ASSERT_GT(block_bytes, 0u);
+
+  AtlasOptions options;
+  options.block_centers = 16;
+  options.byte_budget = 3 * block_bytes + block_bytes / 2;
+  options.turnover_period = 1;  // pure LRU: every contender displaces
+  GeometryAtlas atlas(options);
+  for (int sweep = 0; sweep < 3; ++sweep) {
+    for (graph::NodeIndex v = 0; v < g->n(); ++v) {
+      atlas.block(*g, 4, v);
+      // The budget must hold after every single insertion, not just at the
+      // end of a sweep.
+      EXPECT_LE(atlas.stats().bytes_in_use, options.byte_budget);
+    }
+  }
+  const AtlasStats stats = atlas.stats();
+  EXPECT_GT(stats.evictions, 0u);
+  // 96 centers / 16 per block = 6 blocks a sweep, at most ~3 resident: the
+  // pure-LRU scan pattern must keep missing.
+  EXPECT_GT(stats.misses, 6u);
+  // Admission happens before accounting, so the budget also bounds the peak.
+  EXPECT_LE(stats.peak_bytes, options.byte_budget);
+}
+
+// The default policy is scan-resistant: a cyclic sweep whose working set
+// exceeds the budget keeps a stable resident subset (partial hit rate)
+// instead of LRU-churning to zero hits.
+TEST(GeometryAtlas, ScanLargerThanBudgetStillHits) {
+  util::Rng rng(7013);
+  auto g = share(graph::random_connected(96, 60, rng));
+
+  AtlasOptions probe_options;
+  probe_options.block_centers = 16;
+  GeometryAtlas probe(probe_options);
+  const std::size_t block_bytes = probe.block(*g, 4, 0)->bytes();
+
+  AtlasOptions options;
+  options.block_centers = 16;
+  options.byte_budget = 3 * block_bytes + block_bytes / 2;
+  GeometryAtlas atlas(options);  // default turnover_period
+  for (int sweep = 0; sweep < 4; ++sweep)
+    for (graph::NodeIndex v = 0; v < g->n(); ++v) {
+      atlas.block(*g, 4, v);
+      EXPECT_LE(atlas.stats().bytes_in_use, options.byte_budget);
+    }
+  const AtlasStats stats = atlas.stats();
+  // Roughly half the blocks fit, so from sweep 2 on the resident subset
+  // keeps hitting; some blocks bypass the cache by design.
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_GT(stats.bypassed, 0u);
+}
+
+TEST(GeometryAtlas, ZeroBudgetCachesNothingButStaysCorrect) {
+  util::Rng rng(7004);
+  auto g = share(graph::random_connected(24, 12, rng));
+  const auto cfg = trivial_config(g);
+  const auto lab = numbered_labeling(g->n());
+
+  AtlasOptions options;
+  options.byte_budget = 0;
+  options.block_centers = 4;
+  GeometryAtlas atlas(options);
+  expect_atlas_matches_builder(atlas, cfg, lab, 3,
+                               local::Visibility::kExtended);
+  const AtlasStats stats = atlas.stats();
+  EXPECT_EQ(stats.bytes_in_use, 0u);
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_EQ(stats.bypassed, stats.misses);
+}
+
+TEST(GeometryAtlas, KeyedByGraphEpochAcrossGraphs) {
+  util::Rng rng(7005);
+  auto g1 = share(graph::random_connected(20, 10, rng));
+  auto g2 = share(graph::random_connected(20, 10, rng));
+  ASSERT_NE(g1->epoch(), g2->epoch());
+
+  GeometryAtlas atlas;
+  const auto cfg1 = trivial_config(g1);
+  const auto cfg2 = trivial_config(g2);
+  const auto lab = numbered_labeling(20);
+  // Interleaved lookups over two graphs through one atlas must never mix
+  // geometry.
+  expect_atlas_matches_builder(atlas, cfg1, lab, 3,
+                               local::Visibility::kExtended);
+  expect_atlas_matches_builder(atlas, cfg2, lab, 3,
+                               local::Visibility::kExtended);
+  expect_atlas_matches_builder(atlas, cfg1, lab, 3,
+                               local::Visibility::kExtended);
+  EXPECT_GT(atlas.stats().hits, 0u);
+}
+
+// One atlas shared by two sessions over the same configuration: the second
+// session's sweep is served entirely from cache.
+TEST(GeometryAtlas, SharedAcrossSessions) {
+  const schemes::StpLanguage language;
+  const schemes::StpScheme base(language);
+  const SpreadScheme spread(base, 4);
+  util::Rng rng(7006);
+  auto g = share(graph::random_connected(26, 14, rng));
+  const local::Configuration cfg = language.sample_legal(g, rng);
+  const core::Labeling honest = spread.mark(cfg);
+
+  auto atlas = std::make_shared<GeometryAtlas>();
+  SessionOptions options;
+  options.threads = 1;
+  options.atlas = atlas;
+  VerificationSession first(spread, cfg, 4, options);
+  const core::Verdict v1 = first.run(honest);
+  const std::uint64_t misses_after_first = atlas->stats().misses;
+
+  VerificationSession second(spread, cfg, 4, options);
+  const core::Verdict v2 = second.run(honest);
+  EXPECT_EQ(atlas->stats().misses, misses_after_first);
+  EXPECT_GT(atlas->stats().hits, 0u);
+  EXPECT_EQ(v1.accept(), v2.accept());
+}
+
+// Concurrent lookups (including same-block races) return consistent pinned
+// blocks; the TSan CI job runs this with real interleavings.
+TEST(GeometryAtlas, ConcurrentLookupsAreConsistent) {
+  util::Rng rng(7007);
+  auto g = share(graph::random_connected(64, 40, rng));
+
+  AtlasOptions options;
+  options.block_centers = 8;
+  options.byte_budget = 1 << 16;  // small: eviction races with lookups
+  GeometryAtlas atlas(options);
+
+  std::vector<std::thread> threads;
+  for (int w = 0; w < 4; ++w) {
+    threads.emplace_back([&atlas, &g, w] {
+      for (int round = 0; round < 3; ++round)
+        for (graph::NodeIndex v = 0; v < g->n(); ++v) {
+          const unsigned t = 1 + static_cast<unsigned>((w + round) % 3);
+          const auto block = atlas.block(*g, t, v);
+          EXPECT_TRUE(block->covers(v));
+          EXPECT_GE(block->radius(), t);
+          EXPECT_GT(block->ball(v, t).members.size(), 0u);
+        }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const AtlasStats stats = atlas.stats();
+  EXPECT_GT(stats.misses, 0u);
+}
+
+}  // namespace
+}  // namespace pls::radius

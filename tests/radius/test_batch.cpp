@@ -1,0 +1,208 @@
+// BatchVerifier: the pipelined batch front end must be bit-identical to
+// per-labeling sessions and to the naive reference engine at every thread
+// count — including the stage-2 hazard the pipeline introduces: the parse
+// cache of labeling i+1 is filled WHILE the sweep of labeling i runs, so a
+// stale or crossed parse would be an ordering bug, not a logic bug.  These
+// tests pin both down, plus the satellite regression: a parse cached for one
+// labeling must be unreachable from any other labeling's sweep, by
+// construction (double-buffered ParsedLabeling, rebuilt per labeling).
+#include "radius/batch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "radius/fragment_spread.hpp"
+#include "radius/spread.hpp"
+#include "schemes/registry.hpp"
+#include "schemes/spanning_tree.hpp"
+#include "testing/helpers.hpp"
+
+namespace pls::radius {
+namespace {
+
+using core::Labeling;
+using core::Verdict;
+using pls::testing::share;
+
+std::shared_ptr<const graph::Graph> graph_for(
+    const schemes::SchemeEntry& entry, util::Rng& rng) {
+  if (entry.needs_weighted)
+    return share(
+        graph::reweight_random(graph::random_connected(16, 10, rng), rng));
+  if (entry.needs_bipartite) return share(graph::grid(2, 8));
+  return share(graph::random_connected(16, 10, rng));
+}
+
+Labeling random_labeling(std::size_t n, util::Rng& rng) {
+  Labeling lab;
+  for (std::size_t v = 0; v < n; ++v)
+    lab.certs.push_back(local::random_state(rng.below(96), rng));
+  return lab;
+}
+
+void expect_batch_equals_baselines(const core::Scheme& scheme,
+                                   const local::Configuration& cfg,
+                                   unsigned t,
+                                   std::span<const Labeling> labs,
+                                   const std::string& label) {
+  std::vector<Verdict> oracle;
+  oracle.reserve(labs.size());
+  for (const Labeling& lab : labs)
+    oracle.push_back(run_verifier_t_baseline(scheme, cfg, lab, t));
+
+  for (const unsigned threads : {1u, 2u, util::ThreadPool::hardware_threads()}) {
+    BatchOptions options;
+    options.threads = threads;
+    BatchVerifier batch(scheme, cfg, t, options);
+    const std::vector<Verdict> got = batch.run(labs);
+    ASSERT_EQ(got.size(), labs.size());
+    for (std::size_t i = 0; i < labs.size(); ++i)
+      EXPECT_EQ(oracle[i].accept(), got[i].accept())
+          << label << " labeling " << i << " threads " << threads;
+  }
+}
+
+// Registry-wide: every scheme, honest + garbage batches, all thread counts.
+TEST(BatchVerifier, RegistryBatchesMatchPerLabelingBaseline) {
+  util::Rng rng(50901);
+  for (const schemes::SchemeEntry& entry : schemes::standard_catalog()) {
+    auto g = graph_for(entry, rng);
+    const local::Configuration cfg = entry.language->sample_legal(g, rng);
+    std::vector<Labeling> labs;
+    labs.push_back(entry.scheme->mark(cfg));
+    for (int i = 0; i < 3; ++i) labs.push_back(random_labeling(cfg.n(), rng));
+    expect_batch_equals_baselines(*entry.scheme, cfg, 1, labs,
+                                  entry.label + "/plain");
+
+    const FragmentSpreadScheme spread(*entry.scheme, 2);
+    std::vector<Labeling> spread_labs;
+    spread_labs.push_back(spread.mark(cfg));
+    for (int i = 0; i < 3; ++i)
+      spread_labs.push_back(random_labeling(cfg.n(), rng));
+    expect_batch_equals_baselines(spread, cfg, 2, spread_labs,
+                                  entry.label + "/spread");
+  }
+}
+
+// The satellite regression: certificates SWAP between consecutive labelings
+// of a batch.  If any stage-2 parse leaked across the pipeline's double
+// buffer (labeling i's sweep reading labeling i+1's half-built cache, or a
+// cache surviving a labeling change), these verdicts would diverge from the
+// per-labeling oracle — nodes would be judged on another labeling's parse.
+TEST(BatchVerifier, SwappedCertificatesAcrossBatchNeverReuseStaleParses) {
+  const schemes::StpLanguage language;
+  const schemes::StpScheme base(language);
+  const SpreadScheme spread(base, 4);
+  util::Rng rng(50902);
+  auto g = share(graph::random_connected(22, 14, rng));
+  const local::Configuration cfg = language.sample_legal(g, rng);
+
+  const Labeling honest = spread.mark(cfg);
+  std::vector<Labeling> labs;
+  labs.push_back(honest);
+  // Alternate: full rotation, selective swaps, back to honest — adjacent
+  // labelings differ exactly where a stale parse would bite.
+  Labeling rotated = honest;
+  std::rotate(rotated.certs.begin(), rotated.certs.begin() + 1,
+              rotated.certs.end());
+  labs.push_back(rotated);
+  labs.push_back(honest);
+  Labeling swapped = honest;
+  for (std::size_t v = 0; v + 1 < swapped.certs.size(); v += 2)
+    std::swap(swapped.certs[v], swapped.certs[v + 1]);
+  labs.push_back(swapped);
+  labs.push_back(honest);
+  Labeling malformed = honest;
+  malformed.certs[3] = local::Certificate{};
+  labs.push_back(malformed);
+  labs.push_back(honest);
+
+  expect_batch_equals_baselines(spread, cfg, 4, labs, "swap-batch");
+}
+
+// run_one interleaved with run(): the single-labeling path shares the atlas
+// and buffers with the batch path; interleaving must not leak state either.
+TEST(BatchVerifier, RunOneInterleavedWithBatches) {
+  const schemes::StpLanguage language;
+  const schemes::StpScheme base(language);
+  const SpreadScheme spread(base, 2);
+  util::Rng rng(50903);
+  auto g = share(graph::grid(4, 5));
+  const local::Configuration cfg = language.sample_legal(g, rng);
+  const Labeling honest = spread.mark(cfg);
+
+  BatchOptions options;
+  options.threads = 2;
+  BatchVerifier batch(spread, cfg, 2, options);
+  for (int round = 0; round < 3; ++round) {
+    Labeling tampered = honest;
+    tampered.certs[rng.below(cfg.n())] = local::random_state(24, rng);
+    EXPECT_EQ(batch.run_one(tampered).accept(),
+              run_verifier_t_baseline(spread, cfg, tampered, 2).accept());
+    std::vector<Labeling> labs = {honest, tampered, honest};
+    const std::vector<Verdict> got = batch.run(labs);
+    for (std::size_t i = 0; i < labs.size(); ++i)
+      EXPECT_EQ(got[i].accept(),
+                run_verifier_t_baseline(spread, cfg, labs[i], 2).accept());
+  }
+  // Geometry was shared across all of it: exactly one build per block.
+  EXPECT_GT(batch.atlas().stats().hits, 0u);
+}
+
+TEST(BatchVerifier, EmptyBatchAndInputValidation) {
+  const schemes::StpLanguage language;
+  const schemes::StpScheme base(language);
+  const SpreadScheme spread(base, 4);
+  auto g = share(graph::path(5));
+  const auto cfg = language.make_tree(g, 0);
+
+  BatchVerifier batch(spread, cfg, 4);
+  EXPECT_TRUE(batch.run({}).empty());
+  Labeling wrong;
+  wrong.certs.assign(2, local::Certificate{});
+  std::vector<Labeling> labs = {wrong};
+  EXPECT_THROW(batch.run(labs), std::logic_error);
+  EXPECT_THROW(BatchVerifier(spread, cfg, 0), std::logic_error);
+  EXPECT_THROW(BatchVerifier(spread, cfg, 2), std::logic_error);
+}
+
+// The throughput claim's correctness half, in miniature: a batch over one
+// shared atlas equals the rebuild-every-run loop (budget-0 atlas) verdict
+// for verdict.
+TEST(BatchVerifier, WarmAtlasEqualsRebuildLoop) {
+  const schemes::StpLanguage language;
+  const schemes::StpScheme base(language);
+  const SpreadScheme spread(base, 4);
+  util::Rng rng(50904);
+  auto g = share(graph::random_connected(28, 16, rng));
+  const local::Configuration cfg = language.sample_legal(g, rng);
+
+  std::vector<Labeling> labs;
+  labs.push_back(spread.mark(cfg));
+  for (int i = 0; i < 5; ++i) {
+    Labeling next = labs.back();
+    next.certs[rng.below(cfg.n())] = local::random_state(rng.below(48), rng);
+    labs.push_back(std::move(next));
+  }
+
+  BatchOptions warm_options;
+  warm_options.threads = 1;
+  BatchVerifier warm(spread, cfg, 4, warm_options);
+
+  BatchOptions cold_options;
+  cold_options.threads = 1;
+  cold_options.atlas = std::make_shared<GeometryAtlas>(AtlasOptions{0, 16});
+  BatchVerifier cold(spread, cfg, 4, cold_options);
+
+  const std::vector<Verdict> warm_verdicts = warm.run(labs);
+  for (std::size_t i = 0; i < labs.size(); ++i)
+    EXPECT_EQ(warm_verdicts[i].accept(), cold.run_one(labs[i]).accept());
+
+  EXPECT_GT(warm.atlas().stats().hits, 0u);
+  EXPECT_EQ(cold.atlas().stats().hits, 0u);
+  EXPECT_EQ(cold.atlas().stats().bytes_in_use, 0u);
+}
+
+}  // namespace
+}  // namespace pls::radius

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "radius/batch.hpp"
 #include "radius/fragment_spread.hpp"
 #include "radius/session.hpp"
 #include "schemes/registry.hpp"
@@ -106,6 +107,51 @@ TEST(FuzzDifferential, RegistrySchemesAllEnginesAgree) {
       // region-grouped verify_ball are the hot paths under test.
       const FragmentSpreadScheme spread(*entry.scheme, t);
       fuzz_scheme(spread, cfg, t, 0xBEEFu ^ (t * 104729), 8);
+    }
+  }
+}
+
+// The batch pipeline under the same fuzz: a whole mutation trail is run as
+// ONE BatchVerifier batch (stage 2 of labeling i+1 overlapping the sweep of
+// labeling i, all labelings sharing one geometry atlas) and must stay
+// bit-identical to per-labeling baseline verdicts.  This is the differential
+// form of the parse-cache invalidation regression: adjacent labelings in the
+// trail differ by certificate swaps and rewrites, so any parse (or geometry)
+// surviving a labeling boundary would flip a verdict here.
+TEST(FuzzDifferential, BatchedMutationTrailsMatchPerLabelingBaseline) {
+  util::Rng rng(0xBA7C4u);
+  const auto catalog = schemes::standard_catalog();
+  for (const schemes::SchemeEntry& entry : catalog) {
+    std::shared_ptr<const graph::Graph> g;
+    if (entry.needs_weighted) {
+      g = share(graph::reweight_random(graph::random_connected(16, 10, rng),
+                                       rng));
+    } else if (entry.needs_bipartite) {
+      g = share(graph::grid(3, 5));
+    } else {
+      g = share(graph::random_connected(16, 10, rng));
+    }
+    const local::Configuration cfg = entry.language->sample_legal(g, rng);
+    const FragmentSpreadScheme spread(*entry.scheme, 2);
+
+    std::vector<core::Labeling> trail;
+    trail.push_back(spread.mark(cfg));
+    for (int m = 0; m < 6; ++m) trail.push_back(mutate(trail.back(), rng));
+
+    std::vector<core::Verdict> oracle;
+    for (const core::Labeling& lab : trail)
+      oracle.push_back(run_verifier_t_baseline(spread, cfg, lab, 2));
+
+    for (const unsigned threads : {1u, 2u, 0u}) {  // 0 = hardware
+      BatchOptions options;
+      options.threads = threads;
+      BatchVerifier batch(spread, cfg, 2, options);
+      const std::vector<core::Verdict> got = batch.run(trail);
+      ASSERT_EQ(got.size(), trail.size());
+      for (std::size_t i = 0; i < trail.size(); ++i)
+        ASSERT_EQ(oracle[i].accept(), got[i].accept())
+            << entry.label << " trail step " << i << " threads "
+            << batch.threads();
     }
   }
 }

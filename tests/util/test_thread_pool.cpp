@@ -101,6 +101,91 @@ TEST(ThreadPool, ReusableAcrossManyJobs) {
   EXPECT_EQ(sum.load(), 200L * (63 * 64 / 2));
 }
 
+// post_range/finish_range: the pipelining split of for_range.  Worker
+// slices may run during the overlap window; slice 0 runs inside
+// finish_range on the calling thread; coverage and partition are identical
+// to for_range's.
+TEST(ThreadPool, PostFinishCoversRangeExactlyOnce) {
+  for (const unsigned threads : {1u, 2u, 4u}) {
+    ThreadPool pool(threads);
+    std::vector<std::atomic<int>> hits(500);
+    std::atomic<int> overlap_work{0};
+    pool.post_range(hits.size(), [&](unsigned worker, std::size_t begin,
+                                     std::size_t end) {
+      EXPECT_LT(worker, threads);
+      for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+    });
+    // The overlap window: the caller is free here while workers run.
+    overlap_work.store(42);
+    pool.finish_range();
+    EXPECT_EQ(overlap_work.load(), 42);
+    for (const std::atomic<int>& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPool, PostFinishSequentialDefersWholeRangeToFinish) {
+  ThreadPool pool(1);
+  const auto caller = std::this_thread::get_id();
+  std::size_t calls = 0;
+  bool before_finish = true;
+  pool.post_range(31, [&](unsigned worker, std::size_t begin,
+                          std::size_t end) {
+    EXPECT_FALSE(before_finish);  // nothing may run before finish_range
+    EXPECT_EQ(worker, 0u);
+    EXPECT_EQ(begin, 0u);
+    EXPECT_EQ(end, 31u);
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 0u);
+  before_finish = false;
+  pool.finish_range();
+  EXPECT_EQ(calls, 1u);
+}
+
+TEST(ThreadPool, PostFinishEmptyRangeAndReuse) {
+  ThreadPool pool(3);
+  std::atomic<int> calls{0};
+  pool.post_range(0, [&](unsigned, std::size_t, std::size_t) { ++calls; });
+  pool.finish_range();
+  EXPECT_EQ(calls.load(), 0);
+  // Alternate post/finish with plain for_range on the same pool.
+  std::atomic<int> total{0};
+  pool.post_range(64, [&](unsigned, std::size_t begin, std::size_t end) {
+    total.fetch_add(static_cast<int>(end - begin));
+  });
+  pool.finish_range();
+  pool.for_range(36, [&](unsigned, std::size_t begin, std::size_t end) {
+    total.fetch_add(static_cast<int>(end - begin));
+  });
+  EXPECT_EQ(total.load(), 100);
+}
+
+TEST(ThreadPool, PostFinishExceptionPropagatesAtFinish) {
+  ThreadPool pool(2);
+  pool.post_range(10, [&](unsigned, std::size_t begin, std::size_t) {
+    if (begin == 0) throw std::runtime_error("slice 0");
+  });
+  EXPECT_THROW(pool.finish_range(), std::runtime_error);
+  std::atomic<int> total{0};
+  pool.for_range(10, [&](unsigned, std::size_t begin, std::size_t end) {
+    total.fetch_add(static_cast<int>(end - begin));
+  });
+  EXPECT_EQ(total.load(), 10);
+}
+
+TEST(ThreadPool, DoublePostOrUnpairedUseIsInvalid) {
+  ThreadPool pool(2);
+  pool.post_range(4, [](unsigned, std::size_t, std::size_t) {});
+  EXPECT_THROW(pool.post_range(4, [](unsigned, std::size_t, std::size_t) {}),
+               std::logic_error);
+  EXPECT_THROW(
+      pool.for_range(4, [](unsigned, std::size_t, std::size_t) {}),
+      std::logic_error);
+  pool.finish_range();
+  EXPECT_THROW(pool.finish_range(), std::logic_error);
+}
+
 TEST(ThreadPool, HardwareThreadsIsPositive) {
   EXPECT_GE(ThreadPool::hardware_threads(), 1u);
 }
