@@ -85,6 +85,27 @@ class CliArgs {
         });
   }
 
+  /// Consumes `--seed VALUE` (decimal or 0x-prefixed hex): the experiment's
+  /// base RNG seed.  Every bench threads it through its instance/stream
+  /// generators and echoes it into the JSON it emits, so any CI artifact
+  /// names the exact inputs needed to reproduce it.
+  std::uint64_t take_seed(std::uint64_t fallback) {
+    return parse_numeric<std::uint64_t>(
+        "seed", fallback, [](const std::string& v) {
+          reject_sign(v);
+          // Base 10 unless explicitly 0x-prefixed: base-0 stoull would read
+          // a zero-padded "0100" as octal 64, silently breaking the
+          // seed-in-JSON reproduction promise.
+          const bool hex = v.size() > 2 && v[0] == '0' &&
+                           (v[1] == 'x' || v[1] == 'X');
+          std::size_t pos = 0;
+          const unsigned long long x =
+              std::stoull(hex ? v.substr(2) : v, &pos, hex ? 16 : 10);
+          reject_trailing(hex ? v.substr(2) : v, pos);
+          return static_cast<std::uint64_t>(x);
+        });
+  }
+
   /// Arguments no take_* call claimed; non-empty means a usage error.
   const std::vector<std::string>& unrecognized() const noexcept {
     return args_;

@@ -13,11 +13,14 @@
 // in t.
 //
 // Usage: bench_radius_tradeoff [--smoke] [--out FILE] [--scheme S]
-//                              [--threads T] [--t T] [--labelings L]
+//                              [--seed S] [--threads T] [--t T]
+//                              [--labelings L]
 //   --smoke       small sweep (stp: n in {256, 1024}, t in {1, 2, 4};
 //                 mst: n = 256) for CI
 //   --out         write the JSON there instead of stdout
 //   --scheme S    restrict to one curve: "stp" or "mst" (default: both)
+//   --seed S      base RNG seed for instances and configurations (echoed
+//                 into the JSON; default reproduces the published curves)
 //   --threads T   verifier thread count (default 1: the deterministic
 //                 sequential path the published curves use)
 //   --t T         restrict the radius sweep to that single t (skips the
@@ -67,8 +70,15 @@ std::shared_ptr<const graph::Graph> instance(std::size_t n, bool weighted,
       graph::relabel_random(g, rng, kIdSpace));
 }
 
+/// Default base seed; --seed overrides.  The configuration RNG is salted so
+/// the default reproduces the historical instance/configuration pair
+/// (instance seed 0x9E3779B9 ^ n, configuration seed 0xC0FFEE ^ n) exactly.
+constexpr std::uint64_t kDefaultSeed = 0x9E3779B9ull;
+constexpr std::uint64_t kCfgSalt = 0x9E3779B9ull ^ 0xC0FFEEull;
+
 /// Sweep-wide knobs threaded through every measure() call.
 struct MeasureOptions {
+  std::uint64_t seed = kDefaultSeed;  ///< base RNG seed (--seed)
   unsigned threads = 1;      ///< verifier thread count
   std::size_t labelings = 1; ///< repeats per row through one BatchVerifier
 };
@@ -101,9 +111,10 @@ Row measure(const core::Scheme& scheme, const local::Configuration& cfg,
   return row;
 }
 
-void emit(std::ostream& out, const std::vector<Row>& rows) {
+void emit(std::ostream& out, const std::vector<Row>& rows,
+          std::uint64_t seed) {
   out << "{\n  \"bench\": \"radius_tradeoff\",\n  \"id_space\": "
-      << kIdSpace << ",\n  \"rows\": [\n";
+      << kIdSpace << ",\n  \"seed\": " << seed << ",\n  \"rows\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
     out << "    {\"scheme\": \"" << r.scheme << "\", \"n\": " << r.n
@@ -128,8 +139,8 @@ void sweep(std::vector<Row>& rows, const Language& language,
            const std::vector<unsigned>& radii, const MeasureOptions& mopts,
            MakeSpread make_spread) {
   for (const std::size_t n : sizes) {
-    auto g = instance(n, weighted, 0x9E3779B9u ^ n);
-    util::Rng rng(0xC0FFEEu ^ n);
+    auto g = instance(n, weighted, mopts.seed ^ n);
+    util::Rng rng((mopts.seed ^ kCfgSalt) ^ n);
     const local::Configuration cfg = language.sample_legal(g, rng);
     for (const unsigned t : radii) {
       if (t == 1) {
@@ -181,11 +192,12 @@ int main(int argc, char** argv) {
   const std::string out_path = args.take_value("out").value_or("");
   const std::string scheme_filter = args.take_value("scheme").value_or("");
   MeasureOptions mopts;
+  mopts.seed = args.take_seed(kDefaultSeed);
   mopts.threads = args.take_unsigned("threads", 1);
   mopts.labelings = args.take_size("labelings", 1);
   const unsigned t_filter = args.take_unsigned("t", 0);
   if (!args.finish("bench_radius_tradeoff [--smoke] [--out FILE] "
-                   "[--scheme stp|mst] [--threads T] [--t T] "
+                   "[--scheme stp|mst] [--seed S] [--threads T] [--t T] "
                    "[--labelings L]"))
     return 2;
   if (!scheme_filter.empty() && scheme_filter != "stp" &&
@@ -239,14 +251,14 @@ int main(int argc, char** argv) {
   }
 
   if (out_path.empty()) {
-    emit(std::cout, rows);
+    emit(std::cout, rows, mopts.seed);
   } else {
     std::ofstream out(out_path);
     if (!out) {
       std::cerr << "cannot open " << out_path << "\n";
       return 1;
     }
-    emit(out, rows);
+    emit(out, rows, mopts.seed);
     std::cout << "wrote " << out_path << "\n";
   }
   return 0;

@@ -1,6 +1,6 @@
 // Experiment R2 — staged verification at scale.
 //
-// Two scenarios over the spanning-tree spread:
+// Three scenarios over the spanning-tree spread:
 //
 // 1. Single labeling (the PR 2 experiment): the pre-session reference engine
 //    (one ball at a time, every ball certificate re-parsed at every center)
@@ -17,23 +17,48 @@
 //    geometry retained — the pre-atlas behavior).  Reports throughput
 //    (labelings/sec), the atlas hit rate, and resident bytes.
 //
+// 3. Incremental delta stream (the hill-climb's inner loop): a single-cert
+//    mutation stream — labeling i is labeling i-1 with exactly one node's
+//    certificate replaced — verified (a) by the full pipelined batch over a
+//    warm atlas (the strongest full-re-verify path) and (b) through
+//    BatchVerifier::run_delta with the mutated node declared per step, so
+//    only the touched certificate is re-parsed and only the dirty centers
+//    (the mutated node's radius-t ball, by ball symmetry) are re-swept.
+//    Always n = 4096 on a 64x64 grid — incremental verification is a
+//    locality play, so the instance is the bounded-growth regime where
+//    radius-8 balls are 3.5% of the graph, not the expander-like random
+//    instance whose balls cover 2/3 of it (the emitted dirty_fraction
+//    quantifies that boundary); --smoke only shortens the stream.  Reports
+//    both throughputs, the delta work counters, and per-phase atlas hit
+//    rates (AtlasStats::reset between phases).
+//
 // Verdict identity is asserted everywhere: scenario 1 across
 // baseline/sequential/parallel sessions per row; scenario 2 across the
 // rebuild loop and batch runs at threads {1, 2, hardware}, and against
 // run_verifier_t_baseline for the first few labelings (all of them under
-// --smoke — the naive engine is too slow to oracle 100 full-size labelings).
+// --smoke — the naive engine is too slow to oracle 100 full-size labelings);
+// scenario 3 delta vs. full batch for every labeling of the stream, delta at
+// threads {1, 2, hardware} over a prefix, and the stream head against the
+// naive engine (full runs only — it is a 4096-node t = 8 instance).
 //
 // Usage: bench_verify_scale [--smoke] [--out FILE] [--batch-out FILE]
+//                           [--incremental-out FILE] [--seed S]
 //                           [--threads T] [--t T] [--labelings L]
 //                           [--require-speedup X] [--require-batch-speedup X]
-//   --smoke                   n = 1024, fewer labelings (CI-friendly)
+//                           [--require-incremental-speedup X]
+//   --smoke                   n = 1024 for scenarios 1-2, fewer labelings
+//                             (CI-friendly; scenario 3 stays at n = 4096)
 //   --out FILE                write the tradeoff JSON there instead of stdout
 //   --batch-out FILE          additionally write the batch-scenario JSON
+//   --incremental-out FILE    additionally write the delta-scenario JSON
+//   --seed S                  base RNG seed (echoed into every JSON)
 //   --threads T               thread count for the timed runs (default: hw)
-//   --t T                     batch-scenario radius (default 8)
-//   --labelings L             batch size (default 100; 16 under --smoke)
+//   --t T                     batch/incremental radius (default 8)
+//   --labelings L             batch + stream size (default 100; 16 under
+//                             --smoke)
 //   --require-speedup X       fail if t = 8 sequential session speedup < X
 //   --require-batch-speedup X fail if batch+atlas throughput gain < X
+//   --require-incremental-speedup X fail if delta-vs-full gain < X
 #include <chrono>
 #include <fstream>
 #include <functional>
@@ -55,6 +80,13 @@ namespace {
 using namespace pls;
 
 constexpr graph::RawId kIdSpace = graph::RawId{1} << 56;
+
+// Default base seed; --seed overrides.  The stream RNGs are salted so the
+// default reproduces the historical per-scenario seeds (0xBA115CA1E for the
+// instance, 0xA71A5 for the batch stream) exactly.
+constexpr std::uint64_t kDefaultSeed = 0xBA11'5CA1Eull;
+constexpr std::uint64_t kBatchSalt = kDefaultSeed ^ 0xA7'1A5ull;
+constexpr std::uint64_t kIncrementalSalt = 0xDE17A'BA11ull;
 
 struct Row {
   std::string scheme;
@@ -243,10 +275,187 @@ BatchResult measure_batch(const core::Scheme& scheme,
   return r;
 }
 
+/// Scenario 3's result sheet.
+struct IncrementalResult {
+  std::size_t n = 0;
+  unsigned t = 0;
+  std::size_t labelings = 0;
+  unsigned threads = 1;
+  double full_ms = 0.0;    ///< pipelined batch, warm atlas (full re-verify)
+  double delta_ms = 0.0;   ///< one seeding run + run_delta per mutation
+  double full_per_sec = 0.0;
+  double delta_per_sec = 0.0;
+  double speedup = 0.0;
+  radius::DeltaStats delta_stats;
+  double dirty_fraction = 0.0;       ///< avg re-swept centers / n per delta
+  double full_phase_hit_rate = 0.0;  ///< atlas, full phase only
+  double delta_phase_hit_rate = 0.0; ///< atlas, delta phase only
+  std::size_t baseline_checked = 0;
+  bool verdicts_identical = false;
+};
+
+/// Single-certificate mutation stream with the mutated node recorded per
+/// step — the delta path's declared input.  labs[0] is the honest marking;
+/// labs[i] replaces one certificate of labs[i-1] (donor copy or random
+/// bits), touched[i-1] names the node.
+struct MutationStream {
+  std::vector<core::Labeling> labs;
+  std::vector<graph::NodeIndex> touched;
+};
+
+MutationStream mutation_stream(const core::Scheme& scheme,
+                               const local::Configuration& cfg,
+                               std::size_t count, util::Rng& rng) {
+  MutationStream stream;
+  stream.labs.reserve(count);
+  stream.labs.push_back(scheme.mark(cfg));
+  const std::size_t n = cfg.n();
+  while (stream.labs.size() < count) {
+    core::Labeling next = stream.labs.back();
+    const auto v = static_cast<graph::NodeIndex>(rng.below(n));
+    if (rng.below(2) == 0) {
+      next.certs[v] = next.certs[rng.below(n)];
+    } else {
+      next.certs[v] = local::random_state(rng.below(64), rng);
+    }
+    stream.labs.push_back(std::move(next));
+    stream.touched.push_back(v);
+  }
+  return stream;
+}
+
+/// Replays the stream through run_delta on `verifier` (one full seeding run
+/// for labs[0], then one delta per mutation).
+std::vector<core::Verdict> replay_deltas(radius::BatchVerifier& verifier,
+                                         const MutationStream& stream) {
+  std::vector<core::Verdict> verdicts;
+  verdicts.reserve(stream.labs.size());
+  verdicts.push_back(verifier.run_one(stream.labs.front()));
+  radius::LabelingDelta delta;
+  delta.touched.resize(1);
+  for (std::size_t i = 1; i < stream.labs.size(); ++i) {
+    delta.touched[0] = stream.touched[i - 1];
+    verdicts.push_back(verifier.run_delta(stream.labs[i], delta));
+  }
+  return verdicts;
+}
+
+IncrementalResult measure_incremental(const core::Scheme& scheme,
+                                      const local::Configuration& cfg,
+                                      unsigned t, unsigned threads,
+                                      const MutationStream& stream,
+                                      std::size_t baseline_checked) {
+  IncrementalResult r;
+  r.n = cfg.n();
+  r.t = t;
+  r.labelings = stream.labs.size();
+  r.threads = threads;
+
+  // Both contenders share one warm atlas: geometry is scenario 2's subject,
+  // not this one's, so it is built once up front and both phases run
+  // steady-state.  reset_stats brackets the phases for per-phase hit rates.
+  radius::BatchOptions options;
+  options.threads = threads;
+  options.atlas = std::make_shared<radius::GeometryAtlas>();
+  radius::BatchVerifier full(scheme, cfg, t, options);
+  radius::BatchVerifier delta(scheme, cfg, t, options);
+  full.run_one(stream.labs.front());  // warm the shared geometry
+  options.atlas->reset_stats();
+
+  std::vector<core::Verdict> full_verdicts;
+  {
+    const auto start = std::chrono::steady_clock::now();
+    full_verdicts = full.run(stream.labs);
+    const auto stop = std::chrono::steady_clock::now();
+    r.full_ms =
+        std::chrono::duration<double, std::milli>(stop - start).count();
+  }
+  r.full_phase_hit_rate = options.atlas->stats().hit_rate();
+  options.atlas->reset_stats();
+
+  std::vector<core::Verdict> delta_verdicts;
+  {
+    const auto start = std::chrono::steady_clock::now();
+    delta_verdicts = replay_deltas(delta, stream);
+    const auto stop = std::chrono::steady_clock::now();
+    r.delta_ms =
+        std::chrono::duration<double, std::milli>(stop - start).count();
+  }
+  r.delta_phase_hit_rate = options.atlas->stats().hit_rate();
+  r.delta_stats = delta.delta_stats();
+
+  const auto count = static_cast<double>(stream.labs.size());
+  r.full_per_sec = count / (r.full_ms / 1000.0);
+  r.delta_per_sec = count / (r.delta_ms / 1000.0);
+  r.speedup = r.full_ms / r.delta_ms;
+  r.dirty_fraction =
+      r.delta_stats.delta_runs == 0
+          ? 0.0
+          : static_cast<double>(r.delta_stats.centers_reswept) /
+                (static_cast<double>(r.delta_stats.delta_runs) *
+                 static_cast<double>(cfg.n()));
+
+  // Verdict identity: delta == full batch for EVERY labeling of the stream,
+  // delta at threads {1, 2, hardware} over a prefix (untimed), and the
+  // stream head against the naive reference engine.
+  bool identical = full_verdicts.size() == delta_verdicts.size();
+  for (std::size_t i = 0; identical && i < full_verdicts.size(); ++i)
+    identical = same_verdict(full_verdicts[i], delta_verdicts[i]);
+  const std::size_t prefix = std::min<std::size_t>(10, stream.labs.size());
+  MutationStream head;
+  head.labs.assign(stream.labs.begin(),
+                   stream.labs.begin() + static_cast<std::ptrdiff_t>(prefix));
+  head.touched.assign(
+      stream.touched.begin(),
+      stream.touched.begin() + static_cast<std::ptrdiff_t>(prefix - 1));
+  for (const unsigned check_threads :
+       {1u, 2u, util::ThreadPool::hardware_threads()}) {
+    radius::BatchOptions check_options;
+    check_options.threads = check_threads;
+    check_options.atlas = options.atlas;
+    radius::BatchVerifier check(scheme, cfg, t, check_options);
+    const std::vector<core::Verdict> got = replay_deltas(check, head);
+    for (std::size_t i = 0; identical && i < got.size(); ++i)
+      identical = same_verdict(got[i], full_verdicts[i]);
+  }
+  r.baseline_checked = std::min(baseline_checked, stream.labs.size());
+  for (std::size_t i = 0; identical && i < r.baseline_checked; ++i)
+    identical = same_verdict(
+        radius::run_verifier_t_baseline(scheme, cfg, stream.labs[i], t),
+        full_verdicts[i]);
+  r.verdicts_identical = identical;
+  PLS_ASSERT(identical);
+  return r;
+}
+
 double t8_speedup_sequential(const std::vector<Row>& rows) {
   for (const Row& r : rows)
     if (r.t == 8) return r.baseline_ms / r.session_seq_ms;
   return 0.0;
+}
+
+void emit_incremental(std::ostream& out, const IncrementalResult& r,
+                      std::uint64_t seed) {
+  out << "{\n  \"bench\": \"verify_incremental\",\n"
+      << "  \"seed\": " << seed << ",\n  \"n\": " << r.n
+      << ",\n  \"t\": " << r.t << ",\n  \"labelings\": " << r.labelings
+      << ",\n  \"threads\": " << r.threads
+      << ",\n  \"full_ms\": " << r.full_ms
+      << ",\n  \"delta_ms\": " << r.delta_ms
+      << ",\n  \"full_labelings_per_sec\": " << r.full_per_sec
+      << ",\n  \"delta_labelings_per_sec\": " << r.delta_per_sec
+      << ",\n  \"speedup\": " << r.speedup
+      << ",\n  \"delta_runs\": " << r.delta_stats.delta_runs
+      << ",\n  \"certs_reparsed\": " << r.delta_stats.certs_reparsed
+      << ",\n  \"links_incremental\": " << r.delta_stats.links_incremental
+      << ",\n  \"centers_reswept\": " << r.delta_stats.centers_reswept
+      << ",\n  \"verdicts_carried\": " << r.delta_stats.verdicts_carried
+      << ",\n  \"dirty_fraction\": " << r.dirty_fraction
+      << ",\n  \"full_phase_hit_rate\": " << r.full_phase_hit_rate
+      << ",\n  \"delta_phase_hit_rate\": " << r.delta_phase_hit_rate
+      << ",\n  \"baseline_checked\": " << r.baseline_checked
+      << ",\n  \"verdicts_identical\": "
+      << (r.verdicts_identical ? "true" : "false") << "\n}\n";
 }
 
 void emit_batch(std::ostream& out, const BatchResult& b) {
@@ -271,12 +480,14 @@ void emit_batch(std::ostream& out, const BatchResult& b) {
 }
 
 void emit(std::ostream& out, const std::vector<Row>& rows,
-          const BatchResult& batch) {
+          const BatchResult& batch, const IncrementalResult& incremental,
+          std::uint64_t seed) {
   const double t8_speedup_seq = t8_speedup_sequential(rows);
   double t8_speedup_par = 0.0;
   for (const Row& r : rows)
     if (r.t == 8) t8_speedup_par = r.baseline_ms / r.session_par_ms;
   out << "{\n  \"bench\": \"verify_scale\",\n  \"id_space\": " << kIdSpace
+      << ",\n  \"seed\": " << seed
       << ",\n  \"t8_speedup_sequential\": " << t8_speedup_seq
       << ",\n  \"t8_speedup_parallel\": " << t8_speedup_par
       << ",\n  \"rows\": [\n";
@@ -294,6 +505,8 @@ void emit(std::ostream& out, const std::vector<Row>& rows,
   }
   out << "  ],\n  \"batch\": ";
   emit_batch(out, batch);
+  out << ",\n  \"incremental\": ";
+  emit_incremental(out, incremental, seed);
   out << "}\n";
 }
 
@@ -304,6 +517,9 @@ int main(int argc, char** argv) {
   const bool smoke = args.take_flag("smoke");
   const std::string out_path = args.take_value("out").value_or("");
   const std::string batch_out_path = args.take_value("batch-out").value_or("");
+  const std::string incremental_out_path =
+      args.take_value("incremental-out").value_or("");
+  const std::uint64_t seed = args.take_seed(kDefaultSeed);
   const unsigned threads =
       args.take_unsigned("threads", util::ThreadPool::hardware_threads());
   const unsigned batch_t = args.take_unsigned("t", 8);
@@ -312,14 +528,18 @@ int main(int argc, char** argv) {
   const double require_speedup = args.take_double("require-speedup", 0.0);
   const double require_batch_speedup =
       args.take_double("require-batch-speedup", 0.0);
+  const double require_incremental_speedup =
+      args.take_double("require-incremental-speedup", 0.0);
   if (!args.finish("bench_verify_scale [--smoke] [--out FILE] "
-                   "[--batch-out FILE] [--threads T] [--t T] [--labelings L] "
-                   "[--require-speedup X] [--require-batch-speedup X]"))
+                   "[--batch-out FILE] [--incremental-out FILE] [--seed S] "
+                   "[--threads T] [--t T] [--labelings L] "
+                   "[--require-speedup X] [--require-batch-speedup X] "
+                   "[--require-incremental-speedup X]"))
     return 2;
   PLS_REQUIRE(batch_t >= 1 && labeling_count >= 1 && threads >= 1);
 
   const std::size_t n = smoke ? 1024 : 4096;
-  util::Rng rng(0xBA11'5CA1Eull);
+  util::Rng rng(seed);
   graph::Graph base_graph = graph::random_connected(n, n / 2, rng);
   auto g = std::make_shared<const graph::Graph>(
       graph::relabel_random(base_graph, rng, kIdSpace));
@@ -352,7 +572,7 @@ int main(int argc, char** argv) {
   const core::Scheme& batch_scheme =
       batch_t == 1 ? static_cast<const core::Scheme&>(stp)
                    : static_cast<const core::Scheme&>(batch_spread);
-  util::Rng batch_rng(0xA7'1A5ull);
+  util::Rng batch_rng(seed ^ kBatchSalt);
   const std::vector<core::Labeling> labs =
       candidate_labelings(batch_scheme, cfg, labeling_count, batch_rng);
   const BatchResult batch =
@@ -364,15 +584,54 @@ int main(int argc, char** argv) {
             << " batch_ms=" << batch.batch_ms << " speedup=" << batch.speedup
             << " atlas_hit_rate=" << batch.atlas.hit_rate() << "\n";
 
+  // Scenario 3: the incremental delta stream.  Always n = 4096 — the dirty
+  // fraction (mutated node's ball / n) is what the speedup measures, so a
+  // smaller smoke instance would gate a different quantity; --smoke keeps
+  // the stream short instead.  The topology is a 64x64 grid: incremental
+  // verification is a *locality* play, and the grid is the bounded-growth
+  // regime the t-PLS tradeoff targets — |B(v, 8)| <= 145 = 3.5% of n, so
+  // re-sweeping only the dirty ball can win big.  (On the random
+  // random_connected(n, n/2) instance of scenarios 1-2 the radius-8 ball
+  // already covers ~2/3 of the graph — its random-attachment spanning tree
+  // has O(log n) depth — and NO delta scheme can beat ~1.5x there; the
+  // emitted dirty_fraction makes that boundary explicit.)
+  const std::size_t incr_side = 64;
+  IncrementalResult incremental;
+  {
+    util::Rng incr_rng(seed ^ kIncrementalSalt);
+    graph::Graph incr_base = graph::grid(incr_side, incr_side);
+    auto incr_g = std::make_shared<const graph::Graph>(
+        graph::relabel_random(incr_base, incr_rng, kIdSpace));
+    const local::Configuration incr_cfg =
+        language.sample_legal(incr_g, incr_rng);
+    const radius::SpreadScheme incr_spread(stp, batch_t);
+    const core::Scheme& incr_scheme =
+        batch_t == 1 ? static_cast<const core::Scheme&>(stp)
+                     : static_cast<const core::Scheme&>(incr_spread);
+    const MutationStream stream =
+        mutation_stream(incr_scheme, incr_cfg, labeling_count, incr_rng);
+    incremental = measure_incremental(incr_scheme, incr_cfg, batch_t, threads,
+                                      stream, smoke ? 1 : 2);
+    std::cerr << "incremental n=" << incremental.n << " t=" << incremental.t
+              << " labelings=" << incremental.labelings
+              << " threads=" << incremental.threads
+              << " full_ms=" << incremental.full_ms
+              << " delta_ms=" << incremental.delta_ms
+              << " speedup=" << incremental.speedup
+              << " dirty_fraction=" << incremental.dirty_fraction
+              << " delta_phase_hit_rate=" << incremental.delta_phase_hit_rate
+              << "\n";
+  }
+
   if (out_path.empty()) {
-    emit(std::cout, rows, batch);
+    emit(std::cout, rows, batch, incremental, seed);
   } else {
     std::ofstream out(out_path);
     if (!out) {
       std::cerr << "cannot open " << out_path << "\n";
       return 1;
     }
-    emit(out, rows, batch);
+    emit(out, rows, batch, incremental, seed);
     std::cout << "wrote " << out_path << "\n";
   }
   if (!batch_out_path.empty()) {
@@ -383,6 +642,15 @@ int main(int argc, char** argv) {
     }
     emit_batch(out, batch);
     std::cout << "wrote " << batch_out_path << "\n";
+  }
+  if (!incremental_out_path.empty()) {
+    std::ofstream out(incremental_out_path);
+    if (!out) {
+      std::cerr << "cannot open " << incremental_out_path << "\n";
+      return 1;
+    }
+    emit_incremental(out, incremental, seed);
+    std::cout << "wrote " << incremental_out_path << "\n";
   }
 
   if (require_speedup > 0.0) {
@@ -403,6 +671,15 @@ int main(int argc, char** argv) {
     }
     std::cerr << "batch speedup " << batch.speedup << " >= required "
               << require_batch_speedup << "\n";
+  }
+  if (require_incremental_speedup > 0.0) {
+    if (incremental.speedup < require_incremental_speedup) {
+      std::cerr << "FAIL: incremental speedup " << incremental.speedup
+                << " < required " << require_incremental_speedup << "\n";
+      return 1;
+    }
+    std::cerr << "incremental speedup " << incremental.speedup
+              << " >= required " << require_incremental_speedup << "\n";
   }
   return 0;
 }

@@ -127,7 +127,11 @@ AttackReport attack(const Scheme& scheme, const local::Configuration& cfg,
   // 6. Hill climbing from the best labeling found so far: replace one node's
   // certificate with a candidate drawn from (a) another node's certificate,
   // (b) a fresh legal marking, or (c) random bits; keep the move if the
-  // rejection count does not increase.
+  // rejection count does not increase.  Each step is a single-certificate
+  // mutation of the previously verified candidate — exactly the delta
+  // path's workload — so after one full seeding run the climb goes through
+  // run_delta: only the mutated node is re-parsed and only the centers
+  // whose ball reaches it are re-swept, with bit-identical verdicts.
   {
     Labeling current = report.best_labeling;
     std::size_t current_rej = report.min_rejections;
@@ -137,6 +141,18 @@ AttackReport attack(const Scheme& scheme, const local::Configuration& cfg,
     } else {
       donor = random_labeling(n, options.max_cert_bits, rng);
     }
+    // Seed the delta stream: make `current` the verifier's resident
+    // labeling.  Deterministic engine, so re-verifying the best labeling
+    // reproduces its recorded rejection count.  Skipped when the climb
+    // below would not run at all — the seed exists only for the deltas.
+    if (options.hill_climb_steps > 0 && current_rej > 0) {
+      const std::size_t seeded_rej = verifier.run_one(current).rejections();
+      PLS_ASSERT(seeded_rej == current_rej);
+    }
+    // Mutations of `current` not yet reflected in the resident labeling: a
+    // rejected move's node stays touched, because reverting its certificate
+    // is itself a mutation relative to the verified candidate.
+    radius::LabelingDelta delta;
     for (std::size_t step = 0;
          step < options.hill_climb_steps && current_rej > 0; ++step) {
       const auto v = static_cast<graph::NodeIndex>(rng.below(n));
@@ -153,8 +169,10 @@ AttackReport attack(const Scheme& scheme, const local::Configuration& cfg,
               local::random_state(rng.below(options.max_cert_bits + 1), rng);
           break;
       }
-      const std::size_t rej = verifier.run_one(current).rejections();
+      delta.touched.push_back(v);
+      const std::size_t rej = verifier.run_delta(current, delta).rejections();
       if (rej <= current_rej) {
+        delta.touched.clear();
         current_rej = rej;
         if (rej < report.min_rejections) {
           report.min_rejections = rej;
@@ -163,6 +181,7 @@ AttackReport attack(const Scheme& scheme, const local::Configuration& cfg,
         }
       } else {
         current.certs[v] = saved;
+        delta.touched.assign(1, v);
       }
     }
   }

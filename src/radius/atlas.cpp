@@ -168,4 +168,9 @@ AtlasStats GeometryAtlas::stats() const {
   return stats_;
 }
 
+void GeometryAtlas::reset_stats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.reset();
+}
+
 }  // namespace pls::radius

@@ -82,6 +82,15 @@ struct AtlasStats {
     const std::uint64_t total = hits + misses;
     return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
   }
+
+  /// Zeroes the traffic counters so the next read reports one phase instead
+  /// of the atlas's whole life (benches bracket warmup/measure phases with
+  /// this).  bytes_in_use is live residency, not a counter — it survives,
+  /// and peak_bytes restarts from it.
+  void reset() noexcept {
+    hits = misses = evictions = bypassed = 0;
+    peak_bytes = bytes_in_use;
+  }
 };
 
 /// One cached block: the geometry of centers [first_center, end_center) of
@@ -122,6 +131,12 @@ class GeometryAtlas {
                                              graph::NodeIndex center);
 
   AtlasStats stats() const;
+
+  /// AtlasStats::reset under the lock: starts a fresh reporting phase
+  /// without touching residency (blocks, LRU order, and bytes_in_use are
+  /// unaffected).
+  void reset_stats();
+
   const AtlasOptions& options() const noexcept { return options_; }
 
  private:

@@ -21,6 +21,10 @@ BatchVerifier::BatchVerifier(const core::Scheme& scheme,
   if (ball_scheme_ != nullptr) PLS_REQUIRE(t >= ball_scheme_->radius());
   pool_ = std::make_unique<util::ThreadPool>(threads_);
   slots_.resize(threads_);
+  // Per-verifier incremental-link state (null = scheme has no relink hook;
+  // delta runs then fall back to a full link_parses pass).
+  if (ball_scheme_ != nullptr && ball_scheme_->has_cert_parser())
+    link_state_ = ball_scheme_->make_link_state();
 }
 
 void BatchVerifier::parse_link(const core::Labeling& labeling,
@@ -42,28 +46,40 @@ void BatchVerifier::parse_link(const core::Labeling& labeling,
   }
   // Link phase: intern payloads repeated across the per-node parses into
   // small dense ids; single-threaded, the sweep workers only read the
-  // linked parses.
-  ball_scheme_->link_parses(out.storage);
+  // linked parses.  With incremental-link support the full link goes
+  // through the verifier's persistent LinkState (same observable ids), so
+  // ANY full run leaves a table a later run_delta can relink against.
+  if (link_state_ != nullptr) {
+    ball_scheme_->link_parses_stateful(*link_state_, out.storage);
+  } else {
+    ball_scheme_->link_parses(out.storage);
+  }
 }
 
-void BatchVerifier::post_sweep(const core::Labeling& labeling,
-                               const ParsedLabeling& parsed,
-                               std::vector<std::uint8_t>& accept) {
-  const std::size_t n = cfg_.n();
-  accept.assign(n, 0);
+util::ThreadPool::RangeFn BatchVerifier::sweep_fn(
+    const core::Labeling& labeling, const ParsedLabeling& parsed,
+    std::span<const graph::NodeIndex> centers,
+    std::vector<std::uint8_t>& accept) {
+  // Empty `centers` = the identity map over [0, n) (the full sweep); a
+  // non-empty SORTED list re-sweeps exactly those centers (the delta
+  // path).  Sortedness is what keeps the block walk below incremental: a
+  // contiguous slice re-requests a block only at block boundaries.
+  const auto center_of = [centers](std::size_t i) {
+    return centers.empty() ? static_cast<graph::NodeIndex>(i) : centers[i];
+  };
 
   if (ball_scheme_ == nullptr) {
     // Plain 1-round scheme: the shared per-node routine, per-slot scratch.
-    pool_->post_range(n, [this, &labeling, &accept](unsigned worker,
-                                                    std::size_t begin,
-                                                    std::size_t end) {
+    return [this, &labeling, &accept, center_of](unsigned worker,
+                                                 std::size_t begin,
+                                                 std::size_t end) {
       std::vector<local::NeighborView>& scratch = slots_[worker].views;
-      for (std::size_t v = begin; v < end; ++v)
-        accept[v] = core::detail::verify_one_round_at(
-            scheme_, cfg_, labeling, static_cast<graph::NodeIndex>(v),
-            scratch);
-    });
-    return;
+      for (std::size_t i = begin; i < end; ++i) {
+        const graph::NodeIndex v = center_of(i);
+        accept[v] = core::detail::verify_one_round_at(scheme_, cfg_, labeling,
+                                                      v, scratch);
+      }
+    };
   }
 
   const std::span<const ParsedCert* const> cache =
@@ -72,25 +88,40 @@ void BatchVerifier::post_sweep(const core::Labeling& labeling,
           : std::span<const ParsedCert* const>();
   const unsigned radius = ball_scheme_->radius();
   const local::Visibility mode = scheme_.visibility();
-  pool_->post_range(n, [this, &labeling, &accept, cache, radius, mode](
-                           unsigned worker, std::size_t begin,
-                           std::size_t end) {
+  return [this, &labeling, &accept, center_of, cache, radius, mode](
+             unsigned worker, std::size_t begin, std::size_t end) {
     const graph::Graph& g = cfg_.graph();
     Slot& slot = slots_[worker];
-    // Each slot walks a contiguous slice, so it re-requests a block only at
-    // block boundaries; the shared_ptr pins the block across the slice even
-    // if the atlas evicts it meanwhile.
+    // The shared_ptr pins the current block across the slice even if the
+    // atlas evicts it meanwhile.
     std::shared_ptr<const GeometryBlock> block;
     for (std::size_t i = begin; i < end; ++i) {
-      const auto v = static_cast<graph::NodeIndex>(i);
+      const graph::NodeIndex v = center_of(i);
       if (block == nullptr || !block->covers(v))
         block = atlas_->block(g, radius, v);
       slot.view.bind(block->ball(v, radius), cfg_, labeling, mode);
       const RadiusContext ctx(slot.view, g.id(v), cfg_.state(v),
                               labeling.certs[v], mode, cfg_.n(), cache);
-      accept[i] = ball_scheme_->verify_ball(ctx);
+      accept[v] = ball_scheme_->verify_ball(ctx);
     }
-  });
+  };
+}
+
+void BatchVerifier::post_sweep(const core::Labeling& labeling,
+                               const ParsedLabeling& parsed,
+                               std::vector<std::uint8_t>& accept) {
+  const std::size_t n = cfg_.n();
+  accept.assign(n, 0);
+  pool_->post_range(n, sweep_fn(labeling, parsed, {}, accept));
+}
+
+void BatchVerifier::sweep_dirty(const core::Labeling& labeling,
+                                const ParsedLabeling& parsed,
+                                std::span<const graph::NodeIndex> dirty,
+                                std::vector<std::uint8_t>& accept) {
+  PLS_ASSERT(accept.size() == cfg_.n());
+  if (dirty.empty()) return;
+  pool_->for_range(dirty.size(), sweep_fn(labeling, parsed, dirty, accept));
 }
 
 std::vector<core::Verdict> BatchVerifier::run(
@@ -101,10 +132,14 @@ std::vector<core::Verdict> BatchVerifier::run(
 
   std::vector<core::Verdict> verdicts;
   verdicts.reserve(labelings.size());
-  if (labelings.empty()) return verdicts;
+  if (labelings.empty()) return verdicts;  // resident state untouched
 
   const bool cached =
       ball_scheme_ != nullptr && ball_scheme_->has_cert_parser();
+
+  // The buffers are about to be rewritten; should anything below throw, no
+  // delta may build on them until a full run completes again.
+  resident_valid_ = false;
 
   // Stage 2 of the first labeling has nothing to overlap with — use the
   // idle pool.  parsed_/accept_ are the double buffers: stage 2 of
@@ -133,7 +168,87 @@ std::vector<core::Verdict> BatchVerifier::run(
     for (std::size_t v = 0; v < n; ++v) bits[v] = accept_[i % 2][v] != 0;
     verdicts.emplace_back(std::move(bits));
   }
+
+  // The last labeling's stage-2 cache and verdict bytes stay behind as the
+  // resident state run_delta mutates in place.
+  resident_ = static_cast<unsigned>((labelings.size() - 1) % 2);
+  resident_valid_ = true;
   return verdicts;
+}
+
+core::Verdict BatchVerifier::run_delta(const core::Labeling& next,
+                                       const LabelingDelta& delta) {
+  const std::size_t n = cfg_.n();
+  PLS_REQUIRE(next.size() == n);
+  PLS_REQUIRE(resident_valid_);  // a delta needs a full run to build on
+  for (const graph::NodeIndex v : delta.touched) PLS_REQUIRE(v < n);
+  ++delta_stats_.delta_runs;
+
+  std::vector<std::uint8_t>& accept = accept_[resident_];
+  const auto splice_verdict = [&] {
+    std::vector<bool> bits(n);
+    for (std::size_t v = 0; v < n; ++v) bits[v] = accept[v] != 0;
+    return core::Verdict(std::move(bits));
+  };
+
+  if (delta.touched.empty()) {
+    // Nothing differs from the resident labeling: no parse, no link, no
+    // sweep — the verdict is the resident one, re-counted fresh (Verdict
+    // caches its rejection count per object, so the splice never carries a
+    // stale count).
+    ++delta_stats_.empty_runs;
+    return splice_verdict();
+  }
+
+  // The resident buffers are inconsistent while we mutate them; they become
+  // a valid delta base again only when this run completes.
+  resident_valid_ = false;
+
+  // Stage 2, incremental: re-parse exactly the touched certificates into
+  // the resident cache (clean entries carry forward across the labeling
+  // boundary), then re-link them — with stable ids through the scheme's
+  // LinkState, or by the full-relink fallback, which reassigns every
+  // resident entry consistently and is therefore equally correct.
+  const bool cached =
+      ball_scheme_ != nullptr && ball_scheme_->has_cert_parser();
+  if (cached) {
+    ParsedLabeling& parsed = parsed_[resident_];
+    PLS_ASSERT(parsed.storage.size() == n);
+    for (const graph::NodeIndex v : delta.touched) {
+      parsed.storage[v] = ball_scheme_->parse_cert(next.certs[v]);
+      parsed.view[v] = parsed.storage[v].get();
+    }
+    delta_stats_.certs_reparsed += delta.touched.size();
+    if (link_state_ != nullptr) {
+      ball_scheme_->relink_parses(*link_state_, parsed.storage,
+                                  delta.touched);
+      ++delta_stats_.links_incremental;
+    } else {
+      ball_scheme_->link_parses(parsed.storage);
+      ++delta_stats_.links_full;
+    }
+  }
+
+  // Stage 3, dirty-center sweep: only centers whose decoding radius reaches
+  // a touched node can change verdict; everyone else's is spliced from the
+  // resident bytes untouched.  Plain 1-round decoders read layer 1 only, so
+  // their dirty radius is 1 whatever t the verifier was pinned at.
+  const unsigned dirty_radius =
+      ball_scheme_ != nullptr ? ball_scheme_->radius() : 1u;
+  const std::span<const graph::NodeIndex> dirty =
+      dirty_index_.collect(*atlas_, cfg_.graph(), dirty_radius,
+                           delta.touched);
+  delta_stats_.centers_reswept += dirty.size();
+  delta_stats_.verdicts_carried += n - dirty.size();
+  sweep_dirty(next, parsed_[resident_], dirty, accept);
+
+  resident_valid_ = true;
+  return splice_verdict();
+}
+
+core::Verdict BatchVerifier::run_delta(const core::Labeling& prev,
+                                       const core::Labeling& next) {
+  return run_delta(next, LabelingDelta::diff(prev, next));
 }
 
 core::Verdict BatchVerifier::run_one(const core::Labeling& labeling) {

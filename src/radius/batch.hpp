@@ -25,8 +25,26 @@
 // pure wall-clock win.  threads = 1 degenerates to the strictly sequential
 // parse -> link -> sweep per labeling, spawning no threads.
 //
-// VerificationSession (session.hpp) is a batch-of-one over this class;
-// pls::core::attack hill-climbs through run_one with a per-attack atlas.
+// On top of the batch, the verifier is *delta-aware*: run_delta verifies a
+// labeling that differs from the previously verified one at a declared set
+// of touched nodes, exploiting the model's error-locality — a center's
+// verdict depends only on the certificates in its radius-t ball, so a
+// k-certificate mutation can flip verdicts only within distance t of those
+// k nodes.  The delta path (a) re-parses only the touched certificates into
+// the resident half of the double-buffered parse cache, carrying every
+// clean entry forward across the labeling boundary; (b) re-links them
+// incrementally through BallScheme::relink_parses with per-verifier
+// LinkState — stable class ids keep carried-forward parses comparable with
+// fresh ones — falling back to a full link_parses for schemes without the
+// hook; (c) resolves the dirty-center set through the reverse-ball index
+// (DirtyIndex, delta.hpp — ball symmetry served by the geometry atlas) and
+// sweeps only those over the pool, splicing carried-forward verdicts for
+// the clean centers.  Verdicts are bit-identical to a from-scratch run at
+// every thread count; DeltaStats is the observable proof that an empty
+// delta does no stage work at all.  pls::core::attack feeds its hill-climb
+// steps through this path.
+//
+// VerificationSession (session.hpp) is a batch-of-one over this class.
 #pragma once
 
 #include <memory>
@@ -34,6 +52,7 @@
 #include <vector>
 
 #include "radius/atlas.hpp"
+#include "radius/delta.hpp"
 #include "radius/engine_t.hpp"
 #include "util/thread_pool.hpp"
 
@@ -65,6 +84,31 @@ class BatchVerifier {
   /// what the adversary's hill-climb loop amortizes.
   core::Verdict run_one(const core::Labeling& labeling);
 
+  /// The delta front door.  Verifies `next` given that it differs from the
+  /// *resident* labeling — the one the last successful run()/run_one()/
+  /// run_delta() call verified (for run(span), the span's last element) —
+  /// at most on delta.touched (an over-approximation is fine; see
+  /// LabelingDelta).  Requires such a resident run; verdicts are
+  /// bit-identical to run_one(next) at every thread count.  An empty
+  /// mutation set does no parse, no link, and no sweep work (delta_stats()).
+  core::Verdict run_delta(const core::Labeling& next,
+                          const LabelingDelta& delta);
+
+  /// Convenience for callers that did not track their mutations: diffs the
+  /// two labelings (O(n) certificate compares — the hill-climb passes an
+  /// explicit delta instead) and applies the delta.  `prev` must be the
+  /// resident labeling.
+  core::Verdict run_delta(const core::Labeling& prev,
+                          const core::Labeling& next);
+
+  /// Whether a resident labeling exists for run_delta to build on (set by
+  /// every successful run, cleared while a run is in flight or after one
+  /// throws).
+  bool has_resident() const noexcept { return resident_valid_; }
+
+  /// Cumulative work counters of the delta path.
+  const DeltaStats& delta_stats() const noexcept { return delta_stats_; }
+
   unsigned radius() const noexcept { return t_; }
   unsigned threads() const noexcept { return threads_; }
   const GeometryAtlas& atlas() const noexcept { return *atlas_; }
@@ -81,11 +125,27 @@ class BatchVerifier {
 
   void parse_link(const core::Labeling& labeling, ParsedLabeling& out,
                   bool parallel);
+  /// The one stage-3 per-center verify body, shared by the full sweep and
+  /// the dirty re-sweep: slot i of the returned range job verifies center
+  /// centers[i] (or center i itself when `centers` is empty — the full
+  /// sweep) and writes accept[center].  The captured references must
+  /// outlive the job's execution.
+  util::ThreadPool::RangeFn sweep_fn(const core::Labeling& labeling,
+                                     const ParsedLabeling& parsed,
+                                     std::span<const graph::NodeIndex> centers,
+                                     std::vector<std::uint8_t>& accept);
   /// Posts the stage-3 sweep of `labeling` over the pool and returns; the
   /// caller overlaps stage 2 of the next labeling, then calls
   /// pool_->finish_range().
   void post_sweep(const core::Labeling& labeling, const ParsedLabeling& parsed,
                   std::vector<std::uint8_t>& accept);
+  /// Stage 3 of the delta path: re-verifies exactly `dirty` (sorted center
+  /// list) against `labeling`, writing into the resident accept bytes;
+  /// blocking (no pipelining — delta streams are adaptive).
+  void sweep_dirty(const core::Labeling& labeling,
+                   const ParsedLabeling& parsed,
+                   std::span<const graph::NodeIndex> dirty,
+                   std::vector<std::uint8_t>& accept);
 
   const core::Scheme& scheme_;
   const BallScheme* ball_scheme_;  // nullptr for plain 1-round schemes
@@ -104,10 +164,22 @@ class BatchVerifier {
   // The pipeline's double buffers, members so their capacity persists
   // across run()/run_one() calls — the adversary's hill-climb calls
   // run_one thousands of times per attack and must not reallocate per
-  // candidate.  No labeling's parse outlives its iteration: each buffer is
-  // rebuilt (clear + resize) before its labeling's sweep is posted.
+  // candidate.  During run(), no labeling's parse outlives its iteration:
+  // each buffer is rebuilt (clear + resize) before its labeling's sweep is
+  // posted.  After a successful run, the LAST labeling's half stays behind
+  // as the *resident* state (resident_ names it) — the carried-forward
+  // parses and verdicts the delta path splices from and mutates in place.
   ParsedLabeling parsed_[2];
   std::vector<std::uint8_t> accept_[2];
+  unsigned resident_ = 0;        ///< buffer half holding the resident state
+  bool resident_valid_ = false;  ///< a resident labeling exists for deltas
+
+  // Delta-path machinery: the reverse-ball index and the scheme's
+  // persistent interning state (null when the scheme has no incremental
+  // link — delta runs then fall back to a full link_parses).
+  DirtyIndex dirty_index_;
+  std::unique_ptr<LinkState> link_state_;
+  DeltaStats delta_stats_;
 };
 
 }  // namespace pls::radius

@@ -36,6 +36,20 @@ struct SchemeAttack {
   core::Labeling labeling;
 };
 
+/// Opaque per-verifier state of the incremental link path: whatever a scheme
+/// must remember across a delta stream so relink_parses can hand out
+/// *stable* ids — for the spread schemes, the append-only payload -> class
+/// interning table (parse_link.hpp).  Owned by the BatchVerifier, created by
+/// BallScheme::make_link_state, never shared between verifiers (link state
+/// is mutated single-threaded in stage 2).
+class LinkState {
+ public:
+  virtual ~LinkState() = default;
+
+ protected:
+  LinkState() = default;
+};
+
 /// A scheme whose decoder reads a radius-t ball instead of the 1-hop view.
 class BallScheme : public core::Scheme {
  public:
@@ -68,6 +82,34 @@ class BallScheme : public core::Scheme {
   /// thread; the linked parses are read-shared by all workers afterwards.
   virtual void link_parses(
       std::span<const std::unique_ptr<ParsedCert>> parsed) const;
+
+  /// Incremental-link support (the delta path, radius/delta.hpp).  A scheme
+  /// that returns non-null state here must override both stateful hooks
+  /// below; nullptr (the default) makes BatchVerifier::run_delta fall back
+  /// to a full link_parses pass per delta — still correct (a full re-link
+  /// assigns ids consistently across every resident parse, and clean
+  /// centers' carried verdicts depend only on certificate bits), just O(n)
+  /// instead of O(|touched|).
+  virtual std::unique_ptr<LinkState> make_link_state() const;
+
+  /// Stateful full link: same observable result as link_parses, and
+  /// additionally records the interning tables in `state` so later
+  /// relink_parses calls against the same parse cache hand out stable ids.
+  /// BatchVerifier uses this on every full run when make_link_state
+  /// returned non-null, so any full run can seed a delta stream.
+  virtual void link_parses_stateful(
+      LinkState& state,
+      std::span<const std::unique_ptr<ParsedCert>> parsed) const;
+
+  /// Incremental link: re-links only `touched` nodes' parses (the rest of
+  /// `parsed` is carried forward from the run that last filled `state`).
+  /// The stability contract that keeps mixed old/new comparisons valid:
+  /// across every call sharing one `state` since its last full link, two
+  /// parse entries carry the same class id iff their payloads are
+  /// bit-identical — ids are never reused for different payloads.
+  virtual void relink_parses(LinkState& state,
+                             std::span<const std::unique_ptr<ParsedCert>> parsed,
+                             std::span<const graph::NodeIndex> touched) const;
 
   /// Scheme-aware adversarial labelings for the attack suite: labelings
   /// that target the scheme's own structural invariants, beyond what the

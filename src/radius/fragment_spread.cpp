@@ -232,6 +232,24 @@ void FragmentSpreadScheme::link_parses(
   detail::intern_chunk_classes<FragmentParsed>(parsed);
 }
 
+std::unique_ptr<LinkState> FragmentSpreadScheme::make_link_state() const {
+  return std::make_unique<detail::ChunkInternState>();
+}
+
+void FragmentSpreadScheme::link_parses_stateful(
+    LinkState& state,
+    std::span<const std::unique_ptr<ParsedCert>> parsed) const {
+  detail::intern_chunk_classes_stateful<FragmentParsed>(
+      static_cast<detail::ChunkInternState&>(state), parsed);
+}
+
+void FragmentSpreadScheme::relink_parses(
+    LinkState& state, std::span<const std::unique_ptr<ParsedCert>> parsed,
+    std::span<const graph::NodeIndex> touched) const {
+  detail::relink_chunk_classes<FragmentParsed>(
+      static_cast<detail::ChunkInternState&>(state), parsed, touched);
+}
+
 std::vector<SchemeAttack> FragmentSpreadScheme::adversarial_labelings(
     const local::Configuration& cfg, util::Rng& rng) const {
   std::vector<SchemeAttack> attacks = fragment_splice_attacks(*this, cfg, rng);

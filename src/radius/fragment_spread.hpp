@@ -87,6 +87,17 @@ class FragmentSpreadScheme final : public BallScheme {
   void link_parses(
       std::span<const std::unique_ptr<ParsedCert>> parsed) const override;
 
+  /// Incremental link (the delta path): same persistent interning table as
+  /// the global spread's — region ids live in the wire, so only the chunk
+  /// payload needs stable interning.
+  std::unique_ptr<LinkState> make_link_state() const override;
+  void link_parses_stateful(
+      LinkState& state,
+      std::span<const std::unique_ptr<ParsedCert>> parsed) const override;
+  void relink_parses(
+      LinkState& state, std::span<const std::unique_ptr<ParsedCert>> parsed,
+      std::span<const graph::NodeIndex> touched) const override;
+
   /// The cross-region splice suite (splice.hpp): crossed fragment chunk
   /// payloads, rotated region ids, a neighbor region's reassembled prefix
   /// spliced in — the failure modes specific to region decomposition.

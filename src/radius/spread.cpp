@@ -65,6 +65,24 @@ void SpreadScheme::link_parses(
   detail::intern_chunk_classes<SpreadParsed>(parsed);
 }
 
+std::unique_ptr<LinkState> SpreadScheme::make_link_state() const {
+  return std::make_unique<detail::ChunkInternState>();
+}
+
+void SpreadScheme::link_parses_stateful(
+    LinkState& state,
+    std::span<const std::unique_ptr<ParsedCert>> parsed) const {
+  detail::intern_chunk_classes_stateful<SpreadParsed>(
+      static_cast<detail::ChunkInternState&>(state), parsed);
+}
+
+void SpreadScheme::relink_parses(
+    LinkState& state, std::span<const std::unique_ptr<ParsedCert>> parsed,
+    std::span<const graph::NodeIndex> touched) const {
+  detail::relink_chunk_classes<SpreadParsed>(
+      static_cast<detail::ChunkInternState&>(state), parsed, touched);
+}
+
 std::vector<SchemeAttack> SpreadScheme::adversarial_labelings(
     const local::Configuration& cfg, util::Rng& rng) const {
   std::vector<SchemeAttack> attacks = splice_attacks(*this, cfg, rng);

@@ -67,6 +67,17 @@ class SpreadScheme final : public BallScheme {
   void link_parses(
       std::span<const std::unique_ptr<ParsedCert>> parsed) const override;
 
+  /// Incremental link (the delta path): the interning table persists in the
+  /// verifier's LinkState, so relinking a mutated node hands out ids stable
+  /// against every carried-forward parse.
+  std::unique_ptr<LinkState> make_link_state() const override;
+  void link_parses_stateful(
+      LinkState& state,
+      std::span<const std::unique_ptr<ParsedCert>> parsed) const override;
+  void relink_parses(
+      LinkState& state, std::span<const std::unique_ptr<ParsedCert>> parsed,
+      std::span<const graph::NodeIndex> touched) const override;
+
   /// The splice attack suite (splice.hpp): region-spliced prefixes, rotated
   /// residues, crossed chunks — the reassembly-specific failure modes.
   std::vector<SchemeAttack> adversarial_labelings(

@@ -330,5 +330,36 @@ TEST(GeometryAtlas, ConcurrentLookupsAreConsistent) {
   EXPECT_GT(stats.misses, 0u);
 }
 
+// reset_stats starts a fresh reporting phase (benches bracket warmup vs.
+// measurement with it): traffic counters restart at zero while residency —
+// the blocks themselves and bytes_in_use — is untouched, so a post-reset
+// phase over a warm atlas reports pure hits.
+TEST(GeometryAtlas, ResetStatsStartsAPhaseWithoutTouchingResidency) {
+  util::Rng rng(7008);
+  auto g = share(graph::random_connected(48, 30, rng));
+  GeometryAtlas atlas;
+  for (graph::NodeIndex v = 0; v < g->n(); ++v) atlas.block(*g, 2, v);
+  const AtlasStats warm = atlas.stats();
+  EXPECT_GT(warm.misses, 0u);
+  EXPECT_GT(warm.bytes_in_use, 0u);
+
+  atlas.reset_stats();
+  const AtlasStats fresh = atlas.stats();
+  EXPECT_EQ(fresh.hits, 0u);
+  EXPECT_EQ(fresh.misses, 0u);
+  EXPECT_EQ(fresh.evictions, 0u);
+  EXPECT_EQ(fresh.bypassed, 0u);
+  EXPECT_EQ(fresh.bytes_in_use, warm.bytes_in_use);
+  EXPECT_EQ(fresh.peak_bytes, warm.bytes_in_use);
+  EXPECT_EQ(fresh.hit_rate(), 0.0);
+
+  // The warm blocks are still resident: the second sweep is all hits.
+  for (graph::NodeIndex v = 0; v < g->n(); ++v) atlas.block(*g, 2, v);
+  const AtlasStats phase = atlas.stats();
+  EXPECT_EQ(phase.misses, 0u);
+  EXPECT_GT(phase.hits, 0u);
+  EXPECT_EQ(phase.hit_rate(), 1.0);
+}
+
 }  // namespace
 }  // namespace pls::radius

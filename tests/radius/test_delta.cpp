@@ -1,0 +1,414 @@
+// The delta path's own contract tests (the differential fuzz in
+// test_fuzz_differential.cpp replays whole mutation trails through it;
+// these pin the mechanism): the reverse-ball index equals brute-force
+// distance, an empty mutation set does literally no stage work, stable
+// interning survives a mutate-back, the full-relink fallback serves schemes
+// without the incremental hook, and run_delta is bit-identical to a
+// from-scratch run at every thread count.
+#include "radius/delta.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "graph/algorithms.hpp"
+#include "radius/batch.hpp"
+#include "radius/fragment_spread.hpp"
+#include "radius/spread.hpp"
+#include "schemes/spanning_tree.hpp"
+#include "testing/helpers.hpp"
+
+namespace pls::radius {
+namespace {
+
+using core::Labeling;
+using core::Verdict;
+using pls::testing::share;
+
+Labeling random_labeling(std::size_t n, util::Rng& rng) {
+  Labeling lab;
+  for (std::size_t v = 0; v < n; ++v)
+    lab.certs.push_back(local::random_state(rng.below(96), rng));
+  return lab;
+}
+
+/// Brute-force dirty set: every center within hop distance r of a touched
+/// node, via per-source BFS over the whole graph.
+std::vector<graph::NodeIndex> brute_dirty(
+    const graph::Graph& g, unsigned r,
+    std::span<const graph::NodeIndex> touched) {
+  std::vector<bool> dirty(g.n(), false);
+  for (const graph::NodeIndex v : touched) {
+    const graph::BfsResult bfs = graph::bfs(g, v);
+    for (graph::NodeIndex u = 0; u < g.n(); ++u)
+      if (bfs.dist[u] != graph::BfsResult::kUnreachable && bfs.dist[u] <= r)
+        dirty[u] = true;
+  }
+  std::vector<graph::NodeIndex> out;
+  for (graph::NodeIndex u = 0; u < g.n(); ++u)
+    if (dirty[u]) out.push_back(u);
+  return out;
+}
+
+TEST(LabelingDelta, DiffFindsExactlyTheMutatedNodes) {
+  util::Rng rng(61001);
+  Labeling prev = random_labeling(12, rng);
+  Labeling next = prev;
+  next.certs[3] = local::random_state(40, rng);
+  next.certs[7] = local::Certificate{};
+  // A same-value rewrite is NOT a difference.
+  next.certs[5] = prev.certs[5];
+  const LabelingDelta delta = LabelingDelta::diff(prev, next);
+  EXPECT_EQ(delta.touched, (std::vector<graph::NodeIndex>{3, 7}));
+  EXPECT_TRUE(LabelingDelta::diff(prev, prev).touched.empty());
+
+  Labeling shorter = prev;
+  shorter.certs.pop_back();
+  EXPECT_THROW(LabelingDelta::diff(prev, shorter), std::logic_error);
+}
+
+TEST(DirtyIndex, MatchesBruteForceDistance) {
+  util::Rng rng(61002);
+  const std::vector<std::shared_ptr<const graph::Graph>> graphs = {
+      share(graph::path(17)), share(graph::cycle(12)), share(graph::star(9)),
+      share(graph::grid(4, 6)), share(graph::random_connected(40, 25, rng))};
+  GeometryAtlas atlas;
+  DirtyIndex index;
+  for (const auto& g : graphs) {
+    for (const unsigned r : {1u, 2u, 4u}) {
+      for (int trial = 0; trial < 4; ++trial) {
+        std::vector<graph::NodeIndex> touched;
+        const std::size_t k = 1 + rng.below(3);
+        for (std::size_t i = 0; i < k; ++i)
+          touched.push_back(
+              static_cast<graph::NodeIndex>(rng.below(g->n())));
+        // Duplicates are allowed and must not duplicate dirty centers.
+        touched.push_back(touched.front());
+        const auto got = index.collect(atlas, *g, r, touched);
+        EXPECT_EQ(std::vector<graph::NodeIndex>(got.begin(), got.end()),
+                  brute_dirty(*g, r, touched))
+            << g->describe() << " r=" << r;
+      }
+    }
+  }
+}
+
+TEST(BatchVerifierDelta, RequiresAResidentRun) {
+  const schemes::StpLanguage language;
+  const schemes::StpScheme base(language);
+  const SpreadScheme spread(base, 2);
+  util::Rng rng(61003);
+  auto g = share(graph::random_connected(14, 8, rng));
+  const local::Configuration cfg = language.sample_legal(g, rng);
+  const Labeling honest = spread.mark(cfg);
+
+  BatchVerifier verifier(spread, cfg, 2);
+  EXPECT_FALSE(verifier.has_resident());
+  EXPECT_THROW(verifier.run_delta(honest, LabelingDelta{}), std::logic_error);
+  verifier.run_one(honest);
+  EXPECT_TRUE(verifier.has_resident());
+  // An empty run() leaves the resident state alone.
+  EXPECT_TRUE(verifier.run({}).empty());
+  EXPECT_TRUE(verifier.has_resident());
+
+  LabelingDelta out_of_range;
+  out_of_range.touched = {static_cast<graph::NodeIndex>(cfg.n())};
+  EXPECT_THROW(verifier.run_delta(honest, out_of_range), std::logic_error);
+}
+
+TEST(BatchVerifierDelta, EmptyDeltaDoesNoWorkAndSplicesTheVerdict) {
+  const schemes::StpLanguage language;
+  const schemes::StpScheme base(language);
+  const SpreadScheme spread(base, 4);
+  util::Rng rng(61004);
+  auto g = share(graph::random_connected(20, 12, rng));
+  const local::Configuration cfg = language.sample_legal(g, rng);
+
+  Labeling tampered = spread.mark(cfg);
+  tampered.certs[5] = local::random_state(33, rng);
+
+  BatchVerifier verifier(spread, cfg, 4);
+  const Verdict full = verifier.run_one(tampered);
+  const DeltaStats before = verifier.delta_stats();
+  EXPECT_EQ(before.delta_runs, 0u);
+
+  const Verdict spliced = verifier.run_delta(tampered, LabelingDelta{});
+  EXPECT_EQ(spliced.accept(), full.accept());
+  // Rejection-count semantics: the spliced verdict counts its own bits.
+  EXPECT_EQ(spliced.rejections(), full.rejections());
+
+  const DeltaStats after = verifier.delta_stats();
+  EXPECT_EQ(after.delta_runs, 1u);
+  EXPECT_EQ(after.empty_runs, 1u);
+  EXPECT_EQ(after.certs_reparsed, 0u);
+  EXPECT_EQ(after.links_incremental, 0u);
+  EXPECT_EQ(after.links_full, 0u);
+  EXPECT_EQ(after.centers_reswept, 0u);
+  EXPECT_EQ(after.verdicts_carried, 0u);
+}
+
+/// One delta step checked against a from-scratch verifier, at every thread
+/// count, with the stats accounted against the brute-force dirty set.
+void expect_delta_matches_full(const core::Scheme& scheme,
+                               const local::Configuration& cfg, unsigned t,
+                               const Labeling& start,
+                               const std::vector<Labeling>& stream,
+                               const std::vector<LabelingDelta>& deltas) {
+  ASSERT_EQ(stream.size(), deltas.size());
+  for (const unsigned threads : {1u, 2u, 0u}) {  // 0 = hardware
+    BatchOptions options;
+    options.threads = threads;
+    BatchVerifier delta_verifier(scheme, cfg, t, options);
+    BatchVerifier full_verifier(scheme, cfg, t, options);
+    ASSERT_EQ(delta_verifier.run_one(start).accept(),
+              full_verifier.run_one(start).accept());
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+      const Verdict expect = full_verifier.run_one(stream[i]);
+      const Verdict got = delta_verifier.run_delta(stream[i], deltas[i]);
+      ASSERT_EQ(expect.accept(), got.accept())
+          << scheme.name() << " step " << i << " threads "
+          << delta_verifier.threads();
+    }
+  }
+}
+
+TEST(BatchVerifierDelta, SingleMutationsMatchFullRunsIncludingMutateBack) {
+  const schemes::StpLanguage language;
+  const schemes::StpScheme base(language);
+  util::Rng rng(61005);
+  auto g = share(graph::random_connected(26, 16, rng));
+  const local::Configuration cfg = language.sample_legal(g, rng);
+
+  for (const unsigned t : {2u, 4u}) {
+    const SpreadScheme spread(base, t);
+    const Labeling honest = spread.mark(cfg);
+
+    // Landmark of the (single) component: the minimum-id node — mutating it
+    // exercises the residue-0 binding and the chunk the landmark carries.
+    graph::NodeIndex landmark = 0;
+    for (graph::NodeIndex v = 1; v < g->n(); ++v)
+      if (g->id(v) < g->id(landmark)) landmark = v;
+
+    std::vector<Labeling> stream;
+    std::vector<LabelingDelta> deltas;
+    const auto push = [&](Labeling lab, std::vector<graph::NodeIndex> touched) {
+      stream.push_back(std::move(lab));
+      deltas.push_back(LabelingDelta{std::move(touched)});
+    };
+
+    Labeling cur = honest;
+    cur.certs[9] = local::random_state(41, rng);
+    push(cur, {9});
+    // Mutate BACK to the honest value: the re-interned chunk must get its
+    // old class id back (stable interning), and the verdict must return to
+    // all-accept.
+    cur.certs[9] = honest.certs[9];
+    push(cur, {9});
+    // Touch the landmark.
+    cur.certs[landmark] = local::random_state(17, rng);
+    push(cur, {landmark});
+    cur.certs[landmark] = honest.certs[landmark];
+    push(cur, {landmark});
+    // Copy another node's certificate (equal-payload interning across
+    // nodes), declared with a duplicate and an untouched extra node — an
+    // over-approximated delta must behave identically.
+    cur.certs[3] = cur.certs[12];
+    push(cur, {3, 3, 5});
+
+    expect_delta_matches_full(spread, cfg, t, honest, stream, deltas);
+  }
+}
+
+TEST(BatchVerifierDelta, DeltaAfterBatchBuildsOnTheLastLabeling) {
+  const schemes::StpLanguage language;
+  const schemes::StpScheme base(language);
+  const SpreadScheme spread(base, 2);
+  util::Rng rng(61006);
+  auto g = share(graph::grid(4, 6));
+  const local::Configuration cfg = language.sample_legal(g, rng);
+  const Labeling honest = spread.mark(cfg);
+
+  Labeling second = honest;
+  second.certs[2] = local::random_state(12, rng);
+  Labeling third = second;
+  third.certs[11] = local::random_state(30, rng);
+  const std::vector<Labeling> batch = {honest, second, third};
+
+  BatchVerifier verifier(spread, cfg, 2);
+  verifier.run(batch);  // resident = `third`
+  Labeling next = third;
+  next.certs[11] = honest.certs[11];
+  LabelingDelta delta;
+  delta.touched = {11};
+  const Verdict got = verifier.run_delta(next, delta);
+  EXPECT_EQ(got.accept(),
+            run_verifier_t_baseline(spread, cfg, next, 2).accept());
+  // And the two-labeling convenience overload diffs for us.
+  Labeling final = next;
+  final.certs[2] = honest.certs[2];
+  const Verdict got2 = verifier.run_delta(next, final);
+  EXPECT_EQ(got2.accept(),
+            run_verifier_t_baseline(spread, cfg, final, 2).accept());
+  EXPECT_TRUE(got2.all_accept());  // back to the honest marking
+}
+
+TEST(BatchVerifierDelta, StatsAccountReparsesAndDirtySweeps) {
+  const schemes::StpLanguage language;
+  const schemes::StpScheme base(language);
+  const SpreadScheme spread(base, 2);
+  util::Rng rng(61007);
+  auto g = share(graph::path(15));  // balls are small and easy to count
+  const local::Configuration cfg = language.sample_legal(g, rng);
+  const Labeling honest = spread.mark(cfg);
+
+  BatchVerifier verifier(spread, cfg, 2);
+  verifier.run_one(honest);
+
+  Labeling next = honest;
+  next.certs[7] = local::random_state(21, rng);
+  LabelingDelta delta;
+  delta.touched = {7};
+  verifier.run_delta(next, delta);
+
+  const DeltaStats stats = verifier.delta_stats();
+  EXPECT_EQ(stats.delta_runs, 1u);
+  EXPECT_EQ(stats.certs_reparsed, 1u);
+  EXPECT_EQ(stats.links_incremental, 1u);
+  EXPECT_EQ(stats.links_full, 0u);
+  // On a path, B(7, 2) = {5, 6, 7, 8, 9}.
+  EXPECT_EQ(stats.centers_reswept, 5u);
+  EXPECT_EQ(stats.verdicts_carried, cfg.n() - 5u);
+}
+
+// Plain 1-round schemes go through the delta path too: their decoders read
+// only layer 1, so the dirty radius is 1 whatever t the verifier is pinned
+// at — and no geometry atlas traffic happens at all.
+TEST(BatchVerifierDelta, PlainSchemesUseRadiusOneDirtySets) {
+  const schemes::StpLanguage language;
+  const schemes::StpScheme stp(language);
+  util::Rng rng(61008);
+  auto g = share(graph::star(9));
+  const local::Configuration cfg = language.sample_legal(g, rng);
+  const Labeling honest = stp.mark(cfg);
+
+  BatchVerifier verifier(stp, cfg, 3);
+  verifier.run_one(honest);
+  Labeling next = honest;
+  next.certs[4] = local::random_state(9, rng);  // a leaf of the star
+  LabelingDelta delta;
+  delta.touched = {4};
+  const Verdict got = verifier.run_delta(next, delta);
+  EXPECT_EQ(got.accept(),
+            run_verifier_t_baseline(stp, cfg, next, 3).accept());
+  // Dirty = the leaf and the hub, not the whole star.
+  EXPECT_EQ(verifier.delta_stats().centers_reswept, 2u);
+  EXPECT_EQ(verifier.atlas().stats().misses, 0u);
+}
+
+/// A ball scheme with a parse cache but no incremental link: accept iff
+/// every ball member's certificate length is congruent to the center's
+/// mod 4 (arbitrary, total, and sensitive to any length mutation).  Its
+/// delta runs must take the full-relink fallback and still be exact.
+class NoRelinkScheme final : public BallScheme {
+ public:
+  explicit NoRelinkScheme(const core::Language& language)
+      : language_(language) {}
+
+  std::string_view name() const noexcept override { return "norelink"; }
+  const core::Language& language() const noexcept override {
+    return language_;
+  }
+  unsigned radius() const noexcept override { return 2; }
+
+  core::Labeling mark(const local::Configuration& cfg) const override {
+    core::Labeling lab;
+    lab.certs.assign(cfg.n(), local::Certificate{});
+    return lab;
+  }
+
+  std::size_t proof_size_bound(std::size_t, std::size_t) const override {
+    return 0;
+  }
+
+  bool has_cert_parser() const noexcept override { return true; }
+  std::unique_ptr<ParsedCert> parse_cert(
+      const local::Certificate& cert) const override {
+    auto parsed = std::make_unique<Parsed>();
+    parsed->len = cert.bit_size();
+    return parsed;
+  }
+
+  bool verify_ball(const RadiusContext& ctx) const override {
+    const auto len_of = [&](std::size_t i) {
+      const BallMember& m = ctx.ball().members()[i];
+      if (ctx.has_parse_cache())
+        return static_cast<const Parsed*>(ctx.parsed(m.node))->len;
+      return m.cert->bit_size();
+    };
+    const std::size_t own = len_of(0) % 4;
+    for (std::size_t i = 1; i < ctx.ball().size(); ++i)
+      if (len_of(i) % 4 != own) return false;
+    return true;
+  }
+
+ private:
+  struct Parsed final : ParsedCert {
+    std::size_t len = 0;
+  };
+  const core::Language& language_;
+};
+
+TEST(BatchVerifierDelta, SchemesWithoutRelinkFallBackToFullLink) {
+  const schemes::StpLanguage language;
+  const NoRelinkScheme scheme(language);
+  util::Rng rng(61009);
+  auto g = share(graph::random_connected(18, 10, rng));
+  const local::Configuration cfg = language.sample_legal(g, rng);
+
+  Labeling cur = random_labeling(cfg.n(), rng);
+  BatchVerifier verifier(scheme, cfg, 2);
+  verifier.run_one(cur);
+  for (int step = 0; step < 6; ++step) {
+    const auto v = static_cast<graph::NodeIndex>(rng.below(cfg.n()));
+    cur.certs[v] = local::random_state(rng.below(64), rng);
+    LabelingDelta delta;
+    delta.touched = {v};
+    const Verdict got = verifier.run_delta(cur, delta);
+    EXPECT_EQ(got.accept(),
+              run_verifier_t_baseline(scheme, cfg, cur, 2).accept())
+        << "step " << step;
+  }
+  EXPECT_EQ(verifier.delta_stats().links_full, 6u);
+  EXPECT_EQ(verifier.delta_stats().links_incremental, 0u);
+}
+
+// The fragment spread's delta runs under region structure: mutations of
+// region-interior, landmark, and region-id-bearing certificates all replay
+// exactly (the fuzz harness covers this registry-wide; this is the directed
+// version on MST-like regional redundancy via the mechanical candidates).
+TEST(BatchVerifierDelta, FragmentSpreadDeltasMatchFullRuns) {
+  const schemes::StpLanguage language;
+  const schemes::StpScheme base(language);
+  const FragmentSpreadScheme spread(base, 4);
+  util::Rng rng(61010);
+  auto g = share(graph::random_connected(24, 14, rng));
+  const local::Configuration cfg = language.sample_legal(g, rng);
+  const Labeling honest = spread.mark(cfg);
+
+  std::vector<Labeling> stream;
+  std::vector<LabelingDelta> deltas;
+  Labeling cur = honest;
+  for (int step = 0; step < 8; ++step) {
+    const auto v = static_cast<graph::NodeIndex>(rng.below(cfg.n()));
+    cur.certs[v] = step % 3 == 2 ? honest.certs[v]
+                                 : local::random_state(rng.below(80), rng);
+    stream.push_back(cur);
+    deltas.push_back(LabelingDelta{{v}});
+  }
+  expect_delta_matches_full(spread, cfg, 4, honest, stream, deltas);
+}
+
+}  // namespace
+}  // namespace pls::radius

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "radius/batch.hpp"
+#include "radius/delta.hpp"
 #include "radius/fragment_spread.hpp"
 #include "radius/session.hpp"
 #include "schemes/registry.hpp"
@@ -24,11 +25,16 @@ namespace {
 
 using pls::testing::share;
 
-/// One random corruption of one node's certificate.
-core::Labeling mutate(const core::Labeling& lab, util::Rng& rng) {
+/// One random corruption of one node's certificate.  When `touched` is
+/// given, the mutated nodes are appended to it (the delta replay's declared
+/// mutation set — an over-approximation when the corruption is a no-op,
+/// which is exactly what LabelingDelta permits).
+core::Labeling mutate(const core::Labeling& lab, util::Rng& rng,
+                      std::vector<graph::NodeIndex>* touched = nullptr) {
   core::Labeling out = lab;
   if (out.size() == 0) return out;
   const std::size_t v = rng.below(out.size());
+  if (touched != nullptr) touched->push_back(static_cast<graph::NodeIndex>(v));
   switch (rng.below(4)) {
     case 0: {  // flip one bit
       const std::size_t bits = out.certs[v].bit_size();
@@ -50,6 +56,8 @@ core::Labeling mutate(const core::Labeling& lab, util::Rng& rng) {
     }
     default: {  // swap two nodes' certificates
       const std::size_t u = rng.below(out.size());
+      if (touched != nullptr)
+        touched->push_back(static_cast<graph::NodeIndex>(u));
       std::swap(out.certs[v], out.certs[u]);
       break;
     }
@@ -111,13 +119,21 @@ TEST(FuzzDifferential, RegistrySchemesAllEnginesAgree) {
   }
 }
 
-// The batch pipeline under the same fuzz: a whole mutation trail is run as
-// ONE BatchVerifier batch (stage 2 of labeling i+1 overlapping the sweep of
-// labeling i, all labelings sharing one geometry atlas) and must stay
-// bit-identical to per-labeling baseline verdicts.  This is the differential
-// form of the parse-cache invalidation regression: adjacent labelings in the
-// trail differ by certificate swaps and rewrites, so any parse (or geometry)
-// surviving a labeling boundary would flip a verdict here.
+// The batch pipeline AND the delta path under the same fuzz: a whole
+// mutation trail is run (a) as ONE BatchVerifier batch (stage 2 of labeling
+// i+1 overlapping the sweep of labeling i, all labelings sharing one
+// geometry atlas), and (b) as a delta stream — one full seeding run, then
+// run_delta per step with exactly the mutated nodes declared.  Both must
+// stay bit-identical to per-labeling baseline verdicts at every thread
+// count.  The batch leg is the differential form of the parse-cache
+// invalidation regression (adjacent labelings differ by swaps and rewrites,
+// so any parse or geometry surviving a labeling boundary flips a verdict);
+// the delta leg additionally fuzzes carry-forward itself — stale interned
+// class ids, dirty-set under-approximation, or a mis-spliced verdict all
+// diverge here.  Every trail deliberately contains a mutate-BACK step (a
+// certificate restored to its previous value, the stable-interning trap)
+// and a step touching the component's landmark — the min-id node whose
+// certificate binds the region/residue structure of the spread schemes.
 TEST(FuzzDifferential, BatchedMutationTrailsMatchPerLabelingBaseline) {
   util::Rng rng(0xBA7C4u);
   const auto catalog = schemes::standard_catalog();
@@ -132,26 +148,97 @@ TEST(FuzzDifferential, BatchedMutationTrailsMatchPerLabelingBaseline) {
       g = share(graph::random_connected(16, 10, rng));
     }
     const local::Configuration cfg = entry.language->sample_legal(g, rng);
-    const FragmentSpreadScheme spread(*entry.scheme, 2);
 
-    std::vector<core::Labeling> trail;
-    trail.push_back(spread.mark(cfg));
-    for (int m = 0; m < 6; ++m) trail.push_back(mutate(trail.back(), rng));
+    graph::NodeIndex landmark = 0;
+    for (graph::NodeIndex v = 1; v < g->n(); ++v)
+      if (g->id(v) < g->id(landmark)) landmark = v;
 
-    std::vector<core::Verdict> oracle;
-    for (const core::Labeling& lab : trail)
-      oracle.push_back(run_verifier_t_baseline(spread, cfg, lab, 2));
+    // The plain registry scheme's own trail through the delta path (its
+    // decoders are radius-invariant, so one t is enough: dirty sets are the
+    // closed neighborhoods of the mutated nodes).
+    {
+      std::vector<core::Labeling> trail;
+      std::vector<LabelingDelta> deltas;
+      trail.push_back(entry.scheme->mark(cfg));
+      for (int m = 0; m < 4; ++m) {
+        std::vector<graph::NodeIndex> touched;
+        core::Labeling next = mutate(trail.back(), rng, &touched);
+        trail.push_back(std::move(next));
+        deltas.push_back(LabelingDelta{std::move(touched)});
+      }
+      std::vector<core::Verdict> oracle;
+      for (const core::Labeling& lab : trail)
+        oracle.push_back(run_verifier_t_baseline(*entry.scheme, cfg, lab, 2));
+      for (const unsigned threads : {1u, 2u, 0u}) {
+        BatchOptions options;
+        options.threads = threads;
+        BatchVerifier delta_verifier(*entry.scheme, cfg, 2, options);
+        ASSERT_EQ(oracle[0].accept(),
+                  delta_verifier.run_one(trail[0]).accept());
+        for (std::size_t i = 1; i < trail.size(); ++i)
+          ASSERT_EQ(oracle[i].accept(),
+                    delta_verifier.run_delta(trail[i], deltas[i - 1]).accept())
+              << entry.label << " plain delta step " << i << " threads "
+              << delta_verifier.threads();
+      }
+    }
 
-    for (const unsigned threads : {1u, 2u, 0u}) {  // 0 = hardware
-      BatchOptions options;
-      options.threads = threads;
-      BatchVerifier batch(spread, cfg, 2, options);
-      const std::vector<core::Verdict> got = batch.run(trail);
-      ASSERT_EQ(got.size(), trail.size());
-      for (std::size_t i = 0; i < trail.size(); ++i)
-        ASSERT_EQ(oracle[i].accept(), got[i].accept())
-            << entry.label << " trail step " << i << " threads "
-            << batch.threads();
+    for (const unsigned t : {1u, 2u, 4u}) {
+      const FragmentSpreadScheme spread(*entry.scheme, t);
+
+      std::vector<core::Labeling> trail;
+      std::vector<LabelingDelta> deltas;  // per step, vs the previous one
+      trail.push_back(spread.mark(cfg));
+      const auto push = [&](core::Labeling lab,
+                            std::vector<graph::NodeIndex> touched) {
+        trail.push_back(std::move(lab));
+        deltas.push_back(LabelingDelta{std::move(touched)});
+      };
+      for (int m = 0; m < 3; ++m) {
+        std::vector<graph::NodeIndex> touched;
+        core::Labeling next = mutate(trail.back(), rng, &touched);
+        push(std::move(next), std::move(touched));
+      }
+      {
+        // Mutate one certificate back to its honest (initial) value.
+        const auto v = static_cast<graph::NodeIndex>(rng.below(cfg.n()));
+        core::Labeling next = trail.back();
+        next.certs[v] = trail.front().certs[v];
+        push(std::move(next), {v});
+        // Corrupt the landmark, then restore it.
+        core::Labeling tampered = trail.back();
+        tampered.certs[landmark] = local::random_state(rng.below(64), rng);
+        push(std::move(tampered), {landmark});
+        core::Labeling restored = trail.back();
+        restored.certs[landmark] = trail.front().certs[landmark];
+        push(std::move(restored), {landmark});
+      }
+
+      std::vector<core::Verdict> oracle;
+      for (const core::Labeling& lab : trail)
+        oracle.push_back(run_verifier_t_baseline(spread, cfg, lab, t));
+
+      for (const unsigned threads : {1u, 2u, 0u}) {  // 0 = hardware
+        BatchOptions options;
+        options.threads = threads;
+        BatchVerifier batch(spread, cfg, t, options);
+        const std::vector<core::Verdict> got = batch.run(trail);
+        ASSERT_EQ(got.size(), trail.size());
+        for (std::size_t i = 0; i < trail.size(); ++i)
+          ASSERT_EQ(oracle[i].accept(), got[i].accept())
+              << entry.label << " trail step " << i << " threads "
+              << batch.threads();
+
+        // The same trail as a delta stream over a fresh verifier.
+        BatchVerifier delta_verifier(spread, cfg, t, options);
+        ASSERT_EQ(oracle[0].accept(),
+                  delta_verifier.run_one(trail[0]).accept());
+        for (std::size_t i = 1; i < trail.size(); ++i)
+          ASSERT_EQ(oracle[i].accept(),
+                    delta_verifier.run_delta(trail[i], deltas[i - 1]).accept())
+              << entry.label << " delta step " << i << " t " << t
+              << " threads " << delta_verifier.threads();
+      }
     }
   }
 }
