@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "graph/generators.hpp"
+#include "obs/json.hpp"  // the one JSON emitter every bench artifact uses
 #include "schemes/registry.hpp"
 #include "util/table.hpp"
 
@@ -187,6 +188,26 @@ inline std::shared_ptr<const graph::Graph> graph_for(
 inline void print_header(const std::string& experiment,
                          const std::string& claim) {
   std::cout << "\n=== " << experiment << " ===\n" << claim << "\n\n";
+}
+
+/// Standard --seed plumbing for the table benches whose only flag it is:
+/// parses `--seed S` (default 0) and rejects anything else.  Returns
+/// nullopt (usage already printed) on a bad command line.  XOR the returned
+/// base into each historic seed literal — base 0 reproduces the published
+/// tables bit-for-bit; any other base shifts every RNG stream reproducibly.
+inline std::optional<std::uint64_t> take_seed_only(int argc, char** argv,
+                                                   const std::string& name) {
+  CliArgs args(argc, argv);
+  const std::uint64_t seed = args.take_seed(0);
+  if (!args.finish(name + " [--seed S]")) return std::nullopt;
+  return seed;
+}
+
+/// The reproducibility echo: every bench prints the base seed it ran under,
+/// so a captured output names the exact inputs needed to regenerate it.
+inline void echo_seed(std::uint64_t seed) {
+  std::cout << "seed: " << seed << " (base; 0 reproduces the published "
+            << "tables)\n\n";
 }
 
 }  // namespace pls::bench

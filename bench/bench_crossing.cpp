@@ -29,8 +29,13 @@ std::vector<bool> first_half(std::size_t n) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pls;
+  // The crossing constructions are exhaustive (no RNG); --seed is accepted
+  // and echoed anyway so every bench's output names its seed uniformly.
+  const auto seed = bench::take_seed_only(argc, argv, "bench_crossing");
+  if (!seed) return 2;
+  bench::echo_seed(*seed);
 
   // --- agree ---------------------------------------------------------------
   {

@@ -13,12 +13,15 @@
 #include "schemes/leader.hpp"
 #include "schemes/spanning_tree.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pls;
+  const auto seed = bench::take_seed_only(argc, argv, "bench_dist_marker");
+  if (!seed) return 2;
   bench::print_header(
       "T7: distributed certificate construction",
       "flooding-based markers: rounds vs eccentricity/depth, message bits, "
       "and acceptance by the 1-round verifier");
+  bench::echo_seed(*seed);
 
   const schemes::LeaderLanguage leader_language;
   const schemes::LeaderScheme leader_scheme(leader_language);
@@ -36,7 +39,7 @@ int main() {
   topologies.push_back({"path", graph::path(128)});
   topologies.push_back({"grid", graph::grid(12, 12)});
   {
-    util::Rng rng(5);
+    util::Rng rng(*seed ^ 5);
     topologies.push_back({"random", graph::random_connected(144, 96, rng)});
   }
 

@@ -12,11 +12,14 @@
 #include "schemes/mst.hpp"
 #include "schemes/spanning_tree.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pls;
+  const auto seed = bench::take_seed_only(argc, argv, "bench_id_space");
+  if (!seed) return 2;
   bench::print_header(
       "T8: id-space ablation (n = 128 fixed)",
       "certificate bits vs the id space the identifiers are drawn from");
+  bench::echo_seed(*seed);
 
   const schemes::LeaderLanguage leader_language;
   const schemes::LeaderScheme leader(leader_language);
@@ -40,13 +43,13 @@ int main() {
   util::Table table({"id space", "max id bits", "leader", "stp", "stl",
                      "mstl"});
   for (const Space& space : spaces) {
-    util::Rng rng(91);
+    util::Rng rng(*seed ^ 91);
     const graph::Graph base = graph::random_connected(n, n / 2, rng);
     auto g = bench::share(graph::relabel_random(base, rng, space.bound));
     auto wg = bench::share(graph::reweight_random(
         graph::relabel_random(base, rng, space.bound), rng));
 
-    util::Rng sample_rng(93);
+    util::Rng sample_rng(*seed ^ 93);
     const std::size_t leader_bits =
         leader.mark(leader_language.sample_legal(g, sample_rng)).max_bits();
     const std::size_t stp_bits =

@@ -15,6 +15,11 @@ namespace {
 
 using namespace pls;
 
+// Base seed (--seed, default 0 = the published timings); set in main()
+// before google-benchmark registration, XOR-salted into the historic
+// per-benchmark seed literals.
+std::uint64_t g_seed = 0;
+
 const schemes::SchemeEntry& entry_at(std::size_t index) {
   static const auto catalog = schemes::standard_catalog();
   return catalog.at(index);
@@ -24,8 +29,8 @@ void BM_Mark(benchmark::State& state) {
   const schemes::SchemeEntry& entry = entry_at(
       static_cast<std::size_t>(state.range(0)));
   const std::size_t n = static_cast<std::size_t>(state.range(1));
-  auto g = bench::graph_for(entry, n, 31);
-  util::Rng rng(37);
+  auto g = bench::graph_for(entry, n, g_seed ^ 31);
+  util::Rng rng(g_seed ^ 37);
   const local::Configuration cfg = entry.language->sample_legal(g, rng);
   for (auto _ : state) {
     benchmark::DoNotOptimize(entry.scheme->mark(cfg));
@@ -38,8 +43,8 @@ void BM_MarkUniversal(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
   static const schemes::LeaderLanguage language;
   static const core::UniversalScheme universal(language);
-  auto g = bench::standard_graph(n, 31);
-  util::Rng rng(37);
+  auto g = bench::standard_graph(n, g_seed ^ 31);
+  util::Rng rng(g_seed ^ 37);
   const local::Configuration cfg = language.sample_legal(g, rng);
   for (auto _ : state) {
     benchmark::DoNotOptimize(universal.mark(cfg));
@@ -50,6 +55,17 @@ void BM_MarkUniversal(benchmark::State& state) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // --seed is ours; everything else (--benchmark_filter, ...) passes
+  // through to google-benchmark untouched.
+  pls::bench::CliArgs args(argc, argv);
+  g_seed = args.take_seed(0);
+  std::vector<std::string> leftover = args.unrecognized();
+  std::vector<char*> rest;
+  rest.push_back(argv[0]);
+  for (std::string& a : leftover) rest.push_back(a.data());
+  int rest_argc = static_cast<int>(rest.size());
+  pls::bench::echo_seed(g_seed);
+
   const auto catalog = schemes::standard_catalog();
   for (std::size_t i = 0; i < catalog.size(); ++i)
     benchmark::RegisterBenchmark("mark", &BM_Mark)
@@ -59,7 +75,7 @@ int main(int argc, char** argv) {
       ->Arg(32)
       ->Arg(64)
       ->Arg(128);
-  benchmark::Initialize(&argc, argv);
+  benchmark::Initialize(&rest_argc, rest.data());
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

@@ -10,11 +10,14 @@
 
 #include "schemes/mst.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pls;
+  const auto base = bench::take_seed_only(argc, argv, "bench_mst_phases");
+  if (!base) return 2;
   bench::print_header(
       "F2: MST Borůvka phase structure",
       "phase records vs ceil(log2 n)+1, and certificate bits per phase");
+  bench::echo_seed(*base);
 
   const schemes::MstLanguage language;
   const schemes::MstScheme scheme(language);
@@ -24,8 +27,8 @@ int main() {
   for (const std::size_t n : {4u, 8u, 16u, 32u, 64u, 128u, 256u, 512u, 1024u}) {
     std::size_t max_phases = 0, max_bits = 0;
     for (std::uint64_t seed = 1; seed <= 3; ++seed) {
-      auto g = bench::weighted_graph(n, seed);
-      util::Rng rng(seed);
+      auto g = bench::weighted_graph(n, *base ^ seed);
+      util::Rng rng(*base ^ seed);
       const local::Configuration cfg = language.sample_legal(g, rng);
       max_phases = std::max(max_phases, scheme.phase_records(cfg));
       max_bits = std::max(max_bits, scheme.mark(cfg).max_bits());

@@ -7,11 +7,14 @@
 // below the bound.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pls;
+  const auto base = bench::take_seed_only(argc, argv, "bench_proof_sizes");
+  if (!base) return 2;
   bench::print_header(
       "T1: proof sizes",
       "max certificate bits (measured over 3 seeds) vs the theory bound");
+  bench::echo_seed(*base);
 
   util::Table table({"scheme", "n", "state bits", "measured bits", "bound",
                      "within bound"});
@@ -21,8 +24,8 @@ int main() {
       std::size_t measured = 0;
       std::size_t state_bits = 0;
       for (std::uint64_t seed = 1; seed <= 3; ++seed) {
-        auto g = bench::graph_for(entry, n, seed);
-        util::Rng rng(seed * 7);
+        auto g = bench::graph_for(entry, n, *base ^ seed);
+        util::Rng rng(*base ^ (seed * 7));
         const local::Configuration cfg = entry.language->sample_legal(g, rng);
         measured = std::max(measured, entry.scheme->mark(cfg).max_bits());
         state_bits = std::max(state_bits, cfg.max_state_bits());

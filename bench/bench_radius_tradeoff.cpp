@@ -113,19 +113,28 @@ Row measure(const core::Scheme& scheme, const local::Configuration& cfg,
 
 void emit(std::ostream& out, const std::vector<Row>& rows,
           std::uint64_t seed) {
-  out << "{\n  \"bench\": \"radius_tradeoff\",\n  \"id_space\": "
-      << kIdSpace << ",\n  \"seed\": " << seed << ",\n  \"rows\": [\n";
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const Row& r = rows[i];
-    out << "    {\"scheme\": \"" << r.scheme << "\", \"n\": " << r.n
-        << ", \"t\": " << r.t << ", \"max_cert_bits\": " << r.max_cert_bits
-        << ", \"avg_cert_bits\": " << r.avg_cert_bits
-        << ", \"verify_ms\": " << r.verify_ms
-        << ", \"round_bits\": " << r.round_bits << ", \"all_accept\": "
-        << (r.all_accept ? "true" : "false") << "}"
-        << (i + 1 < rows.size() ? "," : "") << "\n";
+  obs::JsonWriter json(out);
+  json.begin_object();
+  json.kv("bench", "radius_tradeoff");
+  json.kv("id_space", kIdSpace);
+  json.kv("seed", seed);
+  json.key("rows");
+  json.begin_array();
+  for (const Row& r : rows) {
+    json.begin_object();
+    json.kv("scheme", r.scheme);
+    json.kv("n", r.n);
+    json.kv("t", r.t);
+    json.kv("max_cert_bits", r.max_cert_bits);
+    json.kv("avg_cert_bits", r.avg_cert_bits);
+    json.kv("verify_ms", r.verify_ms);
+    json.kv("round_bits", r.round_bits);
+    json.kv("all_accept", r.all_accept);
+    json.end_object();
   }
-  out << "  ]\n}\n";
+  json.end_array();
+  json.end_object();
+  PLS_ASSERT(json.finished());
 }
 
 /// Sweeps one (language, base) curve.  `make_spread` builds the radius-t

@@ -1,0 +1,260 @@
+// Experiment X2 (EXTENSION) — registry-wide rejection-density telemetry.
+//
+// For every scheme in the catalog: plant corruptions at increasing edit
+// distance k, let the adversary suite minimize the rejection count, and
+// record the density-vs-distance curve (obs::measure_density_curve).  A
+// curve that is monotone AND grows across the sweep classifies the scheme
+// as (observably) error-sensitive — the property that turns the verifier
+// from a fuse into a gauge and lets self-stabilization recover locally in
+// proportion to the damage.  Expected shape: leader / acyclic / stl / mstl
+// grow roughly linearly; stp and regular stay flat (their counterexample
+// constructions in src/sensitivity are the proof that no scheme for them
+// can do better).
+//
+// Corruptions are language-aware where one exists (so the planted k really
+// bounds the distance) and random-state otherwise; bipartite is skipped —
+// its legal witnesses ignore states entirely, so no state corruption can
+// leave the language.  An extra exact-distance curve (the k-disjoint-cycles
+// chain for acyclic) anchors the classification: there the planted k IS the
+// distance, not just an upper bound.
+//
+// Usage: bench_rejection_density [--smoke] [--out FILE] [--seed S]
+//   --smoke  smaller sweep (n = 24, k in {1, 2, 4}, lighter adversary)
+//   --out    write rejection_density.json there instead of stdout
+//   --seed   base RNG seed (echoed into the JSON; default 0 reproduces the
+//            published curves)
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+
+#include "obs/density.hpp"
+#include "schemes/acyclic.hpp"
+#include "sensitivity/analysis.hpp"
+#include "util/assert.hpp"
+
+namespace {
+
+using namespace pls;
+
+/// A curve slot: the measured curve when the corruption protocol applies,
+/// otherwise the reason it does not.
+struct CurveResult {
+  obs::DensityCurve curve;
+  std::string corruptor;
+  std::string skipped;  ///< non-empty = no curve, and why
+};
+
+/// Language-aware corruptor where the sensitivity module has one; coloring
+/// gets a bench-local "copy a neighbor's color" edit (guaranteed illegal);
+/// everything else falls back to random-state rewrites.
+sensitivity::Corruptor corruptor_for(const std::string& label,
+                                     std::string& name_out) {
+  if (label == "leader") {
+    name_out = "extra-leader-flags";
+    return sensitivity::corrupt_leader;
+  }
+  if (label == "agree") {
+    name_out = "common-value-rewrite";
+    return sensitivity::corrupt_agree;
+  }
+  if (label == "stl" || label == "mstl") {
+    name_out = "drop-list-edge";
+    return sensitivity::corrupt_adjacency_list;
+  }
+  if (label == "coloring") {
+    name_out = "copy-neighbor-color";
+    return [](const local::Configuration& legal,
+              const std::vector<graph::NodeIndex>& nodes, util::Rng& rng) {
+      std::vector<local::State> states = legal.states();
+      for (const graph::NodeIndex v : nodes) {
+        const auto adj = legal.graph().adjacency(v);
+        if (adj.empty()) continue;
+        const auto pick = static_cast<std::size_t>(
+            rng.below(static_cast<std::uint64_t>(adj.size())));
+        states.at(v) = legal.state(adj[pick].to);  // neighbors now collide
+      }
+      return legal.with_states(std::move(states));
+    };
+  }
+  name_out = "random-state";
+  return obs::corrupt_random_state;
+}
+
+/// The exact-distance anchor: k disjoint cycles => distance to `acyclic` is
+/// exactly k.  Hand-rolled (the instance changes with k, so the fixed-legal
+/// measure_density_curve protocol does not apply).
+CurveResult cycle_chain_curve(std::span<const std::size_t> planted,
+                              std::uint64_t seed,
+                              const core::AttackOptions& options) {
+  const schemes::AcyclicLanguage language;
+  const schemes::AcyclicScheme scheme(language);
+  CurveResult result;
+  result.corruptor = "cycle-chain (exact distance)";
+  result.curve.scheme = "acyclic/cycle-chain";
+  for (const std::size_t k : planted) {
+    const sensitivity::CycleChainInstance inst =
+        sensitivity::make_cycle_chain(k);
+    util::Rng rng(seed ^ k);
+    const core::AttackReport report =
+        core::attack(scheme, inst.config, rng, options);
+    obs::DensityPoint point;
+    point.planted = k;
+    point.min_rejections = report.min_rejections;
+    point.density = static_cast<double>(report.min_rejections) /
+                    static_cast<double>(inst.config.n());
+    result.curve.points.push_back(point);
+    result.curve.n = inst.config.n();  // largest instance of the family
+  }
+  const auto& pts = result.curve.points;
+  result.curve.monotone = !pts.empty();
+  for (std::size_t i = 1; i < pts.size(); ++i)
+    if (pts[i].min_rejections < pts[i - 1].min_rejections)
+      result.curve.monotone = false;
+  result.curve.error_sensitive =
+      result.curve.monotone && pts.size() >= 2 &&
+      pts.back().min_rejections > pts.front().min_rejections;
+  return result;
+}
+
+void emit(std::ostream& out, const std::vector<CurveResult>& results,
+          std::span<const std::size_t> planted, std::uint64_t seed,
+          bool smoke) {
+  obs::JsonWriter json(out);
+  json.begin_object();
+  json.kv("bench", "rejection_density");
+  json.kv("seed", seed);
+  json.kv("smoke", smoke);
+  json.key("planted");
+  json.begin_array();
+  for (const std::size_t k : planted) json.value(static_cast<std::uint64_t>(k));
+  json.end_array();
+  json.key("curves");
+  json.begin_array();
+  for (const CurveResult& r : results) {
+    json.begin_object();
+    json.kv("scheme", r.curve.scheme);
+    json.kv("corruptor", r.corruptor);
+    if (!r.skipped.empty()) {
+      json.kv("skipped", r.skipped);
+      json.end_object();
+      continue;
+    }
+    json.kv("n", r.curve.n);
+    json.kv("monotone", r.curve.monotone);
+    json.kv("error_sensitive", r.curve.error_sensitive);
+    json.key("points");
+    json.begin_array();
+    for (const obs::DensityPoint& p : r.curve.points) {
+      json.begin_object();
+      json.kv("planted", p.planted);
+      json.kv("min_rejections", p.min_rejections);
+      json.kv("density", p.density);
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  PLS_ASSERT(json.finished());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pls;
+  bench::CliArgs args(argc, argv);
+  const bool smoke = args.take_flag("smoke");
+  const std::string out_path = args.take_value("out").value_or("");
+  const std::uint64_t seed = args.take_seed(0);
+  if (!args.finish("bench_rejection_density [--smoke] [--out FILE] "
+                   "[--seed S]"))
+    return 2;
+
+  bench::print_header(
+      "X2: rejection density vs planted distance (whole catalog)",
+      "adversary-minimized rejecting-node density as corruptions grow; "
+      "monotone growth = observably error-sensitive");
+  bench::echo_seed(seed);
+
+  const std::size_t n = smoke ? 24 : 64;
+  std::vector<std::size_t> planted =
+      smoke ? std::vector<std::size_t>{1, 2, 4}
+            : std::vector<std::size_t>{1, 2, 4, 8, 16};
+  core::AttackOptions options;
+  options.hill_climb_steps = smoke ? 60 : 200;
+  if (smoke) {
+    options.random_trials = 3;
+    options.splice_sources = 2;
+  }
+
+  std::vector<CurveResult> results;
+  for (const schemes::SchemeEntry& entry : schemes::standard_catalog()) {
+    CurveResult result;
+    result.curve.scheme = entry.label;
+    if (entry.label == "bipartite") {
+      result.corruptor = "-";
+      result.skipped = "legal witnesses carry empty states; no state "
+                       "corruption can leave this language";
+      results.push_back(std::move(result));
+      continue;
+    }
+    const sensitivity::Corruptor corrupt =
+        corruptor_for(entry.label, result.corruptor);
+    auto g = bench::graph_for(entry, n, seed ^ 29);
+    util::Rng rng(seed ^ 31);
+    const local::Configuration legal = entry.language->sample_legal(g, rng);
+    try {
+      result.curve = obs::measure_density_curve(*entry.scheme, legal, corrupt,
+                                                planted, rng, options);
+      result.curve.scheme = entry.label;  // catalog label, not scheme name
+    } catch (const std::exception& e) {
+      result.skipped = e.what();  // corruption kept landing inside the language
+    }
+    results.push_back(std::move(result));
+  }
+  results.push_back(cycle_chain_curve(planted, seed ^ 37, options));
+
+  util::Table table({"scheme", "corruptor", "n", "curve (min rejections)",
+                     "monotone", "error-sensitive"});
+  std::size_t sensitive = 0;
+  for (const CurveResult& r : results) {
+    if (!r.skipped.empty()) {
+      table.row(r.curve.scheme, r.corruptor, "-", "(skipped)", "-", "-");
+      continue;
+    }
+    std::string curve_cells;
+    for (const obs::DensityPoint& p : r.curve.points) {
+      if (!curve_cells.empty()) curve_cells += " ";
+      curve_cells += std::to_string(p.min_rejections);
+    }
+    table.row(r.curve.scheme, r.corruptor, r.curve.n, curve_cells,
+              r.curve.monotone ? "yes" : "no",
+              r.curve.error_sensitive ? "yes" : "no");
+    if (r.curve.error_sensitive) ++sensitive;
+  }
+  table.print(std::cout);
+  std::cout << "\nerror-sensitive curves: " << sensitive << "/"
+            << results.size()
+            << " (flat rows are the counterexample families: detection "
+               "there cannot scale with the damage)\n";
+  // The telemetry is only worth shipping if it separates at least one
+  // scheme; the exact-distance anchor family guarantees one.
+  PLS_ASSERT(sensitive >= 1);
+
+  if (out_path.empty()) {
+    emit(std::cout, results, planted, seed, smoke);
+  } else {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::cerr << "cannot open " << out_path << "\n";
+      return 1;
+    }
+    emit(out, results, planted, seed, smoke);
+    std::cout << "wrote " << out_path << "\n";
+  }
+  return 0;
+}

@@ -18,8 +18,11 @@
 #include "sensitivity/analysis.hpp"
 #include "sensitivity/counterexamples.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pls;
+  const auto base = bench::take_seed_only(argc, argv, "bench_sensitivity");
+  if (!base) return 2;
+  bench::echo_seed(*base);
   core::AttackOptions options;
   options.hill_climb_steps = 200;
 
@@ -35,7 +38,7 @@ int main() {
     for (const std::size_t k : {1u, 2u, 4u, 8u, 16u}) {
       const sensitivity::CycleChainInstance inst =
           sensitivity::make_cycle_chain(k);
-      util::Rng rng(k);
+      util::Rng rng(*base ^ k);
       const core::AttackReport report =
           core::attack(scheme, inst.config, rng, options);
       table.row("acyclic (k disjoint cycles, exact distance)", inst.config.n(),
@@ -46,8 +49,8 @@ int main() {
   {
     const schemes::LeaderLanguage language;
     const schemes::LeaderScheme scheme(language);
-    auto g = bench::standard_graph(64, 71);
-    util::Rng rng(73);
+    auto g = bench::standard_graph(64, *base ^ 71);
+    util::Rng rng(*base ^ 73);
     const auto legal = language.sample_legal(g, rng);
     for (const std::size_t k : {1u, 2u, 4u, 8u, 16u}) {
       const sensitivity::SensitivityRow row = sensitivity::measure(
@@ -59,8 +62,8 @@ int main() {
   {
     const schemes::StlLanguage language;
     const schemes::StlScheme scheme(language);
-    auto g = bench::standard_graph(64, 79);
-    util::Rng rng(83);
+    auto g = bench::standard_graph(64, *base ^ 79);
+    util::Rng rng(*base ^ 83);
     const auto legal = language.sample_legal(g, rng);
     for (const std::size_t k : {1u, 2u, 4u, 8u, 16u}) {
       const sensitivity::SensitivityRow row = sensitivity::measure(
@@ -72,8 +75,8 @@ int main() {
   {
     const schemes::MstLanguage language;
     const schemes::MstScheme scheme(language);
-    auto g = bench::weighted_graph(48, 89);
-    util::Rng rng(97);
+    auto g = bench::weighted_graph(48, *base ^ 89);
+    util::Rng rng(*base ^ 97);
     const auto legal = language.sample_legal(g, rng);
     for (const std::size_t k : {1u, 2u, 4u, 8u}) {
       const sensitivity::SensitivityRow row = sensitivity::measure(
@@ -97,7 +100,7 @@ int main() {
              r.rejections, r.illegal ? "yes" : "no");
   }
   for (const std::size_t side : {8u, 16u, 32u, 64u}) {
-    util::Rng rng(side);
+    util::Rng rng(*base ^ side);
     const sensitivity::CounterexampleResult r =
         sensitivity::regular_gluing_counterexample(side, side, 3, rng);
     flat.row("regular 2-vs-3 gluing", r.n, r.distance_lower_bound,

@@ -15,10 +15,13 @@
 #include "schemes/mst.hpp"
 #include "schemes/spanning_tree.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pls;
+  const auto seed = bench::take_seed_only(argc, argv, "bench_size_scaling");
+  if (!seed) return 2;
   bench::print_header("F1: certificate size scaling",
                       "max certificate bits vs n; log2(n) given for reference");
+  bench::echo_seed(*seed);
 
   const schemes::LeaderLanguage leader_language;
   const schemes::LeaderScheme leader(leader_language);
@@ -31,9 +34,9 @@ int main() {
   util::Table table({"n", "log2(n)", "leader bits", "stl bits", "mstl bits",
                      "universal bits"});
   for (const std::size_t n : {16u, 32u, 64u, 128u, 256u, 512u, 1024u, 2048u}) {
-    util::Rng rng(17);
-    auto g = bench::standard_graph(n, 3);
-    auto wg = bench::weighted_graph(n, 3);
+    util::Rng rng(*seed ^ 17);
+    auto g = bench::standard_graph(n, *seed ^ 3);
+    auto wg = bench::weighted_graph(n, *seed ^ 3);
 
     const std::size_t leader_bits =
         leader.mark(leader_language.sample_legal(g, rng)).max_bits();

@@ -9,12 +9,15 @@
 #include "pls/adversary.hpp"
 #include "pls/engine.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pls;
+  const auto seed = bench::take_seed_only(argc, argv, "bench_soundness");
+  if (!seed) return 2;
   bench::print_header(
       "T2: completeness / soundness",
       "legal: fraction of nodes accepting (must be 1.0); illegal: adversary's "
       "minimum rejection count (must be >= 1) and its best strategy");
+  bench::echo_seed(*seed);
 
   util::Table table({"scheme", "n", "legal accept rate", "illegal trials",
                      "min rejections", "best adversary"});
@@ -26,8 +29,8 @@ int main() {
 
   for (const schemes::SchemeEntry& entry : catalog) {
     for (const std::size_t n : {24u, 64u}) {
-      auto g = bench::graph_for(entry, n, 11);
-      util::Rng rng(13);
+      auto g = bench::graph_for(entry, n, *seed ^ 11);
+      util::Rng rng(*seed ^ 13);
       const local::Configuration legal = entry.language->sample_legal(g, rng);
 
       // Completeness.
@@ -45,7 +48,7 @@ int main() {
         const auto corrupted = local::corrupt_random_states(legal, 2, rng);
         if (entry.language->contains(corrupted.config)) continue;
         ++trials;
-        util::Rng attack_rng(100 + t);
+        util::Rng attack_rng(*seed ^ static_cast<std::uint64_t>(100 + t));
         const core::AttackReport report =
             core::attack(*entry.scheme, corrupted.config, attack_rng, options);
         if (report.min_rejections < min_rejections) {

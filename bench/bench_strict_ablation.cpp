@@ -9,11 +9,14 @@
 
 #include "pls/strict_adapter.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pls;
+  const auto seed = bench::take_seed_only(argc, argv, "bench_strict_ablation");
+  if (!seed) return 2;
   bench::print_header(
       "T6: strict (certificates-only) model ablation",
       "certificate bits in the extended model vs after the strict adapter");
+  bench::echo_seed(*seed);
 
   util::Table table({"scheme", "n", "state bits", "extended bits",
                      "strict bits", "overhead"});
@@ -21,8 +24,8 @@ int main() {
     if (entry.scheme->visibility() != local::Visibility::kExtended) continue;
     const core::StrictAdapter strict(*entry.scheme);
     for (const std::size_t n : {64u, 256u, 1024u}) {
-      auto g = bench::graph_for(entry, n, 61);
-      util::Rng rng(67);
+      auto g = bench::graph_for(entry, n, *seed ^ 61);
+      util::Rng rng(*seed ^ 67);
       const local::Configuration cfg = entry.language->sample_legal(g, rng);
       const std::size_t extended = entry.scheme->mark(cfg).max_bits();
       const std::size_t adapted = strict.mark(cfg).max_bits();

@@ -11,11 +11,14 @@
 #include "schemes/leader.hpp"
 #include "schemes/spanning_tree.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pls;
+  const auto seed = bench::take_seed_only(argc, argv, "bench_universal");
+  if (!seed) return 2;
   bench::print_header(
       "T5: universal scheme certificate size",
       "measured bits vs the O(n^2 + n s) predictor, several inner languages");
+  bench::echo_seed(*seed);
 
   const schemes::LeaderLanguage leader;
   const schemes::AgreeLanguage agree(32);
@@ -32,8 +35,8 @@ int main() {
   for (const Row& r : rows) {
     const core::UniversalScheme universal(*r.language);
     for (const std::size_t n : {16u, 32u, 64u, 128u, 256u}) {
-      auto g = bench::standard_graph(n, 41);
-      util::Rng rng(43);
+      auto g = bench::standard_graph(n, *seed ^ 41);
+      util::Rng rng(*seed ^ 43);
       const local::Configuration cfg = r.language->sample_legal(g, rng);
       const std::size_t bits = universal.mark(cfg).max_bits();
       table.row(r.label, n, cfg.max_state_bits(), bits, n * n,
@@ -45,8 +48,8 @@ int main() {
   // Sanity: the universal verifier still accepts at a moderate size (its
   // verification is O(n^2) per node, so this is the expensive direction).
   {
-    auto g = bench::standard_graph(48, 41);
-    util::Rng rng(47);
+    auto g = bench::standard_graph(48, *seed ^ 41);
+    util::Rng rng(*seed ^ 47);
     const core::UniversalScheme universal(leader);
     const local::Configuration cfg = leader.sample_legal(g, rng);
     const bool ok = core::completeness_holds(universal, cfg);

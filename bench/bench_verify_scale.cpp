@@ -30,7 +30,7 @@
 //    instance whose balls cover 2/3 of it (the emitted dirty_fraction
 //    quantifies that boundary); --smoke only shortens the stream.  Reports
 //    both throughputs, the delta work counters, and per-phase atlas hit
-//    rates (AtlasStats::reset between phases).
+//    rates (snapshot-diffed AtlasStats, AtlasStats::since).
 //
 // Verdict identity is asserted everywhere: scenario 1 across
 // baseline/sequential/parallel sessions per row; scenario 2 across the
@@ -41,16 +41,30 @@
 // threads {1, 2, hardware} over a prefix, and the stream head against the
 // naive engine (full runs only — it is a 4096-node t = 8 instance).
 //
+// Per-stage latency (parse/link, sweep window, delta stages) is recorded
+// into an obs::MetricsRegistry by the verifiers themselves
+// (BatchOptions::metrics); the emitted JSON carries the full snapshot —
+// count/mean/p50/p90/p95/p99 per stage — and stderr quotes the headline
+// p50/p99.  --trace-out additionally records the timed batch contender with
+// obs::TraceRecorder and writes a chrome://tracing document showing the
+// parse(i+1)-inside-sweep-window(i) pipelining overlap and per-slot sweep
+// skew.  --max-disabled-span-ns gates the observability tax: the measured
+// per-span cost of an instrumented-but-disabled trace point (one relaxed
+// atomic load) must stay under the bound.
+//
 // Usage: bench_verify_scale [--smoke] [--out FILE] [--batch-out FILE]
-//                           [--incremental-out FILE] [--seed S]
-//                           [--threads T] [--t T] [--labelings L]
+//                           [--incremental-out FILE] [--trace-out FILE]
+//                           [--seed S] [--threads T] [--t T] [--labelings L]
 //                           [--require-speedup X] [--require-batch-speedup X]
 //                           [--require-incremental-speedup X]
+//                           [--max-disabled-span-ns X]
 //   --smoke                   n = 1024 for scenarios 1-2, fewer labelings
 //                             (CI-friendly; scenario 3 stays at n = 4096)
 //   --out FILE                write the tradeoff JSON there instead of stdout
 //   --batch-out FILE          additionally write the batch-scenario JSON
 //   --incremental-out FILE    additionally write the delta-scenario JSON
+//   --trace-out FILE          record the timed batch run; write chrome-trace
+//                             JSON there (load via chrome://tracing)
 //   --seed S                  base RNG seed (echoed into every JSON)
 //   --threads T               thread count for the timed runs (default: hw)
 //   --t T                     batch/incremental radius (default 8)
@@ -59,6 +73,7 @@
 //   --require-speedup X       fail if t = 8 sequential session speedup < X
 //   --require-batch-speedup X fail if batch+atlas throughput gain < X
 //   --require-incremental-speedup X fail if delta-vs-full gain < X
+//   --max-disabled-span-ns X  fail if a disabled trace span costs > X ns
 #include <chrono>
 #include <fstream>
 #include <functional>
@@ -68,6 +83,8 @@
 
 #include "bench_common.hpp"
 #include "graph/generators.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "radius/batch.hpp"
 #include "radius/session.hpp"
 #include "radius/spread.hpp"
@@ -203,7 +220,8 @@ BatchResult measure_batch(const core::Scheme& scheme,
                           const local::Configuration& cfg, unsigned t,
                           unsigned threads,
                           std::span<const core::Labeling> labs,
-                          std::size_t baseline_checked) {
+                          std::size_t baseline_checked,
+                          obs::MetricsRegistry& registry, bool trace) {
   BatchResult r;
   r.n = cfg.n();
   r.t = t;
@@ -229,15 +247,19 @@ BatchResult measure_batch(const core::Scheme& scheme,
         std::chrono::duration<double, std::milli>(stop - start).count();
   }
 
-  // BatchVerifier + warm atlas, the timed contender.
+  // BatchVerifier + warm atlas, the timed contender — the run the stage
+  // histograms (and, under --trace-out, the chrome trace) describe.
   std::vector<core::Verdict> batch_verdicts;
   {
     radius::BatchOptions options;
     options.threads = threads;
+    options.metrics = &registry;
     radius::BatchVerifier batch(scheme, cfg, t, options);
+    if (trace) obs::TraceRecorder::enable();
     const auto start = std::chrono::steady_clock::now();
     batch_verdicts = batch.run(labs);
     const auto stop = std::chrono::steady_clock::now();
+    if (trace) obs::TraceRecorder::disable();
     r.batch_ms =
         std::chrono::duration<double, std::milli>(stop - start).count();
     r.atlas = batch.atlas().stats();
@@ -344,7 +366,8 @@ IncrementalResult measure_incremental(const core::Scheme& scheme,
                                       const local::Configuration& cfg,
                                       unsigned t, unsigned threads,
                                       const MutationStream& stream,
-                                      std::size_t baseline_checked) {
+                                      std::size_t baseline_checked,
+                                      obs::MetricsRegistry& registry) {
   IncrementalResult r;
   r.n = cfg.n();
   r.t = t;
@@ -353,14 +376,17 @@ IncrementalResult measure_incremental(const core::Scheme& scheme,
 
   // Both contenders share one warm atlas: geometry is scenario 2's subject,
   // not this one's, so it is built once up front and both phases run
-  // steady-state.  reset_stats brackets the phases for per-phase hit rates.
+  // steady-state.  Snapshot diffs (AtlasStats::since) bracket the phases for
+  // per-phase hit rates — the retired reset_stats could misattribute
+  // concurrent traffic to the wrong phase; a diff of two snapshots cannot.
   radius::BatchOptions options;
   options.threads = threads;
   options.atlas = std::make_shared<radius::GeometryAtlas>();
+  options.metrics = &registry;
   radius::BatchVerifier full(scheme, cfg, t, options);
   radius::BatchVerifier delta(scheme, cfg, t, options);
   full.run_one(stream.labs.front());  // warm the shared geometry
-  options.atlas->reset_stats();
+  const radius::AtlasStats warm = options.atlas->stats();
 
   std::vector<core::Verdict> full_verdicts;
   {
@@ -370,8 +396,8 @@ IncrementalResult measure_incremental(const core::Scheme& scheme,
     r.full_ms =
         std::chrono::duration<double, std::milli>(stop - start).count();
   }
-  r.full_phase_hit_rate = options.atlas->stats().hit_rate();
-  options.atlas->reset_stats();
+  const radius::AtlasStats after_full = options.atlas->stats();
+  r.full_phase_hit_rate = after_full.since(warm).hit_rate();
 
   std::vector<core::Verdict> delta_verdicts;
   {
@@ -381,7 +407,7 @@ IncrementalResult measure_incremental(const core::Scheme& scheme,
     r.delta_ms =
         std::chrono::duration<double, std::milli>(stop - start).count();
   }
-  r.delta_phase_hit_rate = options.atlas->stats().hit_rate();
+  r.delta_phase_hit_rate = options.atlas->stats().since(after_full).hit_rate();
   r.delta_stats = delta.delta_stats();
 
   const auto count = static_cast<double>(stream.labs.size());
@@ -434,80 +460,121 @@ double t8_speedup_sequential(const std::vector<Row>& rows) {
   return 0.0;
 }
 
-void emit_incremental(std::ostream& out, const IncrementalResult& r,
+/// Writes the incremental-scenario object into an in-progress document (the
+/// top-level artifact nests it; --incremental-out wraps it as its own root).
+void emit_incremental(obs::JsonWriter& json, const IncrementalResult& r,
+                      const obs::MetricsSnapshot& metrics,
                       std::uint64_t seed) {
-  out << "{\n  \"bench\": \"verify_incremental\",\n"
-      << "  \"seed\": " << seed << ",\n  \"n\": " << r.n
-      << ",\n  \"t\": " << r.t << ",\n  \"labelings\": " << r.labelings
-      << ",\n  \"threads\": " << r.threads
-      << ",\n  \"full_ms\": " << r.full_ms
-      << ",\n  \"delta_ms\": " << r.delta_ms
-      << ",\n  \"full_labelings_per_sec\": " << r.full_per_sec
-      << ",\n  \"delta_labelings_per_sec\": " << r.delta_per_sec
-      << ",\n  \"speedup\": " << r.speedup
-      << ",\n  \"delta_runs\": " << r.delta_stats.delta_runs
-      << ",\n  \"certs_reparsed\": " << r.delta_stats.certs_reparsed
-      << ",\n  \"links_incremental\": " << r.delta_stats.links_incremental
-      << ",\n  \"centers_reswept\": " << r.delta_stats.centers_reswept
-      << ",\n  \"verdicts_carried\": " << r.delta_stats.verdicts_carried
-      << ",\n  \"dirty_fraction\": " << r.dirty_fraction
-      << ",\n  \"full_phase_hit_rate\": " << r.full_phase_hit_rate
-      << ",\n  \"delta_phase_hit_rate\": " << r.delta_phase_hit_rate
-      << ",\n  \"baseline_checked\": " << r.baseline_checked
-      << ",\n  \"verdicts_identical\": "
-      << (r.verdicts_identical ? "true" : "false") << "\n}\n";
+  json.begin_object();
+  json.kv("bench", "verify_incremental");
+  json.kv("seed", seed);
+  json.kv("n", r.n);
+  json.kv("t", r.t);
+  json.kv("labelings", r.labelings);
+  json.kv("threads", r.threads);
+  json.kv("full_ms", r.full_ms);
+  json.kv("delta_ms", r.delta_ms);
+  json.kv("full_labelings_per_sec", r.full_per_sec);
+  json.kv("delta_labelings_per_sec", r.delta_per_sec);
+  json.kv("speedup", r.speedup);
+  json.kv("delta_runs", r.delta_stats.delta_runs);
+  json.kv("certs_reparsed", r.delta_stats.certs_reparsed);
+  json.kv("links_incremental", r.delta_stats.links_incremental);
+  json.kv("centers_reswept", r.delta_stats.centers_reswept);
+  json.kv("verdicts_carried", r.delta_stats.verdicts_carried);
+  json.kv("dirty_fraction", r.dirty_fraction);
+  json.kv("full_phase_hit_rate", r.full_phase_hit_rate);
+  json.kv("delta_phase_hit_rate", r.delta_phase_hit_rate);
+  json.kv("baseline_checked", r.baseline_checked);
+  json.kv("verdicts_identical", r.verdicts_identical);
+  json.key("metrics");
+  metrics.write_json(json);
+  json.end_object();
 }
 
-void emit_batch(std::ostream& out, const BatchResult& b) {
-  out << "{\n  \"bench\": \"verify_batch\",\n"
-      << "  \"n\": " << b.n << ",\n  \"t\": " << b.t
-      << ",\n  \"labelings\": " << b.labelings
-      << ",\n  \"threads\": " << b.threads
-      << ",\n  \"rebuild_ms\": " << b.rebuild_ms
-      << ",\n  \"batch_ms\": " << b.batch_ms
-      << ",\n  \"rebuild_labelings_per_sec\": " << b.rebuild_per_sec
-      << ",\n  \"batch_labelings_per_sec\": " << b.batch_per_sec
-      << ",\n  \"speedup\": " << b.speedup
-      << ",\n  \"atlas_hits\": " << b.atlas.hits
-      << ",\n  \"atlas_misses\": " << b.atlas.misses
-      << ",\n  \"atlas_hit_rate\": " << b.atlas.hit_rate()
-      << ",\n  \"atlas_evictions\": " << b.atlas.evictions
-      << ",\n  \"atlas_bytes_in_use\": " << b.atlas.bytes_in_use
-      << ",\n  \"atlas_peak_bytes\": " << b.atlas.peak_bytes
-      << ",\n  \"baseline_checked\": " << b.baseline_checked
-      << ",\n  \"verdicts_identical\": "
-      << (b.verdicts_identical ? "true" : "false") << "\n}\n";
+void emit_batch(obs::JsonWriter& json, const BatchResult& b,
+                const obs::MetricsSnapshot& metrics, std::uint64_t seed) {
+  json.begin_object();
+  json.kv("bench", "verify_batch");
+  json.kv("seed", seed);
+  json.kv("n", b.n);
+  json.kv("t", b.t);
+  json.kv("labelings", b.labelings);
+  json.kv("threads", b.threads);
+  json.kv("rebuild_ms", b.rebuild_ms);
+  json.kv("batch_ms", b.batch_ms);
+  json.kv("rebuild_labelings_per_sec", b.rebuild_per_sec);
+  json.kv("batch_labelings_per_sec", b.batch_per_sec);
+  json.kv("speedup", b.speedup);
+  json.kv("atlas_hits", b.atlas.hits);
+  json.kv("atlas_misses", b.atlas.misses);
+  json.kv("atlas_hit_rate", b.atlas.hit_rate());
+  json.kv("atlas_evictions", b.atlas.evictions);
+  json.kv("atlas_bytes_in_use", b.atlas.bytes_in_use);
+  json.kv("atlas_peak_bytes", b.atlas.peak_bytes);
+  json.kv("baseline_checked", b.baseline_checked);
+  json.kv("verdicts_identical", b.verdicts_identical);
+  json.key("metrics");
+  metrics.write_json(json);
+  json.end_object();
 }
 
 void emit(std::ostream& out, const std::vector<Row>& rows,
-          const BatchResult& batch, const IncrementalResult& incremental,
+          const BatchResult& batch, const obs::MetricsSnapshot& batch_metrics,
+          const IncrementalResult& incremental,
+          const obs::MetricsSnapshot& incr_metrics, double disabled_span_ns,
           std::uint64_t seed) {
   const double t8_speedup_seq = t8_speedup_sequential(rows);
   double t8_speedup_par = 0.0;
   for (const Row& r : rows)
     if (r.t == 8) t8_speedup_par = r.baseline_ms / r.session_par_ms;
-  out << "{\n  \"bench\": \"verify_scale\",\n  \"id_space\": " << kIdSpace
-      << ",\n  \"seed\": " << seed
-      << ",\n  \"t8_speedup_sequential\": " << t8_speedup_seq
-      << ",\n  \"t8_speedup_parallel\": " << t8_speedup_par
-      << ",\n  \"rows\": [\n";
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const Row& r = rows[i];
-    out << "    {\"scheme\": \"" << r.scheme << "\", \"n\": " << r.n
-        << ", \"t\": " << r.t << ", \"max_cert_bits\": " << r.max_cert_bits
-        << ", \"avg_cert_bits\": " << r.avg_cert_bits
-        << ", \"baseline_ms\": " << r.baseline_ms
-        << ", \"session_seq_ms\": " << r.session_seq_ms
-        << ", \"session_par_ms\": " << r.session_par_ms
-        << ", \"threads\": " << r.threads << ", \"verdicts_identical\": "
-        << (r.verdicts_identical ? "true" : "false") << "}"
-        << (i + 1 < rows.size() ? "," : "") << "\n";
+  obs::JsonWriter json(out);
+  json.begin_object();
+  json.kv("bench", "verify_scale");
+  json.kv("id_space", kIdSpace);
+  json.kv("seed", seed);
+  json.kv("t8_speedup_sequential", t8_speedup_seq);
+  json.kv("t8_speedup_parallel", t8_speedup_par);
+  json.kv("disabled_span_ns", disabled_span_ns);
+  json.key("rows");
+  json.begin_array();
+  for (const Row& r : rows) {
+    json.begin_object();
+    json.kv("scheme", r.scheme);
+    json.kv("n", r.n);
+    json.kv("t", r.t);
+    json.kv("max_cert_bits", r.max_cert_bits);
+    json.kv("avg_cert_bits", r.avg_cert_bits);
+    json.kv("baseline_ms", r.baseline_ms);
+    json.kv("session_seq_ms", r.session_seq_ms);
+    json.kv("session_par_ms", r.session_par_ms);
+    json.kv("threads", r.threads);
+    json.kv("verdicts_identical", r.verdicts_identical);
+    json.end_object();
   }
-  out << "  ],\n  \"batch\": ";
-  emit_batch(out, batch);
-  out << ",\n  \"incremental\": ";
-  emit_incremental(out, incremental, seed);
-  out << "}\n";
+  json.end_array();
+  json.key("batch");
+  emit_batch(json, batch, batch_metrics, seed);
+  json.key("incremental");
+  emit_incremental(json, incremental, incr_metrics, seed);
+  json.end_object();
+  PLS_ASSERT(json.finished());
+}
+
+/// The observability tax when nothing observes: per-iteration cost of one
+/// instrumented-but-disabled trace span (a relaxed atomic load, no clock
+/// read).  The CI overhead gate bounds this number.
+double disabled_span_cost_ns(std::size_t iters) {
+  PLS_REQUIRE(!obs::TraceRecorder::enabled());
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < iters; ++i) {
+    PLS_TRACE_SPAN("overhead.gate");
+  }
+  const auto stop = std::chrono::steady_clock::now();
+  const auto ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(stop - start)
+          .count();
+  return static_cast<double>(ns) / static_cast<double>(iters);
 }
 
 }  // namespace
@@ -519,6 +586,7 @@ int main(int argc, char** argv) {
   const std::string batch_out_path = args.take_value("batch-out").value_or("");
   const std::string incremental_out_path =
       args.take_value("incremental-out").value_or("");
+  const std::string trace_out_path = args.take_value("trace-out").value_or("");
   const std::uint64_t seed = args.take_seed(kDefaultSeed);
   const unsigned threads =
       args.take_unsigned("threads", util::ThreadPool::hardware_threads());
@@ -530,11 +598,15 @@ int main(int argc, char** argv) {
       args.take_double("require-batch-speedup", 0.0);
   const double require_incremental_speedup =
       args.take_double("require-incremental-speedup", 0.0);
+  const double max_disabled_span_ns =
+      args.take_double("max-disabled-span-ns", 0.0);
   if (!args.finish("bench_verify_scale [--smoke] [--out FILE] "
-                   "[--batch-out FILE] [--incremental-out FILE] [--seed S] "
+                   "[--batch-out FILE] [--incremental-out FILE] "
+                   "[--trace-out FILE] [--seed S] "
                    "[--threads T] [--t T] [--labelings L] "
                    "[--require-speedup X] [--require-batch-speedup X] "
-                   "[--require-incremental-speedup X]"))
+                   "[--require-incremental-speedup X] "
+                   "[--max-disabled-span-ns X]"))
     return 2;
   PLS_REQUIRE(batch_t >= 1 && labeling_count >= 1 && threads >= 1);
 
@@ -575,14 +647,39 @@ int main(int argc, char** argv) {
   util::Rng batch_rng(seed ^ kBatchSalt);
   const std::vector<core::Labeling> labs =
       candidate_labelings(batch_scheme, cfg, labeling_count, batch_rng);
+  obs::MetricsRegistry batch_registry;
   const BatchResult batch =
       measure_batch(batch_scheme, cfg, batch_t, threads, labs,
-                    smoke ? labs.size() : 2);
-  std::cerr << "batch n=" << batch.n << " t=" << batch.t
-            << " labelings=" << batch.labelings << " threads=" << batch.threads
-            << " rebuild_ms=" << batch.rebuild_ms
-            << " batch_ms=" << batch.batch_ms << " speedup=" << batch.speedup
-            << " atlas_hit_rate=" << batch.atlas.hit_rate() << "\n";
+                    smoke ? labs.size() : 2, batch_registry,
+                    !trace_out_path.empty());
+  const obs::MetricsSnapshot batch_metrics = batch_registry.snapshot();
+  {
+    const obs::HistogramSnapshot& sweep =
+        batch_metrics.histograms.at("verify.sweep_window_ns");
+    const obs::HistogramSnapshot& e2e =
+        batch_metrics.histograms.at("verify.e2e_ns");
+    std::cerr << "batch n=" << batch.n << " t=" << batch.t
+              << " labelings=" << batch.labelings
+              << " threads=" << batch.threads
+              << " rebuild_ms=" << batch.rebuild_ms
+              << " batch_ms=" << batch.batch_ms << " speedup=" << batch.speedup
+              << " atlas_hit_rate=" << batch.atlas.hit_rate()
+              << " e2e_p50_us=" << static_cast<double>(e2e.quantile(0.5)) / 1e3
+              << " e2e_p99_us=" << static_cast<double>(e2e.quantile(0.99)) / 1e3
+              << " sweep_p50_us="
+              << static_cast<double>(sweep.quantile(0.5)) / 1e3
+              << " sweep_p99_us="
+              << static_cast<double>(sweep.quantile(0.99)) / 1e3 << "\n";
+  }
+  if (!trace_out_path.empty()) {
+    std::ofstream trace_out(trace_out_path);
+    if (!trace_out) {
+      std::cerr << "cannot open " << trace_out_path << "\n";
+      return 1;
+    }
+    obs::TraceRecorder::export_chrome_trace(trace_out);
+    std::cout << "wrote " << trace_out_path << "\n";
+  }
 
   // Scenario 3: the incremental delta stream.  Always n = 4096 — the dirty
   // fraction (mutated node's ball / n) is what the speedup measures, so a
@@ -597,6 +694,7 @@ int main(int argc, char** argv) {
   // emitted dirty_fraction makes that boundary explicit.)
   const std::size_t incr_side = 64;
   IncrementalResult incremental;
+  obs::MetricsRegistry incr_registry;
   {
     util::Rng incr_rng(seed ^ kIncrementalSalt);
     graph::Graph incr_base = graph::grid(incr_side, incr_side);
@@ -611,7 +709,10 @@ int main(int argc, char** argv) {
     const MutationStream stream =
         mutation_stream(incr_scheme, incr_cfg, labeling_count, incr_rng);
     incremental = measure_incremental(incr_scheme, incr_cfg, batch_t, threads,
-                                      stream, smoke ? 1 : 2);
+                                      stream, smoke ? 1 : 2, incr_registry);
+    const obs::MetricsSnapshot snap = incr_registry.snapshot();
+    const obs::HistogramSnapshot& delta_e2e =
+        snap.histograms.at("delta.e2e_ns");
     std::cerr << "incremental n=" << incremental.n << " t=" << incremental.t
               << " labelings=" << incremental.labelings
               << " threads=" << incremental.threads
@@ -620,18 +721,27 @@ int main(int argc, char** argv) {
               << " speedup=" << incremental.speedup
               << " dirty_fraction=" << incremental.dirty_fraction
               << " delta_phase_hit_rate=" << incremental.delta_phase_hit_rate
-              << "\n";
+              << " delta_e2e_p50_us="
+              << static_cast<double>(delta_e2e.quantile(0.5)) / 1e3
+              << " delta_e2e_p99_us="
+              << static_cast<double>(delta_e2e.quantile(0.99)) / 1e3 << "\n";
   }
+  const obs::MetricsSnapshot incr_metrics = incr_registry.snapshot();
+
+  const double disabled_span_ns = disabled_span_cost_ns(1u << 20);
+  std::cerr << "disabled_span_ns=" << disabled_span_ns << "\n";
 
   if (out_path.empty()) {
-    emit(std::cout, rows, batch, incremental, seed);
+    emit(std::cout, rows, batch, batch_metrics, incremental, incr_metrics,
+         disabled_span_ns, seed);
   } else {
     std::ofstream out(out_path);
     if (!out) {
       std::cerr << "cannot open " << out_path << "\n";
       return 1;
     }
-    emit(out, rows, batch, incremental, seed);
+    emit(out, rows, batch, batch_metrics, incremental, incr_metrics,
+         disabled_span_ns, seed);
     std::cout << "wrote " << out_path << "\n";
   }
   if (!batch_out_path.empty()) {
@@ -640,7 +750,9 @@ int main(int argc, char** argv) {
       std::cerr << "cannot open " << batch_out_path << "\n";
       return 1;
     }
-    emit_batch(out, batch);
+    obs::JsonWriter json(out);
+    emit_batch(json, batch, batch_metrics, seed);
+    PLS_ASSERT(json.finished());
     std::cout << "wrote " << batch_out_path << "\n";
   }
   if (!incremental_out_path.empty()) {
@@ -649,7 +761,9 @@ int main(int argc, char** argv) {
       std::cerr << "cannot open " << incremental_out_path << "\n";
       return 1;
     }
-    emit_incremental(out, incremental, seed);
+    obs::JsonWriter json(out);
+    emit_incremental(json, incremental, incr_metrics, seed);
+    PLS_ASSERT(json.finished());
     std::cout << "wrote " << incremental_out_path << "\n";
   }
 
@@ -680,6 +794,15 @@ int main(int argc, char** argv) {
     }
     std::cerr << "incremental speedup " << incremental.speedup
               << " >= required " << require_incremental_speedup << "\n";
+  }
+  if (max_disabled_span_ns > 0.0) {
+    if (disabled_span_ns > max_disabled_span_ns) {
+      std::cerr << "FAIL: disabled span costs " << disabled_span_ns
+                << " ns > allowed " << max_disabled_span_ns << "\n";
+      return 1;
+    }
+    std::cerr << "disabled span " << disabled_span_ns << " ns <= allowed "
+              << max_disabled_span_ns << "\n";
   }
   return 0;
 }

@@ -13,6 +13,11 @@ namespace {
 
 using namespace pls;
 
+// Base seed (--seed, default 0 = the published timings); set in main()
+// before google-benchmark registration, XOR-salted into the historic
+// per-benchmark seed literals.
+std::uint64_t g_seed = 0;
+
 const schemes::SchemeEntry& entry_at(std::size_t index) {
   static const auto catalog = schemes::standard_catalog();
   return catalog.at(index);
@@ -22,8 +27,8 @@ void BM_VerifyNetwork(benchmark::State& state) {
   const schemes::SchemeEntry& entry = entry_at(
       static_cast<std::size_t>(state.range(0)));
   const std::size_t n = static_cast<std::size_t>(state.range(1));
-  auto g = bench::graph_for(entry, n, 21);
-  util::Rng rng(23);
+  auto g = bench::graph_for(entry, n, g_seed ^ 21);
+  util::Rng rng(g_seed ^ 23);
   const local::Configuration cfg = entry.language->sample_legal(g, rng);
   const core::Labeling lab = entry.scheme->mark(cfg);
   for (auto _ : state) {
@@ -52,8 +57,8 @@ void print_message_volume_table() {
   util::Table table({"scheme", "n", "round bits", "bits/edge"});
   for (const schemes::SchemeEntry& entry : schemes::standard_catalog()) {
     for (const std::size_t n : {64u, 1024u}) {
-      auto g = bench::graph_for(entry, n, 21);
-      util::Rng rng(23);
+      auto g = bench::graph_for(entry, n, g_seed ^ 21);
+      util::Rng rng(g_seed ^ 23);
       const local::Configuration cfg = entry.language->sample_legal(g, rng);
       const core::Labeling lab = entry.scheme->mark(cfg);
       const std::size_t bits =
@@ -69,9 +74,20 @@ void print_message_volume_table() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // --seed is ours; everything else (--benchmark_filter, ...) passes
+  // through to google-benchmark untouched.
+  pls::bench::CliArgs args(argc, argv);
+  g_seed = args.take_seed(0);
+  std::vector<std::string> leftover = args.unrecognized();
+  std::vector<char*> rest;
+  rest.push_back(argv[0]);
+  for (std::string& a : leftover) rest.push_back(a.data());
+  int rest_argc = static_cast<int>(rest.size());
+  pls::bench::echo_seed(g_seed);
+
   print_message_volume_table();
   register_benchmarks();
-  benchmark::Initialize(&argc, argv);
+  benchmark::Initialize(&rest_argc, rest.data());
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

@@ -1,0 +1,121 @@
+#include "obs/density.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace pls::obs {
+
+std::vector<std::uint32_t> bfs_partition(const graph::Graph& g,
+                                         std::size_t regions) {
+  const std::size_t n = g.n();
+  std::vector<std::uint32_t> region_of(n, 0);
+  if (n == 0 || regions <= 1) return region_of;
+  if (regions > n) regions = n;
+
+  constexpr std::uint32_t kUnassigned =
+      std::numeric_limits<std::uint32_t>::max();
+  region_of.assign(n, kUnassigned);
+
+  // Seeds spread evenly over the index space; a single FIFO seeded in region
+  // order makes the wavefronts advance in lockstep, so every node joins the
+  // seed that reaches it first, ties resolved toward the earlier seed.
+  std::vector<graph::NodeIndex> queue;
+  queue.reserve(n);
+  for (std::size_t r = 0; r < regions; ++r) {
+    const auto seed = static_cast<graph::NodeIndex>(r * n / regions);
+    if (region_of[seed] != kUnassigned) continue;  // tiny n: seeds collide
+    region_of[seed] = static_cast<std::uint32_t>(r);
+    queue.push_back(seed);
+  }
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const graph::NodeIndex u = queue[head];
+    for (const graph::AdjEntry& a : g.adjacency(u)) {
+      if (region_of[a.to] != kUnassigned) continue;
+      region_of[a.to] = region_of[u];
+      queue.push_back(a.to);
+    }
+  }
+  for (std::uint32_t& r : region_of)
+    if (r == kUnassigned) r = 0;  // components no seed lives in
+  return region_of;
+}
+
+std::vector<RegionDensity> region_rejection_density(
+    const core::Verdict& verdict, std::span<const std::uint32_t> region_of) {
+  const std::vector<bool>& accept = verdict.accept();
+  PLS_REQUIRE(region_of.size() == accept.size());
+  std::uint32_t max_region = 0;
+  for (const std::uint32_t r : region_of) max_region = std::max(max_region, r);
+
+  std::vector<RegionDensity> out(region_of.empty() ? 0 : max_region + 1);
+  for (std::size_t r = 0; r < out.size(); ++r)
+    out[r].region = static_cast<std::uint32_t>(r);
+  for (std::size_t v = 0; v < accept.size(); ++v) {
+    RegionDensity& row = out[region_of[v]];
+    ++row.nodes;
+    if (!accept[v]) ++row.rejections;
+  }
+  for (RegionDensity& row : out)
+    if (row.nodes != 0)
+      row.density = static_cast<double>(row.rejections) /
+                    static_cast<double>(row.nodes);
+  return out;
+}
+
+void record_density(MetricsRegistry& registry, const core::Verdict& verdict,
+                    std::span<const std::uint32_t> region_of) {
+  registry.histogram("density.rejections").record(verdict.rejections());
+  registry.histogram("density.fraction_ppm")
+      .record(static_cast<std::uint64_t>(verdict.rejection_density() * 1e6));
+  if (region_of.empty()) return;
+  for (const RegionDensity& row : region_rejection_density(verdict, region_of))
+    if (row.nodes != 0)
+      registry.histogram("density.region_ppm")
+          .record(static_cast<std::uint64_t>(row.density * 1e6));
+}
+
+local::Configuration corrupt_random_state(
+    const local::Configuration& legal,
+    const std::vector<graph::NodeIndex>& nodes, util::Rng& rng) {
+  std::vector<local::State> states = legal.states();
+  for (const graph::NodeIndex v : nodes)
+    states.at(v) = local::random_state(states.at(v).bit_size(), rng);
+  return legal.with_states(std::move(states));
+}
+
+DensityCurve measure_density_curve(const core::Scheme& scheme,
+                                   const local::Configuration& legal,
+                                   const sensitivity::Corruptor& corrupt,
+                                   std::span<const std::size_t> planted,
+                                   util::Rng& rng,
+                                   const core::AttackOptions& attack_options) {
+  DensityCurve curve;
+  curve.scheme = scheme.name();
+  curve.n = legal.n();
+  curve.points.reserve(planted.size());
+  for (std::size_t i = 0; i < planted.size(); ++i) {
+    PLS_REQUIRE(i == 0 || planted[i] > planted[i - 1]);
+    const sensitivity::SensitivityRow row = sensitivity::measure(
+        scheme, legal, corrupt, planted[i], rng, attack_options);
+    DensityPoint point;
+    point.planted = planted[i];
+    point.min_rejections = row.min_rejections;
+    point.density = curve.n == 0
+                        ? 0.0
+                        : static_cast<double>(row.min_rejections) /
+                              static_cast<double>(curve.n);
+    curve.points.push_back(point);
+  }
+  curve.monotone = !curve.points.empty();
+  for (std::size_t i = 1; i < curve.points.size(); ++i)
+    if (curve.points[i].min_rejections < curve.points[i - 1].min_rejections)
+      curve.monotone = false;
+  curve.error_sensitive =
+      curve.monotone && curve.points.size() >= 2 &&
+      curve.points.back().min_rejections > curve.points.front().min_rejections;
+  return curve;
+}
+
+}  // namespace pls::obs

@@ -1,0 +1,113 @@
+// Rejection-density telemetry: how broken is the configuration?
+//
+// Error-sensitive proof labeling schemes (Feuilloley–Fraigniaud, PAPERS.md)
+// ask that the NUMBER of rejecting nodes scale with the configuration's edit
+// distance from the language — exactly the quantity a production monitor
+// wants from a verdict.  A scheme with that property turns the verifier into
+// a gauge ("17% of the network is inconsistent, concentrated in region 3")
+// instead of a fuse ("something, somewhere, is wrong"), and lets the
+// self-stabilization layer choose proportional local recovery over a global
+// reset.
+//
+// This module has three layers:
+//
+//   * Verdict aggregation: whole-configuration rejection density
+//     (core::Verdict::rejection_density) and per-region densities over any
+//     node partition, with a BFS-Voronoi partitioner for callers that have
+//     no natural regions.
+//   * The measurement protocol: plant edits at a known (bounded) edit
+//     distance k with a language-aware corruptor, let the adversary suite
+//     pick the certificates that MINIMIZE rejections, and record the
+//     density-vs-distance curve.  Reporting the adversary's minimum is
+//     conservative in the right direction: a curve that grows under the
+//     minimizing adversary grows under every prover.
+//   * Classification: a curve is *error-sensitive* when the minimized
+//     rejection count is monotone non-decreasing in the planted distance
+//     and actually grows across the sweep.  bench_rejection_density emits
+//     the classification registry-wide (rejection_density.json in CI).
+//
+// Everything here is snapshot-path telemetry, not hot-path instrumentation:
+// curves run whole adversary attacks, and record_density costs one verdict
+// scan.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "pls/adversary.hpp"
+#include "sensitivity/analysis.hpp"
+
+namespace pls::obs {
+
+/// Per-region share of the rejecting nodes, over a partition of the graph.
+struct RegionDensity {
+  std::uint32_t region = 0;
+  std::size_t nodes = 0;
+  std::size_t rejections = 0;
+  double density = 0.0;  ///< rejections / nodes of this region
+};
+
+/// BFS-Voronoi partition into (at most) `regions` parts: seeds spread evenly
+/// over the node indices, every node assigned to the seed whose BFS wave
+/// reaches it first (ties to the earlier seed — deterministic).  Nodes in
+/// components no seed touches join region 0.  The telemetry default for
+/// callers without scheme-native regions.
+std::vector<std::uint32_t> bfs_partition(const graph::Graph& g,
+                                         std::size_t regions);
+
+/// Rejection density per region of the partition.  `region_of[v]` names
+/// node v's region; entries are returned for every region id in [0, max+1),
+/// empty regions included (density 0 over 0 nodes).
+std::vector<RegionDensity> region_rejection_density(
+    const core::Verdict& verdict, std::span<const std::uint32_t> region_of);
+
+/// Records a verdict's rejection telemetry into `registry`: histogram
+/// `density.rejections` (count of rejecting nodes), histogram
+/// `density.fraction_ppm` (whole-configuration density in parts per
+/// million), and — when a partition is supplied — `density.region_ppm`
+/// (one sample per non-empty region).  The snapshot path the
+/// self-stabilization harness reads its recovery signal from.
+void record_density(MetricsRegistry& registry, const core::Verdict& verdict,
+                    std::span<const std::uint32_t> region_of = {});
+
+/// One point of a density-vs-distance curve.
+struct DensityPoint {
+  std::size_t planted = 0;         ///< k: planted edit distance (upper bound)
+  std::size_t min_rejections = 0;  ///< adversary-minimized rejecting nodes
+  double density = 0.0;            ///< min_rejections / n
+};
+
+/// One scheme's measured curve plus its classification.
+struct DensityCurve {
+  std::string scheme;
+  std::size_t n = 0;
+  std::vector<DensityPoint> points;
+  /// Density never decreases as the planted distance grows.
+  bool monotone = false;
+  /// Monotone AND the density actually grows across the sweep — the
+  /// observable (necessary) signature of an error-sensitive scheme.  Not a
+  /// proof: the planted distances are upper bounds and the adversary is a
+  /// heuristic minimizer, so the flag classifies measured behavior.
+  bool error_sensitive = false;
+};
+
+/// A sensitivity::Corruptor for schemes without a language-aware one:
+/// rewrites each chosen node's state with fresh random bits of the same
+/// length (distance <= |nodes|; sensitivity::measure retries corruptions
+/// that accidentally land back inside the language).
+local::Configuration corrupt_random_state(
+    const local::Configuration& legal,
+    const std::vector<graph::NodeIndex>& nodes, util::Rng& rng);
+
+/// Measures the density-vs-distance curve of `scheme` on corruptions of
+/// `legal`: for each k in `planted`, corrupt k nodes with `corrupt`, run
+/// the adversary (minimizing rejections), and record the density point.
+/// `planted` must be strictly increasing.
+DensityCurve measure_density_curve(
+    const core::Scheme& scheme, const local::Configuration& legal,
+    const sensitivity::Corruptor& corrupt, std::span<const std::size_t> planted,
+    util::Rng& rng, const core::AttackOptions& attack_options = {});
+
+}  // namespace pls::obs

@@ -1,0 +1,195 @@
+// Minimal streaming JSON writer — the single emitter behind every JSON
+// artifact this repository produces.
+//
+// The metrics exporter (obs/metrics.hpp), the chrome-trace exporter
+// (obs/trace.hpp), and every bench that writes a JSON artifact go through
+// this one class, so escaping, number formatting, and comma/indent
+// bookkeeping are defined exactly once.  The writer is strictly streaming
+// (no DOM, no allocation beyond the open-scope stack) and enforces
+// well-formedness with PLS_REQUIRE: a key outside an object, a bare value
+// where a key is due, or an unbalanced end() is a programming error, not a
+// malformed artifact discovered by a downstream parser.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <ostream>
+#include <string_view>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace pls::obs {
+
+class JsonWriter {
+ public:
+  /// Writes one JSON document to `out`.  `indent` spaces per nesting level;
+  /// 0 emits the compact single-line form (the trace exporter uses it — a
+  /// smoke trace holds tens of thousands of events).
+  explicit JsonWriter(std::ostream& out, int indent = 2)
+      : out_(out), indent_(indent) {}
+
+  ~JsonWriter() {
+    // An unbalanced document is a bug at the emitting call site; asserting
+    // in the destructor would terminate during unwind, so tests assert via
+    // finished() instead.
+  }
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  void begin_object() { open('{', Scope::kObject); }
+  void end_object() { close('}', Scope::kObject); }
+  void begin_array() { open('[', Scope::kArray); }
+  void end_array() { close(']', Scope::kArray); }
+
+  /// Key of the next member; only valid directly inside an object.
+  JsonWriter& key(std::string_view k) {
+    PLS_REQUIRE(!scopes_.empty() && scopes_.back().scope == Scope::kObject);
+    PLS_REQUIRE(!key_pending_);
+    separate();
+    quote(k);
+    out_ << ": ";
+    key_pending_ = true;
+    return *this;
+  }
+
+  void value(std::string_view v) {
+    pre_value();
+    quote(v);
+  }
+  void value(const char* v) { value(std::string_view(v)); }
+  void value(bool v) {
+    pre_value();
+    out_ << (v ? "true" : "false");
+  }
+  void value(double v) {
+    pre_value();
+    // JSON has no NaN/Inf; map them to null rather than emit garbage.
+    if (std::isfinite(v)) {
+      const auto flags = out_.flags();
+      const auto precision = out_.precision();
+      out_.precision(15);
+      out_ << v;
+      out_.precision(precision);
+      out_.flags(flags);
+    } else {
+      out_ << "null";
+    }
+  }
+  void value(std::uint64_t v) {
+    pre_value();
+    out_ << v;
+  }
+  void value(std::int64_t v) {
+    pre_value();
+    out_ << v;
+  }
+  // Unambiguous forwarding for the common integer types benches hold
+  // (std::size_t, unsigned, int are all distinct from the fixed-width
+  // overloads on some ABIs).
+  template <typename T>
+    requires(std::is_integral_v<T> && !std::is_same_v<T, bool> &&
+             !std::is_same_v<T, std::uint64_t> &&
+             !std::is_same_v<T, std::int64_t>)
+  void value(T v) {
+    if constexpr (std::is_signed_v<T>) {
+      value(static_cast<std::int64_t>(v));
+    } else {
+      value(static_cast<std::uint64_t>(v));
+    }
+  }
+
+  /// key + value in one call — the overwhelmingly common member shape.
+  template <typename T>
+  void kv(std::string_view k, T v) {
+    key(k);
+    value(v);
+  }
+
+  /// Whether every opened scope has been closed (one complete document).
+  bool finished() const noexcept { return scopes_.empty() && wrote_root_; }
+
+ private:
+  enum class Scope { kObject, kArray };
+  struct Level {
+    Scope scope;
+    bool has_members = false;
+  };
+
+  void open(char c, Scope scope) {
+    pre_value();
+    out_ << c;
+    scopes_.push_back(Level{scope});
+  }
+
+  void close(char c, Scope scope) {
+    PLS_REQUIRE(!scopes_.empty() && scopes_.back().scope == scope);
+    PLS_REQUIRE(!key_pending_);
+    const bool had_members = scopes_.back().has_members;
+    scopes_.pop_back();
+    if (had_members) newline_indent();
+    out_ << c;
+    if (scopes_.empty()) out_ << "\n";
+  }
+
+  /// Comma/indent before a new member of the innermost scope.
+  void separate() {
+    PLS_REQUIRE(!scopes_.empty());
+    if (scopes_.back().has_members) out_ << ",";
+    scopes_.back().has_members = true;
+    newline_indent();
+  }
+
+  /// Position the stream for a value: after a pending key, as an array
+  /// element (comma-separated), or as the document root.
+  void pre_value() {
+    if (key_pending_) {
+      key_pending_ = false;
+      return;
+    }
+    if (scopes_.empty()) {
+      PLS_REQUIRE(!wrote_root_);  // one root value per document
+      wrote_root_ = true;
+      return;
+    }
+    PLS_REQUIRE(scopes_.back().scope == Scope::kArray);
+    separate();
+  }
+
+  void newline_indent() {
+    if (indent_ <= 0) return;
+    out_ << "\n";
+    for (std::size_t i = 0; i < scopes_.size() * indent_; ++i) out_ << ' ';
+  }
+
+  void quote(std::string_view s) {
+    if (scopes_.empty()) wrote_root_ = true;
+    out_ << '"';
+    for (const char c : s) {
+      switch (c) {
+        case '"': out_ << "\\\""; break;
+        case '\\': out_ << "\\\\"; break;
+        case '\n': out_ << "\\n"; break;
+        case '\t': out_ << "\\t"; break;
+        case '\r': out_ << "\\r"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            const char* hex = "0123456789abcdef";
+            out_ << "\\u00" << hex[(c >> 4) & 0xF] << hex[c & 0xF];
+          } else {
+            out_ << c;
+          }
+      }
+    }
+    out_ << '"';
+  }
+
+  std::ostream& out_;
+  const std::size_t indent_;
+  std::vector<Level> scopes_;
+  bool key_pending_ = false;
+  bool wrote_root_ = false;
+};
+
+}  // namespace pls::obs

@@ -1,0 +1,161 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <ostream>
+
+#include "obs/json.hpp"
+
+namespace pls::obs {
+
+namespace {
+
+/// One thread's span storage.  The owning thread writes lock-free (it is the
+/// only writer); the exporter reads under the registry mutex after the
+/// workload quiesced.  Deliberately never destroyed while the process lives:
+/// a worker thread that outlives a disable()/export cannot dangle.
+struct Ring {
+  explicit Ring(std::size_t capacity, std::uint32_t tid)
+      : events(capacity), tid(tid) {}
+
+  std::vector<TraceRecorder::Event> events;
+  std::size_t next = 0;       ///< append cursor (wraps)
+  std::uint64_t recorded = 0; ///< total record() calls into this ring
+  std::uint32_t tid;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::vector<std::unique_ptr<Ring>> rings;
+  std::size_t ring_capacity = 1u << 15;
+  std::chrono::steady_clock::time_point origin =
+      std::chrono::steady_clock::now();
+};
+
+Registry& registry() {
+  static Registry* r = new Registry;  // leaked: outlives every worker thread
+  return *r;
+}
+
+std::atomic<bool> g_enabled{false};
+
+Ring& local_ring() {
+  thread_local Ring* ring = [] {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    r.rings.push_back(std::make_unique<Ring>(
+        r.ring_capacity, static_cast<std::uint32_t>(r.rings.size())));
+    return r.rings.back().get();
+  }();
+  return *ring;
+}
+
+}  // namespace
+
+void TraceRecorder::enable(std::size_t ring_capacity) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.ring_capacity = ring_capacity == 0 ? 1 : ring_capacity;
+  for (std::unique_ptr<Ring>& ring : r.rings) {
+    ring->next = 0;
+    ring->recorded = 0;
+  }
+  r.origin = std::chrono::steady_clock::now();
+  g_enabled.store(true, std::memory_order_release);
+}
+
+void TraceRecorder::disable() {
+  g_enabled.store(false, std::memory_order_release);
+}
+
+bool TraceRecorder::enabled() noexcept {
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+std::uint64_t TraceRecorder::now_ns() noexcept {
+  const auto now = std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(now -
+                                                           registry().origin)
+          .count());
+}
+
+void TraceRecorder::record(const char* name, std::uint64_t start_ns,
+                           std::uint64_t end_ns, std::uint64_t arg) {
+  Ring& ring = local_ring();
+  Event& e = ring.events[ring.next];
+  e.name = name;
+  e.start_ns = start_ns;
+  e.dur_ns = end_ns >= start_ns ? end_ns - start_ns : 0;
+  e.arg = arg;
+  e.tid = ring.tid;
+  ring.next = (ring.next + 1) % ring.events.size();
+  ++ring.recorded;
+}
+
+std::uint64_t TraceRecorder::dropped() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::uint64_t dropped = 0;
+  for (const std::unique_ptr<Ring>& ring : r.rings)
+    if (ring->recorded > ring->events.size())
+      dropped += ring->recorded - ring->events.size();
+  return dropped;
+}
+
+std::vector<TraceRecorder::Event> TraceRecorder::events() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::vector<Event> all;
+  for (const std::unique_ptr<Ring>& ring : r.rings) {
+    const std::size_t count =
+        std::min<std::uint64_t>(ring->recorded, ring->events.size());
+    // Oldest-first: when the ring wrapped, the oldest retained event sits at
+    // `next` (the slot the following record() would overwrite).
+    const std::size_t begin =
+        ring->recorded > ring->events.size() ? ring->next : 0;
+    for (std::size_t i = 0; i < count; ++i)
+      all.push_back(ring->events[(begin + i) % ring->events.size()]);
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const Event& a, const Event& b) {
+                     return a.start_ns < b.start_ns;
+                   });
+  return all;
+}
+
+void TraceRecorder::export_chrome_trace(std::ostream& out) {
+  const std::vector<Event> all = events();
+  JsonWriter json(out, /*indent=*/0);
+  json.begin_object();
+  json.key("traceEvents");
+  json.begin_array();
+  for (const Event& e : all) {
+    json.begin_object();
+    json.kv("name", e.name);
+    json.kv("cat", "pls");
+    json.kv("ph", "X");
+    json.kv("pid", std::uint64_t{1});
+    json.kv("tid", e.tid);
+    // chrome://tracing wants microseconds; keep nanosecond resolution via
+    // the fractional part.
+    json.kv("ts", static_cast<double>(e.start_ns) / 1000.0);
+    json.kv("dur", static_cast<double>(e.dur_ns) / 1000.0);
+    if (e.arg != kNoArg) {
+      json.key("args");
+      json.begin_object();
+      json.kv("i", e.arg);
+      json.end_object();
+    }
+    json.end_object();
+  }
+  json.end_array();
+  json.kv("displayTimeUnit", "ms");
+  json.kv("droppedEvents", dropped());
+  json.end_object();
+}
+
+}  // namespace pls::obs

@@ -45,6 +45,15 @@ class Verdict {
 
   bool all_accept() const noexcept { return rejections() == 0; }
 
+  /// Fraction of nodes rejecting, in [0, 1] (0 on an empty verdict).  The
+  /// telemetry scalar error-sensitive schemes make meaningful: it tracks the
+  /// configuration's distance from the language (obs/density.hpp).
+  double rejection_density() const noexcept {
+    return accept_.empty() ? 0.0
+                           : static_cast<double>(rejections()) /
+                                 static_cast<double>(accept_.size());
+  }
+
   std::vector<graph::NodeIndex> rejecting_nodes() const {
     std::vector<graph::NodeIndex> out;
     out.reserve(rejections());

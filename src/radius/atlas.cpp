@@ -1,5 +1,6 @@
 #include "radius/atlas.hpp"
 
+#include "obs/trace.hpp"
 #include "util/assert.hpp"
 
 namespace pls::radius {
@@ -26,6 +27,10 @@ std::shared_ptr<const GeometryBlock> GeometryAtlas::block(
     const graph::Graph& g, unsigned t, graph::NodeIndex center) {
   PLS_REQUIRE(t >= 1);
   PLS_REQUIRE(center < g.n());
+  // The lookup span covers the whole resolution — including any wait on an
+  // in-flight build and a nested "atlas.build" on the miss path — because
+  // that is the latency a sweep slot actually pays at a block boundary.
+  PLS_TRACE_SPAN("atlas.lookup", center);
   const std::uint32_t index = center / options_.block_centers;
   const Key wanted{g.epoch(), index, t};
 
@@ -69,6 +74,7 @@ std::shared_ptr<const GeometryBlock> GeometryAtlas::block(
                               g.n()));
     std::shared_ptr<const GeometryBlock> built;
     try {
+      PLS_TRACE_SPAN("atlas.build", index);
       built = std::make_shared<const GeometryBlock>(g, first, end, t);
     } catch (...) {
       lock.lock();
@@ -150,6 +156,7 @@ bool GeometryAtlas::admit_locked(std::size_t needed,
 }
 
 void GeometryAtlas::evict_for_locked(std::size_t needed) {
+  PLS_TRACE_SPAN("atlas.evict", needed);
   while (stats_.bytes_in_use + needed > options_.byte_budget &&
          !lru_.empty()) {
     const Key victim = lru_.back();
@@ -166,11 +173,6 @@ void GeometryAtlas::evict_for_locked(std::size_t needed) {
 AtlasStats GeometryAtlas::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   return stats_;
-}
-
-void GeometryAtlas::reset_stats() {
-  std::lock_guard<std::mutex> lock(mu_);
-  stats_.reset();
 }
 
 }  // namespace pls::radius

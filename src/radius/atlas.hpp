@@ -83,13 +83,19 @@ struct AtlasStats {
     return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
   }
 
-  /// Zeroes the traffic counters so the next read reports one phase instead
-  /// of the atlas's whole life (benches bracket warmup/measure phases with
-  /// this).  bytes_in_use is live residency, not a counter — it survives,
-  /// and peak_bytes restarts from it.
-  void reset() noexcept {
-    hits = misses = evictions = bypassed = 0;
-    peak_bytes = bytes_in_use;
+  /// Phase accounting: the traffic between `earlier` and this snapshot.
+  /// Replaces the retired reset()/reset_stats() pair — diffing two stats()
+  /// snapshots cannot tear a phase boundary for sweeps still running, while
+  /// a reset concurrent with traffic silently misattributed it.  The level
+  /// fields keep their later values (bytes_in_use is live residency;
+  /// peak_bytes stays the lifetime peak).
+  AtlasStats since(const AtlasStats& earlier) const noexcept {
+    AtlasStats out = *this;
+    out.hits -= earlier.hits;
+    out.misses -= earlier.misses;
+    out.evictions -= earlier.evictions;
+    out.bypassed -= earlier.bypassed;
+    return out;
   }
 };
 
@@ -130,12 +136,9 @@ class GeometryAtlas {
   std::shared_ptr<const GeometryBlock> block(const graph::Graph& g, unsigned t,
                                              graph::NodeIndex center);
 
+  /// Consistent snapshot of the counters (copied under the lock).  For
+  /// phase accounting, diff two snapshots with AtlasStats::since.
   AtlasStats stats() const;
-
-  /// AtlasStats::reset under the lock: starts a fresh reporting phase
-  /// without touching residency (blocks, LRU order, and bytes_in_use are
-  /// unaffected).
-  void reset_stats();
 
   const AtlasOptions& options() const noexcept { return options_; }
 

@@ -1,5 +1,6 @@
 #include "radius/batch.hpp"
 
+#include "obs/trace.hpp"
 #include "pls/engine.hpp"
 #include "util/assert.hpp"
 
@@ -25,6 +26,17 @@ BatchVerifier::BatchVerifier(const core::Scheme& scheme,
   // delta runs then fall back to a full link_parses pass).
   if (ball_scheme_ != nullptr && ball_scheme_->has_cert_parser())
     link_state_ = ball_scheme_->make_link_state();
+  if (options.metrics != nullptr) {
+    obs::MetricsRegistry& m = *options.metrics;
+    metrics_.labelings = &m.counter("verify.labelings");
+    metrics_.e2e = &m.histogram("verify.e2e_ns");
+    metrics_.parse = &m.histogram("verify.parse_link_ns");
+    metrics_.sweep = &m.histogram("verify.sweep_window_ns");
+    metrics_.delta_e2e = &m.histogram("delta.e2e_ns");
+    metrics_.delta_parse = &m.histogram("delta.reparse_link_ns");
+    metrics_.delta_collect = &m.histogram("delta.collect_ns");
+    metrics_.delta_sweep = &m.histogram("delta.resweep_ns");
+  }
 }
 
 void BatchVerifier::parse_link(const core::Labeling& labeling,
@@ -73,6 +85,7 @@ util::ThreadPool::RangeFn BatchVerifier::sweep_fn(
     return [this, &labeling, &accept, center_of](unsigned worker,
                                                  std::size_t begin,
                                                  std::size_t end) {
+      PLS_TRACE_SPAN("sweep.slot", worker);
       std::vector<local::NeighborView>& scratch = slots_[worker].views;
       for (std::size_t i = begin; i < end; ++i) {
         const graph::NodeIndex v = center_of(i);
@@ -90,6 +103,7 @@ util::ThreadPool::RangeFn BatchVerifier::sweep_fn(
   const local::Visibility mode = scheme_.visibility();
   return [this, &labeling, &accept, center_of, cache, radius, mode](
              unsigned worker, std::size_t begin, std::size_t end) {
+    PLS_TRACE_SPAN("sweep.slot", worker);
     const graph::Graph& g = cfg_.graph();
     Slot& slot = slots_[worker];
     // The shared_ptr pins the current block across the slice even if the
@@ -144,25 +158,43 @@ std::vector<core::Verdict> BatchVerifier::run(
   // Stage 2 of the first labeling has nothing to overlap with — use the
   // idle pool.  parsed_/accept_ are the double buffers: stage 2 of
   // labeling i+1 fills the half the sweep of labeling i is not reading.
-  if (cached) parse_link(labelings[0], parsed_[0], /*parallel=*/true);
+  if (cached) {
+    PLS_TRACE_SPAN("parse.link", 0);
+    obs::ScopedTimer parse_timer(metrics_.parse);
+    parse_link(labelings[0], parsed_[0], /*parallel=*/true);
+  }
 
+  if (metrics_.labelings != nullptr) metrics_.labelings->add(labelings.size());
   for (std::size_t i = 0; i < labelings.size(); ++i) {
-    post_sweep(labelings[i], parsed_[i % 2], accept_[i % 2]);
-    // Overlap window: the workers are sweeping labeling i (with threads = 1
-    // the sweep is merely deferred — strictly sequential, same verdicts).
-    // A stage-2 throw must not unwind past the posted sweep: the workers
-    // are writing into this object's buffers under the caller's feet, so
-    // quiesce them first.
-    if (cached && i + 1 < labelings.size()) {
-      try {
-        parse_link(labelings[i + 1], parsed_[(i + 1) % 2],
-                   /*parallel=*/false);
-      } catch (...) {
-        pool_->finish_range();
-        throw;
+    // verify.e2e_ns: one labeling's wall contribution to the batch — the
+    // sweep window (including the overlapped stage-2 work of labeling i+1
+    // on the calling thread) plus verdict materialization.
+    obs::ScopedTimer e2e_timer(metrics_.e2e);
+    {
+      // The "sweep.window" span brackets post..finish on the calling
+      // thread, so in a trace it structurally contains the "parse.link"
+      // span of labeling i+1 — the pipelining overlap made visible.
+      PLS_TRACE_SPAN("sweep.window", i);
+      obs::ScopedTimer sweep_timer(metrics_.sweep);
+      post_sweep(labelings[i], parsed_[i % 2], accept_[i % 2]);
+      // Overlap window: the workers are sweeping labeling i (with threads =
+      // 1 the sweep is merely deferred — strictly sequential, same
+      // verdicts).  A stage-2 throw must not unwind past the posted sweep:
+      // the workers are writing into this object's buffers under the
+      // caller's feet, so quiesce them first.
+      if (cached && i + 1 < labelings.size()) {
+        try {
+          PLS_TRACE_SPAN("parse.link", i + 1);
+          obs::ScopedTimer parse_timer(metrics_.parse);
+          parse_link(labelings[i + 1], parsed_[(i + 1) % 2],
+                     /*parallel=*/false);
+        } catch (...) {
+          pool_->finish_range();
+          throw;
+        }
       }
+      pool_->finish_range();
     }
-    pool_->finish_range();
 
     std::vector<bool> bits(n);
     for (std::size_t v = 0; v < n; ++v) bits[v] = accept_[i % 2][v] != 0;
@@ -183,6 +215,8 @@ core::Verdict BatchVerifier::run_delta(const core::Labeling& next,
   PLS_REQUIRE(resident_valid_);  // a delta needs a full run to build on
   for (const graph::NodeIndex v : delta.touched) PLS_REQUIRE(v < n);
   ++delta_stats_.delta_runs;
+  PLS_TRACE_SPAN("delta.run", delta.touched.size());
+  obs::ScopedTimer e2e_timer(metrics_.delta_e2e);
 
   std::vector<std::uint8_t>& accept = accept_[resident_];
   const auto splice_verdict = [&] {
@@ -212,6 +246,8 @@ core::Verdict BatchVerifier::run_delta(const core::Labeling& next,
   const bool cached =
       ball_scheme_ != nullptr && ball_scheme_->has_cert_parser();
   if (cached) {
+    PLS_TRACE_SPAN("delta.reparse", delta.touched.size());
+    obs::ScopedTimer parse_timer(metrics_.delta_parse);
     ParsedLabeling& parsed = parsed_[resident_];
     PLS_ASSERT(parsed.storage.size() == n);
     for (const graph::NodeIndex v : delta.touched) {
@@ -235,12 +271,20 @@ core::Verdict BatchVerifier::run_delta(const core::Labeling& next,
   // their dirty radius is 1 whatever t the verifier was pinned at.
   const unsigned dirty_radius =
       ball_scheme_ != nullptr ? ball_scheme_->radius() : 1u;
-  const std::span<const graph::NodeIndex> dirty =
-      dirty_index_.collect(*atlas_, cfg_.graph(), dirty_radius,
-                           delta.touched);
+  std::span<const graph::NodeIndex> dirty;
+  {
+    PLS_TRACE_SPAN("delta.collect", delta.touched.size());
+    obs::ScopedTimer collect_timer(metrics_.delta_collect);
+    dirty = dirty_index_.collect(*atlas_, cfg_.graph(), dirty_radius,
+                                 delta.touched);
+  }
   delta_stats_.centers_reswept += dirty.size();
   delta_stats_.verdicts_carried += n - dirty.size();
-  sweep_dirty(next, parsed_[resident_], dirty, accept);
+  {
+    PLS_TRACE_SPAN("delta.resweep", dirty.size());
+    obs::ScopedTimer sweep_timer(metrics_.delta_sweep);
+    sweep_dirty(next, parsed_[resident_], dirty, accept);
+  }
 
   resident_valid_ = true;
   return splice_verdict();

@@ -51,6 +51,7 @@
 #include <span>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "radius/atlas.hpp"
 #include "radius/delta.hpp"
 #include "radius/engine_t.hpp"
@@ -66,6 +67,11 @@ struct BatchOptions {
   /// default AtlasOptions.  Share one atlas across verifiers to share
   /// geometry (it is thread-safe and keyed by graph epoch).
   std::shared_ptr<GeometryAtlas> atlas;
+  /// Stage-latency sink (docs/metrics-schema.md: verify.* / delta.*
+  /// histograms).  Null — the default — records nothing and reads no clock
+  /// on any hot path; histogram handles are resolved once per name at
+  /// construction, never per labeling.  Must outlive the verifier.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 class BatchVerifier {
@@ -180,6 +186,20 @@ class BatchVerifier {
   DirtyIndex dirty_index_;
   std::unique_ptr<LinkState> link_state_;
   DeltaStats delta_stats_;
+
+  // Stage-latency histograms, resolved once from BatchOptions::metrics (all
+  // null when no registry was supplied — ScopedTimer then reads no clock).
+  struct StageMetrics {
+    obs::Counter* labelings = nullptr;    ///< verify.labelings
+    obs::Histogram* e2e = nullptr;        ///< verify.e2e_ns
+    obs::Histogram* parse = nullptr;      ///< verify.parse_link_ns
+    obs::Histogram* sweep = nullptr;      ///< verify.sweep_window_ns
+    obs::Histogram* delta_e2e = nullptr;  ///< delta.e2e_ns
+    obs::Histogram* delta_parse = nullptr;    ///< delta.reparse_link_ns
+    obs::Histogram* delta_collect = nullptr;  ///< delta.collect_ns
+    obs::Histogram* delta_sweep = nullptr;    ///< delta.resweep_ns
+  };
+  StageMetrics metrics_;
 };
 
 }  // namespace pls::radius

@@ -3,9 +3,25 @@
 #include <memory>
 
 #include "local/config.hpp"
+#include "obs/density.hpp"
+#include "pls/engine.hpp"
 #include "util/assert.hpp"
 
 namespace pls::selfstab {
+
+namespace {
+
+/// The protocol's own fallback candidate ("become my own root") — the state
+/// a reset node restarts from.
+local::State self_root_state(const graph::Graph& g, graph::NodeIndex v) {
+  TreeState s;
+  s.root = g.id(v);
+  s.dist = 0;
+  s.parent = g.id(v);
+  return encode_tree_state(s);
+}
+
+}  // namespace
 
 FaultExperiment run_fault_experiment(const graph::Graph& g, std::size_t k,
                                      util::Rng& rng,
@@ -32,7 +48,53 @@ FaultExperiment run_fault_experiment(const graph::Graph& g, std::size_t k,
 
   FaultExperiment result;
   result.corrupted = k;
-  result.detectors_immediate = SpanningTreeProtocol::detectors(g, states).size();
+  const std::vector<graph::NodeIndex> detect =
+      SpanningTreeProtocol::detectors(g, states);
+  result.detectors_immediate = detect.size();
+  result.rejection_density =
+      g.n() == 0 ? 0.0
+                 : static_cast<double>(detect.size()) /
+                       static_cast<double>(g.n());
+
+  if (options.metrics != nullptr) {
+    std::vector<bool> accept(g.n(), true);
+    for (const graph::NodeIndex v : detect) accept[v] = false;
+    const core::Verdict verdict(std::move(accept));
+    if (options.density_regions > 1) {
+      const std::vector<std::uint32_t> region_of =
+          obs::bfs_partition(g, options.density_regions);
+      obs::record_density(*options.metrics, verdict, region_of);
+    } else {
+      obs::record_density(*options.metrics, verdict);
+    }
+  }
+
+  // Density-proportional recovery: the detector tells us not just THAT the
+  // configuration broke but HOW MUCH of it did, so a low density justifies
+  // restarting only where the damage is visible instead of everywhere.
+  if (options.local_recovery_density >= 0.0 && !detect.empty()) {
+    result.local_recovery =
+        result.rejection_density <= options.local_recovery_density;
+    if (result.local_recovery) {
+      std::vector<bool> reset(g.n(), false);
+      // The detectors' closed neighborhoods: where the damage is locally
+      // visible.  Faults invisible even to their neighbors (if any) are left
+      // to the protocol dynamics, which still run to quiescence below.
+      for (const graph::NodeIndex v : detect) {
+        reset[v] = true;
+        for (const graph::AdjEntry& a : g.adjacency(v)) reset[a.to] = true;
+      }
+      for (graph::NodeIndex v = 0; v < g.n(); ++v) {
+        if (!reset[v]) continue;
+        states[v] = self_root_state(g, v);
+        ++result.reset_nodes;
+      }
+    } else {
+      for (graph::NodeIndex v = 0; v < g.n(); ++v)
+        states[v] = self_root_state(g, v);
+      result.reset_nodes = g.n();
+    }
+  }
 
   // Run the protocol to quiescence.  A copy of the graph is not needed: the
   // network shares it.

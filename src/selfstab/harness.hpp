@@ -12,6 +12,10 @@
 #include "selfstab/spanning_tree_ss.hpp"
 #include "util/rng.hpp"
 
+namespace pls::obs {
+class MetricsRegistry;
+}  // namespace pls::obs
+
 namespace pls::selfstab {
 
 struct FaultExperiment {
@@ -21,6 +25,9 @@ struct FaultExperiment {
   bool converged = false;               ///< quiesced within the round budget
   bool legitimate_after = false;        ///< exact legitimate configuration
   bool silent_after = false;            ///< no detector fires at the end
+  double rejection_density = 0.0;       ///< detectors / n at round 0
+  bool local_recovery = false;          ///< density policy chose local reset
+  std::size_t reset_nodes = 0;          ///< states re-seeded before the run
 };
 
 struct FaultOptions {
@@ -28,6 +35,20 @@ struct FaultOptions {
   /// Probability that a corrupted state is a well-formed (root, dist, parent)
   /// triple with random values, rather than raw garbage bits.
   double plausible_fault_probability = 0.5;
+  /// Proportional-recovery policy, driven by the round-0 rejection density
+  /// (the gauge an error-sensitive detector provides): when the density is
+  /// positive and at most this threshold, only the detectors' closed
+  /// neighborhoods restart from self-root states before the protocol runs —
+  /// work proportional to the damage; above it the whole network restarts
+  /// (global reset).  Negative (default) disables recovery seeding: the raw
+  /// protocol dynamics of the published F4 table.
+  double local_recovery_density = -1.0;
+  /// Telemetry sink for the round-0 detection verdict (the density.*
+  /// histograms of obs::record_density, with per-region densities over
+  /// `density_regions` BFS-Voronoi parts when nonzero).  Null records
+  /// nothing.
+  obs::MetricsRegistry* metrics = nullptr;
+  std::size_t density_regions = 0;
 };
 
 FaultExperiment run_fault_experiment(const graph::Graph& g, std::size_t k,

@@ -1,5 +1,6 @@
 #include "util/thread_pool.hpp"
 
+#include "obs/trace.hpp"
 #include "util/assert.hpp"
 
 namespace pls::util {
@@ -43,6 +44,9 @@ void ThreadPool::worker_loop(unsigned worker) {
     std::exception_ptr error;
     if (begin < end) {
       try {
+        // Span per executed slice: exposes per-slot skew (a straggling
+        // worker shows as one long "pool.slice" while its peers idle).
+        PLS_TRACE_SPAN("pool.slice", worker);
         (*fn)(worker, begin, end);
       } catch (...) {
         error = std::current_exception();
@@ -60,6 +64,7 @@ void ThreadPool::for_range(std::size_t n, const RangeFn& fn) {
   PLS_REQUIRE(!posted_);
   if (n == 0) return;
   if (threads_ == 1) {
+    PLS_TRACE_SPAN("pool.slice", 0);
     fn(0, 0, n);
     return;
   }
@@ -83,6 +88,7 @@ void ThreadPool::finish_range() {
   if (n == 0) return;
   if (threads_ == 1) {
     // Sequential fallback: the deferred range is the plain loop.
+    PLS_TRACE_SPAN("pool.slice", 0);
     posted_fn_(0, 0, n);
     return;
   }
@@ -108,6 +114,7 @@ void ThreadPool::join_workers(const RangeFn& fn, std::size_t n) {
   const auto [begin, end] = slice(n, threads_, 0);
   if (begin < end) {
     try {
+      PLS_TRACE_SPAN("pool.slice", 0);
       fn(0, begin, end);
     } catch (...) {
       own_error = std::current_exception();

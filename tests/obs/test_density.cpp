@@ -1,0 +1,147 @@
+// Rejection-density telemetry: partition/aggregation arithmetic, the
+// registry recording path, and the error-sensitivity classification — the
+// exact-distance cycle-chain family must classify as error-sensitive
+// (min rejections monotone and growing in the planted distance).
+#include "obs/density.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/generators.hpp"
+#include "pls/engine.hpp"
+#include "schemes/acyclic.hpp"
+#include "schemes/leader.hpp"
+#include "sensitivity/analysis.hpp"
+#include "testing/helpers.hpp"
+
+namespace pls::obs {
+namespace {
+
+using pls::testing::share;
+
+TEST(Verdict, RejectionDensityIsTheRejectingFraction) {
+  EXPECT_DOUBLE_EQ(core::Verdict{}.rejection_density(), 0.0);
+  core::Verdict v(std::vector<bool>{true, false, true, false, true, true,
+                                    true, true});
+  EXPECT_DOUBLE_EQ(v.rejection_density(), 0.25);
+}
+
+TEST(BfsPartition, CoversDeterministicallyAndClampsRegions) {
+  const graph::Graph g = graph::grid(6, 6);
+  const std::vector<std::uint32_t> regions = bfs_partition(g, 4);
+  ASSERT_EQ(regions.size(), g.n());
+  std::set<std::uint32_t> used(regions.begin(), regions.end());
+  EXPECT_EQ(used.size(), 4u);  // every seed claims a nonempty region
+  for (const std::uint32_t r : regions) EXPECT_LT(r, 4u);
+  EXPECT_EQ(regions, bfs_partition(g, 4));  // deterministic
+
+  // More regions than nodes clamps; single region is the trivial partition.
+  const graph::Graph p = graph::path(3);
+  for (const std::uint32_t r : bfs_partition(p, 10)) EXPECT_LT(r, 3u);
+  for (const std::uint32_t r : bfs_partition(p, 1)) EXPECT_EQ(r, 0u);
+}
+
+TEST(RegionDensity, CountsRejectionsPerRegion) {
+  const graph::Graph g = graph::path(6);
+  // path(6) split in 2: BFS-Voronoi gives {0,1,2} and {3,4,5}.
+  const std::vector<std::uint32_t> regions = bfs_partition(g, 2);
+  core::Verdict v(std::vector<bool>{true, false, true, false, false, true});
+  const std::vector<RegionDensity> rows = region_rejection_density(v, regions);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].nodes + rows[1].nodes, 6u);
+  EXPECT_EQ(rows[0].rejections + rows[1].rejections, 3u);
+  for (const RegionDensity& row : rows)
+    EXPECT_DOUBLE_EQ(row.density, static_cast<double>(row.rejections) /
+                                      static_cast<double>(row.nodes));
+}
+
+TEST(RecordDensity, FeedsTheRegistryHistograms) {
+  MetricsRegistry registry;
+  const graph::Graph g = graph::grid(4, 4);
+  std::vector<bool> accept(g.n(), true);
+  accept[0] = accept[5] = false;  // 2/16 = 12.5%
+  const core::Verdict v(std::move(accept));
+  record_density(registry, v, bfs_partition(g, 4));
+
+  const MetricsSnapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.histograms.at("density.rejections").count, 1u);
+  EXPECT_EQ(snap.histograms.at("density.rejections").sum, 2u);
+  EXPECT_EQ(snap.histograms.at("density.fraction_ppm").sum, 125000u);
+  EXPECT_EQ(snap.histograms.at("density.region_ppm").count, 4u);
+}
+
+TEST(CorruptRandomState, RewritesExactlyTheChosenNodes) {
+  const schemes::LeaderLanguage language;
+  auto g = share(graph::cycle(8));
+  util::Rng rng(5);
+  const local::Configuration legal = language.sample_legal(g, rng);
+  const std::vector<graph::NodeIndex> nodes{2, 5};
+  const local::Configuration corrupted =
+      corrupt_random_state(legal, nodes, rng);
+  for (graph::NodeIndex v = 0; v < legal.n(); ++v) {
+    EXPECT_EQ(corrupted.state(v).bit_size(), legal.state(v).bit_size());
+    if (v != 2 && v != 5) {
+      EXPECT_EQ(corrupted.state(v), legal.state(v));
+    }
+  }
+}
+
+TEST(DensityCurve, LeaderCurveIsErrorSensitive) {
+  // The leader scheme detects every planted extra-leader flag: the
+  // adversary-minimized rejection count tracks k, so the classifier must
+  // call the measured curve error-sensitive.
+  const schemes::LeaderLanguage language;
+  const schemes::LeaderScheme scheme(language);
+  util::Rng graph_rng(11);
+  auto g = share(graph::random_connected(24, 12, graph_rng));
+  util::Rng rng(13);
+  const local::Configuration legal = language.sample_legal(g, rng);
+
+  core::AttackOptions options;
+  options.hill_climb_steps = 60;
+  options.random_trials = 3;
+  options.splice_sources = 2;
+  const std::vector<std::size_t> planted{1, 2, 4};
+  const DensityCurve curve = measure_density_curve(
+      scheme, legal, sensitivity::corrupt_leader, planted, rng, options);
+  ASSERT_EQ(curve.points.size(), 3u);
+  EXPECT_TRUE(curve.monotone);
+  EXPECT_TRUE(curve.error_sensitive);
+  for (std::size_t i = 0; i < planted.size(); ++i) {
+    EXPECT_EQ(curve.points[i].planted, planted[i]);
+    // Every planted extra leader is visible: rejections >= k.
+    EXPECT_GE(curve.points[i].min_rejections, planted[i]);
+  }
+}
+
+TEST(DensityCurve, ExactDistanceCycleChainIsMonotoneAndGrows) {
+  // The anchor family: k disjoint pointer cycles sit at Hamming distance
+  // exactly k from `acyclic`.  Rejections under the minimizing adversary
+  // must not decrease as k grows, and must grow across the sweep — the
+  // test-asserted error-sensitivity witness.
+  const schemes::AcyclicLanguage language;
+  const schemes::AcyclicScheme scheme(language);
+  core::AttackOptions options;
+  options.hill_climb_steps = 60;
+  options.random_trials = 3;
+  options.splice_sources = 2;
+
+  std::vector<std::size_t> rejections;
+  for (const std::size_t k : {1u, 2u, 4u}) {
+    const sensitivity::CycleChainInstance inst =
+        sensitivity::make_cycle_chain(k);
+    EXPECT_EQ(inst.cycles, k);
+    util::Rng rng(17 + k);
+    const core::AttackReport report =
+        core::attack(scheme, inst.config, rng, options);
+    EXPECT_GE(report.min_rejections, 1u);  // soundness at every distance
+    rejections.push_back(report.min_rejections);
+  }
+  for (std::size_t i = 1; i < rejections.size(); ++i)
+    EXPECT_GE(rejections[i], rejections[i - 1]) << "k step " << i;
+  EXPECT_GT(rejections.back(), rejections.front());
+}
+
+}  // namespace
+}  // namespace pls::obs

@@ -330,11 +330,13 @@ TEST(GeometryAtlas, ConcurrentLookupsAreConsistent) {
   EXPECT_GT(stats.misses, 0u);
 }
 
-// reset_stats starts a fresh reporting phase (benches bracket warmup vs.
-// measurement with it): traffic counters restart at zero while residency —
-// the blocks themselves and bytes_in_use — is untouched, so a post-reset
-// phase over a warm atlas reports pure hits.
-TEST(GeometryAtlas, ResetStatsStartsAPhaseWithoutTouchingResidency) {
+// Phase accounting is the difference of two snapshots (benches bracket
+// warmup vs. measurement this way): AtlasStats::since reports the phase's
+// traffic alone, while residency — the blocks themselves and bytes_in_use —
+// carries through, so a phase over a warm atlas reports pure hits.  Unlike
+// the retired reset_stats, a snapshot taken mid-traffic cannot misattribute
+// another thread's lookups to the wrong phase.
+TEST(GeometryAtlas, SnapshotDiffReportsOnePhaseOverAWarmAtlas) {
   util::Rng rng(7008);
   auto g = share(graph::random_connected(48, 30, rng));
   GeometryAtlas atlas;
@@ -343,22 +345,24 @@ TEST(GeometryAtlas, ResetStatsStartsAPhaseWithoutTouchingResidency) {
   EXPECT_GT(warm.misses, 0u);
   EXPECT_GT(warm.bytes_in_use, 0u);
 
-  atlas.reset_stats();
-  const AtlasStats fresh = atlas.stats();
-  EXPECT_EQ(fresh.hits, 0u);
-  EXPECT_EQ(fresh.misses, 0u);
-  EXPECT_EQ(fresh.evictions, 0u);
-  EXPECT_EQ(fresh.bypassed, 0u);
-  EXPECT_EQ(fresh.bytes_in_use, warm.bytes_in_use);
-  EXPECT_EQ(fresh.peak_bytes, warm.bytes_in_use);
-  EXPECT_EQ(fresh.hit_rate(), 0.0);
+  // A snapshot diffed against itself is the empty phase.
+  const AtlasStats empty = warm.since(warm);
+  EXPECT_EQ(empty.hits, 0u);
+  EXPECT_EQ(empty.misses, 0u);
+  EXPECT_EQ(empty.evictions, 0u);
+  EXPECT_EQ(empty.bypassed, 0u);
+  EXPECT_EQ(empty.bytes_in_use, warm.bytes_in_use);
+  EXPECT_EQ(empty.hit_rate(), 0.0);
 
-  // The warm blocks are still resident: the second sweep is all hits.
+  // The warm blocks are still resident: the second sweep's phase is all
+  // hits, and the lifetime counters still hold the warmup misses.
   for (graph::NodeIndex v = 0; v < g->n(); ++v) atlas.block(*g, 2, v);
-  const AtlasStats phase = atlas.stats();
+  const AtlasStats phase = atlas.stats().since(warm);
   EXPECT_EQ(phase.misses, 0u);
   EXPECT_GT(phase.hits, 0u);
   EXPECT_EQ(phase.hit_rate(), 1.0);
+  EXPECT_EQ(phase.bytes_in_use, warm.bytes_in_use);
+  EXPECT_EQ(atlas.stats().misses, warm.misses);
 }
 
 }  // namespace
