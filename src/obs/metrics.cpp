@@ -81,7 +81,7 @@ HistogramSnapshot Histogram::snapshot() const {
 }
 
 Counter& MetricsRegistry::counter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   const auto it = counters_.find(name);
   if (it != counters_.end()) return *it->second;
   counter_storage_.emplace_back();
@@ -91,7 +91,7 @@ Counter& MetricsRegistry::counter(std::string_view name) {
 }
 
 Histogram& MetricsRegistry::histogram(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   const auto it = histograms_.find(name);
   if (it != histograms_.end()) return *it->second;
   histogram_storage_.emplace_back();
@@ -101,7 +101,7 @@ Histogram& MetricsRegistry::histogram(std::string_view name) {
 }
 
 void MetricsRegistry::set_gauge(std::string_view name, double value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   auto it = gauges_.find(name);
   if (it != gauges_.end()) {
     it->second = value;
@@ -112,7 +112,7 @@ void MetricsRegistry::set_gauge(std::string_view name, double value) {
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
   MetricsSnapshot snap;
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
   for (const auto& [name, v] : gauges_) snap.gauges[name] = v;
   for (const auto& [name, h] : histograms_)
@@ -178,11 +178,11 @@ void MetricsSnapshot::write_json(JsonWriter& json) const {
   json.end_object();
 }
 
-ScopedTimer::ScopedTimer(Histogram* h) noexcept : h_(h) {
+PLS_HOT ScopedTimer::ScopedTimer(Histogram* h) noexcept : h_(h) {
   if (h_ != nullptr) start_ns_ = steady_now_ns();
 }
 
-ScopedTimer::~ScopedTimer() {
+PLS_HOT ScopedTimer::~ScopedTimer() {
   if (h_ != nullptr) h_->record(steady_now_ns() - start_ns_);
 }
 

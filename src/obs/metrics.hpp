@@ -36,10 +36,12 @@
 #include <deque>
 #include <iosfwd>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace pls::radius {
 struct AtlasStats;
@@ -54,7 +56,10 @@ class JsonWriter;
 /// (exact once writers quiesce, monotone always).
 class Counter {
  public:
-  void add(std::uint64_t delta = 1) noexcept {
+  // Per-event leaf (prooflab-lint R1): one relaxed fetch_add, no allocation,
+  // no lock.  Relaxed: counts commute; readers see exact totals once writers
+  // quiesce (the snapshot contract), monotone values always.
+  PLS_HOT void add(std::uint64_t delta = 1) noexcept {
     v_.fetch_add(delta, std::memory_order_relaxed);
   }
   std::uint64_t value() const noexcept {
@@ -104,7 +109,7 @@ class Histogram {
   // widest value (bit_width 64) lands in octave 64 - kSubBits, hence +1.
   static constexpr std::size_t kBuckets = (64 - kSubBits + 1) * kSub;
 
-  static std::size_t bucket_of(std::uint64_t v) noexcept {
+  PLS_HOT static std::size_t bucket_of(std::uint64_t v) noexcept {
     if (v < kSub) return static_cast<std::size_t>(v);
     const unsigned shift =
         static_cast<unsigned>(std::bit_width(v)) - (kSubBits + 1);
@@ -121,7 +126,11 @@ class Histogram {
     return base + width - 1;
   }
 
-  void record(std::uint64_t v) noexcept {
+  // Per-event leaf (prooflab-lint R1): bit-scan + two relaxed fetch_adds.
+  // Relaxed: bucket counts and the sum are each independently monotone and
+  // commute across threads; no cross-field ordering is claimed (snapshot()
+  // tolerates mid-record skew, exactness needs quiesced writers).
+  PLS_HOT void record(std::uint64_t v) noexcept {
     counts_[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
     sum_.fetch_add(v, std::memory_order_relaxed);
   }
@@ -159,14 +168,14 @@ struct MetricsSnapshot {
 /// update from any thread.  Call them once at setup, never per event.
 class MetricsRegistry {
  public:
-  Counter& counter(std::string_view name);
-  Histogram& histogram(std::string_view name);
+  Counter& counter(std::string_view name) PLS_EXCLUDES(mu_);
+  Histogram& histogram(std::string_view name) PLS_EXCLUDES(mu_);
 
   /// Last-write-wins level metric (resident bytes, hit rates...), set at
   /// snapshot/export time — not a hot-path facility.
-  void set_gauge(std::string_view name, double value);
+  void set_gauge(std::string_view name, double value) PLS_EXCLUDES(mu_);
 
-  MetricsSnapshot snapshot() const;
+  MetricsSnapshot snapshot() const PLS_EXCLUDES(mu_);
 
   /// The process-wide default registry (benches and the self-stabilization
   /// harness share it; verifiers take an explicit registry through their
@@ -174,13 +183,16 @@ class MetricsRegistry {
   static MetricsRegistry& global();
 
  private:
-  mutable std::mutex mu_;
-  // deques: stable addresses across lazy creation.
-  std::deque<Counter> counter_storage_;
-  std::deque<Histogram> histogram_storage_;
-  std::map<std::string, Counter*, std::less<>> counters_;
-  std::map<std::string, Histogram*, std::less<>> histograms_;
-  std::map<std::string, double, std::less<>> gauges_;
+  mutable util::Mutex mu_;
+  // deques: stable addresses across lazy creation — handles returned by
+  // counter()/histogram() stay valid without the lock; only the name maps
+  // and storage growth are guarded.
+  std::deque<Counter> counter_storage_ PLS_GUARDED_BY(mu_);
+  std::deque<Histogram> histogram_storage_ PLS_GUARDED_BY(mu_);
+  std::map<std::string, Counter*, std::less<>> counters_ PLS_GUARDED_BY(mu_);
+  std::map<std::string, Histogram*, std::less<>> histograms_
+      PLS_GUARDED_BY(mu_);
+  std::map<std::string, double, std::less<>> gauges_ PLS_GUARDED_BY(mu_);
 };
 
 /// RAII stage timer: records the scope's wall time into `h`, or does

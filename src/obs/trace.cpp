@@ -4,10 +4,11 @@
 #include <atomic>
 #include <chrono>
 #include <memory>
-#include <mutex>
 #include <ostream>
 
 #include "obs/json.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace pls::obs {
 
@@ -21,18 +22,26 @@ struct Ring {
   explicit Ring(std::size_t capacity, std::uint32_t tid)
       : events(capacity), tid(tid) {}
 
+  /// Owner-thread data: written only by the registering thread, read by the
+  /// exporter under the registry mutex once the workload quiesced (the
+  /// documented enable()/export contract) — the mutex itself does not order
+  /// these reads against the owner, quiescence does.
   std::vector<TraceRecorder::Event> events;
-  std::size_t next = 0;       ///< append cursor (wraps)
-  std::uint64_t recorded = 0; ///< total record() calls into this ring
+  /// Cursor and total are explicit relaxed atomics: single-writer (the
+  /// owner), but dropped()/events() may sample them from another thread.
+  /// Each is independently monotone/meaningful, no ordering between them or
+  /// with `events` is claimed, and the owner's own accesses are same-thread
+  /// ordered — so relaxed is sufficient and keeps record() at plain-store
+  /// cost.
+  std::atomic<std::size_t> next{0};        ///< append cursor (wraps)
+  std::atomic<std::uint64_t> recorded{0};  ///< total record() calls
   std::uint32_t tid;
 };
 
 struct Registry {
-  std::mutex mu;
-  std::vector<std::unique_ptr<Ring>> rings;
-  std::size_t ring_capacity = 1u << 15;
-  std::chrono::steady_clock::time_point origin =
-      std::chrono::steady_clock::now();
+  util::Mutex mu;
+  std::vector<std::unique_ptr<Ring>> rings PLS_GUARDED_BY(mu);
+  std::size_t ring_capacity PLS_GUARDED_BY(mu) = 1u << 15;
 };
 
 Registry& registry() {
@@ -42,10 +51,24 @@ Registry& registry() {
 
 std::atomic<bool> g_enabled{false};
 
+/// Span clock origin, nanoseconds on the steady clock at the last enable().
+/// Release store in enable(), relaxed load in now_ns(): enable() is called
+/// from a quiesced state, so every thread that records a span was handed
+/// work *after* enable() returned — that hand-off (pool mutex, thread
+/// creation) is the happens-before edge; the load needs no ordering of its
+/// own.  Mirrors the g_enabled discipline.
+std::atomic<std::int64_t> g_origin_ns{0};
+
+std::int64_t steady_now_ns() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 Ring& local_ring() {
   thread_local Ring* ring = [] {
     Registry& r = registry();
-    std::lock_guard<std::mutex> lock(r.mu);
+    util::MutexLock lock(r.mu);
     r.rings.push_back(std::make_unique<Ring>(
         r.ring_capacity, static_cast<std::uint32_t>(r.rings.size())));
     return r.rings.back().get();
@@ -57,13 +80,13 @@ Ring& local_ring() {
 
 void TraceRecorder::enable(std::size_t ring_capacity) {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  util::MutexLock lock(r.mu);
   r.ring_capacity = ring_capacity == 0 ? 1 : ring_capacity;
   for (std::unique_ptr<Ring>& ring : r.rings) {
-    ring->next = 0;
-    ring->recorded = 0;
+    ring->next.store(0, std::memory_order_relaxed);
+    ring->recorded.store(0, std::memory_order_relaxed);
   }
-  r.origin = std::chrono::steady_clock::now();
+  g_origin_ns.store(steady_now_ns(), std::memory_order_release);
   g_enabled.store(true, std::memory_order_release);
 }
 
@@ -71,52 +94,59 @@ void TraceRecorder::disable() {
   g_enabled.store(false, std::memory_order_release);
 }
 
-bool TraceRecorder::enabled() noexcept {
+PLS_HOT bool TraceRecorder::enabled() noexcept {
+  // Relaxed: the flag only gates whether a span bothers to read the clock;
+  // enable()/disable() bracket quiesced workloads, so no recorded data is
+  // published through this load.
   return g_enabled.load(std::memory_order_relaxed);
 }
 
-std::uint64_t TraceRecorder::now_ns() noexcept {
-  const auto now = std::chrono::steady_clock::now();
-  return static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(now -
-                                                           registry().origin)
-          .count());
+PLS_HOT std::uint64_t TraceRecorder::now_ns() noexcept {
+  const std::int64_t since =
+      steady_now_ns() - g_origin_ns.load(std::memory_order_relaxed);
+  return since > 0 ? static_cast<std::uint64_t>(since) : 0;
 }
 
-void TraceRecorder::record(const char* name, std::uint64_t start_ns,
-                           std::uint64_t end_ns, std::uint64_t arg) {
+PLS_HOT void TraceRecorder::record(const char* name, std::uint64_t start_ns,
+                                   std::uint64_t end_ns, std::uint64_t arg) {
   Ring& ring = local_ring();
-  Event& e = ring.events[ring.next];
+  const std::size_t slot = ring.next.load(std::memory_order_relaxed);
+  Event& e = ring.events[slot];
   e.name = name;
   e.start_ns = start_ns;
   e.dur_ns = end_ns >= start_ns ? end_ns - start_ns : 0;
   e.arg = arg;
   e.tid = ring.tid;
-  ring.next = (ring.next + 1) % ring.events.size();
-  ++ring.recorded;
+  ring.next.store((slot + 1) % ring.events.size(), std::memory_order_relaxed);
+  ring.recorded.fetch_add(1, std::memory_order_relaxed);
 }
 
 std::uint64_t TraceRecorder::dropped() {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  util::MutexLock lock(r.mu);
   std::uint64_t dropped = 0;
-  for (const std::unique_ptr<Ring>& ring : r.rings)
-    if (ring->recorded > ring->events.size())
-      dropped += ring->recorded - ring->events.size();
+  for (const std::unique_ptr<Ring>& ring : r.rings) {
+    const std::uint64_t recorded =
+        ring->recorded.load(std::memory_order_relaxed);
+    if (recorded > ring->events.size())
+      dropped += recorded - ring->events.size();
+  }
   return dropped;
 }
 
 std::vector<TraceRecorder::Event> TraceRecorder::events() {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  util::MutexLock lock(r.mu);
   std::vector<Event> all;
   for (const std::unique_ptr<Ring>& ring : r.rings) {
+    const std::uint64_t recorded =
+        ring->recorded.load(std::memory_order_relaxed);
+    const std::size_t next = ring->next.load(std::memory_order_relaxed);
     const std::size_t count =
-        std::min<std::uint64_t>(ring->recorded, ring->events.size());
+        std::min<std::uint64_t>(recorded, ring->events.size());
     // Oldest-first: when the ring wrapped, the oldest retained event sits at
     // `next` (the slot the following record() would overwrite).
-    const std::size_t begin =
-        ring->recorded > ring->events.size() ? ring->next : 0;
+    const std::size_t begin = recorded > ring->events.size() ? next : 0;
     for (std::size_t i = 0; i < count; ++i)
       all.push_back(ring->events[(begin + i) % ring->events.size()]);
   }

@@ -34,7 +34,7 @@ std::shared_ptr<const GeometryBlock> GeometryAtlas::block(
   const std::uint32_t index = center / options_.block_centers;
   const Key wanted{g.epoch(), index, t};
 
-  std::unique_lock<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   while (true) {
     // Any resident block over the same centers with radius >= t serves the
     // lookup (smaller radii are prefixes); the map order makes the smallest
@@ -171,7 +171,7 @@ void GeometryAtlas::evict_for_locked(std::size_t needed) {
 }
 
 AtlasStats GeometryAtlas::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(mu_);
   return stats_;
 }
 

@@ -51,10 +51,10 @@
 #include <list>
 #include <map>
 #include <memory>
-#include <mutex>
-#include <condition_variable>
 
 #include "radius/ball.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace pls::radius {
 
@@ -134,11 +134,12 @@ class GeometryAtlas {
   /// ball for `g`.  The returned pointer pins the block: it stays valid
   /// after eviction for as long as the caller holds it.  Thread-safe.
   std::shared_ptr<const GeometryBlock> block(const graph::Graph& g, unsigned t,
-                                             graph::NodeIndex center);
+                                             graph::NodeIndex center)
+      PLS_EXCLUDES(mu_);
 
   /// Consistent snapshot of the counters (copied under the lock).  For
   /// phase accounting, diff two snapshots with AtlasStats::since.
-  AtlasStats stats() const;
+  AtlasStats stats() const PLS_EXCLUDES(mu_);
 
   const AtlasOptions& options() const noexcept { return options_; }
 
@@ -157,28 +158,30 @@ class GeometryAtlas {
     std::list<Key>::iterator lru;                ///< valid only when resident
   };
 
-  void touch_locked(Slot& slot, const Key& key);
+  void touch_locked(Slot& slot, const Key& key) PLS_REQUIRES(mu_);
   /// Bytes of resident smaller-radius blocks over `key`'s centers — strict
   /// prefixes a new radius-t block would supersede.
-  std::size_t reclaimable_prefix_bytes_locked(const Key& key) const;
+  std::size_t reclaimable_prefix_bytes_locked(const Key& key) const
+      PLS_REQUIRES(mu_);
   /// Drops those prefix blocks (call only when the superseding block is
   /// being admitted — a bypassed contender must not evict anything).
-  void retire_prefixes_locked(const Key& key);
+  void retire_prefixes_locked(const Key& key) PLS_REQUIRES(mu_);
   /// Admission decision: fits (counting reclaimable prefix bytes), or —
   /// every turnover_period-th time the cache is full — displaces LRU
   /// victims (evict_for_locked).  Decision only; no mutation of residency.
-  bool admit_locked(std::size_t needed, std::size_t reclaimable);
+  bool admit_locked(std::size_t needed, std::size_t reclaimable)
+      PLS_REQUIRES(mu_);
   /// Evicts LRU victims until `needed` more bytes fit under the budget.
-  void evict_for_locked(std::size_t needed);
+  void evict_for_locked(std::size_t needed) PLS_REQUIRES(mu_);
 
   const AtlasOptions options_;
 
-  mutable std::mutex mu_;
-  std::condition_variable built_cv_;  ///< signals: an in-flight build landed
-  std::map<Key, std::shared_ptr<Slot>> entries_;
-  std::list<Key> lru_;  ///< front = most recently used
-  std::uint32_t denials_since_turnover_ = 0;
-  AtlasStats stats_;
+  mutable util::Mutex mu_;
+  util::CondVar built_cv_;  ///< signals: an in-flight build landed
+  std::map<Key, std::shared_ptr<Slot>> entries_ PLS_GUARDED_BY(mu_);
+  std::list<Key> lru_ PLS_GUARDED_BY(mu_);  ///< front = most recently used
+  std::uint32_t denials_since_turnover_ PLS_GUARDED_BY(mu_) = 0;
+  AtlasStats stats_ PLS_GUARDED_BY(mu_);
 };
 
 }  // namespace pls::radius

@@ -123,6 +123,17 @@ class BatchVerifier {
   }
 
  private:
+  // Thread contract, in the terms the thread-safety analysis enforces
+  // elsewhere: BatchVerifier is externally synchronized — one caller thread
+  // drives run/run_one/run_delta, so no member below carries a capability
+  // (there is deliberately no mutex to guard them with).  The only
+  // cross-thread sharing is the posted sweep job: workers read `parsed_`,
+  // `slots_` (their own slot), and the labeling, and write disjoint bytes of
+  // an `accept_` half; ThreadPool's job hand-off (its annotated mutex,
+  // util/thread_pool.hpp) is the happens-before edge in both directions.
+  // The shared GeometryAtlas *is* internally locked and annotated
+  // (atlas.hpp); everything else here must stay caller-thread-only.
+
   /// Stage-2 output for one labeling: the per-node parse-once cache.
   struct ParsedLabeling {
     std::vector<std::unique_ptr<ParsedCert>> storage;

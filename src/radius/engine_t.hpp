@@ -42,6 +42,13 @@ struct SchemeAttack {
 /// interning table (parse_link.hpp).  Owned by the BatchVerifier, created by
 /// BallScheme::make_link_state, never shared between verifiers (link state
 /// is mutated single-threaded in stage 2).
+///
+/// Thread contract (the compile-time analysis's terms): LinkState carries no
+/// capability of its own — it is serialized by its owning BatchVerifier's
+/// single-caller contract, mutated only in the stage-2 link phase, and the
+/// sweep workers that later read the ids it minted are ordered behind that
+/// mutation by the ThreadPool's job hand-off (pool mutex).  A scheme must
+/// not stash shared mutable state here without adding a capability for it.
 class LinkState {
  public:
   virtual ~LinkState() = default;

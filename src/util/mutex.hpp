@@ -1,0 +1,89 @@
+// Annotated mutex wrappers — the capability types Clang TSA reasons about.
+//
+// std::mutex carries no thread-safety attributes, so code locking it directly
+// is invisible to -Wthread-safety.  These zero-overhead wrappers give every
+// lock in the codebase a name the analysis can track:
+//
+//   * util::Mutex      — a std::mutex declared as a TSA capability.
+//   * util::MutexLock  — the ONE way to hold a Mutex: a scoped capability
+//                        over std::unique_lock, with annotated unlock()/
+//                        lock() for the handful of sites (atlas build dedup)
+//                        that drop the lock mid-scope to do work outside it.
+//   * util::CondVar    — condition variable waiting through a MutexLock.
+//                        Waits release and reacquire the same capability, a
+//                        net no-op the analysis does not need to model; use
+//                        the explicit `while (!pred) cv.wait(lock);` form —
+//                        a predicate lambda would read guarded members from
+//                        a context the analysis cannot connect to the lock.
+//
+// Everything forwards straight to the std primitives — same codegen, no
+// extra state beyond what std::unique_lock already keeps.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.hpp"
+
+namespace pls::util {
+
+class CondVar;
+
+/// A std::mutex the thread-safety analysis can see.  Prefer MutexLock over
+/// calling lock()/unlock() directly.
+class PLS_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() PLS_ACQUIRE() { mu_.lock(); }
+  void unlock() PLS_RELEASE() { mu_.unlock(); }
+  bool try_lock() PLS_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class MutexLock;
+  std::mutex mu_;
+};
+
+/// RAII holder of a Mutex (TSA scoped capability).  Constructed locked;
+/// unlock()/lock() support the drop-the-lock-mid-scope pattern, and the
+/// destructor releases only if currently held (std::unique_lock semantics).
+class PLS_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) PLS_ACQUIRE(mu) : lock_(mu.mu_) {}
+  ~MutexLock() PLS_RELEASE() = default;
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Drops the lock before its scope ends (e.g. to build outside it).
+  void unlock() PLS_RELEASE() { lock_.unlock(); }
+
+  /// Reacquires after an unlock().
+  void lock() PLS_ACQUIRE() { lock_.lock(); }
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// Condition variable over util::Mutex.  wait() atomically releases the
+/// MutexLock's mutex and reacquires it before returning — capability-neutral,
+/// so it carries no TSA annotation; guarded state read around a wait is
+/// still checked at the call site, which holds the MutexLock.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace pls::util

@@ -1,0 +1,98 @@
+// Clang Thread Safety Analysis annotations — compiler-enforced locking.
+//
+// The pipeline's two load-bearing invariants — verdicts are bit-identical at
+// every thread count, and observability never perturbs them — were guarded
+// only at runtime (TSan jobs, differential fuzzing), which catches the
+// schedules and inputs we happen to run.  These macros move the locking half
+// of that guarantee to compile time: every mutex-owning type names its
+// capability, every guarded member names its mutex, and Clang's
+// -Wthread-safety -Wthread-safety-beta analysis (the CI `analysis` job builds
+// with them as errors) rejects any access path the annotations do not prove.
+//
+// The macros expand to Clang attributes under Clang and to nothing elsewhere,
+// so GCC/MSVC builds are unaffected.  Use them through util::Mutex /
+// util::MutexLock (mutex.hpp) — annotating raw std::mutex does not work
+// because the standard library's methods carry no attributes.
+//
+// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html (the
+// macro set below is the canonical one from that document, PLS_-prefixed).
+#pragma once
+
+#if defined(__clang__) && !defined(SWIG)
+#define PLS_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define PLS_THREAD_ANNOTATION__(x)  // no-op off Clang
+#endif
+
+/// Declares a class to be a capability (lockable).  The string names it in
+/// diagnostics ("mutex", "role", ...).
+#define PLS_CAPABILITY(x) PLS_THREAD_ANNOTATION__(capability(x))
+
+/// Declares an RAII class whose lifetime acquires/releases a capability.
+#define PLS_SCOPED_CAPABILITY PLS_THREAD_ANNOTATION__(scoped_lockable)
+
+/// Data member readable/writable only while holding `x`.
+#define PLS_GUARDED_BY(x) PLS_THREAD_ANNOTATION__(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by `x` (the pointer itself is
+/// not).
+#define PLS_PT_GUARDED_BY(x) PLS_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+/// Acquisition-order edges for deadlock detection (-Wthread-safety-beta).
+#define PLS_ACQUIRED_BEFORE(...) \
+  PLS_THREAD_ANNOTATION__(acquired_before(__VA_ARGS__))
+#define PLS_ACQUIRED_AFTER(...) \
+  PLS_THREAD_ANNOTATION__(acquired_after(__VA_ARGS__))
+
+/// Function requires the listed capabilities held (exclusively / shared) on
+/// entry, and does not release them.
+#define PLS_REQUIRES(...) \
+  PLS_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+#define PLS_REQUIRES_SHARED(...) \
+  PLS_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability (must not be held on entry).
+#define PLS_ACQUIRE(...) \
+  PLS_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+#define PLS_ACQUIRE_SHARED(...) \
+  PLS_THREAD_ANNOTATION__(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the capability (must be held on entry).
+#define PLS_RELEASE(...) \
+  PLS_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+#define PLS_RELEASE_SHARED(...) \
+  PLS_THREAD_ANNOTATION__(release_shared_capability(__VA_ARGS__))
+
+/// Function attempts the acquisition; first argument is the success value.
+#define PLS_TRY_ACQUIRE(...) \
+  PLS_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+
+/// Function must NOT be called with the listed capabilities held.
+#define PLS_EXCLUDES(...) PLS_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+/// Function returns a reference to the capability guarding its result.
+#define PLS_RETURN_CAPABILITY(x) PLS_THREAD_ANNOTATION__(lock_returned(x))
+
+/// Escape hatch; every use needs a written happens-before argument.
+#define PLS_NO_THREAD_SAFETY_ANALYSIS \
+  PLS_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+// ---------------------------------------------------------------------------
+// Hot-path tag — the anchor of prooflab-lint rule R1.
+// ---------------------------------------------------------------------------
+// PLS_HOT marks a *per-event leaf*: a function executed once per recorded
+// event / per verified member on the sweep hot path (span enter/exit,
+// Counter::add, Histogram::record, TraceRecorder::record, BallView::bind).
+// Tagged functions must never allocate or take a lock — prooflab-lint R1
+// rejects alloc/lock constructs inside them, which is what keeps the
+// disabled-span cost at ~1 ns and observability out of the verdict path.
+// Driver-level sweep slices are deliberately NOT tagged: they amortize one
+// atlas lookup (a lock) per block boundary by design; their per-event inner
+// work goes through the tagged leaves.
+//
+// The tag doubles as an optimizer hint (hot attribute) on GCC and Clang.
+#if defined(__GNUC__) || defined(__clang__)
+#define PLS_HOT __attribute__((hot))
+#else
+#define PLS_HOT
+#endif

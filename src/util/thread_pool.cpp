@@ -14,7 +14,7 @@ ThreadPool::ThreadPool(unsigned threads) : threads_(threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stopping_ = true;
   }
   start_cv_.notify_all();
@@ -32,9 +32,10 @@ void ThreadPool::worker_loop(unsigned worker) {
     const RangeFn* fn = nullptr;
     std::size_t n = 0;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      start_cv_.wait(lock,
-                     [&] { return stopping_ || generation_ != seen; });
+      MutexLock lock(mu_);
+      // Explicit wait loop (not the predicate-lambda overload): the guarded
+      // reads stay in a scope the thread-safety analysis can tie to `lock`.
+      while (!stopping_ && generation_ == seen) start_cv_.wait(lock);
       if (stopping_) return;
       seen = generation_;
       fn = job_;
@@ -53,7 +54,7 @@ void ThreadPool::worker_loop(unsigned worker) {
       }
     }
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (error && !first_error_) first_error_ = std::move(error);
       if (--remaining_ == 0) done_cv_.notify_one();
     }
@@ -97,7 +98,7 @@ void ThreadPool::finish_range() {
 
 void ThreadPool::start_workers(const RangeFn* fn, std::size_t n) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     job_ = fn;
     job_n_ = n;
     remaining_ = threads_ - 1;
@@ -121,13 +122,14 @@ void ThreadPool::join_workers(const RangeFn& fn, std::size_t n) {
     }
   }
 
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [&] { return remaining_ == 0; });
-  job_ = nullptr;
-  std::exception_ptr error =
-      own_error ? std::move(own_error) : std::move(first_error_);
-  first_error_ = nullptr;
-  lock.unlock();
+  std::exception_ptr error;
+  {
+    MutexLock lock(mu_);
+    while (remaining_ != 0) done_cv_.wait(lock);
+    job_ = nullptr;
+    error = own_error ? std::move(own_error) : std::move(first_error_);
+    first_error_ = nullptr;
+  }
   if (error) std::rethrow_exception(error);
 }
 

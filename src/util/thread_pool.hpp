@@ -13,15 +13,19 @@
 // Exceptions thrown by `fn` are captured (first one wins) and rethrown on
 // the calling thread after every slice has finished, so the pool is never
 // left with a wedged worker.
+// Locking discipline is compiler-checked: every cross-thread member is
+// GUARDED_BY(mu_) and Clang's thread-safety analysis (util/thread_annotations
+// .hpp, the CI `analysis` job) rejects unlocked access paths.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace pls::util {
 
@@ -73,24 +77,28 @@ class ThreadPool {
 
  private:
   void worker_loop(unsigned worker);
-  void start_workers(const RangeFn* fn, std::size_t n);
-  void join_workers(const RangeFn& fn, std::size_t n);
+  void start_workers(const RangeFn* fn, std::size_t n) PLS_EXCLUDES(mu_);
+  void join_workers(const RangeFn& fn, std::size_t n) PLS_EXCLUDES(mu_);
 
   const unsigned threads_;
   std::vector<std::thread> workers_;
 
-  std::mutex mu_;
-  std::condition_variable start_cv_;  // signals workers: a new job is posted
-  std::condition_variable done_cv_;   // signals caller: all slices finished
-  const RangeFn* job_ = nullptr;      // valid while the current job runs
-  std::size_t job_n_ = 0;
-  RangeFn posted_fn_;                 // owning copy for post_range jobs
+  Mutex mu_;
+  CondVar start_cv_;  // signals workers: a new job is posted
+  CondVar done_cv_;   // signals caller: all slices finished
+  // Handed from the caller to the workers and back under mu_.
+  const RangeFn* job_ PLS_GUARDED_BY(mu_) = nullptr;  // valid while job runs
+  std::size_t job_n_ PLS_GUARDED_BY(mu_) = 0;
+  std::uint64_t generation_ PLS_GUARDED_BY(mu_) = 0;  // bumped per job
+  unsigned remaining_ PLS_GUARDED_BY(mu_) = 0;  // worker slices outstanding
+  std::exception_ptr first_error_ PLS_GUARDED_BY(mu_);
+  bool stopping_ PLS_GUARDED_BY(mu_) = false;
+  // post_range bookkeeping: touched only by the calling thread between
+  // post_range and finish_range (the workers read the job through job_),
+  // so these are caller-local, not guarded.
+  RangeFn posted_fn_;      // owning copy for post_range jobs
   std::size_t posted_n_ = 0;
-  bool posted_ = false;               // a post_range awaits finish_range
-  std::uint64_t generation_ = 0;      // bumped once per for_range call
-  unsigned remaining_ = 0;            // worker slices not yet finished
-  std::exception_ptr first_error_;
-  bool stopping_ = false;
+  bool posted_ = false;    // a post_range awaits finish_range
 };
 
 }  // namespace pls::util

@@ -1,0 +1,14 @@
+// R1 golden fixture (bad): a PLS_HOT per-event leaf that allocates and
+// locks.  Both must fire.
+#include <mutex>
+#include <vector>
+
+#define PLS_HOT __attribute__((hot))
+
+std::mutex g_mu;
+std::vector<int> g_events;
+
+PLS_HOT void hot_leaf(int v) {
+  std::lock_guard<std::mutex> lock(g_mu);  // locking in a hot leaf
+  g_events.push_back(v);                   // allocation in a hot leaf
+}

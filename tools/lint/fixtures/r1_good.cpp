@@ -1,0 +1,20 @@
+// R1 golden fixture (good): the hot leaf is one relaxed fetch_add; the
+// untagged driver may allocate and lock freely.
+#include <atomic>
+#include <mutex>
+#include <vector>
+
+#define PLS_HOT __attribute__((hot))
+
+std::atomic<unsigned long> g_count{0};
+std::mutex g_mu;
+std::vector<int> g_batches;
+
+PLS_HOT void hot_leaf(unsigned long v) {
+  g_count.fetch_add(v, std::memory_order_relaxed);
+}
+
+void cold_driver(int batch) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  g_batches.push_back(batch);
+}

@@ -1,0 +1,12 @@
+// R2 golden fixture (bad): three implicit-seq_cst atomic accesses — an
+// operator RMW, a bare store, and a bare load.
+#include <atomic>
+
+std::atomic<int> g_ready{0};
+std::atomic<unsigned> g_hits{0};
+
+int implicit_seq_cst() {
+  g_hits++;          // operator RMW, implicit seq_cst
+  g_ready.store(1);  // store without memory_order
+  return g_ready.load();
+}

@@ -1,0 +1,16 @@
+// R2 golden fixture (good): every atomic access names its order; a
+// non-atomic type with load/store methods must not trip the rule.
+#include <atomic>
+
+struct Codec {
+  int load(int reg) { return reg; }
+  void store(int reg, int v) { (void)reg, (void)v; }
+};
+
+std::atomic<int> g_ready{0};
+
+int explicit_orders(Codec& c) {
+  g_ready.store(1, std::memory_order_release);
+  c.store(0, 1);  // not an atomic
+  return g_ready.load(std::memory_order_acquire) + c.load(2);
+}

@@ -1,0 +1,14 @@
+// R3 golden fixture (bad): a verdict-producing function iterating an
+// unordered container — hash order would feed the verdict.
+#include <cstdint>
+#include <unordered_map>
+
+struct Verdict {
+  bool ok;
+};
+
+Verdict verify_ball(const std::unordered_map<std::uint32_t, int>& classes) {
+  int acc = 0;
+  for (const auto& [node, cls] : classes) acc ^= cls + static_cast<int>(node);
+  return Verdict{acc == 0};
+}

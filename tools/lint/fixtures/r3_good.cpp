@@ -1,0 +1,21 @@
+// R3 golden fixture (good): the verdict path iterates a node-id-ordered
+// vector; a non-verdict exporter may iterate hash containers.
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+struct Verdict {
+  bool ok;
+};
+
+Verdict verify_ball(const std::vector<int>& classes_by_node) {
+  int acc = 0;
+  for (int cls : classes_by_node) acc ^= cls;
+  return Verdict{acc == 0};
+}
+
+int export_stats(const std::unordered_map<std::uint32_t, int>& m) {
+  int acc = 0;
+  for (const auto& [node, cls] : m) acc += cls + static_cast<int>(node);
+  return acc;  // order-insensitive aggregate, not a verdict
+}

@@ -1,0 +1,9 @@
+// R4 golden fixture (bad): ambient entropy and a wall clock in what would
+// be a verify path — both must fire.
+#include <chrono>
+#include <cstdlib>
+
+unsigned sample_nonce() {
+  const auto tick = std::chrono::steady_clock::now().time_since_epoch();
+  return static_cast<unsigned>(rand()) ^ static_cast<unsigned>(tick.count());
+}

@@ -1,0 +1,10 @@
+// R4 golden fixture (good): randomness flows through a seeded engine that
+// the caller constructs; the verify path reads no clock.
+#include <cstdint>
+
+struct Rng {
+  std::uint64_t state;
+  std::uint64_t next() { return state = state * 6364136223846793005u + 1u; }
+};
+
+std::uint64_t sample_nonce(Rng& rng) { return rng.next(); }

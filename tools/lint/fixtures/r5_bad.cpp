@@ -1,0 +1,16 @@
+// R5 golden fixture (bad): a verdict-producing function opens a trace span
+// — observability written from inside a decoder.
+#include <cstdint>
+
+#define PLS_TRACE_SPAN(...) \
+  do {                      \
+  } while (false)
+
+struct Verdict {
+  bool ok;
+};
+
+Verdict verify_center(std::uint32_t node) {
+  PLS_TRACE_SPAN("verify.center", node);  // obs write inside a decoder
+  return Verdict{node != 0};
+}

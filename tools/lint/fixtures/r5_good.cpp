@@ -1,0 +1,18 @@
+// R5 golden fixture (good): the driver spans around the decoder call; the
+// decoder itself stays pure.
+#include <cstdint>
+
+#define PLS_TRACE_SPAN(...) \
+  do {                      \
+  } while (false)
+
+struct Verdict {
+  bool ok;
+};
+
+Verdict verify_center(std::uint32_t node) { return Verdict{node != 0}; }
+
+bool sweep_driver(std::uint32_t node) {
+  PLS_TRACE_SPAN("sweep.center", node);  // drivers may trace
+  return verify_center(node).ok;
+}

@@ -1,0 +1,5 @@
+// R6 golden fixture (bad): uses std::vector without including <vector>, so
+// the header only compiles when its includer happens to pull that in first.
+#pragma once
+
+inline std::vector<int> make_empty() { return {}; }

@@ -1,0 +1,6 @@
+// R6 golden fixture (good): self-contained header.
+#pragma once
+
+#include <vector>
+
+inline std::vector<int> make_empty() { return {}; }

@@ -1,0 +1,9 @@
+// Suppression fixture: the allow() directive silences R4 here (outside the
+// enforced root); the same file linted with --enforce-root pointing at this
+// directory must report the suppression itself (budget zero).
+#include <cstdlib>
+
+unsigned seeded_elsewhere() {
+  // prooflab-lint: allow(R4)
+  return static_cast<unsigned>(rand());
+}
