@@ -1,6 +1,6 @@
 // Experiment R2 — staged verification at scale.
 //
-// Three scenarios over the spanning-tree spread:
+// Four scenarios over the spanning-tree spread:
 //
 // 1. Single labeling (the PR 2 experiment): the pre-session reference engine
 //    (one ball at a time, every ball certificate re-parsed at every center)
@@ -32,6 +32,21 @@
 //    both throughputs, the delta work counters, and per-phase atlas hit
 //    rates (snapshot-diffed AtlasStats, AtlasStats::since).
 //
+// 4. Serving tier (the scheduler A/B + open loop): a skewed fragment-style
+//    instance — dense chorded-ring core on the low sixteenth of the index
+//    space, sparse chains over the rest — where the static contiguous split
+//    leaves most slots idle behind the slice that drew the core.  Runs the
+//    identical batch under SweepMode::kStatic and kStealing (shared warm
+//    atlas, verdicts asserted bit-identical, also across thread counts),
+//    reports the scheduler speedup plus the steal counters and per-slot
+//    busy-time quantiles from the obs registry, re-runs the A/B on
+//    scenario 2's uniform random instance to pin the no-regression bound,
+//    then drives an OPEN-LOOP phase: requests arrive on a fixed schedule
+//    (default 80% of the measured closed-loop stealing throughput,
+//    --arrival-rate overrides) whether or not the previous one finished, so
+//    queueing delay lands in the next request's latency.  Reports sustained
+//    labelings/sec and p50/p99 latency from the serve.latency_ns histogram.
+//
 // Verdict identity is asserted everywhere: scenario 1 across
 // baseline/sequential/parallel sessions per row; scenario 2 across the
 // rebuild loop and batch runs at threads {1, 2, hardware}, and against
@@ -54,10 +69,13 @@
 //
 // Usage: bench_verify_scale [--smoke] [--out FILE] [--batch-out FILE]
 //                           [--incremental-out FILE] [--trace-out FILE]
+//                           [--serving-out FILE]
 //                           [--seed S] [--threads T] [--t T] [--labelings L]
 //                           [--require-speedup X] [--require-batch-speedup X]
 //                           [--require-incremental-speedup X]
 //                           [--max-disabled-span-ns X]
+//                           [--require-steal-speedup X]
+//                           [--require-uniform-ratio R] [--arrival-rate A]
 //   --smoke                   n = 1024 for scenarios 1-2, fewer labelings
 //                             (CI-friendly; scenario 3 stays at n = 4096)
 //   --out FILE                write the tradeoff JSON there instead of stdout
@@ -65,6 +83,7 @@
 //   --incremental-out FILE    additionally write the delta-scenario JSON
 //   --trace-out FILE          record the timed batch run; write chrome-trace
 //                             JSON there (load via chrome://tracing)
+//   --serving-out FILE        additionally write the serving-scenario JSON
 //   --seed S                  base RNG seed (echoed into every JSON)
 //   --threads T               thread count for the timed runs (default: hw)
 //   --t T                     batch/incremental radius (default 8)
@@ -74,15 +93,26 @@
 //   --require-batch-speedup X fail if batch+atlas throughput gain < X
 //   --require-incremental-speedup X fail if delta-vs-full gain < X
 //   --max-disabled-span-ns X  fail if a disabled trace span costs > X ns
+//   --require-steal-speedup X fail if the skewed-instance static/stealing
+//                             speedup < X (needs real cores; a CI gate for
+//                             multi-core runners, meaningless at threads=1)
+//   --require-uniform-ratio R fail if static_ms/stealing_ms on the uniform
+//                             instance < R (no-regression bound; R slightly
+//                             below 1.0 absorbs timer noise)
+//   --arrival-rate A          open-loop offered rate, labelings/sec
+//                             (default: 0.8x the measured closed-loop
+//                             stealing throughput)
 #include <chrono>
 #include <fstream>
 #include <functional>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "graph/generators.hpp"
+#include "graph/graph.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "radius/batch.hpp"
@@ -104,6 +134,7 @@ constexpr graph::RawId kIdSpace = graph::RawId{1} << 56;
 constexpr std::uint64_t kDefaultSeed = 0xBA11'5CA1Eull;
 constexpr std::uint64_t kBatchSalt = kDefaultSeed ^ 0xA7'1A5ull;
 constexpr std::uint64_t kIncrementalSalt = 0xDE17A'BA11ull;
+constexpr std::uint64_t kServingSalt = 0x5E1F'57EA1ull;
 
 struct Row {
   std::string scheme;
@@ -454,6 +485,224 @@ IncrementalResult measure_incremental(const core::Scheme& scheme,
   return r;
 }
 
+// ---- Scenario 4: the serving tier (skewed sweep + open loop) --------------
+
+/// A deliberately skewed instance: a dense chorded ring on the lowest `core`
+/// indices — every core node's radius-t ball spans most of the core, so the
+/// static split's first slice carries balls an order of magnitude fatter
+/// than the chain interiors' — trailing sparse chains over the rest of
+/// [0, n).  The shape fragment-heavy workloads produce and the shape the
+/// static contiguous partition handles worst: slice 0 sweeps the whole core
+/// while the other slots finish their chain segments and idle.
+graph::Graph skewed_core_chain_graph(std::size_t core, std::size_t chains,
+                                     std::size_t chain_len) {
+  graph::Graph::Builder b;
+  const std::size_t n = core + chains * chain_len;
+  for (std::size_t v = 0; v < n; ++v)
+    b.add_node(static_cast<graph::RawId>(v));
+  for (std::size_t v = 0; v < core; ++v)
+    b.add_edge(static_cast<graph::NodeIndex>(v),
+               static_cast<graph::NodeIndex>((v + 1) % core));
+  for (const std::size_t stride : {std::size_t{5}, std::size_t{11}}) {
+    for (std::size_t v = 0; v < core; ++v)
+      b.add_edge(static_cast<graph::NodeIndex>(v),
+                 static_cast<graph::NodeIndex>((v + stride) % core));
+  }
+  std::size_t next = core;
+  for (std::size_t c = 0; c < chains; ++c) {
+    auto prev = static_cast<graph::NodeIndex>(c % core);
+    for (std::size_t i = 0; i < chain_len; ++i) {
+      const auto v = static_cast<graph::NodeIndex>(next++);
+      b.add_edge(prev, v);
+      prev = v;
+    }
+  }
+  return std::move(b).build();
+}
+
+/// Scenario 4's result sheet: the closed-loop scheduler A/B on the skewed
+/// and uniform instances, plus the open-loop (arrival-rate-driven) phase.
+struct ServingResult {
+  std::size_t n = 0;
+  std::size_t core = 0;
+  unsigned t = 0;
+  std::size_t labelings = 0;
+  unsigned threads = 1;
+  // Closed loop, skewed instance: identical batch under both schedulers.
+  double static_ms = 0.0;
+  double stealing_ms = 0.0;
+  double steal_speedup = 0.0;       ///< static_ms / stealing_ms
+  std::uint64_t sweep_chunks = 0;   ///< stealing run, all sweeps
+  std::uint64_t sweep_steals = 0;   ///< chunks run off their static home
+  double busy_p50_us = 0.0;         ///< per-slot claim-loop busy time
+  double busy_p99_us = 0.0;
+  // Closed loop, uniform instance: stealing must not regress where the
+  // static split was already balanced.
+  double uniform_static_ms = 0.0;
+  double uniform_stealing_ms = 0.0;
+  double uniform_ratio = 0.0;       ///< uniform_static_ms / uniform_stealing_ms
+  // Open loop over the skewed instance (stealing sweep): requests arrive on
+  // a deterministic schedule; latency includes queueing delay.
+  double offered_per_sec = 0.0;
+  double sustained_per_sec = 0.0;
+  double latency_p50_ms = 0.0;
+  double latency_p99_ms = 0.0;
+  bool verdicts_identical = false;
+};
+
+/// One closed-loop contender: runs the whole batch under `mode` against a
+/// shared warm atlas and returns wall-clock ms.
+double time_scheduler_ms(const core::Scheme& scheme,
+                         const local::Configuration& cfg, unsigned t,
+                         unsigned threads, radius::BatchOptions::SweepMode mode,
+                         std::span<const core::Labeling> labs,
+                         const std::shared_ptr<radius::GeometryAtlas>& atlas,
+                         obs::MetricsRegistry* registry,
+                         std::vector<core::Verdict>& out) {
+  radius::BatchOptions options;
+  options.threads = threads;
+  options.sweep = mode;
+  options.atlas = atlas;
+  options.metrics = registry;
+  radius::BatchVerifier verifier(scheme, cfg, t, options);
+  const auto start = std::chrono::steady_clock::now();
+  out = verifier.run(labs);
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(stop - start).count();
+}
+
+ServingResult measure_serving(const core::Scheme& scheme,
+                              const local::Configuration& skewed_cfg,
+                              std::size_t core,
+                              const local::Configuration& uniform_cfg,
+                              unsigned t, unsigned threads,
+                              std::span<const core::Labeling> skewed_labs,
+                              std::span<const core::Labeling> uniform_labs,
+                              double arrival_rate,
+                              obs::MetricsRegistry& registry) {
+  ServingResult r;
+  r.n = skewed_cfg.n();
+  r.core = core;
+  r.t = t;
+  r.labelings = skewed_labs.size();
+  r.threads = threads;
+
+  // Shared warm atlases per instance: geometry build cost is scenario 2's
+  // subject; here both schedulers must sweep the same cached balls.
+  auto skewed_atlas = std::make_shared<radius::GeometryAtlas>();
+  auto uniform_atlas = std::make_shared<radius::GeometryAtlas>();
+  {
+    radius::BatchOptions warm;
+    warm.threads = threads;
+    warm.atlas = skewed_atlas;
+    radius::BatchVerifier(scheme, skewed_cfg, t, warm)
+        .run_one(skewed_labs[0]);
+    warm.atlas = uniform_atlas;
+    radius::BatchVerifier(scheme, uniform_cfg, t, warm)
+        .run_one(uniform_labs[0]);
+  }
+
+  std::vector<core::Verdict> static_v, stealing_v;
+  r.static_ms = time_scheduler_ms(scheme, skewed_cfg, t, threads,
+                                  radius::BatchOptions::SweepMode::kStatic,
+                                  skewed_labs, skewed_atlas, nullptr,
+                                  static_v);
+  const obs::MetricsSnapshot before = registry.snapshot();
+  r.stealing_ms = time_scheduler_ms(scheme, skewed_cfg, t, threads,
+                                    radius::BatchOptions::SweepMode::kStealing,
+                                    skewed_labs, skewed_atlas, &registry,
+                                    stealing_v);
+  r.steal_speedup = r.static_ms / r.stealing_ms;
+  const obs::MetricsSnapshot stealing_snap = registry.snapshot().since(before);
+  r.sweep_chunks = stealing_snap.counters.at("verify.sweep_chunks");
+  r.sweep_steals = stealing_snap.counters.at("verify.sweep_steals");
+  {
+    const obs::HistogramSnapshot& busy =
+        stealing_snap.histograms.at("verify.worker_busy_ns");
+    r.busy_p50_us = static_cast<double>(busy.quantile(0.5)) / 1e3;
+    r.busy_p99_us = static_cast<double>(busy.quantile(0.99)) / 1e3;
+  }
+
+  std::vector<core::Verdict> uniform_static_v, uniform_stealing_v;
+  r.uniform_static_ms = time_scheduler_ms(
+      scheme, uniform_cfg, t, threads,
+      radius::BatchOptions::SweepMode::kStatic, uniform_labs, uniform_atlas,
+      nullptr, uniform_static_v);
+  r.uniform_stealing_ms = time_scheduler_ms(
+      scheme, uniform_cfg, t, threads,
+      radius::BatchOptions::SweepMode::kStealing, uniform_labs, uniform_atlas,
+      nullptr, uniform_stealing_v);
+  r.uniform_ratio = r.uniform_static_ms / r.uniform_stealing_ms;
+
+  // Open loop: requests arrive at i / rate on one deterministic schedule
+  // (not closed-loop: the next arrival does not wait for the previous
+  // completion, so a slow sweep shows up as queueing delay in the NEXT
+  // request's latency — the number a serving deployment actually quotes).
+  // Default rate: 80% of the measured closed-loop stealing throughput, the
+  // sustainable-regime convention.
+  const double closed_loop_per_sec =
+      static_cast<double>(skewed_labs.size()) / (r.stealing_ms / 1000.0);
+  r.offered_per_sec =
+      arrival_rate > 0.0 ? arrival_rate : 0.8 * closed_loop_per_sec;
+  {
+    radius::BatchOptions options;
+    options.threads = threads;
+    options.sweep = radius::BatchOptions::SweepMode::kStealing;
+    options.atlas = skewed_atlas;
+    options.metrics = &registry;
+    radius::BatchVerifier server(scheme, skewed_cfg, t, options);
+    obs::Histogram& latency = registry.histogram("serve.latency_ns");
+    const auto open_start = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < skewed_labs.size(); ++i) {
+      const auto scheduled =
+          open_start + std::chrono::duration_cast<
+                           std::chrono::steady_clock::duration>(
+                           std::chrono::duration<double>(
+                               static_cast<double>(i) / r.offered_per_sec));
+      std::this_thread::sleep_until(scheduled);
+      const core::Verdict got = server.run_one(skewed_labs[i]);
+      const auto done = std::chrono::steady_clock::now();
+      latency.record(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(done -
+                                                               scheduled)
+              .count()));
+      PLS_ASSERT(same_verdict(got, stealing_v[i]));
+    }
+    const auto open_stop = std::chrono::steady_clock::now();
+    const double window_s =
+        std::chrono::duration<double>(open_stop - open_start).count();
+    r.sustained_per_sec =
+        static_cast<double>(skewed_labs.size()) / window_s;
+    const obs::HistogramSnapshot lat_snap = latency.snapshot();
+    r.latency_p50_ms = static_cast<double>(lat_snap.quantile(0.5)) / 1e6;
+    r.latency_p99_ms = static_cast<double>(lat_snap.quantile(0.99)) / 1e6;
+  }
+
+  bool identical = static_v.size() == stealing_v.size() &&
+                   uniform_static_v.size() == uniform_stealing_v.size();
+  for (std::size_t i = 0; identical && i < static_v.size(); ++i)
+    identical = same_verdict(static_v[i], stealing_v[i]);
+  for (std::size_t i = 0; identical && i < uniform_static_v.size(); ++i)
+    identical = same_verdict(uniform_static_v[i], uniform_stealing_v[i]);
+  // And across thread counts on the skewed instance, stealing vs the
+  // deterministic static oracle — assignment nondeterminism must never
+  // reach the verdict bytes.
+  for (const unsigned check_threads :
+       {1u, 2u, util::ThreadPool::hardware_threads()}) {
+    radius::BatchOptions options;
+    options.threads = check_threads;
+    options.sweep = radius::BatchOptions::SweepMode::kStealing;
+    options.atlas = skewed_atlas;
+    radius::BatchVerifier check(scheme, skewed_cfg, t, options);
+    const std::vector<core::Verdict> got = check.run(skewed_labs);
+    for (std::size_t i = 0; identical && i < got.size(); ++i)
+      identical = same_verdict(got[i], static_v[i]);
+  }
+  r.verdicts_identical = identical;
+  PLS_ASSERT(identical);
+  return r;
+}
+
 double t8_speedup_sequential(const std::vector<Row>& rows) {
   for (const Row& r : rows)
     if (r.t == 8) return r.baseline_ms / r.session_seq_ms;
@@ -519,11 +768,45 @@ void emit_batch(obs::JsonWriter& json, const BatchResult& b,
   json.end_object();
 }
 
+/// Writes the serving-scenario object (docs/metrics-schema.md,
+/// "Serving artifact"): closed-loop scheduler A/B plus the open-loop phase.
+void emit_serving(obs::JsonWriter& json, const ServingResult& r,
+                  const obs::MetricsSnapshot& metrics, std::uint64_t seed) {
+  json.begin_object();
+  json.kv("bench", "verify_serving");
+  json.kv("seed", seed);
+  json.kv("n", r.n);
+  json.kv("core", r.core);
+  json.kv("t", r.t);
+  json.kv("labelings", r.labelings);
+  json.kv("threads", r.threads);
+  json.kv("static_ms", r.static_ms);
+  json.kv("stealing_ms", r.stealing_ms);
+  json.kv("steal_speedup", r.steal_speedup);
+  json.kv("sweep_chunks", r.sweep_chunks);
+  json.kv("sweep_steals", r.sweep_steals);
+  json.kv("busy_p50_us", r.busy_p50_us);
+  json.kv("busy_p99_us", r.busy_p99_us);
+  json.kv("uniform_static_ms", r.uniform_static_ms);
+  json.kv("uniform_stealing_ms", r.uniform_stealing_ms);
+  json.kv("uniform_ratio", r.uniform_ratio);
+  json.kv("offered_per_sec", r.offered_per_sec);
+  json.kv("sustained_per_sec", r.sustained_per_sec);
+  json.kv("latency_p50_ms", r.latency_p50_ms);
+  json.kv("latency_p99_ms", r.latency_p99_ms);
+  json.kv("verdicts_identical", r.verdicts_identical);
+  json.key("metrics");
+  metrics.write_json(json);
+  json.end_object();
+}
+
 void emit(std::ostream& out, const std::vector<Row>& rows,
           const BatchResult& batch, const obs::MetricsSnapshot& batch_metrics,
           const IncrementalResult& incremental,
-          const obs::MetricsSnapshot& incr_metrics, double disabled_span_ns,
-          std::uint64_t seed) {
+          const obs::MetricsSnapshot& incr_metrics,
+          const ServingResult& serving,
+          const obs::MetricsSnapshot& serving_metrics,
+          double disabled_span_ns, std::uint64_t seed) {
   const double t8_speedup_seq = t8_speedup_sequential(rows);
   double t8_speedup_par = 0.0;
   for (const Row& r : rows)
@@ -557,6 +840,8 @@ void emit(std::ostream& out, const std::vector<Row>& rows,
   emit_batch(json, batch, batch_metrics, seed);
   json.key("incremental");
   emit_incremental(json, incremental, incr_metrics, seed);
+  json.key("serving");
+  emit_serving(json, serving, serving_metrics, seed);
   json.end_object();
   PLS_ASSERT(json.finished());
 }
@@ -587,6 +872,8 @@ int main(int argc, char** argv) {
   const std::string incremental_out_path =
       args.take_value("incremental-out").value_or("");
   const std::string trace_out_path = args.take_value("trace-out").value_or("");
+  const std::string serving_out_path =
+      args.take_value("serving-out").value_or("");
   const std::uint64_t seed = args.take_seed(kDefaultSeed);
   const unsigned threads =
       args.take_unsigned("threads", util::ThreadPool::hardware_threads());
@@ -600,13 +887,19 @@ int main(int argc, char** argv) {
       args.take_double("require-incremental-speedup", 0.0);
   const double max_disabled_span_ns =
       args.take_double("max-disabled-span-ns", 0.0);
+  const double require_steal_speedup =
+      args.take_double("require-steal-speedup", 0.0);
+  const double require_uniform_ratio =
+      args.take_double("require-uniform-ratio", 0.0);
+  const double arrival_rate = args.take_double("arrival-rate", 0.0);
   if (!args.finish("bench_verify_scale [--smoke] [--out FILE] "
                    "[--batch-out FILE] [--incremental-out FILE] "
-                   "[--trace-out FILE] [--seed S] "
+                   "[--trace-out FILE] [--serving-out FILE] [--seed S] "
                    "[--threads T] [--t T] [--labelings L] "
                    "[--require-speedup X] [--require-batch-speedup X] "
                    "[--require-incremental-speedup X] "
-                   "[--max-disabled-span-ns X]"))
+                   "[--max-disabled-span-ns X] [--require-steal-speedup X] "
+                   "[--require-uniform-ratio R] [--arrival-rate A]"))
     return 2;
   PLS_REQUIRE(batch_t >= 1 && labeling_count >= 1 && threads >= 1);
 
@@ -728,20 +1021,63 @@ int main(int argc, char** argv) {
   }
   const obs::MetricsSnapshot incr_metrics = incr_registry.snapshot();
 
+  // Scenario 4: the serving tier.  The skewed instance is where the static
+  // contiguous split demonstrably starves cores — a dense chorded-ring core
+  // on the low sixteenth of the index space (fat radius-t balls) plus sparse
+  // chains over the rest — so the closed-loop A/B pins the scheduler win,
+  // the uniform A/B (scenario 2's random instance, same labelings) pins the
+  // no-regression bound, and the open-loop phase reports what a deployment
+  // quotes: sustained labelings/sec and p50/p99 latency at a fixed offered
+  // rate.  Verdict identity across schedulers and thread counts is asserted
+  // inside measure_serving.
+  ServingResult serving;
+  obs::MetricsRegistry serving_registry;
+  {
+    const std::size_t serving_core = n / 16;
+    const std::size_t serving_chains = 32;
+    const std::size_t chain_len = (n - serving_core) / serving_chains;
+    util::Rng serving_rng(seed ^ kServingSalt);
+    graph::Graph skewed_base =
+        skewed_core_chain_graph(serving_core, serving_chains, chain_len);
+    auto skewed_g = std::make_shared<const graph::Graph>(
+        graph::relabel_random(skewed_base, serving_rng, kIdSpace));
+    const local::Configuration skewed_cfg =
+        language.sample_legal(skewed_g, serving_rng);
+    const std::vector<core::Labeling> skewed_labs = candidate_labelings(
+        batch_scheme, skewed_cfg, labeling_count, serving_rng);
+    serving = measure_serving(batch_scheme, skewed_cfg, serving_core, cfg,
+                              batch_t, threads, skewed_labs, labs,
+                              arrival_rate, serving_registry);
+    std::cerr << "serving n=" << serving.n << " core=" << serving.core
+              << " t=" << serving.t << " labelings=" << serving.labelings
+              << " threads=" << serving.threads
+              << " static_ms=" << serving.static_ms
+              << " stealing_ms=" << serving.stealing_ms
+              << " steal_speedup=" << serving.steal_speedup
+              << " steals=" << serving.sweep_steals << "/"
+              << serving.sweep_chunks
+              << " uniform_ratio=" << serving.uniform_ratio
+              << " offered_per_sec=" << serving.offered_per_sec
+              << " sustained_per_sec=" << serving.sustained_per_sec
+              << " latency_p50_ms=" << serving.latency_p50_ms
+              << " latency_p99_ms=" << serving.latency_p99_ms << "\n";
+  }
+  const obs::MetricsSnapshot serving_metrics = serving_registry.snapshot();
+
   const double disabled_span_ns = disabled_span_cost_ns(1u << 20);
   std::cerr << "disabled_span_ns=" << disabled_span_ns << "\n";
 
   if (out_path.empty()) {
     emit(std::cout, rows, batch, batch_metrics, incremental, incr_metrics,
-         disabled_span_ns, seed);
+         serving, serving_metrics, disabled_span_ns, seed);
   } else {
     std::ofstream out(out_path);
     if (!out) {
       std::cerr << "cannot open " << out_path << "\n";
       return 1;
     }
-    emit(out, rows, batch, batch_metrics, incremental, incr_metrics,
-         disabled_span_ns, seed);
+    emit(out, rows, batch, batch_metrics, incremental, incr_metrics, serving,
+         serving_metrics, disabled_span_ns, seed);
     std::cout << "wrote " << out_path << "\n";
   }
   if (!batch_out_path.empty()) {
@@ -765,6 +1101,17 @@ int main(int argc, char** argv) {
     emit_incremental(json, incremental, incr_metrics, seed);
     PLS_ASSERT(json.finished());
     std::cout << "wrote " << incremental_out_path << "\n";
+  }
+  if (!serving_out_path.empty()) {
+    std::ofstream out(serving_out_path);
+    if (!out) {
+      std::cerr << "cannot open " << serving_out_path << "\n";
+      return 1;
+    }
+    obs::JsonWriter json(out);
+    emit_serving(json, serving, serving_metrics, seed);
+    PLS_ASSERT(json.finished());
+    std::cout << "wrote " << serving_out_path << "\n";
   }
 
   if (require_speedup > 0.0) {
@@ -794,6 +1141,25 @@ int main(int argc, char** argv) {
     }
     std::cerr << "incremental speedup " << incremental.speedup
               << " >= required " << require_incremental_speedup << "\n";
+  }
+  if (require_steal_speedup > 0.0) {
+    if (serving.steal_speedup < require_steal_speedup) {
+      std::cerr << "FAIL: steal speedup " << serving.steal_speedup
+                << " < required " << require_steal_speedup << "\n";
+      return 1;
+    }
+    std::cerr << "steal speedup " << serving.steal_speedup << " >= required "
+              << require_steal_speedup << "\n";
+  }
+  if (require_uniform_ratio > 0.0) {
+    if (serving.uniform_ratio < require_uniform_ratio) {
+      std::cerr << "FAIL: uniform static/stealing ratio "
+                << serving.uniform_ratio << " < required "
+                << require_uniform_ratio << "\n";
+      return 1;
+    }
+    std::cerr << "uniform static/stealing ratio " << serving.uniform_ratio
+              << " >= required " << require_uniform_ratio << "\n";
   }
   if (max_disabled_span_ns > 0.0) {
     if (disabled_span_ns > max_disabled_span_ns) {

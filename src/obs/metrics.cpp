@@ -208,6 +208,8 @@ void absorb(MetricsRegistry& registry, const radius::DeltaStats& stats) {
                      static_cast<double>(stats.links_incremental));
   registry.set_gauge("delta.links_full",
                      static_cast<double>(stats.links_full));
+  registry.set_gauge("delta.link_reseeds",
+                     static_cast<double>(stats.link_reseeds));
   registry.set_gauge("delta.centers_reswept",
                      static_cast<double>(stats.centers_reswept));
   registry.set_gauge("delta.verdicts_carried",

@@ -15,6 +15,7 @@ BatchVerifier::BatchVerifier(const core::Scheme& scheme,
       t_(t),
       threads_(options.threads == 0 ? util::ThreadPool::hardware_threads()
                                     : options.threads),
+      sweep_mode_(options.sweep),
       atlas_(options.atlas != nullptr
                  ? std::move(options.atlas)
                  : std::make_shared<GeometryAtlas>()) {
@@ -36,7 +37,20 @@ BatchVerifier::BatchVerifier(const core::Scheme& scheme,
     metrics_.delta_parse = &m.histogram("delta.reparse_link_ns");
     metrics_.delta_collect = &m.histogram("delta.collect_ns");
     metrics_.delta_sweep = &m.histogram("delta.resweep_ns");
+    metrics_.sweep_chunks = &m.counter("verify.sweep_chunks");
+    metrics_.sweep_steals = &m.counter("verify.sweep_steals");
+    metrics_.worker_busy = &m.histogram("verify.worker_busy_ns");
   }
+}
+
+void BatchVerifier::record_sweep_stats() {
+  if (sweep_mode_ != BatchOptions::SweepMode::kStealing) return;
+  if (metrics_.sweep_chunks == nullptr) return;  // no registry supplied
+  const util::RangeStats& stats = pool_->last_range_stats();
+  metrics_.sweep_chunks->add(stats.chunks);
+  metrics_.sweep_steals->add(stats.steals);
+  for (const std::uint64_t busy : stats.worker_busy_ns)
+    metrics_.worker_busy->record(busy);
 }
 
 void BatchVerifier::parse_link(const core::Labeling& labeling,
@@ -126,7 +140,11 @@ void BatchVerifier::post_sweep(const core::Labeling& labeling,
                                std::vector<std::uint8_t>& accept) {
   const std::size_t n = cfg_.n();
   accept.assign(n, 0);
-  pool_->post_range(n, sweep_fn(labeling, parsed, {}, accept));
+  if (sweep_mode_ == BatchOptions::SweepMode::kStealing) {
+    pool_->post_range_stealing(n, sweep_fn(labeling, parsed, {}, accept));
+  } else {
+    pool_->post_range(n, sweep_fn(labeling, parsed, {}, accept));
+  }
 }
 
 void BatchVerifier::sweep_dirty(const core::Labeling& labeling,
@@ -135,7 +153,13 @@ void BatchVerifier::sweep_dirty(const core::Labeling& labeling,
                                 std::vector<std::uint8_t>& accept) {
   PLS_ASSERT(accept.size() == cfg_.n());
   if (dirty.empty()) return;
-  pool_->for_range(dirty.size(), sweep_fn(labeling, parsed, dirty, accept));
+  if (sweep_mode_ == BatchOptions::SweepMode::kStealing) {
+    pool_->for_range_stealing(dirty.size(),
+                              sweep_fn(labeling, parsed, dirty, accept));
+    record_sweep_stats();
+  } else {
+    pool_->for_range(dirty.size(), sweep_fn(labeling, parsed, dirty, accept));
+  }
 }
 
 std::vector<core::Verdict> BatchVerifier::run(
@@ -194,6 +218,7 @@ std::vector<core::Verdict> BatchVerifier::run(
         }
       }
       pool_->finish_range();
+      record_sweep_stats();
     }
 
     std::vector<bool> bits(n);
@@ -259,6 +284,7 @@ core::Verdict BatchVerifier::run_delta(const core::Labeling& next,
       ball_scheme_->relink_parses(*link_state_, parsed.storage,
                                   delta.touched);
       ++delta_stats_.links_incremental;
+      delta_stats_.link_reseeds = link_state_->reseeds;
     } else {
       ball_scheme_->link_parses(parsed.storage);
       ++delta_stats_.links_full;

@@ -11,8 +11,10 @@
 //                  (BallScheme::parse_cert), then the single-threaded link
 //                  phase interns repeated payloads (link_parses).
 //   3. SWEEP     — per-center verify_ball over geometry bound to the
-//                  labeling, fanned out over util::ThreadPool with the
-//                  static deterministic partition.
+//                  labeling, fanned out over util::ThreadPool — by default
+//                  the work-stealing chunked split (skewed ball sizes
+//                  rebalance across slots), optionally the static
+//                  contiguous partition (BatchOptions::sweep).
 //
 // BatchVerifier pins one (scheme, configuration, t) and verifies any number
 // of labelings against it.  For a batch, the stages overlap: while the pool
@@ -72,6 +74,16 @@ struct BatchOptions {
   /// on any hot path; histogram handles are resolved once per name at
   /// construction, never per labeling.  Must outlive the verifier.
   obs::MetricsRegistry* metrics = nullptr;
+  /// Stage-3 scheduler.  kStealing (the default) has the sweep claim
+  /// fixed-size center chunks from a shared cursor
+  /// (ThreadPool::post_range_stealing), so on skewed instances a slot that
+  /// drew light balls takes load off the fat region instead of idling
+  /// behind the static split.  kStatic keeps the contiguous deterministic
+  /// partition (one slice per slot).  Verdict bytes are per-center disjoint
+  /// and per-worker scratch is keyed by execution slot, so verdicts are
+  /// bit-identical across both modes at every thread count.
+  enum class SweepMode { kStealing, kStatic };
+  SweepMode sweep = SweepMode::kStealing;
 };
 
 class BatchVerifier {
@@ -163,12 +175,17 @@ class BatchVerifier {
                    const ParsedLabeling& parsed,
                    std::span<const graph::NodeIndex> dirty,
                    std::vector<std::uint8_t>& accept);
+  /// Publishes the completed stealing job's RangeStats (steal/chunk counts,
+  /// per-slot busy time) to the metrics sinks; no-op under kStatic or with
+  /// no registry.  Call after finish_range()/for_range_stealing returns.
+  void record_sweep_stats();
 
   const core::Scheme& scheme_;
   const BallScheme* ball_scheme_;  // nullptr for plain 1-round schemes
   const local::Configuration& cfg_;
   unsigned t_;
   unsigned threads_;
+  BatchOptions::SweepMode sweep_mode_;
   std::shared_ptr<GeometryAtlas> atlas_;
   std::unique_ptr<util::ThreadPool> pool_;
 
@@ -209,6 +226,9 @@ class BatchVerifier {
     obs::Histogram* delta_parse = nullptr;    ///< delta.reparse_link_ns
     obs::Histogram* delta_collect = nullptr;  ///< delta.collect_ns
     obs::Histogram* delta_sweep = nullptr;    ///< delta.resweep_ns
+    obs::Counter* sweep_chunks = nullptr;     ///< verify.sweep_chunks
+    obs::Counter* sweep_steals = nullptr;     ///< verify.sweep_steals
+    obs::Histogram* worker_busy = nullptr;    ///< verify.worker_busy_ns
   };
   StageMetrics metrics_;
 };

@@ -59,6 +59,8 @@ struct DeltaStats {
   std::uint64_t certs_reparsed = 0;    ///< stage-2 parses done by delta runs
   std::uint64_t links_incremental = 0; ///< relink_parses calls (stable ids)
   std::uint64_t links_full = 0;        ///< full-relink fallbacks
+  std::uint64_t link_reseeds = 0;      ///< LinkState memory-bound rebuilds
+                                       ///< (intern-table epoch resets)
   std::uint64_t centers_reswept = 0;   ///< stage-3 verify calls by delta runs
   std::uint64_t verdicts_carried = 0;  ///< clean centers spliced, not swept
 };

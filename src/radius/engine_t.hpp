@@ -17,6 +17,7 @@
 //     verification_round_bits at t = 1.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <string>
@@ -52,6 +53,12 @@ struct SchemeAttack {
 class LinkState {
  public:
   virtual ~LinkState() = default;
+
+  /// Times the scheme rebuilt this state from scratch mid-stream to bound
+  /// its memory (the spread schemes re-seed their append-only intern table
+  /// once dead ids outnumber live ones, parse_link.hpp).  Cumulative over
+  /// the state's lifetime; surfaced as DeltaStats::link_reseeds.
+  std::uint64_t reseeds = 0;
 
  protected:
   LinkState() = default;

@@ -24,15 +24,26 @@
 //     forward from any earlier run still compares classes correctly — in
 //     particular a certificate mutated *back* to its previous value gets its
 //     previous id again.
+//
+// Append-only is a leak under an unbounded mutation stream: every novel
+// payload mints a new entry and nothing ever retires, even though at most n
+// payloads are live (one per resident parse).  relink_chunk_classes therefore
+// re-seeds — runs the O(n) stateful full link — once the table exceeds
+// kReseedClassMultiple * n.  A full link is the stability contract's epoch
+// boundary anyway: it resets the table and re-interns every resident parse in
+// one pass, so no comparison ever mixes ids from both sides of the reset.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <span>
 #include <unordered_map>
 
 #include "radius/ball.hpp"
 #include "radius/engine_t.hpp"
+#include "util/assert.hpp"
 #include "util/bitstring.hpp"
 
 namespace pls::radius::detail {
@@ -45,6 +56,11 @@ class ChunkInternState final : public LinkState {
       classes;
 };
 
+/// Incremental relinks re-seed the intern table (O(n) full link) once it
+/// exceeds this multiple of the resident parse count, bounding a delta
+/// stream's memory at ~kReseedClassMultiple live-set sizes of dead ids.
+inline constexpr std::size_t kReseedClassMultiple = 4;
+
 template <typename Parsed>
 void intern_into(
     std::unordered_map<util::BitString, std::uint32_t, util::BitStringHash>&
@@ -52,6 +68,12 @@ void intern_into(
     const std::unique_ptr<ParsedCert>& p) {
   if (p == nullptr) return;
   auto* sp = static_cast<Parsed*>(p.get());
+  // Ids are minted from the table size: past 2^32 entries the cast would
+  // wrap and silently alias two distinct payloads — the one failure a
+  // verifier must never turn into a wrong verdict.  The re-seed bound keeps
+  // real streams far below this; the check makes the contract explicit.
+  PLS_ASSERT(classes.size() <=
+             std::numeric_limits<std::uint32_t>::max());
   const auto [it, inserted] =
       classes.emplace(sp->wire.chunk, static_cast<std::uint32_t>(classes.size()));
   sp->chunk_class = it->second;
@@ -78,13 +100,18 @@ void intern_chunk_classes_stateful(
 }
 
 /// Incremental relink: re-interns only `touched` entries against the
-/// persistent (append-only since the last full link) table.
+/// persistent (append-only since the last full link) table, then re-seeds
+/// via the stateful full link if the table has outgrown its bound.
 template <typename Parsed>
 void relink_chunk_classes(ChunkInternState& state,
                           std::span<const std::unique_ptr<ParsedCert>> parsed,
                           std::span<const graph::NodeIndex> touched) {
   for (const graph::NodeIndex v : touched)
     intern_into<Parsed>(state.classes, parsed[v]);
+  if (state.classes.size() > kReseedClassMultiple * parsed.size()) {
+    intern_chunk_classes_stateful<Parsed>(state, parsed);
+    ++state.reseeds;
+  }
 }
 
 }  // namespace pls::radius::detail

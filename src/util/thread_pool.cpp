@@ -1,11 +1,26 @@
 #include "util/thread_pool.hpp"
 
+#include <algorithm>
+#include <chrono>
+
 #include "obs/trace.hpp"
 #include "util/assert.hpp"
 
 namespace pls::util {
 
-ThreadPool::ThreadPool(unsigned threads) : threads_(threads) {
+namespace {
+
+std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(unsigned threads)
+    : threads_(threads), worker_stats_(threads) {
   PLS_REQUIRE(threads >= 1);
   workers_.reserve(threads_ - 1);
   for (unsigned w = 1; w < threads_; ++w)
@@ -26,11 +41,49 @@ unsigned ThreadPool::hardware_threads() noexcept {
   return hw == 0 ? 1 : hw;
 }
 
+std::size_t ThreadPool::default_chunk(std::size_t n) const noexcept {
+  // ~16 chunks per slot: fine enough that one fat region rebalances across
+  // the pool, coarse enough that the shared-cursor fetch_add stays noise.
+  return std::max<std::size_t>(1, n / (std::size_t{threads_} * 16));
+}
+
+std::exception_ptr ThreadPool::run_stealing(unsigned worker, const RangeFn& fn,
+                                            std::size_t n, std::size_t chunk,
+                                            std::size_t chunk_count,
+                                            WorkerTotals& totals) noexcept {
+  std::exception_ptr error;
+  const std::uint64_t start = now_ns();
+  while (true) {
+    // Relaxed: uniqueness of the claimed index is the only requirement; the
+    // chunk's data dependencies are ordered by the job hand-off mutex.
+    const std::size_t c = steal_next_.fetch_add(1, std::memory_order_relaxed);
+    if (c >= chunk_count) break;
+    const std::size_t begin = c * chunk;
+    const std::size_t end = std::min(n, begin + chunk);
+    try {
+      // Span per executed chunk: a straggler's load shows as its chunks
+      // migrating to peer slots instead of one long stuck slice.
+      PLS_TRACE_SPAN("pool.chunk", worker);
+      fn(worker, begin, end);
+    } catch (...) {
+      error = std::current_exception();
+      break;  // stop claiming; peers drain the rest
+    }
+    ++totals.chunks;
+    if (chunk_home(c, chunk_count, threads_) != worker) ++totals.steals;
+  }
+  totals.busy_ns += now_ns() - start;
+  return error;
+}
+
 void ThreadPool::worker_loop(unsigned worker) {
   std::uint64_t seen = 0;
   while (true) {
     const RangeFn* fn = nullptr;
     std::size_t n = 0;
+    bool stealing = false;
+    std::size_t chunk = 1;
+    std::size_t chunk_count = 0;
     {
       MutexLock lock(mu_);
       // Explicit wait loop (not the predicate-lambda overload): the guarded
@@ -40,22 +93,31 @@ void ThreadPool::worker_loop(unsigned worker) {
       seen = generation_;
       fn = job_;
       n = job_n_;
+      stealing = job_stealing_;
+      chunk = job_chunk_;
+      chunk_count = job_chunk_count_;
     }
-    const auto [begin, end] = slice(n, threads_, worker);
     std::exception_ptr error;
-    if (begin < end) {
-      try {
-        // Span per executed slice: exposes per-slot skew (a straggling
-        // worker shows as one long "pool.slice" while its peers idle).
-        PLS_TRACE_SPAN("pool.slice", worker);
-        (*fn)(worker, begin, end);
-      } catch (...) {
-        error = std::current_exception();
+    WorkerTotals totals;
+    if (stealing) {
+      error = run_stealing(worker, *fn, n, chunk, chunk_count, totals);
+    } else {
+      const auto [begin, end] = slice(n, threads_, worker);
+      if (begin < end) {
+        try {
+          // Span per executed slice: exposes per-slot skew (a straggling
+          // worker shows as one long "pool.slice" while its peers idle).
+          PLS_TRACE_SPAN("pool.slice", worker);
+          (*fn)(worker, begin, end);
+        } catch (...) {
+          error = std::current_exception();
+        }
       }
     }
     {
       MutexLock lock(mu_);
       if (error && !first_error_) first_error_ = std::move(error);
+      if (stealing) worker_stats_[worker] = totals;
       if (--remaining_ == 0) done_cv_.notify_one();
     }
   }
@@ -69,23 +131,87 @@ void ThreadPool::for_range(std::size_t n, const RangeFn& fn) {
     fn(0, 0, n);
     return;
   }
-  start_workers(&fn, n);
+  start_workers(&fn, n, /*stealing=*/false, 1, 0);
   join_workers(fn, n);
+}
+
+void ThreadPool::for_range_stealing(std::size_t n, const RangeFn& fn,
+                                    RangeOptions options) {
+  PLS_REQUIRE(!posted_);
+  if (n == 0) {
+    last_stats_ = RangeStats{};
+    last_stats_.worker_busy_ns.assign(threads_, 0);
+    return;
+  }
+  const std::size_t chunk =
+      options.chunk != 0 ? options.chunk : default_chunk(n);
+  const std::size_t chunk_count = (n + chunk - 1) / chunk;
+  if (threads_ == 1) {
+    // Sequential fallback: one claimant drains the cursor in index order —
+    // the same traversal as a plain loop, split into contiguous calls; no
+    // threads spawned, no steals possible.
+    steal_next_.store(0, std::memory_order_relaxed);
+    WorkerTotals own;
+    const std::exception_ptr error =
+        run_stealing(0, fn, n, chunk, chunk_count, own);
+    last_stats_.chunks = own.chunks;
+    last_stats_.steals = own.steals;
+    last_stats_.worker_busy_ns.assign(1, own.busy_ns);
+    if (error) std::rethrow_exception(error);
+    return;
+  }
+  start_workers(&fn, n, /*stealing=*/true, chunk, chunk_count);
+  join_workers_stealing(fn, n, chunk, chunk_count);
 }
 
 void ThreadPool::post_range(std::size_t n, RangeFn fn) {
   PLS_REQUIRE(!posted_);
   posted_fn_ = std::move(fn);
   posted_ = true;
+  posted_stealing_ = false;
   posted_n_ = n;
   if (n == 0 || threads_ == 1) return;  // whole range runs in finish_range
-  start_workers(&posted_fn_, n);
+  start_workers(&posted_fn_, n, /*stealing=*/false, 1, 0);
+}
+
+void ThreadPool::post_range_stealing(std::size_t n, RangeFn fn,
+                                     RangeOptions options) {
+  PLS_REQUIRE(!posted_);
+  posted_fn_ = std::move(fn);
+  posted_ = true;
+  posted_stealing_ = true;
+  posted_n_ = n;
+  posted_chunk_ = options.chunk != 0 ? options.chunk : default_chunk(n);
+  posted_chunk_count_ = (n + posted_chunk_ - 1) / posted_chunk_;
+  if (n == 0 || threads_ == 1) return;  // whole range runs in finish_range
+  start_workers(&posted_fn_, n, /*stealing=*/true, posted_chunk_,
+                posted_chunk_count_);
 }
 
 void ThreadPool::finish_range() {
   PLS_REQUIRE(posted_);
   posted_ = false;
   const std::size_t n = posted_n_;
+  if (posted_stealing_) {
+    if (n == 0) {
+      last_stats_ = RangeStats{};
+      last_stats_.worker_busy_ns.assign(threads_, 0);
+      return;
+    }
+    if (threads_ == 1) {
+      steal_next_.store(0, std::memory_order_relaxed);
+      WorkerTotals own;
+      const std::exception_ptr error = run_stealing(
+          0, posted_fn_, n, posted_chunk_, posted_chunk_count_, own);
+      last_stats_.chunks = own.chunks;
+      last_stats_.steals = own.steals;
+      last_stats_.worker_busy_ns.assign(1, own.busy_ns);
+      if (error) std::rethrow_exception(error);
+      return;
+    }
+    join_workers_stealing(posted_fn_, n, posted_chunk_, posted_chunk_count_);
+    return;
+  }
   if (n == 0) return;
   if (threads_ == 1) {
     // Sequential fallback: the deferred range is the plain loop.
@@ -96,11 +222,21 @@ void ThreadPool::finish_range() {
   join_workers(posted_fn_, n);
 }
 
-void ThreadPool::start_workers(const RangeFn* fn, std::size_t n) {
+void ThreadPool::start_workers(const RangeFn* fn, std::size_t n, bool stealing,
+                               std::size_t chunk, std::size_t chunk_count) {
+  // Reset the cursor before publishing the job: the generation_ bump under
+  // mu_ is the release edge workers synchronize with, so no worker can read
+  // the new job without also observing the reset cursor.
+  if (stealing) steal_next_.store(0, std::memory_order_relaxed);
   {
     MutexLock lock(mu_);
     job_ = fn;
     job_n_ = n;
+    job_stealing_ = stealing;
+    job_chunk_ = chunk;
+    job_chunk_count_ = chunk_count;
+    if (stealing)
+      std::fill(worker_stats_.begin(), worker_stats_.end(), WorkerTotals{});
     remaining_ = threads_ - 1;
     first_error_ = nullptr;
     ++generation_;
@@ -127,6 +263,35 @@ void ThreadPool::join_workers(const RangeFn& fn, std::size_t n) {
     MutexLock lock(mu_);
     while (remaining_ != 0) done_cv_.wait(lock);
     job_ = nullptr;
+    error = own_error ? std::move(own_error) : std::move(first_error_);
+    first_error_ = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+void ThreadPool::join_workers_stealing(const RangeFn& fn, std::size_t n,
+                                       std::size_t chunk,
+                                       std::size_t chunk_count) {
+  // The caller is claimant 0: it joins the chunk race instead of owning a
+  // fixed slice, so a skewed prefix cannot pin the calling thread either.
+  WorkerTotals own;
+  const std::exception_ptr own_error =
+      run_stealing(0, fn, n, chunk, chunk_count, own);
+
+  std::exception_ptr error;
+  {
+    MutexLock lock(mu_);
+    while (remaining_ != 0) done_cv_.wait(lock);
+    job_ = nullptr;
+    worker_stats_[0] = own;
+    last_stats_.chunks = 0;
+    last_stats_.steals = 0;
+    last_stats_.worker_busy_ns.assign(threads_, 0);
+    for (unsigned w = 0; w < threads_; ++w) {
+      last_stats_.chunks += worker_stats_[w].chunks;
+      last_stats_.steals += worker_stats_[w].steals;
+      last_stats_.worker_busy_ns[w] = worker_stats_[w].busy_ns;
+    }
     error = own_error ? std::move(own_error) : std::move(first_error_);
     first_error_ = nullptr;
   }

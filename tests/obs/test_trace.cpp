@@ -133,6 +133,10 @@ TEST(TraceRecorder, BatchTraceShowsParseSweepOverlapWindow) {
 
   radius::BatchOptions options;
   options.threads = 2;
+  // The static split: its deterministic one-slice-per-slot fan-out is what
+  // the per-slot span assertions below rely on (under stealing a fast
+  // claimant may legitimately drain every chunk before a peer wakes).
+  options.sweep = radius::BatchOptions::SweepMode::kStatic;
   radius::BatchVerifier verifier(scheme, cfg, 2, options);
 
   TraceRecorder::enable();
@@ -153,6 +157,39 @@ TEST(TraceRecorder, BatchTraceShowsParseSweepOverlapWindow) {
   // The fan-out is visible too: a sweep slot span per pool slot.
   EXPECT_NE(find_event(events, "sweep.slot", 0), nullptr);
   EXPECT_NE(find_event(events, "sweep.slot", 1), nullptr);
+}
+
+TEST(TraceRecorder, StealingSweepShowsClaimedChunkSpans) {
+  // The work-stealing default: every claimed chunk is a "pool.chunk" span
+  // and its verify body still opens "sweep.slot" — per chunk, not per
+  // slice.  Which slot claims how many chunks is timing-dependent, so the
+  // assertions count spans, not per-slot coverage.
+  const schemes::StpLanguage language;
+  const schemes::StpScheme base(language);
+  const radius::SpreadScheme scheme(base, 2);
+  auto g = testing::share(graph::grid(6, 6));
+  const local::Configuration cfg = language.make_tree(g, 0);
+  const core::Labeling lab = scheme.mark(cfg);
+
+  radius::BatchOptions options;
+  options.threads = 2;
+  radius::BatchVerifier verifier(scheme, cfg, 2, options);
+
+  TraceRecorder::enable();
+  const core::Verdict verdict = verifier.run_one(lab);
+  TraceRecorder::disable();
+  EXPECT_TRUE(verdict.all_accept());
+
+  std::size_t chunk_spans = 0;
+  std::size_t slot_spans = 0;
+  for (const Event& e : TraceRecorder::events()) {
+    if (std::string("pool.chunk") == e.name) ++chunk_spans;
+    if (std::string("sweep.slot") == e.name) ++slot_spans;
+  }
+  // 36 centers, 2 slots, default chunk = max(1, 36/32) = 1: one claimed
+  // chunk (and one verify-body span) per center, however they land.
+  EXPECT_EQ(chunk_spans, cfg.n());
+  EXPECT_EQ(slot_spans, cfg.n());
 }
 
 #endif  // PROOFLAB_NO_TRACE

@@ -204,5 +204,94 @@ TEST(BatchVerifier, WarmAtlasEqualsRebuildLoop) {
   EXPECT_EQ(cold.atlas().stats().bytes_in_use, 0u);
 }
 
+/// A deliberately skewed instance: a dense chorded ring on the lowest
+/// `core` indices (fat radius-t balls, all inside the static split's first
+/// slice) with `chains` sparse tails of `chain_len` nodes hanging off it
+/// (tiny balls).  The shape the work-stealing sweep exists for.
+graph::Graph skewed_core_chain_graph(std::size_t core, std::size_t chains,
+                                     std::size_t chain_len) {
+  graph::Graph::Builder b;
+  const std::size_t n = core + chains * chain_len;
+  for (std::size_t v = 0; v < n; ++v)
+    b.add_node(static_cast<graph::RawId>(v));
+  for (std::size_t v = 0; v < core; ++v)
+    b.add_edge(static_cast<graph::NodeIndex>(v),
+               static_cast<graph::NodeIndex>((v + 1) % core));
+  // Deterministic chords (strides coprime-ish to the ring, distinct from
+  // each other's complements) — dense without duplicate edges.
+  for (const std::size_t stride : {std::size_t{5}, std::size_t{11}}) {
+    for (std::size_t v = 0; v < core; ++v)
+      b.add_edge(static_cast<graph::NodeIndex>(v),
+                 static_cast<graph::NodeIndex>((v + stride) % core));
+  }
+  std::size_t next = core;
+  for (std::size_t c = 0; c < chains; ++c) {
+    auto prev = static_cast<graph::NodeIndex>(c % core);
+    for (std::size_t i = 0; i < chain_len; ++i) {
+      const auto v = static_cast<graph::NodeIndex>(next++);
+      b.add_edge(prev, v);
+      prev = v;
+    }
+  }
+  return std::move(b).build();
+}
+
+// The scheduler gate: on the skewed instance, the static and work-stealing
+// sweeps must produce bit-identical verdicts at threads {1, 2, hw} — for
+// full pipelined batches and for the delta path's dirty re-sweep — even
+// though the stealing assignment is nondeterministic.
+TEST(BatchVerifier, SkewedInstanceIdenticalAcrossSchedulersAndThreads) {
+  const schemes::StpLanguage language;
+  const schemes::StpScheme base(language);
+  const SpreadScheme spread(base, 4);
+  util::Rng rng(50905);
+  auto g = share(skewed_core_chain_graph(48, 12, 24));
+  const local::Configuration cfg = language.sample_legal(g, rng);
+
+  std::vector<Labeling> labs;
+  labs.push_back(spread.mark(cfg));
+  Labeling tampered_core = labs[0];
+  tampered_core.certs[20] = local::random_state(32, rng);
+  labs.push_back(tampered_core);
+  labs.push_back(random_labeling(cfg.n(), rng));
+
+  std::vector<Verdict> oracle;
+  for (const Labeling& lab : labs)
+    oracle.push_back(run_verifier_t_baseline(spread, cfg, lab, 4));
+
+  // One fixed delta on top of the batch's last labeling: a core cert and a
+  // chain-tail cert flip back to honest.
+  const auto tail = static_cast<graph::NodeIndex>(cfg.n() - 1);
+  Labeling delta_next = labs.back();
+  delta_next.certs[10] = labs[0].certs[10];
+  delta_next.certs[tail] = labs[0].certs[tail];
+  const Verdict delta_oracle =
+      run_verifier_t_baseline(spread, cfg, delta_next, 4);
+
+  for (const unsigned threads :
+       {1u, 2u, util::ThreadPool::hardware_threads()}) {
+    for (const BatchOptions::SweepMode mode :
+         {BatchOptions::SweepMode::kStatic,
+          BatchOptions::SweepMode::kStealing}) {
+      BatchOptions options;
+      options.threads = threads;
+      options.sweep = mode;
+      BatchVerifier batch(spread, cfg, 4, options);
+      const std::vector<Verdict> got = batch.run(labs);
+      ASSERT_EQ(got.size(), labs.size());
+      const bool stealing = mode == BatchOptions::SweepMode::kStealing;
+      for (std::size_t i = 0; i < labs.size(); ++i)
+        EXPECT_EQ(oracle[i].accept(), got[i].accept())
+            << "labeling " << i << " threads " << threads << " stealing "
+            << stealing;
+      LabelingDelta delta;
+      delta.touched = {10, tail};
+      EXPECT_EQ(batch.run_delta(delta_next, delta).accept(),
+                delta_oracle.accept())
+          << "delta threads " << threads << " stealing " << stealing;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace pls::radius

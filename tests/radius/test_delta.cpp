@@ -16,6 +16,7 @@
 #include "graph/algorithms.hpp"
 #include "radius/batch.hpp"
 #include "radius/fragment_spread.hpp"
+#include "radius/parse_link.hpp"
 #include "radius/spread.hpp"
 #include "schemes/spanning_tree.hpp"
 #include "testing/helpers.hpp"
@@ -408,6 +409,109 @@ TEST(BatchVerifierDelta, FragmentSpreadDeltasMatchFullRuns) {
     deltas.push_back(LabelingDelta{{v}});
   }
   expect_delta_matches_full(spread, cfg, 4, honest, stream, deltas);
+}
+
+// ---- Bounded link state (the satellite bugfix) ----------------------------
+//
+// The intern table is append-only between full links, so a mutation stream
+// that keeps inventing payloads is the worst case: without the re-seed it
+// grows one entry per step forever.  These tests drive exactly that stream.
+
+/// Minimal stand-in satisfying the parse_link template contract
+/// (`wire.chunk` payload + `chunk_class` slot) — the real SpreadParsed /
+/// FragmentParsed are translation-unit-local to their schemes.
+struct FakeParsed final : ParsedCert {
+  struct Wire {
+    util::BitString chunk;
+  } wire;
+  std::uint32_t chunk_class = 0;
+};
+
+TEST(ChunkInternState, RelinkReseedsKeepTheTableBounded) {
+  constexpr std::size_t kN = 64;
+  constexpr int kSteps = 10000;
+  std::vector<std::unique_ptr<ParsedCert>> parsed;
+  for (std::size_t v = 0; v < kN; ++v) {
+    auto p = std::make_unique<FakeParsed>();
+    p->wire.chunk = util::BitString::of_uint(v, 32);
+    parsed.push_back(std::move(p));
+  }
+  detail::ChunkInternState state;
+  detail::intern_chunk_classes_stateful<FakeParsed>(state, parsed);
+  ASSERT_EQ(state.classes.size(), kN);
+
+  std::size_t peak = state.classes.size();
+  std::uint64_t fresh = kN;  // every step's payload is novel
+  for (int step = 0; step < kSteps; ++step) {
+    const auto v = static_cast<graph::NodeIndex>(step % kN);
+    static_cast<FakeParsed*>(parsed[v].get())->wire.chunk =
+        util::BitString::of_uint(fresh++, 32);
+    const graph::NodeIndex touched[] = {v};
+    detail::relink_chunk_classes<FakeParsed>(state, parsed, touched);
+    peak = std::max(peak, state.classes.size());
+  }
+  // Bounded: one relink can overshoot the bound by its own touched set (one
+  // entry here) before the re-seed snaps the table back to the live set.
+  EXPECT_LE(peak, detail::kReseedClassMultiple * kN + 1);
+  // And the stream genuinely exercised the bound, roughly every
+  // (kReseedClassMultiple - 1) * kN novel payloads.
+  EXPECT_GE(state.reseeds, static_cast<std::uint64_t>(
+                kSteps / ((detail::kReseedClassMultiple) * kN)));
+
+  // Id coherence after many epochs: equal payloads share a class, distinct
+  // payloads never do — the contract every carried-forward comparison rests
+  // on.
+  std::vector<std::uint32_t> classes;
+  for (const auto& p : parsed)
+    classes.push_back(static_cast<const FakeParsed*>(p.get())->chunk_class);
+  for (std::size_t a = 0; a < kN; ++a)
+    for (std::size_t b = a + 1; b < kN; ++b) {
+      const auto* pa = static_cast<const FakeParsed*>(parsed[a].get());
+      const auto* pb = static_cast<const FakeParsed*>(parsed[b].get());
+      EXPECT_EQ(pa->wire.chunk == pb->wire.chunk, classes[a] == classes[b]);
+    }
+}
+
+// End to end: a >=10k-step single-certificate mutation stream through
+// run_delta, every verdict checked against a from-scratch run, with the
+// re-seed observable through DeltaStats and the table bounded throughout
+// (if it were not, the peak-assertion above would fail first — here the
+// gate is that re-seeding never perturbs a verdict).
+TEST(BatchVerifierDelta, TenThousandStepStreamStaysExactAndReseeds) {
+  const schemes::StpLanguage language;
+  const schemes::StpScheme base(language);
+  const SpreadScheme spread(base, 2);
+  util::Rng rng(61011);
+  auto g = share(graph::random_connected(24, 14, rng));
+  const local::Configuration cfg = language.sample_legal(g, rng);
+  const Labeling honest = spread.mark(cfg);
+
+  BatchVerifier delta_verifier(spread, cfg, 2);
+  BatchVerifier full_verifier(spread, cfg, 2);
+  delta_verifier.run_one(honest);
+
+  Labeling cur = honest;
+  int divergences = 0;
+  for (int step = 0; step < 10000; ++step) {
+    const auto v = static_cast<graph::NodeIndex>(rng.below(cfg.n()));
+    // Mostly novel payloads (the table-growing worst case), with periodic
+    // mutate-backs so stable interning across re-seed epochs is exercised.
+    cur.certs[v] = step % 7 == 6 ? honest.certs[v]
+                                 : local::random_state(24 + rng.below(40), rng);
+    LabelingDelta delta;
+    delta.touched = {v};
+    const Verdict got = delta_verifier.run_delta(cur, delta);
+    const Verdict expect = full_verifier.run_one(cur);
+    if (got.accept() != expect.accept()) {
+      ++divergences;
+      ASSERT_LT(divergences, 5) << "step " << step;  // fail loud, not 10k times
+      ADD_FAILURE() << "verdict divergence at step " << step;
+    }
+  }
+  const DeltaStats stats = delta_verifier.delta_stats();
+  EXPECT_EQ(stats.delta_runs, 10000u);
+  EXPECT_EQ(stats.links_incremental, 10000u);
+  EXPECT_GT(stats.link_reseeds, 0u);  // the bound really triggered
 }
 
 }  // namespace

@@ -186,6 +186,184 @@ TEST(ThreadPool, DoublePostOrUnpairedUseIsInvalid) {
   EXPECT_THROW(pool.finish_range(), std::logic_error);
 }
 
+// for_range_stealing/post_range_stealing: the chunked work-stealing split.
+// Coverage must stay exactly-once at every thread count and chunk size even
+// though assignment is first-come; the sequential fallback must remain a
+// plain in-order loop; stats must account every chunk.
+TEST(ThreadPool, StealingCoversRangeExactlyOnce) {
+  for (const unsigned threads : {1u, 2u, 3u, 8u}) {
+    for (const std::size_t chunk : {std::size_t{0}, std::size_t{1},
+                                    std::size_t{7}, std::size_t{5000}}) {
+      ThreadPool pool(threads);
+      std::vector<std::atomic<int>> hits(1000);
+      pool.for_range_stealing(
+          hits.size(),
+          [&](unsigned worker, std::size_t begin, std::size_t end) {
+            EXPECT_LT(worker, threads);
+            EXPECT_LT(begin, end);
+            for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+          },
+          {.chunk = chunk});
+      for (const std::atomic<int>& h : hits) EXPECT_EQ(h.load(), 1);
+    }
+  }
+}
+
+TEST(ThreadPool, StealingChunkOptionBoundsEveryCall) {
+  ThreadPool pool(3);
+  constexpr std::size_t kChunk = 16;
+  std::atomic<int> calls{0};
+  pool.for_range_stealing(
+      100,
+      [&](unsigned, std::size_t begin, std::size_t end) {
+        EXPECT_EQ(begin % kChunk, 0u);
+        EXPECT_LE(end - begin, kChunk);
+        ++calls;
+      },
+      {.chunk = kChunk});
+  EXPECT_EQ(calls.load(), 7);  // ceil(100 / 16)
+  EXPECT_EQ(pool.last_range_stats().chunks, 7u);
+  EXPECT_EQ(pool.last_range_stats().worker_busy_ns.size(), 3u);
+}
+
+TEST(ThreadPool, StealingSequentialFallbackRunsInlineInOrder) {
+  ThreadPool pool(1);
+  const auto caller = std::this_thread::get_id();
+  std::size_t expect_begin = 0;
+  pool.for_range_stealing(
+      57,
+      [&](unsigned worker, std::size_t begin, std::size_t end) {
+        EXPECT_EQ(worker, 0u);
+        EXPECT_EQ(begin, expect_begin);  // chunks drain in index order
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+        expect_begin = end;
+      },
+      {.chunk = 10});
+  EXPECT_EQ(expect_begin, 57u);
+  EXPECT_EQ(pool.last_range_stats().chunks, 6u);
+  EXPECT_EQ(pool.last_range_stats().steals, 0u);  // one claimant never steals
+}
+
+TEST(ThreadPool, StealingRebalancesAroundAStraggler) {
+  // Chunk 0 refuses to finish until every other chunk has run, so whichever
+  // claimant drew it is pinned and its peer must drain the rest — at least
+  // three of those chunks belong to the pinned slot's static share, so the
+  // steal counter must see them.
+  ThreadPool pool(2);
+  std::atomic<int> others_done{0};
+  std::vector<std::atomic<int>> hits(8);
+  pool.for_range_stealing(
+      hits.size(),
+      [&](unsigned, std::size_t begin, std::size_t) {
+        if (begin == 0) {
+          while (others_done.load() < 7) std::this_thread::yield();
+        } else {
+          others_done.fetch_add(1);
+        }
+        hits[begin].fetch_add(1);
+      },
+      {.chunk = 1});
+  for (const std::atomic<int>& h : hits) EXPECT_EQ(h.load(), 1);
+  EXPECT_EQ(pool.last_range_stats().chunks, 8u);
+  EXPECT_GE(pool.last_range_stats().steals, 3u);
+}
+
+TEST(ThreadPool, StealingEmptyRangeInvokesNothing) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.for_range_stealing(0,
+                          [&](unsigned, std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+  EXPECT_EQ(pool.last_range_stats().chunks, 0u);
+  EXPECT_EQ(pool.last_range_stats().worker_busy_ns.size(), 4u);
+}
+
+TEST(ThreadPool, StealingExceptionPropagatesAndPoolSurvives) {
+  // The throwing chunk is a *stolen* one (not index 0), the thrower stops
+  // claiming, the range still drains, and the pool stays reusable for both
+  // flavors afterwards.
+  ThreadPool pool(3);
+  EXPECT_THROW(
+      pool.for_range_stealing(
+          100,
+          [&](unsigned, std::size_t begin, std::size_t) {
+            if (begin == 35) throw std::runtime_error("chunk");
+          },
+          {.chunk = 5}),
+      std::runtime_error);
+  std::atomic<int> total{0};
+  pool.for_range_stealing(100,
+                          [&](unsigned, std::size_t begin, std::size_t end) {
+                            total.fetch_add(static_cast<int>(end - begin));
+                          });
+  pool.for_range(100, [&](unsigned, std::size_t begin, std::size_t end) {
+    total.fetch_add(static_cast<int>(end - begin));
+  });
+  EXPECT_EQ(total.load(), 200);
+}
+
+TEST(ThreadPool, PostFinishStealingCoversRangeExactlyOnce) {
+  for (const unsigned threads : {1u, 2u, 4u}) {
+    ThreadPool pool(threads);
+    std::vector<std::atomic<int>> hits(500);
+    pool.post_range_stealing(hits.size(), [&](unsigned worker,
+                                              std::size_t begin,
+                                              std::size_t end) {
+      EXPECT_LT(worker, threads);
+      for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+    });
+    pool.finish_range();
+    for (const std::atomic<int>& h : hits) EXPECT_EQ(h.load(), 1);
+    EXPECT_GE(pool.last_range_stats().chunks, 1u);
+    EXPECT_EQ(pool.last_range_stats().worker_busy_ns.size(), threads);
+  }
+}
+
+TEST(ThreadPool, PostFinishStealingExceptionPropagatesAtFinish) {
+  ThreadPool pool(2);
+  pool.post_range_stealing(10, [&](unsigned, std::size_t begin, std::size_t) {
+    if (begin == 0) throw std::runtime_error("chunk 0");
+  });
+  EXPECT_THROW(pool.finish_range(), std::runtime_error);
+  std::atomic<int> total{0};
+  pool.for_range(10, [&](unsigned, std::size_t begin, std::size_t end) {
+    total.fetch_add(static_cast<int>(end - begin));
+  });
+  EXPECT_EQ(total.load(), 10);
+}
+
+TEST(ThreadPool, StealingDoublePostIsInvalidAcrossFlavors) {
+  ThreadPool pool(2);
+  pool.post_range_stealing(4, [](unsigned, std::size_t, std::size_t) {});
+  EXPECT_THROW(
+      pool.post_range_stealing(4, [](unsigned, std::size_t, std::size_t) {}),
+      std::logic_error);
+  EXPECT_THROW(pool.post_range(4, [](unsigned, std::size_t, std::size_t) {}),
+               std::logic_error);
+  EXPECT_THROW(
+      pool.for_range_stealing(4, [](unsigned, std::size_t, std::size_t) {}),
+      std::logic_error);
+  pool.finish_range();
+  EXPECT_THROW(pool.finish_range(), std::logic_error);
+}
+
+TEST(ThreadPool, ChunkHomeMatchesStaticSlice) {
+  // chunk_home(c, chunks, threads) must name exactly the slot whose static
+  // slice of [0, chunks) contains c — it is the baseline steals are counted
+  // against.
+  for (const unsigned threads : {1u, 2u, 3u, 5u, 8u}) {
+    for (std::size_t chunks = 1; chunks <= 40; ++chunks) {
+      for (std::size_t c = 0; c < chunks; ++c) {
+        const unsigned home = ThreadPool::chunk_home(c, chunks, threads);
+        ASSERT_LT(home, threads);
+        const auto [begin, end] = ThreadPool::slice(chunks, threads, home);
+        EXPECT_GE(c, begin);
+        EXPECT_LT(c, end);
+      }
+    }
+  }
+}
+
 TEST(ThreadPool, HardwareThreadsIsPositive) {
   EXPECT_GE(ThreadPool::hardware_threads(), 1u);
 }
