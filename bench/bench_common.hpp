@@ -5,6 +5,8 @@
 // (fixed seeds) so the outputs are reproducible run to run.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <cstdlib>
 #include <iostream>
 #include <memory>
@@ -151,6 +153,34 @@ class CliArgs {
 
   std::vector<std::string> args_;
   std::string error_;
+};
+
+/// Zipf(s) rank sampler: P(rank r) proportional to 1/(r+1)^s over
+/// [0, n).  The skewed-popularity generator behind the admission and
+/// multi-tenant benches — rank 0 is the hottest item; compose with a random
+/// permutation so popularity is not correlated with index order.  The CDF is
+/// precomputed once (O(n) setup), each sample is one uniform draw plus a
+/// binary search, so the stream is deterministic given the caller's Rng.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double s) : cdf_(n) {
+    double acc = 0.0;
+    for (std::size_t r = 0; r < n; ++r) {
+      acc += 1.0 / std::pow(static_cast<double>(r + 1), s);
+      cdf_[r] = acc;
+    }
+    for (double& c : cdf_) c /= acc;
+  }
+
+  std::size_t sample(util::Rng& rng) const {
+    const auto it =
+        std::upper_bound(cdf_.begin(), cdf_.end(), rng.uniform01());
+    return it == cdf_.end() ? cdf_.size() - 1
+                            : static_cast<std::size_t>(it - cdf_.begin());
+  }
+
+ private:
+  std::vector<double> cdf_;
 };
 
 inline std::shared_ptr<const graph::Graph> share(graph::Graph g) {

@@ -1,0 +1,460 @@
+// Experiment R4 — multi-tenant serving over one shared geometry budget.
+//
+// Three tenants with deliberately different shapes — a flat spanning-tree
+// verifier (stp t=1) on a large random instance, a deep spread (stp t=8) and
+// a weighted MST fragment spread (mst t=4) on bounded-growth grids — share
+// ONE serve::Server: one GeometryAtlas (256 MB by default, the budget the
+// by-radius gauges attribute), one BatchVerifier per tenant, deficit
+// round-robin over the per-tenant queues.
+//
+// The workload is OPEN LOOP: every tenant's requests arrive on a fixed
+// schedule (one seeding full labeling, then single-certificate deltas at the
+// tenant's offered rate) whether or not the server has caught up, so
+// queueing delay lands in the measured latency exactly as a deployment
+// would quote it.  The dispatcher submits frames at their arrival times and
+// serves between arrivals; the per-tenant serve.latency_ns histograms come
+// from the server itself.
+//
+// The number under test is FAIRNESS: with DRR no tenant's p99 should run
+// away from the others even though their per-request costs differ — the
+// --require-tenant-p99-ratio gate holds max(p99)/min(p99) under a bound
+// (the CI smoke uses 3).  Verdicts are replayed per tenant against a fresh
+// in-memory BatchVerifier (own atlas, same thread count) and asserted
+// bit-identical to the wire-path responses — the zero-copy ingestion must
+// never change a verdict.
+//
+// The default offered rate is derived, not hardcoded: a closed-loop warmup
+// drains one copy of the whole workload as fast as the server can, and the
+// open-loop phase then offers 70% of that measured capacity (the
+// sustainable-regime convention; --arrival-rate overrides with an aggregate
+// requests/sec).
+//
+// Usage: bench_serve_multitenant [--smoke] [--out FILE] [--seed S]
+//                                [--threads T] [--deltas D]
+//                                [--atlas-mb MB] [--arrival-rate A]
+//                                [--require-tenant-p99-ratio R]
+//   --smoke               shorter streams (CI-friendly)
+//   --out FILE            write the JSON artifact there instead of stdout
+//   --seed S              base RNG seed (echoed into the JSON)
+//   --threads T           sweep threads per tenant verifier (default: hw)
+//   --deltas D            delta requests per tenant (default 256; 96 smoke)
+//   --atlas-mb MB         shared atlas budget in MiB (default 256)
+//   --arrival-rate A      aggregate offered rate, requests/sec (default:
+//                         0.7x the measured closed-loop capacity)
+//   --require-tenant-p99-ratio R  fail if max(p99)/min(p99) across tenants
+//                         exceeds R
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "graph/generators.hpp"
+#include "obs/metrics.hpp"
+#include "radius/batch.hpp"
+#include "radius/fragment_spread.hpp"
+#include "schemes/mst.hpp"
+#include "schemes/spanning_tree.hpp"
+#include "serve/server.hpp"
+#include "serve/wire.hpp"
+#include "util/assert.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace pls;
+
+constexpr std::uint64_t kDefaultSeed = 0x7E4A47'5EA7ull;
+
+/// One tenant's pinned instance plus its request stream (the frames are
+/// pre-encoded so the timed loops only move pointers).
+struct TenantPlan {
+  std::string name;
+  const core::Scheme* scheme = nullptr;
+  const local::Configuration* cfg = nullptr;
+  unsigned t = 0;
+  std::uint32_t id = 0;
+  std::vector<serve::Server::Frame> frames;      ///< [0] is the seeding full
+  std::vector<core::Labeling> states;            ///< labeling after frame i
+  std::vector<graph::NodeIndex> touched;         ///< node of delta i (i >= 1)
+};
+
+serve::Server::Frame frame_of(std::vector<std::uint8_t> bytes) {
+  return std::make_shared<const std::vector<std::uint8_t>>(std::move(bytes));
+}
+
+/// Builds the tenant's stream: one full labeling (the scheme's honest
+/// marking), then `deltas` single-certificate mutations encoded as delta
+/// frames.  Mutations keep the certificate size small so the DRR cost of a
+/// delta is its payload count (1), not a hidden byte volume.
+void plan_stream(TenantPlan& plan, std::size_t deltas, util::Rng& rng) {
+  const local::Configuration& cfg = *plan.cfg;
+  core::Labeling current = plan.scheme->mark(cfg);
+  plan.frames.push_back(frame_of(serve::encode_full(
+      plan.id, cfg.graph().epoch(), plan.t, current)));
+  plan.states.push_back(current);
+  const auto n = static_cast<std::uint32_t>(cfg.n());
+  for (std::size_t d = 0; d < deltas; ++d) {
+    const auto v = static_cast<graph::NodeIndex>(rng.below(cfg.n()));
+    if (rng.below(2) == 0) {
+      current.certs[v] = current.certs[rng.below(cfg.n())];
+    } else {
+      current.certs[v] = local::random_state(rng.below(64), rng);
+    }
+    const std::vector<graph::NodeIndex> touched = {v};
+    plan.frames.push_back(frame_of(serve::encode_delta(
+        plan.id, cfg.graph().epoch(), plan.t, n, touched, current)));
+    plan.states.push_back(current);
+    plan.touched.push_back(v);
+  }
+}
+
+/// A globally interleaved arrival order: round-robin over the tenants'
+/// streams (tenant order rotates per round so no tenant always arrives
+/// first in a burst).
+struct Arrival {
+  std::size_t tenant = 0;
+  std::size_t index = 0;  ///< into that tenant's frames
+};
+
+std::vector<Arrival> interleave(const std::vector<TenantPlan>& plans) {
+  std::vector<Arrival> order;
+  std::size_t longest = 0;
+  for (const TenantPlan& p : plans)
+    longest = std::max(longest, p.frames.size());
+  for (std::size_t i = 0; i < longest; ++i)
+    for (std::size_t rot = 0; rot < plans.size(); ++rot) {
+      const std::size_t tenant = (i + rot) % plans.size();
+      if (i < plans[tenant].frames.size()) order.push_back({tenant, i});
+    }
+  return order;
+}
+
+struct TenantResult {
+  std::string name;
+  std::size_t n = 0;
+  unsigned t = 0;
+  std::size_t requests = 0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double mean_ms = 0.0;
+};
+
+struct RunResult {
+  double offered_per_sec = 0.0;
+  double sustained_per_sec = 0.0;
+  double closed_loop_per_sec = 0.0;
+  double window_s = 0.0;
+  std::vector<TenantResult> tenants;
+  double p99_ratio = 0.0;  ///< max p99 / min p99
+  radius::AtlasStats atlas;
+  bool verdicts_identical = false;
+};
+
+/// Drains one full copy of the workload through a fresh server as fast as
+/// possible; returns aggregate requests/sec (the capacity estimate the
+/// open-loop rate defaults against) and the responses for verdict replay.
+double closed_loop_capacity(const std::vector<TenantPlan>& plans,
+                            const std::vector<Arrival>& order,
+                            const serve::ServerOptions& base_options) {
+  serve::ServerOptions options = base_options;
+  options.metrics = nullptr;
+  options.atlas = nullptr;  // private atlas: don't warm the measured one
+  serve::Server server(options);
+  std::vector<std::uint32_t> ids(plans.size());
+  for (std::size_t i = 0; i < plans.size(); ++i)
+    ids[i] = server.add_tenant(plans[i].name, *plans[i].scheme,
+                               *plans[i].cfg, plans[i].t);
+  // Tenant ids are assigned in registration order, so the pre-encoded
+  // frames (which carry plan.id) stay valid as long as the order matches.
+  for (std::size_t i = 0; i < plans.size(); ++i)
+    PLS_REQUIRE(ids[i] == plans[i].id);
+  const auto start = std::chrono::steady_clock::now();
+  std::size_t total = 0;
+  for (const Arrival& a : order) {
+    server.submit(plans[a.tenant].frames[a.index], serve::Server::now_ns());
+    ++total;
+  }
+  const std::vector<serve::Server::Response> responses = server.drain();
+  const auto stop = std::chrono::steady_clock::now();
+  PLS_ASSERT(responses.size() == total);
+  for (const serve::Server::Response& r : responses)
+    PLS_REQUIRE(r.wire_ok);
+  const double secs = std::chrono::duration<double>(stop - start).count();
+  return static_cast<double>(total) / secs;
+}
+
+RunResult run_open_loop(const std::vector<TenantPlan>& plans,
+                        const std::vector<Arrival>& order,
+                        const serve::ServerOptions& base_options,
+                        std::size_t atlas_bytes, double arrival_rate,
+                        unsigned threads) {
+  RunResult result;
+  result.closed_loop_per_sec =
+      closed_loop_capacity(plans, order, base_options);
+  result.offered_per_sec = arrival_rate > 0.0
+                               ? arrival_rate
+                               : 0.7 * result.closed_loop_per_sec;
+
+  obs::MetricsRegistry registry;
+  radius::AtlasOptions atlas_options;
+  atlas_options.byte_budget = atlas_bytes;
+  serve::ServerOptions options = base_options;
+  options.metrics = &registry;
+  options.atlas = std::make_shared<radius::GeometryAtlas>(atlas_options);
+  serve::Server server(options);
+  for (const TenantPlan& p : plans)
+    PLS_REQUIRE(server.add_tenant(p.name, *p.scheme, *p.cfg, p.t) == p.id);
+
+  // The dispatcher loop: submit each frame at its scheduled arrival time,
+  // serve queued requests between arrivals, then drain.  Latency is
+  // measured by the server from the SCHEDULED arrival (passed to submit),
+  // so a sweep that overruns its slot charges the overrun to the requests
+  // queued behind it.
+  std::vector<serve::Server::Response> responses;
+  responses.reserve(order.size());
+  const auto start = std::chrono::steady_clock::now();
+  const std::uint64_t start_ns = serve::Server::now_ns();
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const auto scheduled =
+        start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(
+                        static_cast<double>(i) / result.offered_per_sec));
+    // Serve while waiting for the next arrival; sleep only when idle.
+    while (std::chrono::steady_clock::now() < scheduled) {
+      if (std::optional<serve::Server::Response> r = server.serve_next()) {
+        responses.push_back(std::move(*r));
+      } else {
+        std::this_thread::sleep_until(scheduled);
+      }
+    }
+    const std::uint64_t arrival_ns =
+        start_ns + static_cast<std::uint64_t>(
+                       1e9 * static_cast<double>(i) / result.offered_per_sec);
+    server.submit(plans[order[i].tenant].frames[order[i].index], arrival_ns);
+  }
+  for (serve::Server::Response& r : server.drain())
+    responses.push_back(std::move(r));
+  const auto stop = std::chrono::steady_clock::now();
+  result.window_s = std::chrono::duration<double>(stop - start).count();
+  result.sustained_per_sec =
+      static_cast<double>(order.size()) / result.window_s;
+  result.atlas = server.atlas()->stats();
+
+  // Per-tenant latency: the server's own serve.latency_ns.<name> histograms.
+  const obs::MetricsSnapshot snap = registry.snapshot();
+  double best_p99 = 0.0, worst_p99 = 0.0;
+  for (const TenantPlan& p : plans) {
+    const obs::HistogramSnapshot& h =
+        snap.histograms.at("serve.latency_ns." + p.name);
+    TenantResult tr;
+    tr.name = p.name;
+    tr.n = p.cfg->n();
+    tr.t = p.t;
+    tr.requests = h.count;
+    tr.p50_ms = static_cast<double>(h.quantile(0.5)) / 1e6;
+    tr.p99_ms = static_cast<double>(h.quantile(0.99)) / 1e6;
+    tr.mean_ms = h.count == 0 ? 0.0
+                              : static_cast<double>(h.sum) /
+                                    (1e6 * static_cast<double>(h.count));
+    PLS_REQUIRE(tr.requests == p.frames.size());
+    best_p99 = best_p99 == 0.0 ? tr.p99_ms : std::min(best_p99, tr.p99_ms);
+    worst_p99 = std::max(worst_p99, tr.p99_ms);
+    result.tenants.push_back(std::move(tr));
+  }
+  result.p99_ratio = best_p99 > 0.0 ? worst_p99 / best_p99 : 0.0;
+
+  // Verdict identity: replay every tenant's stream through a fresh
+  // in-memory BatchVerifier (own default atlas, same thread count) and
+  // compare against the wire-path verdicts, matched by (tenant, seq order).
+  std::vector<std::vector<const serve::Server::Response*>> by_tenant(
+      plans.size());
+  for (const serve::Server::Response& r : responses) {
+    PLS_REQUIRE(r.wire_ok);
+    by_tenant[r.tenant_id].push_back(&r);
+  }
+  bool identical = true;
+  for (std::size_t i = 0; i < plans.size(); ++i) {
+    const TenantPlan& p = plans[i];
+    std::sort(by_tenant[i].begin(), by_tenant[i].end(),
+              [](const serve::Server::Response* a,
+                 const serve::Server::Response* b) { return a->seq < b->seq; });
+    PLS_REQUIRE(by_tenant[i].size() == p.frames.size());
+    radius::BatchOptions check;
+    check.threads = threads;
+    radius::BatchVerifier oracle(*p.scheme, *p.cfg, p.t, check);
+    for (std::size_t j = 0; j < p.states.size(); ++j) {
+      core::Verdict expect;
+      if (j == 0) {
+        expect = oracle.run_one(p.states[0]);
+      } else {
+        radius::LabelingDelta delta;
+        delta.touched = {p.touched[j - 1]};
+        expect = oracle.run_delta(p.states[j], delta);
+      }
+      identical =
+          identical && by_tenant[i][j]->verdict.accept() == expect.accept();
+    }
+  }
+  result.verdicts_identical = identical;
+  PLS_ASSERT(identical);
+  return result;
+}
+
+void emit(std::ostream& out, const RunResult& r,
+          const std::vector<TenantPlan>& plans, std::size_t atlas_bytes,
+          unsigned threads, std::uint64_t seed) {
+  obs::JsonWriter json(out);
+  json.begin_object();
+  json.kv("bench", "serve_multitenant");
+  json.kv("seed", seed);
+  json.kv("threads", threads);
+  json.kv("tenant_count", plans.size());
+  json.kv("atlas_byte_budget", atlas_bytes);
+  json.kv("closed_loop_per_sec", r.closed_loop_per_sec);
+  json.kv("offered_per_sec", r.offered_per_sec);
+  json.kv("sustained_per_sec", r.sustained_per_sec);
+  json.kv("window_s", r.window_s);
+  json.kv("p99_ratio", r.p99_ratio);
+  json.kv("verdicts_identical", r.verdicts_identical);
+  json.key("tenants");
+  json.begin_array();
+  for (const TenantResult& t : r.tenants) {
+    json.begin_object();
+    json.kv("name", t.name);
+    json.kv("n", t.n);
+    json.kv("t", t.t);
+    json.kv("requests", t.requests);
+    json.kv("p50_ms", t.p50_ms);
+    json.kv("p99_ms", t.p99_ms);
+    json.kv("mean_ms", t.mean_ms);
+    json.end_object();
+  }
+  json.end_array();
+  json.key("atlas");
+  json.begin_object();
+  json.kv("hits", r.atlas.hits);
+  json.kv("misses", r.atlas.misses);
+  json.kv("hit_rate", r.atlas.hit_rate());
+  json.kv("evictions", r.atlas.evictions);
+  json.kv("sketch_rejects", r.atlas.sketch_rejects);
+  json.kv("bytes_in_use", r.atlas.bytes_in_use);
+  json.kv("peak_bytes", r.atlas.peak_bytes);
+  json.key("by_radius");
+  json.begin_object();
+  for (const auto& [t, rb] : r.atlas.by_radius) {
+    // Built with += rather than operator+(const char*, string&&), which
+    // trips GCC 12's -Wrestrict false positive when inlined here.
+    std::string rkey = "r";
+    rkey += std::to_string(t);
+    json.key(rkey);
+    json.begin_object();
+    json.kv("bytes_in_use", rb.bytes_in_use);
+    json.kv("peak_bytes", rb.peak_bytes);
+    json.end_object();
+  }
+  json.end_object();
+  json.end_object();
+  json.end_object();
+  PLS_ASSERT(json.finished());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::CliArgs args(argc, argv);
+  const bool smoke = args.take_flag("smoke");
+  const std::string out_path = args.take_value("out").value_or("");
+  const std::uint64_t seed = args.take_seed(kDefaultSeed);
+  const unsigned threads =
+      args.take_unsigned("threads", util::ThreadPool::hardware_threads());
+  const std::size_t deltas = args.take_size("deltas", smoke ? 96 : 256);
+  const std::size_t atlas_mb = args.take_size("atlas-mb", 256);
+  const double arrival_rate = args.take_double("arrival-rate", 0.0);
+  const double require_p99_ratio =
+      args.take_double("require-tenant-p99-ratio", 0.0);
+  if (!args.finish("bench_serve_multitenant [--smoke] [--out FILE] "
+                   "[--seed S] [--threads T] [--deltas D] [--atlas-mb MB] "
+                   "[--arrival-rate A] [--require-tenant-p99-ratio R]"))
+    return 2;
+  PLS_REQUIRE(deltas >= 1 && atlas_mb >= 1 && threads >= 1);
+
+  // The three tenants.  Instance sizes are tuned so per-request service
+  // times are within the same order of magnitude — fairness is about the
+  // scheduler, not about one tenant's requests being intrinsically 100x
+  // heavier: stp t=1 gets a large random instance (cheap per node), the
+  // deep spreads get bounded-growth grids whose radius-t balls stay small.
+  util::Rng rng(seed);
+  const schemes::StpLanguage stp_language;
+  const schemes::StpScheme stp(stp_language);
+  const schemes::MstLanguage mst_language;
+  const schemes::MstScheme mst(mst_language);
+
+  auto g_flat = bench::standard_graph(smoke ? 1024 : 2048, rng.bits());
+  util::Rng grid_rng(rng.bits());
+  auto g_deep = bench::share(
+      graph::relabel_random(graph::grid(32, 32), grid_rng));
+  util::Rng mst_rng(rng.bits());
+  auto g_mst = bench::share(graph::reweight_random(
+      graph::relabel_random(graph::grid(32, 32), mst_rng), mst_rng));
+
+  const local::Configuration cfg_flat = stp_language.sample_legal(g_flat, rng);
+  const local::Configuration cfg_deep = stp_language.sample_legal(g_deep, rng);
+  const local::Configuration cfg_mst = mst_language.sample_legal(g_mst, rng);
+
+  const radius::FragmentSpreadScheme stp_t8(stp, 8);
+  const radius::FragmentSpreadScheme mst_t4(mst, 4);
+
+  std::vector<TenantPlan> plans(3);
+  plans[0] = {"stp_t1", &stp, &cfg_flat, 1, 0, {}, {}, {}};
+  plans[1] = {"stp_t8", &stp_t8, &cfg_deep, 8, 1, {}, {}, {}};
+  plans[2] = {"mst_t4", &mst_t4, &cfg_mst, 4, 2, {}, {}, {}};
+  for (TenantPlan& p : plans) {
+    util::Rng stream_rng(rng.bits());
+    plan_stream(p, deltas, stream_rng);
+  }
+
+  const std::vector<Arrival> order = interleave(plans);
+  serve::ServerOptions base_options;
+  base_options.threads = threads;
+
+  const RunResult result =
+      run_open_loop(plans, order, base_options, atlas_mb << 20, arrival_rate,
+                    threads);
+
+  std::cerr << "multitenant threads=" << threads
+            << " offered_per_sec=" << result.offered_per_sec
+            << " sustained_per_sec=" << result.sustained_per_sec
+            << " p99_ratio=" << result.p99_ratio << "\n";
+  for (const TenantResult& t : result.tenants)
+    std::cerr << "  tenant " << t.name << " n=" << t.n << " t=" << t.t
+              << " requests=" << t.requests << " p50_ms=" << t.p50_ms
+              << " p99_ms=" << t.p99_ms << " mean_ms=" << t.mean_ms << "\n";
+
+  if (out_path.empty()) {
+    emit(std::cout, result, plans, atlas_mb << 20, threads, seed);
+  } else {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::cerr << "cannot open " << out_path << "\n";
+      return 1;
+    }
+    emit(out, result, plans, atlas_mb << 20, threads, seed);
+    std::cout << "wrote " << out_path << "\n";
+  }
+
+  if (require_p99_ratio > 0.0) {
+    if (result.p99_ratio > require_p99_ratio) {
+      std::cerr << "FAIL: tenant p99 ratio " << result.p99_ratio
+                << " > allowed " << require_p99_ratio << "\n";
+      return 1;
+    }
+    std::cerr << "tenant p99 ratio " << result.p99_ratio << " <= allowed "
+              << require_p99_ratio << "\n";
+  }
+  return 0;
+}

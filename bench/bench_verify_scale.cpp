@@ -1,6 +1,6 @@
 // Experiment R2 — staged verification at scale.
 //
-// Four scenarios over the spanning-tree spread:
+// Five scenarios over the spanning-tree spread:
 //
 // 1. Single labeling (the PR 2 experiment): the pre-session reference engine
 //    (one ball at a time, every ball certificate re-parsed at every center)
@@ -46,6 +46,17 @@
 //    --arrival-rate overrides) whether or not the previous one finished, so
 //    queueing delay lands in the next request's latency.  Reports sustained
 //    labelings/sec and p50/p99 latency from the serve.latency_ns histogram.
+//
+// 5. Admission A/B (the TinyLFU case): a delta stream whose touched nodes
+//    are zipf-popular (rank through a random permutation) on scenario 3's
+//    grid, replayed against an atlas whose budget holds a sixth of the
+//    geometry — once under kScanResistant (the every-k-th turnover guard)
+//    and once under kTinyLFU (frequency-sketch admission).  The hot nodes'
+//    radius-t balls concentrate the block traffic; the sketch vetoes
+//    cold-tail contenders the blind turnover would admit.  Reports both hit
+//    rates, their ratio (the --require-tinylfu-hit-ratio gate),
+//    labelings/sec per policy, and sketch_rejects; both constrained replays
+//    are asserted verdict-identical to an unconstrained ground-truth replay.
 //
 // Verdict identity is asserted everywhere: scenario 1 across
 // baseline/sequential/parallel sessions per row; scenario 2 across the
@@ -102,6 +113,10 @@
 //   --arrival-rate A          open-loop offered rate, labelings/sec
 //                             (default: 0.8x the measured closed-loop
 //                             stealing throughput)
+//   --admission-out FILE      additionally write the admission-scenario JSON
+//   --zipf-s S                admission-stream skew exponent (default 1.0)
+//   --require-tinylfu-hit-ratio R fail if the tinylfu/scan-resistant atlas
+//                             hit-rate ratio on the zipf stream < R
 #include <chrono>
 #include <fstream>
 #include <functional>
@@ -135,6 +150,7 @@ constexpr std::uint64_t kDefaultSeed = 0xBA11'5CA1Eull;
 constexpr std::uint64_t kBatchSalt = kDefaultSeed ^ 0xA7'1A5ull;
 constexpr std::uint64_t kIncrementalSalt = 0xDE17A'BA11ull;
 constexpr std::uint64_t kServingSalt = 0x5E1F'57EA1ull;
+constexpr std::uint64_t kAdmissionSalt = 0xAD317'CAC3Eull;
 
 struct Row {
   std::string scheme;
@@ -703,6 +719,186 @@ ServingResult measure_serving(const core::Scheme& scheme,
   return r;
 }
 
+// ---- Scenario 5: TinyLFU admission A/B (zipf center popularity) -----------
+
+/// Scenario 5's result sheet: the same zipf-skewed delta stream replayed
+/// against a budget-constrained atlas under both admission policies.
+struct AdmissionResult {
+  std::size_t n = 0;
+  unsigned t = 0;
+  std::size_t labelings = 0;
+  unsigned threads = 1;
+  double zipf_s = 0.0;
+  std::size_t geometry_bytes = 0;  ///< all blocks resident (unconstrained)
+  std::size_t byte_budget = 0;     ///< the constrained A/B budget
+  double scan_ms = 0.0;
+  double tinylfu_ms = 0.0;
+  double scan_per_sec = 0.0;
+  double tinylfu_per_sec = 0.0;
+  radius::AtlasStats scan;
+  radius::AtlasStats tinylfu;
+  double hit_ratio = 0.0;  ///< tinylfu hit rate / scan-resistant hit rate
+  bool verdicts_identical = false;
+};
+
+/// Mutation stream whose touched nodes are zipf-popular: rank r of the
+/// sampler maps through a random permutation, so a handful of "hot" nodes —
+/// and therefore the geometry blocks their radius-t balls live in — absorb
+/// most of the delta traffic while the cold tail trickles.  Exactly the
+/// center-popularity skew TinyLFU admission targets.
+MutationStream zipf_mutation_stream(const core::Scheme& scheme,
+                                    const local::Configuration& cfg,
+                                    std::size_t count, double s,
+                                    util::Rng& rng) {
+  const std::vector<std::uint64_t> perm = rng.permutation(cfg.n());
+  const bench::ZipfSampler zipf(cfg.n(), s);
+  MutationStream stream;
+  stream.labs.reserve(count);
+  stream.labs.push_back(scheme.mark(cfg));
+  const std::size_t n = cfg.n();
+  while (stream.labs.size() < count) {
+    core::Labeling next = stream.labs.back();
+    const auto v = static_cast<graph::NodeIndex>(perm[zipf.sample(rng)]);
+    if (rng.below(2) == 0) {
+      next.certs[v] = next.certs[rng.below(n)];
+    } else {
+      next.certs[v] = local::random_state(rng.below(64), rng);
+    }
+    stream.labs.push_back(std::move(next));
+    stream.touched.push_back(v);
+  }
+  return stream;
+}
+
+AdmissionResult measure_admission(const core::Scheme& scheme,
+                                  const local::Configuration& cfg, unsigned t,
+                                  unsigned threads,
+                                  const MutationStream& stream,
+                                  double zipf_s) {
+  AdmissionResult r;
+  r.n = cfg.n();
+  r.t = t;
+  r.labelings = stream.labs.size();
+  r.threads = threads;
+  r.zipf_s = zipf_s;
+
+  // Ground truth on an unconstrained atlas: the seeding full run builds
+  // every block, so its residency is the total geometry footprint the
+  // budget then squeezes.
+  auto full_atlas = std::make_shared<radius::GeometryAtlas>();
+  std::vector<core::Verdict> truth;
+  {
+    radius::BatchOptions options;
+    options.threads = threads;
+    options.atlas = full_atlas;
+    radius::BatchVerifier verifier(scheme, cfg, t, options);
+    truth = replay_deltas(verifier, stream);
+  }
+  r.geometry_bytes = full_atlas->stats().bytes_in_use;
+  // A quarter of the geometry fits: one hot node's radius-t ball spans a
+  // sizable block range on the grid, so the budget must reward keeping the
+  // zipf head resident while staying far too small for the whole sweep.
+  r.byte_budget = std::max<std::size_t>(1, r.geometry_bytes / 4);
+  // TinyLFU's aging cadence, sized to the cache like W-TinyLFU prescribes
+  // (sample period ~ 10x capacity in entries).  The 8192-record default
+  // never fires on a stream this size, and an unaged sketch freezes the
+  // early hot set: blocks that peaked at estimate 15 an epoch ago veto
+  // every newly hot contender, so TinyLFU's edge *decays* as the stream
+  // lengthens exactly when it should compound.
+  const std::size_t total_blocks = std::max<std::size_t>(1, (cfg.n() + 15) / 16);
+  const std::size_t block_bytes =
+      std::max<std::size_t>(1, r.geometry_bytes / total_blocks);
+  const std::uint64_t sample_period =
+      std::max<std::uint64_t>(64, 10 * (r.byte_budget / block_bytes));
+
+  const auto run_policy = [&](radius::Admission admission, double& ms,
+                              radius::AtlasStats& stats) {
+    radius::AtlasOptions atlas_options;
+    atlas_options.byte_budget = r.byte_budget;
+    atlas_options.admission = admission;
+    atlas_options.sketch_sample_period = sample_period;
+    // Finer blocks sharpen the A/B: a cold delta's ball then spans more
+    // (smaller) blocks, so the blind every-k-th turnover admits — and
+    // churns — proportionally more per scan, while the sketch's veto is
+    // per-block and unaffected.
+    atlas_options.block_centers = 16;
+    radius::BatchOptions options;
+    options.threads = threads;
+    options.atlas = std::make_shared<radius::GeometryAtlas>(atlas_options);
+    radius::BatchVerifier verifier(scheme, cfg, t, options);
+    std::vector<core::Verdict> verdicts;
+    verdicts.reserve(stream.labs.size());
+    // The seeding full sweep is a cyclic scan both policies survive the
+    // same way (bypass); its lookups would dilute the A/B, so the reported
+    // stats cover the delta phase only (snapshot diff).
+    verdicts.push_back(verifier.run_one(stream.labs.front()));
+    const radius::AtlasStats warm = options.atlas->stats();
+    radius::LabelingDelta delta;
+    delta.touched.resize(1);
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t i = 1; i < stream.labs.size(); ++i) {
+      delta.touched[0] = stream.touched[i - 1];
+      verdicts.push_back(verifier.run_delta(stream.labs[i], delta));
+    }
+    const auto stop = std::chrono::steady_clock::now();
+    ms = std::chrono::duration<double, std::milli>(stop - start).count();
+    stats = options.atlas->stats().since(warm);
+    return verdicts;
+  };
+  const std::vector<core::Verdict> scan_v =
+      run_policy(radius::Admission::kScanResistant, r.scan_ms, r.scan);
+  const std::vector<core::Verdict> tinylfu_v =
+      run_policy(radius::Admission::kTinyLFU, r.tinylfu_ms, r.tinylfu);
+
+  // Throughput over the timed (delta) phase: deltas per second.
+  const auto count = static_cast<double>(stream.labs.size() - 1);
+  r.scan_per_sec = count / (r.scan_ms / 1000.0);
+  r.tinylfu_per_sec = count / (r.tinylfu_ms / 1000.0);
+  r.hit_ratio = r.scan.hit_rate() > 0.0
+                    ? r.tinylfu.hit_rate() / r.scan.hit_rate()
+                    : 0.0;
+
+  // Admission policy is a performance knob, never a correctness one: both
+  // constrained replays must agree with the unconstrained ground truth.
+  bool identical = scan_v.size() == truth.size() &&
+                   tinylfu_v.size() == truth.size();
+  for (std::size_t i = 0; identical && i < truth.size(); ++i)
+    identical = same_verdict(scan_v[i], truth[i]) &&
+                same_verdict(tinylfu_v[i], truth[i]);
+  r.verdicts_identical = identical;
+  PLS_ASSERT(identical);
+  return r;
+}
+
+/// Writes the admission-scenario object (nested under "admission" in the
+/// top-level artifact; --admission-out wraps it as its own root).
+void emit_admission(obs::JsonWriter& json, const AdmissionResult& r,
+                    std::uint64_t seed) {
+  json.begin_object();
+  json.kv("bench", "verify_admission");
+  json.kv("seed", seed);
+  json.kv("n", r.n);
+  json.kv("t", r.t);
+  json.kv("labelings", r.labelings);
+  json.kv("threads", r.threads);
+  json.kv("zipf_s", r.zipf_s);
+  json.kv("geometry_bytes", r.geometry_bytes);
+  json.kv("byte_budget", r.byte_budget);
+  json.kv("scan_ms", r.scan_ms);
+  json.kv("tinylfu_ms", r.tinylfu_ms);
+  json.kv("scan_labelings_per_sec", r.scan_per_sec);
+  json.kv("tinylfu_labelings_per_sec", r.tinylfu_per_sec);
+  json.kv("scan_hit_rate", r.scan.hit_rate());
+  json.kv("tinylfu_hit_rate", r.tinylfu.hit_rate());
+  json.kv("hit_ratio", r.hit_ratio);
+  json.kv("scan_evictions", r.scan.evictions);
+  json.kv("scan_bypassed", r.scan.bypassed);
+  json.kv("tinylfu_evictions", r.tinylfu.evictions);
+  json.kv("tinylfu_sketch_rejects", r.tinylfu.sketch_rejects);
+  json.kv("verdicts_identical", r.verdicts_identical);
+  json.end_object();
+}
+
 double t8_speedup_sequential(const std::vector<Row>& rows) {
   for (const Row& r : rows)
     if (r.t == 8) return r.baseline_ms / r.session_seq_ms;
@@ -806,6 +1002,7 @@ void emit(std::ostream& out, const std::vector<Row>& rows,
           const obs::MetricsSnapshot& incr_metrics,
           const ServingResult& serving,
           const obs::MetricsSnapshot& serving_metrics,
+          const AdmissionResult& admission,
           double disabled_span_ns, std::uint64_t seed) {
   const double t8_speedup_seq = t8_speedup_sequential(rows);
   double t8_speedup_par = 0.0;
@@ -842,6 +1039,8 @@ void emit(std::ostream& out, const std::vector<Row>& rows,
   emit_incremental(json, incremental, incr_metrics, seed);
   json.key("serving");
   emit_serving(json, serving, serving_metrics, seed);
+  json.key("admission");
+  emit_admission(json, admission, seed);
   json.end_object();
   PLS_ASSERT(json.finished());
 }
@@ -892,14 +1091,21 @@ int main(int argc, char** argv) {
   const double require_uniform_ratio =
       args.take_double("require-uniform-ratio", 0.0);
   const double arrival_rate = args.take_double("arrival-rate", 0.0);
+  const std::string admission_out_path =
+      args.take_value("admission-out").value_or("");
+  const double zipf_s = args.take_double("zipf-s", 1.0);
+  const double require_tinylfu_hit_ratio =
+      args.take_double("require-tinylfu-hit-ratio", 0.0);
   if (!args.finish("bench_verify_scale [--smoke] [--out FILE] "
                    "[--batch-out FILE] [--incremental-out FILE] "
-                   "[--trace-out FILE] [--serving-out FILE] [--seed S] "
+                   "[--trace-out FILE] [--serving-out FILE] "
+                   "[--admission-out FILE] [--seed S] "
                    "[--threads T] [--t T] [--labelings L] "
                    "[--require-speedup X] [--require-batch-speedup X] "
                    "[--require-incremental-speedup X] "
                    "[--max-disabled-span-ns X] [--require-steal-speedup X] "
-                   "[--require-uniform-ratio R] [--arrival-rate A]"))
+                   "[--require-uniform-ratio R] [--arrival-rate A] "
+                   "[--zipf-s S] [--require-tinylfu-hit-ratio R]"))
     return 2;
   PLS_REQUIRE(batch_t >= 1 && labeling_count >= 1 && threads >= 1);
 
@@ -1064,12 +1270,51 @@ int main(int argc, char** argv) {
   }
   const obs::MetricsSnapshot serving_metrics = serving_registry.snapshot();
 
+  // Scenario 5: admission A/B.  Same bounded-growth grid as scenario 3 (the
+  // skew is over *blocks*, so the instance must have many distinct blocks
+  // with local balls), a delta stream whose touched nodes are zipf-popular,
+  // and an atlas budget holding a sixth of the geometry: kScanResistant's
+  // every-k-th turnover admits cold-tail blocks blindly and churns the hot
+  // head out; kTinyLFU's sketch vetoes them.  The stream length is fixed
+  // (independent of --labelings) so the sketch has traffic to learn from
+  // even under --smoke.
+  AdmissionResult admission;
+  {
+    util::Rng adm_rng(seed ^ kAdmissionSalt);
+    graph::Graph adm_base = graph::grid(incr_side, incr_side);
+    auto adm_g = std::make_shared<const graph::Graph>(
+        graph::relabel_random(adm_base, adm_rng, kIdSpace));
+    const local::Configuration adm_cfg = language.sample_legal(adm_g, adm_rng);
+    // t = 2, not batch_t: admission is a block-traffic property, and a
+    // radius-8 ball spans a third of the grid's rows — smearing every
+    // node's popularity over dozens of blocks until the two policies see
+    // nearly the same key stream.  A t = 2 ball stays within a couple of
+    // blocks, so the zipf skew lands on block keys undiluted.
+    const unsigned adm_t = 2;
+    const radius::SpreadScheme adm_scheme(stp, adm_t);
+    const MutationStream adm_stream = zipf_mutation_stream(
+        adm_scheme, adm_cfg, smoke ? 48 : 160, zipf_s, adm_rng);
+    admission = measure_admission(adm_scheme, adm_cfg, adm_t, threads,
+                                  adm_stream, zipf_s);
+    std::cerr << "admission n=" << admission.n << " t=" << admission.t
+              << " labelings=" << admission.labelings
+              << " zipf_s=" << admission.zipf_s
+              << " budget=" << admission.byte_budget << "/"
+              << admission.geometry_bytes
+              << " scan_hit_rate=" << admission.scan.hit_rate()
+              << " tinylfu_hit_rate=" << admission.tinylfu.hit_rate()
+              << " hit_ratio=" << admission.hit_ratio
+              << " sketch_rejects=" << admission.tinylfu.sketch_rejects
+              << " scan_per_sec=" << admission.scan_per_sec
+              << " tinylfu_per_sec=" << admission.tinylfu_per_sec << "\n";
+  }
+
   const double disabled_span_ns = disabled_span_cost_ns(1u << 20);
   std::cerr << "disabled_span_ns=" << disabled_span_ns << "\n";
 
   if (out_path.empty()) {
     emit(std::cout, rows, batch, batch_metrics, incremental, incr_metrics,
-         serving, serving_metrics, disabled_span_ns, seed);
+         serving, serving_metrics, admission, disabled_span_ns, seed);
   } else {
     std::ofstream out(out_path);
     if (!out) {
@@ -1077,7 +1322,7 @@ int main(int argc, char** argv) {
       return 1;
     }
     emit(out, rows, batch, batch_metrics, incremental, incr_metrics, serving,
-         serving_metrics, disabled_span_ns, seed);
+         serving_metrics, admission, disabled_span_ns, seed);
     std::cout << "wrote " << out_path << "\n";
   }
   if (!batch_out_path.empty()) {
@@ -1112,6 +1357,17 @@ int main(int argc, char** argv) {
     emit_serving(json, serving, serving_metrics, seed);
     PLS_ASSERT(json.finished());
     std::cout << "wrote " << serving_out_path << "\n";
+  }
+  if (!admission_out_path.empty()) {
+    std::ofstream out(admission_out_path);
+    if (!out) {
+      std::cerr << "cannot open " << admission_out_path << "\n";
+      return 1;
+    }
+    obs::JsonWriter json(out);
+    emit_admission(json, admission, seed);
+    PLS_ASSERT(json.finished());
+    std::cout << "wrote " << admission_out_path << "\n";
   }
 
   if (require_speedup > 0.0) {
@@ -1160,6 +1416,15 @@ int main(int argc, char** argv) {
     }
     std::cerr << "uniform static/stealing ratio " << serving.uniform_ratio
               << " >= required " << require_uniform_ratio << "\n";
+  }
+  if (require_tinylfu_hit_ratio > 0.0) {
+    if (admission.hit_ratio < require_tinylfu_hit_ratio) {
+      std::cerr << "FAIL: tinylfu/scan hit ratio " << admission.hit_ratio
+                << " < required " << require_tinylfu_hit_ratio << "\n";
+      return 1;
+    }
+    std::cerr << "tinylfu/scan hit ratio " << admission.hit_ratio
+              << " >= required " << require_tinylfu_hit_ratio << "\n";
   }
   if (max_disabled_span_ns > 0.0) {
     if (disabled_span_ns > max_disabled_span_ns) {

@@ -18,9 +18,20 @@ GeometryBlock::GeometryBlock(const graph::Graph& g,
   store_.shrink_to_fit();
 }
 
-GeometryAtlas::GeometryAtlas(AtlasOptions options) : options_(options) {
+GeometryAtlas::GeometryAtlas(AtlasOptions options)
+    : options_(options),
+      sketch_(std::size_t{1} << 14, options.sketch_sample_period) {
   PLS_REQUIRE(options_.block_centers >= 1);
   PLS_REQUIRE(options_.turnover_period >= 1);
+  PLS_REQUIRE(options_.sketch_sample_period >= 1);
+}
+
+std::uint64_t GeometryAtlas::key_hash(const Key& key) noexcept {
+  // Distinct multipliers keep (epoch, index, t) triples from aliasing under
+  // xor; the sketch's own splitmix finalizer does the real mixing.
+  return key.graph_epoch * 0x9E3779B97F4A7C15ull ^
+         std::uint64_t{key.block_index} * 0xC2B2AE3D27D4EB4Full ^
+         std::uint64_t{key.t} * 0x165667B19E3779F9ull;
 }
 
 std::shared_ptr<const GeometryBlock> GeometryAtlas::block(
@@ -35,6 +46,11 @@ std::shared_ptr<const GeometryBlock> GeometryAtlas::block(
   const Key wanted{g.epoch(), index, t};
 
   util::MutexLock lock(mu_);
+  // TinyLFU sees every lookup, hit or miss: admission compares the
+  // contender's access frequency against victims', and both sides earn
+  // their counts here.  (kScanResistant never reads the sketch; skipping
+  // the writes keeps that policy's lock hold time unchanged.)
+  if (options_.admission == Admission::kTinyLFU) sketch_.record(key_hash(wanted));
   while (true) {
     // Any resident block over the same centers with radius >= t serves the
     // lookup (smaller radii are prefixes); the map order makes the smallest
@@ -57,6 +73,11 @@ std::shared_ptr<const GeometryBlock> GeometryAtlas::block(
       }
       ++stats_.hits;
       touch_locked(*it->second, it->first);
+      // A prefix-serve hit is a use of the RESIDENT block: credit its key
+      // too, or a larger-radius block serving smaller-t traffic would look
+      // cold to admission despite carrying all of it.
+      if (options_.admission == Admission::kTinyLFU && it->first.t != wanted.t)
+        sketch_.record(key_hash(it->first));
       return it->second->block;
     }
 
@@ -89,13 +110,17 @@ std::shared_ptr<const GeometryBlock> GeometryAtlas::block(
     // blocks this one supersedes: a bypassed contender must not evict
     // anything.
     slot_it->second->block = built;
-    if (admit_locked(built->bytes(), reclaimable_prefix_bytes_locked(wanted))) {
+    const std::size_t reclaimable = reclaimable_prefix_bytes_locked(wanted);
+    const bool admit =
+        options_.admission == Admission::kTinyLFU
+            ? admit_tinylfu_locked(wanted, built->bytes(), reclaimable)
+            : admit_locked(built->bytes(), reclaimable);
+    if (admit) {
       retire_prefixes_locked(wanted);
       evict_for_locked(built->bytes());
       lru_.push_front(wanted);
       slot_it->second->lru = lru_.begin();
-      stats_.bytes_in_use += built->bytes();
-      stats_.peak_bytes = std::max(stats_.peak_bytes, stats_.bytes_in_use);
+      charge_locked(wanted.t, built->bytes());
     } else {
       // Scan guard: hand the pinned block to the caller (and the waiters)
       // without caching it, so a cyclic sweep larger than the budget keeps
@@ -136,7 +161,7 @@ void GeometryAtlas::retire_prefixes_locked(const Key& key) {
       ++it;
       continue;
     }
-    stats_.bytes_in_use -= it->second->block->bytes();
+    discharge_locked(it->first.t, it->second->block->bytes());
     lru_.erase(it->second->lru);
     it = entries_.erase(it);
     ++stats_.evictions;
@@ -155,6 +180,36 @@ bool GeometryAtlas::admit_locked(std::size_t needed,
   return true;
 }
 
+bool GeometryAtlas::admit_tinylfu_locked(const Key& key, std::size_t needed,
+                                         std::size_t reclaimable) {
+  if (needed > options_.byte_budget) return false;  // can never fit
+  const std::size_t in_use = stats_.bytes_in_use - reclaimable;
+  if (in_use + needed <= options_.byte_budget) return true;
+  // Full: the contender must out-score every LRU victim it needs to
+  // displace.  Walk the same back-to-front order evict_for_locked pops in,
+  // accumulating freeable bytes; the first victim at least as popular as
+  // the contender vetoes the whole admission (evicting a hotter block for
+  // a colder one can only lower hit rate).
+  const std::uint32_t contender = sketch_.estimate(key_hash(key));
+  std::size_t freeable = 0;
+  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+    if (in_use + needed <= options_.byte_budget + freeable) break;
+    // Smaller-radius blocks over the contender's own centers are already
+    // counted as reclaimable (retired on admit, not LRU-evicted).
+    if (it->graph_epoch == key.graph_epoch &&
+        it->block_index == key.block_index && it->t < key.t)
+      continue;
+    if (sketch_.estimate(key_hash(*it)) >= contender) {
+      ++stats_.sketch_rejects;
+      return false;
+    }
+    const auto entry = entries_.find(*it);
+    PLS_ASSERT(entry != entries_.end() && entry->second->block != nullptr);
+    freeable += entry->second->block->bytes();
+  }
+  return in_use + needed <= options_.byte_budget + freeable;
+}
+
 void GeometryAtlas::evict_for_locked(std::size_t needed) {
   PLS_TRACE_SPAN("atlas.evict", needed);
   while (stats_.bytes_in_use + needed > options_.byte_budget &&
@@ -163,11 +218,27 @@ void GeometryAtlas::evict_for_locked(std::size_t needed) {
     lru_.pop_back();
     auto it = entries_.find(victim);
     PLS_ASSERT(it != entries_.end() && it->second->block != nullptr);
-    stats_.bytes_in_use -= it->second->block->bytes();
+    discharge_locked(victim.t, it->second->block->bytes());
     entries_.erase(it);  // holders' shared_ptrs keep the block alive
     ++stats_.evictions;
   }
   PLS_ASSERT(stats_.bytes_in_use + needed <= options_.byte_budget);
+}
+
+void GeometryAtlas::charge_locked(unsigned t, std::size_t bytes) {
+  stats_.bytes_in_use += bytes;
+  stats_.peak_bytes = std::max(stats_.peak_bytes, stats_.bytes_in_use);
+  auto& rb = stats_.by_radius[t];
+  rb.bytes_in_use += bytes;
+  rb.peak_bytes = std::max(rb.peak_bytes, rb.bytes_in_use);
+}
+
+void GeometryAtlas::discharge_locked(unsigned t, std::size_t bytes) {
+  PLS_ASSERT(stats_.bytes_in_use >= bytes);
+  stats_.bytes_in_use -= bytes;
+  auto it = stats_.by_radius.find(t);
+  PLS_ASSERT(it != stats_.by_radius.end() && it->second.bytes_in_use >= bytes);
+  it->second.bytes_in_use -= bytes;
 }
 
 AtlasStats GeometryAtlas::stats() const {

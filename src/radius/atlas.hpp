@@ -53,10 +53,25 @@
 #include <memory>
 
 #include "radius/ball.hpp"
+#include "radius/sketch.hpp"
 #include "util/mutex.hpp"
 #include "util/thread_annotations.hpp"
 
 namespace pls::radius {
+
+/// Policy for displacing residents once the cache is full.
+enum class Admission : std::uint8_t {
+  /// Every turnover_period-th contender displaces LRU victims blindly; the
+  /// rest bypass.  Keeps a stable resident subset under cyclic scans, but
+  /// which subset survives is arbitrary — popularity-blind.
+  kScanResistant,
+  /// TinyLFU: a contender displaces LRU victims only if its frequency-
+  /// sketch estimate beats each victim's.  On zipf-skewed center
+  /// popularity the resident set converges to the hot blocks; losers are
+  /// counted in AtlasStats::sketch_rejects and bypass (still pinned for
+  /// the caller).  See sketch.hpp.
+  kTinyLFU,
+};
 
 struct AtlasOptions {
   /// Resident-byte ceiling, never exceeded; 0 caches nothing (every lookup
@@ -65,18 +80,33 @@ struct AtlasOptions {
   std::size_t byte_budget = std::size_t{512} << 20;
   /// Centers per block: the build/eviction granule.
   std::uint32_t block_centers = 64;
-  /// Scan resistance: with the cache full, admit (displacing LRU victims)
-  /// only every k-th block that needs room; 1 = pure LRU.
+  /// Scan resistance (kScanResistant only): with the cache full, admit
+  /// (displacing LRU victims) only every k-th block that needs room;
+  /// 1 = pure LRU.
   std::uint32_t turnover_period = 8;
+  /// Full-cache displacement policy.
+  Admission admission = Admission::kScanResistant;
+  /// kTinyLFU only: sketch records between halvings (aging cadence).
+  std::uint64_t sketch_sample_period = 8192;
 };
 
 struct AtlasStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;       ///< == blocks built
   std::uint64_t evictions = 0;
-  std::uint64_t bypassed = 0;     ///< built but not admitted (scan guard)
+  std::uint64_t bypassed = 0;     ///< built but not admitted (either policy)
+  std::uint64_t sketch_rejects = 0;  ///< bypasses where TinyLFU said no
   std::size_t bytes_in_use = 0;
   std::size_t peak_bytes = 0;
+
+  /// Residency split by built radius — the attribution gauge for
+  /// multi-tenant budget pressure: when tenants at different t share one
+  /// atlas, this says whose geometry actually holds the bytes.
+  struct RadiusBytes {
+    std::size_t bytes_in_use = 0;
+    std::size_t peak_bytes = 0;
+  };
+  std::map<unsigned, RadiusBytes> by_radius;
 
   double hit_rate() const noexcept {
     const std::uint64_t total = hits + misses;
@@ -88,13 +118,14 @@ struct AtlasStats {
   /// snapshots cannot tear a phase boundary for sweeps still running, while
   /// a reset concurrent with traffic silently misattributed it.  The level
   /// fields keep their later values (bytes_in_use is live residency;
-  /// peak_bytes stays the lifetime peak).
+  /// peak_bytes stays the lifetime peak, overall and per radius).
   AtlasStats since(const AtlasStats& earlier) const noexcept {
     AtlasStats out = *this;
     out.hits -= earlier.hits;
     out.misses -= earlier.misses;
     out.evictions -= earlier.evictions;
     out.bypassed -= earlier.bypassed;
+    out.sketch_rejects -= earlier.sketch_rejects;
     return out;
   }
 };
@@ -158,6 +189,8 @@ class GeometryAtlas {
     std::list<Key>::iterator lru;                ///< valid only when resident
   };
 
+  static std::uint64_t key_hash(const Key& key) noexcept;
+
   void touch_locked(Slot& slot, const Key& key) PLS_REQUIRES(mu_);
   /// Bytes of resident smaller-radius blocks over `key`'s centers — strict
   /// prefixes a new radius-t block would supersede.
@@ -171,8 +204,16 @@ class GeometryAtlas {
   /// victims (evict_for_locked).  Decision only; no mutation of residency.
   bool admit_locked(std::size_t needed, std::size_t reclaimable)
       PLS_REQUIRES(mu_);
+  /// TinyLFU variant: walks would-be LRU victims back to front and admits
+  /// only if every victim needed for room has a lower sketch estimate than
+  /// the contender (otherwise ++sketch_rejects).  Decision only — the same
+  /// victims it approved are what evict_for_locked then pops.
+  bool admit_tinylfu_locked(const Key& key, std::size_t needed,
+                            std::size_t reclaimable) PLS_REQUIRES(mu_);
   /// Evicts LRU victims until `needed` more bytes fit under the budget.
   void evict_for_locked(std::size_t needed) PLS_REQUIRES(mu_);
+  void charge_locked(unsigned t, std::size_t bytes) PLS_REQUIRES(mu_);
+  void discharge_locked(unsigned t, std::size_t bytes) PLS_REQUIRES(mu_);
 
   const AtlasOptions options_;
 
@@ -181,6 +222,7 @@ class GeometryAtlas {
   std::map<Key, std::shared_ptr<Slot>> entries_ PLS_GUARDED_BY(mu_);
   std::list<Key> lru_ PLS_GUARDED_BY(mu_);  ///< front = most recently used
   std::uint32_t denials_since_turnover_ PLS_GUARDED_BY(mu_) = 0;
+  FrequencySketch sketch_ PLS_GUARDED_BY(mu_);  ///< kTinyLFU only
   AtlasStats stats_ PLS_GUARDED_BY(mu_);
 };
 

@@ -56,6 +56,7 @@ void BatchVerifier::record_sweep_stats() {
 void BatchVerifier::parse_link(const core::Labeling& labeling,
                                ParsedLabeling& out, bool parallel) {
   const std::size_t n = cfg_.n();
+  out.pins.clear();  // the half's previous labeling is gone either way
   out.storage.clear();
   out.storage.resize(n);
   out.view.assign(n, nullptr);
@@ -163,10 +164,22 @@ void BatchVerifier::sweep_dirty(const core::Labeling& labeling,
 }
 
 std::vector<core::Verdict> BatchVerifier::run(
-    std::span<const core::Labeling> labelings) {
+    std::span<const core::Labeling> labelings,
+    std::span<const BufferPin> pins) {
   const std::size_t n = cfg_.n();
   for (const core::Labeling& lab : labelings)
     PLS_REQUIRE(lab.size() == n);
+  // Pin of labeling i (nullptr when the caller passed none): parked in the
+  // half that parses it so the overlap window holds both buffers alive.
+  const auto pin_of = [pins](std::size_t i) {
+    return i < pins.size() ? pins[i] : BufferPin();
+  };
+  const auto install_pin = [this, &pin_of](std::size_t i) {
+    ParsedLabeling& half = parsed_[i % 2];
+    half.pins.clear();
+    if (BufferPin pin = pin_of(i); pin != nullptr)
+      half.pins.push_back(std::move(pin));
+  };
 
   std::vector<core::Verdict> verdicts;
   verdicts.reserve(labelings.size());
@@ -187,6 +200,7 @@ std::vector<core::Verdict> BatchVerifier::run(
     obs::ScopedTimer parse_timer(metrics_.parse);
     parse_link(labelings[0], parsed_[0], /*parallel=*/true);
   }
+  install_pin(0);
 
   if (metrics_.labelings != nullptr) metrics_.labelings->add(labelings.size());
   for (std::size_t i = 0; i < labelings.size(); ++i) {
@@ -212,6 +226,7 @@ std::vector<core::Verdict> BatchVerifier::run(
           obs::ScopedTimer parse_timer(metrics_.parse);
           parse_link(labelings[i + 1], parsed_[(i + 1) % 2],
                      /*parallel=*/false);
+          install_pin(i + 1);
         } catch (...) {
           pool_->finish_range();
           throw;
@@ -234,7 +249,8 @@ std::vector<core::Verdict> BatchVerifier::run(
 }
 
 core::Verdict BatchVerifier::run_delta(const core::Labeling& next,
-                                       const LabelingDelta& delta) {
+                                       const LabelingDelta& delta,
+                                       BufferPin pin) {
   const std::size_t n = cfg_.n();
   PLS_REQUIRE(next.size() == n);
   PLS_REQUIRE(resident_valid_);  // a delta needs a full run to build on
@@ -270,6 +286,15 @@ core::Verdict BatchVerifier::run_delta(const core::Labeling& next,
   // resident entry consistently and is therefore equally correct.
   const bool cached =
       ball_scheme_ != nullptr && ball_scheme_->has_cert_parser();
+  // The resident half's pins: the carried-forward parses are owned copies,
+  // so earlier buffers' pins are no longer load-bearing — swap them for
+  // the new frame's (defensively covering the parses just taken from it)
+  // instead of accumulating one per delta across an unbounded stream.
+  // Without a parse cache the half holds no views into any buffer at all,
+  // so the pins are dropped outright.
+  parsed_[resident_].pins.clear();
+  if (cached && pin != nullptr)
+    parsed_[resident_].pins.push_back(std::move(pin));
   if (cached) {
     PLS_TRACE_SPAN("delta.reparse", delta.touched.size());
     obs::ScopedTimer parse_timer(metrics_.delta_parse);
@@ -321,8 +346,9 @@ core::Verdict BatchVerifier::run_delta(const core::Labeling& prev,
   return run_delta(next, LabelingDelta::diff(prev, next));
 }
 
-core::Verdict BatchVerifier::run_one(const core::Labeling& labeling) {
-  std::vector<core::Verdict> verdicts = run({&labeling, 1});
+core::Verdict BatchVerifier::run_one(const core::Labeling& labeling,
+                                     BufferPin pin) {
+  std::vector<core::Verdict> verdicts = run({&labeling, 1}, {&pin, 1});
   return std::move(verdicts.front());
 }
 

@@ -61,6 +61,21 @@
 
 namespace pls::radius {
 
+/// Keeps an externally owned buffer alive: labelings whose certificates
+/// alias caller-managed memory (util::BitString::aliasing — the serving
+/// tier's zero-copy wire path) pass one of these alongside, and the
+/// verifier parks it in the ParsedLabeling half that parsed the labeling.
+/// The pin is what makes the pipelining window safe: while the sweep of
+/// labeling i overlaps the parse of labeling i+1, BOTH halves hold their
+/// own buffer's pin, so releasing a request buffer early cannot yank bytes
+/// out from under an in-flight stage.  The engine itself never reads a
+/// labeling's raw certificate bytes after the run that verified it returns
+/// (parse_cert outputs are owned copies; the delta path re-reads only the
+/// NEXT labeling's touched certs), so callers may mutate or free a pinned
+/// buffer once their run call returns — dropping the pin is then the
+/// verifier's bookkeeping, not a correctness event.
+using BufferPin = std::shared_ptr<const void>;
+
 struct BatchOptions {
   /// Execution slots; 0 means util::ThreadPool::hardware_threads().
   /// 1 runs strictly sequentially on the calling thread (no worker threads).
@@ -95,12 +110,16 @@ class BatchVerifier {
 
   /// Verifies every labeling of the span, pipelined as described above.
   /// verdicts[i] is bit-identical to a fresh per-labeling session (and to
-  /// run_verifier_t_baseline) at every thread count.
-  std::vector<core::Verdict> run(std::span<const core::Labeling> labelings);
+  /// run_verifier_t_baseline) at every thread count.  `pins[i]` (optional,
+  /// may be shorter than `labelings` or empty) keeps labeling i's aliased
+  /// buffer alive through its parse + sweep window; see BufferPin.
+  std::vector<core::Verdict> run(std::span<const core::Labeling> labelings,
+                                 std::span<const BufferPin> pins = {});
 
   /// Batch of one; the geometry atlas still persists across calls, which is
   /// what the adversary's hill-climb loop amortizes.
-  core::Verdict run_one(const core::Labeling& labeling);
+  core::Verdict run_one(const core::Labeling& labeling,
+                        BufferPin pin = nullptr);
 
   /// The delta front door.  Verifies `next` given that it differs from the
   /// *resident* labeling — the one the last successful run()/run_one()/
@@ -110,7 +129,8 @@ class BatchVerifier {
   /// bit-identical to run_one(next) at every thread count.  An empty
   /// mutation set does no parse, no link, and no sweep work (delta_stats()).
   core::Verdict run_delta(const core::Labeling& next,
-                          const LabelingDelta& delta);
+                          const LabelingDelta& delta,
+                          BufferPin pin = nullptr);
 
   /// Convenience for callers that did not track their mutations: diffs the
   /// two labelings (O(n) certificate compares — the hill-climb passes an
@@ -146,10 +166,16 @@ class BatchVerifier {
   // The shared GeometryAtlas *is* internally locked and annotated
   // (atlas.hpp); everything else here must stay caller-thread-only.
 
-  /// Stage-2 output for one labeling: the per-node parse-once cache.
+  /// Stage-2 output for one labeling: the per-node parse-once cache, plus
+  /// the pin of the buffer its labeling's certificates may alias.  The pin
+  /// lives exactly as long as the half could be read by an in-flight stage:
+  /// installed when the half is (re)parsed, dropped when the half is next
+  /// rebuilt (the parses themselves are owned, so holding it longer is
+  /// bookkeeping, not correctness — see BufferPin).
   struct ParsedLabeling {
     std::vector<std::unique_ptr<ParsedCert>> storage;
     std::vector<const ParsedCert*> view;
+    std::vector<BufferPin> pins;
   };
 
   void parse_link(const core::Labeling& labeling, ParsedLabeling& out,

@@ -28,7 +28,7 @@ inline constexpr unsigned kChunkCountField = 6;  // k fits in 6 bits: [1, 63]
 
 /// Bit i of a BitString (stream order: bit i lives in byte i/8, position i%8).
 inline bool bit_at(const util::BitString& s, std::size_t i) {
-  return (s.bytes()[i / 8] >> (i % 8)) & 1;
+  return (s.data()[i / 8] >> (i % 8)) & 1;
 }
 
 /// Length of the longest common prefix of two bit strings.
@@ -36,7 +36,7 @@ inline std::size_t lcp_bits(const util::BitString& a, const util::BitString& b) 
   const std::size_t limit = std::min(a.bit_size(), b.bit_size());
   std::size_t i = 0;
   // Whole equal bytes first, then the mismatching byte bit by bit.
-  while (i + 8 <= limit && a.bytes()[i / 8] == b.bytes()[i / 8]) i += 8;
+  while (i + 8 <= limit && a.data()[i / 8] == b.data()[i / 8]) i += 8;
   while (i < limit && bit_at(a, i) == bit_at(b, i)) ++i;
   return i;
 }

@@ -1,0 +1,210 @@
+#include "serve/server.hpp"
+
+#include <chrono>
+
+#include "util/assert.hpp"
+
+namespace pls::serve {
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)),
+      atlas_(options_.atlas != nullptr
+                 ? options_.atlas
+                 : std::make_shared<radius::GeometryAtlas>()) {
+  if (options_.metrics != nullptr) {
+    requests_ = &options_.metrics->counter("serve.requests");
+    rejected_frames_ = &options_.metrics->counter("serve.rejected_frames");
+  }
+}
+
+Server::~Server() = default;
+
+std::uint64_t Server::now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::uint32_t Server::add_tenant(std::string name, const core::Scheme& scheme,
+                                 const local::Configuration& cfg, unsigned t) {
+  PLS_REQUIRE(t >= 1);
+  Tenant tenant;
+  tenant.name = std::move(name);
+  tenant.scheme = &scheme;
+  tenant.cfg = &cfg;
+  tenant.t = t;
+  if (options_.metrics != nullptr)
+    tenant.latency =
+        &options_.metrics->histogram("serve.latency_ns." + tenant.name);
+  tenants_.push_back(std::move(tenant));
+  return static_cast<std::uint32_t>(tenants_.size() - 1);
+}
+
+radius::BatchVerifier& Server::verifier_for(Tenant& tenant) {
+  if (tenant.verifier == nullptr) {
+    radius::BatchOptions opts;
+    opts.threads = options_.threads;
+    opts.atlas = atlas_;
+    opts.metrics = options_.metrics;
+    opts.sweep = options_.sweep;
+    tenant.verifier = std::make_unique<radius::BatchVerifier>(
+        *tenant.scheme, *tenant.cfg, tenant.t, std::move(opts));
+  }
+  return *tenant.verifier;
+}
+
+void Server::submit(Frame frame, std::uint64_t arrival_ns) {
+  PLS_REQUIRE(frame != nullptr);
+  const std::uint64_t seq = next_seq_++;
+  if (requests_ != nullptr) requests_->add(1);
+
+  // Validate everything knowable without running: frame integrity, then
+  // consistency with the claimed tenant.  A frame that fails here never
+  // touches a DRR queue, so malformed traffic can't bill a victim tenant.
+  const auto reject_now = [&](std::uint32_t tenant_id, const char* reason) {
+    rejected_.push_back(Rejected{tenant_id, arrival_ns, seq, reason});
+    ++queued_;
+    if (rejected_frames_ != nullptr) rejected_frames_->add(1);
+  };
+
+  const char* error = nullptr;
+  std::optional<RequestView> view =
+      RequestView::parse(std::span<const std::uint8_t>(*frame), &error);
+  if (!view.has_value()) {
+    reject_now(0, error);
+    return;
+  }
+  const std::uint32_t id = view->tenant_id();
+  if (id >= tenants_.size()) {
+    reject_now(id, "unknown tenant id");
+    return;
+  }
+  const Tenant& tenant = tenants_[id];
+  if (view->node_count() != tenant.cfg->n()) {
+    reject_now(id, "node_count does not match tenant configuration");
+    return;
+  }
+  if (view->graph_epoch() != tenant.cfg->graph().epoch()) {
+    reject_now(id, "graph_epoch does not match tenant graph");
+    return;
+  }
+  if (view->t() != tenant.t) {
+    reject_now(id, "radius t does not match tenant");
+    return;
+  }
+
+  tenants_[id].queue.push_back(
+      Request{std::move(frame), std::move(*view), arrival_ns, seq});
+  ++queued_;
+}
+
+std::optional<Server::Response> Server::serve_next() {
+  // Submit-time rejections surface first: they carry no verification work,
+  // so making them wait behind a DRR round would only skew their latency.
+  if (!rejected_.empty()) {
+    const Rejected r = rejected_.front();
+    rejected_.pop_front();
+    --queued_;
+    Response response;
+    response.tenant_id = r.tenant_id;
+    response.seq = r.seq;
+    response.wire_ok = false;
+    response.error = r.reason;
+    response.latency_ns = now_ns() - r.arrival_ns;
+    return response;
+  }
+  if (queued_ == 0 || tenants_.empty()) return std::nullopt;
+
+  // Deficit round-robin: each turn credits the tenant one quantum; it then
+  // serves head requests while the deficit covers their cost.  serve_next
+  // returns one request per call, so the "mid-turn" state (credited, spent)
+  // persists in rr_cursor_/turn_credited_/deficit across calls.
+  for (;;) {
+    Tenant& tenant = tenants_[rr_cursor_];
+    if (tenant.queue.empty()) {
+      // An idle tenant carries no deficit forward — DRR's anti-burst rule:
+      // you can't bank credit while you have nothing to serve.
+      tenant.deficit = 0;
+      turn_credited_ = false;
+      rr_cursor_ = (rr_cursor_ + 1) % tenants_.size();
+      continue;
+    }
+    if (!turn_credited_) {
+      tenant.deficit += options_.quantum;
+      turn_credited_ = true;
+    }
+    const std::uint64_t cost =
+        std::max<std::uint64_t>(1, tenant.queue.front().view.payload_count());
+    if (tenant.deficit < cost) {
+      // Not this turn; the deficit persists (a request costlier than one
+      // quantum accumulates credit over successive rounds).
+      turn_credited_ = false;
+      rr_cursor_ = (rr_cursor_ + 1) % tenants_.size();
+      continue;
+    }
+    tenant.deficit -= cost;
+    Request request = std::move(tenant.queue.front());
+    tenant.queue.pop_front();
+    --queued_;
+    return dispatch(tenant, std::move(request));
+  }
+}
+
+std::vector<Server::Response> Server::drain() {
+  std::vector<Response> responses;
+  while (std::optional<Response> r = serve_next())
+    responses.push_back(std::move(*r));
+  return responses;
+}
+
+Server::Response Server::dispatch(Tenant& tenant, Request request) {
+  Response response;
+  response.tenant_id = request.view.tenant_id();
+  response.seq = request.seq;
+
+  radius::BatchVerifier& verifier = verifier_for(tenant);
+  if (request.view.kind() == WireKind::kFull) {
+    // Zero copy: the labeling's certificates alias the frame; the frame's
+    // pin rides into the verifier's parse cache alongside them.
+    core::Labeling labeling;
+    labeling.certs = request.view.certs();
+    response.verdict = verifier.run_one(labeling, request.frame);
+    tenant.current = std::move(labeling);
+    tenant.pins.clear();
+    tenant.pins.push_back(request.frame);
+  } else {
+    if (tenant.current.certs.empty()) {
+      response.wire_ok = false;
+      response.error = "delta before any full labeling";
+      if (rejected_frames_ != nullptr) rejected_frames_->add(1);
+      response.latency_ns = now_ns() - request.arrival_ns;
+      return response;
+    }
+    // Swap the touched certificates into the tenant's current labeling in
+    // place (O(k), no per-request copy of the other n-k) and run the delta
+    // against it.
+    radius::LabelingDelta delta;
+    delta.touched = request.view.touched();
+    const std::vector<local::Certificate>& fresh = request.view.certs();
+    for (std::size_t i = 0; i < delta.touched.size(); ++i)
+      tenant.current.certs[delta.touched[i]] = fresh[i];
+    response.verdict =
+        verifier.run_delta(tenant.current, delta, request.frame);
+    tenant.pins.push_back(request.frame);
+    if (tenant.pins.size() > kMaxTenantPins) {
+      // Consolidation bound: own every certificate's bytes and release the
+      // accumulated request buffers, so an unbounded delta stream pins a
+      // bounded set of frames.
+      for (local::Certificate& cert : tenant.current.certs)
+        cert = cert.materialize();
+      tenant.pins.clear();
+    }
+  }
+  response.wire_ok = true;
+  response.latency_ns = now_ns() - request.arrival_ns;
+  if (tenant.latency != nullptr) tenant.latency->record(response.latency_ns);
+  return response;
+}
+
+}  // namespace pls::serve

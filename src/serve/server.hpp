@@ -1,0 +1,176 @@
+// The multi-tenant serving front end.
+//
+// A tenant is one pinned (scheme, configuration, t) — the unit the rest of
+// the pipeline already verifies against.  The Server owns ONE GeometryAtlas
+// shared by every tenant (many (scheme, cfg, t) configurations genuinely
+// contend for one geometry budget; AtlasStats::by_radius attributes the
+// pressure) and one lazily built BatchVerifier per tenant, created on the
+// tenant's first request so an idle tenant costs nothing but its queue.
+//
+// Scheduling is deficit round-robin over per-tenant FIFO queues: each
+// tenant's turn adds `quantum` cost units to its deficit, and it serves
+// requests while the deficit covers the head request's cost (its payload
+// count — a full labeling costs n, a k-node delta costs k).  A hot tenant
+// that keeps its queue full therefore gets the same long-run service *rate*
+// as everyone else and cannot starve cold tenants; the per-tenant
+// serve.latency_ns histograms are the observable proof (the CI smoke gates
+// no tenant's p99 above 3x the best).
+//
+// Zero-copy ingestion: submit() takes SHARED ownership of the frame buffer
+// (radius::BufferPin), requests are parsed at dispatch time (RequestView),
+// and the parsed certificates alias the frame straight into the verifier's
+// parse cache — the pin rides along into ParsedLabeling, so a producer may
+// drop its handle the moment submit() returns and the bytes stay alive
+// through any parse/sweep overlap window.  The producer must not MUTATE a
+// submitted buffer until its response comes back (the serve/test suite
+// asserts both directions of this contract); after that, the engine holds
+// no bit-dependence on the frame (see BufferPin in radius/batch.hpp).
+//
+// Delta requests verify against the tenant's CURRENT labeling (the last one
+// verified for it): touched certificates are swapped in as aliased views
+// and run through BatchVerifier::run_delta.  The tenant accumulates one
+// frame pin per aliased generation and consolidates — materializes every
+// certificate into owned storage and drops all pins — when the set exceeds
+// kMaxTenantPins, so an unbounded delta stream holds a bounded set of
+// request buffers, not all of history.
+//
+// Thread contract: like BatchVerifier, the Server is externally
+// synchronized — one dispatcher thread calls submit()/serve_next()/drain().
+// Parallelism lives inside each verifier's sweep (ServerOptions::threads),
+// and the shared atlas is internally locked.  Verdicts are bit-identical to
+// the in-memory run/run_delta path at every thread count: the aliased
+// certificates are bit-equal to their owned counterparts, and everything
+// downstream of parse is the unmodified pipeline.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "radius/batch.hpp"
+#include "serve/wire.hpp"
+
+namespace pls::serve {
+
+struct ServerOptions {
+  /// Sweep threads per tenant verifier; 0 = hardware concurrency.
+  unsigned threads = 0;
+  /// The shared geometry budget; null creates a private default atlas.
+  std::shared_ptr<radius::GeometryAtlas> atlas;
+  /// Sink for per-tenant serve.latency_ns histograms and serve.* counters;
+  /// null records nothing.  Must outlive the server.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// DRR quantum in cost units (certificate payloads) added to a tenant's
+  /// deficit per turn.  Larger quanta lower switching overhead but coarsen
+  /// short-term fairness; the default covers one mid-size delta burst.
+  std::uint64_t quantum = 256;
+  /// Stage-3 scheduler for every tenant verifier.
+  radius::BatchOptions::SweepMode sweep =
+      radius::BatchOptions::SweepMode::kStealing;
+};
+
+class Server {
+ public:
+  /// A frame buffer the server may pin: shared ownership of immutable bytes.
+  using Frame = std::shared_ptr<const std::vector<std::uint8_t>>;
+
+  /// Aliased-generation bound per tenant before certificates are
+  /// materialized and the held frame pins dropped.
+  static constexpr std::size_t kMaxTenantPins = 8;
+
+  explicit Server(ServerOptions options = {});
+  ~Server();
+
+  /// Registers a tenant; returns the tenant id requests must carry.  The
+  /// scheme and configuration must outlive the server.  `name` keys the
+  /// tenant's metrics (serve.latency_ns.<name>).
+  std::uint32_t add_tenant(std::string name, const core::Scheme& scheme,
+                           const local::Configuration& cfg, unsigned t);
+
+  struct Response {
+    std::uint32_t tenant_id = 0;   ///< from the frame (0 if header unreadable)
+    std::uint64_t seq = 0;         ///< submission order, 0-based
+    bool wire_ok = false;          ///< parsed, matched a tenant, verifiable
+    const char* error = nullptr;   ///< static reason when !wire_ok
+    core::Verdict verdict;         ///< empty when !wire_ok
+    std::uint64_t latency_ns = 0;  ///< completion - arrival
+  };
+
+  /// Enqueues a frame.  `arrival_ns` is the open-loop arrival timestamp
+  /// (steady-clock ns) latency is measured from; pass now_ns() for
+  /// closed-loop callers.  The server shares ownership of the buffer until
+  /// the request completes (zero-copy pinning); the producer must not
+  /// mutate the bytes until then.  Frames that fail parsing or don't match
+  /// their claimed tenant's (n, epoch, t) are rejected at submit — queuing
+  /// garbage under the claimed tenant would let an attacker consume a
+  /// victim's DRR budget — and surface as error Responses ahead of the
+  /// next serve_next().
+  void submit(Frame frame, std::uint64_t arrival_ns);
+
+  /// Serves one request under DRR; nullopt when everything is drained.
+  std::optional<Response> serve_next();
+
+  /// Serves until all queues are empty; responses in completion order.
+  std::vector<Response> drain();
+
+  std::size_t queued() const noexcept { return queued_; }
+  const std::shared_ptr<radius::GeometryAtlas>& atlas() const noexcept {
+    return atlas_;
+  }
+  /// Monotonic steady-clock ns, the timebase submit() expects.
+  static std::uint64_t now_ns() noexcept;
+
+ private:
+  struct Request {
+    Frame frame;
+    RequestView view;  ///< aliases *frame (validated at submit)
+    std::uint64_t arrival_ns = 0;
+    std::uint64_t seq = 0;
+  };
+
+  struct Tenant {
+    std::string name;
+    const core::Scheme* scheme = nullptr;
+    const local::Configuration* cfg = nullptr;
+    unsigned t = 0;
+    std::unique_ptr<radius::BatchVerifier> verifier;  ///< lazy
+    std::deque<Request> queue;
+    std::uint64_t deficit = 0;
+    // The tenant's current labeling (delta base): certificates may alias
+    // the frames in `pins`; consolidated to owned storage when the pin set
+    // exceeds kMaxTenantPins.
+    core::Labeling current;
+    std::vector<radius::BufferPin> pins;
+    obs::Histogram* latency = nullptr;  ///< serve.latency_ns.<name>
+  };
+
+  /// A submit-time rejection waiting to surface as a Response (the frame
+  /// itself is already released — nothing verifiable to pin).
+  struct Rejected {
+    std::uint32_t tenant_id = 0;
+    std::uint64_t arrival_ns = 0;
+    std::uint64_t seq = 0;
+    const char* reason = nullptr;
+  };
+
+  radius::BatchVerifier& verifier_for(Tenant& tenant);
+  Response dispatch(Tenant& tenant, Request request);
+
+  ServerOptions options_;
+  std::shared_ptr<radius::GeometryAtlas> atlas_;
+  std::vector<Tenant> tenants_;
+  std::deque<Rejected> rejected_;  ///< FIFO, served ahead of the DRR rounds
+  std::size_t rr_cursor_ = 0;      ///< tenant whose DRR turn is current/next
+  bool turn_credited_ = false;     ///< quantum already added this turn
+  std::size_t queued_ = 0;
+  std::uint64_t next_seq_ = 0;
+
+  obs::Counter* requests_ = nullptr;        ///< serve.requests
+  obs::Counter* rejected_frames_ = nullptr; ///< serve.rejected_frames
+};
+
+}  // namespace pls::serve

@@ -1,0 +1,161 @@
+#include "serve/wire.hpp"
+
+#include "util/assert.hpp"
+
+namespace pls::serve {
+
+namespace {
+
+std::uint16_t rd_u16(const std::uint8_t* p) noexcept {
+  return static_cast<std::uint16_t>(p[0] | (std::uint16_t{p[1]} << 8));
+}
+
+std::uint32_t rd_u32(const std::uint8_t* p) noexcept {
+  return p[0] | (std::uint32_t{p[1]} << 8) | (std::uint32_t{p[2]} << 16) |
+         (std::uint32_t{p[3]} << 24);
+}
+
+std::uint64_t rd_u64(const std::uint8_t* p) noexcept {
+  return rd_u32(p) | (std::uint64_t{rd_u32(p + 4)} << 32);
+}
+
+void wr_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void wr_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (unsigned i = 0; i < 4; ++i)
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void wr_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (unsigned i = 0; i < 8; ++i)
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void wr_header(std::vector<std::uint8_t>& out, WireKind kind,
+               std::uint32_t tenant_id, std::uint64_t graph_epoch,
+               std::uint32_t node_count, std::uint32_t payload_count,
+               unsigned t) {
+  wr_u32(out, kWireMagic);
+  wr_u16(out, kWireVersion);
+  wr_u16(out, static_cast<std::uint16_t>(kind));
+  wr_u32(out, tenant_id);
+  wr_u32(out, node_count);
+  wr_u64(out, graph_epoch);
+  wr_u32(out, payload_count);
+  wr_u32(out, static_cast<std::uint32_t>(t));
+}
+
+void wr_cert(std::vector<std::uint8_t>& out, const local::Certificate& cert) {
+  const std::size_t bits = cert.bit_size();
+  PLS_REQUIRE(bits <= 0xFFFFFFFFu);
+  wr_u32(out, static_cast<std::uint32_t>(bits));
+  const std::uint8_t* data = cert.data();
+  const std::size_t nbytes = (bits + 7) / 8;
+  out.insert(out.end(), data, data + nbytes);
+  // Canonical frames: pad bits above `bits` in the last byte must be zero
+  // (BitWriter-built certs already are; an aliased re-encode might not be).
+  if (bits % 8 != 0)
+    out.back() &= static_cast<std::uint8_t>((1u << (bits % 8)) - 1);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_full(std::uint32_t tenant_id,
+                                      std::uint64_t graph_epoch, unsigned t,
+                                      const core::Labeling& labeling) {
+  PLS_REQUIRE(!labeling.certs.empty());
+  std::vector<std::uint8_t> out;
+  out.reserve(kWireHeaderBytes + labeling.size() * 4 +
+              (labeling.total_bits() + 7) / 8);
+  wr_header(out, WireKind::kFull, tenant_id, graph_epoch,
+            static_cast<std::uint32_t>(labeling.size()),
+            static_cast<std::uint32_t>(labeling.size()), t);
+  for (const local::Certificate& cert : labeling.certs) wr_cert(out, cert);
+  return out;
+}
+
+std::vector<std::uint8_t> encode_delta(
+    std::uint32_t tenant_id, std::uint64_t graph_epoch, unsigned t,
+    std::uint32_t node_count, std::span<const graph::NodeIndex> touched,
+    const core::Labeling& next) {
+  PLS_REQUIRE(next.size() == node_count);
+  std::vector<std::uint8_t> out;
+  wr_header(out, WireKind::kDelta, tenant_id, graph_epoch, node_count,
+            static_cast<std::uint32_t>(touched.size()), t);
+  for (std::size_t i = 0; i < touched.size(); ++i) {
+    const graph::NodeIndex v = touched[i];
+    PLS_REQUIRE(v < node_count);
+    PLS_REQUIRE(i == 0 || touched[i - 1] < v);  // strictly increasing
+    wr_u32(out, static_cast<std::uint32_t>(v));
+    wr_cert(out, next.certs[v]);
+  }
+  return out;
+}
+
+std::optional<RequestView> RequestView::parse(
+    std::span<const std::uint8_t> frame, const char** error) {
+  const auto fail = [error](const char* reason) -> std::optional<RequestView> {
+    if (error != nullptr) *error = reason;
+    return std::nullopt;
+  };
+  if (error != nullptr) *error = nullptr;
+
+  if (frame.size() < kWireHeaderBytes) return fail("frame shorter than header");
+  const std::uint8_t* p = frame.data();
+  if (rd_u32(p) != kWireMagic) return fail("bad magic");
+  if (rd_u16(p + 4) != kWireVersion) return fail("unsupported version");
+  const std::uint16_t kind_raw = rd_u16(p + 6);
+  if (kind_raw > static_cast<std::uint16_t>(WireKind::kDelta))
+    return fail("unknown frame kind");
+
+  RequestView v;
+  v.kind_ = static_cast<WireKind>(kind_raw);
+  v.tenant_id_ = rd_u32(p + 8);
+  v.node_count_ = rd_u32(p + 12);
+  v.graph_epoch_ = rd_u64(p + 16);
+  v.payload_count_ = rd_u32(p + 24);
+  v.t_ = rd_u32(p + 28);
+  if (v.node_count_ == 0) return fail("zero node_count");
+  if (v.t_ < 1) return fail("t must be >= 1");
+  if (v.kind_ == WireKind::kFull && v.payload_count_ != v.node_count_)
+    return fail("full frame payload_count != node_count");
+  if (v.kind_ == WireKind::kDelta && v.payload_count_ > v.node_count_)
+    return fail("delta payload_count exceeds node_count");
+
+  // Single strict pass over the records.  `off` never exceeds frame.size()
+  // and every length is re-checked against the REMAINING bytes before any
+  // access — an adversarial cert_bits cannot move the cursor past the end,
+  // and size_t arithmetic never wraps (bits is widened before rounding up).
+  const std::size_t size = frame.size();
+  std::size_t off = kWireHeaderBytes;
+  const bool is_delta = v.kind_ == WireKind::kDelta;
+  v.certs_.reserve(v.payload_count_);
+  if (is_delta) v.touched_.reserve(v.payload_count_);
+  for (std::uint32_t i = 0; i < v.payload_count_; ++i) {
+    if (is_delta) {
+      if (size - off < 4) return fail("truncated delta node id");
+      const std::uint32_t node = rd_u32(p + off);
+      off += 4;
+      if (node >= v.node_count_) return fail("delta node out of range");
+      if (!v.touched_.empty() && node <= v.touched_.back())
+        return fail("delta nodes not strictly increasing");
+      v.touched_.push_back(node);
+    }
+    if (size - off < 4) return fail("truncated cert_bits field");
+    const std::uint32_t bits = rd_u32(p + off);
+    off += 4;
+    const std::size_t nbytes = (std::size_t{bits} + 7) / 8;
+    if (size - off < nbytes) return fail("certificate bytes truncated");
+    if (bits % 8 != 0 && (p[off + nbytes - 1] >> (bits % 8)) != 0)
+      return fail("nonzero certificate padding bits");
+    v.certs_.push_back(local::Certificate::aliasing(p + off, bits));
+    off += nbytes;
+  }
+  if (off != size) return fail("trailing bytes after last record");
+  return v;
+}
+
+}  // namespace pls::serve

@@ -25,6 +25,11 @@ void BitWriter::write_varint(std::uint64_t value) {
 void BitWriter::write_bits(const std::vector<std::uint8_t>& bytes,
                            std::size_t nbits) {
   PLS_REQUIRE(nbits <= bytes.size() * 8);
+  write_bits(bytes.data(), nbits);
+}
+
+void BitWriter::write_bits(const std::uint8_t* bytes, std::size_t nbits) {
+  PLS_REQUIRE(nbits == 0 || bytes != nullptr);
   for (std::size_t i = 0; i < nbits; ++i) {
     const bool bit = (bytes[i / 8] >> (i % 8)) & 1u;
     write_bit(bit);
@@ -37,7 +42,10 @@ std::vector<std::uint8_t> BitWriter::take_bytes() noexcept {
 }
 
 std::optional<std::uint64_t> BitReader::read_uint(unsigned width) noexcept {
-  if (width > 64 || remaining() < width) return std::nullopt;
+  if (failed_ || width > 64 || remaining() < width) {
+    failed_ = true;
+    return std::nullopt;
+  }
   std::uint64_t value = 0;
   for (unsigned i = 0; i < width; ++i) {
     const std::size_t byte = pos_ / 8;
@@ -55,13 +63,20 @@ std::optional<bool> BitReader::read_bit() noexcept {
 }
 
 std::optional<std::uint64_t> BitReader::read_varint() noexcept {
+  const std::size_t start = pos_;
   std::uint64_t value = 0;
   unsigned shift = 0;
   for (;;) {
     auto group = read_uint(7);
     auto cont = read_bit();
-    if (!group || !cont) return std::nullopt;
-    if (shift >= 64) return std::nullopt;  // overlong encoding
+    if (!group || !cont || shift >= 64 ||
+        (shift > 57 && (*group >> (64 - shift)) != 0)) {
+      // Truncated, or an overlong encoding: a group past bit 63, or group
+      // bits that would shift out above bit 63 (shift 63 keeps only bit 0).
+      pos_ = start;
+      failed_ = true;
+      return std::nullopt;
+    }
     value |= (*group << shift);
     if (!*cont) return value;
     shift += 7;

@@ -34,6 +34,9 @@ class BitWriter {
   /// Append another bit string verbatim.
   void write_bits(const std::vector<std::uint8_t>& bytes, std::size_t nbits);
 
+  /// Same, from raw bit storage (BitString::data() layout).
+  void write_bits(const std::uint8_t* bytes, std::size_t nbits);
+
   std::size_t bit_size() const noexcept { return nbits_; }
   const std::vector<std::uint8_t>& bytes() const noexcept { return bytes_; }
 
@@ -45,10 +48,20 @@ class BitWriter {
   std::size_t nbits_ = 0;
 };
 
+// Every read_* checks the remaining bit count BEFORE touching storage and
+// fails closed: a failed read returns nullopt, does not advance the cursor,
+// and latches the sticky failed() flag.  Once failed, every subsequent read
+// also returns nullopt, so a decoder that forgets to check one intermediate
+// result still cannot be steered by bits past the end — it can only reject.
+// Overlong varints (encodings whose discarded high groups carry nonzero
+// bits, i.e. that alias a different 64-bit value) are rejected too: on the
+// wire path two distinct byte strings must never decode to the same value.
 class BitReader {
  public:
   BitReader(const std::uint8_t* data, std::size_t nbits) noexcept
-      : data_(data), nbits_(nbits) {}
+      : data_(data), nbits_(nbits) {
+    PLS_ASSERT(nbits == 0 || data != nullptr);
+  }
   BitReader(const std::vector<std::uint8_t>& bytes, std::size_t nbits) noexcept
       : BitReader(bytes.data(), nbits) {
     PLS_ASSERT(nbits <= bytes.size() * 8);
@@ -59,16 +72,24 @@ class BitReader {
 
   std::optional<bool> read_bit() noexcept;
 
+  /// LEB128-style varint; nullopt on truncation and on overlong encodings
+  /// that would discard nonzero bits above bit 63.
   std::optional<std::uint64_t> read_varint() noexcept;
 
   std::size_t remaining() const noexcept { return nbits_ - pos_; }
   bool exhausted() const noexcept { return pos_ == nbits_; }
   std::size_t position() const noexcept { return pos_; }
 
+  /// Sticky: true once any read has failed.  ok() is the single check a
+  /// multi-field decoder needs at the end of a parse.
+  bool failed() const noexcept { return failed_; }
+  bool ok() const noexcept { return !failed_; }
+
  private:
   const std::uint8_t* data_;
   std::size_t nbits_;
   std::size_t pos_ = 0;
+  bool failed_ = false;
 };
 
 /// Number of bits needed to represent `value` (0 -> 1, so every value has a

@@ -133,6 +133,30 @@ TEST(Fuzz, StrictAdapterSurvivesGarbage) {
   }
 }
 
+TEST(Fuzz, EveryTruncationPointOfEveryEncoderIsHandled) {
+  // The BitReader hardening regression, end to end: take each registry
+  // scheme's own encoder output and cut one certificate at EVERY bit
+  // position.  Each truncation lands mid-field in some decoder read; all of
+  // them must fail closed into a verdict — no crash, no out-of-bounds read
+  // (the ASan job runs this with poisoned redzones).
+  util::Rng rng(46368);
+  for (const schemes::SchemeEntry& entry : schemes::standard_catalog()) {
+    auto g = fuzz_graph(entry, rng);
+    const local::Configuration cfg = entry.language->sample_legal(g, rng);
+    const Labeling honest = entry.scheme->mark(cfg);
+    for (const std::size_t v :
+         {std::size_t{0}, cfg.n() / 2, cfg.n() - 1}) {
+      for (std::size_t cut = 0; cut < honest.certs[v].bit_size(); ++cut) {
+        Labeling truncated = honest;
+        truncated.certs[v] = honest.certs[v].prefix(cut);
+        const Verdict verdict = run_verifier(*entry.scheme, cfg, truncated);
+        EXPECT_EQ(verdict.accept().size(), cfg.n())
+            << entry.label << " node " << v << " cut " << cut;
+      }
+    }
+  }
+}
+
 TEST(Fuzz, BitReaderNeverReadsOutOfBounds) {
   util::Rng rng(2024);
   for (int trial = 0; trial < 200; ++trial) {

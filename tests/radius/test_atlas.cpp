@@ -5,7 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <thread>
+
+#include "radius/sketch.hpp"
 
 #include "graph/generators.hpp"
 #include "radius/session.hpp"
@@ -363,6 +366,131 @@ TEST(GeometryAtlas, SnapshotDiffReportsOnePhaseOverAWarmAtlas) {
   EXPECT_EQ(phase.hit_rate(), 1.0);
   EXPECT_EQ(phase.bytes_in_use, warm.bytes_in_use);
   EXPECT_EQ(atlas.stats().misses, warm.misses);
+}
+
+TEST(FrequencySketch, CountMinSaturatesAtFifteen) {
+  FrequencySketch sketch(64, /*sample_period=*/1u << 20);
+  EXPECT_EQ(sketch.estimate(42), 0u);
+  for (int i = 0; i < 7; ++i) sketch.record(42);
+  // Count-min never under-counts (collisions can only over-count).
+  EXPECT_GE(sketch.estimate(42), 7u);
+  for (int i = 0; i < 40; ++i) sketch.record(42);
+  EXPECT_EQ(sketch.estimate(42), 15u);  // saturated, no wrap past 0xF
+  EXPECT_EQ(sketch.halvings(), 0u);
+}
+
+TEST(FrequencySketch, PeriodicHalvingDecaysEveryCounter) {
+  FrequencySketch sketch(1u << 10, /*sample_period=*/64);
+  for (int i = 0; i < 12; ++i) sketch.record(7);
+  EXPECT_GE(sketch.estimate(7), 12u);
+  // Unrelated traffic trips the sample period; the halving caps every
+  // counter in the table at 15/2 = 7, so the hot key decays too.
+  std::uint64_t key = 1000;
+  while (sketch.halvings() == 0) sketch.record(key++);
+  EXPECT_LE(sketch.estimate(7), 7u);
+}
+
+// TinyLFU admission: in the LRU-churn scenario — a budget holding exactly
+// one block, hot lookups interleaved with a cold rotation — pure LRU
+// evicts the hot block moments before every reuse (zero hits), while the
+// frequency sketch vetoes each cold contender (estimate ~1) against the
+// hot resident and keeps hitting.  The zipf-stream A/B against the default
+// scan-resistant policy is the bench's job; this pins the admission
+// mechanism itself, deterministically.
+TEST(GeometryAtlas, TinyLfuKeepsTheHotBlockWhereLruChurns) {
+  util::Rng rng(7014);
+  auto g = share(graph::random_connected(96, 60, rng));
+
+  // One lookup per block visit (as a sweep holding its pinned block would
+  // issue).  Budget = the largest block: any single block fits, no two fit
+  // together (asserted), so residency is exactly one block at all times.
+  AtlasOptions probe_options;
+  probe_options.block_centers = 16;
+  GeometryAtlas probe(probe_options);
+  std::vector<std::size_t> sizes;
+  for (graph::NodeIndex first = 0; first < g->n(); first += 16)
+    sizes.push_back(probe.block(*g, 4, first)->bytes());
+  std::sort(sizes.begin(), sizes.end());
+  ASSERT_GT(sizes.front() + sizes[1], sizes.back())
+      << "budget must hold one block but never two";
+
+  AtlasOptions base;
+  base.block_centers = 16;
+  base.byte_budget = sizes.back();
+  const auto run_stream = [&](GeometryAtlas& atlas) {
+    for (int i = 0; i < 3; ++i) atlas.block(*g, 4, 0);  // seed hot frequency
+    for (int round = 0; round < 10; ++round) {
+      atlas.block(*g, 4, 0);  // hot: always block 0
+      const auto cold = static_cast<graph::NodeIndex>(16 * (1 + round % 5));
+      atlas.block(*g, 4, cold);
+    }
+  };
+
+  AtlasOptions tiny = base;
+  tiny.admission = Admission::kTinyLFU;
+  GeometryAtlas tiny_atlas(tiny);
+  run_stream(tiny_atlas);
+  const AtlasStats tiny_stats = tiny_atlas.stats();
+
+  AtlasOptions lru = base;
+  lru.turnover_period = 1;  // kScanResistant degenerates to pure LRU
+  GeometryAtlas lru_atlas(lru);
+  run_stream(lru_atlas);
+  const AtlasStats lru_stats = lru_atlas.stats();
+
+  // Every cold contender lost to the hot resident's frequency...
+  EXPECT_GT(tiny_stats.sketch_rejects, 0u);
+  // ...so the hot block hit on every revisit; LRU churned it out each time.
+  EXPECT_EQ(tiny_stats.hits, 12u);  // 2 warmup revisits + 10 rounds
+  // LRU: 2 warmup revisits + round 0's hot lookup (the first cold arrival
+  // is what starts the churn), then every later hot lookup misses.
+  EXPECT_EQ(lru_stats.hits, 3u);
+  EXPECT_GT(tiny_stats.hits, lru_stats.hits);
+  EXPECT_LE(tiny_stats.bytes_in_use, base.byte_budget);
+  EXPECT_LE(tiny_stats.peak_bytes, base.byte_budget);
+
+  // And it is still resident now: one more hot lookup, zero builds.
+  const AtlasStats before_final = tiny_atlas.stats();
+  tiny_atlas.block(*g, 4, 0);
+  const AtlasStats final_phase = tiny_atlas.stats().since(before_final);
+  EXPECT_EQ(final_phase.misses, 0u);
+  EXPECT_EQ(final_phase.hits, 1u);
+}
+
+std::size_t by_radius_sum(const AtlasStats& stats) {
+  std::size_t sum = 0;
+  for (const auto& [t, rb] : stats.by_radius) sum += rb.bytes_in_use;
+  return sum;
+}
+
+// The per-radius residency gauges: attribution always sums to the global
+// bytes_in_use, and prefix retirement moves bytes between radii instead of
+// leaking them.
+TEST(GeometryAtlas, ByRadiusResidencySumsToTotalAndTracksRetirement) {
+  util::Rng rng(7015);
+  auto g1 = share(graph::random_connected(30, 18, rng));
+  auto g2 = share(graph::random_connected(26, 14, rng));
+
+  GeometryAtlas atlas;
+  for (graph::NodeIndex v = 0; v < g1->n(); ++v) atlas.block(*g1, 2, v);
+  for (graph::NodeIndex v = 0; v < g2->n(); ++v) atlas.block(*g2, 5, v);
+  const AtlasStats mixed = atlas.stats();
+  ASSERT_GT(mixed.by_radius.at(2).bytes_in_use, 0u);
+  ASSERT_GT(mixed.by_radius.at(5).bytes_in_use, 0u);
+  EXPECT_EQ(by_radius_sum(mixed), mixed.bytes_in_use);
+  for (const auto& [t, rb] : mixed.by_radius)
+    EXPECT_GE(rb.peak_bytes, rb.bytes_in_use) << "radius " << t;
+
+  // Ascending g1 to t = 8 retires its t = 2 prefixes: radius 2 drains to
+  // zero residency (its peak stays), radius 8 takes the bytes over, and the
+  // attribution still sums exactly.
+  for (graph::NodeIndex v = 0; v < g1->n(); ++v) atlas.block(*g1, 8, v);
+  const AtlasStats after = atlas.stats();
+  EXPECT_EQ(after.by_radius.at(2).bytes_in_use, 0u);
+  EXPECT_EQ(after.by_radius.at(2).peak_bytes,
+            mixed.by_radius.at(2).peak_bytes);
+  EXPECT_GT(after.by_radius.at(8).bytes_in_use, 0u);
+  EXPECT_EQ(by_radius_sum(after), after.bytes_in_use);
 }
 
 }  // namespace

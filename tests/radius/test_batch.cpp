@@ -293,5 +293,117 @@ TEST(BatchVerifier, SkewedInstanceIdenticalAcrossSchedulersAndThreads) {
   }
 }
 
+/// An aliased twin of `src`: one contiguous byte buffer (a stand-in for a
+/// wire frame) plus a labeling whose certificates alias into it zero-copy.
+struct AliasedCopy {
+  Labeling lab;
+  std::shared_ptr<std::vector<std::uint8_t>> buffer;
+};
+
+AliasedCopy alias_of(const Labeling& src) {
+  AliasedCopy out;
+  std::size_t total = 0;
+  for (const local::Certificate& c : src.certs)
+    total += (c.bit_size() + 7) / 8;
+  out.buffer = std::make_shared<std::vector<std::uint8_t>>(total);
+  std::size_t off = 0;
+  for (const local::Certificate& c : src.certs) {
+    const std::size_t nbytes = (c.bit_size() + 7) / 8;
+    if (nbytes > 0) std::copy_n(c.data(), nbytes, out.buffer->data() + off);
+    out.lab.certs.push_back(
+        local::Certificate::aliasing(out.buffer->data() + off, c.bit_size()));
+    off += nbytes;
+  }
+  return out;
+}
+
+// The zero-copy pin contract, producer side: aliased labelings with their
+// buffers passed as pins are bit-identical to owned ones, and the producer
+// may drop every handle — labelings AND buffers — the moment run() returns.
+// The overlap window (stage 2 of labeling i+1 during the sweep of labeling
+// i) is defensively pinned: the engine's parse halves hold the buffers, so
+// the post-run delta below reads no freed memory (the ASan job proves it).
+TEST(BatchVerifier, PinnedAliasedLabelingsMatchOwnedAndOutliveTheProducer) {
+  const schemes::StpLanguage language;
+  const schemes::StpScheme base(language);
+  const SpreadScheme spread(base, 2);
+  util::Rng rng(50906);
+  auto g = share(graph::random_connected(18, 10, rng));
+  const local::Configuration cfg = language.sample_legal(g, rng);
+  const Labeling honest = spread.mark(cfg);
+  Labeling tampered = honest;
+  tampered.certs[5] = local::random_state(32, rng);
+  const std::vector<Labeling> owned = {honest, tampered, honest};
+
+  Labeling delta_next = honest;
+  delta_next.certs[2] = local::random_state(24, rng);
+  LabelingDelta delta;
+  delta.touched = {2};
+  const Verdict delta_oracle =
+      run_verifier_t_baseline(spread, cfg, delta_next, 2);
+
+  for (const unsigned threads : {1u, 2u}) {
+    BatchOptions options;
+    options.threads = threads;
+    BatchVerifier batch(spread, cfg, 2, options);
+    {
+      std::vector<Labeling> aliased;
+      std::vector<BufferPin> pins;
+      for (const Labeling& lab : owned) {
+        AliasedCopy copy = alias_of(lab);
+        aliased.push_back(std::move(copy.lab));
+        pins.push_back(std::move(copy.buffer));
+      }
+      const std::vector<Verdict> got = batch.run(aliased, pins);
+      ASSERT_EQ(got.size(), owned.size());
+      for (std::size_t i = 0; i < owned.size(); ++i)
+        EXPECT_EQ(got[i].accept(),
+                  run_verifier_t_baseline(spread, cfg, owned[i], 2).accept())
+            << "labeling " << i << " threads " << threads;
+      // Producer teardown: aliases and buffer handles die here; only the
+      // pins inside the verifier keep the bytes alive.
+    }
+    EXPECT_EQ(batch.run_delta(delta_next, delta).accept(),
+              delta_oracle.accept())
+        << "threads " << threads;
+  }
+}
+
+// The other direction of the contract: once run_one has returned, the
+// engine holds no raw-byte dependence on the labeling's buffer — the
+// producer may scribble over it, and resident state (parse cache, verdict
+// bytes, delta base) is unaffected.
+TEST(BatchVerifier, BufferMutationAfterRunReturnsCannotChangeVerdicts) {
+  const schemes::StpLanguage language;
+  const schemes::StpScheme base(language);
+  const SpreadScheme spread(base, 2);
+  util::Rng rng(50907);
+  auto g = share(graph::random_connected(18, 10, rng));
+  const local::Configuration cfg = language.sample_legal(g, rng);
+  const Labeling honest = spread.mark(cfg);
+
+  Labeling delta_next = honest;
+  delta_next.certs[2] = local::random_state(24, rng);
+  LabelingDelta delta;
+  delta.touched = {2};
+
+  BatchOptions options;
+  options.threads = 2;
+  BatchVerifier batch(spread, cfg, 2, options);
+
+  AliasedCopy copy = alias_of(honest);
+  const Verdict first = batch.run_one(copy.lab, copy.buffer);
+  EXPECT_EQ(first.accept(),
+            run_verifier_t_baseline(spread, cfg, honest, 2).accept());
+
+  copy.lab = Labeling{};  // the aliases go first...
+  for (std::uint8_t& byte : *copy.buffer) byte = 0xFF;  // ...then the bytes
+
+  EXPECT_EQ(batch.run_delta(delta_next, delta).accept(),
+            run_verifier_t_baseline(spread, cfg, delta_next, 2).accept());
+  EXPECT_EQ(batch.run_one(honest).accept(),
+            run_verifier_t_baseline(spread, cfg, honest, 2).accept());
+}
+
 }  // namespace
 }  // namespace pls::radius

@@ -1,0 +1,230 @@
+// Wire format v1: round trips must alias the frame (zero copy), and every
+// malformation — adversarial lengths included — must be rejected by name
+// without reading a byte outside the span.  The ASan/UBSan CI job runs the
+// fuzz cases with real poisoned redzones.
+#include "serve/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include <initializer_list>
+
+#include "util/rng.hpp"
+
+namespace pls::serve {
+namespace {
+
+local::Certificate cert_of(std::uint64_t seed, unsigned bits) {
+  util::BitWriter w;
+  for (unsigned i = 0; i < bits; ++i)
+    w.write_bit(((seed >> (i % 61)) & 1u) != 0);
+  return local::Certificate::from_writer(std::move(w));
+}
+
+core::Labeling labeling_of(std::initializer_list<unsigned> bit_sizes) {
+  core::Labeling lab;
+  std::uint64_t seed = 0x5EED;
+  for (const unsigned bits : bit_sizes)
+    lab.certs.push_back(cert_of(seed++, bits));
+  return lab;
+}
+
+bool aliases(const local::Certificate& cert,
+             const std::vector<std::uint8_t>& frame) {
+  if (cert.bit_size() == 0) return cert.is_aliasing();
+  return cert.is_aliasing() && cert.data() >= frame.data() &&
+         cert.data() < frame.data() + frame.size();
+}
+
+TEST(Wire, FullRoundTripAliasesTheFrame) {
+  // Sizes straddle the interesting boundaries: empty, sub-byte, exact byte,
+  // multi-byte with pad bits, and word-sized.
+  const core::Labeling lab = labeling_of({0, 3, 8, 17, 64});
+  const std::vector<std::uint8_t> frame =
+      encode_full(7, 0xABCDEF0123ull, 3, lab);
+
+  const char* error = "unset";
+  const std::optional<RequestView> view = RequestView::parse(frame, &error);
+  ASSERT_TRUE(view.has_value()) << error;
+  EXPECT_EQ(error, nullptr);
+  EXPECT_EQ(view->kind(), WireKind::kFull);
+  EXPECT_EQ(view->tenant_id(), 7u);
+  EXPECT_EQ(view->node_count(), 5u);
+  EXPECT_EQ(view->graph_epoch(), 0xABCDEF0123ull);
+  EXPECT_EQ(view->payload_count(), 5u);
+  EXPECT_EQ(view->t(), 3u);
+
+  ASSERT_EQ(view->certs().size(), lab.size());
+  for (std::size_t v = 0; v < lab.size(); ++v) {
+    // Bit-equal to the original AND backed by the frame's own bytes.
+    EXPECT_EQ(view->certs()[v], lab.certs[v]) << "cert " << v;
+    EXPECT_TRUE(aliases(view->certs()[v], frame)) << "cert " << v;
+  }
+}
+
+TEST(Wire, DeltaRoundTrip) {
+  const core::Labeling next =
+      labeling_of({5, 9, 12, 1, 0, 33, 7, 16, 21});
+  const std::vector<graph::NodeIndex> touched = {1, 4, 8};
+  const std::vector<std::uint8_t> frame =
+      encode_delta(2, 99, 2, 9, touched, next);
+
+  const std::optional<RequestView> view = RequestView::parse(frame);
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ(view->kind(), WireKind::kDelta);
+  EXPECT_EQ(view->node_count(), 9u);
+  EXPECT_EQ(view->payload_count(), 3u);
+  ASSERT_EQ(view->touched(), touched);
+  ASSERT_EQ(view->certs().size(), touched.size());
+  for (std::size_t i = 0; i < touched.size(); ++i) {
+    EXPECT_EQ(view->certs()[i], next.certs[touched[i]]) << "entry " << i;
+    EXPECT_TRUE(aliases(view->certs()[i], frame)) << "entry " << i;
+  }
+}
+
+void expect_rejected(std::vector<std::uint8_t> frame, const char* reason) {
+  const char* error = nullptr;
+  EXPECT_FALSE(RequestView::parse(frame, &error).has_value()) << reason;
+  ASSERT_NE(error, nullptr) << reason;
+  EXPECT_STREQ(error, reason);
+}
+
+void put_u32(std::vector<std::uint8_t>& frame, std::size_t off,
+             std::uint32_t v) {
+  for (unsigned i = 0; i < 4; ++i)
+    frame[off + i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+TEST(Wire, EveryMalformationIsRejectedByName) {
+  const core::Labeling lab = labeling_of({3, 8, 17});
+  const std::vector<std::uint8_t> full = encode_full(0, 11, 2, lab);
+
+  {
+    std::vector<std::uint8_t> f(full.begin(),
+                                full.begin() + kWireHeaderBytes - 1);
+    expect_rejected(std::move(f), "frame shorter than header");
+  }
+  {
+    auto f = full;
+    f[0] ^= 0xFF;
+    expect_rejected(std::move(f), "bad magic");
+  }
+  {
+    auto f = full;
+    f[4] = 2;
+    expect_rejected(std::move(f), "unsupported version");
+  }
+  {
+    auto f = full;
+    f[6] = 2;
+    expect_rejected(std::move(f), "unknown frame kind");
+  }
+  {
+    auto f = full;
+    put_u32(f, 12, 0);  // node_count
+    put_u32(f, 24, 0);  // payload_count kept consistent
+    expect_rejected(std::move(f), "zero node_count");
+  }
+  {
+    auto f = full;
+    put_u32(f, 28, 0);  // t
+    expect_rejected(std::move(f), "t must be >= 1");
+  }
+  {
+    auto f = full;
+    put_u32(f, 24, 2);  // payload_count != node_count
+    expect_rejected(std::move(f), "full frame payload_count != node_count");
+  }
+  {
+    auto f = full;
+    // First record's cert_bits claims more bits than the frame holds; the
+    // bounds check must veto before the cursor moves.
+    put_u32(f, kWireHeaderBytes, 0xFFFFFFFFu);
+    expect_rejected(std::move(f), "certificate bytes truncated");
+  }
+  {
+    auto f = full;
+    f.resize(kWireHeaderBytes + 2);  // cuts the first cert_bits field itself
+    expect_rejected(std::move(f), "truncated cert_bits field");
+  }
+  {
+    auto f = full;
+    // First cert is 3 bits: its single payload byte must keep bits 3..7
+    // clear (one canonical encoding per request).
+    f[kWireHeaderBytes + 4] |= 0x80;
+    expect_rejected(std::move(f), "nonzero certificate padding bits");
+  }
+  {
+    auto f = full;
+    f.push_back(0);
+    expect_rejected(std::move(f), "trailing bytes after last record");
+  }
+
+  // Delta-specific malformations; empty certs keep record offsets fixed
+  // (node id at +0, cert_bits at +4, 8 bytes per record).
+  core::Labeling next;
+  for (int v = 0; v < 6; ++v) next.certs.push_back(local::Certificate{});
+  const std::vector<graph::NodeIndex> touched = {1, 3};
+  const std::vector<std::uint8_t> delta =
+      encode_delta(0, 11, 2, 6, touched, next);
+
+  {
+    auto f = delta;
+    put_u32(f, 24, 7);  // payload_count > node_count
+    expect_rejected(std::move(f), "delta payload_count exceeds node_count");
+  }
+  {
+    auto f = delta;
+    f.resize(kWireHeaderBytes + 2);  // cuts the first node id
+    expect_rejected(std::move(f), "truncated delta node id");
+  }
+  {
+    auto f = delta;
+    put_u32(f, kWireHeaderBytes, 6);  // node id == node_count
+    expect_rejected(std::move(f), "delta node out of range");
+  }
+  {
+    auto f = delta;
+    put_u32(f, kWireHeaderBytes + 8, 1);  // second id repeats the first
+    expect_rejected(std::move(f), "delta nodes not strictly increasing");
+  }
+}
+
+TEST(Wire, EveryTruncationPointIsRejected) {
+  const core::Labeling lab = labeling_of({0, 3, 8, 17, 64});
+  const std::vector<graph::NodeIndex> touched = {0, 2, 4};
+  for (const std::vector<std::uint8_t>& frame :
+       {encode_full(1, 5, 2, lab), encode_delta(1, 5, 2, 5, touched, lab)}) {
+    for (std::size_t len = 0; len < frame.size(); ++len) {
+      const char* error = nullptr;
+      const auto view = RequestView::parse(
+          std::span<const std::uint8_t>(frame.data(), len), &error);
+      // Records fill the frame exactly, so every strict prefix is either
+      // mid-record or missing records — never a valid frame.
+      EXPECT_FALSE(view.has_value()) << "length " << len;
+      EXPECT_NE(error, nullptr) << "length " << len;
+    }
+  }
+}
+
+TEST(Wire, RandomCorruptionNeverBreaksAccessorTotality) {
+  const core::Labeling lab = labeling_of({7, 0, 19, 8, 3, 40});
+  const std::vector<std::uint8_t> honest = encode_full(3, 77, 4, lab);
+  util::Rng rng(90210);
+  for (int trial = 0; trial < 500; ++trial) {
+    auto frame = honest;
+    for (std::uint64_t flips = 1 + rng.below(4); flips > 0; --flips) {
+      const std::size_t byte = rng.below(frame.size());
+      frame[byte] ^= static_cast<std::uint8_t>(1u << rng.below(8));
+    }
+    const auto view = RequestView::parse(frame);
+    if (!view.has_value()) continue;
+    // Accepted frames must be internally consistent: the accessors are
+    // total and every certificate stays inside the buffer.
+    EXPECT_EQ(view->certs().size(), view->payload_count());
+    for (const local::Certificate& cert : view->certs())
+      EXPECT_TRUE(aliases(cert, frame));
+  }
+}
+
+}  // namespace
+}  // namespace pls::serve

@@ -153,5 +153,80 @@ TEST(BitIo, WidthOver64Throws) {
   EXPECT_THROW(w.write_uint(0, 65), std::logic_error);
 }
 
+// Appends one raw varint group: 7 value bits + a continuation bit.  The
+// writer below is how an ADVERSARY spells varints — write_varint itself
+// can't produce the overlong shapes these tests must reject.
+void raw_group(BitWriter& w, std::uint64_t bits7, bool cont) {
+  w.write_uint(bits7, 7);
+  w.write_bit(cont);
+}
+
+TEST(BitIo, TenGroupVarintCarriesExactlyOneTopBit) {
+  // Nine full groups cover bits 0..62; the tenth sits at shift 63, where
+  // only its lowest bit is representable.  Group value 1 is the canonical
+  // encoding of UINT64_MAX's top bit and must decode.
+  BitWriter w;
+  for (int g = 0; g < 9; ++g) raw_group(w, 0x7F, true);
+  raw_group(w, 0x01, false);
+  BitReader r(w.bytes(), w.bit_size());
+  EXPECT_EQ(r.read_varint(),
+            std::optional<std::uint64_t>(std::uint64_t(-1)));
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(BitIo, OverlongVarintIsRejectedNotAliased) {
+  // Same ten groups, but the final group holds a bit that would shift past
+  // bit 63.  The pre-hardening reader silently dropped it — aliasing this
+  // encoding onto a smaller value; it must fail closed instead.
+  BitWriter w;
+  for (int g = 0; g < 9; ++g) raw_group(w, 0x7F, true);
+  raw_group(w, 0x02, false);
+  BitReader r(w.bytes(), w.bit_size());
+  EXPECT_EQ(r.read_varint(), std::nullopt);
+  EXPECT_TRUE(r.failed());
+  EXPECT_EQ(r.position(), 0u);  // the failed read consumed nothing
+}
+
+TEST(BitIo, ElevenGroupVarintIsRejected) {
+  BitWriter w;
+  for (int g = 0; g < 10; ++g) raw_group(w, 0x01, true);
+  raw_group(w, 0x00, false);
+  BitReader r(w.bytes(), w.bit_size());
+  EXPECT_EQ(r.read_varint(), std::nullopt);
+  EXPECT_TRUE(r.failed());
+}
+
+TEST(BitIo, FailureIsStickyAndConsumesNothing) {
+  BitWriter w;
+  w.write_uint(0b1011, 4);
+  BitReader r(w.bytes(), w.bit_size());
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.read_uint(8), std::nullopt);  // only 4 bits available
+  EXPECT_TRUE(r.failed());
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.position(), 0u);
+  // Sticky: the 4-bit read WOULD fit, but a reader that has failed once
+  // answers nothing — a decoder can't resynchronize on attacker-controlled
+  // input by accident.
+  EXPECT_EQ(r.read_uint(4), std::nullopt);
+  EXPECT_EQ(r.read_bit(), std::nullopt);
+  EXPECT_EQ(r.read_varint(), std::nullopt);
+
+  BitReader fresh(w.bytes(), w.bit_size());
+  EXPECT_EQ(fresh.read_uint(4), std::optional<std::uint64_t>(0b1011));
+  EXPECT_TRUE(fresh.ok());
+}
+
+TEST(BitIo, TruncatedVarintRestoresThePosition) {
+  BitWriter w;
+  w.write_uint(0xAB, 8);
+  raw_group(w, 0x7F, true);  // promises a second group that never comes
+  BitReader r(w.bytes(), w.bit_size());
+  EXPECT_EQ(r.read_uint(8), std::optional<std::uint64_t>(0xAB));
+  EXPECT_EQ(r.read_varint(), std::nullopt);
+  EXPECT_TRUE(r.failed());
+  EXPECT_EQ(r.position(), 8u);  // rewound to where the varint began
+}
+
 }  // namespace
 }  // namespace pls::util
