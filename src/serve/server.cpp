@@ -11,6 +11,9 @@ Server::Server(ServerOptions options)
       atlas_(options_.atlas != nullptr
                  ? options_.atlas
                  : std::make_shared<radius::GeometryAtlas>()) {
+  // A zero quantum could never cover any request's cost (>= 1), so the DRR
+  // loop in serve_next would cycle tenants forever without serving.
+  PLS_REQUIRE(options_.quantum >= 1);
   if (options_.metrics != nullptr) {
     requests_ = &options_.metrics->counter("serve.requests");
     rejected_frames_ = &options_.metrics->counter("serve.rejected_frames");
@@ -80,7 +83,7 @@ void Server::submit(Frame frame, std::uint64_t arrival_ns) {
     reject_now(id, "unknown tenant id");
     return;
   }
-  const Tenant& tenant = tenants_[id];
+  Tenant& tenant = tenants_[id];
   if (view->node_count() != tenant.cfg->n()) {
     reject_now(id, "node_count does not match tenant configuration");
     return;
@@ -93,8 +96,17 @@ void Server::submit(Frame frame, std::uint64_t arrival_ns) {
     reject_now(id, "radius t does not match tenant");
     return;
   }
+  // A delta needs a base labeling to apply to.  The tenant queue is FIFO,
+  // so "a full frame was queued (or served) before this delta" is decidable
+  // right here — rejecting now keeps the doomed request from consuming the
+  // tenant's DRR deficit at dispatch.
+  if (view->kind() == WireKind::kDelta && !tenant.base_queued) {
+    reject_now(id, "delta before any full labeling");
+    return;
+  }
+  if (view->kind() == WireKind::kFull) tenant.base_queued = true;
 
-  tenants_[id].queue.push_back(
+  tenant.queue.push_back(
       Request{std::move(frame), std::move(*view), arrival_ns, seq});
   ++queued_;
 }
@@ -174,13 +186,10 @@ Server::Response Server::dispatch(Tenant& tenant, Request request) {
     tenant.pins.clear();
     tenant.pins.push_back(request.frame);
   } else {
-    if (tenant.current.certs.empty()) {
-      response.wire_ok = false;
-      response.error = "delta before any full labeling";
-      if (rejected_frames_ != nullptr) rejected_frames_->add(1);
-      response.latency_ns = now_ns() - request.arrival_ns;
-      return response;
-    }
+    // submit() rejects any delta not preceded by a full frame in the
+    // tenant's FIFO queue, and dispatching a full always installs
+    // tenant.current — so a base labeling is resident here.
+    PLS_ASSERT(!tenant.current.certs.empty());
     // Swap the touched certificates into the tenant's current labeling in
     // place (O(k), no per-request copy of the other n-k) and run the delta
     // against it.

@@ -67,6 +67,8 @@ struct ServerOptions {
   /// DRR quantum in cost units (certificate payloads) added to a tenant's
   /// deficit per turn.  Larger quanta lower switching overhead but coarsen
   /// short-term fairness; the default covers one mid-size delta burst.
+  /// Must be >= 1 (constructor-enforced): every request costs at least one
+  /// unit, so a zero quantum could never serve anything.
   std::uint64_t quantum = 256;
   /// Stage-3 scheduler for every tenant verifier.
   radius::BatchOptions::SweepMode sweep =
@@ -104,11 +106,11 @@ class Server {
   /// (steady-clock ns) latency is measured from; pass now_ns() for
   /// closed-loop callers.  The server shares ownership of the buffer until
   /// the request completes (zero-copy pinning); the producer must not
-  /// mutate the bytes until then.  Frames that fail parsing or don't match
-  /// their claimed tenant's (n, epoch, t) are rejected at submit — queuing
-  /// garbage under the claimed tenant would let an attacker consume a
-  /// victim's DRR budget — and surface as error Responses ahead of the
-  /// next serve_next().
+  /// mutate the bytes until then.  Frames that fail parsing, don't match
+  /// their claimed tenant's (n, epoch, t), or send a delta before any full
+  /// labeling are rejected at submit — queuing garbage under the claimed
+  /// tenant would let an attacker consume a victim's DRR budget — and
+  /// surface as error Responses ahead of the next serve_next().
   void submit(Frame frame, std::uint64_t arrival_ns);
 
   /// Serves one request under DRR; nullopt when everything is drained.
@@ -140,6 +142,9 @@ class Server {
     std::unique_ptr<radius::BatchVerifier> verifier;  ///< lazy
     std::deque<Request> queue;
     std::uint64_t deficit = 0;
+    /// A full frame has been queued (the FIFO queue then guarantees every
+    /// later delta dispatches with a base labeling resident).
+    bool base_queued = false;
     // The tenant's current labeling (delta base): certificates may alias
     // the frames in `pins`; consolidated to owned storage when the pin set
     // exceeds kMaxTenantPins.

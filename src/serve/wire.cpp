@@ -125,13 +125,24 @@ std::optional<RequestView> RequestView::parse(
   if (v.kind_ == WireKind::kDelta && v.payload_count_ > v.node_count_)
     return fail("delta payload_count exceeds node_count");
 
+  // Before sizing ANY allocation from the untrusted count, prove the count
+  // could fit: every record occupies at least 4 bytes (its cert_bits field;
+  // 8 for a delta record, which prepends a node id), so a payload_count the
+  // remaining bytes cannot hold is rejected header-only — a 32-byte frame
+  // claiming 2^32-1 records must reject here, not drive a multi-GB
+  // reserve() into std::bad_alloc.
+  const std::size_t size = frame.size();
+  const bool is_delta = v.kind_ == WireKind::kDelta;
+  const std::size_t min_record_bytes = is_delta ? 8 : 4;
+  if (std::uint64_t{v.payload_count_} * min_record_bytes >
+      size - kWireHeaderBytes)
+    return fail("payload_count exceeds frame capacity");
+
   // Single strict pass over the records.  `off` never exceeds frame.size()
   // and every length is re-checked against the REMAINING bytes before any
   // access — an adversarial cert_bits cannot move the cursor past the end,
   // and size_t arithmetic never wraps (bits is widened before rounding up).
-  const std::size_t size = frame.size();
   std::size_t off = kWireHeaderBytes;
-  const bool is_delta = v.kind_ == WireKind::kDelta;
   v.certs_.reserve(v.payload_count_);
   if (is_delta) v.touched_.reserve(v.payload_count_);
   for (std::uint32_t i = 0; i < v.payload_count_; ++i) {

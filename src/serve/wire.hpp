@@ -28,10 +28,12 @@
 //             u32 node, u32 cert_bits, then ceil(cert_bits / 8) bytes
 //
 // Wire bytes are untrusted.  parse() validates the entire frame up front —
-// magic, version, kind, count consistency, per-record bounds, strictly
-// sorted delta nodes, and zero trailing bytes (one canonical encoding per
-// request) — and rejects with a reason on the first violation; it never
-// reads past the span it was given.  A parsed view holds ONLY offsets into
+// magic, version, kind, count consistency, payload_count against what the
+// frame's bytes could physically hold (so no allocation is ever sized from
+// an unproven count), per-record bounds, strictly sorted delta nodes, and
+// zero trailing bytes (one canonical encoding per request) — and rejects
+// with a reason on the first violation; it never reads past the span it
+// was given.  A parsed view holds ONLY offsets into
 // the frame: the caller owns the frame's lifetime and must keep it alive
 // and byte-stable while any certificate view from it is read (the Server
 // pins the buffer for exactly this — see serve/server.hpp and

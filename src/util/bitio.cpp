@@ -70,9 +70,12 @@ std::optional<std::uint64_t> BitReader::read_varint() noexcept {
     auto group = read_uint(7);
     auto cont = read_bit();
     if (!group || !cont || shift >= 64 ||
-        (shift > 57 && (*group >> (64 - shift)) != 0)) {
-      // Truncated, or an overlong encoding: a group past bit 63, or group
-      // bits that would shift out above bit 63 (shift 63 keeps only bit 0).
+        (shift > 57 && (*group >> (64 - shift)) != 0) ||
+        (!*cont && shift > 0 && *group == 0)) {
+      // Truncated; an overlong encoding (a group past bit 63, or group bits
+      // that would shift out above bit 63 — shift 63 keeps only bit 0); or
+      // a non-minimal one (a zero FINAL group after the first contributes
+      // nothing and would alias the shorter encoding of the same value).
       pos_ = start;
       failed_ = true;
       return std::nullopt;

@@ -53,9 +53,11 @@ class BitWriter {
 // and latches the sticky failed() flag.  Once failed, every subsequent read
 // also returns nullopt, so a decoder that forgets to check one intermediate
 // result still cannot be steered by bits past the end — it can only reject.
-// Overlong varints (encodings whose discarded high groups carry nonzero
-// bits, i.e. that alias a different 64-bit value) are rejected too: on the
-// wire path two distinct byte strings must never decode to the same value.
+// Varint decoding is canonical: overlong encodings (group bits that would
+// be discarded above bit 63) AND non-minimal ones (a redundant zero final
+// group, which decodes identically to the shorter encoding) are rejected,
+// so on the wire path two distinct byte strings never decode to the same
+// value.
 class BitReader {
  public:
   BitReader(const std::uint8_t* data, std::size_t nbits) noexcept
@@ -72,8 +74,9 @@ class BitReader {
 
   std::optional<bool> read_bit() noexcept;
 
-  /// LEB128-style varint; nullopt on truncation and on overlong encodings
-  /// that would discard nonzero bits above bit 63.
+  /// LEB128-style varint; nullopt on truncation, on overlong encodings
+  /// that would discard nonzero bits above bit 63, and on non-minimal
+  /// encodings ending in a redundant zero group (canonical decoding).
   std::optional<std::uint64_t> read_varint() noexcept;
 
   std::size_t remaining() const noexcept { return nbits_ - pos_; }

@@ -237,6 +237,14 @@ TEST(Server, SubmitTimeRejectionsAreNamedAndServedFirst) {
   EXPECT_EQ(snap.histograms.at("serve.latency_ns.main").count, 1u);
 }
 
+TEST(Server, ZeroQuantumIsRejectedAtConstruction) {
+  // quantum == 0 could never cover any request's cost (>= 1): the DRR loop
+  // would cycle tenants forever without serving.  Constructor-enforced.
+  ServerOptions options;
+  options.quantum = 0;
+  EXPECT_THROW(Server{options}, std::logic_error);
+}
+
 TEST(Server, DeltaBeforeAnyFullIsAnError) {
   const schemes::StpLanguage language;
   const schemes::StpScheme scheme(language);
@@ -244,19 +252,39 @@ TEST(Server, DeltaBeforeAnyFullIsAnError) {
   auto g = share(graph::path(6));
   const local::Configuration cfg = language.sample_legal(g, rng);
   const Labeling honest = scheme.mark(cfg);
+  const std::uint64_t epoch = cfg.graph().epoch();
 
-  Server server;
+  obs::MetricsRegistry metrics;
+  ServerOptions options;
+  options.threads = 1;
+  options.metrics = &metrics;
+  Server server(options);
   const std::uint32_t id = server.add_tenant("solo", scheme, cfg, 1);
   const std::vector<graph::NodeIndex> touched = {2};
   server.submit(
-      frame_of(encode_delta(id, cfg.graph().epoch(), 1,
+      frame_of(encode_delta(id, epoch, 1,
                             static_cast<std::uint32_t>(cfg.n()), touched,
                             honest)),
       Server::now_ns());
-  const std::optional<Server::Response> r = server.serve_next();
-  ASSERT_TRUE(r.has_value());
-  EXPECT_FALSE(r->wire_ok);
-  EXPECT_STREQ(r->error, "delta before any full labeling");
+  // A valid full submitted AFTER the early delta: the delta was rejected at
+  // submit time (never queued), so it surfaces ahead of the full and never
+  // consumes the tenant's DRR deficit.
+  server.submit(frame_of(encode_full(id, epoch, 1, honest)),
+                Server::now_ns());
+
+  const std::vector<Server::Response> responses = server.drain();
+  ASSERT_EQ(responses.size(), 2u);
+  EXPECT_FALSE(responses[0].wire_ok);
+  EXPECT_STREQ(responses[0].error, "delta before any full labeling");
+  EXPECT_TRUE(responses[1].wire_ok);
+  EXPECT_TRUE(responses[1].verdict.all_accept());
+
+  // Accounting matches every other submit-time rejection: counted in
+  // rejected_frames, absent from the tenant's latency histogram (only the
+  // full's dispatch recorded there).
+  const obs::MetricsSnapshot snap = metrics.snapshot();
+  EXPECT_EQ(snap.counters.at("serve.rejected_frames"), 1u);
+  EXPECT_EQ(snap.histograms.at("serve.latency_ns.solo").count, 1u);
 }
 
 // The pin lifecycle: the producer may drop its frame handle the moment

@@ -143,7 +143,9 @@ TEST(Wire, EveryMalformationIsRejectedByName) {
   }
   {
     auto f = full;
-    f.resize(kWireHeaderBytes + 2);  // cuts the first cert_bits field itself
+    // 12 body bytes satisfy the header capacity check (4 per record) but
+    // cut the third record's cert_bits field itself (records occupy 5+5).
+    f.resize(kWireHeaderBytes + 12);
     expect_rejected(std::move(f), "truncated cert_bits field");
   }
   {
@@ -173,8 +175,13 @@ TEST(Wire, EveryMalformationIsRejectedByName) {
     expect_rejected(std::move(f), "delta payload_count exceeds node_count");
   }
   {
-    auto f = delta;
-    f.resize(kWireHeaderBytes + 2);  // cuts the first node id
+    // Certificates wide enough that a mid-stream cut passes the header
+    // capacity check (body >= 8 per record) and still severs the second
+    // record's node id (the first record occupies 4+4+8 = 16 bytes).
+    core::Labeling wide;
+    for (int v = 0; v < 6; ++v) wide.certs.push_back(cert_of(v, 64));
+    auto f = encode_delta(0, 11, 2, 6, touched, wide);
+    f.resize(kWireHeaderBytes + 18);
     expect_rejected(std::move(f), "truncated delta node id");
   }
   {
@@ -186,6 +193,32 @@ TEST(Wire, EveryMalformationIsRejectedByName) {
     auto f = delta;
     put_u32(f, kWireHeaderBytes + 8, 1);  // second id repeats the first
     expect_rejected(std::move(f), "delta nodes not strictly increasing");
+  }
+}
+
+TEST(Wire, HeaderOnlyAllocationBombIsRejected) {
+  // A 32-byte header-only frame claiming 2^32-1 records passes every header
+  // consistency check (full: node_count == payload_count), but no sane body
+  // could hold them; it must reject BEFORE any reservation is sized from
+  // the count — a single tiny adversarial frame must not drive a multi-GB
+  // reserve() into std::bad_alloc (this escaped parse() pre-fix).
+  {
+    const core::Labeling lab = labeling_of({1});
+    std::vector<std::uint8_t> f = encode_full(0, 11, 2, lab);
+    f.resize(kWireHeaderBytes);
+    put_u32(f, 12, 0xFFFFFFFFu);  // node_count
+    put_u32(f, 24, 0xFFFFFFFFu);  // payload_count
+    expect_rejected(std::move(f), "payload_count exceeds frame capacity");
+  }
+  // Delta flavor: each record needs >= 8 bytes (node id + cert_bits), so a
+  // count the body could hold at 4 bytes per record still rejects.
+  {
+    core::Labeling next;
+    for (int v = 0; v < 6; ++v) next.certs.push_back(local::Certificate{});
+    const std::vector<graph::NodeIndex> touched = {1, 3};
+    std::vector<std::uint8_t> f = encode_delta(0, 11, 2, 6, touched, next);
+    put_u32(f, 24, 3);  // claims 3 records; the 16-byte body holds at most 2
+    expect_rejected(std::move(f), "payload_count exceeds frame capacity");
   }
 }
 

@@ -187,6 +187,36 @@ TEST(BitIo, OverlongVarintIsRejectedNotAliased) {
   EXPECT_EQ(r.position(), 0u);  // the failed read consumed nothing
 }
 
+TEST(BitIo, NonMinimalVarintIsRejectedNotAliased) {
+  // [group=5,cont=1][group=0,cont=0] decodes to the same 5 as the single-
+  // group encoding — two distinct byte strings, one value.  Wire varints
+  // are canonical, so the redundant form must fail closed.
+  BitWriter w;
+  raw_group(w, 0x05, true);
+  raw_group(w, 0x00, false);
+  BitReader r(w.bytes(), w.bit_size());
+  EXPECT_EQ(r.read_varint(), std::nullopt);
+  EXPECT_TRUE(r.failed());
+  EXPECT_EQ(r.position(), 0u);
+
+  // Redundantly-encoded zero ([0,cont=1][0,cont=0]) is rejected the same
+  // way...
+  BitWriter wz;
+  raw_group(wz, 0x00, true);
+  raw_group(wz, 0x00, false);
+  BitReader rz(wz.bytes(), wz.bit_size());
+  EXPECT_EQ(rz.read_varint(), std::nullopt);
+  EXPECT_TRUE(rz.failed());
+
+  // ...while zero's one canonical encoding — the single zero group — still
+  // decodes.
+  BitWriter z;
+  z.write_varint(0);
+  BitReader rc(z.bytes(), z.bit_size());
+  EXPECT_EQ(rc.read_varint(), std::optional<std::uint64_t>(0));
+  EXPECT_TRUE(rc.exhausted());
+}
+
 TEST(BitIo, ElevenGroupVarintIsRejected) {
   BitWriter w;
   for (int g = 0; g < 10; ++g) raw_group(w, 0x01, true);
