@@ -363,6 +363,286 @@ void emit(std::ostream& out, const RunResult& r,
   PLS_ASSERT(json.finished());
 }
 
+// ---------------------------------------------------------------------------
+// Overload phase — graceful degradation under offered load beyond capacity.
+//
+// Requested with --overload-out and/or --require-goodput-ratio.  The streams
+// here are FULLS ONLY (each tenant cycles kOverloadVariants pre-built
+// labelings) so that shedding a request never invalidates a later one — a
+// shed delta would orphan the whole remaining chain and measure the
+// workload's fragility, not the server's.  A closed-loop probe measures
+// capacity, then each ladder point {0.7, 1.0, 1.5, 2.0}x offers load open
+// loop against a FRESH server with a bounded queue
+// (6 x max tenant n of DRR cost, ~6 fulls deep for the largest tenant) and
+// a wire-carried TTL of --overload-ttl-x mean service times.  Graceful
+// degradation means: past saturation, goodput holds near capacity (the
+// --require-goodput-ratio gate), accepted-request p99 stays bounded by the
+// TTL (deadline checks at submit, at dispatch, and mid-sweep make serving
+// late impossible — the gate allows 3x for measurement slack), and every
+// SERVED verdict is bit-identical to a fresh in-memory oracle.
+
+constexpr std::size_t kOverloadVariants = 4;
+constexpr double kOverloadRates[] = {0.7, 1.0, 1.5, 2.0};
+
+struct OverloadStream {
+  std::vector<core::Labeling> variants;
+  std::vector<core::Verdict> expect;         ///< oracle verdict per variant
+  std::vector<serve::Server::Frame> frames;  ///< per variant, one encoding
+};
+
+std::vector<OverloadStream> plan_overload(const std::vector<TenantPlan>& plans,
+                                          unsigned threads, util::Rng& rng) {
+  std::vector<OverloadStream> streams(plans.size());
+  for (std::size_t i = 0; i < plans.size(); ++i) {
+    const TenantPlan& p = plans[i];
+    OverloadStream& s = streams[i];
+    core::Labeling base = p.scheme->mark(*p.cfg);
+    s.variants.push_back(base);
+    for (std::size_t v = 1; v < kOverloadVariants; ++v) {
+      core::Labeling labeling = base;
+      const std::size_t mutations = std::max<std::size_t>(1, p.cfg->n() / 8);
+      for (std::size_t m = 0; m < mutations; ++m) {
+        const auto node = static_cast<graph::NodeIndex>(rng.below(p.cfg->n()));
+        if (rng.below(2) == 0) {
+          labeling.certs[node] = labeling.certs[rng.below(p.cfg->n())];
+        } else {
+          labeling.certs[node] = local::random_state(rng.below(64), rng);
+        }
+      }
+      s.variants.push_back(std::move(labeling));
+    }
+    radius::BatchOptions check;
+    check.threads = threads;
+    radius::BatchVerifier oracle(*p.scheme, *p.cfg, p.t, check);
+    for (const core::Labeling& labeling : s.variants)
+      s.expect.push_back(oracle.run_one(labeling));
+  }
+  return streams;
+}
+
+/// (Re-)encodes every variant frame; ttl_ns == 0 emits version-1 frames
+/// (the capacity probe has no deadline), nonzero emits version-2.
+void encode_overload(const std::vector<TenantPlan>& plans,
+                     std::vector<OverloadStream>& streams,
+                     std::uint64_t ttl_ns) {
+  for (std::size_t i = 0; i < plans.size(); ++i) {
+    streams[i].frames.clear();
+    for (const core::Labeling& labeling : streams[i].variants)
+      streams[i].frames.push_back(frame_of(
+          serve::encode_full(plans[i].id, plans[i].cfg->graph().epoch(),
+                             plans[i].t, labeling, ttl_ns)));
+  }
+}
+
+struct OverloadPoint {
+  double rate_x = 0.0;
+  double offered_per_sec = 0.0;
+  std::size_t accepted = 0;  ///< served with a verdict
+  std::size_t shed = 0;      ///< kOverloaded at submit
+  std::size_t expired = 0;   ///< kExpired at submit, dispatch, or mid-sweep
+  std::uint64_t cancelled_sweeps = 0;
+  double goodput_per_sec = 0.0;
+  double accepted_p99_ms = 0.0;  ///< worst tenant's served-latency p99
+  double window_s = 0.0;
+};
+
+struct OverloadResult {
+  double closed_loop_per_sec = 0.0;
+  std::uint64_t ttl_ns = 0;
+  std::uint64_t max_queued_cost = 0;
+  std::size_t requests_per_tenant = 0;
+  std::vector<OverloadPoint> points;
+  double goodput_ratio_at_max = 0.0;
+  bool verdicts_identical = true;
+};
+
+double overload_capacity(const std::vector<TenantPlan>& plans,
+                         const std::vector<OverloadStream>& streams,
+                         std::size_t requests_per_tenant,
+                         const serve::ServerOptions& base_options) {
+  serve::ServerOptions options = base_options;
+  options.metrics = nullptr;
+  options.atlas = nullptr;  // private atlas, like every ladder point's
+  serve::Server server(options);
+  for (const TenantPlan& p : plans)
+    PLS_REQUIRE(server.add_tenant(p.name, *p.scheme, *p.cfg, p.t) == p.id);
+  const auto start = std::chrono::steady_clock::now();
+  std::size_t total = 0;
+  for (std::size_t r = 0; r < requests_per_tenant; ++r)
+    for (std::size_t rot = 0; rot < plans.size(); ++rot) {
+      const std::size_t tenant = (r + rot) % plans.size();
+      server.submit(streams[tenant].frames[r % kOverloadVariants],
+                    serve::Server::now_ns());
+      ++total;
+    }
+  const std::vector<serve::Server::Response> responses = server.drain();
+  const auto stop = std::chrono::steady_clock::now();
+  PLS_ASSERT(responses.size() == total);
+  for (const serve::Server::Response& r : responses) PLS_REQUIRE(r.wire_ok);
+  const double secs = std::chrono::duration<double>(stop - start).count();
+  return static_cast<double>(total) / secs;
+}
+
+OverloadPoint run_overload_point(const std::vector<TenantPlan>& plans,
+                                 const std::vector<OverloadStream>& streams,
+                                 std::size_t requests_per_tenant, double rate_x,
+                                 double capacity,
+                                 const serve::ServerOptions& base_options,
+                                 std::uint64_t max_queued_cost,
+                                 bool* verdicts_identical) {
+  OverloadPoint point;
+  point.rate_x = rate_x;
+  point.offered_per_sec = rate_x * capacity;
+
+  obs::MetricsRegistry registry;
+  serve::ServerOptions options = base_options;
+  options.metrics = &registry;
+  options.atlas = nullptr;  // fresh server AND atlas: points are independent
+  options.max_queued_cost = max_queued_cost;
+  serve::Server server(options);
+  for (const TenantPlan& p : plans)
+    PLS_REQUIRE(server.add_tenant(p.name, *p.scheme, *p.cfg, p.t) == p.id);
+
+  std::vector<serve::Server::Response> responses;
+  responses.reserve(requests_per_tenant * plans.size());
+  const auto start = std::chrono::steady_clock::now();
+  const std::uint64_t start_ns = serve::Server::now_ns();
+  std::size_t submitted = 0;
+  for (std::size_t r = 0; r < requests_per_tenant; ++r)
+    for (std::size_t rot = 0; rot < plans.size(); ++rot) {
+      const std::size_t tenant = (r + rot) % plans.size();
+      const auto scheduled =
+          start +
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(static_cast<double>(submitted) /
+                                            point.offered_per_sec));
+      while (std::chrono::steady_clock::now() < scheduled) {
+        if (std::optional<serve::Server::Response> resp = server.serve_next()) {
+          responses.push_back(std::move(*resp));
+        } else {
+          std::this_thread::sleep_until(scheduled);
+        }
+      }
+      const std::uint64_t arrival_ns =
+          start_ns +
+          static_cast<std::uint64_t>(1e9 * static_cast<double>(submitted) /
+                                     point.offered_per_sec);
+      server.submit(streams[tenant].frames[r % kOverloadVariants], arrival_ns);
+      ++submitted;
+    }
+  for (serve::Server::Response& resp : server.drain())
+    responses.push_back(std::move(resp));
+  const auto stop = std::chrono::steady_clock::now();
+  point.window_s = std::chrono::duration<double>(stop - start).count();
+
+  // Classify the outcome of every submission; the fulls-only workload can
+  // only be served, shed, or expired — any other rejection is a bench bug.
+  std::vector<std::vector<const serve::Server::Response*>> by_tenant(
+      plans.size());
+  for (const serve::Server::Response& resp : responses) {
+    if (resp.wire_ok) {
+      ++point.accepted;
+    } else if (resp.rejection.kind == serve::RejectKind::kOverloaded) {
+      ++point.shed;
+    } else if (resp.rejection.kind == serve::RejectKind::kExpired) {
+      ++point.expired;
+    } else {
+      PLS_REQUIRE(false);
+    }
+    by_tenant[resp.tenant_id].push_back(&resp);
+  }
+  PLS_ASSERT(point.accepted + point.shed + point.expired ==
+             requests_per_tenant * plans.size());
+  point.goodput_per_sec = static_cast<double>(point.accepted) / point.window_s;
+
+  // Served verdicts must match the oracle: tenant responses sorted by seq
+  // are that tenant's submissions in order, so position j used variant
+  // j % kOverloadVariants even when some submissions were shed.
+  for (std::size_t i = 0; i < plans.size(); ++i) {
+    std::sort(by_tenant[i].begin(), by_tenant[i].end(),
+              [](const serve::Server::Response* a,
+                 const serve::Server::Response* b) { return a->seq < b->seq; });
+    PLS_REQUIRE(by_tenant[i].size() == requests_per_tenant);
+    for (std::size_t j = 0; j < by_tenant[i].size(); ++j)
+      if (by_tenant[i][j]->wire_ok &&
+          by_tenant[i][j]->verdict.accept() !=
+              streams[i].expect[j % kOverloadVariants].accept())
+        *verdicts_identical = false;
+  }
+
+  const obs::MetricsSnapshot snap = registry.snapshot();
+  point.cancelled_sweeps = snap.counters.at("serve.cancelled_sweeps");
+  for (const TenantPlan& p : plans) {
+    const obs::HistogramSnapshot& h =
+        snap.histograms.at("serve.latency_ns." + p.name);
+    if (h.count > 0)
+      point.accepted_p99_ms =
+          std::max(point.accepted_p99_ms,
+                   static_cast<double>(h.quantile(0.99)) / 1e6);
+  }
+  return point;
+}
+
+OverloadResult run_overload(const std::vector<TenantPlan>& plans,
+                            const serve::ServerOptions& base_options,
+                            std::size_t requests_per_tenant, double ttl_x,
+                            unsigned threads, util::Rng& rng) {
+  OverloadResult result;
+  result.requests_per_tenant = requests_per_tenant;
+  std::vector<OverloadStream> streams = plan_overload(plans, threads, rng);
+  encode_overload(plans, streams, 0);  // deadline-free capacity probe
+  result.closed_loop_per_sec =
+      overload_capacity(plans, streams, requests_per_tenant, base_options);
+  result.ttl_ns =
+      static_cast<std::uint64_t>(ttl_x * 1e9 / result.closed_loop_per_sec);
+  std::size_t max_n = 0;
+  for (const TenantPlan& p : plans) max_n = std::max(max_n, p.cfg->n());
+  result.max_queued_cost = 6 * static_cast<std::uint64_t>(max_n);
+  encode_overload(plans, streams, result.ttl_ns);
+  for (const double rate_x : kOverloadRates)
+    result.points.push_back(run_overload_point(
+        plans, streams, requests_per_tenant, rate_x,
+        result.closed_loop_per_sec, base_options, result.max_queued_cost,
+        &result.verdicts_identical));
+  result.goodput_ratio_at_max =
+      result.points.back().goodput_per_sec / result.closed_loop_per_sec;
+  PLS_ASSERT(result.verdicts_identical);
+  return result;
+}
+
+void emit_overload(std::ostream& out, const OverloadResult& r,
+                   unsigned threads, std::uint64_t seed) {
+  obs::JsonWriter json(out);
+  json.begin_object();
+  json.kv("bench", "serve_multitenant_overload");
+  json.kv("seed", seed);
+  json.kv("threads", threads);
+  json.kv("closed_loop_per_sec", r.closed_loop_per_sec);
+  json.kv("ttl_ms", static_cast<double>(r.ttl_ns) / 1e6);
+  json.kv("max_queued_cost", r.max_queued_cost);
+  json.kv("requests_per_tenant", r.requests_per_tenant);
+  json.key("points");
+  json.begin_array();
+  for (const OverloadPoint& p : r.points) {
+    json.begin_object();
+    json.kv("rate_x", p.rate_x);
+    json.kv("offered_per_sec", p.offered_per_sec);
+    json.kv("accepted", p.accepted);
+    json.kv("shed", p.shed);
+    json.kv("expired", p.expired);
+    json.kv("cancelled_sweeps", p.cancelled_sweeps);
+    json.kv("goodput_per_sec", p.goodput_per_sec);
+    json.kv("accepted_p99_ms", p.accepted_p99_ms);
+    json.kv("window_s", p.window_s);
+    json.end_object();
+  }
+  json.end_array();
+  json.kv("goodput_ratio_at_max", r.goodput_ratio_at_max);
+  json.kv("verdicts_identical", r.verdicts_identical);
+  json.end_object();
+  PLS_ASSERT(json.finished());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -377,9 +657,17 @@ int main(int argc, char** argv) {
   const double arrival_rate = args.take_double("arrival-rate", 0.0);
   const double require_p99_ratio =
       args.take_double("require-tenant-p99-ratio", 0.0);
+  const std::string overload_out = args.take_value("overload-out").value_or("");
+  const double require_goodput_ratio =
+      args.take_double("require-goodput-ratio", 0.0);
+  const std::size_t overload_requests =
+      args.take_size("overload-requests", smoke ? 24 : 48);
+  const double overload_ttl_x = args.take_double("overload-ttl-x", 25.0);
   if (!args.finish("bench_serve_multitenant [--smoke] [--out FILE] "
                    "[--seed S] [--threads T] [--deltas D] [--atlas-mb MB] "
-                   "[--arrival-rate A] [--require-tenant-p99-ratio R]"))
+                   "[--arrival-rate A] [--require-tenant-p99-ratio R] "
+                   "[--overload-out FILE] [--require-goodput-ratio G] "
+                   "[--overload-requests N] [--overload-ttl-x X]"))
     return 2;
   PLS_REQUIRE(deltas >= 1 && atlas_mb >= 1 && threads >= 1);
 
@@ -455,6 +743,57 @@ int main(int argc, char** argv) {
     }
     std::cerr << "tenant p99 ratio " << result.p99_ratio << " <= allowed "
               << require_p99_ratio << "\n";
+  }
+
+  if (!overload_out.empty() || require_goodput_ratio > 0.0) {
+    PLS_REQUIRE(overload_requests >= kOverloadVariants &&
+                overload_ttl_x > 0.0);
+    const OverloadResult overload =
+        run_overload(plans, base_options, overload_requests, overload_ttl_x,
+                     threads, rng);
+    const double ttl_ms = static_cast<double>(overload.ttl_ns) / 1e6;
+    std::cerr << "overload closed_loop_per_sec=" << overload.closed_loop_per_sec
+              << " ttl_ms=" << ttl_ms
+              << " max_queued_cost=" << overload.max_queued_cost << "\n";
+    for (const OverloadPoint& p : overload.points)
+      std::cerr << "  rate_x=" << p.rate_x << " accepted=" << p.accepted
+                << " shed=" << p.shed << " expired=" << p.expired
+                << " cancelled_sweeps=" << p.cancelled_sweeps
+                << " goodput_per_sec=" << p.goodput_per_sec
+                << " accepted_p99_ms=" << p.accepted_p99_ms << "\n";
+    if (overload_out.empty()) {
+      emit_overload(std::cout, overload, threads, seed);
+    } else {
+      std::ofstream out(overload_out);
+      if (!out) {
+        std::cerr << "cannot open " << overload_out << "\n";
+        return 1;
+      }
+      emit_overload(out, overload, threads, seed);
+      std::cout << "wrote " << overload_out << "\n";
+    }
+    if (require_goodput_ratio > 0.0) {
+      const OverloadPoint& at_max = overload.points.back();
+      bool ok = true;
+      if (overload.goodput_ratio_at_max < require_goodput_ratio) {
+        std::cerr << "FAIL: goodput ratio at " << at_max.rate_x
+                  << "x capacity is " << overload.goodput_ratio_at_max
+                  << " < required " << require_goodput_ratio << "\n";
+        ok = false;
+      }
+      if (at_max.accepted_p99_ms > 3.0 * ttl_ms) {
+        std::cerr << "FAIL: accepted p99 " << at_max.accepted_p99_ms
+                  << " ms at " << at_max.rate_x << "x capacity exceeds 3x ttl "
+                  << ttl_ms << " ms\n";
+        ok = false;
+      }
+      if (!ok) return 1;
+      std::cerr << "overload gates hold: goodput ratio "
+                << overload.goodput_ratio_at_max << " >= "
+                << require_goodput_ratio << ", accepted p99 "
+                << at_max.accepted_p99_ms << " ms <= 3x ttl " << ttl_ms
+                << " ms\n";
+    }
   }
   return 0;
 }

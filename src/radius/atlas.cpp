@@ -2,6 +2,7 @@
 
 #include "obs/trace.hpp"
 #include "util/assert.hpp"
+#include "util/failpoint.hpp"
 
 namespace pls::radius {
 
@@ -64,12 +65,17 @@ std::shared_ptr<const GeometryBlock> GeometryAtlas::block(
         // the builder hands it to us through the slot — in-flight dedup
         // must never degenerate into serialized rebuilds of one block.
         const std::shared_ptr<Slot> pending = it->second;
-        built_cv_.wait(lock);
+        while (pending->block == nullptr && pending->error == nullptr)
+          built_cv_.wait(lock);
         if (pending->block != nullptr) {
           ++stats_.hits;
           return pending->block;
         }
-        continue;  // the build failed; retry (possibly claiming it ourselves)
+        // The build failed: the builder published its exception through the
+        // slot and erased the entry, so the key stays rebuildable — but THIS
+        // wave of deduped callers all fail with the build's cause rather
+        // than queueing up to repeat a build that just proved it can throw.
+        std::rethrow_exception(pending->error);
       }
       ++stats_.hits;
       touch_locked(*it->second, it->first);
@@ -96,9 +102,15 @@ std::shared_ptr<const GeometryBlock> GeometryAtlas::block(
     std::shared_ptr<const GeometryBlock> built;
     try {
       PLS_TRACE_SPAN("atlas.build", index);
+      // Chaos site: Action::kBadAlloc simulates the build OOMing — the
+      // waiter-wakeup contract below is what the chaos suite regresses.
+      PLS_FAILPOINT("radius.atlas.build");
       built = std::make_shared<const GeometryBlock>(g, first, end, t);
     } catch (...) {
       lock.lock();
+      // Wake every deduped waiter WITH the failure (slot outlives the map
+      // entry), and erase the entry so a later lookup may rebuild.
+      slot_it->second->error = std::current_exception();
       entries_.erase(slot_it);
       built_cv_.notify_all();
       throw;

@@ -48,6 +48,7 @@
 #pragma once
 
 #include <cstdint>
+#include <exception>
 #include <list>
 #include <map>
 #include <memory>
@@ -184,9 +185,16 @@ class GeometryAtlas {
 
   /// Shared between the map and any waiters on an in-flight build, so a
   /// finished-but-bypassed block still reaches everyone who waited for it.
+  /// A build that THROWS publishes the failure the same way: the builder
+  /// stores its exception in `error` before erasing the entry, so every
+  /// deduped waiter wakes with the cause in hand instead of stranded on a
+  /// slot that will never fill — and the erased entry leaves the key
+  /// rebuildable by the next lookup (a transient failure does not poison
+  /// the block).
   struct Slot {
     std::shared_ptr<const GeometryBlock> block;  ///< null while building
-    std::list<Key>::iterator lru;                ///< valid only when resident
+    std::exception_ptr error;  ///< set iff the build threw; rethrown by waiters
+    std::list<Key>::iterator lru;  ///< valid only when resident
   };
 
   static std::uint64_t key_hash(const Key& key) noexcept;

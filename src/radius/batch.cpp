@@ -142,7 +142,12 @@ void BatchVerifier::post_sweep(const core::Labeling& labeling,
   const std::size_t n = cfg_.n();
   accept.assign(n, 0);
   if (sweep_mode_ == BatchOptions::SweepMode::kStealing) {
-    pool_->post_range_stealing(n, sweep_fn(labeling, parsed, {}, accept));
+    // The token rides into the claim loop: an expired request abandons its
+    // sweep at the next chunk boundary instead of finishing a labeling
+    // nobody is waiting for.  (kStatic has no claim boundaries — there the
+    // per-labeling checks in run()/run_delta() are the only ones.)
+    pool_->post_range_stealing(n, sweep_fn(labeling, parsed, {}, accept),
+                               util::RangeOptions{.cancel = cancel_});
   } else {
     pool_->post_range(n, sweep_fn(labeling, parsed, {}, accept));
   }
@@ -156,7 +161,8 @@ void BatchVerifier::sweep_dirty(const core::Labeling& labeling,
   if (dirty.empty()) return;
   if (sweep_mode_ == BatchOptions::SweepMode::kStealing) {
     pool_->for_range_stealing(dirty.size(),
-                              sweep_fn(labeling, parsed, dirty, accept));
+                              sweep_fn(labeling, parsed, dirty, accept),
+                              util::RangeOptions{.cancel = cancel_});
     record_sweep_stats();
   } else {
     pool_->for_range(dirty.size(), sweep_fn(labeling, parsed, dirty, accept));
@@ -188,6 +194,11 @@ std::vector<core::Verdict> BatchVerifier::run(
   const bool cached =
       ball_scheme_ != nullptr && ball_scheme_->has_cert_parser();
 
+  // Cancellation observed before any buffer is touched leaves the resident
+  // state intact; once past this point an abandoned run clears it like any
+  // other throwing run.
+  if (cancel_ != nullptr && cancel_->cancelled()) throw util::CancelledError();
+
   // The buffers are about to be rewritten; should anything below throw, no
   // delta may build on them until a full run completes again.
   resident_valid_ = false;
@@ -204,6 +215,11 @@ std::vector<core::Verdict> BatchVerifier::run(
 
   if (metrics_.labelings != nullptr) metrics_.labelings->add(labelings.size());
   for (std::size_t i = 0; i < labelings.size(); ++i) {
+    // Per-labeling cancellation boundary: the pool is quiescent here (the
+    // previous iteration's finish_range completed), so abandoning between
+    // labelings unwinds with no job in flight.
+    if (cancel_ != nullptr && cancel_->cancelled())
+      throw util::CancelledError();
     // verify.e2e_ns: one labeling's wall contribution to the batch — the
     // sweep window (including the overlapped stage-2 work of labeling i+1
     // on the calling thread) plus verdict materialization.
@@ -274,6 +290,11 @@ core::Verdict BatchVerifier::run_delta(const core::Labeling& next,
     ++delta_stats_.empty_runs;
     return splice_verdict();
   }
+
+  // Cancellation observed here — before any mutation — leaves the resident
+  // base valid; past this point an abandoned delta invalidates it and the
+  // next run must be a full one.
+  if (cancel_ != nullptr && cancel_->cancelled()) throw util::CancelledError();
 
   // The resident buffers are inconsistent while we mutate them; they become
   // a valid delta base again only when this run completes.

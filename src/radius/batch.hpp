@@ -144,6 +144,20 @@ class BatchVerifier {
   /// throws).
   bool has_resident() const noexcept { return resident_valid_; }
 
+  /// Cooperative cancellation: while set, every run checks the token at
+  /// per-labeling boundaries (and, under the kStealing sweep, at every
+  /// chunk-claim boundary inside the sweep via ThreadPool's
+  /// RangeOptions::cancel; kStatic slices finish their slice first) and
+  /// abandons the run with util::CancelledError.  An abandoned run leaves
+  /// the verifier exactly like any other throwing run: no resident state
+  /// (has_resident() false) and every buffer rebuilt from scratch by the
+  /// next run, whose verdicts are therefore still bit-exact.  The token is
+  /// read per run — the serving tier re-arms one token per request.  Null
+  /// (the default) disables all checks.  Must outlive the runs it governs.
+  void set_cancel(const util::CancelToken* cancel) noexcept {
+    cancel_ = cancel;
+  }
+
   /// Cumulative work counters of the delta path.
   const DeltaStats& delta_stats() const noexcept { return delta_stats_; }
 
@@ -240,6 +254,10 @@ class BatchVerifier {
   DirtyIndex dirty_index_;
   std::unique_ptr<LinkState> link_state_;
   DeltaStats delta_stats_;
+
+  // Cooperative cancellation token (see set_cancel); caller-thread-only
+  // like every other member — the pool reads it through RangeOptions.
+  const util::CancelToken* cancel_ = nullptr;
 
   // Stage-latency histograms, resolved once from BatchOptions::metrics (all
   // null when no registry was supplied — ScopedTimer then reads no clock).

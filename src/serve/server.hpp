@@ -41,6 +41,31 @@
 // the in-memory run/run_delta path at every thread count: the aliased
 // certificates are bit-equal to their owned counterparts, and everything
 // downstream of parse is the unmodified pipeline.
+//
+// OVERLOAD CONTROL (docs/serving.md §5).  Under sustained overload the
+// server sheds instead of queueing without bound:
+//
+//   * Admission: ServerOptions::max_queued_cost bounds each tenant's queued
+//     cost (payload counts).  A submit that would exceed the bound is shed
+//     with Rejection{kOverloaded, retry_after_ns} — the hint is the time to
+//     drain the current backlog at the EWMA-measured service rate.  The
+//     bound is PER TENANT: one tenant's burst can never grow another's
+//     queue (each tenant's cost is accounted separately).
+//   * Deadlines: a version-2 frame carries a TTL; deadline = arrival + TTL.
+//     Checked at submit (expired frames are never admitted), at dispatch
+//     (expired head requests are dropped before any verification work and
+//     charge no DRR deficit — a late verdict is never silently served), and
+//     cooperatively inside the sweep via util::CancelToken (the pool polls
+//     at chunk-claim boundaries, the verifier at labeling boundaries).
+//   * Containment: a run that throws — expiry mid-sweep or an internal
+//     fault such as an allocation failure in an atlas build — fails THAT
+//     request, never the server.  The tenant's delta base is cleared
+//     (the abandoned run may have half-applied it), so queued deltas fail
+//     fast with kCancelled until the next full frame rebuilds the base.
+//
+// Every flow is counted: serve.shed, serve.expired, serve.cancelled_sweeps,
+// serve.faults, and the serve.deadline_slack_ns histogram (slack of served
+// deadline-carrying requests — how close to the edge the server runs).
 #pragma once
 
 #include <cstdint>
@@ -53,8 +78,30 @@
 #include "obs/metrics.hpp"
 #include "radius/batch.hpp"
 #include "serve/wire.hpp"
+#include "util/cancel.hpp"
 
 namespace pls::serve {
+
+/// Machine-readable classification of a non-served response.  `error` says
+/// WHY for humans; `kind` says WHAT for retry logic — a client backs off on
+/// kOverloaded, re-submits a fresh request on kExpired, and must send a full
+/// labeling after kCancelled (its delta base is gone).
+enum class RejectKind : std::uint8_t {
+  kNone = 0,    ///< the response carries a verdict (wire_ok)
+  kMalformed,   ///< frame failed wire/tenant validation at submit
+  kOverloaded,  ///< shed at submit: the tenant's queue bound was exceeded
+  kExpired,     ///< deadline passed — at submit, at dispatch, or mid-sweep
+  kCancelled,   ///< delta base lost to an earlier abandoned run
+  kFaulted,     ///< verification aborted by an internal fault
+};
+
+struct Rejection {
+  RejectKind kind = RejectKind::kNone;
+  /// kOverloaded only: when the backlog ahead of this request would drain at
+  /// the EWMA-measured service rate — an upper bound on the wait, since DRR
+  /// is work-conserving.  0 = no estimate yet (nothing served so far).
+  std::uint64_t retry_after_ns = 0;
+};
 
 struct ServerOptions {
   /// Sweep threads per tenant verifier; 0 = hardware concurrency.
@@ -73,6 +120,11 @@ struct ServerOptions {
   /// Stage-3 scheduler for every tenant verifier.
   radius::BatchOptions::SweepMode sweep =
       radius::BatchOptions::SweepMode::kStealing;
+  /// Admission bound on each tenant's queued cost (sum of per-request costs,
+  /// cost = max(1, payload_count)).  A submit that would push the tenant
+  /// past the bound is shed with RejectKind::kOverloaded and a retry-after
+  /// hint.  0 (the default) = unbounded, the pre-overload-control behavior.
+  std::uint64_t max_queued_cost = 0;
 };
 
 class Server {
@@ -98,6 +150,7 @@ class Server {
     std::uint64_t seq = 0;         ///< submission order, 0-based
     bool wire_ok = false;          ///< parsed, matched a tenant, verifiable
     const char* error = nullptr;   ///< static reason when !wire_ok
+    Rejection rejection;           ///< kind + retry hint when !wire_ok
     core::Verdict verdict;         ///< empty when !wire_ok
     std::uint64_t latency_ns = 0;  ///< completion - arrival
   };
@@ -132,6 +185,8 @@ class Server {
     RequestView view;  ///< aliases *frame (validated at submit)
     std::uint64_t arrival_ns = 0;
     std::uint64_t seq = 0;
+    std::uint64_t deadline_ns = 0;  ///< arrival + ttl; 0 = no deadline
+    std::uint64_t cost = 1;         ///< max(1, payload_count), DRR units
   };
 
   struct Tenant {
@@ -142,6 +197,8 @@ class Server {
     std::unique_ptr<radius::BatchVerifier> verifier;  ///< lazy
     std::deque<Request> queue;
     std::uint64_t deficit = 0;
+    /// Sum of queued request costs — what max_queued_cost bounds.
+    std::uint64_t queued_cost = 0;
     /// A full frame has been queued (the FIFO queue then guarantees every
     /// later delta dispatches with a base labeling resident).
     bool base_queued = false;
@@ -160,10 +217,19 @@ class Server {
     std::uint64_t arrival_ns = 0;
     std::uint64_t seq = 0;
     const char* reason = nullptr;
+    Rejection rejection;  ///< kMalformed, kOverloaded, or kExpired
   };
 
   radius::BatchVerifier& verifier_for(Tenant& tenant);
   Response dispatch(Tenant& tenant, Request request);
+  /// Drops the tenant's delta base after an abandoned or faulted run: the
+  /// run may have half-applied a delta to `current`, so nothing about it is
+  /// trustworthy.  Queued deltas then fail fast (kCancelled) until the next
+  /// full frame rebuilds the base.
+  static void abandon_base(Tenant& tenant);
+  /// Backlog-drain estimate for a shed request of `cost` units (see
+  /// Rejection::retry_after_ns).
+  std::uint64_t retry_after_hint(std::uint64_t cost) const noexcept;
 
   ServerOptions options_;
   std::shared_ptr<radius::GeometryAtlas> atlas_;
@@ -173,9 +239,22 @@ class Server {
   bool turn_credited_ = false;     ///< quantum already added this turn
   std::size_t queued_ = 0;
   std::uint64_t next_seq_ = 0;
+  std::uint64_t queued_cost_total_ = 0;  ///< across tenants, for retry hints
 
-  obs::Counter* requests_ = nullptr;        ///< serve.requests
-  obs::Counter* rejected_frames_ = nullptr; ///< serve.rejected_frames
+  /// Per-request deadline token handed to the dispatching verifier; reset
+  /// before each run (the dispatcher is single-threaded, so one suffices).
+  util::CancelToken cancel_;
+  /// EWMA of service ns per cost unit over completed dispatches; 0 until
+  /// the first completion.  Feeds retry_after_hint.
+  double ewma_ns_per_cost_ = 0.0;
+
+  obs::Counter* requests_ = nullptr;          ///< serve.requests
+  obs::Counter* rejected_frames_ = nullptr;   ///< serve.rejected_frames
+  obs::Counter* shed_ = nullptr;              ///< serve.shed
+  obs::Counter* expired_ = nullptr;           ///< serve.expired
+  obs::Counter* cancelled_sweeps_ = nullptr;  ///< serve.cancelled_sweeps
+  obs::Counter* faults_ = nullptr;            ///< serve.faults
+  obs::Histogram* deadline_slack_ = nullptr;  ///< serve.deadline_slack_ns
 };
 
 }  // namespace pls::serve

@@ -37,15 +37,18 @@ void wr_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
 void wr_header(std::vector<std::uint8_t>& out, WireKind kind,
                std::uint32_t tenant_id, std::uint64_t graph_epoch,
                std::uint32_t node_count, std::uint32_t payload_count,
-               unsigned t) {
+               unsigned t, std::uint64_t ttl_ns) {
   wr_u32(out, kWireMagic);
-  wr_u16(out, kWireVersion);
+  // One canonical encoding per request: no deadline is SPELLED version 1
+  // (a v2 frame with ttl 0 does not exist on the wire).
+  wr_u16(out, ttl_ns == 0 ? kWireVersion : kWireVersionTtl);
   wr_u16(out, static_cast<std::uint16_t>(kind));
   wr_u32(out, tenant_id);
   wr_u32(out, node_count);
   wr_u64(out, graph_epoch);
   wr_u32(out, payload_count);
   wr_u32(out, static_cast<std::uint32_t>(t));
+  if (ttl_ns != 0) wr_u64(out, ttl_ns);
 }
 
 void wr_cert(std::vector<std::uint8_t>& out, const local::Certificate& cert) {
@@ -65,14 +68,15 @@ void wr_cert(std::vector<std::uint8_t>& out, const local::Certificate& cert) {
 
 std::vector<std::uint8_t> encode_full(std::uint32_t tenant_id,
                                       std::uint64_t graph_epoch, unsigned t,
-                                      const core::Labeling& labeling) {
+                                      const core::Labeling& labeling,
+                                      std::uint64_t ttl_ns) {
   PLS_REQUIRE(!labeling.certs.empty());
   std::vector<std::uint8_t> out;
-  out.reserve(kWireHeaderBytes + labeling.size() * 4 +
+  out.reserve(kWireHeaderBytesTtl + labeling.size() * 4 +
               (labeling.total_bits() + 7) / 8);
   wr_header(out, WireKind::kFull, tenant_id, graph_epoch,
             static_cast<std::uint32_t>(labeling.size()),
-            static_cast<std::uint32_t>(labeling.size()), t);
+            static_cast<std::uint32_t>(labeling.size()), t, ttl_ns);
   for (const local::Certificate& cert : labeling.certs) wr_cert(out, cert);
   return out;
 }
@@ -80,11 +84,11 @@ std::vector<std::uint8_t> encode_full(std::uint32_t tenant_id,
 std::vector<std::uint8_t> encode_delta(
     std::uint32_t tenant_id, std::uint64_t graph_epoch, unsigned t,
     std::uint32_t node_count, std::span<const graph::NodeIndex> touched,
-    const core::Labeling& next) {
+    const core::Labeling& next, std::uint64_t ttl_ns) {
   PLS_REQUIRE(next.size() == node_count);
   std::vector<std::uint8_t> out;
   wr_header(out, WireKind::kDelta, tenant_id, graph_epoch, node_count,
-            static_cast<std::uint32_t>(touched.size()), t);
+            static_cast<std::uint32_t>(touched.size()), t, ttl_ns);
   for (std::size_t i = 0; i < touched.size(); ++i) {
     const graph::NodeIndex v = touched[i];
     PLS_REQUIRE(v < node_count);
@@ -106,7 +110,15 @@ std::optional<RequestView> RequestView::parse(
   if (frame.size() < kWireHeaderBytes) return fail("frame shorter than header");
   const std::uint8_t* p = frame.data();
   if (rd_u32(p) != kWireMagic) return fail("bad magic");
-  if (rd_u16(p + 4) != kWireVersion) return fail("unsupported version");
+  const std::uint16_t version = rd_u16(p + 4);
+  if (version != kWireVersion && version != kWireVersionTtl)
+    return fail("unsupported version");
+  // Version picks the header size; the fixed fields share their offsets, v2
+  // appends the TTL.  "frame shorter than header" re-checks against the v2
+  // size before the TTL is read.
+  const std::size_t header_bytes =
+      version == kWireVersionTtl ? kWireHeaderBytesTtl : kWireHeaderBytes;
+  if (frame.size() < header_bytes) return fail("frame shorter than header");
   const std::uint16_t kind_raw = rd_u16(p + 6);
   if (kind_raw > static_cast<std::uint16_t>(WireKind::kDelta))
     return fail("unknown frame kind");
@@ -118,6 +130,11 @@ std::optional<RequestView> RequestView::parse(
   v.graph_epoch_ = rd_u64(p + 16);
   v.payload_count_ = rd_u32(p + 24);
   v.t_ = rd_u32(p + 28);
+  if (version == kWireVersionTtl) {
+    v.ttl_ns_ = rd_u64(p + 32);
+    // Canonicality: "no deadline" has exactly one spelling — version 1.
+    if (v.ttl_ns_ == 0) return fail("zero ttl in versioned-ttl frame");
+  }
   if (v.node_count_ == 0) return fail("zero node_count");
   if (v.t_ < 1) return fail("t must be >= 1");
   if (v.kind_ == WireKind::kFull && v.payload_count_ != v.node_count_)
@@ -134,15 +151,14 @@ std::optional<RequestView> RequestView::parse(
   const std::size_t size = frame.size();
   const bool is_delta = v.kind_ == WireKind::kDelta;
   const std::size_t min_record_bytes = is_delta ? 8 : 4;
-  if (std::uint64_t{v.payload_count_} * min_record_bytes >
-      size - kWireHeaderBytes)
+  if (std::uint64_t{v.payload_count_} * min_record_bytes > size - header_bytes)
     return fail("payload_count exceeds frame capacity");
 
   // Single strict pass over the records.  `off` never exceeds frame.size()
   // and every length is re-checked against the REMAINING bytes before any
   // access — an adversarial cert_bits cannot move the cursor past the end,
   // and size_t arithmetic never wraps (bits is widened before rounding up).
-  std::size_t off = kWireHeaderBytes;
+  std::size_t off = header_bytes;
   v.certs_.reserve(v.payload_count_);
   if (is_delta) v.touched_.reserve(v.payload_count_);
   for (std::uint32_t i = 0; i < v.payload_count_; ++i) {

@@ -1,0 +1,79 @@
+// Cooperative cancellation for sweeps in flight.
+//
+// A CancelToken is a one-word flag plus an optional absolute deadline that
+// long-running work polls at natural boundaries — the thread pool checks it
+// before every chunk claim, the batch verifier between labelings.  Nothing is
+// ever interrupted mid-chunk: cancellation is a request, honored at the next
+// poll, so every per-index write that did happen is complete and the caller
+// can reason about exactly which state survives an abandoned run.
+//
+// Ownership/threading contract mirrors the pool's job hand-off: reset() is
+// called only while no job using the token is in flight (the pool's
+// post/finish mutex supplies the happens-before edge); cancel() may be called
+// from any thread at any time.  Both the flag and the deadline are relaxed
+// atomics — a poll that misses a concurrent cancel() by one chunk is
+// acceptable by design, and all data ordering comes from the mutex hand-off,
+// never from the token.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <stdexcept>
+
+namespace pls::util {
+
+/// Thrown by the pool / batch verifier when a range or run was abandoned on a
+/// cancelled token and no real exception occurred.  A real exception from the
+/// workload always wins over this (first-exception-propagation contract).
+class CancelledError : public std::runtime_error {
+ public:
+  CancelledError() : std::runtime_error("operation cancelled") {}
+};
+
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Re-arms the token for a new unit of work: clears the flag and installs
+  /// `deadline_ns` (steady-clock absolute, 0 = no deadline).  Call only while
+  /// no job polling this token is in flight.
+  void reset(std::uint64_t deadline_ns = 0) noexcept {
+    cancelled_.store(false, std::memory_order_relaxed);
+    deadline_ns_.store(deadline_ns, std::memory_order_relaxed);
+  }
+
+  /// Requests cancellation.  Safe from any thread; idempotent.
+  void cancel() noexcept { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// True once cancel() was called or the deadline passed.  Cheap enough to
+  /// poll per chunk claim: one relaxed load, plus a clock read only for
+  /// tokens that actually carry a deadline.
+  bool cancelled() const noexcept {
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    const std::uint64_t deadline = deadline_ns_.load(std::memory_order_relaxed);
+    return deadline != 0 && now_ns() >= deadline;
+  }
+
+  /// The installed deadline (0 = none).
+  std::uint64_t deadline_ns() const noexcept {
+    return deadline_ns_.load(std::memory_order_relaxed);
+  }
+
+  /// Steady-clock nanoseconds — the timebase deadlines are expressed in
+  /// (matches serve::Server::now_ns).
+  static std::uint64_t now_ns() noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  std::atomic<std::uint64_t> deadline_ns_{0};
+};
+
+}  // namespace pls::util

@@ -1,0 +1,133 @@
+#include "util/failpoint.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <new>
+#include <thread>
+#include <utility>
+
+#include "util/mutex.hpp"
+#include "util/rng.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace pls::util::failpoint {
+
+namespace {
+
+struct Site {
+  Plan plan;
+  Rng rng;
+  std::uint64_t hits = 0;
+  std::uint64_t fires = 0;
+
+  explicit Site(const Plan& p) : plan(p), rng(p.seed) {}
+};
+
+struct Registry {
+  Mutex mu;
+  // Disarmed fast path: evaluate()/draw() bail on this count without taking
+  // the lock, so compiled-in sites cost one relaxed load when nothing is
+  // armed.  Relaxed is enough — arming happens-before the hits a test cares
+  // about through the test's own sequencing, never through this counter.
+  std::atomic<std::uint64_t> armed{0};
+  std::map<std::string, Site, std::less<>> sites PLS_GUARDED_BY(mu);
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: sites may be hit at exit
+  return *r;
+}
+
+struct Fired {
+  Plan plan;
+  std::uint64_t value = 0;  ///< drawn payload for draw() sites
+};
+
+/// Decides whether this hit fires; on fire returns the plan and a drawn value.
+std::optional<Fired> decide(const char* site_name) {
+  Registry& r = registry();
+  MutexLock lock(r.mu);
+  const auto it = r.sites.find(std::string_view(site_name));
+  if (it == r.sites.end()) return std::nullopt;
+  Site& site = it->second;
+  ++site.hits;
+  if (site.plan.max_fires != 0 && site.fires >= site.plan.max_fires)
+    return std::nullopt;
+  if (site.plan.probability < 1.0 && !site.rng.chance(site.plan.probability))
+    return std::nullopt;
+  ++site.fires;
+  return Fired{site.plan, site.rng.bits()};
+}
+
+}  // namespace
+
+void arm(std::string_view site, const Plan& plan) {
+  Registry& r = registry();
+  MutexLock lock(r.mu);
+  const auto it = r.sites.find(site);
+  if (it == r.sites.end()) {
+    r.sites.emplace(std::string(site), Site(plan));
+    r.armed.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    it->second = Site(plan);  // re-arm: fresh Rng and counters
+  }
+}
+
+void disarm(std::string_view site) {
+  Registry& r = registry();
+  MutexLock lock(r.mu);
+  if (r.sites.erase(std::string(site)) != 0)
+    r.armed.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void disarm_all() {
+  Registry& r = registry();
+  MutexLock lock(r.mu);
+  r.armed.store(0, std::memory_order_relaxed);
+  r.sites.clear();
+}
+
+std::uint64_t hits(std::string_view site) {
+  Registry& r = registry();
+  MutexLock lock(r.mu);
+  const auto it = r.sites.find(site);
+  return it == r.sites.end() ? 0 : it->second.hits;
+}
+
+std::uint64_t fires(std::string_view site) {
+  Registry& r = registry();
+  MutexLock lock(r.mu);
+  const auto it = r.sites.find(site);
+  return it == r.sites.end() ? 0 : it->second.fires;
+}
+
+void evaluate(const char* site) {
+  Registry& r = registry();
+  if (r.armed.load(std::memory_order_relaxed) == 0) return;
+  const std::optional<Fired> fired = decide(site);
+  if (!fired) return;
+  // Act outside the lock: a sleeping or throwing site must not serialize
+  // other sites (or other threads hitting this one).
+  switch (fired->plan.action) {
+    case Action::kBadAlloc:
+      throw std::bad_alloc();
+    case Action::kError:
+      throw FaultInjected(site);
+    case Action::kDelay:
+      if (fired->plan.delay_ns != 0)
+        std::this_thread::sleep_for(
+            std::chrono::nanoseconds(fired->plan.delay_ns));
+      return;
+  }
+}
+
+std::optional<std::uint64_t> draw(const char* site) {
+  Registry& r = registry();
+  if (r.armed.load(std::memory_order_relaxed) == 0) return std::nullopt;
+  const std::optional<Fired> fired = decide(site);
+  if (!fired) return std::nullopt;
+  return fired->value;
+}
+
+}  // namespace pls::util::failpoint

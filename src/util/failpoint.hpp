@@ -1,0 +1,95 @@
+// Deterministic fault injection: a seeded failpoint registry.
+//
+// A failpoint is a named site in production code where a test can arm a
+// fault: throw std::bad_alloc, throw FaultInjected, stall for a fixed delay,
+// or (via draw()) hand the site a seeded value to implement its own fault
+// semantics (e.g. the wire-ingest site truncates the frame at a drawn
+// offset).  Whether a given hit fires is decided by a per-site
+// util::Rng(seed) Bernoulli draw — no ambient entropy, no clocks — so a
+// single-threaded replay with the same seed fires the same faults at the
+// same hits, which is what lets the chaos tests assert exact shed/expired
+// counts per seed.
+//
+// Sites are compiled out by default: the PLS_FAILPOINT macro expands to an
+// empty statement unless the build defines PROOFLAB_FAILPOINTS (CMake
+// -DPROOFLAB_FAILPOINTS=ON).  The registry itself always compiles (it is a
+// few dozen lines) so tooling links either way.  The disarmed fast path for
+// compiled-in sites is one relaxed atomic load of the armed-site count.
+//
+// Sites live OUTSIDE per-event verdict leaves by rule: prooflab-lint R1
+// rejects PLS_FAILPOINT in PLS_HOT bodies and R5 rejects it in decoder
+// functions, so injection can never perturb the verdict path it is testing.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace pls::util::failpoint {
+
+/// What an armed site does when a hit fires.
+enum class Action : std::uint8_t {
+  kBadAlloc = 0,  ///< throw std::bad_alloc (simulated allocation failure)
+  kError = 1,     ///< throw FaultInjected (simulated internal fault)
+  kDelay = 2,     ///< sleep for Plan::delay_ns (simulated stall)
+};
+
+/// Armed behavior of one site.
+struct Plan {
+  Action action = Action::kError;
+  /// Per-hit fire probability, decided by the site's seeded Rng.  1.0 fires
+  /// every hit (order-independent, deterministic at any thread count);
+  /// fractional probabilities are deterministic per seed when the site is
+  /// only hit from one thread (hit order fixes the draw sequence).
+  double probability = 1.0;
+  std::uint64_t seed = 0;       ///< seeds the site's private util::Rng
+  std::uint64_t max_fires = 0;  ///< stop firing after this many (0 = no cap)
+  std::uint64_t delay_ns = 0;   ///< kDelay stall length
+};
+
+/// The exception Action::kError throws.  `site()` names the failpoint so a
+/// test (or a server fault counter) can attribute the injected fault.
+class FaultInjected : public std::runtime_error {
+ public:
+  explicit FaultInjected(const char* site)
+      : std::runtime_error(std::string("injected fault at ") + site),
+        site_(site) {}
+  const char* site() const noexcept { return site_; }
+
+ private:
+  const char* site_;
+};
+
+/// Arms (or re-arms, resetting counters and the Rng) the named site.
+void arm(std::string_view site, const Plan& plan);
+/// Disarms one site / every site.  Hit and fire counters are discarded.
+void disarm(std::string_view site);
+void disarm_all();
+
+/// Times the site was evaluated / actually fired since it was armed
+/// (0 for sites that are not armed).
+std::uint64_t hits(std::string_view site);
+std::uint64_t fires(std::string_view site);
+
+/// The hook PLS_FAILPOINT expands to: no-op unless `site` is armed; on a
+/// firing hit performs the plan's action (kBadAlloc/kError throw, kDelay
+/// sleeps then returns).
+void evaluate(const char* site);
+
+/// For sites implementing custom fault semantics: decides fire/no-fire
+/// exactly like evaluate() but never throws or sleeps — on a firing hit
+/// returns a value drawn from the site's Rng for the caller to interpret
+/// (the plan's Action is ignored).  nullopt = not armed or did not fire.
+std::optional<std::uint64_t> draw(const char* site);
+
+}  // namespace pls::util::failpoint
+
+#if defined(PROOFLAB_FAILPOINTS)
+#define PLS_FAILPOINT(site) ::pls::util::failpoint::evaluate(site)
+#else
+#define PLS_FAILPOINT(site) \
+  do {                      \
+  } while (false)
+#endif

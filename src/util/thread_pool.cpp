@@ -5,6 +5,7 @@
 
 #include "obs/trace.hpp"
 #include "util/assert.hpp"
+#include "util/failpoint.hpp"
 
 namespace pls::util {
 
@@ -50,10 +51,15 @@ std::size_t ThreadPool::default_chunk(std::size_t n) const noexcept {
 std::exception_ptr ThreadPool::run_stealing(unsigned worker, const RangeFn& fn,
                                             std::size_t n, std::size_t chunk,
                                             std::size_t chunk_count,
+                                            const CancelToken* cancel,
                                             WorkerTotals& totals) noexcept {
   std::exception_ptr error;
   const std::uint64_t start = now_ns();
   while (true) {
+    // Cooperative cancellation boundary: checked before every claim, so a
+    // chunk already in flight completes (its per-index writes are whole)
+    // but no further work is taken once the token trips.
+    if (cancel != nullptr && cancel->cancelled()) break;
     // Relaxed: uniqueness of the claimed index is the only requirement; the
     // chunk's data dependencies are ordered by the job hand-off mutex.
     const std::size_t c = steal_next_.fetch_add(1, std::memory_order_relaxed);
@@ -64,6 +70,9 @@ std::exception_ptr ThreadPool::run_stealing(unsigned worker, const RangeFn& fn,
       // Span per executed chunk: a straggler's load shows as its chunks
       // migrating to peer slots instead of one long stuck slice.
       PLS_TRACE_SPAN("pool.chunk", worker);
+      // Chaos site: a stalled chunk (Action::kDelay) must only move work to
+      // peer slots and stretch deadlines — never change a verdict bit.
+      PLS_FAILPOINT("pool.chunk");
       fn(worker, begin, end);
     } catch (...) {
       error = std::current_exception();
@@ -84,6 +93,7 @@ void ThreadPool::worker_loop(unsigned worker) {
     bool stealing = false;
     std::size_t chunk = 1;
     std::size_t chunk_count = 0;
+    const CancelToken* cancel = nullptr;
     {
       MutexLock lock(mu_);
       // Explicit wait loop (not the predicate-lambda overload): the guarded
@@ -96,11 +106,12 @@ void ThreadPool::worker_loop(unsigned worker) {
       stealing = job_stealing_;
       chunk = job_chunk_;
       chunk_count = job_chunk_count_;
+      cancel = job_cancel_;
     }
     std::exception_ptr error;
     WorkerTotals totals;
     if (stealing) {
-      error = run_stealing(worker, *fn, n, chunk, chunk_count, totals);
+      error = run_stealing(worker, *fn, n, chunk, chunk_count, cancel, totals);
     } else {
       const auto [begin, end] = slice(n, threads_, worker);
       if (begin < end) {
@@ -131,7 +142,7 @@ void ThreadPool::for_range(std::size_t n, const RangeFn& fn) {
     fn(0, 0, n);
     return;
   }
-  start_workers(&fn, n, /*stealing=*/false, 1, 0);
+  start_workers(&fn, n, /*stealing=*/false, 1, 0, nullptr);
   join_workers(fn, n);
 }
 
@@ -153,15 +164,17 @@ void ThreadPool::for_range_stealing(std::size_t n, const RangeFn& fn,
     steal_next_.store(0, std::memory_order_relaxed);
     WorkerTotals own;
     const std::exception_ptr error =
-        run_stealing(0, fn, n, chunk, chunk_count, own);
+        run_stealing(0, fn, n, chunk, chunk_count, options.cancel, own);
     last_stats_.chunks = own.chunks;
     last_stats_.steals = own.steals;
+    last_stats_.cancelled = !error && own.chunks != chunk_count;
     last_stats_.worker_busy_ns.assign(1, own.busy_ns);
     if (error) std::rethrow_exception(error);
+    if (last_stats_.cancelled) throw CancelledError();
     return;
   }
-  start_workers(&fn, n, /*stealing=*/true, chunk, chunk_count);
-  join_workers_stealing(fn, n, chunk, chunk_count);
+  start_workers(&fn, n, /*stealing=*/true, chunk, chunk_count, options.cancel);
+  join_workers_stealing(fn, n, chunk, chunk_count, options.cancel);
 }
 
 void ThreadPool::post_range(std::size_t n, RangeFn fn) {
@@ -171,7 +184,7 @@ void ThreadPool::post_range(std::size_t n, RangeFn fn) {
   posted_stealing_ = false;
   posted_n_ = n;
   if (n == 0 || threads_ == 1) return;  // whole range runs in finish_range
-  start_workers(&posted_fn_, n, /*stealing=*/false, 1, 0);
+  start_workers(&posted_fn_, n, /*stealing=*/false, 1, 0, nullptr);
 }
 
 void ThreadPool::post_range_stealing(std::size_t n, RangeFn fn,
@@ -183,9 +196,10 @@ void ThreadPool::post_range_stealing(std::size_t n, RangeFn fn,
   posted_n_ = n;
   posted_chunk_ = options.chunk != 0 ? options.chunk : default_chunk(n);
   posted_chunk_count_ = (n + posted_chunk_ - 1) / posted_chunk_;
+  posted_cancel_ = options.cancel;
   if (n == 0 || threads_ == 1) return;  // whole range runs in finish_range
   start_workers(&posted_fn_, n, /*stealing=*/true, posted_chunk_,
-                posted_chunk_count_);
+                posted_chunk_count_, posted_cancel_);
 }
 
 void ThreadPool::finish_range() {
@@ -201,15 +215,19 @@ void ThreadPool::finish_range() {
     if (threads_ == 1) {
       steal_next_.store(0, std::memory_order_relaxed);
       WorkerTotals own;
-      const std::exception_ptr error = run_stealing(
-          0, posted_fn_, n, posted_chunk_, posted_chunk_count_, own);
+      const std::exception_ptr error =
+          run_stealing(0, posted_fn_, n, posted_chunk_, posted_chunk_count_,
+                       posted_cancel_, own);
       last_stats_.chunks = own.chunks;
       last_stats_.steals = own.steals;
+      last_stats_.cancelled = !error && own.chunks != posted_chunk_count_;
       last_stats_.worker_busy_ns.assign(1, own.busy_ns);
       if (error) std::rethrow_exception(error);
+      if (last_stats_.cancelled) throw CancelledError();
       return;
     }
-    join_workers_stealing(posted_fn_, n, posted_chunk_, posted_chunk_count_);
+    join_workers_stealing(posted_fn_, n, posted_chunk_, posted_chunk_count_,
+                          posted_cancel_);
     return;
   }
   if (n == 0) return;
@@ -223,7 +241,8 @@ void ThreadPool::finish_range() {
 }
 
 void ThreadPool::start_workers(const RangeFn* fn, std::size_t n, bool stealing,
-                               std::size_t chunk, std::size_t chunk_count) {
+                               std::size_t chunk, std::size_t chunk_count,
+                               const CancelToken* cancel) {
   // Reset the cursor before publishing the job: the generation_ bump under
   // mu_ is the release edge workers synchronize with, so no worker can read
   // the new job without also observing the reset cursor.
@@ -235,6 +254,7 @@ void ThreadPool::start_workers(const RangeFn* fn, std::size_t n, bool stealing,
     job_stealing_ = stealing;
     job_chunk_ = chunk;
     job_chunk_count_ = chunk_count;
+    job_cancel_ = cancel;
     if (stealing)
       std::fill(worker_stats_.begin(), worker_stats_.end(), WorkerTotals{});
     remaining_ = threads_ - 1;
@@ -271,18 +291,21 @@ void ThreadPool::join_workers(const RangeFn& fn, std::size_t n) {
 
 void ThreadPool::join_workers_stealing(const RangeFn& fn, std::size_t n,
                                        std::size_t chunk,
-                                       std::size_t chunk_count) {
+                                       std::size_t chunk_count,
+                                       const CancelToken* cancel) {
   // The caller is claimant 0: it joins the chunk race instead of owning a
   // fixed slice, so a skewed prefix cannot pin the calling thread either.
   WorkerTotals own;
   const std::exception_ptr own_error =
-      run_stealing(0, fn, n, chunk, chunk_count, own);
+      run_stealing(0, fn, n, chunk, chunk_count, cancel, own);
 
   std::exception_ptr error;
+  bool cancelled = false;
   {
     MutexLock lock(mu_);
     while (remaining_ != 0) done_cv_.wait(lock);
     job_ = nullptr;
+    job_cancel_ = nullptr;
     worker_stats_[0] = own;
     last_stats_.chunks = 0;
     last_stats_.steals = 0;
@@ -294,8 +317,16 @@ void ThreadPool::join_workers_stealing(const RangeFn& fn, std::size_t n,
     }
     error = own_error ? std::move(own_error) : std::move(first_error_);
     first_error_ = nullptr;
+    // The range was cancelled iff chunks were left unexecuted and nothing
+    // threw.  A real exception always wins over cancellation — even when a
+    // cancel raced the same job — so callers see what actually broke.  If
+    // every chunk executed before the claimants observed the token, the
+    // range is complete and cancellation is a no-op.
+    cancelled = !error && last_stats_.chunks != chunk_count;
+    last_stats_.cancelled = cancelled;
   }
   if (error) std::rethrow_exception(error);
+  if (cancelled) throw CancelledError();
 }
 
 }  // namespace pls::util

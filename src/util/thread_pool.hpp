@@ -43,6 +43,7 @@
 #include <thread>
 #include <vector>
 
+#include "util/cancel.hpp"
 #include "util/mutex.hpp"
 #include "util/thread_annotations.hpp"
 
@@ -54,6 +55,14 @@ struct RangeOptions {
   /// execution slot, clamped to >= 1) — small enough to rebalance a skewed
   /// instance, large enough that the shared-cursor fetch_add is noise.
   std::size_t chunk = 0;
+  /// Cooperative cancellation: polled before every chunk claim.  A claimant
+  /// that observes a cancelled token stops claiming; the job completes with
+  /// CancelledError iff the range was left uncovered and no chunk threw a
+  /// real exception (a real exception always wins — the caller learns what
+  /// actually broke, not that someone also pulled the plug).  If every chunk
+  /// was already claimed and executed when the cancel landed, the range is
+  /// complete and nothing is thrown.  Must outlive the job.
+  const CancelToken* cancel = nullptr;
 };
 
 /// What the most recent stealing job actually did, aggregated at
@@ -63,6 +72,8 @@ struct RangeStats {
   std::uint64_t steals = 0;  ///< chunks run by a slot other than the static
                              ///< owner of that chunk index — the load the
                              ///< static split would have misplaced
+  bool cancelled = false;    ///< range abandoned with chunks unexecuted
+                             ///< (RangeOptions::cancel observed in time)
   std::vector<std::uint64_t> worker_busy_ns;  ///< per-slot claim-loop wall
                                               ///< time (size thread_count())
 };
@@ -150,20 +161,26 @@ class ThreadPool {
     std::uint64_t busy_ns = 0;
   };
 
+  /// Shared cancellation outcome is derived at join time, not carried per
+  /// worker: the range was cancelled iff fewer chunks executed than exist
+  /// and no chunk threw — see join_workers_stealing.
+
   void worker_loop(unsigned worker);
   void start_workers(const RangeFn* fn, std::size_t n, bool stealing,
-                     std::size_t chunk, std::size_t chunk_count)
-      PLS_EXCLUDES(mu_);
+                     std::size_t chunk, std::size_t chunk_count,
+                     const CancelToken* cancel) PLS_EXCLUDES(mu_);
   void join_workers(const RangeFn& fn, std::size_t n) PLS_EXCLUDES(mu_);
   void join_workers_stealing(const RangeFn& fn, std::size_t n,
-                             std::size_t chunk, std::size_t chunk_count)
-      PLS_EXCLUDES(mu_);
+                             std::size_t chunk, std::size_t chunk_count,
+                             const CancelToken* cancel) PLS_EXCLUDES(mu_);
   /// The claim loop: grabs chunks off steal_next_ until the range is
-  /// exhausted (or fn throws — the returned error stops this slot's claiming
-  /// but not its peers').  Fills `totals`; never throws itself.
+  /// exhausted, `cancel` reads cancelled, or fn throws (the returned error
+  /// stops this slot's claiming but not its peers').  Fills `totals`; never
+  /// throws itself.
   std::exception_ptr run_stealing(unsigned worker, const RangeFn& fn,
                                   std::size_t n, std::size_t chunk,
                                   std::size_t chunk_count,
+                                  const CancelToken* cancel,
                                   WorkerTotals& totals) noexcept;
   std::size_t default_chunk(std::size_t n) const noexcept;
 
@@ -187,6 +204,7 @@ class ThreadPool {
   bool job_stealing_ PLS_GUARDED_BY(mu_) = false;
   std::size_t job_chunk_ PLS_GUARDED_BY(mu_) = 1;
   std::size_t job_chunk_count_ PLS_GUARDED_BY(mu_) = 0;
+  const CancelToken* job_cancel_ PLS_GUARDED_BY(mu_) = nullptr;
   std::vector<WorkerTotals> worker_stats_ PLS_GUARDED_BY(mu_);
   // The chunk claim cursor.  Deliberately NOT guarded: fetch_add(relaxed)
   // only has to hand every claimant a unique index — all data the chunks
@@ -205,6 +223,7 @@ class ThreadPool {
   bool posted_stealing_ = false;
   std::size_t posted_chunk_ = 1;
   std::size_t posted_chunk_count_ = 0;
+  const CancelToken* posted_cancel_ = nullptr;
   RangeStats last_stats_;  // assembled at finish of a stealing job
 };
 

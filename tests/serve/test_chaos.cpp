@@ -1,0 +1,355 @@
+// Deterministic fault injection (util/failpoint.hpp) against the serving
+// stack: injected atlas OOMs, wire corruption, and sweep stalls must leave
+// the server AVAILABLE (shedding and failing requests, never crashing or
+// hanging), keep every served verdict bit-identical to an offline oracle,
+// and replay byte-for-byte under a fixed seed.  The whole suite is compiled
+// against -DPROOFLAB_FAILPOINTS=ON (the chaos CI job); in a normal build
+// only the compiled-out smoke test below remains.
+#include "util/failpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "radius/atlas.hpp"
+#include "radius/batch.hpp"
+#include "radius/fragment_spread.hpp"
+#include "schemes/spanning_tree.hpp"
+#include "serve/server.hpp"
+#include "testing/helpers.hpp"
+
+namespace pls::serve {
+namespace {
+
+using core::Labeling;
+using pls::testing::share;
+namespace failpoint = util::failpoint;
+
+#if !defined(PROOFLAB_FAILPOINTS)
+
+TEST(Chaos, FailpointsAreCompiledOut) {
+  // The registry still links (arm/disarm are library code), but no site is
+  // compiled into the binaries: arming the hottest site must never fire.
+  failpoint::arm("radius.atlas.build",
+                 failpoint::Plan{.action = failpoint::Action::kError});
+  const schemes::StpLanguage language;
+  const schemes::StpScheme scheme(language);
+  util::Rng rng(90001);
+  auto g = share(graph::grid(3, 3));
+  const local::Configuration cfg = language.sample_legal(g, rng);
+  radius::BatchOptions options;
+  options.threads = 1;
+  radius::BatchVerifier verifier(scheme, cfg, 1, options);
+  EXPECT_TRUE(verifier.run_one(scheme.mark(cfg)).all_accept());
+  EXPECT_EQ(failpoint::hits("radius.atlas.build"), 0u);
+  failpoint::disarm_all();
+}
+
+#else  // PROOFLAB_FAILPOINTS
+
+Server::Frame frame_of(std::vector<std::uint8_t> bytes) {
+  return std::make_shared<const std::vector<std::uint8_t>>(std::move(bytes));
+}
+
+/// Every test starts and ends with a clean registry — a leaked arm would
+/// bleed faults into later tests.
+class Chaos : public ::testing::Test {
+ protected:
+  void SetUp() override { failpoint::disarm_all(); }
+  void TearDown() override { failpoint::disarm_all(); }
+
+  schemes::StpLanguage language;
+  schemes::StpScheme scheme{language};
+  util::Rng rng{90002};
+  std::shared_ptr<const graph::Graph> g = share(graph::grid(4, 4));
+  local::Configuration cfg = language.sample_legal(g, rng);
+  Labeling honest = scheme.mark(cfg);
+  std::uint64_t epoch = cfg.graph().epoch();
+};
+
+TEST_F(Chaos, AtlasBuildFaultWakesEveryWaiterAndStaysRebuildable) {
+  // Regression for the in-flight dedup wakeup: a THROWING build must wake
+  // deduped waiters with the failure (not strand them, not serialize them
+  // into rebuild attempts), and the erased entry must leave the key
+  // rebuildable once the fault clears.
+  radius::GeometryAtlas atlas;
+  failpoint::arm("radius.atlas.build",
+                 failpoint::Plan{.action = failpoint::Action::kBadAlloc,
+                                 .probability = 1.0,
+                                 .seed = 7,
+                                 .max_fires = 1});
+  constexpr int kThreads = 4;
+  std::atomic<int> threw{0};
+  std::atomic<int> served{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i)
+    threads.emplace_back([&] {
+      try {
+        if (atlas.block(*g, 1, 0) != nullptr) served.fetch_add(1);
+      } catch (const std::bad_alloc&) {
+        threw.fetch_add(1);
+      }
+    });
+  for (std::thread& t : threads) t.join();
+  // max_fires = 1: exactly one build attempt faulted; every thread either
+  // saw that failure (builder or deduped waiter) or arrived after the erase
+  // and rebuilt successfully.  Nobody hangs, nobody gets a null block.
+  EXPECT_EQ(failpoint::fires("radius.atlas.build"), 1u);
+  EXPECT_GE(threw.load(), 1);
+  EXPECT_EQ(threw.load() + served.load(), kThreads);
+
+  // The key is rebuildable after the transient fault.
+  EXPECT_NE(atlas.block(*g, 1, 0), nullptr);
+}
+
+TEST_F(Chaos, InjectedFaultFailsTheRequestNotTheServer) {
+  // A t = 2 ball scheme: only ball schemes consult the atlas, so this is
+  // the tenant whose sweep the injected build fault can reach (a plain
+  // 1-round scheme never builds geometry).
+  const radius::FragmentSpreadScheme spread(scheme, 2);
+  const Labeling spread_honest = spread.mark(cfg);
+  obs::MetricsRegistry metrics;
+  ServerOptions options;
+  options.threads = 1;
+  options.metrics = &metrics;
+  // A private atlas, so the injected build fault hits THIS request's sweep.
+  options.atlas = std::make_shared<radius::GeometryAtlas>();
+  Server server(options);
+  const std::uint32_t id = server.add_tenant("solo", spread, cfg, 2);
+
+  failpoint::arm("radius.atlas.build",
+                 failpoint::Plan{.action = failpoint::Action::kError,
+                                 .probability = 1.0,
+                                 .seed = 3,
+                                 .max_fires = 1});
+  server.submit(frame_of(encode_full(id, epoch, 2, spread_honest)),
+                Server::now_ns());
+  const std::optional<Server::Response> faulted = server.serve_next();
+  ASSERT_TRUE(faulted.has_value());
+  EXPECT_FALSE(faulted->wire_ok);
+  EXPECT_STREQ(faulted->error, "internal fault during verification");
+  EXPECT_EQ(faulted->rejection.kind, RejectKind::kFaulted);
+
+  // The base died with the abandoned run: a delta fails fast by name...
+  Labeling next = spread_honest;
+  next.certs[3] = local::random_state(24, rng);
+  const std::vector<graph::NodeIndex> touched = {3};
+  server.submit(
+      frame_of(encode_delta(id, epoch, 2,
+                            static_cast<std::uint32_t>(cfg.n()), touched,
+                            next)),
+      Server::now_ns());
+  const std::optional<Server::Response> orphan = server.serve_next();
+  ASSERT_TRUE(orphan.has_value());
+  EXPECT_STREQ(orphan->error, "delta base lost to an abandoned run");
+  EXPECT_EQ(orphan->rejection.kind, RejectKind::kCancelled);
+
+  // ...and the next full recovers the tenant with an oracle-exact verdict.
+  server.submit(frame_of(encode_full(id, epoch, 2, spread_honest)),
+                Server::now_ns());
+  const std::optional<Server::Response> recovered = server.serve_next();
+  ASSERT_TRUE(recovered.has_value());
+  ASSERT_TRUE(recovered->wire_ok) << recovered->error;
+  radius::BatchOptions oracle_options;
+  oracle_options.threads = 1;
+  radius::BatchVerifier oracle(spread, cfg, 2, oracle_options);
+  EXPECT_EQ(recovered->verdict.accept(),
+            oracle.run_one(spread_honest).accept());
+
+  const obs::MetricsSnapshot snap = metrics.snapshot();
+  EXPECT_EQ(snap.counters.at("serve.faults"), 1u);
+}
+
+TEST_F(Chaos, DeadlineExpiresMidSweepThenTenantRecovers) {
+  // Stall every sweep chunk 1 ms: a 5 ms TTL survives admission and parse
+  // but dies inside the sweep — cooperative cancellation at a chunk
+  // boundary, never a silently late verdict.
+  auto big = share(graph::grid(16, 16));
+  const local::Configuration big_cfg = language.sample_legal(big, rng);
+  const Labeling big_honest = scheme.mark(big_cfg);
+  const std::uint64_t big_epoch = big_cfg.graph().epoch();
+
+  obs::MetricsRegistry metrics;
+  ServerOptions options;
+  options.threads = 1;
+  options.metrics = &metrics;
+  Server server(options);
+  const std::uint32_t id = server.add_tenant("solo", scheme, big_cfg, 1);
+
+  // Warm the atlas first so the stalled run pays only sweep time.
+  server.submit(frame_of(encode_full(id, big_epoch, 1, big_honest)),
+                Server::now_ns());
+  ASSERT_TRUE(server.serve_next()->wire_ok);
+
+  failpoint::arm("pool.chunk",
+                 failpoint::Plan{.action = failpoint::Action::kDelay,
+                                 .probability = 1.0,
+                                 .seed = 11,
+                                 .max_fires = 0,
+                                 .delay_ns = 1'000'000});
+  server.submit(
+      frame_of(encode_full(id, big_epoch, 1, big_honest, 5'000'000)),
+      Server::now_ns());
+  const std::optional<Server::Response> expired = server.serve_next();
+  ASSERT_TRUE(expired.has_value());
+  EXPECT_FALSE(expired->wire_ok);
+  EXPECT_STREQ(expired->error, "deadline expired during verification");
+  EXPECT_EQ(expired->rejection.kind, RejectKind::kExpired);
+  failpoint::disarm("pool.chunk");
+
+  // Base lost mid-run; the recovery full is oracle-exact.
+  server.submit(frame_of(encode_full(id, big_epoch, 1, big_honest)),
+                Server::now_ns());
+  const std::optional<Server::Response> recovered = server.serve_next();
+  ASSERT_TRUE(recovered.has_value());
+  ASSERT_TRUE(recovered->wire_ok) << recovered->error;
+  radius::BatchOptions oracle_options;
+  oracle_options.threads = 1;
+  radius::BatchVerifier oracle(scheme, big_cfg, 1, oracle_options);
+  EXPECT_EQ(recovered->verdict.accept(), oracle.run_one(big_honest).accept());
+
+  const obs::MetricsSnapshot snap = metrics.snapshot();
+  EXPECT_GE(snap.counters.at("serve.cancelled_sweeps"), 1u);
+  EXPECT_GE(snap.counters.at("serve.expired"), 1u);
+}
+
+/// Runs a fixed trail of full-labeling requests — some doomed by injected
+/// wire faults — and returns the responses.  Arms the same seeds each call.
+std::vector<Server::Response> run_faulted_trail(
+    const schemes::StpScheme& scheme, const local::Configuration& cfg,
+    const std::vector<Labeling>& fulls, unsigned threads,
+    obs::MetricsRegistry* metrics) {
+  failpoint::disarm_all();
+  failpoint::arm("serve.wire_ingest",
+                 failpoint::Plan{.action = failpoint::Action::kError,
+                                 .probability = 0.3,
+                                 .seed = 42});
+  failpoint::arm("pool.chunk",
+                 failpoint::Plan{.action = failpoint::Action::kDelay,
+                                 .probability = 0.2,
+                                 .seed = 43,
+                                 .max_fires = 0,
+                                 .delay_ns = 20'000});
+  ServerOptions options;
+  options.threads = threads;
+  options.metrics = metrics;
+  options.max_queued_cost = 3 * cfg.n();  // sheds inside the burst
+  Server server(options);
+  const std::uint32_t id =
+      server.add_tenant("solo", scheme, cfg, 1);
+  const std::uint64_t epoch = cfg.graph().epoch();
+  std::vector<Server::Response> out;
+  for (std::size_t i = 0; i < fulls.size(); ++i) {
+    // Every 5th request is dead on arrival (deterministic expiry).
+    const bool expired = i % 5 == 4;
+    const std::uint64_t ttl = expired ? 1'000'000 : 0;
+    const std::uint64_t arrival =
+        expired ? Server::now_ns() - 5'000'000 : Server::now_ns();
+    server.submit(frame_of(encode_full(id, epoch, 1, fulls[i], ttl)),
+                  arrival);
+    // Serve every other submit, so the queue oscillates around the bound.
+    if (i % 2 == 1) {
+      if (std::optional<Server::Response> r = server.serve_next();
+          r.has_value())
+        out.push_back(std::move(*r));
+    }
+  }
+  std::vector<Server::Response> tail = server.drain();
+  for (Server::Response& r : tail) out.push_back(std::move(r));
+  failpoint::disarm_all();
+  return out;
+}
+
+TEST_F(Chaos, FaultedTrailReplaysIdenticallyPerSeed) {
+  std::vector<Labeling> fulls;
+  util::Rng lab_rng(90003);
+  for (int i = 0; i < 12; ++i) {
+    Labeling lab;
+    for (std::size_t v = 0; v < cfg.n(); ++v)
+      lab.certs.push_back(local::random_state(lab_rng.below(64), lab_rng));
+    fulls.push_back(std::move(lab));
+  }
+  fulls[0] = honest;
+
+  obs::MetricsRegistry m1, m2;
+  const std::vector<Server::Response> first =
+      run_faulted_trail(scheme, cfg, fulls, 1, &m1);
+  const std::vector<Server::Response> second =
+      run_faulted_trail(scheme, cfg, fulls, 1, &m2);
+
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].seq, second[i].seq) << i;
+    EXPECT_EQ(first[i].wire_ok, second[i].wire_ok) << i;
+    EXPECT_STREQ(first[i].error, second[i].error);
+    EXPECT_EQ(first[i].rejection.kind, second[i].rejection.kind) << i;
+    EXPECT_EQ(first[i].verdict.accept(), second[i].verdict.accept()) << i;
+  }
+  // Shed/expired/fault counts are part of the deterministic contract.
+  const obs::MetricsSnapshot s1 = m1.snapshot();
+  const obs::MetricsSnapshot s2 = m2.snapshot();
+  for (const char* key : {"serve.shed", "serve.expired",
+                          "serve.rejected_frames", "serve.faults"})
+    EXPECT_EQ(s1.counters.at(key), s2.counters.at(key)) << key;
+  // The trail genuinely exercised the fault paths.
+  EXPECT_GT(s1.counters.at("serve.rejected_frames"), 0u);
+  EXPECT_GT(s1.counters.at("serve.expired"), 0u);
+}
+
+TEST_F(Chaos, ServedVerdictsMatchOracleAtEveryThreadCount) {
+  // Whatever the injected faults do to WHICH requests survive, every served
+  // verdict must be bit-identical to the offline oracle — at one thread,
+  // two, and the hardware count.
+  std::vector<Labeling> fulls;
+  util::Rng lab_rng(90004);
+  for (int i = 0; i < 10; ++i) {
+    Labeling lab;
+    for (std::size_t v = 0; v < cfg.n(); ++v)
+      lab.certs.push_back(local::random_state(lab_rng.below(64), lab_rng));
+    fulls.push_back(std::move(lab));
+  }
+  fulls[0] = honest;
+
+  for (const unsigned threads :
+       {1u, 2u, util::ThreadPool::hardware_threads()}) {
+    const std::vector<Server::Response> responses =
+        run_faulted_trail(scheme, cfg, fulls, threads, nullptr);
+    radius::BatchOptions oracle_options;
+    oracle_options.threads = threads;
+    radius::BatchVerifier oracle(scheme, cfg, 1, oracle_options);
+    std::size_t served = 0;
+    for (const Server::Response& r : responses) {
+      if (!r.wire_ok) continue;
+      ASSERT_LT(r.seq, fulls.size());
+      EXPECT_EQ(r.verdict.accept(),
+                oracle.run_one(fulls[r.seq]).accept())
+          << "seq " << r.seq << " threads " << threads;
+      ++served;
+    }
+    EXPECT_GT(served, 0u) << "threads " << threads;
+  }
+}
+
+TEST_F(Chaos, WireIngestFaultCountsAreThreadCountInvariant) {
+  // The ingest site runs on the dispatcher thread only, so WHICH submits
+  // are corrupted is a pure function of the seed — independent of sweep
+  // parallelism.
+  std::vector<Labeling> fulls(6, honest);
+  const auto rejected_seqs = [&](unsigned threads) {
+    std::vector<std::uint64_t> seqs;
+    for (const Server::Response& r :
+         run_faulted_trail(scheme, cfg, fulls, threads, nullptr))
+      if (!r.wire_ok && r.rejection.kind == RejectKind::kMalformed)
+        seqs.push_back(r.seq);
+    return seqs;
+  };
+  const std::vector<std::uint64_t> at_one = rejected_seqs(1);
+  EXPECT_EQ(at_one, rejected_seqs(2));
+  EXPECT_EQ(at_one, rejected_seqs(util::ThreadPool::hardware_threads()));
+}
+
+#endif  // PROOFLAB_FAILPOINTS
+
+}  // namespace
+}  // namespace pls::serve

@@ -81,6 +81,49 @@ TEST(Wire, DeltaRoundTrip) {
   }
 }
 
+TEST(Wire, TtlFramesRoundTripAsVersion2) {
+  const core::Labeling lab = labeling_of({0, 3, 8, 17, 64});
+  const std::uint64_t ttl = 0x1122334455667788ull;  // all 8 ttl bytes distinct
+  const std::vector<std::uint8_t> frame =
+      encode_full(7, 0xABCDEF0123ull, 3, lab, ttl);
+
+  // v2 = v1 header + 8 ttl bytes; the records shift by exactly that.
+  EXPECT_EQ(frame[4], 2);
+  EXPECT_EQ(frame.size(), encode_full(7, 0xABCDEF0123ull, 3, lab).size() + 8);
+
+  const char* error = "unset";
+  const std::optional<RequestView> view = RequestView::parse(frame, &error);
+  ASSERT_TRUE(view.has_value()) << error;
+  EXPECT_EQ(view->ttl_ns(), ttl);
+  EXPECT_EQ(view->kind(), WireKind::kFull);
+  EXPECT_EQ(view->payload_count(), 5u);
+  ASSERT_EQ(view->certs().size(), lab.size());
+  for (std::size_t v = 0; v < lab.size(); ++v) {
+    EXPECT_EQ(view->certs()[v], lab.certs[v]) << "cert " << v;
+    EXPECT_TRUE(aliases(view->certs()[v], frame)) << "cert " << v;
+  }
+
+  // Delta flavor: ttl rides the same header extension.
+  const std::vector<graph::NodeIndex> touched = {1, 4};
+  const std::vector<std::uint8_t> delta =
+      encode_delta(2, 99, 2, 5, touched, lab, 123);
+  const std::optional<RequestView> dv = RequestView::parse(delta);
+  ASSERT_TRUE(dv.has_value());
+  EXPECT_EQ(dv->ttl_ns(), 123u);
+  EXPECT_EQ(dv->touched(), touched);
+}
+
+TEST(Wire, NoDeadlineHasExactlyOneSpelling) {
+  const core::Labeling lab = labeling_of({3, 8});
+  // ttl 0 encodes the byte-identical version-1 frame (default argument) —
+  // one canonical encoding per request.
+  EXPECT_EQ(encode_full(1, 5, 2, lab, 0), encode_full(1, 5, 2, lab));
+  const std::optional<RequestView> view =
+      RequestView::parse(encode_full(1, 5, 2, lab));
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ(view->ttl_ns(), 0u);
+}
+
 void expect_rejected(std::vector<std::uint8_t> frame, const char* reason) {
   const char* error = nullptr;
   EXPECT_FALSE(RequestView::parse(frame, &error).has_value()) << reason;
@@ -110,7 +153,7 @@ TEST(Wire, EveryMalformationIsRejectedByName) {
   }
   {
     auto f = full;
-    f[4] = 2;
+    f[4] = 3;  // one past the newest version (2 is valid: TTL frames)
     expect_rejected(std::move(f), "unsupported version");
   }
   {
@@ -159,6 +202,21 @@ TEST(Wire, EveryMalformationIsRejectedByName) {
     auto f = full;
     f.push_back(0);
     expect_rejected(std::move(f), "trailing bytes after last record");
+  }
+
+  // Version-2 (TTL) malformations.
+  const std::vector<std::uint8_t> full_v2 = encode_full(0, 11, 2, lab, 42);
+  {
+    // A v2 frame cut to the v1 header size: the size re-check against the
+    // version's own header must fire before the ttl bytes are read.
+    std::vector<std::uint8_t> f(full_v2.begin(),
+                                full_v2.begin() + kWireHeaderBytesTtl - 1);
+    expect_rejected(std::move(f), "frame shorter than header");
+  }
+  {
+    auto f = full_v2;
+    for (std::size_t i = 0; i < 8; ++i) f[32 + i] = 0;  // ttl_ns = 0
+    expect_rejected(std::move(f), "zero ttl in versioned-ttl frame");
   }
 
   // Delta-specific malformations; empty certs keep record offsets fixed
@@ -226,7 +284,9 @@ TEST(Wire, EveryTruncationPointIsRejected) {
   const core::Labeling lab = labeling_of({0, 3, 8, 17, 64});
   const std::vector<graph::NodeIndex> touched = {0, 2, 4};
   for (const std::vector<std::uint8_t>& frame :
-       {encode_full(1, 5, 2, lab), encode_delta(1, 5, 2, 5, touched, lab)}) {
+       {encode_full(1, 5, 2, lab), encode_delta(1, 5, 2, 5, touched, lab),
+        encode_full(1, 5, 2, lab, 999),
+        encode_delta(1, 5, 2, 5, touched, lab, 999)}) {
     for (std::size_t len = 0; len < frame.size(); ++len) {
       const char* error = nullptr;
       const auto view = RequestView::parse(

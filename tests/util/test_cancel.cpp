@@ -1,0 +1,54 @@
+// CancelToken: the flag and the deadline are the only two trip conditions,
+// and reset() must make a token fully reusable (the Server arms one token
+// per request).
+#include "util/cancel.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pls::util {
+namespace {
+
+TEST(CancelToken, FlagTripsAndResetClears) {
+  CancelToken token;
+  EXPECT_FALSE(token.cancelled());
+  token.cancel();
+  EXPECT_TRUE(token.cancelled());
+  token.reset();
+  EXPECT_FALSE(token.cancelled());
+}
+
+TEST(CancelToken, DeadlineTrips) {
+  CancelToken token;
+  // A deadline in the past trips immediately; one far in the future never
+  // does within the test's lifetime.
+  token.reset(1);  // 1 ns after the steady epoch — long past
+  EXPECT_TRUE(token.cancelled());
+  const std::uint64_t future = CancelToken::now_ns() + 60'000'000'000ull;
+  token.reset(future);
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_EQ(token.deadline_ns(), future);
+  // The flag still works alongside an unexpired deadline.
+  token.cancel();
+  EXPECT_TRUE(token.cancelled());
+}
+
+TEST(CancelToken, ResetClearsBothConditions) {
+  CancelToken token;
+  token.reset(1);
+  token.cancel();
+  EXPECT_TRUE(token.cancelled());
+  token.reset();  // no deadline, flag cleared
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_EQ(token.deadline_ns(), 0u);
+}
+
+TEST(CancelToken, CancelledErrorCarriesAMessage) {
+  try {
+    throw CancelledError();
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "operation cancelled");
+  }
+}
+
+}  // namespace
+}  // namespace pls::util

@@ -364,6 +364,145 @@ TEST(ThreadPool, ChunkHomeMatchesStaticSlice) {
   }
 }
 
+// Cooperative cancellation (RangeOptions::cancel): the token is polled
+// before every chunk claim; a claimed chunk always runs to completion.  The
+// job throws CancelledError iff the range was left uncovered and no chunk
+// threw a real exception — a real error always wins over a racing cancel.
+TEST(ThreadPool, StealingCancelStopsAtTheNextChunkBoundary) {
+  ThreadPool pool(1);  // deterministic: chunks drain in index order
+  CancelToken token;
+  std::size_t calls = 0;
+  EXPECT_THROW(
+      pool.for_range_stealing(
+          100,
+          [&](unsigned, std::size_t, std::size_t) {
+            if (++calls == 3) token.cancel();
+          },
+          {.chunk = 10, .cancel = &token}),
+      CancelledError);
+  // The cancelling chunk finishes; the NEXT claim is refused.
+  EXPECT_EQ(calls, 3u);
+  EXPECT_TRUE(pool.last_range_stats().cancelled);
+  EXPECT_EQ(pool.last_range_stats().chunks, 3u);
+  // A cancelled pool is fully reusable.
+  std::atomic<int> total{0};
+  pool.for_range_stealing(100,
+                          [&](unsigned, std::size_t begin, std::size_t end) {
+                            total.fetch_add(static_cast<int>(end - begin));
+                          });
+  EXPECT_EQ(total.load(), 100);
+}
+
+TEST(ThreadPool, CancelAfterTheLastChunkIsANoOp) {
+  // The token trips inside the FINAL chunk: the range is fully covered, so
+  // the job completes normally — late cancellation never invents a failure.
+  ThreadPool pool(1);
+  CancelToken token;
+  std::size_t calls = 0;
+  pool.for_range_stealing(
+      30,
+      [&](unsigned, std::size_t, std::size_t) {
+        if (++calls == 3) token.cancel();
+      },
+      {.chunk = 10, .cancel = &token});
+  EXPECT_EQ(calls, 3u);
+  EXPECT_FALSE(pool.last_range_stats().cancelled);
+}
+
+TEST(ThreadPool, RealExceptionWinsOverRacingCancellation) {
+  // Interleave cancel+throw inside the SAME chunk at every boundary k: the
+  // caller must always learn what actually broke, never CancelledError.
+  for (std::size_t k = 0; k < 5; ++k) {
+    ThreadPool pool(1);
+    CancelToken token;
+    std::size_t calls = 0;
+    try {
+      pool.for_range_stealing(
+          50,
+          [&](unsigned, std::size_t, std::size_t) {
+            if (++calls == k + 1) {
+              token.cancel();
+              throw std::runtime_error("real failure");
+            }
+          },
+          {.chunk = 10, .cancel = &token});
+      FAIL() << "must throw (k = " << k << ")";
+    } catch (const CancelledError&) {
+      FAIL() << "cancellation masked the real error at chunk " << k;
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "real failure");
+    }
+    EXPECT_FALSE(pool.last_range_stats().cancelled);
+    EXPECT_EQ(calls, k + 1);
+  }
+}
+
+TEST(ThreadPool, StealingCancelMultiThreadedIsConsistent) {
+  // With workers racing the cancel, either outcome is legal — the range
+  // drained before the token was seen, or it was abandoned — but the stats,
+  // the exception, and the executed count must agree.
+  ThreadPool pool(2);
+  CancelToken token;
+  std::atomic<int> calls{0};
+  bool cancelled_seen = false;
+  try {
+    pool.for_range_stealing(
+        1000,
+        [&](unsigned, std::size_t, std::size_t) {
+          if (calls.fetch_add(1) == 0) token.cancel();
+        },
+        {.chunk = 1, .cancel = &token});
+  } catch (const CancelledError&) {
+    cancelled_seen = true;
+  }
+  EXPECT_EQ(cancelled_seen, pool.last_range_stats().cancelled);
+  if (cancelled_seen) {
+    EXPECT_LT(calls.load(), 1000);
+  }
+  EXPECT_EQ(pool.last_range_stats().chunks,
+            static_cast<std::uint64_t>(calls.load()));
+  std::atomic<int> total{0};
+  pool.for_range_stealing(64,
+                          [&](unsigned, std::size_t begin, std::size_t end) {
+                            total.fetch_add(static_cast<int>(end - begin));
+                          });
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ThreadPool, PostFinishStealingCancelSurfacesAtFinish) {
+  ThreadPool pool(1);
+  CancelToken token;
+  token.cancel();  // pre-cancelled: no chunk may run at all
+  std::size_t calls = 0;
+  pool.post_range_stealing(
+      50, [&](unsigned, std::size_t, std::size_t) { ++calls; },
+      {.chunk = 10, .cancel = &token});
+  EXPECT_THROW(pool.finish_range(), CancelledError);
+  EXPECT_EQ(calls, 0u);
+  EXPECT_TRUE(pool.last_range_stats().cancelled);
+  EXPECT_EQ(pool.last_range_stats().chunks, 0u);
+  std::atomic<int> total{0};
+  pool.for_range(10, [&](unsigned, std::size_t begin, std::size_t end) {
+    total.fetch_add(static_cast<int>(end - begin));
+  });
+  EXPECT_EQ(total.load(), 10);
+}
+
+TEST(ThreadPool, DeadlineTokenCancelsThroughThePool) {
+  // An already-expired deadline behaves exactly like a tripped flag: the
+  // first claim is refused.
+  ThreadPool pool(1);
+  CancelToken token;
+  token.reset(1);  // long past
+  std::size_t calls = 0;
+  EXPECT_THROW(
+      pool.for_range_stealing(
+          40, [&](unsigned, std::size_t, std::size_t) { ++calls; },
+          {.chunk = 10, .cancel = &token}),
+      CancelledError);
+  EXPECT_EQ(calls, 0u);
+}
+
 TEST(ThreadPool, HardwareThreadsIsPositive) {
   EXPECT_GE(ThreadPool::hardware_threads(), 1u);
 }

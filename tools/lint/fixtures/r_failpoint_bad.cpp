@@ -1,0 +1,27 @@
+// Failpoint golden fixture (bad): fault injection evaluated in a PLS_HOT
+// per-event leaf (R1) and inside a verdict-producing decoder (R5).  Run
+// once per rule; each must fire exactly once.
+#include <cstdint>
+
+#define PLS_HOT __attribute__((hot))
+#define PLS_FAILPOINT(site) \
+  do {                      \
+  } while (false)
+
+namespace util::failpoint {
+inline void evaluate(const char*) {}
+}  // namespace util::failpoint
+
+struct Verdict {
+  bool ok;
+};
+
+PLS_HOT void hot_leaf(std::uint32_t v) {
+  PLS_FAILPOINT("hot.leaf");  // fault injection in a per-event leaf
+  (void)v;
+}
+
+Verdict verify_center(std::uint32_t node) {
+  util::failpoint::evaluate("verify.center");  // failpoint in a decoder
+  return Verdict{node != 0};
+}

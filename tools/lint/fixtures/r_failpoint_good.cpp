@@ -1,0 +1,23 @@
+// Failpoint golden fixture (good): the same probe placed where it belongs —
+// a cold subsystem-boundary function that is neither PLS_HOT nor
+// verdict-producing.  The hot leaf and the decoder stay clean, so the
+// injected fault can only ever fail a request, never bend a served verdict.
+#include <cstdint>
+
+#define PLS_HOT __attribute__((hot))
+#define PLS_FAILPOINT(site) \
+  do {                      \
+  } while (false)
+
+struct Verdict {
+  bool ok;
+};
+
+PLS_HOT void hot_leaf(std::uint32_t v) { (void)v; }
+
+void* build_block(std::uint32_t radius) {
+  PLS_FAILPOINT("radius.atlas.build");  // boundary: build site, not a leaf
+  return radius == 0 ? nullptr : nullptr;
+}
+
+Verdict verify_center(std::uint32_t node) { return Verdict{node != 0}; }

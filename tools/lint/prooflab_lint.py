@@ -9,8 +9,9 @@ and that every PR re-proves only at runtime via differential tests.
 
 Rules (docs/static-analysis.md has the rationale for each):
 
-  R1  hot-path discipline   — no heap allocation or locking in per-event
-                              leaves: function definitions tagged PLS_HOT
+  R1  hot-path discipline   — no heap allocation, locking, or failpoint
+                              evaluation in per-event leaves: function
+                              definitions tagged PLS_HOT
                               (src/util/thread_annotations.hpp).
   R2  explicit memory_order — every std::atomic load/store/RMW names its
                               memory_order; no implicit seq_cst, no atomic
@@ -23,9 +24,10 @@ Rules (docs/static-analysis.md has the rationale for each):
                               src/schemes; randomness flows through seeded
                               util::Rng (the --seed discipline).
   R5  obs one-way           — verdict-producing functions never *write*
-                              obs:: state (no spans, timers, counters);
-                              reads are fine.  Observability must not be
-                              able to perturb a verdict.
+                              obs:: state (no spans, timers, counters) and
+                              never evaluate failpoints; reads are fine.
+                              Neither observability nor fault injection may
+                              be able to perturb a verdict.
   R6  include-clean headers — every public header compiles standalone.
 
 The driver consumes compile_commands.json (file list, include dirs, -std)
@@ -289,6 +291,12 @@ R1_LOCK_RE = re.compile(
     r"\block_guard\b|\bunique_lock\b|\bscoped_lock\b|\bMutexLock\b|"
     r"(?:\.|->)\s*lock\s*\(|(?:\.|->)\s*unlock\s*\(|\btry_lock\b|\bCondVar\b"
 )
+# A failpoint site takes the registry mutex even when disarmed (and the
+# macro's cost moves with the build flag), so hot leaves must stay clean of
+# them just like locks; injection belongs at subsystem boundaries.
+R1_FAILPOINT_RE = re.compile(
+    r"\bPLS_FAILPOINT\b|\bfailpoint\s*::\s*(?:evaluate|draw)\b"
+)
 
 
 def run_r1(fl):
@@ -296,7 +304,11 @@ def run_r1(fl):
         if "PLS_HOT" not in fn.sig:
             continue
         body = fl.stripped[fn.body_start : fn.body_end]
-        for regex, what in ((R1_ALLOC_RE, "heap allocation"), (R1_LOCK_RE, "locking")):
+        for regex, what in (
+            (R1_ALLOC_RE, "heap allocation"),
+            (R1_LOCK_RE, "locking"),
+            (R1_FAILPOINT_RE, "fault injection"),
+        ):
             for m in regex.finditer(body):
                 fl.report(
                     fn.body_start + m.start(),
@@ -482,10 +494,12 @@ def run_r4(fl, scopes):
 
 
 # ---------------------------------------------------------------------------
-# R5 — obs:: written from verdict-producing functions
+# R5 — obs:: written (or failpoints evaluated) from verdict-producing
+# functions
 # ---------------------------------------------------------------------------
 
 R5_WRITE_RE = re.compile(
+    r"\bPLS_FAILPOINT\b|\bfailpoint\s*::\s*(?:evaluate|draw)\b|"
     r"\bPLS_TRACE_SPAN\b|\bTraceSpan\b|\bScopedTimer\b|\bset_gauge\s*\(|"
     r"\babsorb\s*\(|\bTraceRecorder\s*::\s*(?:enable|disable|record)\b|"
     r"\bobs\s*::\s*(?!TraceRecorder\s*::\s*enabled|MetricsSnapshot|"
@@ -502,9 +516,10 @@ def run_r5(fl):
             fl.report(
                 fn.body_start + m.start(),
                 "R5",
-                f"obs write '{m.group(0).strip()}' inside verdict-producing "
+                f"side effect '{m.group(0).strip()}' inside verdict-producing "
                 f"function '{fn.name}' — decoders may read obs state but never "
-                "mutate it (observability must not perturb verdicts)",
+                "mutate it or evaluate failpoints (nothing that can perturb a "
+                "verdict belongs in a decoder)",
             )
 
 

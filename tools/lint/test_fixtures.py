@@ -34,6 +34,13 @@ CASES = [
     ("r5_good.cpp", "R5", 0),
     ("r6_bad.hpp", "R6", 1),
     ("r6_good.hpp", "R6", 0),
+    # Failpoint discipline rides on R1 (hot leaves) and R5 (decoders); one
+    # staged violation of each in the bad fixture, the sanctioned boundary
+    # placement in the good one.
+    ("r_failpoint_bad.cpp", "R1", 1),
+    ("r_failpoint_bad.cpp", "R5", 1),
+    ("r_failpoint_good.cpp", "R1", 0),
+    ("r_failpoint_good.cpp", "R5", 0),
 ]
 
 
