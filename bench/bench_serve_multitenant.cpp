@@ -377,8 +377,8 @@ void emit(std::ostream& out, const RunResult& r,
 // a wire-carried TTL of --overload-ttl-x mean service times.  Graceful
 // degradation means: past saturation, goodput holds near capacity (the
 // --require-goodput-ratio gate), accepted-request p99 stays bounded by the
-// TTL (deadline checks at submit, at dispatch, and mid-sweep make serving
-// late impossible — the gate allows 3x for measurement slack), and every
+// TTL (deadline checks at submit, dispatch, mid-sweep, and post-run make
+// serving late impossible — the gate allows 3x for measurement slack), and every
 // SERVED verdict is bit-identical to a fresh in-memory oracle.
 
 constexpr std::size_t kOverloadVariants = 4;
@@ -439,7 +439,7 @@ struct OverloadPoint {
   double offered_per_sec = 0.0;
   std::size_t accepted = 0;  ///< served with a verdict
   std::size_t shed = 0;      ///< kOverloaded at submit
-  std::size_t expired = 0;   ///< kExpired at submit, dispatch, or mid-sweep
+  std::size_t expired = 0;   ///< kExpired at any checkpoint (submit..post-run)
   std::uint64_t cancelled_sweeps = 0;
   double goodput_per_sec = 0.0;
   double accepted_p99_ms = 0.0;  ///< worst tenant's served-latency p99

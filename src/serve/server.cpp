@@ -224,6 +224,13 @@ std::optional<Server::Response> Server::serve_next() {
       --queued_;
       tenant.queued_cost -= request.cost;
       queued_cost_total_ -= request.cost;
+      // The dropped frame's state transition never happens: a full that
+      // expires here never installs its labeling, an intermediate delta
+      // leaves the chain missing one update.  Every delta queued behind it
+      // would therefore verify against a base the client never submitted it
+      // for — same stream-consistency rule as an abandoned run, so the base
+      // is dropped and those deltas fail fast until the next full re-seeds.
+      abandon_base(tenant);
       if (expired_ != nullptr) expired_->add(1);
       Response response;
       response.tenant_id = request.view.tenant_id();
@@ -286,12 +293,16 @@ Server::Response Server::dispatch(Tenant& tenant, Request request) {
       tenant.pins.clear();
       tenant.pins.push_back(request.frame);
     } else {
-      // submit() admits a delta only behind a queued full, and dispatching
-      // that full installs tenant.current — but an ABANDONED run (deadline,
-      // fault) takes the base with it.  Verifying a delta against no base
-      // is impossible; fail fast, the client's recovery is a fresh full.
+      // submit() admits a delta only behind an admitted full, and
+      // dispatching that full installs tenant.current — but the base is
+      // gone when an earlier run was abandoned (deadline, fault) or when
+      // the full (or an intermediate delta) was dropped at dispatch for
+      // expiry.  Verifying a delta against any other base would yield a
+      // verdict for a labeling the client never submitted; fail fast, the
+      // client's recovery is a fresh full.  The reason is cause-neutral:
+      // both abandonment and an expired drop end here.
       if (tenant.current.certs.empty()) {
-        response.error = "delta base lost to an abandoned run";
+        response.error = "no delta base resident";
         response.rejection = Rejection{RejectKind::kCancelled, 0};
         response.latency_ns = now_ns() - request.arrival_ns;
         return response;
@@ -340,23 +351,39 @@ Server::Response Server::dispatch(Tenant& tenant, Request request) {
     response.latency_ns = now_ns() - request.arrival_ns;
     return response;
   }
-  response.wire_ok = true;
   const std::uint64_t end = now_ns();
-  response.latency_ns = end - request.arrival_ns;
-  if (tenant.latency != nullptr) tenant.latency->record(response.latency_ns);
-  // Deadline slack of SERVED requests: how close to the edge the server
-  // runs.  A p1 near zero says deadlines are about to start firing.
-  if (request.deadline_ns != 0 && deadline_slack_ != nullptr)
-    deadline_slack_->record(
-        request.deadline_ns > end ? request.deadline_ns - end : 0);
   // Service-rate EWMA (ns per cost unit) behind retry_after hints; 1/8 new
   // weight tracks load shifts within a few dozen dispatches without letting
-  // one outlier dominate.
+  // one outlier dominate.  Updated before the late-completion check below:
+  // a run that finished past its deadline is a genuine rate sample, and
+  // overload is exactly the regime the hints must price.
   const double per_cost = static_cast<double>(end - service_start) /
                           static_cast<double>(request.cost);
   ewma_ns_per_cost_ = ewma_ns_per_cost_ == 0.0
                           ? per_cost
                           : 0.125 * per_cost + 0.875 * ewma_ns_per_cost_;
+  // A sweep whose chunks were all claimed before the deadline token tripped
+  // completes instead of throwing — recheck here, so a verdict that missed
+  // its deadline is withheld by SOME checkpoint on every path.  Unlike the
+  // mid-run abandonment above, the run finished: tenant.current now equals
+  // exactly the labeling stream the client submitted, so the base stays
+  // resident and queued deltas behind this request remain verdict-exact.
+  if (request.deadline_ns != 0 && end >= request.deadline_ns) {
+    if (expired_ != nullptr) expired_->add(1);
+    response.verdict = core::Verdict{};
+    response.error = "deadline expired after verification";
+    response.rejection = Rejection{RejectKind::kExpired, 0};
+    response.latency_ns = end - request.arrival_ns;
+    return response;
+  }
+  response.wire_ok = true;
+  response.latency_ns = end - request.arrival_ns;
+  if (tenant.latency != nullptr) tenant.latency->record(response.latency_ns);
+  // Deadline slack of SERVED requests: how close to the edge the server
+  // runs.  A p1 near zero says deadlines are about to start firing (and it
+  // is strictly positive — an exactly-on-deadline finish is already late).
+  if (request.deadline_ns != 0 && deadline_slack_ != nullptr)
+    deadline_slack_->record(request.deadline_ns - end);
   return response;
 }
 

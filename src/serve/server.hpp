@@ -53,10 +53,16 @@
 //     queue (each tenant's cost is accounted separately).
 //   * Deadlines: a version-2 frame carries a TTL; deadline = arrival + TTL.
 //     Checked at submit (expired frames are never admitted), at dispatch
-//     (expired head requests are dropped before any verification work and
-//     charge no DRR deficit — a late verdict is never silently served), and
-//     cooperatively inside the sweep via util::CancelToken (the pool polls
-//     at chunk-claim boundaries, the verifier at labeling boundaries).
+//     (expired head requests are dropped before any verification work,
+//     charge no DRR deficit, and invalidate the tenant's delta base — the
+//     dropped frame's state transition never happened, so deltas queued
+//     behind it fail fast instead of verifying against a base the client
+//     never submitted them for), cooperatively inside the sweep via
+//     util::CancelToken (the pool polls at chunk-claim boundaries, the
+//     verifier at labeling boundaries), and once more after the run — a
+//     sweep whose chunks were all claimed before the token tripped runs to
+//     completion, and its late verdict is still withheld (kExpired).  A
+//     late verdict is therefore never served by any path.
 //   * Containment: a run that throws — expiry mid-sweep or an internal
 //     fault such as an allocation failure in an atlas build — fails THAT
 //     request, never the server.  The tenant's delta base is cleared
@@ -90,8 +96,10 @@ enum class RejectKind : std::uint8_t {
   kNone = 0,    ///< the response carries a verdict (wire_ok)
   kMalformed,   ///< frame failed wire/tenant validation at submit
   kOverloaded,  ///< shed at submit: the tenant's queue bound was exceeded
-  kExpired,     ///< deadline passed — at submit, at dispatch, or mid-sweep
-  kCancelled,   ///< delta base lost to an earlier abandoned run
+  kExpired,     ///< deadline passed — at submit, dispatch, mid-sweep, or
+                ///< after a run that completed past its deadline
+  kCancelled,   ///< no delta base resident (an earlier run was abandoned or
+                ///< an earlier frame was dropped at dispatch for expiry)
   kFaulted,     ///< verification aborted by an internal fault
 };
 
@@ -222,10 +230,13 @@ class Server {
 
   radius::BatchVerifier& verifier_for(Tenant& tenant);
   Response dispatch(Tenant& tenant, Request request);
-  /// Drops the tenant's delta base after an abandoned or faulted run: the
+  /// Drops the tenant's delta base after an abandoned or faulted run (the
   /// run may have half-applied a delta to `current`, so nothing about it is
-  /// trustworthy.  Queued deltas then fail fast (kCancelled) until the next
-  /// full frame rebuilds the base.
+  /// trustworthy) or after a dispatch-expiry drop (the dropped frame's
+  /// state transition never happened, so the resident base no longer
+  /// matches the stream deltas behind it were submitted against).  Queued
+  /// deltas then fail fast (kCancelled) until the next full frame rebuilds
+  /// the base.
   static void abandon_base(Tenant& tenant);
   /// Backlog-drain estimate for a shed request of `cost` units (see
   /// Rejection::retry_after_ns).

@@ -142,7 +142,7 @@ TEST_F(Chaos, InjectedFaultFailsTheRequestNotTheServer) {
       Server::now_ns());
   const std::optional<Server::Response> orphan = server.serve_next();
   ASSERT_TRUE(orphan.has_value());
-  EXPECT_STREQ(orphan->error, "delta base lost to an abandoned run");
+  EXPECT_STREQ(orphan->error, "no delta base resident");
   EXPECT_EQ(orphan->rejection.kind, RejectKind::kCancelled);
 
   // ...and the next full recovers the tenant with an oracle-exact verdict.
@@ -212,6 +212,75 @@ TEST_F(Chaos, DeadlineExpiresMidSweepThenTenantRecovers) {
   const obs::MetricsSnapshot snap = metrics.snapshot();
   EXPECT_GE(snap.counters.at("serve.cancelled_sweeps"), 1u);
   EXPECT_GE(snap.counters.at("serve.expired"), 1u);
+}
+
+TEST_F(Chaos, SweepCompletingPastDeadlineIsNotServed) {
+  // The post-run deadline checkpoint: when every chunk is claimed before
+  // the token trips, the sweep completes instead of unwinding — the late
+  // verdict must still be withheld.  path(2) at one thread sweeps exactly
+  // two chunks; seed 3 at probability 0.5 draws [no-fire, fire], so only
+  // the SECOND chunk stalls: both claims poll the token microseconds after
+  // dispatch (well inside the 10 ms TTL), then the 50 ms stall pushes
+  // completion far past the deadline with no poll left to trip.
+  auto two = share(graph::path(2));
+  const local::Configuration two_cfg = language.sample_legal(two, rng);
+  const Labeling two_honest = scheme.mark(two_cfg);
+  const std::uint64_t two_epoch = two_cfg.graph().epoch();
+
+  obs::MetricsRegistry metrics;
+  ServerOptions options;
+  options.threads = 1;
+  options.metrics = &metrics;
+  Server server(options);
+  const std::uint32_t id = server.add_tenant("solo", scheme, two_cfg, 1);
+
+  failpoint::arm("pool.chunk",
+                 failpoint::Plan{.action = failpoint::Action::kDelay,
+                                 .probability = 0.5,
+                                 .seed = 3,
+                                 .max_fires = 1,
+                                 .delay_ns = 50'000'000});
+  server.submit(
+      frame_of(encode_full(id, two_epoch, 1, two_honest, 10'000'000)),
+      Server::now_ns());
+  const std::optional<Server::Response> late = server.serve_next();
+  failpoint::disarm("pool.chunk");
+  ASSERT_TRUE(late.has_value());
+  EXPECT_FALSE(late->wire_ok);
+  EXPECT_STREQ(late->error, "deadline expired after verification");
+  EXPECT_EQ(late->rejection.kind, RejectKind::kExpired);
+
+  // The run COMPLETED, so the base it installed is exact — a delta behind
+  // the late full serves an oracle-identical verdict, unlike the abandoned
+  // and dispatch-dropped cases where the base dies with the frame.
+  Labeling next = two_honest;
+  next.certs[1] = local::random_state(24, rng);
+  const std::vector<graph::NodeIndex> touched = {1};
+  server.submit(
+      frame_of(encode_delta(id, two_epoch, 1,
+                            static_cast<std::uint32_t>(two_cfg.n()), touched,
+                            next)),
+      Server::now_ns());
+  const std::optional<Server::Response> after = server.serve_next();
+  ASSERT_TRUE(after.has_value());
+  ASSERT_TRUE(after->wire_ok) << after->error;
+  radius::BatchOptions oracle_options;
+  oracle_options.threads = 1;
+  radius::BatchVerifier oracle(scheme, two_cfg, 1, oracle_options);
+  (void)oracle.run_one(two_honest);
+  radius::LabelingDelta delta;
+  delta.touched = touched;
+  EXPECT_EQ(after->verdict.accept(), oracle.run_delta(next, delta).accept());
+
+  const obs::MetricsSnapshot snap = metrics.snapshot();
+  EXPECT_EQ(snap.counters.at("serve.expired"), 1u);
+  // Completion, not cancellation: the token never tripped a claim.
+  EXPECT_EQ(snap.counters.at("serve.cancelled_sweeps"), 0u);
+  // Late completions never feed the slack histogram.
+  EXPECT_EQ(snap.histograms.count("serve.deadline_slack_ns") != 0
+                ? snap.histograms.at("serve.deadline_slack_ns").count
+                : 0u,
+            0u);
 }
 
 /// Runs a fixed trail of full-labeling requests — some doomed by injected

@@ -195,6 +195,122 @@ TEST(Overload, ExpiredHeadIsDroppedAtDispatchNeverServedLate) {
             0u);
 }
 
+TEST(Overload, DeltaBehindDispatchExpiredFullFailsFast) {
+  // A delta admitted behind a full that later expires at dispatch was
+  // submitted against THAT full's labeling.  Serving it against the
+  // previous full's base would be a verdict for a hybrid labeling the
+  // client never sent — the drop must take the delta base with it.
+  Fixture fx;
+  obs::MetricsRegistry metrics;
+  ServerOptions options;
+  options.threads = 1;
+  options.metrics = &metrics;
+  Server server(options);
+  const std::uint32_t id = server.add_tenant("solo", fx.scheme, fx.cfg, 1);
+
+  // Seed a resident base (the stale base the delta must NOT verify against).
+  server.submit(frame_of(encode_full(id, fx.epoch, 1, fx.honest)),
+                Server::now_ns());
+  ASSERT_TRUE(server.serve_next()->wire_ok);
+
+  // A second full with a short TTL, then a delta on top of it — both
+  // admitted alive, but the full's deadline passes before dispatch.
+  const Labeling second = random_labeling(fx.cfg.n(), fx.rng);
+  const std::uint64_t arrival = Server::now_ns();
+  const std::uint64_t ttl = 2'000'000;
+  server.submit(frame_of(encode_full(id, fx.epoch, 1, second, ttl)), arrival);
+  Labeling next = second;
+  next.certs[2] = local::random_state(24, fx.rng);
+  const std::vector<graph::NodeIndex> touched = {2};
+  server.submit(
+      frame_of(encode_delta(id, fx.epoch, 1,
+                            static_cast<std::uint32_t>(fx.cfg.n()), touched,
+                            next)),
+      Server::now_ns());
+  spin_until(arrival + ttl);
+
+  const std::optional<Server::Response> dropped = server.serve_next();
+  ASSERT_TRUE(dropped.has_value());
+  EXPECT_STREQ(dropped->error, "deadline expired before dispatch");
+  EXPECT_EQ(dropped->rejection.kind, RejectKind::kExpired);
+
+  const std::optional<Server::Response> orphan = server.serve_next();
+  ASSERT_TRUE(orphan.has_value());
+  EXPECT_FALSE(orphan->wire_ok);
+  EXPECT_STREQ(orphan->error, "no delta base resident");
+  EXPECT_EQ(orphan->rejection.kind, RejectKind::kCancelled);
+
+  // Recovery: a fresh full re-seeds the base and a delta behind it serves
+  // an oracle-exact verdict again.
+  server.submit(frame_of(encode_full(id, fx.epoch, 1, second)),
+                Server::now_ns());
+  server.submit(
+      frame_of(encode_delta(id, fx.epoch, 1,
+                            static_cast<std::uint32_t>(fx.cfg.n()), touched,
+                            next)),
+      Server::now_ns());
+  const std::vector<Server::Response> recovered = server.drain();
+  ASSERT_EQ(recovered.size(), 2u);
+  ASSERT_TRUE(recovered[0].wire_ok) << recovered[0].error;
+  ASSERT_TRUE(recovered[1].wire_ok) << recovered[1].error;
+  radius::BatchOptions oracle_options;
+  oracle_options.threads = 1;
+  radius::BatchVerifier oracle(fx.scheme, fx.cfg, 1, oracle_options);
+  EXPECT_EQ(recovered[0].verdict.accept(), oracle.run_one(second).accept());
+  radius::LabelingDelta delta;
+  delta.touched = touched;
+  EXPECT_EQ(recovered[1].verdict.accept(),
+            oracle.run_delta(next, delta).accept());
+
+  const obs::MetricsSnapshot snap = metrics.snapshot();
+  EXPECT_EQ(snap.counters.at("serve.expired"), 1u);
+}
+
+TEST(Overload, DeltaBehindDispatchExpiredDeltaFailsFast) {
+  // Same hole, delta-chain flavor: when an INTERMEDIATE delta expires at
+  // dispatch, the chain behind it is missing one update — the next delta
+  // must fail fast, not apply on top of the gap.
+  Fixture fx;
+  ServerOptions options;
+  options.threads = 1;
+  Server server(options);
+  const std::uint32_t id = server.add_tenant("solo", fx.scheme, fx.cfg, 1);
+
+  server.submit(frame_of(encode_full(id, fx.epoch, 1, fx.honest)),
+                Server::now_ns());
+  ASSERT_TRUE(server.serve_next()->wire_ok);
+
+  Labeling mid = fx.honest;
+  mid.certs[1] = local::random_state(24, fx.rng);
+  Labeling next = mid;
+  next.certs[5] = local::random_state(24, fx.rng);
+  const std::vector<graph::NodeIndex> touched_mid = {1};
+  const std::vector<graph::NodeIndex> touched_next = {5};
+  const std::uint64_t arrival = Server::now_ns();
+  const std::uint64_t ttl = 2'000'000;
+  server.submit(
+      frame_of(encode_delta(id, fx.epoch, 1,
+                            static_cast<std::uint32_t>(fx.cfg.n()),
+                            touched_mid, mid, ttl)),
+      arrival);
+  server.submit(
+      frame_of(encode_delta(id, fx.epoch, 1,
+                            static_cast<std::uint32_t>(fx.cfg.n()),
+                            touched_next, next)),
+      Server::now_ns());
+  spin_until(arrival + ttl);
+
+  const std::optional<Server::Response> dropped = server.serve_next();
+  ASSERT_TRUE(dropped.has_value());
+  EXPECT_STREQ(dropped->error, "deadline expired before dispatch");
+
+  const std::optional<Server::Response> orphan = server.serve_next();
+  ASSERT_TRUE(orphan.has_value());
+  EXPECT_FALSE(orphan->wire_ok);
+  EXPECT_STREQ(orphan->error, "no delta base resident");
+  EXPECT_EQ(orphan->rejection.kind, RejectKind::kCancelled);
+}
+
 TEST(Overload, ServedDeadlineRequestRecordsSlack) {
   Fixture fx;
   obs::MetricsRegistry metrics;
